@@ -1,0 +1,247 @@
+//! Criterion timing benches for the analysis machinery, grouped by the
+//! paper table/figure each computation regenerates, plus the ablations
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use bpfree_cfg::{Cfg, DfsOrder, Dominators};
+use bpfree_core::ordering::{all_orders, BenchOrderData, OrderingStudy};
+use bpfree_core::{
+    BranchClassifier, CombinedPredictor, HeuristicKind, HeuristicTable, DEFAULT_SEED,
+};
+use bpfree_ir::BlockId;
+
+fn load(name: &str) -> (bpfree_ir::Program, BranchClassifier, bpfree_sim::EdgeProfile) {
+    let b = bpfree_suite::by_name(name).expect("benchmark exists");
+    let p = b.compile().expect("compiles");
+    let c = BranchClassifier::analyze(&p);
+    let (profile, _) = b.profile(&p, 0).expect("runs");
+    (p, c, profile)
+}
+
+/// Table 2 machinery: whole-program classification (CFG + dominators +
+/// postdominators + loops for every function).
+fn bench_classification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_classification");
+    for name in ["gcc", "xlisp", "tomcatv"] {
+        let b = bpfree_suite::by_name(name).unwrap();
+        let p = b.compile().unwrap();
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(BranchClassifier::analyze(black_box(&p))))
+        });
+    }
+    g.finish();
+}
+
+/// Table 3 machinery: running all seven heuristics on every non-loop
+/// branch.
+fn bench_heuristic_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_heuristics");
+    for name in ["gcc", "espresso"] {
+        let b = bpfree_suite::by_name(name).unwrap();
+        let p = b.compile().unwrap();
+        let cl = BranchClassifier::analyze(&p);
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(HeuristicTable::build(black_box(&p), black_box(&cl))))
+        });
+    }
+    g.finish();
+}
+
+/// Tables 5/6 machinery: building the combined predictor from a table.
+fn bench_combined_predictor(c: &mut Criterion) {
+    let (p, cl, _) = load("xlisp");
+    let table = HeuristicTable::build(&p, &cl);
+    c.bench_function("table6_combine", |bench| {
+        bench.iter(|| {
+            black_box(CombinedPredictor::from_table(
+                &p,
+                &cl,
+                &table,
+                &HeuristicKind::paper_order(),
+                DEFAULT_SEED,
+            ))
+        })
+    });
+}
+
+/// Graph 1 machinery: evaluating one order against a condensed
+/// benchmark, and the full 5040-order sweep.
+fn bench_ordering(c: &mut Criterion) {
+    let (p, cl, profile) = load("gcc");
+    let table = HeuristicTable::build(&p, &cl);
+    let data = BenchOrderData::build("gcc", &table, &profile, &cl, DEFAULT_SEED);
+    let orders = all_orders();
+    c.bench_function("graph1_one_order", |bench| {
+        bench.iter(|| black_box(data.miss_rate(black_box(&orders[2024]))))
+    });
+    c.bench_function("graph1_all_5040_orders", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for o in &orders {
+                acc += data.miss_rate(o);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Table 4 machinery ablation: Pareto pruning plus a small exact subset
+/// enumeration.
+fn bench_subset_pruning(c: &mut Criterion) {
+    let benches: Vec<BenchOrderData> = ["xlisp", "compress", "espresso", "grep"]
+        .iter()
+        .map(|n| {
+            let (p, cl, profile) = load(n);
+            let table = HeuristicTable::build(&p, &cl);
+            BenchOrderData::build(*n, &table, &profile, &cl, DEFAULT_SEED)
+        })
+        .collect();
+    let study = OrderingStudy::new(benches);
+    let mut g = c.benchmark_group("table4_subsets");
+    g.sample_size(10);
+    g.bench_function("pareto_prune", |bench| {
+        bench.iter(|| black_box(study.pareto_order_indices().len()))
+    });
+    g.bench_function("subset_experiment_c4_2", |bench| {
+        bench.iter(|| black_box(study.subset_experiment(2).len()))
+    });
+    g.finish();
+}
+
+/// DESIGN.md ablation: iterative RPO dominators vs a naive quadratic
+/// set-intersection dataflow solver, on a real CFG.
+fn bench_dominators_ablation(c: &mut Criterion) {
+    let (p, _, _) = load("gcc");
+    let func = p
+        .funcs()
+        .iter()
+        .max_by_key(|f| f.blocks().len())
+        .expect("program has functions");
+    let cfg = Cfg::new(func);
+    let dfs = DfsOrder::compute(&cfg);
+    let mut g = c.benchmark_group("dom_ablate");
+    g.bench_function("iterative_rpo", |bench| {
+        bench.iter(|| black_box(Dominators::compute(black_box(&cfg), black_box(&dfs))))
+    });
+    g.bench_function("naive_sets", |bench| {
+        bench.iter(|| black_box(naive_dominator_sets(black_box(&cfg))))
+    });
+    g.finish();
+}
+
+/// The classic quadratic dominator dataflow, for the ablation.
+fn naive_dominator_sets(cfg: &Cfg) -> Vec<HashSet<u32>> {
+    let n = cfg.n_blocks();
+    let all: HashSet<u32> = (0..n as u32).collect();
+    let mut dom: Vec<HashSet<u32>> = vec![all; n];
+    dom[cfg.entry().index()] = [cfg.entry().0].into_iter().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n as u32 {
+            let block = BlockId(b);
+            if block == cfg.entry() {
+                continue;
+            }
+            let preds = cfg.predecessors(block);
+            if preds.is_empty() {
+                continue;
+            }
+            let mut inter: HashSet<u32> = dom[preds[0].index()].clone();
+            for p in &preds[1..] {
+                inter = inter.intersection(&dom[p.index()]).copied().collect();
+            }
+            inter.insert(b);
+            if inter != dom[b as usize] {
+                dom[b as usize] = inter;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+/// Graphs 4-11 machinery: streaming IPBC analysis overhead vs a plain
+/// run (the "streaming vs materialised traces" ablation baseline).
+fn bench_ipbc_overhead(c: &mut Criterion) {
+    use bpfree_core::ipbc::IpbcAnalyzer;
+    use bpfree_core::perfect_predictions;
+    use bpfree_sim::{NullObserver, Simulator};
+    let b = bpfree_suite::by_name("grep").unwrap();
+    let p = b.compile().unwrap();
+    let cl = BranchClassifier::analyze(&p);
+    let (profile, _) = b.profile(&p, 0).unwrap();
+    let perfect = perfect_predictions(&p, &profile);
+    let cp = CombinedPredictor::new(&p, &cl, HeuristicKind::paper_order());
+    let heuristic = cp.predictions();
+    let datasets = b.datasets();
+
+    let mut g = c.benchmark_group("graphs4_11_ipbc");
+    g.sample_size(10);
+    g.bench_function("plain_run", |bench| {
+        bench.iter_batched(
+            || Simulator::new(&p),
+            |mut sim| {
+                sim.set_globals(&datasets[0].values).unwrap();
+                black_box(sim.run(&mut NullObserver).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("streaming_two_predictors", |bench| {
+        bench.iter_batched(
+            || {
+                let mut an = IpbcAnalyzer::new(&p);
+                an.add_predictor("Perfect", &perfect);
+                an.add_predictor("Heuristic", &heuristic);
+                (Simulator::new(&p), an)
+            },
+            |(mut sim, mut an)| {
+                sim.set_globals(&datasets[0].values).unwrap();
+                sim.run(&mut an).unwrap();
+                black_box(an.finish())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Extension ablation: damped-iteration vs structural (Wu-Larus style)
+/// frequency propagation.
+fn bench_freq_propagation(c: &mut Criterion) {
+    use bpfree_core::freq::{
+        estimate_block_frequencies, estimate_block_frequencies_structural,
+        BranchProbabilities, Confidence,
+    };
+    let (p, cl, _) = load("dnasa7");
+    let cp = CombinedPredictor::new(&p, &cl, HeuristicKind::paper_order());
+    let probs = BranchProbabilities::from_predictor(&p, &cp, Confidence::default());
+    let fid = p.entry();
+    let mut g = c.benchmark_group("freq_propagation");
+    g.bench_function("damped_iteration", |bench| {
+        bench.iter(|| black_box(estimate_block_frequencies(&p, fid, &probs)))
+    });
+    g.bench_function("structural", |bench| {
+        bench.iter(|| {
+            black_box(estimate_block_frequencies_structural(&p, fid, &probs, &cl))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classification,
+    bench_heuristic_table,
+    bench_combined_predictor,
+    bench_ordering,
+    bench_subset_pruning,
+    bench_dominators_ablation,
+    bench_ipbc_overhead,
+    bench_freq_propagation
+);
+criterion_main!(benches);

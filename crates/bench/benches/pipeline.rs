@@ -1,0 +1,64 @@
+//! Criterion timing benches for the substrate pipeline: Cmm compilation
+//! (Table 1 machinery) and simulator/profiler throughput (the QPT
+//! substitute every experiment leans on).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bpfree_sim::{EdgeProfiler, NullObserver, Simulator};
+
+/// Table 1 machinery: full compilation (lex + parse + typecheck + lower +
+/// inline + simplify) of real suite sources.
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_compile");
+    for name in ["gcc", "xlisp", "dnasa7"] {
+        let b = bpfree_suite::by_name(name).unwrap();
+        let src = b.source;
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_function(name, |bench| {
+            bench.iter(|| black_box(bpfree_lang::compile(black_box(src)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// Simulator throughput in instructions per second, bare and under the
+/// edge profiler (what every table's data collection costs).
+fn bench_simulator(c: &mut Criterion) {
+    let b = bpfree_suite::by_name("grep").unwrap();
+    let p = b.compile().unwrap();
+    let datasets = b.datasets();
+    // Measure the instruction count once for throughput accounting.
+    let mut sim = Simulator::new(&p);
+    sim.set_globals(&datasets[0].values).unwrap();
+    let instructions = sim.run(&mut NullObserver).unwrap().instructions;
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("bare", |bench| {
+        bench.iter_batched(
+            || Simulator::new(&p),
+            |mut sim| {
+                sim.set_globals(&datasets[0].values).unwrap();
+                black_box(sim.run(&mut NullObserver).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("edge_profiled", |bench| {
+        bench.iter_batched(
+            || (Simulator::new(&p), EdgeProfiler::new()),
+            |(mut sim, mut prof)| {
+                sim.set_globals(&datasets[0].values).unwrap();
+                sim.run(&mut prof).unwrap();
+                black_box(prof.into_profile())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: how much do the compiler's `-O` passes matter to the
+//! heuristics?
+//!
+//! The paper analysed `-O`-compiled binaries, and DESIGN.md claims the
+//! optimisation idioms (leaf inlining, block straightening, copy
+//! propagation) are load-bearing for the heuristics — e.g. the pointer
+//! heuristic needs the load and the null test in one block. This binary
+//! compiles every benchmark at three levels and reports the combined
+//! predictor's miss rates.
+
+use bpfree_bench::{mean_std, pct};
+use bpfree_core::{evaluate, BranchClassifier, CombinedPredictor, HeuristicKind};
+use bpfree_lang::{compile_with, Options};
+use bpfree_sim::{EdgeProfiler, Simulator};
+
+fn run_at(bench: &bpfree_suite::Benchmark, options: Options) -> (f64, f64) {
+    let program = compile_with(bench.source, options)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let classifier = BranchClassifier::analyze(&program);
+    let dataset = &bench.datasets()[0];
+    let mut profiler = EdgeProfiler::new();
+    let mut sim = Simulator::new(&program);
+    sim.set_globals(&dataset.values).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    sim.run(&mut profiler).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let profile = profiler.into_profile();
+    let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let r = evaluate(&cp.predictions(), &profile, &classifier);
+    (r.all.miss_rate(), r.nonloop.miss_rate())
+}
+
+fn main() {
+    println!(
+        "{:<11} {:>9} {:>11} {:>7}   (all-branch miss%)",
+        "Program", "-O (dflt)", "no-inline", "-O0"
+    );
+    println!("{:-<48}", "");
+    let mut opt = Vec::new();
+    let mut noinline = Vec::new();
+    let mut o0 = Vec::new();
+    for b in bpfree_suite::all() {
+        let (a, _) = run_at(&b, Options::default());
+        let (ni, _) = run_at(&b, Options::no_inline());
+        let (raw, _) = run_at(&b, Options::o0());
+        println!(
+            "{:<11} {:>9} {:>11} {:>7}",
+            b.name,
+            pct(a),
+            pct(ni),
+            pct(raw)
+        );
+        opt.push(a);
+        noinline.push(ni);
+        o0.push(raw);
+    }
+    let (om, _) = mean_std(&opt);
+    let (nm, _) = mean_std(&noinline);
+    let (zm, _) = mean_std(&o0);
+    println!("{:-<48}", "");
+    println!("{:<11} {:>9} {:>11} {:>7}", "MEAN", pct(om), pct(nm), pct(zm));
+    println!();
+    println!("The heuristics were designed for optimised code: -O0's split blocks");
+    println!("and helper calls hide the load-feeds-branch and store/call patterns.");
+}

@@ -1,0 +1,97 @@
+//! Emits the reproduction's key metrics as JSON on stdout — the
+//! machine-readable companion to EXPERIMENTS.md (captured into
+//! `results/summary.json`).
+
+use bpfree_bench::load_suite;
+use bpfree_core::{
+    evaluate, loop_rand_predictions, perfect_predictions, random_predictions,
+    taken_predictions, CombinedPredictor, HeuristicKind, Report, DEFAULT_SEED,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BenchmarkSummary {
+    name: String,
+    lang: String,
+    spec: bool,
+    static_instructions: u64,
+    dynamic_instructions: u64,
+    dynamic_branches: u64,
+    nonloop_fraction: f64,
+    heuristic: Report,
+    perfect: Report,
+    taken: Report,
+    random: Report,
+    loop_rand: Report,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    paper: &'static str,
+    benchmarks: Vec<BenchmarkSummary>,
+    mean_heuristic_all_miss: f64,
+    mean_perfect_all_miss: f64,
+    mean_random_nonloop_miss: f64,
+}
+
+fn main() {
+    let mut benchmarks = Vec::new();
+    for d in load_suite() {
+        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
+        let heuristic = evaluate(&cp.predictions(), &d.profile, &d.classifier);
+        let perfect = evaluate(
+            &perfect_predictions(&d.program, &d.profile),
+            &d.profile,
+            &d.classifier,
+        );
+        let taken = evaluate(&taken_predictions(&d.program), &d.profile, &d.classifier);
+        let random = evaluate(
+            &random_predictions(&d.program, DEFAULT_SEED),
+            &d.profile,
+            &d.classifier,
+        );
+        let loop_rand = evaluate(
+            &loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED),
+            &d.profile,
+            &d.classifier,
+        );
+        benchmarks.push(BenchmarkSummary {
+            name: d.bench.name.to_string(),
+            lang: d.bench.lang.to_string(),
+            spec: d.bench.spec,
+            static_instructions: d.program.static_size(),
+            dynamic_instructions: d.run.instructions,
+            dynamic_branches: d.profile.total_branches(),
+            nonloop_fraction: heuristic.nonloop_fraction(),
+            heuristic,
+            perfect,
+            taken,
+            random,
+            loop_rand,
+        });
+    }
+    let n = benchmarks.len() as f64;
+    let summary = Summary {
+        paper: "Ball & Larus, Branch Prediction for Free, PLDI 1993",
+        mean_heuristic_all_miss: benchmarks
+            .iter()
+            .map(|b| b.heuristic.all.miss_rate())
+            .sum::<f64>()
+            / n,
+        mean_perfect_all_miss: benchmarks
+            .iter()
+            .map(|b| b.perfect.all.miss_rate())
+            .sum::<f64>()
+            / n,
+        mean_random_nonloop_miss: benchmarks
+            .iter()
+            .map(|b| b.random.nonloop.miss_rate())
+            .sum::<f64>()
+            / n,
+        benchmarks,
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serialises")
+    );
+}

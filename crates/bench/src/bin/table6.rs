@@ -1,0 +1,68 @@
+//! Regenerates **Table 6**: the final results.
+//!
+//! Per benchmark: coverage and miss rates of the heuristics (excluding
+//! Default) on non-loop branches, `+Default` adding random predictions
+//! for uncovered branches, `All` adding loop branches under the loop
+//! predictor, and `Loop+Rand` (loop prediction + random non-loop) for
+//! comparison.
+
+use bpfree_bench::{load_suite, pct};
+use bpfree_core::{
+    evaluate, evaluate_with_attribution, loop_rand_predictions, CombinedPredictor,
+    HeuristicKind, DEFAULT_SEED,
+};
+
+fn main() {
+    println!(
+        "{:<11} {:>16} {:>9} {:>9} {:>10}",
+        "Program", "Heuristics", "+Default", "All", "Loop+Rand"
+    );
+    println!("{:-<60}", "");
+
+    for d in load_suite() {
+        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
+        let att = evaluate_with_attribution(&cp, &d.profile, &d.classifier);
+
+        // Heuristics-only stats: aggregate the non-Default sources.
+        let mut covered = 0u64;
+        let mut misses = 0u64;
+        let mut perfect = 0u64;
+        let mut total_nl = 0u64;
+        for (name, s) in &att.by_source {
+            total_nl = total_nl.max(s.total_nonloop);
+            if name != "Default" {
+                covered += s.covered;
+                misses += s.misses;
+                perfect += s.perfect_misses;
+            }
+        }
+        let cov_frac = if total_nl == 0 { 0.0 } else { covered as f64 / total_nl as f64 };
+        let h_miss = if covered == 0 { 0.0 } else { misses as f64 / covered as f64 };
+        let h_perf = if covered == 0 { 0.0 } else { perfect as f64 / covered as f64 };
+
+        let lr = loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED);
+        let r_lr = evaluate(&lr, &d.profile, &d.classifier);
+
+        println!(
+            "{:<11} {:>4} {:>11} {:>9} {:>9} {:>10}",
+            d.bench.name,
+            pct(cov_frac),
+            format!("{}/{}", pct(h_miss), pct(h_perf)),
+            format!(
+                "{}/{}",
+                pct(att.report.nonloop.miss_rate()),
+                pct(att.report.nonloop.perfect_rate())
+            ),
+            format!(
+                "{}/{}",
+                pct(att.report.all.miss_rate()),
+                pct(att.report.all.perfect_rate())
+            ),
+            format!("{}/{}", pct(r_lr.all.miss_rate()), pct(r_lr.all.perfect_rate())),
+        );
+    }
+    println!();
+    println!("Paper (Table 6): heuristics cover most non-loop branches; the combined");
+    println!("predictor averages ~26% misses on non-loop branches and ~20% on all");
+    println!("branches, vs ~10% for the perfect static predictor.");
+}

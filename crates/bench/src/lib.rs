@@ -1,0 +1,119 @@
+//! Shared harness for the experiment-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library loads the whole suite once (compile + analyze +
+//! profile) and provides small formatting helpers so the binaries print
+//! rows shaped like the paper's.
+
+use bpfree_core::{BranchClassifier, HeuristicTable};
+use bpfree_ir::Program;
+use bpfree_sim::{EdgeProfile, RunResult};
+use bpfree_suite::{Benchmark, Dataset};
+
+/// Everything the experiments need about one benchmark, precomputed on
+/// the reference dataset (index 0).
+pub struct BenchData {
+    pub bench: Benchmark,
+    pub program: Program,
+    pub classifier: BranchClassifier,
+    pub table: HeuristicTable,
+    pub profile: EdgeProfile,
+    pub run: RunResult,
+}
+
+impl BenchData {
+    /// Loads one benchmark: compile, analyze, build the heuristic table,
+    /// and profile the reference dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark fails to compile or run — suite bugs are
+    /// fatal for experiments.
+    pub fn load(bench: Benchmark) -> BenchData {
+        let program = bench
+            .compile()
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let classifier = BranchClassifier::analyze(&program);
+        let table = HeuristicTable::build(&program, &classifier);
+        let (profile, run) = bench
+            .profile(&program, 0)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        BenchData { bench, program, classifier, table, profile, run }
+    }
+
+    /// Profiles an alternate dataset of this benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid index or a runtime failure.
+    pub fn profile_dataset(&self, index: usize) -> (EdgeProfile, RunResult) {
+        self.bench
+            .profile(&self.program, index)
+            .unwrap_or_else(|e| panic!("{} dataset {index}: {e}", self.bench.name))
+    }
+
+    /// The benchmark's datasets.
+    pub fn datasets(&self) -> Vec<Dataset> {
+        self.bench.datasets()
+    }
+}
+
+/// Loads the whole suite (23 benchmarks) on the reference datasets.
+pub fn load_suite() -> Vec<BenchData> {
+    bpfree_suite::all().into_iter().map(BenchData::load).collect()
+}
+
+/// Loads a named subset of the suite, preserving the given order.
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name.
+pub fn load_named(names: &[&str]) -> Vec<BenchData> {
+    names
+        .iter()
+        .map(|n| {
+            BenchData::load(
+                bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")),
+            )
+        })
+        .collect()
+}
+
+/// Formats a fraction as a whole percentage, paper style.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}", 100.0 * x)
+}
+
+/// Formats the paper's `C/D` pair from two rates.
+pub fn c_over_d(c: f64, d: f64) -> String {
+    format!("{}/{}", pct(c), pct(d))
+}
+
+/// Mean and (population) standard deviation of a slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_cd_format_like_the_paper() {
+        assert_eq!(pct(0.26), "26");
+        assert_eq!(c_over_d(0.26, 0.10), "26/10");
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,343 @@
+use bpfree_ir::BlockId;
+
+use crate::dfs::DfsOrder;
+use crate::graph::Cfg;
+
+/// Shared iterative dominator core (Cooper–Harvey–Kennedy).
+///
+/// `rpo` is a reverse postorder of the graph rooted at `rpo[0]`;
+/// `preds(b)` yields predecessor indices. Returns `idom[b]` for every node
+/// in `rpo` (`idom[root] == root`), `None` for nodes not in `rpo`.
+fn idoms_core(
+    n: usize,
+    rpo: &[usize],
+    preds: impl Fn(usize) -> Vec<usize>,
+) -> Vec<Option<usize>> {
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    if rpo.is_empty() {
+        return idom;
+    }
+    let root = rpo[0];
+    idom[root] = Some(root);
+
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a].expect("processed node has idom");
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo[1..] {
+            let mut new_idom: Option<usize> = None;
+            for p in preds(b) {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Walks the idom chain from `b` looking for `a`. `idom[root] == root`.
+fn chain_contains(idom: &[Option<usize>], a: usize, b: usize) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur] {
+            Some(next) if next != cur => cur = next,
+            _ => return false,
+        }
+    }
+}
+
+/// The dominator tree of a [`Cfg`].
+///
+/// Vertex `v` *dominates* `w` if every path from the entry to `w` passes
+/// through `v`. Only reachable blocks participate; queries involving
+/// unreachable blocks return `false`/`None`.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_ir::{FunctionBuilder, Terminator};
+/// use bpfree_cfg::{Cfg, DfsOrder, Dominators};
+/// let mut b = FunctionBuilder::new("f");
+/// let e = b.entry();
+/// let x = b.new_block();
+/// b.set_term(e, Terminator::Jump(x));
+/// b.set_term(x, Terminator::Ret { val: None, fval: None });
+/// let cfg = Cfg::new(&b.finish().unwrap());
+/// let dfs = DfsOrder::compute(&cfg);
+/// let doms = Dominators::compute(&cfg, &dfs);
+/// assert!(doms.dominates(e, x));
+/// assert!(!doms.dominates(x, e));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<usize>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes immediate dominators with the iterative RPO algorithm.
+    pub fn compute(cfg: &Cfg, dfs: &DfsOrder) -> Dominators {
+        let rpo: Vec<usize> = dfs.reverse_postorder().iter().map(|b| b.index()).collect();
+        let idom = idoms_core(cfg.n_blocks(), &rpo, |b| {
+            cfg.predecessors(BlockId(b as u32)).iter().map(|p| p.index()).collect()
+        });
+        Dominators { idom, entry: cfg.entry() }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom[b.index()].map(|i| BlockId(i as u32))
+    }
+
+    /// Does `a` dominate `b`? Reflexive: `dominates(x, x)` is `true` for
+    /// reachable `x`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            // Unreachable blocks dominate nothing and are dominated by
+            // nothing (entry has idom == itself in the core table).
+            return false;
+        }
+        chain_contains(&self.idom, a.index(), b.index())
+    }
+
+    /// Does `a` strictly dominate `b`?
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+/// The postdominator relation of a [`Cfg`].
+///
+/// Vertex `w` *postdominates* `v` if every path from `v` to any exit passes
+/// through `w`. Computed on the reversed CFG with a virtual exit node
+/// joining all return blocks. Blocks that cannot reach an exit (infinite
+/// loops) postdominate nothing and are postdominated by nothing.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    /// Indexed over `n_blocks + 1`; the last slot is the virtual exit.
+    ipdom: Vec<Option<usize>>,
+    n: usize,
+}
+
+impl PostDominators {
+    /// Computes immediate postdominators.
+    pub fn compute(cfg: &Cfg) -> PostDominators {
+        let n = cfg.n_blocks();
+        let virt = n; // virtual exit node index
+        // Reversed graph: edge v -> u for every CFG edge u -> v, plus
+        // virt -> e for every exit e. DFS from virt.
+        let succs_rev = |b: usize| -> Vec<usize> {
+            if b == virt {
+                cfg.exits().iter().map(|e| e.index()).collect()
+            } else {
+                cfg.predecessors(BlockId(b as u32)).iter().map(|p| p.index()).collect()
+            }
+        };
+        let preds_rev = |b: usize| -> Vec<usize> {
+            if b == virt {
+                return Vec::new();
+            }
+            let block = BlockId(b as u32);
+            let mut out: Vec<usize> =
+                cfg.successors(block).iter().map(|s| s.index()).collect();
+            if cfg.exits().contains(&block) {
+                out.push(virt);
+            }
+            out
+        };
+        // Iterative postorder DFS on the reversed graph.
+        let mut visited = vec![false; n + 1];
+        let mut postorder = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        visited[virt] = true;
+        stack.push((virt, succs_rev(virt), 0));
+        while let Some((b, succs, next)) = stack.last_mut() {
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    let sc = succs_rev(s);
+                    stack.push((s, sc, 0));
+                }
+            } else {
+                postorder.push(*b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = postorder.into_iter().rev().collect();
+        let ipdom = idoms_core(n + 1, &rpo, preds_rev);
+        PostDominators { ipdom, n }
+    }
+
+    /// The immediate postdominator of `b`. `None` when `b` cannot reach an
+    /// exit or when its only postdominator is the (virtual) program exit.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        match self.ipdom[b.index()] {
+            Some(i) if i < self.n => Some(BlockId(i as u32)),
+            _ => None,
+        }
+    }
+
+    /// Does `w` postdominate `v`? Reflexive for blocks that reach an exit.
+    pub fn postdominates(&self, w: BlockId, v: BlockId) -> bool {
+        if self.ipdom[v.index()].is_none() || self.ipdom[w.index()].is_none() {
+            return false;
+        }
+        chain_contains(&self.ipdom, w.index(), v.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfree_ir::{Cond, FunctionBuilder, Terminator};
+
+    fn ret() -> Terminator {
+        Terminator::Ret { val: None, fval: None }
+    }
+
+    /// entry -> (l | r) -> join -> ret
+    fn diamond() -> (Cfg, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry();
+        let l = b.new_block();
+        let r = b.new_block();
+        let j = b.new_block();
+        let c = b.new_reg();
+        b.set_term(e, Terminator::Branch { cond: Cond::Nez(c), taken: l, fallthru: r });
+        b.set_term(l, Terminator::Jump(j));
+        b.set_term(r, Terminator::Jump(j));
+        b.set_term(j, ret());
+        (Cfg::new(&b.finish().unwrap()), e, l, r, j)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (cfg, e, l, r, j) = diamond();
+        let dfs = DfsOrder::compute(&cfg);
+        let doms = Dominators::compute(&cfg, &dfs);
+        assert!(doms.dominates(e, j));
+        assert!(!doms.dominates(l, j));
+        assert!(!doms.dominates(r, j));
+        assert_eq!(doms.idom(j), Some(e));
+        assert_eq!(doms.idom(l), Some(e));
+        assert_eq!(doms.idom(e), None);
+        assert!(doms.dominates(l, l));
+        assert!(!doms.strictly_dominates(l, l));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let (cfg, e, l, r, j) = diamond();
+        let pdoms = PostDominators::compute(&cfg);
+        assert!(pdoms.postdominates(j, e));
+        assert!(pdoms.postdominates(j, l));
+        assert!(!pdoms.postdominates(l, e));
+        assert!(!pdoms.postdominates(r, e));
+        assert_eq!(pdoms.ipdom(e), Some(j));
+        assert_eq!(pdoms.ipdom(j), None);
+    }
+
+    #[test]
+    fn early_return_breaks_postdomination() {
+        // entry --cond--> ret_early ; fallthru -> tail -> ret
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry();
+        let early = b.new_block();
+        let tail = b.new_block();
+        let c = b.new_reg();
+        b.set_term(e, Terminator::Branch { cond: Cond::Ltz(c), taken: early, fallthru: tail });
+        b.set_term(early, ret());
+        b.set_term(tail, ret());
+        let cfg = Cfg::new(&b.finish().unwrap());
+        let pdoms = PostDominators::compute(&cfg);
+        assert!(!pdoms.postdominates(tail, e));
+        assert!(!pdoms.postdominates(early, e));
+        assert_eq!(pdoms.ipdom(e), None); // only the virtual exit
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> head <-> body ; head -> exit
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_reg();
+        b.set_term(e, Terminator::Jump(head));
+        b.set_term(head, Terminator::Branch { cond: Cond::Gtz(c), taken: body, fallthru: exit });
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(exit, ret());
+        let cfg = Cfg::new(&b.finish().unwrap());
+        let dfs = DfsOrder::compute(&cfg);
+        let doms = Dominators::compute(&cfg, &dfs);
+        let pdoms = PostDominators::compute(&cfg);
+        assert!(doms.dominates(head, body));
+        assert!(doms.dominates(head, exit));
+        assert!(!doms.dominates(body, exit));
+        assert!(pdoms.postdominates(head, body));
+        assert!(pdoms.postdominates(exit, head));
+        assert!(!pdoms.postdominates(body, head));
+    }
+
+    #[test]
+    fn infinite_loop_postdominates_nothing() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry();
+        let spin = b.new_block();
+        b.set_term(e, Terminator::Jump(spin));
+        b.set_term(spin, Terminator::Jump(spin));
+        let cfg = Cfg::new(&b.finish().unwrap());
+        let pdoms = PostDominators::compute(&cfg);
+        assert!(!pdoms.postdominates(spin, e));
+        assert!(!pdoms.postdominates(e, spin));
+    }
+
+    #[test]
+    fn unreachable_blocks_not_dominated() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry();
+        let dead = b.new_block();
+        b.set_term(e, ret());
+        b.set_term(dead, ret());
+        let cfg = Cfg::new(&b.finish().unwrap());
+        let dfs = DfsOrder::compute(&cfg);
+        let doms = Dominators::compute(&cfg, &dfs);
+        assert!(!doms.dominates(e, dead));
+        assert!(!doms.dominates(dead, e));
+    }
+}

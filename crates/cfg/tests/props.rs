@@ -1,0 +1,195 @@
+//! Property tests for the control-flow analyses on randomly generated
+//! CFGs.
+
+use bpfree_cfg::{Cfg, DfsOrder, Dominators, Loops, PostDominators};
+use bpfree_ir::{BlockId, Cond, FunctionBuilder, Terminator};
+use proptest::prelude::*;
+
+/// Builds a function with `n` blocks and pseudo-random terminators
+/// derived from `edges`: each block gets a jump, branch, or return
+/// chosen by the seed data.
+fn random_function(n: usize, seed: &[u8]) -> bpfree_ir::Function {
+    let mut b = FunctionBuilder::new("rand");
+    let r = b.new_reg();
+    let blocks: Vec<BlockId> = (0..n)
+        .map(|i| if i == 0 { b.entry() } else { b.new_block() })
+        .collect();
+    for (i, &blk) in blocks.iter().enumerate() {
+        let s0 = seed[(i * 3) % seed.len()] as usize;
+        let s1 = seed[(i * 3 + 1) % seed.len()] as usize;
+        let s2 = seed[(i * 3 + 2) % seed.len()] as usize;
+        match s0 % 4 {
+            0 => b.set_term(blk, Terminator::Ret { val: None, fval: None }),
+            1 => b.set_term(blk, Terminator::Jump(blocks[s1 % n])),
+            _ => {
+                let taken = blocks[s1 % n];
+                let mut fall = blocks[s2 % n];
+                if taken == fall {
+                    fall = blocks[(s2 + 1) % n];
+                }
+                if taken == fall {
+                    b.set_term(blk, Terminator::Jump(taken));
+                } else {
+                    b.set_term(blk, Terminator::Branch { cond: Cond::Gtz(r), taken, fallthru: fall });
+                }
+            }
+        }
+    }
+    b.finish().expect("all blocks terminated")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominator_invariants(n in 1usize..24, seed in proptest::collection::vec(any::<u8>(), 8..64)) {
+        let f = random_function(n, &seed);
+        let cfg = Cfg::new(&f);
+        let dfs = DfsOrder::compute(&cfg);
+        let doms = Dominators::compute(&cfg, &dfs);
+        let entry = cfg.entry();
+
+        for b in cfg.block_ids() {
+            if dfs.is_reachable(b) {
+                // The entry dominates every reachable block.
+                prop_assert!(doms.dominates(entry, b));
+                // Domination is reflexive on reachable blocks.
+                prop_assert!(doms.dominates(b, b));
+                // The immediate dominator, when present, strictly dominates.
+                if let Some(idom) = doms.idom(b) {
+                    prop_assert!(doms.strictly_dominates(idom, b));
+                    // And every strict dominator of b dominates idom too
+                    // (idom is the *closest*).
+                    for d in cfg.block_ids() {
+                        if d != b && d != idom && doms.strictly_dominates(d, b) {
+                            prop_assert!(doms.dominates(d, idom), "{d} vs idom {idom} of {b}");
+                        }
+                    }
+                }
+            } else {
+                prop_assert!(!doms.dominates(entry, b));
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_match_brute_force(n in 1usize..12, seed in proptest::collection::vec(any::<u8>(), 8..64)) {
+        let f = random_function(n, &seed);
+        let cfg = Cfg::new(&f);
+        let dfs = DfsOrder::compute(&cfg);
+        let doms = Dominators::compute(&cfg, &dfs);
+        // Brute force: v dominates w iff removing v makes w unreachable.
+        for v in cfg.block_ids() {
+            for w in cfg.block_ids() {
+                let expected = if !dfs.is_reachable(w) || !dfs.is_reachable(v) {
+                    false
+                } else if v == w {
+                    true
+                } else {
+                    !reachable_avoiding(&cfg, cfg.entry(), w, v)
+                };
+                prop_assert_eq!(
+                    doms.dominates(v, w),
+                    expected,
+                    "dominates({}, {})", v, w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postdominator_invariants(n in 1usize..20, seed in proptest::collection::vec(any::<u8>(), 8..64)) {
+        let f = random_function(n, &seed);
+        let cfg = Cfg::new(&f);
+        let pdoms = PostDominators::compute(&cfg);
+        // Exit blocks postdominate themselves; blocks that reach no exit
+        // postdominate nothing.
+        for &e in cfg.exits() {
+            prop_assert!(pdoms.postdominates(e, e));
+        }
+        // Brute force on small graphs: w postdominates v iff every path
+        // from v to any exit passes through w.
+        for v in cfg.block_ids() {
+            for w in cfg.block_ids() {
+                if v == w {
+                    continue;
+                }
+                let v_reaches_exit = cfg.exits().iter().any(|&e| reachable(&cfg, v, e));
+                let expected = if !v_reaches_exit {
+                    false
+                } else {
+                    !cfg.exits().iter().any(|&e| reachable_avoiding(&cfg, v, e, w))
+                };
+                prop_assert_eq!(
+                    pdoms.postdominates(w, v),
+                    expected,
+                    "postdominates({}, {})", w, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn natural_loop_invariants(n in 1usize..20, seed in proptest::collection::vec(any::<u8>(), 8..64)) {
+        let f = random_function(n, &seed);
+        let cfg = Cfg::new(&f);
+        let dfs = DfsOrder::compute(&cfg);
+        let doms = Dominators::compute(&cfg, &dfs);
+        let loops = Loops::compute(&cfg, &doms);
+
+        for nl in loops.iter() {
+            // The head is in its own loop.
+            prop_assert!(nl.contains(nl.head));
+            // The head dominates every loop member.
+            for &m in &nl.body {
+                prop_assert!(doms.dominates(nl.head, m), "head {} member {}", nl.head, m);
+            }
+        }
+        // Every backedge target is a head; exit edges leave some loop.
+        for (src, dst, _) in cfg.edges() {
+            if loops.is_backedge(src, dst) {
+                prop_assert!(loops.is_head(dst));
+                prop_assert!(doms.dominates(dst, src));
+            }
+            if loops.is_exit_edge(src, dst) {
+                let leaves_some = loops
+                    .iter()
+                    .any(|nl| nl.contains(src) && !nl.contains(dst));
+                prop_assert!(leaves_some);
+            }
+        }
+        // Depth is bounded by the number of loops.
+        for b in cfg.block_ids() {
+            prop_assert!(loops.depth(b) as usize <= loops.n_loops());
+        }
+    }
+}
+
+/// Is `to` reachable from `from`?
+fn reachable(cfg: &Cfg, from: BlockId, to: BlockId) -> bool {
+    reachable_avoiding(cfg, from, to, BlockId(u32::MAX))
+}
+
+/// Is `to` reachable from `from` without passing through `avoid`
+/// (endpoints included: from == avoid or to == avoid fails unless equal
+/// to each other trivially)?
+fn reachable_avoiding(cfg: &Cfg, from: BlockId, to: BlockId, avoid: BlockId) -> bool {
+    if from == avoid {
+        return false;
+    }
+    let mut seen = vec![false; cfg.n_blocks()];
+    let mut stack = vec![from];
+    seen[from.index()] = true;
+    while let Some(b) = stack.pop() {
+        if b == to {
+            return true;
+        }
+        for &s in cfg.successors(b) {
+            if s != avoid && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,562 @@
+//! Program-based execution-frequency estimation.
+//!
+//! The paper's related work cites Wall's study of *estimated profiles*
+//! (predicting how often program components execute, rather than which
+//! way branches go) — Wall reported poor results for his estimator. The
+//! natural follow-on (later developed by Wu & Larus, MICRO 1994) is to
+//! turn the Ball–Larus predictions into branch *probabilities* and
+//! propagate them through the CFG to get relative block frequencies.
+//! This module implements that pipeline so the reproduction can answer
+//! how far the heuristics go as a profile estimator.
+//!
+//! Per function: every branch gets a taken-probability from its
+//! [`Attribution`] (loop branches iterate with high probability;
+//! heuristic-predicted branches follow the prediction with the combined
+//! heuristic's empirical hit rate; Default branches are 50/50). Block
+//! frequencies then solve the flow equations `freq(entry) = 1`,
+//! `freq(b) = Σ freq(p)·prob(p→b)` by damped iteration — convergent
+//! because every cycle's probability product is below one.
+
+use std::collections::HashMap;
+
+use bpfree_ir::{BlockId, BranchRef, FuncId, Program, Terminator};
+
+use crate::classify::BranchClassifier;
+use crate::predictors::{Attribution, CombinedPredictor, Direction};
+
+/// Taken-edge probabilities per branch site.
+#[derive(Debug, Clone, Default)]
+pub struct BranchProbabilities {
+    map: HashMap<BranchRef, f64>,
+}
+
+/// Confidence assigned to each prediction source when converting
+/// predictions to probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct Confidence {
+    /// Probability a loop branch follows the loop predictor's edge
+    /// (the paper's loop predictor missed ~12%).
+    pub loop_branch: f64,
+    /// Probability a heuristic-predicted branch follows the prediction
+    /// (the paper's combined heuristic missed ~26% of non-loop branches).
+    pub heuristic: f64,
+    /// Probability for Default-predicted branches.
+    pub default: f64,
+}
+
+impl Default for Confidence {
+    fn default() -> Confidence {
+        Confidence { loop_branch: 0.88, heuristic: 0.74, default: 0.5 }
+    }
+}
+
+impl Confidence {
+    /// Calibrates confidences empirically from profiled runs: the
+    /// observed hit rate of the loop predictor on loop branches and of
+    /// the heuristics on the branches they predicted. Pass the
+    /// `(predictor, profile, classifier)` triples of a training suite.
+    ///
+    /// This is how Wu & Larus later derived their branch probabilities:
+    /// measure each heuristic's accuracy once, on any corpus, and reuse
+    /// the numbers forever after.
+    pub fn calibrate<'a>(
+        runs: impl IntoIterator<
+            Item = (&'a CombinedPredictor, &'a bpfree_sim::EdgeProfile, &'a BranchClassifier),
+        >,
+    ) -> Confidence {
+        let mut loop_hits = 0u64;
+        let mut loop_total = 0u64;
+        let mut heur_hits = 0u64;
+        let mut heur_total = 0u64;
+        for (predictor, profile, _classifier) in runs {
+            let predictions = predictor.predictions();
+            for (branch, counts) in profile.iter() {
+                let Some(dir) = predictions.get(branch) else { continue };
+                let hits = match dir {
+                    Direction::Taken => counts.taken,
+                    Direction::FallThru => counts.fallthru,
+                };
+                match predictor.attribution(branch) {
+                    Attribution::LoopBranch => {
+                        loop_hits += hits;
+                        loop_total += counts.total();
+                    }
+                    Attribution::Heuristic(_) => {
+                        heur_hits += hits;
+                        heur_total += counts.total();
+                    }
+                    Attribution::Default => {}
+                }
+            }
+        }
+        let ratio = |h: u64, t: u64, fallback: f64| {
+            if t == 0 {
+                fallback
+            } else {
+                // Clamp away from 0/1 so loop frequencies stay finite.
+                (h as f64 / t as f64).clamp(0.05, 0.98)
+            }
+        };
+        Confidence {
+            loop_branch: ratio(loop_hits, loop_total, 0.88),
+            heuristic: ratio(heur_hits, heur_total, 0.74),
+            default: 0.5,
+        }
+    }
+}
+
+impl BranchProbabilities {
+    /// Converts a combined predictor's choices into probabilities.
+    pub fn from_predictor(
+        program: &Program,
+        predictor: &CombinedPredictor,
+        confidence: Confidence,
+    ) -> BranchProbabilities {
+        let predictions = predictor.predictions();
+        let mut map = HashMap::new();
+        for b in program.branches() {
+            let conf = match predictor.attribution(b) {
+                Attribution::LoopBranch => confidence.loop_branch,
+                Attribution::Heuristic(_) => confidence.heuristic,
+                Attribution::Default => confidence.default,
+            };
+            let p_taken = match predictions.get(b) {
+                Some(Direction::Taken) => conf,
+                Some(Direction::FallThru) => 1.0 - conf,
+                None => 0.5,
+            };
+            map.insert(b, p_taken);
+        }
+        BranchProbabilities { map }
+    }
+
+    /// The probability that `branch` takes its taken edge (0.5 if
+    /// unknown).
+    pub fn taken(&self, branch: BranchRef) -> f64 {
+        self.map.get(&branch).copied().unwrap_or(0.5)
+    }
+
+    /// Overrides one branch's probability (for what-if analyses).
+    pub fn set(&mut self, branch: BranchRef, p_taken: f64) {
+        assert!((0.0..=1.0).contains(&p_taken), "probability {p_taken} out of range");
+        self.map.insert(branch, p_taken);
+    }
+}
+
+/// Estimated relative block frequencies for one function (entry = 1.0).
+#[derive(Debug, Clone)]
+pub struct BlockFrequencies {
+    freqs: Vec<f64>,
+}
+
+impl BlockFrequencies {
+    /// The estimated frequency of `b` relative to one function entry.
+    pub fn get(&self, b: BlockId) -> f64 {
+        self.freqs[b.index()]
+    }
+
+    /// All frequencies, indexed by block.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.freqs
+    }
+}
+
+/// Solves the flow equations for one function by damped Jacobi
+/// iteration. Backedge contributions are capped so pathological
+/// probability assignments still converge.
+pub fn estimate_block_frequencies(
+    program: &Program,
+    func: FuncId,
+    probs: &BranchProbabilities,
+) -> BlockFrequencies {
+    let f = program.func(func);
+    let n = f.blocks().len();
+    // Incoming edges: (pred, probability of the pred->b edge).
+    let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for bid in f.block_ids() {
+        match &f.block(bid).term {
+            Terminator::Jump(t) => incoming[t.index()].push((bid.index(), 1.0)),
+            Terminator::Branch { taken, fallthru, .. } => {
+                let p = probs.taken(BranchRef { func, block: bid });
+                incoming[taken.index()].push((bid.index(), p));
+                incoming[fallthru.index()].push((bid.index(), 1.0 - p));
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+    let mut freqs = vec![0.0f64; n];
+    freqs[0] = 1.0;
+    // Iterate; loops amplify frequencies geometrically and the products
+    // are < 1, so this converges. Each Jacobi round moves flow one edge,
+    // so deep loop nests need rounds proportional to the expected path
+    // length; 20k rounds with an early exit bounds the cost.
+    for _ in 0..20_000 {
+        let mut next = vec![0.0f64; n];
+        next[0] = 1.0;
+        for b in 0..n {
+            for &(p, prob) in &incoming[b] {
+                next[b] += freqs[p] * prob;
+            }
+        }
+        let delta: f64 =
+            next.iter().zip(&freqs).map(|(a, b)| (a - b).abs()).sum();
+        freqs = next;
+        if delta < 1e-9 {
+            break;
+        }
+    }
+    BlockFrequencies { freqs }
+}
+
+/// Structural frequency propagation (Wu & Larus, MICRO 1994): process
+/// natural loops innermost-first, compute each loop's *cyclic
+/// probability* (the probability of returning to the head per entry),
+/// and scale the head's incoming frequency by `1/(1 - cp)`. Exact for
+/// reducible CFGs in one pass, vs. the damped iteration of
+/// [`estimate_block_frequencies`]; the `freq_propagation` bench and the
+/// equivalence test keep the two honest against each other.
+pub fn estimate_block_frequencies_structural(
+    program: &Program,
+    func: FuncId,
+    probs: &BranchProbabilities,
+    classifier: &BranchClassifier,
+) -> BlockFrequencies {
+    let f = program.func(func);
+    let analysis = classifier.analysis(func);
+    let n = f.blocks().len();
+
+    // Out-edges with probabilities.
+    let mut out_edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for bid in f.block_ids() {
+        match &f.block(bid).term {
+            Terminator::Jump(t) => out_edges[bid.index()].push((t.index(), 1.0)),
+            Terminator::Branch { taken, fallthru, .. } => {
+                let p = probs.taken(BranchRef { func, block: bid });
+                out_edges[bid.index()].push((taken.index(), p));
+                out_edges[bid.index()].push((fallthru.index(), 1.0 - p));
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+
+    // Cyclic probability per loop head, innermost loops first (heads
+    // sorted by decreasing nesting depth). `cap` bounds runaway loops.
+    let mut heads: Vec<_> = analysis.loops.heads().collect();
+    heads.sort_by_key(|h| std::cmp::Reverse(analysis.loops.depth(*h)));
+    let mut cyclic: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+
+    for head in heads {
+        // Propagate a unit of flow from the head through the loop body
+        // (already-solved inner loops amplify by their own factor), and
+        // accumulate what returns along the backedges.
+        let body = &analysis.loops.natural_loop(head).expect("head has a loop").body;
+        let mut flow = vec![0.0f64; n];
+        flow[head.index()] = 1.0;
+        // Process body blocks in reverse postorder so each block's inflow
+        // is complete before it distributes (reducible loops only).
+        let order: Vec<usize> = analysis
+            .dfs
+            .reverse_postorder()
+            .iter()
+            .map(|b| b.index())
+            .filter(|b| body.contains(&bpfree_ir::BlockId(*b as u32)))
+            .collect();
+        let mut back_in = 0.0f64;
+        for &b in &order {
+            let mut amount = flow[b];
+            if b != head.index() {
+                if amount == 0.0 {
+                    continue;
+                }
+                // An inner loop head multiplies flow by its trip factor.
+                if let Some(&cp) = cyclic.get(&b) {
+                    amount /= (1.0 - cp).max(0.02);
+                    flow[b] = amount;
+                }
+            }
+            for &(dst, p) in &out_edges[b] {
+                let contribution = amount * p;
+                if dst == head.index() {
+                    back_in += contribution;
+                } else if body.contains(&bpfree_ir::BlockId(dst as u32)) {
+                    flow[dst] += contribution;
+                }
+            }
+        }
+        cyclic.insert(head.index(), back_in.min(0.98));
+    }
+
+    // Final acyclic pass over the whole function: RPO, amplifying at
+    // loop heads, ignoring backedges (their effect is in the factor).
+    let mut freqs = vec![0.0f64; n];
+    freqs[0] = 1.0;
+    for b in analysis.dfs.reverse_postorder() {
+        let bi = b.index();
+        let mut amount = freqs[bi];
+        if let Some(&cp) = cyclic.get(&bi) {
+            amount /= (1.0 - cp).max(0.02);
+            freqs[bi] = amount;
+        }
+        if amount == 0.0 {
+            continue;
+        }
+        for &(dst, p) in &out_edges[bi] {
+            // Skip backedges: already folded into the cyclic factor.
+            if analysis.loops.is_backedge(*b, bpfree_ir::BlockId(dst as u32)) {
+                continue;
+            }
+            freqs[dst] += amount * p;
+        }
+    }
+    BlockFrequencies { freqs }
+}
+
+/// Spearman rank correlation between two paired samples — the metric for
+/// "does the estimator order hot blocks like the real profile does".
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_core::freq::spearman;
+/// let r = spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired samples must match");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    // Pearson correlation of the ranks (handles ties via average ranks).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ma, mb) = (mean(&ra), mean(&rb));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = ra[i] - ma;
+        let db = rb[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite values"));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Convenience: estimated frequencies for every branch block of a
+/// program, flattened for comparison against a profile.
+pub fn estimate_branch_block_frequencies(
+    program: &Program,
+    classifier: &BranchClassifier,
+    predictor: &CombinedPredictor,
+    confidence: Confidence,
+) -> HashMap<BranchRef, f64> {
+    let _ = classifier;
+    let probs = BranchProbabilities::from_predictor(program, predictor, confidence);
+    let mut out = HashMap::new();
+    for fid in program.func_ids() {
+        let freqs = estimate_block_frequencies(program, fid, &probs);
+        for bid in program.func(fid).block_ids() {
+            if program.func(fid).block(bid).term.is_branch() {
+                out.insert(BranchRef { func: fid, block: bid }, freqs.get(bid));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::BranchClassifier;
+    use crate::heuristics::HeuristicKind;
+
+    fn setup(src: &str) -> (bpfree_ir::Program, BranchClassifier, CombinedPredictor) {
+        let p = bpfree_lang::compile(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let c = BranchClassifier::analyze(&p);
+        let cp = CombinedPredictor::new(&p, &c, HeuristicKind::paper_order());
+        (p, c, cp)
+    }
+
+    #[test]
+    fn straight_line_blocks_have_unit_frequency() {
+        let (p, _, cp) = setup("fn main() -> int { int x; x = 3; return x; }");
+        let probs = BranchProbabilities::from_predictor(&p, &cp, Confidence::default());
+        let f = estimate_block_frequencies(&p, p.entry(), &probs);
+        assert!((f.get(BlockId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_splits_frequency() {
+        let (p, _, cp) = setup(
+            "fn main() -> int {
+                int x; int y;
+                x = 5;
+                if (x == 3) { y = 1; } else { y = 2; }
+                return y;
+            }",
+        );
+        let probs = BranchProbabilities::from_predictor(&p, &cp, Confidence::default());
+        let f = estimate_block_frequencies(&p, p.entry(), &probs);
+        let func = p.func(p.entry());
+        // The two arms' frequencies sum to the entry frequency, and the
+        // join is back to ~1.
+        let branch = func
+            .block_ids()
+            .find(|b| func.block(*b).term.is_branch())
+            .expect("has a branch");
+        if let Terminator::Branch { taken, fallthru, .. } = func.block(branch).term {
+            let sum = f.get(taken) + f.get(fallthru);
+            assert!((sum - f.get(branch)).abs() < 1e-6, "sum {sum}");
+        }
+    }
+
+    #[test]
+    fn loop_bodies_amplify_frequency() {
+        let (p, _, cp) = setup(
+            "fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 100; i = i + 1) { s = s + i; }
+                return s;
+            }",
+        );
+        let probs = BranchProbabilities::from_predictor(&p, &cp, Confidence::default());
+        let f = estimate_block_frequencies(&p, p.entry(), &probs);
+        let func = p.func(p.entry());
+        // Some block (the loop body) should have frequency well above 1:
+        // with p_back = 0.88 the geometric sum is ~1/(1-0.88) ≈ 8.3.
+        let max = func
+            .block_ids()
+            .map(|b| f.get(b))
+            .fold(0.0f64, f64::max);
+        assert!(max > 4.0, "max frequency {max}");
+        assert!(max < 20.0, "diverged: {max}");
+    }
+
+    #[test]
+    fn estimates_rank_hot_blocks_like_the_profile() {
+        use bpfree_sim::{EdgeProfiler, Simulator};
+        let src = "global int acc;
+        fn main() -> int {
+            int i; int j;
+            for (i = 0; i < 40; i = i + 1) {
+                for (j = 0; j < 40; j = j + 1) {
+                    if ((i + j) % 7 == 0) { acc = acc + 1; }
+                }
+            }
+            return acc;
+        }";
+        let (p, c, cp) = setup(src);
+        let mut prof = EdgeProfiler::new();
+        Simulator::new(&p).run(&mut prof).unwrap();
+        let profile = prof.into_profile();
+
+        let est = estimate_branch_block_frequencies(&p, &c, &cp, Confidence::default());
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for (b, counts) in profile.iter() {
+            pairs.push((est[&b], counts.total() as f64));
+        }
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let rho = spearman(&a, &b);
+        assert!(rho > 0.7, "rank correlation {rho}");
+    }
+
+    #[test]
+    fn structural_matches_iterative_on_the_suite_shapes() {
+        // Nested loops, branches in bodies, early exits: the two solvers
+        // must agree closely on every block.
+        let src = "global int acc;
+        fn main() -> int {
+            int i; int j; int k;
+            for (i = 0; i < 20; i = i + 1) {
+                if (i % 4 == 0) { acc = acc + 1; }
+                for (j = 0; j < 10; j = j + 1) {
+                    if (j > 7) { acc = acc + 2; }
+                    k = 0;
+                    do { k = k + 1; } while (k < 3);
+                }
+            }
+            return acc;
+        }";
+        let (p, c, cp) = setup(src);
+        let probs = BranchProbabilities::from_predictor(&p, &cp, Confidence::default());
+        let fid = p.entry();
+        let iterative = estimate_block_frequencies(&p, fid, &probs);
+        let structural = estimate_block_frequencies_structural(&p, fid, &probs, &c);
+        for b in p.func(fid).block_ids() {
+            let (a, s) = (iterative.get(b), structural.get(b));
+            let scale = a.abs().max(s.abs()).max(1.0);
+            assert!(
+                (a - s).abs() / scale < 0.02,
+                "block {b}: iterative {a} vs structural {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_learns_hit_rates() {
+        use bpfree_sim::{EdgeProfiler, Simulator};
+        let src = "global int acc;
+        fn main() -> int {
+            int i;
+            for (i = 0; i < 200; i = i + 1) {
+                if (i % 10 == 0) { acc = acc + 1; }
+            }
+            return acc;
+        }";
+        let (p, c, cp) = setup(src);
+        let mut prof = EdgeProfiler::new();
+        Simulator::new(&p).run(&mut prof).unwrap();
+        let profile = prof.into_profile();
+        let conf = Confidence::calibrate([(&cp, &profile, &c)]);
+        // The latch iterates 199/200: loop confidence learned high.
+        assert!(conf.loop_branch > 0.9, "loop {}", conf.loop_branch);
+        assert!((0.05..=0.98).contains(&conf.heuristic));
+        assert_eq!(conf.default, 0.5);
+    }
+
+    #[test]
+    fn spearman_basics() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_probability_panics() {
+        let mut p = BranchProbabilities::default();
+        p.set(
+            BranchRef { func: bpfree_ir::FuncId(0), block: BlockId(0) },
+            1.5,
+        );
+    }
+}

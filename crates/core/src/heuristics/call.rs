@@ -1,0 +1,120 @@
+//! **Call heuristic.** From the paper: *"The successor block contains a
+//! call or unconditionally passes control to a block with a call that it
+//! dominates, and the successor block does not postdominate the branch.
+//! If the heuristic applies, predict the successor without the
+//! property."* Many conditional calls handle exceptional situations
+//! (error printing being the canonical example), so the call is avoided.
+
+use bpfree_ir::BlockId;
+
+use super::{contains_call, jump_target, BranchContext};
+use crate::predictors::Direction;
+
+pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
+    ctx.select(|s| !ctx.postdominates_branch(s) && leads_to_call(ctx, s), false)
+}
+
+fn leads_to_call(ctx: &BranchContext<'_>, s: BlockId) -> bool {
+    if contains_call(ctx.func, s) {
+        return true;
+    }
+    match jump_target(ctx.func, s) {
+        Some(t) => contains_call(ctx.func, t) && ctx.analysis.doms.dominates(s, t),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::heuristics::testutil::predictions_for;
+    use crate::heuristics::HeuristicKind;
+    use crate::predictors::Direction;
+
+    const K: HeuristicKind = HeuristicKind::Call;
+
+    #[test]
+    fn conditional_call_is_avoided() {
+        let preds = predictions_for(
+            "fn report(int code) -> int {
+                int i; int s;
+                for (i = 0; i < code; i = i + 1) { s = s + i * code - (s >> 3); }
+                while (s > 100) { s = s - 7; }
+                return s;
+            }
+            fn main() -> int {
+                int x; int e;
+                x = 3;
+                if (x == 99) { e = report(x); }
+                return e;
+            }",
+            K,
+        );
+        // The then block contains the call; it sits on the fall-through
+        // side (branch-over). Predict the successor WITHOUT the call: the
+        // taken side. (report's own loop guards are not covered.)
+        assert!(preds.contains(&Some(Direction::Taken)), "{preds:?}");
+    }
+
+    #[test]
+    fn call_on_both_sides_not_covered() {
+        let preds = predictions_for(
+            "fn f(int x) -> int { return x; }
+            fn main() -> int {
+                int x; int r;
+                if (x == 0) { r = f(1); } else { r = f(2); }
+                return r;
+            }",
+            K,
+        );
+        assert_eq!(preds, vec![None]);
+    }
+
+    #[test]
+    fn successor_that_postdominates_is_ignored() {
+        // The join block contains a call that always executes. Its
+        // postdomination of the branch disqualifies the property, and the
+        // then block has no call, so neither side qualifies: not covered.
+        let preds = predictions_for(
+            "fn f(int x) -> int { return x; }
+            fn main() -> int {
+                int x; int r;
+                if (x > 0) { r = 1; }
+                r = f(r);
+                return r;
+            }",
+            K,
+        );
+        assert_eq!(preds, vec![None]);
+    }
+
+    #[test]
+    fn call_behind_unconditional_jump_detected() {
+        // The then-arm's last block jumps to a block it dominates that
+        // calls. Construct: if (c) { if-less body ending in jump to a
+        // call block } -- simplest: then block itself empty, jumping to
+        // the call. An if with else: then arm calls after a nested block.
+        let preds = predictions_for(
+            "fn log_it(int x) -> int {
+                int i; int s;
+                for (i = 0; i < x; i = i + 1) { s = s + i * i - (s >> 2); }
+                while (s > 50) { s = s - 9; }
+                return s;
+            }
+            fn main() -> int {
+                int x; int r;
+                x = 5;
+                if (x == 123) {
+                    { r = log_it(x); }
+                } else {
+                    r = 2;
+                }
+                return r;
+            }",
+            K,
+        );
+        // The then arm contains the call directly (nested block flattens),
+        // the else arm does not: predict the else side (taken under
+        // branch-over polarity).
+        assert!(preds.contains(&Some(Direction::Taken)), "{preds:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! **Loop heuristic** (for non-loop branches). From the paper: *"The
+//! successor does not postdominate the branch and is either a loop head
+//! or a loop preheader (i.e., passes control unconditionally to a loop
+//! head which it dominates). If the heuristic applies, predict the
+//! successor with the property."* The intuition: loops are executed
+//! rather than avoided — compilers generate an if-then around a do-until
+//! loop, and the if usually enters.
+
+use bpfree_ir::BlockId;
+
+use super::{jump_target, BranchContext};
+use crate::predictors::Direction;
+
+pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
+    ctx.select(|s| !ctx.postdominates_branch(s) && is_head_or_preheader(ctx, s), true)
+}
+
+fn is_head_or_preheader(ctx: &BranchContext<'_>, s: BlockId) -> bool {
+    if ctx.analysis.loops.is_head(s) {
+        return true;
+    }
+    match jump_target(ctx.func, s) {
+        Some(h) => ctx.analysis.loops.is_head(h) && ctx.analysis.doms.dominates(s, h),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::heuristics::testutil::predictions_for;
+    use crate::heuristics::HeuristicKind;
+    use crate::predictors::Direction;
+
+    const K: HeuristicKind = HeuristicKind::Loop;
+
+    #[test]
+    fn rotated_while_guard_predicts_entering_the_loop() {
+        // The rotated while guard chooses between the loop body (head)
+        // and the exit; the heuristic predicts entering.
+        let preds = predictions_for(
+            "fn main() -> int {
+                int i; int n;
+                n = 10;
+                while (i < n) { i = i + 1; }
+                return i;
+            }",
+            K,
+        );
+        // Exactly one non-loop branch (the guard): body is the
+        // fall-through side under branch-over polarity.
+        assert_eq!(preds, vec![Some(Direction::FallThru)]);
+    }
+
+    #[test]
+    fn explicit_if_around_loop_predicts_loop_side() {
+        let preds = predictions_for(
+            "fn main() -> int {
+                int i; int s; int n;
+                n = 5;
+                if (n > 0) {
+                    do { s = s + i; i = i + 1; } while (i < n);
+                }
+                return s;
+            }",
+            K,
+        );
+        // Two non-loop branches: the outer `if` guard and... the do-while
+        // needs no guard, so only the `if`. It chooses between the
+        // do-while body (via its preheader jump) and the join.
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0], Some(Direction::FallThru));
+    }
+
+    #[test]
+    fn branch_with_no_loop_successor_not_covered() {
+        let preds = predictions_for(
+            "fn f(int x) -> int { if (x == 7) { return 1; } return 0; }
+             fn main() -> int { return f(7); }",
+            K,
+        );
+        assert_eq!(preds, vec![None]);
+    }
+
+    #[test]
+    fn both_successors_loops_not_covered() {
+        // if/else where both arms contain do-while loops whose heads are
+        // the direct successors.
+        let preds = predictions_for(
+            "fn f(int x) -> int {
+                int i;
+                if (x == 3) {
+                    do { i = i + 1; } while (i < 3);
+                } else {
+                    do { i = i + 2; } while (i < 8);
+                }
+                return i;
+            }
+            fn main() -> int { return f(1); }",
+            K,
+        );
+        // The if branch sees a loop on both sides -> not covered.
+        assert_eq!(preds.iter().filter(|p| p.is_some()).count(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! **Opcode heuristic.** From the paper: *"Because many programs use
+//! negative integers to denote error values, the heuristic predicts that
+//! `bltz` and `blez` are not taken and that `bgtz` and `bgez` are taken.
+//! The heuristic also identifies floating point comparisons that check if
+//! two floating point numbers are equal, predicting that such tests
+//! usually evaluate false."*
+
+use bpfree_ir::{Cond, FCmp, Instr};
+
+use super::BranchContext;
+use crate::predictors::Direction;
+
+pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
+    match *ctx.cond {
+        // Sign tests: negative means error, so tests for negative fail.
+        Cond::Ltz(_) | Cond::Lez(_) => Some(Direction::FallThru),
+        Cond::Gtz(_) | Cond::Gez(_) => Some(Direction::Taken),
+        // FP-flag branches: only equality compares are predicted.
+        Cond::FTrue | Cond::FFalse => {
+            let cmp = last_fcmp(ctx)?;
+            if cmp != FCmp::Eq {
+                return None;
+            }
+            // Equality is usually false: a bc1t on c.eq falls through, a
+            // bc1f on c.eq is taken.
+            Some(match *ctx.cond {
+                Cond::FTrue => Direction::FallThru,
+                _ => Direction::Taken,
+            })
+        }
+        // Integer equality and zero tests are left to other heuristics.
+        Cond::Eqz(_) | Cond::Nez(_) | Cond::Eq(_, _) | Cond::Ne(_, _) => None,
+    }
+}
+
+/// The comparison that set the FP flag this branch reads: the last `CmpF`
+/// in the branch's own block.
+fn last_fcmp(ctx: &BranchContext<'_>) -> Option<FCmp> {
+    ctx.func.block(ctx.block).instrs.iter().rev().find_map(|i| match i {
+        Instr::CmpF { cmp, .. } => Some(*cmp),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::heuristics::testutil::single_prediction;
+    use crate::heuristics::HeuristicKind;
+    use crate::predictors::Direction;
+
+    const K: HeuristicKind = HeuristicKind::Opcode;
+
+    #[test]
+    fn negative_tests_predict_fallthru_side() {
+        // `if (x < 0) {...}` lowers to a branch on x >= 0 over the then
+        // block: the bgez form predicts TAKEN, i.e. x < 0 is false.
+        let d = single_prediction(
+            "fn f(int x) -> int { if (x < 0) { return -1; } return x; }
+             fn main() -> int { return f(5); }",
+            K,
+        );
+        assert_eq!(d, Some(Direction::Taken));
+    }
+
+    #[test]
+    fn positive_tests_predict_the_then_side() {
+        // `if (x > 0)` lowers to blez over the then block: predicted NOT
+        // taken, so the then block (x > 0 true) is predicted.
+        let d = single_prediction(
+            "fn f(int x) -> int { if (x > 0) { return 1; } return 0; }
+             fn main() -> int { return f(5); }",
+            K,
+        );
+        assert_eq!(d, Some(Direction::FallThru));
+    }
+
+    #[test]
+    fn float_equality_predicted_false() {
+        // `if (a == b)` on floats: bc1f over the then block; c.eq usually
+        // false means the branch IS taken (skip the then block).
+        let d = single_prediction(
+            "fn f(float a, float b) -> int { if (a == b) { return 1; } return 0; }
+             fn main() -> int { return f(1.0, 2.0); }",
+            K,
+        );
+        assert_eq!(d, Some(Direction::Taken));
+    }
+
+    #[test]
+    fn float_inequality_not_covered() {
+        let d = single_prediction(
+            "fn f(float a, float b) -> int { if (a < b) { return 1; } return 0; }
+             fn main() -> int { return f(1.0, 2.0); }",
+            K,
+        );
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn integer_equality_not_covered() {
+        let d = single_prediction(
+            "fn f(int a, int b) -> int { if (a == b) { return 1; } return 0; }
+             fn main() -> int { return f(1, 2); }",
+            K,
+        );
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn general_relational_not_covered() {
+        // `a < b` with neither side zero goes through slt + bnez: no
+        // sign-test opcode to key on.
+        let d = single_prediction(
+            "fn f(int a, int b) -> int { if (a < b) { return 1; } return 0; }
+             fn main() -> int { return f(1, 2); }",
+            K,
+        );
+        assert_eq!(d, None);
+    }
+}

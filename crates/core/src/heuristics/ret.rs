@@ -1,0 +1,94 @@
+//! **Return heuristic.** From the paper: *"The successor block contains a
+//! return or unconditionally passes control to a block that contains a
+//! return. If the heuristic applies, predict the successor without the
+//! property."* Programs must loop or recurse to do useful work; a return
+//! is the base case of recursion, and many returns handle infrequent
+//! error and boundary conditions.
+
+use bpfree_ir::BlockId;
+
+use super::{is_return_block, jump_target, BranchContext};
+use crate::predictors::Direction;
+
+pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
+    ctx.select(|s| leads_to_return(ctx, s), false)
+}
+
+fn leads_to_return(ctx: &BranchContext<'_>, s: BlockId) -> bool {
+    if is_return_block(ctx.func, s) {
+        return true;
+    }
+    match jump_target(ctx.func, s) {
+        Some(t) => is_return_block(ctx.func, t),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::heuristics::testutil::{predictions_for, single_prediction};
+    use crate::heuristics::HeuristicKind;
+    use crate::predictors::Direction;
+
+    const K: HeuristicKind = HeuristicKind::Return;
+
+    #[test]
+    fn early_return_is_avoided() {
+        // if (p == 0) { return -1; } ... loop ... — the non-error path
+        // has control flow before its return, so only the error side's
+        // block contains a return.
+        let preds = predictions_for(
+            "fn f(int p) -> int {
+                int r; int i;
+                if (p == 0) { return -1; }
+                for (i = 0; i < p; i = i + 1) { r = r + i; }
+                return r;
+            }
+            fn main() -> int { return f(3); }",
+            K,
+        );
+        // Non-loop branches: the early-return test and the for guard.
+        // The early-return block sits on the fall-through side
+        // (branch-over); predict the successor WITHOUT it: taken.
+        assert!(preds.contains(&Some(Direction::Taken)));
+    }
+
+    #[test]
+    fn recursion_base_case_is_avoided() {
+        let d = single_prediction(
+            "fn down(int n) -> int {
+                if (n == 0) { return 0; }
+                return down(n - 1) + 1;
+            }
+            fn main() -> int { return down(4); }",
+            K,
+        );
+        // BOTH sides return here (base case and the recursive return).
+        // The recursive side's block contains a call then a return; the
+        // base case returns directly. Both have the property: no
+        // prediction.
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn return_on_one_side_only() {
+        let preds = predictions_for(
+            "fn f(int n) -> int {
+                int s; int i;
+                if (n == 0) { return 0; }
+                s = n + 1;
+                for (i = 0; i < n; i = i + 1) { s = s + (s >> 2) - i; }
+                if (s > 10) { s = 10; }
+                return s;
+            }
+            fn main() -> int { return f(5); }",
+            K,
+        );
+        // The early-return test: return on the fall-through side ->
+        // predict Taken. The clamp near the end: both sides reach the
+        // final return block directly -> both have the property -> None.
+        assert!(preds.len() >= 2, "{preds:?}");
+        assert!(preds.contains(&Some(Direction::Taken)));
+        assert!(preds.contains(&None));
+    }
+}

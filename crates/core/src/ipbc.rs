@@ -1,0 +1,255 @@
+//! Instructions per break in control (Section 6).
+//!
+//! A *break in control* is a mispredicted branch (our IR has no indirect
+//! jumps or indirect calls, the paper's other break sources). Each break
+//! `B` defines a sequence of instructions from (but not including) the
+//! previous break up to and including `B`; the sequences partition the
+//! instruction trace.
+//!
+//! Following the paper, we record, for `0 <= j < 1000`, the number of
+//! sequences whose length lies in `[10j, 10j+9]` (the last bucket absorbs
+//! everything ≥ 9990) and the summed length per bucket. From these come:
+//!
+//! * the **profile-based IPBC average**: total instructions / breaks;
+//! * the cumulative distribution of sequence lengths weighted by
+//!   instructions (Graphs 4, 6–11) or by breaks (Graph 5);
+//! * the **dividing length**: the sequence length at which 50% of
+//!   executed instructions are accounted for — the paper's alternative
+//!   to the (misleading) IPBC average.
+//!
+//! Several predictors are measured in a single simulated run by keeping
+//! one sequence counter per predictor, replacing materialised trace
+//! files.
+
+use bpfree_ir::{BranchRef, Program, Terminator};
+use bpfree_sim::ExecObserver;
+use serde::Serialize;
+
+use crate::predictors::{Direction, Predictions};
+
+/// Number of histogram buckets (bucket `j` covers lengths `10j..10j+9`).
+pub const N_BUCKETS: usize = 1000;
+
+/// Sequence-length statistics for one predictor over one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SequenceDist {
+    /// The predictor's display name.
+    pub name: String,
+    /// Sequences per bucket.
+    counts: Vec<u64>,
+    /// Summed sequence length per bucket.
+    length_sums: Vec<u64>,
+    /// Breaks in control (mispredicted branches).
+    pub breaks: u64,
+    /// Total instructions executed.
+    pub total_instructions: u64,
+    /// Mispredicted / total conditional branches.
+    pub mispredicted: u64,
+    pub total_branches: u64,
+}
+
+impl SequenceDist {
+    fn new(name: String) -> SequenceDist {
+        SequenceDist {
+            name,
+            counts: vec![0; N_BUCKETS],
+            length_sums: vec![0; N_BUCKETS],
+            breaks: 0,
+            total_instructions: 0,
+            mispredicted: 0,
+            total_branches: 0,
+        }
+    }
+
+    fn record_sequence(&mut self, len: u64) {
+        let bucket = ((len / 10) as usize).min(N_BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.length_sums[bucket] += len;
+    }
+
+    /// The profile-based IPBC average: instructions per break.
+    pub fn ipbc_average(&self) -> f64 {
+        if self.breaks == 0 {
+            self.total_instructions as f64
+        } else {
+            self.total_instructions as f64 / self.breaks as f64
+        }
+    }
+
+    /// Overall branch miss rate for this predictor.
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_branches == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / self.total_branches as f64
+        }
+    }
+
+    /// Fraction of executed instructions in sequences of length `< x`
+    /// (x in multiples of 10; intermediate values use the bucket floor).
+    pub fn cumulative_instructions_below(&self, x: u64) -> f64 {
+        if self.total_instructions == 0 {
+            return 0.0;
+        }
+        let bucket = ((x / 10) as usize).min(N_BUCKETS);
+        let sum: u64 = self.length_sums[..bucket].iter().sum();
+        sum as f64 / self.total_instructions as f64
+    }
+
+    /// Fraction of sequences (breaks) of length `< x`.
+    pub fn cumulative_breaks_below(&self, x: u64) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let bucket = ((x / 10) as usize).min(N_BUCKETS);
+        let sum: u64 = self.counts[..bucket].iter().sum();
+        sum as f64 / total as f64
+    }
+
+    /// The dividing length: the smallest bucket boundary at which at
+    /// least half the executed instructions are in shorter sequences.
+    pub fn dividing_length(&self) -> u64 {
+        let mut acc = 0u64;
+        for (j, &s) in self.length_sums.iter().enumerate() {
+            acc += s;
+            if acc * 2 >= self.total_instructions {
+                return (j as u64 + 1) * 10;
+            }
+        }
+        (N_BUCKETS as u64) * 10
+    }
+
+    /// The plot series for the paper's graphs: `(length, cumulative
+    /// instruction fraction)` at every bucket boundary up to `max_len`.
+    pub fn instruction_cdf(&self, max_len: u64) -> Vec<(u64, f64)> {
+        (0..=max_len / 10)
+            .map(|j| (j * 10, self.cumulative_instructions_below(j * 10)))
+            .collect()
+    }
+
+    /// The per-bucket sequence counts (for tests and custom plots).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Dense per-function prediction lookup (`taken?` per block) so the
+/// per-branch hot path avoids hashing.
+struct DensePredictions {
+    per_func: Vec<Vec<Option<bool>>>,
+}
+
+impl DensePredictions {
+    fn build(program: &Program, predictions: &Predictions) -> DensePredictions {
+        let mut per_func: Vec<Vec<Option<bool>>> = program
+            .funcs()
+            .iter()
+            .map(|f| vec![None; f.blocks().len()])
+            .collect();
+        for fid in program.func_ids() {
+            let func = program.func(fid);
+            for bid in func.block_ids() {
+                if let Terminator::Branch { .. } = func.block(bid).term {
+                    let dir = predictions.get(BranchRef { func: fid, block: bid });
+                    per_func[fid.index()][bid.index()] =
+                        dir.map(|d| d == Direction::Taken);
+                }
+            }
+        }
+        DensePredictions { per_func }
+    }
+
+    #[inline]
+    fn predicts_taken(&self, branch: BranchRef) -> Option<bool> {
+        self.per_func[branch.func.index()][branch.block.index()]
+    }
+}
+
+/// Streams an execution once while scoring several static predictors'
+/// sequence-length distributions simultaneously.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_core::ipbc::IpbcAnalyzer;
+/// use bpfree_core::{perfect_predictions, BranchClassifier};
+/// use bpfree_sim::{EdgeProfiler, Simulator};
+///
+/// let p = bpfree_lang::compile(
+///     "fn main() -> int {
+///         int i; int s;
+///         for (i = 0; i < 200; i = i + 1) { if (i % 3 == 0) { s = s + 1; } }
+///         return s;
+///     }",
+/// ).unwrap();
+/// let mut prof = EdgeProfiler::new();
+/// Simulator::new(&p).run(&mut prof).unwrap();
+/// let profile = prof.into_profile();
+///
+/// let mut an = IpbcAnalyzer::new(&p);
+/// an.add_predictor("Perfect", &perfect_predictions(&p, &profile));
+/// Simulator::new(&p).run(&mut an).unwrap();
+/// let dists = an.finish();
+/// assert!(dists[0].ipbc_average() > 1.0);
+/// ```
+pub struct IpbcAnalyzer<'p> {
+    program: &'p Program,
+    dense: Vec<DensePredictions>,
+    dists: Vec<SequenceDist>,
+    current_len: Vec<u64>,
+}
+
+impl<'p> IpbcAnalyzer<'p> {
+    /// Creates an analyzer for one program.
+    pub fn new(program: &'p Program) -> IpbcAnalyzer<'p> {
+        IpbcAnalyzer { program, dense: Vec::new(), dists: Vec::new(), current_len: Vec::new() }
+    }
+
+    /// Registers a predictor to score. Call before running the simulator.
+    pub fn add_predictor(&mut self, name: impl Into<String>, predictions: &Predictions) {
+        self.dense.push(DensePredictions::build(self.program, predictions));
+        self.dists.push(SequenceDist::new(name.into()));
+        self.current_len.push(0);
+    }
+
+    /// Finalises the distributions, flushing each predictor's trailing
+    /// sequence (the tail has no terminating break and is recorded as a
+    /// sequence without incrementing the break count).
+    pub fn finish(mut self) -> Vec<SequenceDist> {
+        for (i, dist) in self.dists.iter_mut().enumerate() {
+            if self.current_len[i] > 0 {
+                let len = self.current_len[i];
+                dist.record_sequence(len);
+            }
+        }
+        self.dists
+    }
+}
+
+impl ExecObserver for IpbcAnalyzer<'_> {
+    fn on_instrs(&mut self, count: u64) {
+        for (i, dist) in self.dists.iter_mut().enumerate() {
+            dist.total_instructions += count;
+            self.current_len[i] += count;
+        }
+    }
+
+    fn on_branch(&mut self, branch: BranchRef, taken: bool) {
+        for i in 0..self.dists.len() {
+            let dist = &mut self.dists[i];
+            dist.total_branches += 1;
+            let correct = match self.dense[i].predicts_taken(branch) {
+                Some(p) => p == taken,
+                None => false,
+            };
+            if !correct {
+                dist.mispredicted += 1;
+                dist.breaks += 1;
+                let len = self.current_len[i];
+                dist.record_sequence(len);
+                self.current_len[i] = 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The paper's analytic sequence-length model (Graph 12).
+//!
+//! Assume unit-length basic blocks each ending in a conditional branch,
+//! independent branches, and a uniform per-branch miss rate `m`. Then the
+//! fraction of executed instructions in sequences of length ≤ `s` is
+//!
+//! ```text
+//! f(m, s) = 1 - (1 - m)^s
+//! ```
+//!
+//! The paper's reading: the payoff in sequence length comes not from
+//! improving a 30% miss rate to 15%, but from pushing below 15%.
+
+use serde::Serialize;
+
+/// `f(m, s) = 1 - (1 - m)^s` — the cumulative fraction of instructions in
+/// sequences of length at most `s` under miss rate `m`.
+///
+/// # Panics
+///
+/// Panics if `m` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_core::model::cumulative_fraction;
+/// let f = cumulative_fraction(0.1, 10);
+/// assert!((f - (1.0 - 0.9f64.powi(10))).abs() < 1e-12);
+/// ```
+pub fn cumulative_fraction(m: f64, s: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&m), "miss rate {m} out of range");
+    1.0 - (1.0 - m).powf(s as f64)
+}
+
+/// One curve of Graph 12.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelCurve {
+    pub miss_rate: f64,
+    /// `(sequence length, cumulative fraction)` samples.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// The family of curves the paper plots: miss rates from 0.025 to 0.30 in
+/// steps of 0.025, sampled at `1..=max_len` step `step`.
+///
+/// # Example
+///
+/// ```
+/// let curves = bpfree_core::model::graph12_curves(100, 1);
+/// assert_eq!(curves.len(), 12);
+/// assert!(curves[0].miss_rate < curves[11].miss_rate);
+/// ```
+pub fn graph12_curves(max_len: u64, step: u64) -> Vec<ModelCurve> {
+    (1..=12)
+        .map(|k| {
+            let m = 0.025 * k as f64;
+            let points = (1..=max_len)
+                .step_by(step.max(1) as usize)
+                .map(|s| (s, cumulative_fraction(m, s)))
+                .collect();
+            ModelCurve { miss_rate: m, points }
+        })
+        .collect()
+}
+
+/// The sequence length at which the model says half the instructions are
+/// covered: the model's "dividing length", `ceil(ln 0.5 / ln (1-m))`.
+///
+/// # Example
+///
+/// ```
+/// // At a 10% miss rate, half the instructions sit in sequences of
+/// // length about 7.
+/// assert_eq!(bpfree_core::model::dividing_length(0.10), 7);
+/// ```
+pub fn dividing_length(m: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&m), "miss rate {m} out of range");
+    if m <= 0.0 {
+        return u64::MAX;
+    }
+    if m >= 1.0 {
+        return 1;
+    }
+    (0.5f64.ln() / (1.0 - m).ln()).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_is_monotone_in_length() {
+        for k in 1..=12 {
+            let m = 0.025 * k as f64;
+            let mut prev = 0.0;
+            for s in 1..200 {
+                let f = cumulative_fraction(m, s);
+                assert!(f >= prev);
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn model_is_monotone_in_miss_rate() {
+        for s in [1u64, 10, 100] {
+            let lo = cumulative_fraction(0.05, s);
+            let hi = cumulative_fraction(0.25, s);
+            assert!(hi >= lo);
+        }
+    }
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(cumulative_fraction(0.0, 100), 0.0);
+        assert_eq!(cumulative_fraction(1.0, 1), 1.0);
+        assert_eq!(cumulative_fraction(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn paper_observation_payoff_below_15_percent() {
+        // Halving 30% -> 15% helps less than halving 15% -> 7.5%, in
+        // terms of the length covering half the instructions.
+        let d30 = dividing_length(0.30);
+        let d15 = dividing_length(0.15);
+        let d075 = dividing_length(0.075);
+        assert!(d15 - d30 < d075 - d15);
+    }
+
+    #[test]
+    fn dividing_length_edges() {
+        assert_eq!(dividing_length(1.0), 1);
+        assert_eq!(dividing_length(0.0), u64::MAX);
+    }
+
+    #[test]
+    fn graph12_shape() {
+        let curves = graph12_curves(50, 5);
+        assert_eq!(curves.len(), 12);
+        assert!((curves[11].miss_rate - 0.30).abs() < 1e-12);
+        for c in &curves {
+            assert_eq!(c.points.len(), 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn negative_miss_rate_panics() {
+        cumulative_fraction(-0.1, 5);
+    }
+}

@@ -1,0 +1,581 @@
+//! The paper's heuristic-ordering experiments (Section 5).
+//!
+//! The combined predictor applies the seven heuristics in a priority
+//! order, so the order matters. The paper studies:
+//!
+//! * all 7! = 5040 orders, sorted by average non-loop miss rate
+//!   (Graph 1);
+//! * for every 11-element subset of 22 benchmarks, the order minimising
+//!   the subset's average miss rate — C(22,11) = 705,432 trials — and how
+//!   often each winning order recurs (Graphs 2–3, Table 4);
+//! * a cheaper pairwise-comparison construction of an order.
+//!
+//! Evaluating an order against a benchmark does not require re-running
+//! heuristics: each non-loop branch is summarised by its applicability
+//! row and dynamic counts ([`BenchOrderData`]), and identical rows are
+//! grouped. The subset experiment additionally Pareto-prunes orders (an
+//! order that is dominated on every benchmark can never be an argmin).
+
+use bpfree_sim::EdgeProfile;
+use serde::Serialize;
+
+use crate::classify::{BranchClass, BranchClassifier};
+use crate::heuristics::{HeuristicKind, HeuristicTable};
+use crate::predictors::{random_direction, Direction};
+
+/// A heuristic priority order (a permutation of the seven kinds).
+pub type Order = [HeuristicKind; 7];
+
+/// All 5040 orders, generated in lexicographic index order.
+///
+/// # Example
+///
+/// ```
+/// let orders = bpfree_core::ordering::all_orders();
+/// assert_eq!(orders.len(), 5040);
+/// ```
+pub fn all_orders() -> Vec<Order> {
+    let mut out = Vec::with_capacity(5040);
+    let mut items = HeuristicKind::ALL;
+    permute(&mut items, 0, &mut out);
+    out
+}
+
+fn permute(items: &mut Order, k: usize, out: &mut Vec<Order>) {
+    if k == items.len() {
+        out.push(*items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, out);
+        items.swap(k, i);
+    }
+}
+
+/// One benchmark's non-loop branches, condensed for fast order
+/// evaluation. Branches with identical heuristic rows and default
+/// directions are merged.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchOrderData {
+    pub name: String,
+    groups: Vec<Group>,
+    total_dynamic: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+struct GroupKey {
+    /// Bit `i` set: heuristic with index `i` applies.
+    applies: u8,
+    /// Bit `i` set: that heuristic predicts Taken.
+    predicts_taken: u8,
+    /// The random Default prediction for this branch.
+    default_taken: bool,
+}
+
+#[derive(Debug, Clone, Copy, Serialize)]
+struct Group {
+    key: GroupKey,
+    taken: u64,
+    fallthru: u64,
+}
+
+impl BenchOrderData {
+    /// Condenses one benchmark run.
+    pub fn build(
+        name: impl Into<String>,
+        table: &HeuristicTable,
+        profile: &EdgeProfile,
+        classifier: &BranchClassifier,
+        seed: u64,
+    ) -> BenchOrderData {
+        use std::collections::HashMap;
+        let mut groups: HashMap<GroupKey, (u64, u64)> = HashMap::new();
+        let mut total = 0u64;
+        for (branch, counts) in profile.iter() {
+            if classifier.class(branch) != BranchClass::NonLoop {
+                continue;
+            }
+            let Some(row) = table.row(branch) else { continue };
+            let mut applies = 0u8;
+            let mut predicts_taken = 0u8;
+            for (i, pred) in row.iter().enumerate() {
+                if let Some(dir) = pred {
+                    applies |= 1 << i;
+                    if *dir == Direction::Taken {
+                        predicts_taken |= 1 << i;
+                    }
+                }
+            }
+            let key = GroupKey {
+                applies,
+                predicts_taken,
+                default_taken: random_direction(branch, seed) == Direction::Taken,
+            };
+            let e = groups.entry(key).or_default();
+            e.0 += counts.taken;
+            e.1 += counts.fallthru;
+            total += counts.total();
+        }
+        let mut groups: Vec<Group> = groups
+            .into_iter()
+            .map(|(key, (taken, fallthru))| Group { key, taken, fallthru })
+            .collect();
+        groups.sort_by_key(|g| (g.key.applies, g.key.predicts_taken, g.key.default_taken));
+        BenchOrderData { name: name.into(), groups, total_dynamic: total }
+    }
+
+    /// Dynamic non-loop branch executions in this benchmark.
+    pub fn total_dynamic(&self) -> u64 {
+        self.total_dynamic
+    }
+
+    /// The non-loop miss rate of the combined heuristic under `order`
+    /// (Default included).
+    pub fn miss_rate(&self, order: &Order) -> f64 {
+        if self.total_dynamic == 0 {
+            return 0.0;
+        }
+        let mut misses = 0u64;
+        for g in &self.groups {
+            let mut dir = None;
+            for kind in order {
+                let bit = 1u8 << kind.index();
+                if g.key.applies & bit != 0 {
+                    dir = Some(g.key.predicts_taken & bit != 0);
+                    break;
+                }
+            }
+            let taken_pred = dir.unwrap_or(g.key.default_taken);
+            misses += if taken_pred { g.fallthru } else { g.taken };
+        }
+        misses as f64 / self.total_dynamic as f64
+    }
+}
+
+/// The full ordering study over a set of benchmarks.
+#[derive(Debug)]
+pub struct OrderingStudy {
+    benches: Vec<BenchOrderData>,
+    orders: Vec<Order>,
+    /// `rates[o][b]` = miss rate of order `o` on benchmark `b`.
+    rates: Vec<Vec<f64>>,
+}
+
+/// One row of the Table 4 output: a winning order, how many subset
+/// trials it won, and its overall average miss rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommonOrder {
+    pub order: Vec<String>,
+    pub trials: u64,
+    pub trial_fraction: f64,
+    pub mean_miss_rate: f64,
+}
+
+impl OrderingStudy {
+    /// Precomputes the 5040 × n-benchmarks miss-rate matrix.
+    pub fn new(benches: Vec<BenchOrderData>) -> OrderingStudy {
+        let orders = all_orders();
+        let rates = orders
+            .iter()
+            .map(|o| benches.iter().map(|b| b.miss_rate(o)).collect())
+            .collect();
+        OrderingStudy { benches, orders, rates }
+    }
+
+    /// The benchmarks in this study.
+    pub fn benches(&self) -> &[BenchOrderData] {
+        &self.benches
+    }
+
+    /// All orders, parallel to the rate matrix.
+    pub fn orders(&self) -> &[Order] {
+        &self.orders
+    }
+
+    /// Average miss rate (equal benchmark weight) of order index `o`.
+    pub fn average_rate(&self, o: usize) -> f64 {
+        let row = &self.rates[o];
+        row.iter().sum::<f64>() / row.len().max(1) as f64
+    }
+
+    /// Graph 1: all orders' average miss rates, sorted ascending.
+    pub fn sorted_average_rates(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..self.orders.len()).map(|o| self.average_rate(o)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("miss rates are finite"));
+        v
+    }
+
+    /// The order with the minimum average miss rate over all benchmarks.
+    pub fn best_order(&self) -> (Order, f64) {
+        let (o, _) = (0..self.orders.len())
+            .map(|o| (o, self.average_rate(o)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("5040 orders is never empty");
+        (self.orders[o], self.average_rate(o))
+    }
+
+    /// Pareto-prunes order indices: keeps only orders not dominated by
+    /// another order on every benchmark (ties broken toward the earlier
+    /// index, which also deduplicates identical rows).
+    pub fn pareto_order_indices(&self) -> Vec<usize> {
+        let n = self.orders.len();
+        let mut keep = Vec::new();
+        'outer: for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dominates = self.rates[j]
+                    .iter()
+                    .zip(&self.rates[i])
+                    .all(|(rj, ri)| rj <= ri)
+                    && (self.rates[j] != self.rates[i] || j < i);
+                if dominates {
+                    continue 'outer;
+                }
+            }
+            keep.push(i);
+        }
+        keep
+    }
+
+    /// The C(n, k) subset experiment: for every k-subset of benchmarks,
+    /// find the order minimising the subset's average miss rate; count
+    /// how often each order wins. Returns winners sorted by frequency
+    /// (descending), with the overall (all-benchmark) mean rate attached.
+    ///
+    /// Uses Pareto pruning; exact over all subsets.
+    pub fn subset_experiment(&self, k: usize) -> Vec<CommonOrder> {
+        let candidates = self.pareto_order_indices();
+        let n = self.benches.len();
+        assert!(k >= 1, "subset size must be at least 1");
+        assert!(k <= n, "subset size {k} exceeds {n} benchmarks");
+        // Candidate-major rate slices for cache-friendly scanning.
+        let cand_rates: Vec<&[f64]> = candidates.iter().map(|&o| &self.rates[o][..]).collect();
+        let mut wins: Vec<u64> = vec![0; candidates.len()];
+        let mut trials = 0u64;
+
+        // Enumerate k-subsets with the revolving-door successor.
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            trials += 1;
+            let mut best = 0usize;
+            let mut best_rate = f64::INFINITY;
+            for (ci, rates) in cand_rates.iter().enumerate() {
+                let mut sum = 0.0;
+                for &b in &subset {
+                    sum += rates[b];
+                }
+                if sum < best_rate {
+                    best_rate = sum;
+                    best = ci;
+                }
+            }
+            wins[best] += 1;
+
+            // Next combination in lexicographic order.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if subset[i] != i + n - k {
+                    subset[i] += 1;
+                    for j in i + 1..k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    // Finished all combinations.
+                    let mut out: Vec<CommonOrder> = candidates
+                        .iter()
+                        .zip(&wins)
+                        .filter(|(_, &w)| w > 0)
+                        .map(|(&o, &w)| CommonOrder {
+                            order: self.orders[o].iter().map(|k| k.label().into()).collect(),
+                            trials: w,
+                            trial_fraction: w as f64 / trials as f64,
+                            mean_miss_rate: self.average_rate(o),
+                        })
+                        .collect();
+                    out.sort_by_key(|w| std::cmp::Reverse(w.trials));
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Monte-Carlo variant of [`OrderingStudy::subset_experiment`]:
+    /// samples `n_samples` random k-subsets (seeded, deterministic)
+    /// instead of enumerating all of them, and — unlike the exact
+    /// version — scans **all** 5040 orders rather than the Pareto front,
+    /// serving as the ablation baseline for the pruning optimisation.
+    pub fn subset_experiment_sampled(
+        &self,
+        k: usize,
+        n_samples: u64,
+        seed: u64,
+    ) -> Vec<CommonOrder> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = self.benches.len();
+        assert!(k >= 1 && k <= n, "bad subset size {k} of {n}");
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut wins: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut indices: Vec<usize> = (0..n).collect();
+        for _ in 0..n_samples {
+            indices.shuffle(&mut rng);
+            let subset = &indices[..k];
+            let mut best = 0usize;
+            let mut best_rate = f64::INFINITY;
+            for (o, rates) in self.rates.iter().enumerate() {
+                let sum: f64 = subset.iter().map(|&b| rates[b]).sum();
+                if sum < best_rate {
+                    best_rate = sum;
+                    best = o;
+                }
+            }
+            *wins.entry(best).or_default() += 1;
+        }
+        let mut out: Vec<CommonOrder> = wins
+            .into_iter()
+            .map(|(o, w)| CommonOrder {
+                order: self.orders[o].iter().map(|k| k.label().into()).collect(),
+                trials: w,
+                trial_fraction: w as f64 / n_samples as f64,
+                mean_miss_rate: self.average_rate(o),
+            })
+            .collect();
+        out.sort_by_key(|w| std::cmp::Reverse(w.trials));
+        out
+    }
+
+    /// The paper's cheaper pairwise construction: order heuristics by
+    /// comparing each pair on the branches where both apply, then sort by
+    /// net wins.
+    pub fn pairwise_order(
+        benches: &[(HeuristicTable, EdgeProfile, &BranchClassifier)],
+    ) -> Order {
+        let mut score = [0i64; 7];
+        for a in HeuristicKind::ALL {
+            for b in HeuristicKind::ALL {
+                if a.index() >= b.index() {
+                    continue;
+                }
+                let mut misses_a = 0u64;
+                let mut misses_b = 0u64;
+                for (table, profile, classifier) in benches {
+                    for (branch, counts) in profile.iter() {
+                        if classifier.class(branch) != BranchClass::NonLoop {
+                            continue;
+                        }
+                        let (Some(da), Some(db)) =
+                            (table.prediction(branch, a), table.prediction(branch, b))
+                        else {
+                            continue;
+                        };
+                        misses_a += if da == Direction::Taken {
+                            counts.fallthru
+                        } else {
+                            counts.taken
+                        };
+                        misses_b += if db == Direction::Taken {
+                            counts.fallthru
+                        } else {
+                            counts.taken
+                        };
+                    }
+                }
+                // The heuristic with fewer misses on the intersection
+                // should come first.
+                if misses_a < misses_b {
+                    score[a.index()] += 1;
+                    score[b.index()] -= 1;
+                } else if misses_b < misses_a {
+                    score[b.index()] += 1;
+                    score[a.index()] -= 1;
+                }
+            }
+        }
+        let mut order = HeuristicKind::ALL;
+        order.sort_by_key(|k| -score[k.index()]);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictors::DEFAULT_SEED;
+    use bpfree_sim::{EdgeProfiler, Simulator};
+
+    fn bench_data(name: &str, src: &str) -> (BenchOrderData, HeuristicTable, EdgeProfile) {
+        let p = bpfree_lang::compile(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let mut prof = EdgeProfiler::new();
+        Simulator::new(&p).run(&mut prof).unwrap();
+        let profile = prof.into_profile();
+        let c = BranchClassifier::analyze(&p);
+        let t = HeuristicTable::build(&p, &c);
+        let d = BenchOrderData::build(name, &t, &profile, &c, DEFAULT_SEED);
+        (d, t, profile)
+    }
+
+    const SRC: &str = "global int log[4];
+    fn work(int x) -> int {
+        if (x < 0) { return -1; }
+        if (x % 3 == 0) { log[0] = x; }
+        return x;
+    }
+    fn main() -> int {
+        int i; int s;
+        for (i = 0; i < 60; i = i + 1) { s = s + work(i); }
+        return s;
+    }";
+
+    #[test]
+    fn all_orders_are_distinct_permutations() {
+        let orders = all_orders();
+        assert_eq!(orders.len(), 5040);
+        let set: std::collections::HashSet<Order> = orders.iter().copied().collect();
+        assert_eq!(set.len(), 5040);
+        for o in &orders {
+            let mut v = o.to_vec();
+            v.sort();
+            assert_eq!(v, HeuristicKind::ALL.to_vec());
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_between_zero_and_one_for_every_order() {
+        let (d, _, _) = bench_data("t", SRC);
+        assert!(d.total_dynamic() > 0);
+        for o in all_orders() {
+            let r = d.miss_rate(&o);
+            assert!((0.0..=1.0).contains(&r), "rate {r}");
+        }
+    }
+
+    #[test]
+    fn order_matters_or_rates_are_constant() {
+        let (d, _, _) = bench_data("t", SRC);
+        let rates: Vec<f64> = all_orders().iter().map(|o| d.miss_rate(o)).collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        // With opcode + store + guard heuristics disagreeing on SRC's
+        // branches, some order difference should show up.
+        assert!(max >= min);
+    }
+
+    #[test]
+    fn study_best_order_is_minimal() {
+        let (d1, _, _) = bench_data("a", SRC);
+        let (d2, _, _) = bench_data(
+            "b",
+            "fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 40; i = i + 1) {
+                    if (i - 20 > 0) { s = s + 2; } else { s = s + 1; }
+                }
+                return s;
+            }",
+        );
+        let study = OrderingStudy::new(vec![d1, d2]);
+        let (_, best_rate) = study.best_order();
+        let sorted = study.sorted_average_rates();
+        assert!((sorted[0] - best_rate).abs() < 1e-12);
+        assert_eq!(sorted.len(), 5040);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pareto_front_contains_best_order_for_each_benchmark() {
+        let (d1, _, _) = bench_data("a", SRC);
+        let (d2, _, _) = bench_data(
+            "b",
+            "global int m[2];
+            fn main() -> int {
+                int i;
+                for (i = 0; i < 30; i = i + 1) {
+                    if (i % 2 == 0) { m[0] = i; }
+                }
+                return m[0];
+            }",
+        );
+        let study = OrderingStudy::new(vec![d1, d2]);
+        let front = study.pareto_order_indices();
+        assert!(!front.is_empty());
+        assert!(front.len() <= 5040);
+        // The global best must be on the front.
+        let best = (0..5040)
+            .min_by(|&a, &b| {
+                study.average_rate(a).partial_cmp(&study.average_rate(b)).unwrap()
+            })
+            .unwrap();
+        let best_rate = study.average_rate(best);
+        assert!(
+            front.iter().any(|&o| (study.average_rate(o) - best_rate).abs() < 1e-12),
+            "pareto front lost the best order"
+        );
+    }
+
+    #[test]
+    fn subset_experiment_counts_all_trials() {
+        let sources = [
+            ("a", SRC),
+            (
+                "b",
+                "fn main() -> int {
+                    int i; int s;
+                    for (i = 0; i < 25; i = i + 1) { if (i > 20) { s = s + 1; } }
+                    return s;
+                }",
+            ),
+            (
+                "c",
+                "global int g[4];
+                fn main() -> int {
+                    int i;
+                    for (i = 0; i < 16; i = i + 1) { if (i % 4 == 0) { g[1] = i; } }
+                    return g[1];
+                }",
+            ),
+            (
+                "d",
+                "fn f(ptr p) -> int { if (p == null) { return 0; } return p[0]; }
+                fn main() -> int {
+                    ptr q; int s; int i;
+                    q = alloc(1); q[0] = 5;
+                    for (i = 0; i < 12; i = i + 1) { s = s + f(q); }
+                    return s;
+                }",
+            ),
+        ];
+        let benches: Vec<BenchOrderData> =
+            sources.iter().map(|(n, s)| bench_data(n, s).0).collect();
+        let study = OrderingStudy::new(benches);
+        let winners = study.subset_experiment(2);
+        // C(4,2) = 6 trials distributed among winners.
+        let total: u64 = winners.iter().map(|w| w.trials).sum();
+        assert_eq!(total, 6);
+        assert!((winners.iter().map(|w| w.trial_fraction).sum::<f64>() - 1.0).abs() < 1e-9);
+        // Sorted descending.
+        assert!(winners.windows(2).all(|w| w[0].trials >= w[1].trials));
+    }
+
+    #[test]
+    fn pairwise_order_is_a_permutation() {
+        let p = bpfree_lang::compile(SRC).unwrap();
+        let mut prof = EdgeProfiler::new();
+        Simulator::new(&p).run(&mut prof).unwrap();
+        let profile = prof.into_profile();
+        let c = BranchClassifier::analyze(&p);
+        let t = HeuristicTable::build(&p, &c);
+        let order = OrderingStudy::pairwise_order(&[(t, profile, &c)]);
+        let mut v = order.to_vec();
+        v.sort();
+        assert_eq!(v, HeuristicKind::ALL.to_vec());
+    }
+}

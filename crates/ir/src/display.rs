@@ -1,0 +1,219 @@
+//! Pseudo-assembly pretty printing for functions and programs.
+
+use std::fmt;
+
+use crate::function::{Function, Program};
+use crate::instr::{BinOp, Cond, FBinOp, FCmp, Instr, Terminator};
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Sll => "sll",
+            BinOp::Srl => "srl",
+            BinOp::Sra => "sra",
+            BinOp::Slt => "slt",
+            BinOp::Sle => "sle",
+            BinOp::Seq => "seq",
+            BinOp::Sne => "sne",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FBinOp::Add => "add.d",
+            FBinOp::Sub => "sub.d",
+            FBinOp::Mul => "mul.d",
+            FBinOp::Div => "div.d",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FCmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FCmp::Eq => "c.eq.d",
+            FCmp::Lt => "c.lt.d",
+            FCmp::Le => "c.le.d",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Move { rd, rs } => write!(f, "move {rd}, {rs}"),
+            Instr::Bin { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Instr::BinImm { op, rd, rs, imm } => write!(f, "{op}i {rd}, {rs}, {imm}"),
+            Instr::LiF { fd, imm } => write!(f, "li.d {fd}, {imm}"),
+            Instr::MoveF { fd, fs } => write!(f, "mov.d {fd}, {fs}"),
+            Instr::BinF { op, fd, fs, ft } => write!(f, "{op} {fd}, {fs}, {ft}"),
+            Instr::CvtIF { fd, rs } => write!(f, "cvt.d.w {fd}, {rs}"),
+            Instr::CvtFI { rd, fs } => write!(f, "cvt.w.d {rd}, {fs}"),
+            Instr::CmpF { cmp, fs, ft } => write!(f, "{cmp} {fs}, {ft}"),
+            Instr::Load { rd, base, offset } => write!(f, "lw {rd}, {offset}({base})"),
+            Instr::Store { rs, base, offset } => write!(f, "sw {rs}, {offset}({base})"),
+            Instr::LoadF { fd, base, offset } => write!(f, "l.d {fd}, {offset}({base})"),
+            Instr::StoreF { fs, base, offset } => write!(f, "s.d {fs}, {offset}({base})"),
+            Instr::Alloc { rd, size } => write!(f, "alloc {rd}, {size}"),
+            Instr::Call { callee, args, fargs, ret, fret } => {
+                write!(f, "call {callee}(")?;
+                let mut first = true;
+                for a in args {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                    first = false;
+                }
+                for a in fargs {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                    first = false;
+                }
+                write!(f, ")")?;
+                match (ret, fret) {
+                    (Some(r), Some(fr)) => write!(f, " -> {r}, {fr}"),
+                    (Some(r), None) => write!(f, " -> {r}"),
+                    (None, Some(fr)) => write!(f, " -> {fr}"),
+                    (None, None) => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Eqz(r) => write!(f, "beqz {r}"),
+            Cond::Nez(r) => write!(f, "bnez {r}"),
+            Cond::Lez(r) => write!(f, "blez {r}"),
+            Cond::Ltz(r) => write!(f, "bltz {r}"),
+            Cond::Gez(r) => write!(f, "bgez {r}"),
+            Cond::Gtz(r) => write!(f, "bgtz {r}"),
+            Cond::Eq(a, b) => write!(f, "beq {a}, {b}"),
+            Cond::Ne(a, b) => write!(f, "bne {a}, {b}"),
+            Cond::FTrue => write!(f, "bc1t"),
+            Cond::FFalse => write!(f, "bc1f"),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "j {t}"),
+            Terminator::Branch { cond, taken, fallthru } => {
+                write!(f, "{cond}, {taken} (else {fallthru})")
+            }
+            Terminator::Ret { val: Some(r), fval: None } => write!(f, "ret {r}"),
+            Terminator::Ret { val: None, fval: Some(r) } => write!(f, "ret {r}"),
+            Terminator::Ret { val: Some(r), fval: Some(fr) } => write!(f, "ret {r}, {fr}"),
+            Terminator::Ret { val: None, fval: None } => write!(f, "ret"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name())?;
+        let mut first = true;
+        for p in self.params() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        for p in self.fparams() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        writeln!(
+            f,
+            ") [frame={} words; regs={}/{}]",
+            self.frame_words(),
+            self.n_regs(),
+            self.n_fregs()
+        )?;
+        for bid in self.block_ids() {
+            writeln!(f, "{bid}:")?;
+            let block = self.block(bid);
+            for instr in &block.instrs {
+                writeln!(f, "    {instr}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; globals: {} words", self.globals_words())?;
+        let mut syms: Vec<_> = self.symbols().iter().collect();
+        syms.sort_by_key(|(_, s)| s.offset);
+        for (name, sym) in syms {
+            writeln!(
+                f,
+                "; global {name}: [{}..{}) {}",
+                sym.offset,
+                sym.offset + sym.len,
+                if sym.is_float { "float" } else { "int" }
+            )?;
+        }
+        for (i, func) in self.funcs().iter().enumerate() {
+            writeln!(f, "; function @{i}")?;
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn instr_display_is_assembly_like() {
+        let i = Instr::Load { rd: Reg::temp(0), base: Reg::GP, offset: 12 };
+        assert_eq!(i.to_string(), "lw $r0, 12($gp)");
+        let i = Instr::CmpF { cmp: FCmp::Eq, fs: FReg(0), ft: FReg(1) };
+        assert_eq!(i.to_string(), "c.eq.d $f0, $f1");
+    }
+
+    #[test]
+    fn function_display_has_all_blocks() {
+        let mut b = FunctionBuilder::new("f");
+        let e = b.entry();
+        let x = b.new_block();
+        b.set_term(e, Terminator::Jump(x));
+        b.set_term(x, Terminator::Ret { val: None, fval: None });
+        let s = b.finish().unwrap().to_string();
+        assert!(s.contains("L0:"));
+        assert!(s.contains("L1:"));
+        assert!(s.contains("j L1"));
+        assert!(s.contains("ret"));
+    }
+}

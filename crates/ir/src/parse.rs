@@ -1,0 +1,622 @@
+//! A parser for the pseudo-assembly [`Display`](std::fmt::Display) form
+//! of functions and programs, so IR can be written and round-tripped as
+//! text — handy for test cases, golden files, and inspecting `bpfree
+//! compile` output.
+//!
+//! The grammar is exactly what the display impls print: a `; globals: N
+//! words` header, `; global name: [lo..hi) kind` symbol lines, and `fn
+//! name($r0, $f0, ...) [frame=N words]` functions with `L<k>:` blocks.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::{FuncId, GlobalSym, Program, ProgramBuilder};
+use crate::builder::FunctionBuilder;
+use crate::instr::{BinOp, BlockId, Cond, FBinOp, FCmp, Instr, Terminator};
+use crate::reg::{FReg, Reg};
+
+/// Error from [`parse_program`] with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the textual form produced by `Program`'s `Display` impl.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line, or a rendered
+/// validation failure when the assembled program is structurally invalid.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_ir::{parse_program, FunctionBuilder, Instr, Program, Terminator};
+/// let mut b = FunctionBuilder::new("main");
+/// let e = b.entry();
+/// let r = b.new_reg();
+/// b.push(e, Instr::Li { rd: r, imm: 42 });
+/// b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+/// let p = Program::new(vec![b.finish().unwrap()], 0).unwrap();
+/// let q = parse_program(&p.to_string()).unwrap();
+/// assert_eq!(p, q);
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    Parser::new(text).program()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        let mut globals_words = 0i64;
+        let mut symbols: Vec<(String, GlobalSym)> = Vec::new();
+        let mut pb = ProgramBuilder::new();
+        let mut any_fn = false;
+        while let Some((ln, line)) = self.peek() {
+            if let Some(rest) = line.strip_prefix("; globals:") {
+                let words = rest.trim().trim_end_matches("words").trim();
+                globals_words = words
+                    .parse()
+                    .map_err(|e| ParseError { line: ln, message: format!("bad globals: {e}") })?;
+                self.bump();
+            } else if let Some(rest) = line.strip_prefix("; global ") {
+                symbols.push(parse_symbol(ln, rest)?);
+                self.bump();
+            } else if line.starts_with("; function") || line.starts_with(";") && !any_fn {
+                self.bump();
+            } else if line.starts_with("fn ") {
+                any_fn = true;
+                let f = self.function()?;
+                pb.add_function(f);
+            } else if line.starts_with(';') {
+                self.bump();
+            } else {
+                return err(ln, format!("expected a function or comment, found `{line}`"));
+            }
+        }
+        for (name, sym) in symbols {
+            pb.add_global(name, sym);
+        }
+        pb.finish(globals_words)
+            .map_err(|e| ParseError { line: 0, message: format!("invalid program: {e}") })
+    }
+
+    fn function(&mut self) -> Result<crate::function::Function, ParseError> {
+        let (ln, header) = self.bump().expect("caller saw a fn line");
+        // fn name($r0, $f1) [frame=N words]
+        let rest = header.strip_prefix("fn ").expect("starts with fn");
+        let open = rest.find('(').ok_or_else(|| ParseError {
+            line: ln,
+            message: "missing `(` in function header".into(),
+        })?;
+        let name = rest[..open].trim().to_string();
+        let close = rest.find(')').ok_or_else(|| ParseError {
+            line: ln,
+            message: "missing `)` in function header".into(),
+        })?;
+        let params_text = &rest[open + 1..close];
+        let meta = rest[close + 1..]
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: "missing [frame=N words; regs=K/M]".into(),
+            })?;
+        let mut frame = 0i64;
+        let mut want_regs: Option<(u32, u32)> = None;
+        for part in meta.split(';').map(str::trim) {
+            if let Some(v) = part.strip_prefix("frame=") {
+                frame = v
+                    .trim_end_matches(" words")
+                    .parse()
+                    .map_err(|e| ParseError { line: ln, message: format!("bad frame: {e}") })?;
+            } else if let Some(v) = part.strip_prefix("regs=") {
+                let (r, fr) = v.split_once('/').ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "regs=K/M expected".into(),
+                })?;
+                want_regs = Some((
+                    r.parse().map_err(|e| ParseError {
+                        line: ln,
+                        message: format!("bad reg count: {e}"),
+                    })?,
+                    fr.parse().map_err(|e| ParseError {
+                        line: ln,
+                        message: format!("bad freg count: {e}"),
+                    })?,
+                ));
+            }
+        }
+
+        // First pass over the body lines to know how many blocks exist and
+        // the largest register indices (the builder needs them allocated).
+        let mut body: Vec<(usize, &str)> = Vec::new();
+        while let Some((_, line)) = self.peek() {
+            if line.starts_with("fn ") || line.starts_with("; function") {
+                break;
+            }
+            body.push(self.bump().expect("peeked"));
+        }
+
+        let mut b = FunctionBuilder::new(name);
+        // Parameters in header order.
+        for p in params_text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if p.starts_with("$f") {
+                b.add_fparam();
+            } else {
+                b.add_param();
+            }
+        }
+        // Register space: prefer the declared counts; otherwise scan for
+        // the largest indices used.
+        let (target_r, target_f) = match want_regs {
+            Some((r, fr)) => (r, fr),
+            None => {
+                let mut max_r = 0u32;
+                let mut max_f = 0u32;
+                for (_, line) in &body {
+                    for token in line.split(|c: char| !c.is_ascii_alphanumeric() && c != '$') {
+                        if let Some(n) =
+                            token.strip_prefix("$r").and_then(|s| s.parse::<u32>().ok())
+                        {
+                            max_r = max_r.max(n + 1);
+                        }
+                        if let Some(n) =
+                            token.strip_prefix("$f").and_then(|s| s.parse::<u32>().ok())
+                        {
+                            max_f = max_f.max(n + 1);
+                        }
+                    }
+                }
+                (Reg::FIRST_TEMP + max_r, max_f)
+            }
+        };
+        while b.reg_count() < target_r {
+            b.new_reg();
+        }
+        while b.freg_count() < target_f {
+            b.new_freg();
+        }
+        b.reserve_frame(frame);
+
+        // Count blocks (L<k>: lines) and create them.
+        let n_blocks = body.iter().filter(|(_, l)| is_block_label(l)).count();
+        for _ in 1..n_blocks.max(1) {
+            b.new_block();
+        }
+
+        let mut current: Option<BlockId> = None;
+        for (ln, line) in body {
+            if let Some(label) = line.strip_suffix(':') {
+                let id: u32 = label
+                    .strip_prefix('L')
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseError { line: ln, message: format!("bad label {label}") })?;
+                current = Some(BlockId(id));
+                continue;
+            }
+            let blk = current
+                .ok_or_else(|| ParseError { line: ln, message: "instruction before label".into() })?;
+            match parse_line(ln, line)? {
+                Line::Instr(i) => b.push(blk, i),
+                Line::Term(t) => b.set_term(blk, t),
+            }
+        }
+        b.finish().map_err(|e| ParseError { line: ln, message: e.to_string() })
+    }
+}
+
+fn is_block_label(line: &str) -> bool {
+    line.ends_with(':') && line.starts_with('L')
+}
+
+fn parse_symbol(ln: usize, rest: &str) -> Result<(String, GlobalSym), ParseError> {
+    // name: [lo..hi) kind
+    let (name, spec) = rest
+        .split_once(':')
+        .ok_or_else(|| ParseError { line: ln, message: "bad global line".into() })?;
+    let spec = spec.trim();
+    let (range, kind) = spec
+        .rsplit_once(' ')
+        .ok_or_else(|| ParseError { line: ln, message: "bad global spec".into() })?;
+    let range = range
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| ParseError { line: ln, message: "bad global range".into() })?;
+    let (lo, hi) = range
+        .split_once("..")
+        .ok_or_else(|| ParseError { line: ln, message: "bad global range".into() })?;
+    let lo: i64 =
+        lo.parse().map_err(|e| ParseError { line: ln, message: format!("bad offset: {e}") })?;
+    let hi: i64 =
+        hi.parse().map_err(|e| ParseError { line: ln, message: format!("bad extent: {e}") })?;
+    Ok((
+        name.trim().to_string(),
+        GlobalSym { offset: lo, len: hi - lo, is_float: kind.trim() == "float" },
+    ))
+}
+
+enum Line {
+    Instr(Instr),
+    Term(Terminator),
+}
+
+fn reg(ln: usize, s: &str) -> Result<Reg, ParseError> {
+    let s = s.trim().trim_end_matches(',');
+    match s {
+        "$zero" => Ok(Reg::ZERO),
+        "$sp" => Ok(Reg::SP),
+        "$gp" => Ok(Reg::GP),
+        _ => s
+            .strip_prefix("$r")
+            .and_then(|n| n.parse::<u32>().ok())
+            .map(Reg::temp)
+            .ok_or_else(|| ParseError { line: ln, message: format!("bad register `{s}`") }),
+    }
+}
+
+fn freg(ln: usize, s: &str) -> Result<FReg, ParseError> {
+    let s = s.trim().trim_end_matches(',');
+    s.strip_prefix("$f")
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(FReg)
+        .ok_or_else(|| ParseError { line: ln, message: format!("bad float register `{s}`") })
+}
+
+fn imm(ln: usize, s: &str) -> Result<i64, ParseError> {
+    s.trim()
+        .trim_end_matches(',')
+        .parse()
+        .map_err(|e| ParseError { line: ln, message: format!("bad immediate `{s}`: {e}") })
+}
+
+fn fimm(ln: usize, s: &str) -> Result<f64, ParseError> {
+    s.trim()
+        .trim_end_matches(',')
+        .parse()
+        .map_err(|e| ParseError { line: ln, message: format!("bad float literal `{s}`: {e}") })
+}
+
+fn block_id(ln: usize, s: &str) -> Result<BlockId, ParseError> {
+    s.trim()
+        .trim_end_matches(',')
+        .strip_prefix('L')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or_else(|| ParseError { line: ln, message: format!("bad block `{s}`") })
+}
+
+/// `off(base)` operands.
+fn mem(ln: usize, s: &str) -> Result<(Reg, i64), ParseError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| ParseError { line: ln, message: format!("bad address `{s}`") })?;
+    let offset = imm(ln, &s[..open])?;
+    let base = reg(ln, s[open + 1..].trim_end_matches(')'))?;
+    Ok((base, offset))
+}
+
+fn binop_from(op: &str) -> Option<(BinOp, bool)> {
+    let (name, immediate) = match op.strip_suffix('i') {
+        // `sll`/`srl` end in characters that never collide with the `i`
+        // suffix, so a plain strip is unambiguous except for... nothing:
+        // no opcode ends in `i` natively.
+        Some(base) => (base, true),
+        None => (op, false),
+    };
+    let op = match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "sll" => BinOp::Sll,
+        "srl" => BinOp::Srl,
+        "sra" => BinOp::Sra,
+        "slt" => BinOp::Slt,
+        "sle" => BinOp::Sle,
+        "seq" => BinOp::Seq,
+        "sne" => BinOp::Sne,
+        _ => return None,
+    };
+    Some((op, immediate))
+}
+
+fn parse_line(ln: usize, line: &str) -> Result<Line, ParseError> {
+    let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let op = op.trim_end_matches(',');
+    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let need = |n: usize| -> Result<(), ParseError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            err(ln, format!("`{op}` needs {n} operands, got {}", args.len()))
+        }
+    };
+    let i = match op {
+        "li" => {
+            need(2)?;
+            Instr::Li { rd: reg(ln, args[0])?, imm: imm(ln, args[1])? }
+        }
+        "move" => {
+            need(2)?;
+            Instr::Move { rd: reg(ln, args[0])?, rs: reg(ln, args[1])? }
+        }
+        "li.d" => {
+            need(2)?;
+            Instr::LiF { fd: freg(ln, args[0])?, imm: fimm(ln, args[1])? }
+        }
+        "mov.d" => {
+            need(2)?;
+            Instr::MoveF { fd: freg(ln, args[0])?, fs: freg(ln, args[1])? }
+        }
+        "add.d" | "sub.d" | "mul.d" | "div.d" => {
+            need(3)?;
+            let fop = match op {
+                "add.d" => FBinOp::Add,
+                "sub.d" => FBinOp::Sub,
+                "mul.d" => FBinOp::Mul,
+                _ => FBinOp::Div,
+            };
+            Instr::BinF {
+                op: fop,
+                fd: freg(ln, args[0])?,
+                fs: freg(ln, args[1])?,
+                ft: freg(ln, args[2])?,
+            }
+        }
+        "cvt.d.w" => {
+            need(2)?;
+            Instr::CvtIF { fd: freg(ln, args[0])?, rs: reg(ln, args[1])? }
+        }
+        "cvt.w.d" => {
+            need(2)?;
+            Instr::CvtFI { rd: reg(ln, args[0])?, fs: freg(ln, args[1])? }
+        }
+        "c.eq.d" | "c.lt.d" | "c.le.d" => {
+            need(2)?;
+            let cmp = match op {
+                "c.eq.d" => FCmp::Eq,
+                "c.lt.d" => FCmp::Lt,
+                _ => FCmp::Le,
+            };
+            Instr::CmpF { cmp, fs: freg(ln, args[0])?, ft: freg(ln, args[1])? }
+        }
+        "lw" => {
+            need(2)?;
+            let (base, offset) = mem(ln, args[1])?;
+            Instr::Load { rd: reg(ln, args[0])?, base, offset }
+        }
+        "sw" => {
+            need(2)?;
+            let (base, offset) = mem(ln, args[1])?;
+            Instr::Store { rs: reg(ln, args[0])?, base, offset }
+        }
+        "l.d" => {
+            need(2)?;
+            let (base, offset) = mem(ln, args[1])?;
+            Instr::LoadF { fd: freg(ln, args[0])?, base, offset }
+        }
+        "s.d" => {
+            need(2)?;
+            let (base, offset) = mem(ln, args[1])?;
+            Instr::StoreF { fs: freg(ln, args[0])?, base, offset }
+        }
+        "alloc" => {
+            need(2)?;
+            Instr::Alloc { rd: reg(ln, args[0])?, size: reg(ln, args[1])? }
+        }
+        "call" => return parse_call(ln, rest),
+        "j" => {
+            need(1)?;
+            return Ok(Line::Term(Terminator::Jump(block_id(ln, args[0])?)));
+        }
+        "ret" => {
+            let mut val = None;
+            let mut fval = None;
+            for a in &args {
+                if a.starts_with("$f") {
+                    fval = Some(freg(ln, a)?);
+                } else {
+                    val = Some(reg(ln, a)?);
+                }
+            }
+            return Ok(Line::Term(Terminator::Ret { val, fval }));
+        }
+        branch if branch.starts_with('b') => return parse_branch(ln, op, rest),
+        other => {
+            // Binary ALU ops, possibly with the immediate `i` suffix.
+            match binop_from(other) {
+                Some((bop, false)) => {
+                    need(3)?;
+                    Instr::Bin {
+                        op: bop,
+                        rd: reg(ln, args[0])?,
+                        rs: reg(ln, args[1])?,
+                        rt: reg(ln, args[2])?,
+                    }
+                }
+                Some((bop, true)) => {
+                    need(3)?;
+                    Instr::BinImm {
+                        op: bop,
+                        rd: reg(ln, args[0])?,
+                        rs: reg(ln, args[1])?,
+                        imm: imm(ln, args[2])?,
+                    }
+                }
+                None => return err(ln, format!("unknown opcode `{op}`")),
+            }
+        }
+    };
+    Ok(Line::Instr(i))
+}
+
+/// `bxx ..., Lk (else Lm)` terminators.
+fn parse_branch(ln: usize, op: &str, rest: &str) -> Result<Line, ParseError> {
+    let (main, else_part) = rest
+        .split_once("(else ")
+        .ok_or_else(|| ParseError { line: ln, message: "branch missing (else ...)".into() })?;
+    let fallthru = block_id(ln, else_part.trim_end_matches(')'))?;
+    let parts: Vec<&str> = main.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let (cond, taken) = match op {
+        "beqz" | "bnez" | "blez" | "bltz" | "bgez" | "bgtz" => {
+            if parts.len() != 2 {
+                return err(ln, format!("`{op}` needs register and target"));
+            }
+            let r = reg(ln, parts[0])?;
+            let c = match op {
+                "beqz" => Cond::Eqz(r),
+                "bnez" => Cond::Nez(r),
+                "blez" => Cond::Lez(r),
+                "bltz" => Cond::Ltz(r),
+                "bgez" => Cond::Gez(r),
+                _ => Cond::Gtz(r),
+            };
+            (c, block_id(ln, parts[1])?)
+        }
+        "beq" | "bne" => {
+            if parts.len() != 3 {
+                return err(ln, format!("`{op}` needs two registers and a target"));
+            }
+            let a = reg(ln, parts[0])?;
+            let b = reg(ln, parts[1])?;
+            let c = if op == "beq" { Cond::Eq(a, b) } else { Cond::Ne(a, b) };
+            (c, block_id(ln, parts[2])?)
+        }
+        "bc1t" | "bc1f" => {
+            if parts.len() != 1 {
+                return err(ln, format!("`{op}` needs a target"));
+            }
+            let c = if op == "bc1t" { Cond::FTrue } else { Cond::FFalse };
+            (c, block_id(ln, parts[0])?)
+        }
+        other => return err(ln, format!("unknown branch `{other}`")),
+    };
+    Ok(Line::Term(Terminator::Branch { cond, taken, fallthru }))
+}
+
+/// `call @k(args) -> rets`
+fn parse_call(ln: usize, rest: &str) -> Result<Line, ParseError> {
+    let rest = rest.trim();
+    let at = rest
+        .strip_prefix('@')
+        .ok_or_else(|| ParseError { line: ln, message: "call needs @id".into() })?;
+    let open = at
+        .find('(')
+        .ok_or_else(|| ParseError { line: ln, message: "call needs (args)".into() })?;
+    let callee = FuncId(
+        at[..open]
+            .parse()
+            .map_err(|e| ParseError { line: ln, message: format!("bad callee: {e}") })?,
+    );
+    let close = at
+        .find(')')
+        .ok_or_else(|| ParseError { line: ln, message: "call missing )".into() })?;
+    let mut args = Vec::new();
+    let mut fargs = Vec::new();
+    for a in at[open + 1..close].split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if a.starts_with("$f") {
+            fargs.push(freg(ln, a)?);
+        } else {
+            args.push(reg(ln, a)?);
+        }
+    }
+    let mut ret = None;
+    let mut fret = None;
+    if let Some(rets) = at[close + 1..].trim().strip_prefix("->") {
+        for r in rets.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if r.starts_with("$f") {
+                fret = Some(freg(ln, r)?);
+            } else {
+                ret = Some(reg(ln, r)?);
+            }
+        }
+    }
+    Ok(Line::Instr(Instr::Call { callee, args, fargs, ret, fret }))
+}
+
+/// Collected symbols become the program's table; re-exported here so the
+/// module is self-contained for doc links.
+#[allow(unused)]
+type Symbols = HashMap<String, GlobalSym>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_function() {
+        let text = "; globals: 0 words\nfn main() [frame=0 words]\nL0:\n    li $r0, 42\n    ret $r0\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.funcs().len(), 1);
+        assert_eq!(p.func(FuncId(0)).block(BlockId(0)).instrs.len(), 1);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let text = "; globals: 5 words\n; global n: [0..1) int\n; global w: [1..5) float\nfn main() [frame=0 words]\nL0:\n    ret\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.globals_words(), 5);
+        assert_eq!(p.symbol("n").unwrap().len, 1);
+        assert!(p.symbol("w").unwrap().is_float);
+    }
+
+    #[test]
+    fn reports_unknown_opcode_with_line() {
+        let text = "fn main() [frame=0 words]\nL0:\n    frobnicate $r0\n    ret\n";
+        let e = parse_program(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_branch_without_else() {
+        let text = "fn main() [frame=0 words]\nL0:\n    beqz $r0, L0\n";
+        let e = parse_program(text).unwrap_err();
+        assert!(e.message.contains("else"));
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+
+/// An integer (general-purpose) register.
+///
+/// Registers are virtual: a function may use any number of them. Three
+/// registers have a fixed architectural meaning, mirroring MIPS
+/// conventions that the Ball–Larus pointer heuristic depends on:
+///
+/// * [`Reg::ZERO`] always reads as zero and ignores writes,
+/// * [`Reg::SP`] is the stack pointer (local arrays live at `SP`-relative
+///   offsets),
+/// * [`Reg::GP`] is the global pointer (globals live at `GP`-relative
+///   offsets). The pointer heuristic skips loads off `GP`.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_ir::Reg;
+/// assert!(Reg::ZERO.is_special());
+/// assert!(!Reg::temp(0).is_special());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// The hard-wired zero register (`$zero`).
+    pub const ZERO: Reg = Reg(0);
+    /// The stack pointer (`$sp`).
+    pub const SP: Reg = Reg(1);
+    /// The global pointer (`$gp`).
+    pub const GP: Reg = Reg(2);
+    /// Index of the first allocatable (temporary) register.
+    pub const FIRST_TEMP: u32 = 3;
+
+    /// Returns the `n`-th temporary register.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bpfree_ir::Reg;
+    /// assert_ne!(Reg::temp(0), Reg::GP);
+    /// ```
+    pub fn temp(n: u32) -> Reg {
+        Reg(Reg::FIRST_TEMP + n)
+    }
+
+    /// Returns `true` for the architectural registers `ZERO`, `SP`, `GP`.
+    pub fn is_special(self) -> bool {
+        self.0 < Reg::FIRST_TEMP
+    }
+
+    /// The raw register index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::ZERO => write!(f, "$zero"),
+            Reg::SP => write!(f, "$sp"),
+            Reg::GP => write!(f, "$gp"),
+            Reg(n) => write!(f, "$r{}", n - Reg::FIRST_TEMP),
+        }
+    }
+}
+
+/// A floating-point register.
+///
+/// Unlike integer registers there are no special floating-point registers;
+/// all indices are allocatable.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_ir::FReg;
+/// assert_eq!(FReg(3).index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(pub u32);
+
+impl FReg {
+    /// The raw register index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_registers_are_distinct() {
+        assert_ne!(Reg::ZERO, Reg::SP);
+        assert_ne!(Reg::SP, Reg::GP);
+        assert_ne!(Reg::ZERO, Reg::GP);
+    }
+
+    #[test]
+    fn temp_registers_avoid_specials() {
+        for n in 0..100 {
+            assert!(!Reg::temp(n).is_special());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+        assert_eq!(Reg::SP.to_string(), "$sp");
+        assert_eq!(Reg::GP.to_string(), "$gp");
+        assert_eq!(Reg::temp(0).to_string(), "$r0");
+        assert_eq!(FReg(7).to_string(), "$f7");
+    }
+}

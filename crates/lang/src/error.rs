@@ -1,0 +1,100 @@
+use std::fmt;
+
+use crate::lexer::Span;
+
+/// Which compilation phase produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Lex,
+    Parse,
+    Type,
+    Internal,
+}
+
+/// An error produced while compiling Cmm source.
+///
+/// Carries a [`Span`] so callers can point at the offending source text;
+/// [`CompileError::render`] formats a `line:col` diagnostic.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    phase: Phase,
+    message: String,
+    span: Span,
+}
+
+impl CompileError {
+    pub(crate) fn lex(message: String, span: Span) -> CompileError {
+        CompileError { phase: Phase::Lex, message, span }
+    }
+
+    pub(crate) fn parse(message: String, span: Span) -> CompileError {
+        CompileError { phase: Phase::Parse, message, span }
+    }
+
+    pub(crate) fn ty(message: String, span: Span) -> CompileError {
+        CompileError { phase: Phase::Type, message, span }
+    }
+
+    pub(crate) fn internal(message: String) -> CompileError {
+        CompileError { phase: Phase::Internal, message, span: Span::default() }
+    }
+
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The bare error message, without location information.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Formats a `line:col: phase error: message` diagnostic against the
+    /// original source text.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let src = "fn main() -> int { return x; }";
+    /// let err = bpfree_lang::compile(src).unwrap_err();
+    /// assert!(err.render(src).contains("1:"));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("{line}:{col}: {self}")
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lexical error",
+            Phase::Parse => "syntax error",
+            Phase::Type => "type error",
+            Phase::Internal => "internal compiler error",
+        };
+        write!(f, "{phase}: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_message() {
+        let e = CompileError::ty("mismatched types".into(), Span::new(4, 8));
+        assert_eq!(e.to_string(), "type error: mismatched types");
+        assert_eq!(e.span(), Span::new(4, 8));
+        assert_eq!(e.message(), "mismatched types");
+    }
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let src = "line one\nline two";
+        let e = CompileError::parse("oops".into(), Span::new(9, 13));
+        assert_eq!(e.render(src), "2:1: syntax error: oops");
+    }
+}

@@ -1,0 +1,449 @@
+//! Leaf-function inlining.
+//!
+//! 1990s C compilers at `-O` saw `isdigit`-style helpers as macros or
+//! inlined them, so small leaf routines never appeared as calls in the
+//! object code the paper analysed. This pass gives Cmm the same
+//! behaviour: a function that makes **no calls** and is small (static
+//! size at most [`MAX_INLINE_SIZE`]) is spliced into every call site.
+//!
+//! Splicing a callee with its own blocks, registers, and stack frame into
+//! a caller requires:
+//!
+//! * remapping callee temporaries past the caller's register space
+//!   (`ZERO`/`GP` pass through unchanged);
+//! * giving the callee's frame a fresh region at the top of the caller's
+//!   frame and substituting `SP` with `SP + offset`;
+//! * turning each `ret` into moves to the call's result registers plus a
+//!   jump to the continuation block holding the instructions that
+//!   followed the call.
+
+use bpfree_ir::{
+    BinOp, Block, BlockId, Cond, FReg, Function, Instr, Reg, Terminator,
+};
+
+/// Maximum static size (instructions + terminators) of an inlinable
+/// function.
+pub(crate) const MAX_INLINE_SIZE: u64 = 24;
+
+/// Inlines small leaf callees into every caller, in place.
+pub(crate) fn inline_program(funcs: &mut [Function]) {
+    let inlinable: Vec<bool> = funcs.iter().map(is_inlinable).collect();
+    for caller_idx in 0..funcs.len() {
+        if inlinable[caller_idx] {
+            // Leaf functions contain no calls; nothing to do.
+            continue;
+        }
+        let mut work = InlineWork::from_function(&funcs[caller_idx]);
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let mut b = 0;
+            while b < work.blocks.len() {
+                if let Some(call_at) = work.blocks[b]
+                    .instrs
+                    .iter()
+                    .position(|i| is_inlinable_call(i, &inlinable, caller_idx))
+                {
+                    let Instr::Call { callee, .. } = work.blocks[b].instrs[call_at].clone()
+                    else {
+                        unreachable!("position matched a call")
+                    };
+                    work.splice(b, call_at, &funcs[callee.index()]);
+                    progress = true;
+                }
+                b += 1;
+            }
+        }
+        funcs[caller_idx] = work.into_function();
+    }
+}
+
+/// Drops functions unreachable from the entry point (`main`, or the
+/// first function) — a fully inlined static helper is not emitted, like
+/// a C compiler dropping inlined `static` functions. Rewrites call-site
+/// `FuncId`s for the compacted function list.
+pub(crate) fn eliminate_dead(funcs: &mut Vec<Function>) {
+    if funcs.is_empty() {
+        // A source with no functions; Program::new reports the error.
+        return;
+    }
+    let entry = funcs.iter().position(|f| f.name() == "main").unwrap_or(0);
+    let n = funcs.len();
+    let mut live = vec![false; n];
+    let mut stack = vec![entry];
+    live[entry] = true;
+    while let Some(f) = stack.pop() {
+        for block in funcs[f].blocks() {
+            for instr in &block.instrs {
+                if let Instr::Call { callee, .. } = instr {
+                    if !live[callee.index()] {
+                        live[callee.index()] = true;
+                        stack.push(callee.index());
+                    }
+                }
+            }
+        }
+    }
+    if live.iter().all(|&l| l) {
+        return;
+    }
+    let mut remap = vec![0u32; n];
+    let mut next = 0u32;
+    for (i, &is_live) in live.iter().enumerate() {
+        if is_live {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let old: Vec<Function> = std::mem::take(funcs);
+    for (i, f) in old.into_iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let mut blocks = f.blocks_vec();
+        for b in &mut blocks {
+            for instr in &mut b.instrs {
+                if let Instr::Call { callee, .. } = instr {
+                    *callee = bpfree_ir::FuncId(remap[callee.index()]);
+                }
+            }
+        }
+        funcs.push(f.with_blocks(blocks));
+    }
+}
+
+fn is_inlinable(f: &Function) -> bool {
+    f.static_size() <= MAX_INLINE_SIZE
+        && !f
+            .blocks()
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| i.is_call()))
+}
+
+fn is_inlinable_call(i: &Instr, inlinable: &[bool], caller_idx: usize) -> bool {
+    match i {
+        Instr::Call { callee, .. } => {
+            callee.index() != caller_idx && inlinable[callee.index()]
+        }
+        _ => false,
+    }
+}
+
+struct InlineWork {
+    name: String,
+    blocks: Vec<Block>,
+    params: Vec<Reg>,
+    fparams: Vec<FReg>,
+    n_regs: u32,
+    n_fregs: u32,
+    frame_words: i64,
+}
+
+impl InlineWork {
+    fn from_function(f: &Function) -> InlineWork {
+        InlineWork {
+            name: f.name().to_string(),
+            blocks: f.blocks_vec(),
+            params: f.params().to_vec(),
+            fparams: f.fparams().to_vec(),
+            n_regs: f.n_regs(),
+            n_fregs: f.n_fregs(),
+            frame_words: f.frame_words(),
+        }
+    }
+
+    fn into_function(self) -> Function {
+        Function::assemble(
+            self.name,
+            self.blocks,
+            self.params,
+            self.fparams,
+            self.n_regs,
+            self.n_fregs,
+            self.frame_words,
+        )
+    }
+
+    /// Replaces the call at `blocks[b].instrs[call_at]` with the body of
+    /// `callee`.
+    fn splice(&mut self, b: usize, call_at: usize, callee: &Function) {
+        let Instr::Call { args, fargs, ret, fret, .. } =
+            self.blocks[b].instrs[call_at].clone()
+        else {
+            unreachable!("splice called on a non-call")
+        };
+
+        // Fresh register space for the callee.
+        let reg_base = self.n_regs;
+        let freg_base = self.n_fregs;
+        self.n_regs += callee.n_regs();
+        self.n_fregs += callee.n_fregs();
+        // Fresh frame region; `SP` in the callee becomes `sp2`.
+        let frame_off = self.frame_words;
+        self.frame_words += callee.frame_words();
+        let sp2 = Reg(self.n_regs);
+        self.n_regs += 1;
+
+        let map_reg = |r: Reg| -> Reg {
+            if r == Reg::ZERO || r == Reg::GP {
+                r
+            } else if r == Reg::SP {
+                sp2
+            } else {
+                Reg(reg_base + r.index())
+            }
+        };
+        let map_freg = |r: FReg| FReg(freg_base + r.index());
+
+        // Split the call block: head keeps the prefix, a new continuation
+        // block receives the suffix and the original terminator.
+        let tail_instrs: Vec<Instr> = self.blocks[b].instrs.split_off(call_at + 1);
+        self.blocks[b].instrs.pop(); // drop the call itself
+        let head_term = self.blocks[b].term.clone();
+        let cont_id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { instrs: tail_instrs, term: head_term });
+
+        // Prologue in the head block: sp2, argument moves.
+        self.blocks[b].instrs.push(Instr::BinImm {
+            op: BinOp::Add,
+            rd: sp2,
+            rs: Reg::SP,
+            imm: frame_off,
+        });
+        for (param, arg) in callee.params().iter().zip(&args) {
+            self.blocks[b].instrs.push(Instr::Move { rd: map_reg(*param), rs: *arg });
+        }
+        for (param, arg) in callee.fparams().iter().zip(&fargs) {
+            self.blocks[b]
+                .instrs
+                .push(Instr::MoveF { fd: map_freg(*param), fs: *arg });
+        }
+
+        // Copy the callee's blocks with remapped registers and block ids.
+        let block_base = self.blocks.len() as u32;
+        let map_block = |id: BlockId| BlockId(block_base + id.0);
+        for src in callee.blocks() {
+            let instrs: Vec<Instr> =
+                src.instrs.iter().map(|i| remap_instr(i, &map_reg, &map_freg)).collect();
+            let term = match &src.term {
+                Terminator::Jump(t) => Terminator::Jump(map_block(*t)),
+                Terminator::Branch { cond, taken, fallthru } => Terminator::Branch {
+                    cond: remap_cond(cond, &map_reg),
+                    taken: map_block(*taken),
+                    fallthru: map_block(*fallthru),
+                },
+                Terminator::Ret { val, fval } => {
+                    // ret -> result moves + jump to the continuation.
+                    let mut epilogue = Vec::new();
+                    if let (Some(dst), Some(src)) = (ret, *val) {
+                        epilogue.push(Instr::Move { rd: dst, rs: map_reg(src) });
+                    }
+                    if let (Some(dst), Some(src)) = (fret, *fval) {
+                        epilogue.push(Instr::MoveF { fd: dst, fs: map_freg(src) });
+                    }
+                    let mut block = Block { instrs: instrs.clone(), term: Terminator::Jump(cont_id) };
+                    block.instrs.extend(epilogue);
+                    self.blocks.push(block);
+                    continue;
+                }
+            };
+            self.blocks.push(Block { instrs, term });
+        }
+        // Enter the inlined body.
+        self.blocks[b].term = Terminator::Jump(BlockId(block_base));
+    }
+}
+
+fn remap_instr(
+    i: &Instr,
+    map_reg: &impl Fn(Reg) -> Reg,
+    map_freg: &impl Fn(FReg) -> FReg,
+) -> Instr {
+    let mut out = i.clone();
+    match &mut out {
+        Instr::Li { rd, .. } => *rd = map_reg(*rd),
+        Instr::Move { rd, rs } => {
+            *rd = map_reg(*rd);
+            *rs = map_reg(*rs);
+        }
+        Instr::Bin { rd, rs, rt, .. } => {
+            *rd = map_reg(*rd);
+            *rs = map_reg(*rs);
+            *rt = map_reg(*rt);
+        }
+        Instr::BinImm { rd, rs, .. } => {
+            *rd = map_reg(*rd);
+            *rs = map_reg(*rs);
+        }
+        Instr::LiF { fd, .. } => *fd = map_freg(*fd),
+        Instr::MoveF { fd, fs } => {
+            *fd = map_freg(*fd);
+            *fs = map_freg(*fs);
+        }
+        Instr::BinF { fd, fs, ft, .. } => {
+            *fd = map_freg(*fd);
+            *fs = map_freg(*fs);
+            *ft = map_freg(*ft);
+        }
+        Instr::CvtIF { fd, rs } => {
+            *fd = map_freg(*fd);
+            *rs = map_reg(*rs);
+        }
+        Instr::CvtFI { rd, fs } => {
+            *rd = map_reg(*rd);
+            *fs = map_freg(*fs);
+        }
+        Instr::CmpF { fs, ft, .. } => {
+            *fs = map_freg(*fs);
+            *ft = map_freg(*ft);
+        }
+        Instr::Load { rd, base, .. } => {
+            *rd = map_reg(*rd);
+            *base = map_reg(*base);
+        }
+        Instr::Store { rs, base, .. } => {
+            *rs = map_reg(*rs);
+            *base = map_reg(*base);
+        }
+        Instr::LoadF { fd, base, .. } => {
+            *fd = map_freg(*fd);
+            *base = map_reg(*base);
+        }
+        Instr::StoreF { fs, base, .. } => {
+            *fs = map_freg(*fs);
+            *base = map_reg(*base);
+        }
+        Instr::Alloc { rd, size } => {
+            *rd = map_reg(*rd);
+            *size = map_reg(*size);
+        }
+        Instr::Call { .. } => unreachable!("leaf callees contain no calls"),
+    }
+    out
+}
+
+fn remap_cond(c: &Cond, map_reg: &impl Fn(Reg) -> Reg) -> Cond {
+    match *c {
+        Cond::Eqz(r) => Cond::Eqz(map_reg(r)),
+        Cond::Nez(r) => Cond::Nez(map_reg(r)),
+        Cond::Lez(r) => Cond::Lez(map_reg(r)),
+        Cond::Ltz(r) => Cond::Ltz(map_reg(r)),
+        Cond::Gez(r) => Cond::Gez(map_reg(r)),
+        Cond::Gtz(r) => Cond::Gtz(map_reg(r)),
+        Cond::Eq(a, b) => Cond::Eq(map_reg(a), map_reg(b)),
+        Cond::Ne(a, b) => Cond::Ne(map_reg(a), map_reg(b)),
+        Cond::FTrue => Cond::FTrue,
+        Cond::FFalse => Cond::FFalse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfree_ir::{FuncId, FunctionBuilder, Program};
+
+    fn leaf_double() -> Function {
+        let mut b = FunctionBuilder::new("double");
+        let x = b.add_param();
+        let r = b.new_reg();
+        let e = b.entry();
+        b.push(e, Instr::Bin { op: BinOp::Add, rd: r, rs: x, rt: x });
+        b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        b.finish().unwrap()
+    }
+
+    fn caller_of(callee_id: FuncId) -> Function {
+        let mut b = FunctionBuilder::new("main");
+        let e = b.entry();
+        let a = b.new_reg();
+        let r = b.new_reg();
+        b.push(e, Instr::Li { rd: a, imm: 21 });
+        b.push(
+            e,
+            Instr::Call { callee: callee_id, args: vec![a], fargs: vec![], ret: Some(r), fret: None },
+        );
+        b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn inlines_leaf_call_and_preserves_semantics() {
+        let mut funcs = vec![caller_of(FuncId(1)), leaf_double()];
+        inline_program(&mut funcs);
+        // The caller no longer calls anything.
+        assert!(!funcs[0]
+            .blocks()
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| i.is_call())));
+        let p = Program::new(funcs, 0).unwrap();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn recursive_functions_are_not_inlined() {
+        // A function that calls itself is not a leaf.
+        let mut b = FunctionBuilder::new("r");
+        let e = b.entry();
+        let x = b.add_param();
+        b.push(
+            e,
+            Instr::Call { callee: FuncId(0), args: vec![x], fargs: vec![], ret: None, fret: None },
+        );
+        b.set_term(e, Terminator::Ret { val: None, fval: None });
+        let rec = b.finish().unwrap();
+        let mut funcs = vec![rec, caller_of(FuncId(0))];
+        inline_program(&mut funcs);
+        assert!(funcs[1].blocks().iter().any(|b| b.instrs.iter().any(|i| i.is_call())));
+    }
+
+    #[test]
+    fn large_functions_are_not_inlined() {
+        let mut b = FunctionBuilder::new("big");
+        let x = b.add_param();
+        let e = b.entry();
+        for _ in 0..(MAX_INLINE_SIZE + 4) {
+            let r = b.new_reg();
+            b.push(e, Instr::Bin { op: BinOp::Add, rd: r, rs: x, rt: x });
+        }
+        b.set_term(e, Terminator::Ret { val: Some(x), fval: None });
+        let big = b.finish().unwrap();
+        let mut funcs = vec![caller_of(FuncId(1)), big];
+        inline_program(&mut funcs);
+        assert!(funcs[0].blocks().iter().any(|b| b.instrs.iter().any(|i| i.is_call())));
+    }
+
+    #[test]
+    fn frame_space_is_reserved_for_inlined_callee() {
+        // A leaf with a local array.
+        let mut b = FunctionBuilder::new("leafarr");
+        let e = b.entry();
+        let off = b.reserve_frame(4);
+        let r = b.new_reg();
+        b.push(e, Instr::Load { rd: r, base: Reg::SP, offset: off });
+        b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        let leaf = b.finish().unwrap();
+
+        let mut caller = FunctionBuilder::new("main");
+        let e = caller.entry();
+        let coff = caller.reserve_frame(2);
+        let r = caller.new_reg();
+        caller.push(e, Instr::Load { rd: r, base: Reg::SP, offset: coff });
+        caller.push(
+            e,
+            Instr::Call { callee: FuncId(1), args: vec![], fargs: vec![], ret: Some(r), fret: None },
+        );
+        caller.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        let main = caller.finish().unwrap();
+
+        let mut funcs = vec![main, leaf];
+        inline_program(&mut funcs);
+        assert_eq!(funcs[0].frame_words(), 6);
+        // The callee's SP use must go through an adjusted base register.
+        let has_sp_adjust = funcs[0].blocks().iter().any(|b| {
+            b.instrs.iter().any(
+                |i| matches!(i, Instr::BinImm { op: BinOp::Add, rs, imm: 2, .. } if *rs == Reg::SP),
+            )
+        });
+        assert!(has_sp_adjust);
+    }
+}

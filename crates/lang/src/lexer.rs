@@ -1,0 +1,519 @@
+use std::fmt;
+
+use crate::error::CompileError;
+
+/// A byte range in the source text, used for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // Keywords.
+    KwGlobal,
+    KwFn,
+    KwInt,
+    KwFloat,
+    KwPtr,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwNull,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::Float(v) => write!(f, "float literal `{v}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::KwGlobal => write!(f, "`global`"),
+            TokenKind::KwFn => write!(f, "`fn`"),
+            TokenKind::KwInt => write!(f, "`int`"),
+            TokenKind::KwFloat => write!(f, "`float`"),
+            TokenKind::KwPtr => write!(f, "`ptr`"),
+            TokenKind::KwIf => write!(f, "`if`"),
+            TokenKind::KwElse => write!(f, "`else`"),
+            TokenKind::KwWhile => write!(f, "`while`"),
+            TokenKind::KwDo => write!(f, "`do`"),
+            TokenKind::KwFor => write!(f, "`for`"),
+            TokenKind::KwBreak => write!(f, "`break`"),
+            TokenKind::KwContinue => write!(f, "`continue`"),
+            TokenKind::KwReturn => write!(f, "`return`"),
+            TokenKind::KwNull => write!(f, "`null`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Shl => write!(f, "`<<`"),
+            TokenKind::Shr => write!(f, "`>>`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::NotEq => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Converts Cmm source text into tokens.
+///
+/// Supports `//` line comments and `/* */` block comments, decimal and
+/// hexadecimal (`0x`) integers, and floats with optional exponents.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_lang::{Lexer, TokenKind};
+/// let tokens = Lexer::new("x = 0x10; // comment").tokenize().unwrap();
+/// assert_eq!(tokens[2].kind, TokenKind::Int(16));
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenizes the whole input, ending with an [`TokenKind::Eof`] token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on an unknown character, an unterminated
+    /// block comment, or a malformed numeric literal.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(&c) = self.bytes.get(self.pos) else {
+                out.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_keyword(),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b'+' => self.single(TokenKind::Plus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'^' => self.single(TokenKind::Caret),
+                b'-' => {
+                    if self.peek2() == Some(b'>') {
+                        self.pos += 2;
+                        TokenKind::Arrow
+                    } else {
+                        self.single(TokenKind::Minus)
+                    }
+                }
+                b'&' => {
+                    if self.peek2() == Some(b'&') {
+                        self.pos += 2;
+                        TokenKind::AmpAmp
+                    } else {
+                        self.single(TokenKind::Amp)
+                    }
+                }
+                b'|' => {
+                    if self.peek2() == Some(b'|') {
+                        self.pos += 2;
+                        TokenKind::PipePipe
+                    } else {
+                        self.single(TokenKind::Pipe)
+                    }
+                }
+                b'=' => {
+                    if self.peek2() == Some(b'=') {
+                        self.pos += 2;
+                        TokenKind::EqEq
+                    } else {
+                        self.single(TokenKind::Assign)
+                    }
+                }
+                b'!' => {
+                    if self.peek2() == Some(b'=') {
+                        self.pos += 2;
+                        TokenKind::NotEq
+                    } else {
+                        self.single(TokenKind::Bang)
+                    }
+                }
+                b'<' => match self.peek2() {
+                    Some(b'=') => {
+                        self.pos += 2;
+                        TokenKind::Le
+                    }
+                    Some(b'<') => {
+                        self.pos += 2;
+                        TokenKind::Shl
+                    }
+                    _ => self.single(TokenKind::Lt),
+                },
+                b'>' => match self.peek2() {
+                    Some(b'=') => {
+                        self.pos += 2;
+                        TokenKind::Ge
+                    }
+                    Some(b'>') => {
+                        self.pos += 2;
+                        TokenKind::Shr
+                    }
+                    _ => self.single(TokenKind::Gt),
+                },
+                other => {
+                    return Err(CompileError::lex(
+                        format!("unknown character `{}`", other as char),
+                        Span::new(start, start + 1),
+                    ))
+                }
+            };
+            out.push(Token { kind, span: Span::new(start, self.pos) });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(&c) = self.bytes.get(self.pos) {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.bytes.get(self.pos) {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(CompileError::lex(
+                                    "unterminated block comment".into(),
+                                    Span::new(start, self.pos),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, CompileError> {
+        let start = self.pos;
+        if self.bytes[self.pos] == b'0' && self.peek2() == Some(b'x') {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            let text = &self.src[digits_start..self.pos];
+            let value = i64::from_str_radix(text, 16).map_err(|e| {
+                CompileError::lex(
+                    format!("bad hexadecimal literal: {e}"),
+                    Span::new(start, self.pos),
+                )
+            })?;
+            return Ok(TokenKind::Int(value));
+        }
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && matches!(self.bytes.get(self.pos + 1), Some(c) if c.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e') | Some(b'E')) {
+            let mut ahead = self.pos + 1;
+            if matches!(self.bytes.get(ahead), Some(b'+') | Some(b'-')) {
+                ahead += 1;
+            }
+            if matches!(self.bytes.get(ahead), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                self.pos = ahead;
+                while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            let value: f64 = text.parse().map_err(|e| {
+                CompileError::lex(format!("bad float literal: {e}"), Span::new(start, self.pos))
+            })?;
+            Ok(TokenKind::Float(value))
+        } else {
+            let value: i64 = text.parse().map_err(|e| {
+                CompileError::lex(format!("bad integer literal: {e}"), Span::new(start, self.pos))
+            })?;
+            Ok(TokenKind::Int(value))
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        match &self.src[start..self.pos] {
+            "global" => TokenKind::KwGlobal,
+            "fn" => TokenKind::KwFn,
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "ptr" => TokenKind::KwPtr,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "do" => TokenKind::KwDo,
+            "for" => TokenKind::KwFor,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "null" => TokenKind::KwNull,
+            other => TokenKind::Ident(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        assert_eq!(
+            kinds("fn foo if ifx"),
+            vec![
+                TokenKind::KwFn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::KwIf,
+                TokenKind::Ident("ifx".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 0x1f 3.5 1e9 2.5e-3"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Float(3.5),
+                TokenKind::Float(1e9),
+                TokenKind::Float(2.5e-3),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_then_dot_is_not_float_without_digit() {
+        // `1.x` would be a syntax error later, but the lexer must not eat
+        // the dot — there is no dot token, so it errors.
+        assert!(Lexer::new("1.x").tokenize().is_err());
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && || ->"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n multi */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(Lexer::new("/* oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors_with_span() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('@'), "{msg}");
+    }
+
+    #[test]
+    fn spans_cover_token_text() {
+        let toks = Lexer::new("ab + cd").tokenize().unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn line_col_computation() {
+        let src = "ab\ncd ef";
+        let toks = Lexer::new(src).tokenize().unwrap();
+        assert_eq!(toks[0].span.line_col(src), (1, 1));
+        assert_eq!(toks[1].span.line_col(src), (2, 1));
+        assert_eq!(toks[2].span.line_col(src), (2, 4));
+    }
+}

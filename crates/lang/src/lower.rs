@@ -1,0 +1,1105 @@
+//! Lowering from the Cmm AST to the MIPS-flavoured IR.
+//!
+//! Code generation idioms (all load-bearing for the paper's heuristics):
+//!
+//! * `if` statements branch **on the negated condition** with the else/join
+//!   side on the taken edge (branch-over style, like MIPS compilers);
+//! * `while`/`for` loops are **rotated**: a guard branch around a do-until
+//!   body with the test replicated at the bottom; the bottom test branches
+//!   back on the *true* condition so the backedge is the taken edge;
+//! * comparisons against zero use the sign-test conditions
+//!   (`blez`/`bltz`/`bgez`/`bgtz` analogues), equality tests use
+//!   `beq`/`bne` analogues, other relational tests materialise through
+//!   `slt`/`sle`, and float comparisons set the FP condition flag;
+//! * global scalars and constant-indexed global arrays are addressed
+//!   directly off `$gp`; local arrays off `$sp`; heap cells off ordinary
+//!   registers.
+
+use std::collections::HashMap;
+
+use bpfree_ir::{
+    BinOp as IrBinOp, BlockId, Cond, FBinOp, FCmp, FReg, FuncId, FunctionBuilder, GlobalSym,
+    Instr, Program, ProgramBuilder, Reg, Terminator,
+};
+
+use crate::ast::{BinOp, Expr, ExprKind, Item, Program as Ast, Stmt, StmtKind, Type, UnOp};
+use crate::error::CompileError;
+use crate::lexer::Span;
+
+/// Lowers a parsed program to validated IR, running the optimisation
+/// passes selected by `options`.
+pub fn lower(ast: &Ast, options: crate::Options) -> Result<Program, CompileError> {
+    // Pass 1: lay out globals.
+    let mut globals: HashMap<String, GlobalInfo> = HashMap::new();
+    let mut next_off = 0i64;
+    for item in &ast.items {
+        if let Item::Global { ty, name, size, span } = item {
+            if globals.contains_key(name) {
+                return Err(CompileError::ty(format!("duplicate global `{name}`"), *span));
+            }
+            let len = size.unwrap_or(1);
+            globals.insert(
+                name.clone(),
+                GlobalInfo { off: next_off, len, ty: *ty, array: size.is_some() },
+            );
+            next_off += len;
+        }
+    }
+    let globals_words = next_off;
+
+    // Pass 2: collect function signatures.
+    let mut sigs: HashMap<String, FuncSig> = HashMap::new();
+    let mut order: Vec<&Item> = Vec::new();
+    for item in &ast.items {
+        if let Item::Function { name, params, ret, span, .. } = item {
+            if sigs.contains_key(name) {
+                return Err(CompileError::ty(format!("duplicate function `{name}`"), *span));
+            }
+            if matches!(name.as_str(), "alloc" | "int" | "float") {
+                return Err(CompileError::ty(
+                    format!("`{name}` is a builtin and cannot be redefined"),
+                    *span,
+                ));
+            }
+            if globals.contains_key(name) {
+                return Err(CompileError::ty(
+                    format!("`{name}` is already a global"),
+                    *span,
+                ));
+            }
+            sigs.insert(
+                name.clone(),
+                FuncSig {
+                    id: FuncId(order.len() as u32),
+                    params: params.iter().map(|(t, _)| *t).collect(),
+                    ret: *ret,
+                },
+            );
+            order.push(item);
+        }
+    }
+
+    // Pass 3: lower each function, then run the optimisation pipeline:
+    // leaf inlining (so helper calls vanish like 1990s macros), block
+    // straightening, unreachable-block removal, and copy propagation.
+    let mut funcs = Vec::with_capacity(order.len());
+    for item in order {
+        let Item::Function { name, params, ret, body, span } = item else { unreachable!() };
+        funcs.push(FnLower::new(name, params, *ret, &globals, &sigs).lower_body(body, *span)?);
+    }
+    if options.inline {
+        crate::inline::inline_program(&mut funcs);
+        crate::inline::eliminate_dead(&mut funcs);
+    }
+    let mut pb = ProgramBuilder::new();
+    for f in funcs {
+        pb.add_function(if options.simplify { crate::passes::simplify(f) } else { f });
+    }
+    for (name, g) in &globals {
+        pb.add_global(
+            name.clone(),
+            GlobalSym { offset: g.off, len: g.len, is_float: g.ty == Type::Float },
+        );
+    }
+    pb.finish(globals_words)
+        .map_err(|e| CompileError::internal(format!("generated invalid IR: {e}")))
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GlobalInfo {
+    off: i64,
+    len: i64,
+    ty: Type,
+    array: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FuncSig {
+    id: FuncId,
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+/// A value held in a register.
+#[derive(Debug, Clone, Copy)]
+enum Value {
+    Word(Reg),
+    Float(FReg),
+}
+
+/// A local binding.
+#[derive(Debug, Clone, Copy)]
+enum Local {
+    Word(Reg),
+    Float(FReg),
+    /// A local array in the SP-addressed frame.
+    Array { off: i64, len: i64, float: bool },
+}
+
+/// Which CFG edge the "interesting" target should sit on when emitting a
+/// branch — mirrors how a code generator linearises code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Polarity {
+    /// Branch on the negated condition; the false target is the taken
+    /// edge (branch-over, the `if` statement shape).
+    FalseTaken,
+    /// Branch on the condition itself; the true target is the taken edge
+    /// (branch-back, the loop latch shape).
+    TrueTaken,
+}
+
+impl Polarity {
+    fn flip(self) -> Polarity {
+        match self {
+            Polarity::FalseTaken => Polarity::TrueTaken,
+            Polarity::TrueTaken => Polarity::FalseTaken,
+        }
+    }
+}
+
+struct FnLower<'a> {
+    b: FunctionBuilder,
+    cur: BlockId,
+    terminated: bool,
+    globals: &'a HashMap<String, GlobalInfo>,
+    sigs: &'a HashMap<String, FuncSig>,
+    scopes: Vec<HashMap<String, Local>>,
+    /// (break target, continue target) for each enclosing loop.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    ret: Option<Type>,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(
+        name: &str,
+        params: &[(Type, String)],
+        ret: Option<Type>,
+        globals: &'a HashMap<String, GlobalInfo>,
+        sigs: &'a HashMap<String, FuncSig>,
+    ) -> FnLower<'a> {
+        let mut b = FunctionBuilder::new(name);
+        let mut scope = HashMap::new();
+        for (ty, pname) in params {
+            let local = match ty {
+                Type::Float => Local::Float(b.add_fparam()),
+                Type::Int | Type::Ptr => Local::Word(b.add_param()),
+            };
+            scope.insert(pname.clone(), local);
+        }
+        let cur = b.entry();
+        FnLower {
+            b,
+            cur,
+            terminated: false,
+            globals,
+            sigs,
+            scopes: vec![scope],
+            loop_stack: Vec::new(),
+            ret,
+        }
+    }
+
+    fn lower_body(
+        mut self,
+        body: &[Stmt],
+        span: Span,
+    ) -> Result<bpfree_ir::Function, CompileError> {
+        self.stmts(body)?;
+        if !self.terminated {
+            // Falling off the end returns zero (of the declared type).
+            let term = match self.ret {
+                Some(Type::Float) => {
+                    let f = self.b.new_freg();
+                    self.emit(Instr::LiF { fd: f, imm: 0.0 });
+                    Terminator::Ret { val: None, fval: Some(f) }
+                }
+                Some(_) => {
+                    let r = self.b.new_reg();
+                    self.emit(Instr::Li { rd: r, imm: 0 });
+                    Terminator::Ret { val: Some(r), fval: None }
+                }
+                None => Terminator::Ret { val: None, fval: None },
+            };
+            self.b.set_term(self.cur, term);
+        }
+        self.b
+            .finish()
+            .map_err(|e| CompileError::ty(format!("internal lowering error: {e}"), span))
+    }
+
+    // ---- helpers ----
+
+    fn emit(&mut self, i: Instr) {
+        debug_assert!(!self.terminated);
+        self.b.push(self.cur, i);
+    }
+
+    fn switch_to(&mut self, blk: BlockId) {
+        self.cur = blk;
+        self.terminated = false;
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        self.b.set_term(self.cur, t);
+        self.terminated = true;
+    }
+
+    fn lookup(&self, name: &str) -> Option<Local> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(l) = scope.get(name) {
+                return Some(*l);
+            }
+        }
+        None
+    }
+
+    fn declare(&mut self, name: &str, local: Local, span: Span) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(CompileError::ty(
+                format!("`{name}` already declared in this scope"),
+                span,
+            ));
+        }
+        scope.insert(name.to_string(), local);
+        Ok(())
+    }
+
+    fn expect_word(&self, v: Value, span: Span) -> Result<Reg, CompileError> {
+        match v {
+            Value::Word(r) => Ok(r),
+            Value::Float(_) => Err(CompileError::ty(
+                "expected an integer or pointer value, found float".into(),
+                span,
+            )),
+        }
+    }
+
+    /// Coerces `v` to float, inserting an int-to-float conversion.
+    fn coerce_float(&mut self, v: Value) -> FReg {
+        match v {
+            Value::Float(f) => f,
+            Value::Word(r) => {
+                let f = self.b.new_freg();
+                self.emit(Instr::CvtIF { fd: f, rs: r });
+                f
+            }
+        }
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        for stmt in body {
+            if self.terminated {
+                // Dead code after break/continue/return: skip, like a
+                // compiler dropping unreachable statements.
+                break;
+            }
+            self.stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        let span = stmt.span;
+        match &stmt.kind {
+            StmtKind::Decl { ty, name, size } => {
+                let local = match (size, ty) {
+                    (None, Type::Float) => {
+                        let f = self.b.new_freg();
+                        self.emit(Instr::LiF { fd: f, imm: 0.0 });
+                        Local::Float(f)
+                    }
+                    (None, _) => {
+                        let r = self.b.new_reg();
+                        self.emit(Instr::Li { rd: r, imm: 0 });
+                        Local::Word(r)
+                    }
+                    (Some(n), ty) => {
+                        if *ty == Type::Ptr {
+                            return Err(CompileError::ty(
+                                "arrays of `ptr` are spelled `int name[N]` (words)".into(),
+                                span,
+                            ));
+                        }
+                        let off = self.b.reserve_frame(*n);
+                        Local::Array { off, len: *n, float: *ty == Type::Float }
+                    }
+                };
+                self.declare(name, local, span)
+            }
+            StmtKind::Assign { target, value } => self.assign(target, value),
+            StmtKind::ExprStmt(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                let term = match (value, self.ret) {
+                    (Some(e), Some(Type::Float)) => {
+                        let v = self.expr(e)?;
+                        let f = self.coerce_float(v);
+                        Terminator::Ret { val: None, fval: Some(f) }
+                    }
+                    (Some(e), Some(_)) => {
+                        let v = self.expr(e)?;
+                        let r = self.expect_word(v, e.span)?;
+                        Terminator::Ret { val: Some(r), fval: None }
+                    }
+                    (Some(e), None) => {
+                        return Err(CompileError::ty(
+                            "returning a value from a function with no return type".into(),
+                            e.span,
+                        ))
+                    }
+                    (None, Some(_)) => {
+                        return Err(CompileError::ty(
+                            "this function must return a value".into(),
+                            span,
+                        ))
+                    }
+                    (None, None) => Terminator::Ret { val: None, fval: None },
+                };
+                self.terminate(term);
+                Ok(())
+            }
+            StmtKind::Break => match self.loop_stack.last() {
+                Some(&(brk, _)) => {
+                    self.terminate(Terminator::Jump(brk));
+                    Ok(())
+                }
+                None => Err(CompileError::ty("`break` outside of a loop".into(), span)),
+            },
+            StmtKind::Continue => match self.loop_stack.last() {
+                Some(&(_, cont)) => {
+                    self.terminate(Terminator::Jump(cont));
+                    Ok(())
+                }
+                None => Err(CompileError::ty("`continue` outside of a loop".into(), span)),
+            },
+            StmtKind::Block(body) => {
+                self.scopes.push(HashMap::new());
+                let r = self.stmts(body);
+                self.scopes.pop();
+                r
+            }
+            StmtKind::If { cond, then_body, else_body } => {
+                let then_blk = self.b.new_block();
+                let join = self.b.new_block();
+                let else_blk = if else_body.is_empty() { join } else { self.b.new_block() };
+                self.cond(cond, then_blk, else_blk, Polarity::FalseTaken)?;
+
+                self.switch_to(then_blk);
+                self.scopes.push(HashMap::new());
+                self.stmts(then_body)?;
+                self.scopes.pop();
+                let then_done = self.terminated;
+                if !then_done {
+                    self.terminate(Terminator::Jump(join));
+                }
+
+                let mut else_done = false;
+                if !else_body.is_empty() {
+                    self.switch_to(else_blk);
+                    self.scopes.push(HashMap::new());
+                    self.stmts(else_body)?;
+                    self.scopes.pop();
+                    else_done = self.terminated;
+                    if !else_done {
+                        self.terminate(Terminator::Jump(join));
+                    }
+                }
+
+                self.switch_to(join);
+                if then_done && (else_done || else_body.is_empty()) && !else_body.is_empty() {
+                    // Both arms terminated: the join is unreachable.
+                    self.terminate(Terminator::Ret { val: None, fval: None });
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                // Rotated: guard, body (loop head), replicated bottom test.
+                let body_blk = self.b.new_block();
+                let latch = self.b.new_block();
+                let exit = self.b.new_block();
+                self.cond(cond, body_blk, exit, Polarity::FalseTaken)?;
+
+                self.switch_to(body_blk);
+                self.loop_stack.push((exit, latch));
+                self.scopes.push(HashMap::new());
+                self.stmts(body)?;
+                self.scopes.pop();
+                self.loop_stack.pop();
+                if !self.terminated {
+                    self.terminate(Terminator::Jump(latch));
+                }
+
+                self.switch_to(latch);
+                self.cond(cond, body_blk, exit, Polarity::TrueTaken)?;
+                self.switch_to(exit);
+                Ok(())
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let body_blk = self.b.new_block();
+                let latch = self.b.new_block();
+                let exit = self.b.new_block();
+                self.terminate(Terminator::Jump(body_blk));
+
+                self.switch_to(body_blk);
+                self.loop_stack.push((exit, latch));
+                self.scopes.push(HashMap::new());
+                self.stmts(body)?;
+                self.scopes.pop();
+                self.loop_stack.pop();
+                if !self.terminated {
+                    self.terminate(Terminator::Jump(latch));
+                }
+
+                self.switch_to(latch);
+                self.cond(cond, body_blk, exit, Polarity::TrueTaken)?;
+                self.switch_to(exit);
+                Ok(())
+            }
+            StmtKind::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let body_blk = self.b.new_block();
+                let step_blk = self.b.new_block();
+                let exit = self.b.new_block();
+                match cond {
+                    Some(c) => self.cond(c, body_blk, exit, Polarity::FalseTaken)?,
+                    None => self.terminate(Terminator::Jump(body_blk)),
+                }
+
+                self.switch_to(body_blk);
+                self.loop_stack.push((exit, step_blk));
+                self.scopes.push(HashMap::new());
+                self.stmts(body)?;
+                self.scopes.pop();
+                self.loop_stack.pop();
+                if !self.terminated {
+                    self.terminate(Terminator::Jump(step_blk));
+                }
+
+                self.switch_to(step_blk);
+                if let Some(step) = step {
+                    self.stmt(step)?;
+                }
+                match cond {
+                    Some(c) => self.cond(c, body_blk, exit, Polarity::TrueTaken)?,
+                    None => self.terminate(Terminator::Jump(body_blk)),
+                }
+                self.scopes.pop();
+                self.switch_to(exit);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &Expr, value: &Expr) -> Result<(), CompileError> {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                if let Some(local) = self.lookup(name) {
+                    match local {
+                        Local::Word(reg) => {
+                            let v = self.expr(value)?;
+                            let r = self.expect_word(v, value.span)?;
+                            self.emit(Instr::Move { rd: reg, rs: r });
+                            Ok(())
+                        }
+                        Local::Float(freg) => {
+                            let v = self.expr(value)?;
+                            let f = self.coerce_float(v);
+                            self.emit(Instr::MoveF { fd: freg, fs: f });
+                            Ok(())
+                        }
+                        Local::Array { .. } => Err(CompileError::ty(
+                            format!("cannot assign to array `{name}` without an index"),
+                            target.span,
+                        )),
+                    }
+                } else if let Some(&g) = self.globals.get(name) {
+                    if g.array {
+                        return Err(CompileError::ty(
+                            format!("cannot assign to array `{name}` without an index"),
+                            target.span,
+                        ));
+                    }
+                    match g.ty {
+                        Type::Float => {
+                            let v = self.expr(value)?;
+                            let f = self.coerce_float(v);
+                            self.emit(Instr::StoreF { fs: f, base: Reg::GP, offset: g.off });
+                        }
+                        _ => {
+                            let v = self.expr(value)?;
+                            let r = self.expect_word(v, value.span)?;
+                            self.emit(Instr::Store { rs: r, base: Reg::GP, offset: g.off });
+                        }
+                    }
+                    Ok(())
+                } else {
+                    Err(CompileError::ty(format!("unknown variable `{name}`"), target.span))
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let (base_reg, offset, is_float) = self.element_access(base, index)?;
+                if is_float {
+                    let v = self.expr(value)?;
+                    let f = self.coerce_float(v);
+                    self.emit(Instr::StoreF { fs: f, base: base_reg, offset });
+                } else {
+                    let v = self.expr(value)?;
+                    let r = self.expect_word(v, value.span)?;
+                    self.emit(Instr::Store { rs: r, base: base_reg, offset });
+                }
+                Ok(())
+            }
+            _ => Err(CompileError::ty("invalid assignment target".into(), target.span)),
+        }
+    }
+
+    /// Computes the addressing for `base[index]`: a base register, a
+    /// constant word offset, and whether the element is a float.
+    ///
+    /// Constant indices into named arrays keep `$gp`/`$sp` as the base
+    /// register (direct addressing); everything else computes
+    /// `base + index` into a temporary.
+    fn element_access(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+    ) -> Result<(Reg, i64, bool), CompileError> {
+        // Named array (local or global)?
+        if let ExprKind::Var(name) = &base.kind {
+            if let Some(Local::Array { off, len, float }) = self.lookup(name) {
+                return self.array_access(Reg::SP, off, len, float, index);
+            }
+            if self.lookup(name).is_none() {
+                if let Some(&g) = self.globals.get(name) {
+                    if g.array {
+                        return self.array_access(
+                            Reg::GP,
+                            g.off,
+                            g.len,
+                            g.ty == Type::Float,
+                            index,
+                        );
+                    }
+                }
+            }
+        }
+        // General pointer access: evaluate base to a word register.
+        let v = self.expr(base)?;
+        let ptr = self.expect_word(v, base.span)?;
+        match const_index(index) {
+            Some(k) => Ok((ptr, k, false)),
+            None => {
+                let iv = self.expr(index)?;
+                let idx = self.expect_word(iv, index.span)?;
+                let t = self.b.new_reg();
+                self.emit(Instr::Bin { op: IrBinOp::Add, rd: t, rs: ptr, rt: idx });
+                Ok((t, 0, false))
+            }
+        }
+    }
+
+    fn array_access(
+        &mut self,
+        base: Reg,
+        off: i64,
+        len: i64,
+        float: bool,
+        index: &Expr,
+    ) -> Result<(Reg, i64, bool), CompileError> {
+        match const_index(index) {
+            Some(k) => {
+                if k < 0 || k >= len {
+                    return Err(CompileError::ty(
+                        format!("constant index {k} out of bounds for array of {len}"),
+                        index.span,
+                    ));
+                }
+                Ok((base, off + k, float))
+            }
+            None => {
+                let iv = self.expr(index)?;
+                let idx = self.expect_word(iv, index.span)?;
+                let t = self.b.new_reg();
+                self.emit(Instr::Bin { op: IrBinOp::Add, rd: t, rs: base, rt: idx });
+                Ok((t, off, float))
+            }
+        }
+    }
+
+    // ---- conditions ----
+
+    /// Lowers `e` as control flow: jump to `t_blk` if true, `f_blk` if
+    /// false. Terminates the current block.
+    fn cond(
+        &mut self,
+        e: &Expr,
+        t_blk: BlockId,
+        f_blk: BlockId,
+        pol: Polarity,
+    ) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Unary { op: UnOp::Not, expr } => {
+                self.cond(expr, f_blk, t_blk, pol.flip())
+            }
+            ExprKind::Binary { op: BinOp::LAnd, lhs, rhs } => {
+                let mid = self.b.new_block();
+                self.cond(lhs, mid, f_blk, Polarity::FalseTaken)?;
+                self.switch_to(mid);
+                self.cond(rhs, t_blk, f_blk, pol)
+            }
+            ExprKind::Binary { op: BinOp::LOr, lhs, rhs } => {
+                let mid = self.b.new_block();
+                self.cond(lhs, t_blk, mid, Polarity::TrueTaken)?;
+                self.switch_to(mid);
+                self.cond(rhs, t_blk, f_blk, pol)
+            }
+            ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let c = self.comparison(*op, lhs, rhs)?;
+                self.branch(c, t_blk, f_blk, pol);
+                Ok(())
+            }
+            _ => {
+                // Truthiness of a value: nonzero.
+                let v = self.expr(e)?;
+                let c = match v {
+                    Value::Word(r) => Cond::Nez(r),
+                    Value::Float(f) => {
+                        let zero = self.b.new_freg();
+                        self.emit(Instr::LiF { fd: zero, imm: 0.0 });
+                        self.emit(Instr::CmpF { cmp: FCmp::Eq, fs: f, ft: zero });
+                        Cond::FFalse
+                    }
+                };
+                self.branch(c, t_blk, f_blk, pol);
+                Ok(())
+            }
+        }
+    }
+
+    fn branch(&mut self, c: Cond, t_blk: BlockId, f_blk: BlockId, pol: Polarity) {
+        let term = match pol {
+            Polarity::TrueTaken => Terminator::Branch { cond: c, taken: t_blk, fallthru: f_blk },
+            Polarity::FalseTaken => {
+                Terminator::Branch { cond: c.negated(), taken: f_blk, fallthru: t_blk }
+            }
+        };
+        self.terminate(term);
+    }
+
+    /// Emits the comparison `lhs op rhs` and returns the branch condition
+    /// that is true when the comparison holds.
+    fn comparison(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Cond, CompileError> {
+        if self.is_floatish(lhs) || self.is_floatish(rhs) {
+            let lv = self.expr(lhs)?;
+            let lf = self.coerce_float(lv);
+            let rv = self.expr(rhs)?;
+            let rf = self.coerce_float(rv);
+            let (cmp, fs, ft, cond) = match op {
+                BinOp::Eq => (FCmp::Eq, lf, rf, Cond::FTrue),
+                BinOp::Ne => (FCmp::Eq, lf, rf, Cond::FFalse),
+                BinOp::Lt => (FCmp::Lt, lf, rf, Cond::FTrue),
+                BinOp::Le => (FCmp::Le, lf, rf, Cond::FTrue),
+                BinOp::Gt => (FCmp::Lt, rf, lf, Cond::FTrue),
+                BinOp::Ge => (FCmp::Le, rf, lf, Cond::FTrue),
+                _ => unreachable!("comparison() called on non-comparison"),
+            };
+            self.emit(Instr::CmpF { cmp, fs, ft });
+            return Ok(cond);
+        }
+
+        // Integer comparisons. Zero on one side selects the MIPS
+        // sign-test branch forms.
+        if is_const_zero(rhs) {
+            let lv = self.expr(lhs)?;
+            let l = self.expect_word(lv, lhs.span)?;
+            return Ok(match op {
+                BinOp::Lt => Cond::Ltz(l),
+                BinOp::Le => Cond::Lez(l),
+                BinOp::Gt => Cond::Gtz(l),
+                BinOp::Ge => Cond::Gez(l),
+                BinOp::Eq => Cond::Eqz(l),
+                BinOp::Ne => Cond::Nez(l),
+                _ => unreachable!(),
+            });
+        }
+        if is_const_zero(lhs) {
+            let rv = self.expr(rhs)?;
+            let r = self.expect_word(rv, rhs.span)?;
+            return Ok(match op {
+                BinOp::Lt => Cond::Gtz(r), // 0 < r
+                BinOp::Le => Cond::Gez(r),
+                BinOp::Gt => Cond::Ltz(r),
+                BinOp::Ge => Cond::Lez(r),
+                BinOp::Eq => Cond::Eqz(r),
+                BinOp::Ne => Cond::Nez(r),
+                _ => unreachable!(),
+            });
+        }
+
+        let lv = self.expr(lhs)?;
+        let l = self.expect_word(lv, lhs.span)?;
+        let rv = self.expr(rhs)?;
+        let r = self.expect_word(rv, rhs.span)?;
+        match op {
+            BinOp::Eq => Ok(Cond::Eq(l, r)),
+            BinOp::Ne => Ok(Cond::Ne(l, r)),
+            // Relational tests materialise through slt/sle like MIPS.
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let t = self.b.new_reg();
+                let (irop, a, b) = match op {
+                    BinOp::Lt => (IrBinOp::Slt, l, r),
+                    BinOp::Le => (IrBinOp::Sle, l, r),
+                    BinOp::Gt => (IrBinOp::Slt, r, l),
+                    BinOp::Ge => (IrBinOp::Sle, r, l),
+                    _ => unreachable!(),
+                };
+                self.emit(Instr::Bin { op: irop, rd: t, rs: a, rt: b });
+                Ok(Cond::Nez(t))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Conservative syntactic check: does `e` evaluate to a float?
+    fn is_floatish(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::FloatLit(_) => true,
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(Local::Float(_)) => true,
+                Some(_) => false,
+                None => self
+                    .globals
+                    .get(name)
+                    .map(|g| g.ty == Type::Float && !g.array)
+                    .unwrap_or(false),
+            },
+            ExprKind::Unary { op: UnOp::Neg, expr } => self.is_floatish(expr),
+            ExprKind::Unary { op: UnOp::Not, .. } => false,
+            ExprKind::Binary { op, lhs, rhs } => {
+                !op.is_comparison()
+                    && !op.is_logical()
+                    && (self.is_floatish(lhs) || self.is_floatish(rhs))
+            }
+            ExprKind::Call { name, .. } => match name.as_str() {
+                "float" => true,
+                "int" | "alloc" => false,
+                _ => self.sigs.get(name).map(|s| s.ret == Some(Type::Float)).unwrap_or(false),
+            },
+            ExprKind::Index { base, .. } => {
+                if let ExprKind::Var(name) = &base.kind {
+                    if let Some(Local::Array { float, .. }) = self.lookup(name) {
+                        return float;
+                    }
+                    if self.lookup(name).is_none() {
+                        if let Some(g) = self.globals.get(name) {
+                            return g.array && g.ty == Type::Float;
+                        }
+                    }
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> Result<Value, CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let r = self.b.new_reg();
+                self.emit(Instr::Li { rd: r, imm: *v });
+                Ok(Value::Word(r))
+            }
+            ExprKind::FloatLit(v) => {
+                let f = self.b.new_freg();
+                self.emit(Instr::LiF { fd: f, imm: *v });
+                Ok(Value::Float(f))
+            }
+            ExprKind::Null => {
+                let r = self.b.new_reg();
+                self.emit(Instr::Li { rd: r, imm: 0 });
+                Ok(Value::Word(r))
+            }
+            ExprKind::Var(name) => {
+                if let Some(local) = self.lookup(name) {
+                    return match local {
+                        Local::Word(r) => Ok(Value::Word(r)),
+                        Local::Float(f) => Ok(Value::Float(f)),
+                        Local::Array { off, .. } => {
+                            // A bare array name denotes its address.
+                            let t = self.b.new_reg();
+                            self.emit(Instr::BinImm {
+                                op: IrBinOp::Add,
+                                rd: t,
+                                rs: Reg::SP,
+                                imm: off,
+                            });
+                            Ok(Value::Word(t))
+                        }
+                    };
+                }
+                if let Some(&g) = self.globals.get(name) {
+                    if g.array {
+                        let t = self.b.new_reg();
+                        self.emit(Instr::BinImm {
+                            op: IrBinOp::Add,
+                            rd: t,
+                            rs: Reg::GP,
+                            imm: g.off,
+                        });
+                        return Ok(Value::Word(t));
+                    }
+                    return match g.ty {
+                        Type::Float => {
+                            let f = self.b.new_freg();
+                            self.emit(Instr::LoadF { fd: f, base: Reg::GP, offset: g.off });
+                            Ok(Value::Float(f))
+                        }
+                        _ => {
+                            let r = self.b.new_reg();
+                            self.emit(Instr::Load { rd: r, base: Reg::GP, offset: g.off });
+                            Ok(Value::Word(r))
+                        }
+                    };
+                }
+                Err(CompileError::ty(format!("unknown variable `{name}`"), e.span))
+            }
+            ExprKind::Unary { op: UnOp::Neg, expr } => {
+                let v = self.expr(expr)?;
+                match v {
+                    Value::Word(r) => {
+                        let t = self.b.new_reg();
+                        self.emit(Instr::Bin { op: IrBinOp::Sub, rd: t, rs: Reg::ZERO, rt: r });
+                        Ok(Value::Word(t))
+                    }
+                    Value::Float(f) => {
+                        let zero = self.b.new_freg();
+                        self.emit(Instr::LiF { fd: zero, imm: 0.0 });
+                        let t = self.b.new_freg();
+                        self.emit(Instr::BinF { op: FBinOp::Sub, fd: t, fs: zero, ft: f });
+                        Ok(Value::Float(t))
+                    }
+                }
+            }
+            ExprKind::Unary { op: UnOp::Not, expr } => {
+                let v = self.expr(expr)?;
+                match v {
+                    Value::Word(r) => {
+                        let t = self.b.new_reg();
+                        self.emit(Instr::Bin { op: IrBinOp::Seq, rd: t, rs: r, rt: Reg::ZERO });
+                        Ok(Value::Word(t))
+                    }
+                    Value::Float(_) => self.materialize_cond(e),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } if op.is_logical() => self.materialize_cond(e),
+            ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
+                if self.is_floatish(lhs) || self.is_floatish(rhs) {
+                    return self.materialize_cond(e);
+                }
+                // Integer comparisons as values use the set-compare ALU
+                // forms directly.
+                let lv = self.expr(lhs)?;
+                let l = self.expect_word(lv, lhs.span)?;
+                let rv = self.expr(rhs)?;
+                let r = self.expect_word(rv, rhs.span)?;
+                let t = self.b.new_reg();
+                let (irop, a, b) = match op {
+                    BinOp::Lt => (IrBinOp::Slt, l, r),
+                    BinOp::Le => (IrBinOp::Sle, l, r),
+                    BinOp::Gt => (IrBinOp::Slt, r, l),
+                    BinOp::Ge => (IrBinOp::Sle, r, l),
+                    BinOp::Eq => (IrBinOp::Seq, l, r),
+                    BinOp::Ne => (IrBinOp::Sne, l, r),
+                    _ => unreachable!(),
+                };
+                self.emit(Instr::Bin { op: irop, rd: t, rs: a, rt: b });
+                Ok(Value::Word(t))
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                if self.is_floatish(lhs) || self.is_floatish(rhs) {
+                    let fop = match op {
+                        BinOp::Add => FBinOp::Add,
+                        BinOp::Sub => FBinOp::Sub,
+                        BinOp::Mul => FBinOp::Mul,
+                        BinOp::Div => FBinOp::Div,
+                        other => {
+                            return Err(CompileError::ty(
+                                format!("operator {other:?} is not defined on floats"),
+                                e.span,
+                            ))
+                        }
+                    };
+                    let lv = self.expr(lhs)?;
+                    let lf = self.coerce_float(lv);
+                    let rv = self.expr(rhs)?;
+                    let rf = self.coerce_float(rv);
+                    let t = self.b.new_freg();
+                    self.emit(Instr::BinF { op: fop, fd: t, fs: lf, ft: rf });
+                    return Ok(Value::Float(t));
+                }
+                let irop = match op {
+                    BinOp::Add => IrBinOp::Add,
+                    BinOp::Sub => IrBinOp::Sub,
+                    BinOp::Mul => IrBinOp::Mul,
+                    BinOp::Div => IrBinOp::Div,
+                    BinOp::Rem => IrBinOp::Rem,
+                    BinOp::And => IrBinOp::And,
+                    BinOp::Or => IrBinOp::Or,
+                    BinOp::Xor => IrBinOp::Xor,
+                    BinOp::Shl => IrBinOp::Sll,
+                    BinOp::Shr => IrBinOp::Sra,
+                    _ => unreachable!(),
+                };
+                let lv = self.expr(lhs)?;
+                let l = self.expect_word(lv, lhs.span)?;
+                // Constant right operands use the immediate ALU forms.
+                if let ExprKind::IntLit(k) = rhs.kind {
+                    let t = self.b.new_reg();
+                    self.emit(Instr::BinImm { op: irop, rd: t, rs: l, imm: k });
+                    return Ok(Value::Word(t));
+                }
+                let rv = self.expr(rhs)?;
+                let r = self.expect_word(rv, rhs.span)?;
+                let t = self.b.new_reg();
+                self.emit(Instr::Bin { op: irop, rd: t, rs: l, rt: r });
+                Ok(Value::Word(t))
+            }
+            ExprKind::Index { base, index } => {
+                let (base_reg, offset, is_float) = self.element_access(base, index)?;
+                if is_float {
+                    let f = self.b.new_freg();
+                    self.emit(Instr::LoadF { fd: f, base: base_reg, offset });
+                    Ok(Value::Float(f))
+                } else {
+                    let r = self.b.new_reg();
+                    self.emit(Instr::Load { rd: r, base: base_reg, offset });
+                    Ok(Value::Word(r))
+                }
+            }
+            ExprKind::Call { name, args } => self.call(name, args, e.span),
+        }
+    }
+
+    /// Materialises a boolean expression (logical operator or float
+    /// comparison) as a 0/1 word via control flow.
+    fn materialize_cond(&mut self, e: &Expr) -> Result<Value, CompileError> {
+        let result = self.b.new_reg();
+        let t_blk = self.b.new_block();
+        let f_blk = self.b.new_block();
+        let join = self.b.new_block();
+        self.cond(e, t_blk, f_blk, Polarity::FalseTaken)?;
+        self.switch_to(t_blk);
+        self.emit(Instr::Li { rd: result, imm: 1 });
+        self.terminate(Terminator::Jump(join));
+        self.switch_to(f_blk);
+        self.emit(Instr::Li { rd: result, imm: 0 });
+        self.terminate(Terminator::Jump(join));
+        self.switch_to(join);
+        Ok(Value::Word(result))
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr], span: Span) -> Result<Value, CompileError> {
+        // Builtins first.
+        match name {
+            "alloc" => {
+                if args.len() != 1 {
+                    return Err(CompileError::ty("alloc takes one argument".into(), span));
+                }
+                let v = self.expr(&args[0])?;
+                let size = self.expect_word(v, args[0].span)?;
+                let r = self.b.new_reg();
+                self.emit(Instr::Alloc { rd: r, size });
+                return Ok(Value::Word(r));
+            }
+            "int" => {
+                if args.len() != 1 {
+                    return Err(CompileError::ty("int() takes one argument".into(), span));
+                }
+                let v = self.expr(&args[0])?;
+                return Ok(match v {
+                    Value::Word(r) => Value::Word(r),
+                    Value::Float(f) => {
+                        let r = self.b.new_reg();
+                        self.emit(Instr::CvtFI { rd: r, fs: f });
+                        Value::Word(r)
+                    }
+                });
+            }
+            "float" => {
+                if args.len() != 1 {
+                    return Err(CompileError::ty("float() takes one argument".into(), span));
+                }
+                let v = self.expr(&args[0])?;
+                let f = self.coerce_float(v);
+                return Ok(Value::Float(f));
+            }
+            _ => {}
+        }
+
+        let sig = self
+            .sigs
+            .get(name)
+            .ok_or_else(|| CompileError::ty(format!("unknown function `{name}`"), span))?
+            .clone();
+        if sig.params.len() != args.len() {
+            return Err(CompileError::ty(
+                format!("`{name}` takes {} arguments, got {}", sig.params.len(), args.len()),
+                span,
+            ));
+        }
+        let mut word_args = Vec::new();
+        let mut float_args = Vec::new();
+        for (arg, pty) in args.iter().zip(&sig.params) {
+            match pty {
+                Type::Float => {
+                    let v = self.expr(arg)?;
+                    float_args.push(self.coerce_float(v));
+                }
+                _ => {
+                    let v = self.expr(arg)?;
+                    word_args.push(self.expect_word(v, arg.span)?);
+                }
+            }
+        }
+        let (ret, fret, value) = match sig.ret {
+            Some(Type::Float) => {
+                let f = self.b.new_freg();
+                (None, Some(f), Value::Float(f))
+            }
+            Some(_) => {
+                let r = self.b.new_reg();
+                (Some(r), None, Value::Word(r))
+            }
+            None => {
+                // Void call used as a value yields 0; as a statement the
+                // zero register result is simply unused.
+                let r = self.b.new_reg();
+                self.emit(Instr::Li { rd: r, imm: 0 });
+                (None, None, Value::Word(r))
+            }
+        };
+        self.emit(Instr::Call { callee: sig.id, args: word_args, fargs: float_args, ret, fret });
+        Ok(value)
+    }
+}
+
+fn is_const_zero(e: &Expr) -> bool {
+    matches!(e.kind, ExprKind::IntLit(0) | ExprKind::Null)
+}
+
+fn const_index(e: &Expr) -> Option<i64> {
+    match e.kind {
+        ExprKind::IntLit(k) => Some(k),
+        _ => None,
+    }
+}

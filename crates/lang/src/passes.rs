@@ -1,0 +1,331 @@
+//! Post-lowering cleanup passes that make the generated code look like
+//! optimised (`-O`) compiler output — which is what the paper analysed.
+//!
+//! * **Block straightening**: a block ending in an unconditional jump to
+//!   a block with exactly one predecessor is merged with it. This is
+//!   load-bearing for the heuristics: it puts a rotated loop's body and
+//!   bottom test in one block, so a pointer load and the null test that
+//!   reads it share a block, exactly as MIPS codegen laid them out.
+//! * **Unreachable block removal**.
+//! * **Copy propagation**: `op $t, ...; move $v, $t` with `$t`
+//!   single-def/single-use becomes `op $v, ...`, eliminating the move —
+//!   so a load feeding a branch is *directly* the branch operand, which
+//!   the pointer heuristic pattern-matches on.
+
+use std::collections::HashMap;
+
+use bpfree_ir::{Block, BlockId, FReg, Function, Instr, Reg, Terminator};
+
+/// Runs all cleanup passes on one function.
+pub(crate) fn simplify(func: Function) -> Function {
+    let mut blocks = func.blocks_vec();
+    merge_blocks(&mut blocks);
+    let blocks = remove_unreachable(blocks);
+    let mut blocks = blocks;
+    copy_propagate(&mut blocks);
+    func.with_blocks(blocks)
+}
+
+fn pred_counts(blocks: &[Block]) -> Vec<usize> {
+    let mut preds = vec![0usize; blocks.len()];
+    for b in blocks {
+        for s in b.term.successors() {
+            preds[s.index()] += 1;
+        }
+    }
+    preds
+}
+
+/// Merges `A: ...; j B` with `B` when `B` has exactly one predecessor.
+/// Dead blocks are left in place (emptied) and cleaned up by
+/// [`remove_unreachable`].
+fn merge_blocks(blocks: &mut [Block]) {
+    let preds = pred_counts(blocks);
+    // `preds` stays valid during merging: splicing B into A preserves
+    // B's out-edges (now A's) and removes exactly the A->B edge.
+    let n = blocks.len();
+    for a in 0..n {
+        while let Terminator::Jump(b) = blocks[a].term {
+            let bi = b.index();
+            if bi == a || bi == 0 || preds[bi] != 1 {
+                break;
+            }
+            let spliced = std::mem::replace(
+                &mut blocks[bi],
+                Block { instrs: Vec::new(), term: Terminator::Jump(b) },
+            );
+            blocks[a].instrs.extend(spliced.instrs);
+            blocks[a].term = spliced.term;
+            // `blocks[bi]` is now a dead self-loop stub, unreachable
+            // because its only predecessor was `a`.
+        }
+    }
+}
+
+/// Drops blocks unreachable from the entry and compacts ids.
+fn remove_unreachable(blocks: Vec<Block>) -> Vec<Block> {
+    let n = blocks.len();
+    let mut reach = vec![false; n];
+    let mut stack = vec![0usize];
+    reach[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in blocks[b].term.successors() {
+            if !reach[s.index()] {
+                reach[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+    }
+    let mut remap = vec![BlockId(0); n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reach[i] {
+            remap[i] = BlockId(next);
+            next += 1;
+        }
+    }
+    blocks
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| reach[*i])
+        .map(|(_, mut b)| {
+            match &mut b.term {
+                Terminator::Jump(t) => *t = remap[t.index()],
+                Terminator::Branch { taken, fallthru, .. } => {
+                    *taken = remap[taken.index()];
+                    *fallthru = remap[fallthru.index()];
+                }
+                Terminator::Ret { .. } => {}
+            }
+            b
+        })
+        .collect()
+}
+
+/// Whole-function use/def counts for every register.
+#[derive(Default)]
+struct Counts {
+    def: HashMap<Reg, usize>,
+    uses: HashMap<Reg, usize>,
+    fdef: HashMap<FReg, usize>,
+    fuses: HashMap<FReg, usize>,
+}
+
+fn count_regs(blocks: &[Block]) -> Counts {
+    let mut c = Counts::default();
+    for b in blocks {
+        for i in &b.instrs {
+            if let Some(r) = i.def() {
+                *c.def.entry(r).or_default() += 1;
+            }
+            for r in i.uses() {
+                *c.uses.entry(r).or_default() += 1;
+            }
+            if let Some(r) = i.fdef() {
+                *c.fdef.entry(r).or_default() += 1;
+            }
+            for r in i.fuses() {
+                *c.fuses.entry(r).or_default() += 1;
+            }
+        }
+        match &b.term {
+            Terminator::Branch { cond, .. } => {
+                for r in cond.uses() {
+                    *c.uses.entry(r).or_default() += 1;
+                }
+            }
+            Terminator::Ret { val, fval } => {
+                if let Some(r) = val {
+                    *c.uses.entry(*r).or_default() += 1;
+                }
+                if let Some(r) = fval {
+                    *c.fuses.entry(*r).or_default() += 1;
+                }
+            }
+            Terminator::Jump(_) => {}
+        }
+    }
+    c
+}
+
+/// Eliminates `def $t; move $v, $t` pairs where `$t` is defined once and
+/// used once (by that move).
+fn copy_propagate(blocks: &mut [Block]) {
+    let mut counts = count_regs(blocks);
+    for b in blocks.iter_mut() {
+        let mut i = 0;
+        while i + 1 < b.instrs.len() {
+            let fused = match (&b.instrs[i], &b.instrs[i + 1]) {
+                (prev, Instr::Move { rd, rs }) if rd != rs => {
+                    prev.def() == Some(*rs)
+                        && !rs.is_special()
+                        && counts.def.get(rs) == Some(&1)
+                        && counts.uses.get(rs) == Some(&1)
+                }
+                _ => false,
+            };
+            if fused {
+                let Instr::Move { rd, rs } = b.instrs[i + 1] else { unreachable!() };
+                if b.instrs[i].set_def(rd) {
+                    b.instrs.remove(i + 1);
+                    *counts.def.entry(rs).or_default() -= 1;
+                    *counts.uses.entry(rs).or_default() -= 1;
+                    *counts.def.entry(rd).or_default() += 1;
+                    continue;
+                }
+            }
+            // Float pairs.
+            let ffused = match (&b.instrs[i], &b.instrs[i + 1]) {
+                (prev, Instr::MoveF { fd, fs }) if fd != fs => {
+                    prev.fdef() == Some(*fs)
+                        && counts.fdef.get(fs) == Some(&1)
+                        && counts.fuses.get(fs) == Some(&1)
+                }
+                _ => false,
+            };
+            if ffused {
+                let Instr::MoveF { fd, fs } = b.instrs[i + 1] else { unreachable!() };
+                if b.instrs[i].set_fdef(fd) {
+                    b.instrs.remove(i + 1);
+                    *counts.fdef.entry(fs).or_default() -= 1;
+                    *counts.fuses.entry(fs).or_default() -= 1;
+                    *counts.fdef.entry(fd).or_default() += 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfree_ir::{BinOp, Cond, FunctionBuilder};
+
+    fn ret() -> Terminator {
+        Terminator::Ret { val: None, fval: None }
+    }
+
+    #[test]
+    fn straightens_jump_chains() {
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let m = fb.new_block();
+        let z = fb.new_block();
+        let r = fb.new_reg();
+        fb.push(e, Instr::Li { rd: r, imm: 1 });
+        fb.set_term(e, Terminator::Jump(m));
+        fb.push(m, Instr::BinImm { op: BinOp::Add, rd: r, rs: r, imm: 1 });
+        fb.set_term(m, Terminator::Jump(z));
+        fb.set_term(z, Terminator::Ret { val: Some(r), fval: None });
+        let f = simplify(fb.finish().unwrap());
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.block(BlockId(0)).instrs.len(), 2);
+        assert!(f.block(BlockId(0)).term.is_ret());
+    }
+
+    #[test]
+    fn does_not_merge_blocks_with_two_predecessors() {
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let j = fb.new_block();
+        let r = fb.new_reg();
+        fb.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: a, fallthru: b });
+        fb.set_term(a, Terminator::Jump(j));
+        fb.set_term(b, Terminator::Jump(j));
+        fb.set_term(j, ret());
+        let f = simplify(fb.finish().unwrap());
+        assert_eq!(f.blocks().len(), 4);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks_and_remaps() {
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let dead = fb.new_block();
+        let live = fb.new_block();
+        let r = fb.new_reg();
+        fb.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: live, fallthru: e });
+        fb.set_term(dead, ret());
+        fb.set_term(live, ret());
+        let f = simplify(fb.finish().unwrap());
+        assert_eq!(f.blocks().len(), 2);
+        // The branch's taken target must have been remapped to block 1.
+        match f.block(BlockId(0)).term {
+            Terminator::Branch { taken, fallthru, .. } => {
+                assert_eq!(taken, BlockId(1));
+                assert_eq!(fallthru, BlockId(0));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn copy_prop_fuses_load_move() {
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let p = fb.add_param();
+        let t = fb.new_reg();
+        let q = fb.new_reg();
+        fb.push(e, Instr::Load { rd: t, base: p, offset: 1 });
+        fb.push(e, Instr::Move { rd: q, rs: t });
+        fb.set_term(e, Terminator::Branch { cond: Cond::Eqz(q), taken: e, fallthru: e });
+        // (degenerate branch targets don't matter for this pass test)
+        fb.set_term(e, Terminator::Ret { val: Some(q), fval: None });
+        let f = simplify(fb.finish().unwrap());
+        let instrs = &f.block(BlockId(0)).instrs;
+        assert_eq!(instrs.len(), 1);
+        assert_eq!(instrs[0], Instr::Load { rd: q, base: p, offset: 1 });
+    }
+
+    #[test]
+    fn copy_prop_keeps_multi_use_temps() {
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let t = fb.new_reg();
+        let q = fb.new_reg();
+        fb.push(e, Instr::Li { rd: t, imm: 3 });
+        fb.push(e, Instr::Move { rd: q, rs: t });
+        // Second use of t after the move: fusing would be wrong.
+        fb.push(e, Instr::Bin { op: BinOp::Add, rd: q, rs: q, rt: t });
+        fb.set_term(e, Terminator::Ret { val: Some(q), fval: None });
+        let f = simplify(fb.finish().unwrap());
+        assert_eq!(f.block(BlockId(0)).instrs.len(), 3);
+    }
+
+    #[test]
+    fn copy_prop_handles_float_moves() {
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let p = fb.add_param();
+        let t = fb.new_freg();
+        let q = fb.new_freg();
+        fb.push(e, Instr::LoadF { fd: t, base: p, offset: 0 });
+        fb.push(e, Instr::MoveF { fd: q, fs: t });
+        fb.set_term(e, Terminator::Ret { val: None, fval: Some(q) });
+        let f = simplify(fb.finish().unwrap());
+        let instrs = &f.block(BlockId(0)).instrs;
+        assert_eq!(instrs.len(), 1);
+        assert_eq!(instrs[0], Instr::LoadF { fd: q, base: p, offset: 0 });
+    }
+
+    #[test]
+    fn merge_then_copy_prop_compose() {
+        // li t; j B; B: move v, t  ==> one block, one li.
+        let mut fb = FunctionBuilder::new("f");
+        let e = fb.entry();
+        let b = fb.new_block();
+        let t = fb.new_reg();
+        let v = fb.new_reg();
+        fb.push(e, Instr::Li { rd: t, imm: 9 });
+        fb.set_term(e, Terminator::Jump(b));
+        fb.push(b, Instr::Move { rd: v, rs: t });
+        fb.set_term(b, Terminator::Ret { val: Some(v), fval: None });
+        let f = simplify(fb.finish().unwrap());
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.block(BlockId(0)).instrs, vec![Instr::Li { rd: v, imm: 9 }]);
+    }
+}

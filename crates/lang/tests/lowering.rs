@@ -1,0 +1,653 @@
+//! Tests that pin down the code-generation idioms the Ball–Larus
+//! heuristics depend on: loop rotation, branch polarity, MIPS-style
+//! condition selection, and SP/GP addressing.
+
+use bpfree_cfg::FunctionAnalysis;
+use bpfree_ir::{Cond, FuncId, Instr, Program, Reg, Terminator};
+use bpfree_lang::{compile, compile_with, Options};
+
+fn compile_ok(src: &str) -> Program {
+    match compile(src) {
+        Ok(p) => p,
+        Err(e) => panic!("compile failed: {}", e.render(src)),
+    }
+}
+
+/// Compile with CFG cleanup but without inlining, so tests can inspect
+/// small helper functions by name.
+fn compile_no_inline(src: &str) -> Program {
+    match compile_with(src, Options::no_inline()) {
+        Ok(p) => p,
+        Err(e) => panic!("compile failed: {}", e.render(src)),
+    }
+}
+
+/// Collects every branch condition in a function.
+fn branch_conds(p: &Program, name: &str) -> Vec<Cond> {
+    let (_, f) = p.func_by_name(name).unwrap();
+    f.blocks()
+        .iter()
+        .filter_map(|b| match &b.term {
+            Terminator::Branch { cond, .. } => Some(*cond),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn while_loop_is_rotated_with_guard_and_backedge() {
+    let p = compile_ok(
+        "fn main() -> int {
+            int i;
+            i = 0;
+            while (i < 100) { i = i + 1; }
+            return i;
+        }",
+    );
+    let f = p.func(p.entry());
+    let a = FunctionAnalysis::new(f);
+    // Rotation produces exactly one natural loop whose backedge comes from
+    // the replicated bottom test.
+    assert_eq!(a.loops.n_loops(), 1);
+    let mut backedges = Vec::new();
+    for b in f.block_ids() {
+        for &s in a.cfg.successors(b) {
+            if a.loops.is_backedge(b, s) {
+                backedges.push((b, s));
+            }
+        }
+    }
+    assert_eq!(backedges.len(), 1);
+    let (latch, head) = backedges[0];
+    // The latch branch takes the backedge on its *taken* side.
+    match &f.block(latch).term {
+        Terminator::Branch { taken, .. } => assert_eq!(*taken, head),
+        other => panic!("latch should end in a branch, got {other:?}"),
+    }
+    // There are exactly two branches: the guard (non-loop shape) and the
+    // latch (loop branch).
+    assert_eq!(branch_conds(&p, "main").len(), 2);
+}
+
+#[test]
+fn if_branches_over_then_block() {
+    let p = compile_ok(
+        "fn main() -> int {
+            int x; int y;
+            x = 5;
+            if (x > 0) { y = 1; }
+            return y;
+        }",
+    );
+    let f = p.func(p.entry());
+    // `if (x > 0)` branches on the NEGATED condition (x <= 0), so the
+    // condition must be Lez with the then-block on the fall-through edge.
+    let conds = branch_conds(&p, "main");
+    assert_eq!(conds.len(), 1);
+    assert!(matches!(conds[0], Cond::Lez(_)), "got {:?}", conds[0]);
+    // Taken edge skips the then-block: the taken target contains no Move.
+    let branch_block = f
+        .block_ids()
+        .find(|b| f.block(*b).term.is_branch())
+        .unwrap();
+    if let Terminator::Branch { taken, fallthru, .. } = &f.block(branch_block).term {
+        let taken_has_store = !f.block(*taken).instrs.is_empty();
+        let fall_has_store = !f.block(*fallthru).instrs.is_empty();
+        assert!(!taken_has_store, "taken edge must skip the then block");
+        assert!(fall_has_store, "fall-through edge must enter the then block");
+    }
+}
+
+#[test]
+fn comparisons_against_zero_use_sign_tests() {
+    let p = compile_no_inline(
+        "fn f(int x) -> int {
+            if (x < 0) { return 1; }
+            if (x <= 0) { return 2; }
+            if (x > 0) { return 3; }
+            if (x >= 0) { return 4; }
+            if (x == 0) { return 5; }
+            if (x != 0) { return 6; }
+            return 0;
+        }
+        fn main() -> int { return f(3); }",
+    );
+    let conds = branch_conds(&p, "f");
+    // Each `if` is negated by branch-over lowering.
+    assert!(matches!(conds[0], Cond::Gez(_))); // !(x < 0)
+    assert!(matches!(conds[1], Cond::Gtz(_))); // !(x <= 0)
+    assert!(matches!(conds[2], Cond::Lez(_))); // !(x > 0)
+    assert!(matches!(conds[3], Cond::Ltz(_))); // !(x >= 0)
+    assert!(matches!(conds[4], Cond::Nez(_))); // !(x == 0)
+    assert!(matches!(conds[5], Cond::Eqz(_))); // !(x != 0)
+}
+
+#[test]
+fn zero_on_left_mirrors_sign_tests() {
+    let p = compile_no_inline(
+        "fn f(int x) -> int {
+            if (0 < x) { return 1; }
+            return 0;
+        }
+        fn main() -> int { return f(1); }",
+    );
+    let conds = branch_conds(&p, "f");
+    // 0 < x is Gtz(x); negated: Lez(x).
+    assert!(matches!(conds[0], Cond::Lez(_)));
+}
+
+#[test]
+fn pointer_equality_uses_beq_bne_forms() {
+    let p = compile_no_inline(
+        "fn f(ptr a, ptr b) -> int {
+            if (a == b) { return 1; }
+            if (a != null) { return 2; }
+            return 0;
+        }
+        fn main() -> int { return f(null, null); }",
+    );
+    let conds = branch_conds(&p, "f");
+    assert!(matches!(conds[0], Cond::Ne(_, _))); // !(a == b)
+    assert!(matches!(conds[1], Cond::Eqz(_))); // !(a != null)
+}
+
+#[test]
+fn general_relational_materialises_through_slt() {
+    let p = compile_no_inline(
+        "fn f(int a, int b) -> int {
+            if (a < b) { return 1; }
+            return 0;
+        }
+        fn main() -> int { return f(1, 2); }",
+    );
+    let (_, f) = p.func_by_name("f").unwrap();
+    let has_slt = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .any(|i| matches!(i, Instr::Bin { op: bpfree_ir::BinOp::Slt, .. }));
+    assert!(has_slt);
+    let conds = branch_conds(&p, "f");
+    assert!(matches!(conds[0], Cond::Eqz(_))); // !(slt result != 0)
+}
+
+#[test]
+fn float_comparison_sets_flag_and_branches_on_it() {
+    let p = compile_ok(
+        "global float eps;
+        fn main() -> int {
+            float x;
+            x = 1.5;
+            if (x == eps) { return 1; }
+            if (x < eps) { return 2; }
+            return 0;
+        }",
+    );
+    let (_, f) = p.func_by_name("main").unwrap();
+    let cmps: Vec<_> = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .filter(|i| matches!(i, Instr::CmpF { .. }))
+        .collect();
+    assert_eq!(cmps.len(), 2);
+    let conds = branch_conds(&p, "main");
+    // if (x == eps) negated -> FFalse; if (x < eps) negated -> FFalse.
+    assert!(matches!(conds[0], Cond::FFalse));
+    assert!(matches!(conds[1], Cond::FFalse));
+}
+
+#[test]
+fn global_scalar_loads_off_gp() {
+    let p = compile_ok(
+        "global int n;
+        fn main() -> int { return n; }",
+    );
+    let (_, f) = p.func_by_name("main").unwrap();
+    let load = f.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_load()).unwrap();
+    match load {
+        Instr::Load { base, .. } => assert_eq!(*base, Reg::GP),
+        other => panic!("expected Load, got {other}"),
+    }
+}
+
+#[test]
+fn constant_indexed_global_array_keeps_gp_base() {
+    let p = compile_ok(
+        "global int xs[4];
+        fn main() -> int { return xs[2]; }",
+    );
+    let (_, f) = p.func_by_name("main").unwrap();
+    let load = f.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_load()).unwrap();
+    match load {
+        Instr::Load { base, offset, .. } => {
+            assert_eq!(*base, Reg::GP);
+            assert_eq!(*offset, 2);
+        }
+        other => panic!("expected Load, got {other}"),
+    }
+}
+
+#[test]
+fn local_array_uses_sp_base() {
+    let p = compile_ok(
+        "fn main() -> int {
+            int buf[8];
+            buf[3] = 7;
+            return buf[3];
+        }",
+    );
+    let (_, f) = p.func_by_name("main").unwrap();
+    assert_eq!(f.frame_words(), 8);
+    let store = f.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_store()).unwrap();
+    match store {
+        Instr::Store { base, offset, .. } => {
+            assert_eq!(*base, Reg::SP);
+            assert_eq!(*offset, 3);
+        }
+        other => panic!("expected Store, got {other}"),
+    }
+}
+
+#[test]
+fn heap_access_goes_through_alloc_register() {
+    let p = compile_ok(
+        "fn main() -> int {
+            ptr p;
+            p = alloc(4);
+            p[1] = 42;
+            return p[1];
+        }",
+    );
+    let (_, f) = p.func_by_name("main").unwrap();
+    let instrs: Vec<_> = f.blocks().iter().flat_map(|b| &b.instrs).collect();
+    assert!(instrs.iter().any(|i| matches!(i, Instr::Alloc { .. })));
+    // The load must NOT be based on GP or SP.
+    let load = instrs.iter().find(|i| i.is_load()).unwrap();
+    match load {
+        Instr::Load { base, .. } => {
+            assert_ne!(*base, Reg::GP);
+            assert_ne!(*base, Reg::SP);
+        }
+        other => panic!("expected Load, got {other}"),
+    }
+}
+
+#[test]
+fn short_circuit_and_creates_two_branches() {
+    let p = compile_no_inline(
+        "fn f(int a, int b) -> int {
+            if (a > 0 && b > 0) { return 1; }
+            return 0;
+        }
+        fn main() -> int { return f(1, 1); }",
+    );
+    let conds = branch_conds(&p, "f");
+    assert_eq!(conds.len(), 2);
+    assert!(matches!(conds[0], Cond::Lez(_)));
+    assert!(matches!(conds[1], Cond::Lez(_)));
+}
+
+#[test]
+fn short_circuit_or_first_test_branches_on_true() {
+    let p = compile_no_inline(
+        "fn f(int a, int b) -> int {
+            if (a > 0 || b > 0) { return 1; }
+            return 0;
+        }
+        fn main() -> int { return f(0, 1); }",
+    );
+    let conds = branch_conds(&p, "f");
+    assert_eq!(conds.len(), 2);
+    // First test of an || jumps to the then-block on TRUE: un-negated Gtz.
+    assert!(matches!(conds[0], Cond::Gtz(_)));
+    // Second test falls back to branch-over: negated.
+    assert!(matches!(conds[1], Cond::Lez(_)));
+}
+
+#[test]
+fn not_flips_polarity() {
+    let p = compile_no_inline(
+        "fn f(int a) -> int {
+            if (!(a > 0)) { return 1; }
+            return 0;
+        }
+        fn main() -> int { return f(1); }",
+    );
+    let conds = branch_conds(&p, "f");
+    // if (!(a>0)): branch over then-block when (a>0): un-negated Gtz.
+    assert_eq!(conds.len(), 1);
+    assert!(matches!(conds[0], Cond::Gtz(_)));
+}
+
+#[test]
+fn for_loop_rotates_and_continue_targets_step() {
+    let src = "fn main() -> int {
+        int i; int s;
+        s = 0;
+        for (i = 0; i < 10; i = i + 1) {
+            if (i == 5) { continue; }
+            s = s + i;
+        }
+        return s;
+    }";
+    let p = compile_ok(src);
+    let f = p.func(p.entry());
+    let a = FunctionAnalysis::new(f);
+    assert_eq!(a.loops.n_loops(), 1);
+    assert!(a.loops.is_reducible());
+}
+
+#[test]
+fn do_while_has_no_guard() {
+    let p = compile_ok(
+        "fn main() -> int {
+            int i;
+            i = 0;
+            do { i = i + 1; } while (i < 10);
+            return i;
+        }",
+    );
+    // A do-while needs only the bottom test: one branch total.
+    assert_eq!(branch_conds(&p, "main").len(), 1);
+}
+
+#[test]
+fn call_lowering_carries_arguments() {
+    // The callee loops, which makes it big enough to survive the leaf
+    // inliner, so the call instruction is observable.
+    let p = compile_ok(
+        "fn acc3(int a, int b, float c) -> float {
+            float s; int i;
+            for (i = 0; i < a + b; i = i + 1) { s = s + c + float(i * a - b); }
+            for (i = 0; i < b; i = i + 1) { s = s * 0.99 + float(a); }
+            return s;
+        }
+        fn main() -> int { return int(acc3(1, 2, 3.0)); }",
+    );
+    let (_, m) = p.func_by_name("main").unwrap();
+    let call = m.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_call()).unwrap();
+    match call {
+        Instr::Call { callee, args, fargs, ret, fret } => {
+            assert_eq!(*callee, FuncId(0));
+            assert_eq!(args.len(), 2);
+            assert_eq!(fargs.len(), 1);
+            assert!(ret.is_none());
+            assert!(fret.is_some());
+        }
+        other => panic!("expected Call, got {other}"),
+    }
+}
+
+#[test]
+fn tiny_leaf_helpers_are_inlined() {
+    let p = compile_ok(
+        "fn sq(int x) -> int { return x * x; }
+        fn main() -> int {
+            int i; int s;
+            for (i = 0; i < 10; i = i + 1) { s = s + sq(i); }
+            return s;
+        }",
+    );
+    let (_, m) = p.func_by_name("main").unwrap();
+    assert!(
+        !m.blocks().iter().any(|b| b.instrs.iter().any(|i| i.is_call())),
+        "sq should have been inlined"
+    );
+    // And the program still computes the right answer.
+    use bpfree_sim::{NullObserver, Simulator};
+    let r = Simulator::new(&p).run(&mut NullObserver).unwrap();
+    assert_eq!(r.exit, (0..10).map(|i| i * i).sum::<i64>());
+}
+
+#[test]
+fn recursion_compiles() {
+    let p = compile_ok(
+        "fn fact(int n) -> int {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        fn main() -> int { return fact(5); }",
+    );
+    assert_eq!(p.funcs().len(), 2);
+    assert!(p.validate().is_ok());
+}
+
+#[test]
+fn dead_code_after_return_is_dropped() {
+    let p = compile_ok(
+        "fn main() -> int {
+            return 1;
+            return 2;
+        }",
+    );
+    let f = p.func(p.entry());
+    // Only the entry block with a single return.
+    assert_eq!(f.blocks().len(), 1);
+}
+
+#[test]
+fn if_where_both_arms_return_leaves_no_unreachable_blocks() {
+    // The lowering creates an unreachable join, and the cleanup pass
+    // removes it again.
+    let p = compile_no_inline(
+        "fn f(int x) -> int {
+            if (x > 0) { return 1; } else { return 2; }
+        }
+        fn main() -> int { return f(1); }",
+    );
+    let (_, f) = p.func_by_name("f").unwrap();
+    let a = FunctionAnalysis::new(f);
+    let unreachable = f.block_ids().filter(|b| !a.dfs.is_reachable(*b)).count();
+    assert_eq!(unreachable, 0);
+    assert_eq!(f.blocks().len(), 3);
+}
+
+// ---- error cases ----
+
+#[test]
+fn unknown_variable_is_a_type_error() {
+    let err = compile("fn main() -> int { return nope; }").unwrap_err();
+    assert!(err.to_string().contains("unknown variable"));
+}
+
+#[test]
+fn unknown_function_is_a_type_error() {
+    let err = compile("fn main() -> int { return nope(); }").unwrap_err();
+    assert!(err.to_string().contains("unknown function"));
+}
+
+#[test]
+fn arity_mismatch_is_a_type_error() {
+    let err = compile(
+        "fn f(int a) -> int { return a; }
+        fn main() -> int { return f(); }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("arguments"));
+}
+
+#[test]
+fn float_where_word_needed_is_a_type_error() {
+    let err = compile("fn main() -> int { return 1.5; }").unwrap_err();
+    assert!(err.to_string().contains("float"));
+}
+
+#[test]
+fn implicit_float_to_int_rejected_but_cast_accepted() {
+    assert!(compile("fn f(float x) -> int { return x; } fn main() -> int { return f(1.0); }")
+        .is_err());
+    assert!(compile("fn f(float x) -> int { return int(x); } fn main() -> int { return f(1.0); }")
+        .is_ok());
+}
+
+#[test]
+fn implicit_int_to_float_promotes() {
+    let p = compile_ok("fn main() -> int { float x; x = 3; return int(x * 2.0); }");
+    let (_, f) = p.func_by_name("main").unwrap();
+    let has_cvt = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .any(|i| matches!(i, Instr::CvtIF { .. }));
+    assert!(has_cvt);
+}
+
+#[test]
+fn break_outside_loop_rejected() {
+    let err = compile("fn main() -> int { break; return 0; }").unwrap_err();
+    assert!(err.to_string().contains("break"));
+}
+
+#[test]
+fn continue_outside_loop_rejected() {
+    let err = compile("fn main() -> int { continue; return 0; }").unwrap_err();
+    assert!(err.to_string().contains("continue"));
+}
+
+#[test]
+fn duplicate_global_rejected() {
+    assert!(compile("global int a; global int a; fn main() -> int { return 0; }").is_err());
+}
+
+#[test]
+fn duplicate_function_rejected() {
+    assert!(compile("fn f() {} fn f() {} fn main() -> int { return 0; }").is_err());
+}
+
+#[test]
+fn duplicate_local_in_same_scope_rejected() {
+    assert!(compile("fn main() -> int { int a; int a; return 0; }").is_err());
+}
+
+#[test]
+fn shadowing_in_inner_scope_allowed() {
+    assert!(compile(
+        "fn main() -> int { int a; a = 1; { int a; a = 2; } return a; }"
+    )
+    .is_ok());
+}
+
+#[test]
+fn constant_index_out_of_bounds_rejected() {
+    let err = compile(
+        "global int xs[4];
+        fn main() -> int { return xs[4]; }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("out of bounds"));
+}
+
+#[test]
+fn assign_to_bare_array_rejected() {
+    let err = compile(
+        "global int xs[4];
+        fn main() -> int { xs = 1; return 0; }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("without an index"));
+}
+
+#[test]
+fn builtin_redefinition_rejected() {
+    assert!(compile("fn alloc(int n) -> ptr { return null; } fn main() -> int { return 0; }")
+        .is_err());
+}
+
+#[test]
+fn return_value_from_void_function_rejected() {
+    assert!(compile("fn f() { return 1; } fn main() -> int { return 0; }").is_err());
+}
+
+#[test]
+fn bare_return_from_valued_function_rejected() {
+    assert!(compile("fn f() -> int { return; } fn main() -> int { return 0; }").is_err());
+}
+
+#[test]
+fn rem_on_float_rejected() {
+    assert!(compile("fn main() -> int { float x; x = 1.0 ; x = x % 2.0; return 0; }").is_err());
+}
+
+#[test]
+fn all_generated_programs_validate() {
+    // A kitchen-sink program stressing most constructs.
+    let p = compile_ok(
+        "global int data[64];
+        global float weights[16];
+        global int count;
+
+        fn hash(int key) -> int {
+            return (key * 2654435761) % 64;
+        }
+
+        fn find(ptr list, int key) -> ptr {
+            while (list != null) {
+                if (list[0] == key) { return list; }
+                list = list[2];
+            }
+            return null;
+        }
+
+        fn average() -> float {
+            float sum; int i;
+            sum = 0.0;
+            for (i = 0; i < 16; i = i + 1) { sum = sum + weights[i]; }
+            return sum / 16.0;
+        }
+
+        fn main() -> int {
+            ptr head; ptr node; int i;
+            head = null;
+            for (i = 0; i < 32; i = i + 1) {
+                node = alloc(3);
+                node[0] = hash(i);
+                node[1] = i;
+                node[2] = head;
+                head = node;
+            }
+            node = find(head, hash(7));
+            if (node == null) { return -1; }
+            if (average() > 0.5) { count = count + 1; }
+            return node[1];
+        }",
+    );
+    assert!(p.validate().is_ok());
+    // Every function should be loop-analyzable and reducible.
+    for f in p.funcs() {
+        let a = FunctionAnalysis::new(f);
+        assert!(a.loops.is_reducible(), "{} irreducible", f.name());
+    }
+}
+
+#[test]
+fn program_with_no_functions_is_an_error_not_a_panic() {
+    // Regression: the dead-function pass used to index into an empty
+    // function list (found by the garbage-input fuzz test).
+    let err = compile("global int only_data[4];").unwrap_err();
+    assert!(err.to_string().contains("no functions"), "{err}");
+}
+
+#[test]
+fn optimisation_levels_preserve_semantics_on_a_real_program() {
+    use bpfree_sim::{NullObserver, Simulator};
+    let src = "global int t[8];
+    fn fill(int k) -> int {
+        int i;
+        for (i = 0; i < 8; i = i + 1) { t[i] = i * k % 7; }
+        return t[3];
+    }
+    fn main() -> int {
+        int a; int b;
+        a = fill(3);
+        b = fill(5);
+        return a * 100 + b;
+    }";
+    let o0 = compile_with(src, Options::o0()).unwrap();
+    let o2 = compile(src).unwrap();
+    let r0 = Simulator::new(&o0).run(&mut NullObserver).unwrap();
+    let r2 = Simulator::new(&o2).run(&mut NullObserver).unwrap();
+    assert_eq!(r0.exit, r2.exit);
+    // Optimisation should not grow the instruction count here.
+    assert!(r2.instructions <= r0.instructions, "{} vs {}", r2.instructions, r0.instructions);
+}

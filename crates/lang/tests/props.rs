@@ -1,0 +1,185 @@
+//! Differential property tests: randomly generated Cmm expressions are
+//! compiled and interpreted, and the result must match a Rust-side
+//! reference evaluator with the same semantics (wrapping arithmetic,
+//! division by zero yields zero, shifts mod 64).
+
+use bpfree_lang::{compile, compile_with, Options};
+use bpfree_sim::{NullObserver, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// A little expression AST mirrored on both sides.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Le(Box<E>, Box<E>),
+    EqE(Box<E>, Box<E>),
+    Ne(Box<E>, Box<E>),
+    LAnd(Box<E>, Box<E>),
+    LOr(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Not(Box<E>),
+}
+
+const N_VARS: usize = 4;
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(E::Lit),
+        (0usize..N_VARS).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Le(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::EqE(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Ne(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::LAnd(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::LOr(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.prop_map(|a| E::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn to_cmm(e: &E) -> String {
+    match e {
+        E::Lit(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -(*v as i64))
+            } else {
+                format!("{v}")
+            }
+        }
+        E::Var(i) => format!("v{i}"),
+        E::Add(a, b) => format!("({} + {})", to_cmm(a), to_cmm(b)),
+        E::Sub(a, b) => format!("({} - {})", to_cmm(a), to_cmm(b)),
+        E::Mul(a, b) => format!("({} * {})", to_cmm(a), to_cmm(b)),
+        E::Div(a, b) => format!("({} / {})", to_cmm(a), to_cmm(b)),
+        E::Rem(a, b) => format!("({} % {})", to_cmm(a), to_cmm(b)),
+        E::And(a, b) => format!("({} & {})", to_cmm(a), to_cmm(b)),
+        E::Or(a, b) => format!("({} | {})", to_cmm(a), to_cmm(b)),
+        E::Xor(a, b) => format!("({} ^ {})", to_cmm(a), to_cmm(b)),
+        E::Lt(a, b) => format!("({} < {})", to_cmm(a), to_cmm(b)),
+        E::Le(a, b) => format!("({} <= {})", to_cmm(a), to_cmm(b)),
+        E::EqE(a, b) => format!("({} == {})", to_cmm(a), to_cmm(b)),
+        E::Ne(a, b) => format!("({} != {})", to_cmm(a), to_cmm(b)),
+        E::LAnd(a, b) => format!("({} && {})", to_cmm(a), to_cmm(b)),
+        E::LOr(a, b) => format!("({} || {})", to_cmm(a), to_cmm(b)),
+        E::Neg(a) => format!("(-{})", to_cmm(a)),
+        E::Not(a) => format!("(!{})", to_cmm(a)),
+    }
+}
+
+fn reference_eval(e: &E, vars: &[i64; N_VARS]) -> i64 {
+    match e {
+        E::Lit(v) => *v as i64,
+        E::Var(i) => vars[*i],
+        E::Add(a, b) => reference_eval(a, vars).wrapping_add(reference_eval(b, vars)),
+        E::Sub(a, b) => reference_eval(a, vars).wrapping_sub(reference_eval(b, vars)),
+        E::Mul(a, b) => reference_eval(a, vars).wrapping_mul(reference_eval(b, vars)),
+        E::Div(a, b) => {
+            let d = reference_eval(b, vars);
+            if d == 0 {
+                0
+            } else {
+                reference_eval(a, vars).wrapping_div(d)
+            }
+        }
+        E::Rem(a, b) => {
+            let d = reference_eval(b, vars);
+            if d == 0 {
+                0
+            } else {
+                reference_eval(a, vars).wrapping_rem(d)
+            }
+        }
+        E::And(a, b) => reference_eval(a, vars) & reference_eval(b, vars),
+        E::Or(a, b) => reference_eval(a, vars) | reference_eval(b, vars),
+        E::Xor(a, b) => reference_eval(a, vars) ^ reference_eval(b, vars),
+        E::Lt(a, b) => (reference_eval(a, vars) < reference_eval(b, vars)) as i64,
+        E::Le(a, b) => (reference_eval(a, vars) <= reference_eval(b, vars)) as i64,
+        E::EqE(a, b) => (reference_eval(a, vars) == reference_eval(b, vars)) as i64,
+        E::Ne(a, b) => (reference_eval(a, vars) != reference_eval(b, vars)) as i64,
+        E::LAnd(a, b) => {
+            (reference_eval(a, vars) != 0 && reference_eval(b, vars) != 0) as i64
+        }
+        E::LOr(a, b) => {
+            (reference_eval(a, vars) != 0 || reference_eval(b, vars) != 0) as i64
+        }
+        E::Neg(a) => 0i64.wrapping_sub(reference_eval(a, vars)),
+        E::Not(a) => (reference_eval(a, vars) == 0) as i64,
+    }
+}
+
+fn run_program(src: &str, opts: Options) -> i64 {
+    let p = compile_with(src, opts).unwrap_or_else(|e| panic!("{}\n{src}", e.render(src)));
+    let cfg = SimConfig { fuel: 10_000_000, ..SimConfig::default() };
+    Simulator::with_config(&p, cfg)
+        .run(&mut NullObserver)
+        .unwrap_or_else(|e| panic!("{e}\n{src}"))
+        .exit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compiled expression evaluation matches the reference evaluator,
+    /// at -O0 and at full optimisation (the passes are semantics-
+    /// preserving).
+    #[test]
+    fn expressions_match_reference(e in arb_expr(), vars in [-50i64..50, -50i64..50, -50i64..50, -50i64..50]) {
+        let src = format!(
+            "fn main() -> int {{
+                int v0; int v1; int v2; int v3;
+                v0 = {}; v1 = {}; v2 = {}; v3 = {};
+                return {};
+            }}",
+            vars[0], vars[1], vars[2], vars[3], to_cmm(&e)
+        );
+        let expected = reference_eval(&e, &vars);
+        prop_assert_eq!(run_program(&src, Options::default()), expected, "optimised\n{}", src);
+        prop_assert_eq!(run_program(&src, Options::o0()), expected, "-O0\n{}", src);
+    }
+
+    /// Expressions used as conditions agree with truthiness of the
+    /// reference value.
+    #[test]
+    fn conditions_match_reference(e in arb_expr(), vars in [-20i64..20, -20i64..20, -20i64..20, -20i64..20]) {
+        let src = format!(
+            "fn main() -> int {{
+                int v0; int v1; int v2; int v3;
+                v0 = {}; v1 = {}; v2 = {}; v3 = {};
+                if ({}) {{ return 1; }}
+                return 0;
+            }}",
+            vars[0], vars[1], vars[2], vars[3], to_cmm(&e)
+        );
+        let expected = (reference_eval(&e, &vars) != 0) as i64;
+        prop_assert_eq!(run_program(&src, Options::default()), expected, "{}", src);
+    }
+
+    /// Compilation never panics on arbitrary token soup (errors are
+    /// returned, not thrown).
+    #[test]
+    fn compiler_total_on_garbage(s in "[a-z0-9(){};=<>!&|+*/%, \n-]{0,200}") {
+        let _ = compile(&s);
+    }
+}

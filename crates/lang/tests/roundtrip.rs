@@ -1,0 +1,98 @@
+//! Display ⇄ parse round-trip: every program the compiler can produce
+//! must print to text that parses back to an identical program.
+
+use bpfree_ir::parse_program;
+use bpfree_lang::compile;
+use proptest::prelude::*;
+
+fn roundtrip(src: &str) {
+    let p = compile(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    let text = p.to_string();
+    let q = parse_program(&text)
+        .unwrap_or_else(|e| panic!("parse-back failed: {e}\n--- text ---\n{text}"));
+    assert_eq!(p, q, "round-trip mismatch\n--- text ---\n{text}");
+}
+
+#[test]
+fn roundtrips_kitchen_sink() {
+    roundtrip(
+        "global int data[16];
+        global float ws[4];
+        global int n;
+        fn hash(int key) -> int { return key * 31 % 97; }
+        fn scan(ptr list, int k) -> int {
+            while (list != null) {
+                if (list[0] == k) { return 1; }
+                list = list[1];
+            }
+            return 0;
+        }
+        fn avg() -> float {
+            float s; int i;
+            for (i = 0; i < 4; i = i + 1) { s = s + ws[i]; }
+            return s / 4.0;
+        }
+        fn main() -> int {
+            ptr head; int i; int found;
+            int buf[8];
+            for (i = 0; i < 10; i = i + 1) {
+                ptr cell;
+                cell = alloc(2);
+                cell[0] = hash(i + 100);
+                cell[1] = head;
+                head = cell;
+                buf[i % 8] = i;
+            }
+            found = scan(head, hash(105));
+            if (avg() > 0.25 && found != 0) { n = n + 1; }
+            return found * 10 + buf[3];
+        }",
+    );
+}
+
+#[test]
+fn roundtrips_every_suite_benchmark() {
+    for b in bpfree_suite::all() {
+        let p = b.compile().unwrap();
+        let text = p.to_string();
+        let q = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: parse-back failed: {e}", b.name));
+        assert_eq!(p, q, "{} round-trip mismatch", b.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random-ish expression programs round-trip too (negative literals,
+    /// floats, nested control flow).
+    #[test]
+    fn roundtrips_generated_programs(
+        a in -1000i64..1000,
+        f in -100.0f64..100.0,
+        loops in 1u8..4,
+    ) {
+        let mut body = String::new();
+        for l in 0..loops {
+            body.push_str(&format!(
+                "for (i = 0; i < {}; i = i + 1) {{
+                    if (i % {} == 0) {{ s = s + i + {a}; }}
+                    acc = acc + {f:?} * float(i);
+                 }}\n",
+                5 + l as i64 * 3,
+                l + 2,
+            ));
+        }
+        let src = format!(
+            "global float acc;
+             fn main() -> int {{
+                int i; int s;
+                {body}
+                return s;
+             }}"
+        );
+        let p = compile(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+        let q = parse_program(&p.to_string()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+}

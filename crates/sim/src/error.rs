@@ -1,0 +1,65 @@
+use std::fmt;
+
+use bpfree_ir::FuncId;
+
+/// Runtime errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configured instruction budget was exhausted — the program loops
+    /// too long (or forever).
+    OutOfFuel { executed: u64 },
+    /// A load or store touched an address outside memory, or the null
+    /// word at address 0.
+    BadAddress { addr: i64, func: FuncId },
+    /// Heap allocation collided with the stack (out of memory).
+    OutOfMemory { requested: i64 },
+    /// Call depth exceeded the configured limit (runaway recursion).
+    StackOverflow { depth: usize },
+    /// The stack pointer ran below the heap (frame overflow).
+    FrameOverflow { func: FuncId },
+    /// A named global was not found when poking initial values.
+    UnknownGlobal { name: String },
+    /// Poked more initial values than a global has room for.
+    GlobalTooSmall { name: String, len: i64, got: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfFuel { executed } => {
+                write!(f, "out of fuel after {executed} instructions")
+            }
+            SimError::BadAddress { addr, func } => {
+                write!(f, "bad memory address {addr} in function {func}")
+            }
+            SimError::OutOfMemory { requested } => {
+                write!(f, "heap allocation of {requested} words collided with the stack")
+            }
+            SimError::StackOverflow { depth } => {
+                write!(f, "call depth exceeded {depth}")
+            }
+            SimError::FrameOverflow { func } => {
+                write!(f, "stack frame of function {func} ran into the heap")
+            }
+            SimError::UnknownGlobal { name } => write!(f, "unknown global `{name}`"),
+            SimError::GlobalTooSmall { name, len, got } => {
+                write!(f, "global `{name}` holds {len} words but {got} were provided")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SimError::OutOfFuel { executed: 1000 };
+        assert!(e.to_string().contains("1000"));
+        let e = SimError::UnknownGlobal { name: "xs".into() };
+        assert!(e.to_string().contains("xs"));
+    }
+}

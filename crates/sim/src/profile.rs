@@ -1,0 +1,187 @@
+use std::collections::HashMap;
+
+use bpfree_ir::BranchRef;
+
+use crate::observer::ExecObserver;
+
+/// Dynamic taken/fall-through counts for one branch site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeCounts {
+    pub taken: u64,
+    pub fallthru: u64,
+}
+
+impl EdgeCounts {
+    /// Total executions of the branch.
+    pub fn total(self) -> u64 {
+        self.taken + self.fallthru
+    }
+
+    /// Executions of the *more* frequent side — what a perfect static
+    /// predictor gets right.
+    pub fn majority(self) -> u64 {
+        self.taken.max(self.fallthru)
+    }
+
+    /// Executions of the *less* frequent side — what a perfect static
+    /// predictor misses.
+    pub fn minority(self) -> u64 {
+        self.taken.min(self.fallthru)
+    }
+
+    /// Did the taken side win (ties predict taken)?
+    pub fn taken_majority(self) -> bool {
+        self.taken >= self.fallthru
+    }
+}
+
+/// An edge profile: per-branch dynamic counts, exactly what QPT's edge
+/// profiling produced for the paper.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_sim::{EdgeProfiler, Simulator};
+/// let p = bpfree_lang::compile(
+///     "fn main() -> int {
+///         int i;
+///         for (i = 0; i < 5; i = i + 1) { }
+///         return i;
+///     }",
+/// ).unwrap();
+/// let mut prof = EdgeProfiler::new();
+/// Simulator::new(&p).run(&mut prof).unwrap();
+/// let profile = prof.into_profile();
+/// // The rotated loop executes its bottom test 5 times.
+/// assert_eq!(profile.total_branches(), 6); // 1 guard + 5 latch tests
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeProfile {
+    counts: HashMap<BranchRef, EdgeCounts>,
+}
+
+impl EdgeProfile {
+    /// Creates an empty profile.
+    pub fn new() -> EdgeProfile {
+        EdgeProfile::default()
+    }
+
+    /// The counts for `branch` (zero if never executed).
+    pub fn counts(&self, branch: BranchRef) -> EdgeCounts {
+        self.counts.get(&branch).copied().unwrap_or_default()
+    }
+
+    /// Iterator over executed branches and their counts.
+    pub fn iter(&self) -> impl Iterator<Item = (BranchRef, EdgeCounts)> + '_ {
+        self.counts.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Number of distinct branch sites that executed at least once.
+    pub fn n_sites(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total dynamic conditional branch count.
+    pub fn total_branches(&self) -> u64 {
+        self.counts.values().map(|c| c.total()).sum()
+    }
+
+    /// Records one execution (exposed for building profiles in tests).
+    pub fn record(&mut self, branch: BranchRef, taken: bool) {
+        let e = self.counts.entry(branch).or_default();
+        if taken {
+            e.taken += 1;
+        } else {
+            e.fallthru += 1;
+        }
+    }
+
+    /// Merges another profile into this one (summing counts) — e.g. to
+    /// aggregate multiple datasets.
+    pub fn merge(&mut self, other: &EdgeProfile) {
+        for (b, c) in other.iter() {
+            let e = self.counts.entry(b).or_default();
+            e.taken += c.taken;
+            e.fallthru += c.fallthru;
+        }
+    }
+}
+
+impl FromIterator<(BranchRef, EdgeCounts)> for EdgeProfile {
+    fn from_iter<I: IntoIterator<Item = (BranchRef, EdgeCounts)>>(iter: I) -> EdgeProfile {
+        EdgeProfile { counts: iter.into_iter().collect() }
+    }
+}
+
+/// An [`ExecObserver`] that accumulates an [`EdgeProfile`].
+#[derive(Debug, Clone, Default)]
+pub struct EdgeProfiler {
+    profile: EdgeProfile,
+}
+
+impl EdgeProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> EdgeProfiler {
+        EdgeProfiler::default()
+    }
+
+    /// Consumes the profiler, yielding the accumulated profile.
+    pub fn into_profile(self) -> EdgeProfile {
+        self.profile
+    }
+
+    /// Borrows the profile accumulated so far.
+    pub fn profile(&self) -> &EdgeProfile {
+        &self.profile
+    }
+}
+
+impl ExecObserver for EdgeProfiler {
+    fn on_branch(&mut self, branch: BranchRef, taken: bool) {
+        self.profile.record(branch, taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfree_ir::{BlockId, FuncId};
+
+    fn br(b: u32) -> BranchRef {
+        BranchRef { func: FuncId(0), block: BlockId(b) }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut p = EdgeProfile::new();
+        p.record(br(0), true);
+        p.record(br(0), true);
+        p.record(br(0), false);
+        let c = p.counts(br(0));
+        assert_eq!(c, EdgeCounts { taken: 2, fallthru: 1 });
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.majority(), 2);
+        assert_eq!(c.minority(), 1);
+        assert!(c.taken_majority());
+        assert_eq!(p.counts(br(9)), EdgeCounts::default());
+    }
+
+    #[test]
+    fn ties_predict_taken() {
+        let c = EdgeCounts { taken: 5, fallthru: 5 };
+        assert!(c.taken_majority());
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = EdgeProfile::new();
+        a.record(br(0), true);
+        let mut b = EdgeProfile::new();
+        b.record(br(0), false);
+        b.record(br(1), true);
+        a.merge(&b);
+        assert_eq!(a.counts(br(0)), EdgeCounts { taken: 1, fallthru: 1 });
+        assert_eq!(a.n_sites(), 2);
+        assert_eq!(a.total_branches(), 3);
+    }
+}

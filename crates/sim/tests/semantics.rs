@@ -1,0 +1,492 @@
+//! End-to-end semantics tests: compile Cmm, run, check results and
+//! profiles.
+
+use bpfree_ir::GlobalValues;
+use bpfree_lang::compile;
+use bpfree_sim::{
+    CountingObserver, EdgeProfiler, NullObserver, Pair, SimConfig, SimError, Simulator,
+};
+
+fn run(src: &str) -> i64 {
+    let p = compile(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    Simulator::new(&p).run(&mut NullObserver).unwrap().exit
+}
+
+#[test]
+fn arithmetic() {
+    assert_eq!(run("fn main() -> int { return 2 + 3 * 4 - 1; }"), 13);
+    assert_eq!(run("fn main() -> int { return (2 + 3) * 4; }"), 20);
+    assert_eq!(run("fn main() -> int { return 17 / 5; }"), 3);
+    assert_eq!(run("fn main() -> int { return 17 % 5; }"), 2);
+    assert_eq!(run("fn main() -> int { return -7; }"), -7);
+    assert_eq!(run("fn main() -> int { return 1 << 10; }"), 1024);
+    assert_eq!(run("fn main() -> int { return -16 >> 2; }"), -4);
+    assert_eq!(run("fn main() -> int { return 12 & 10; }"), 8);
+    assert_eq!(run("fn main() -> int { return 12 | 10; }"), 14);
+    assert_eq!(run("fn main() -> int { return 12 ^ 10; }"), 6);
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    assert_eq!(run("fn main() -> int { int z; z = 0; return 5 / z; }"), 0);
+    assert_eq!(run("fn main() -> int { int z; z = 0; return 5 % z; }"), 0);
+}
+
+#[test]
+fn comparisons_as_values() {
+    assert_eq!(run("fn main() -> int { return 1 < 2; }"), 1);
+    assert_eq!(run("fn main() -> int { return 2 < 1; }"), 0);
+    assert_eq!(run("fn main() -> int { return 2 <= 2; }"), 1);
+    assert_eq!(run("fn main() -> int { return 3 > 2; }"), 1);
+    assert_eq!(run("fn main() -> int { return 2 >= 3; }"), 0);
+    assert_eq!(run("fn main() -> int { return 5 == 5; }"), 1);
+    assert_eq!(run("fn main() -> int { return 5 != 5; }"), 0);
+    assert_eq!(run("fn main() -> int { return !5; }"), 0);
+    assert_eq!(run("fn main() -> int { return !0; }"), 1);
+}
+
+#[test]
+fn short_circuit_semantics() {
+    // The right operand must not run when the left decides.
+    let src = "global int hits;
+        fn bump() -> int { hits = hits + 1; return 1; }
+        fn main() -> int {
+            int a;
+            a = 0 && bump();
+            a = 1 || bump();
+            return hits;
+        }";
+    assert_eq!(run(src), 0);
+    let src2 = "global int hits;
+        fn bump() -> int { hits = hits + 1; return 1; }
+        fn main() -> int {
+            int a;
+            a = 1 && bump();
+            a = 0 || bump();
+            return hits;
+        }";
+    assert_eq!(run(src2), 2);
+}
+
+#[test]
+fn logical_values() {
+    assert_eq!(run("fn main() -> int { return 2 && 3; }"), 1);
+    assert_eq!(run("fn main() -> int { return 0 || 7; }"), 1);
+    assert_eq!(run("fn main() -> int { return 0 || 0; }"), 0);
+}
+
+#[test]
+fn control_flow() {
+    assert_eq!(
+        run("fn main() -> int {
+            int i; int s;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) { s = s + i; }
+            }
+            return s;
+        }"),
+        20
+    );
+    assert_eq!(
+        run("fn main() -> int {
+            int i;
+            i = 0;
+            while (i < 100) { i = i + 7; }
+            return i;
+        }"),
+        105
+    );
+    assert_eq!(
+        run("fn main() -> int {
+            int i;
+            do { i = i + 1; } while (i < 3);
+            return i;
+        }"),
+        3
+    );
+}
+
+#[test]
+fn while_false_never_runs_body() {
+    assert_eq!(
+        run("fn main() -> int {
+            int i; int n;
+            n = 0;
+            while (n > 0) { i = i + 1; n = n - 1; }
+            return i;
+        }"),
+        0
+    );
+}
+
+#[test]
+fn do_while_runs_at_least_once() {
+    assert_eq!(
+        run("fn main() -> int {
+            int i;
+            do { i = i + 1; } while (0 > 1);
+            return i;
+        }"),
+        1
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        run("fn main() -> int {
+            int i; int s;
+            for (i = 0; i < 100; i = i + 1) {
+                if (i == 5) { continue; }
+                if (i == 8) { break; }
+                s = s + i;
+            }
+            return s;
+        }"),
+        0 + 1 + 2 + 3 + 4 + 6 + 7
+    );
+}
+
+#[test]
+fn nested_loops_with_break() {
+    assert_eq!(
+        run("fn main() -> int {
+            int i; int j; int c;
+            for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    if (j > i) { break; }
+                    c = c + 1;
+                }
+            }
+            return c;
+        }"),
+        1 + 2 + 3 + 4
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    assert_eq!(
+        run("fn fib(int n) -> int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() -> int { return fib(12); }"),
+        144
+    );
+    assert_eq!(
+        run("fn gcd(int a, int b) -> int {
+            if (b == 0) { return a; }
+            return gcd(b, a % b);
+        }
+        fn main() -> int { return gcd(48, 36); }"),
+        12
+    );
+}
+
+#[test]
+fn mutual_recursion() {
+    assert_eq!(
+        run("fn is_even(int n) -> int {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        fn is_odd(int n) -> int {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        fn main() -> int { return is_even(10) + is_odd(7) * 10; }"),
+        11
+    );
+}
+
+#[test]
+fn globals_and_arrays() {
+    assert_eq!(
+        run("global int xs[5];
+        global int total;
+        fn main() -> int {
+            int i;
+            for (i = 0; i < 5; i = i + 1) { xs[i] = i * i; }
+            for (i = 0; i < 5; i = i + 1) { total = total + xs[i]; }
+            return total;
+        }"),
+        0 + 1 + 4 + 9 + 16
+    );
+}
+
+#[test]
+fn local_arrays_are_per_frame() {
+    assert_eq!(
+        run("fn f(int depth) -> int {
+            int buf[4];
+            buf[0] = depth;
+            if (depth > 0) {
+                int ignore;
+                ignore = f(depth - 1);
+            }
+            return buf[0];
+        }
+        fn main() -> int { return f(3); }"),
+        3
+    );
+}
+
+#[test]
+fn heap_allocation_and_linked_list() {
+    assert_eq!(
+        run("fn main() -> int {
+            ptr head; ptr node; int i; int s;
+            head = null;
+            for (i = 1; i <= 5; i = i + 1) {
+                node = alloc(2);
+                node[0] = i;
+                node[1] = head;
+                head = node;
+            }
+            while (head != null) {
+                s = s + head[0];
+                head = head[1];
+            }
+            return s;
+        }"),
+        15
+    );
+}
+
+#[test]
+fn alloc_blocks_are_zeroed_and_distinct() {
+    assert_eq!(
+        run("fn main() -> int {
+            ptr a; ptr b;
+            a = alloc(3);
+            b = alloc(3);
+            if (a == b) { return -1; }
+            return a[0] + a[1] + a[2] + b[0];
+        }"),
+        0
+    );
+}
+
+#[test]
+fn floats() {
+    assert_eq!(run("fn main() -> int { return int(1.5 + 2.25); }"), 3);
+    assert_eq!(run("fn main() -> int { return int(10.0 / 4.0); }"), 2);
+    assert_eq!(run("fn main() -> int { return int(float(7)); }"), 7);
+    assert_eq!(
+        run("fn main() -> int {
+            float x;
+            x = 0.1;
+            if (x * 3.0 == 0.3) { return 1; }
+            return 0;
+        }"),
+        0 // classic floating point: 0.1*3 != 0.3
+    );
+    assert_eq!(
+        run("fn main() -> int {
+            float s; int i;
+            for (i = 0; i < 10; i = i + 1) { s = s + 0.5; }
+            return int(s);
+        }"),
+        5
+    );
+}
+
+#[test]
+fn float_comparisons_in_control() {
+    assert_eq!(
+        run("fn main() -> int {
+            float a; float b;
+            a = 1.0; b = 2.0;
+            if (a < b) { return 1; }
+            return 0;
+        }"),
+        1
+    );
+    assert_eq!(
+        run("fn main() -> int {
+            float a;
+            a = 5.0;
+            if (a >= 5.0 && a <= 5.0) { return 1; }
+            return 0;
+        }"),
+        1
+    );
+}
+
+#[test]
+fn float_int_promotion_in_comparison() {
+    assert_eq!(
+        run("fn main() -> int {
+            float x;
+            x = 2.5;
+            if (x > 2) { return 1; }
+            return 0;
+        }"),
+        1
+    );
+}
+
+#[test]
+fn global_float_scalars() {
+    assert_eq!(
+        run("global float acc;
+        fn main() -> int {
+            acc = 1.25;
+            acc = acc * 4.0;
+            return int(acc);
+        }"),
+        5
+    );
+}
+
+#[test]
+fn datasets_poke_globals() {
+    let src = "global int xs[8];
+        global int n;
+        fn main() -> int {
+            int i; int s;
+            for (i = 0; i < n; i = i + 1) { s = s + xs[i]; }
+            return s;
+        }";
+    let p = compile(src).unwrap();
+    let mut sim = Simulator::new(&p);
+    let mut g = GlobalValues::new();
+    g.set_int("xs", vec![1, 2, 3, 4]);
+    g.set_int("n", vec![4]);
+    sim.set_globals(&g).unwrap();
+    assert_eq!(sim.run(&mut NullObserver).unwrap().exit, 10);
+}
+
+#[test]
+fn float_datasets_poke_globals() {
+    let src = "global float ws[4];
+        fn main() -> int {
+            float s; int i;
+            for (i = 0; i < 4; i = i + 1) { s = s + ws[i]; }
+            return int(s * 10.0);
+        }";
+    let p = compile(src).unwrap();
+    let mut sim = Simulator::new(&p);
+    let mut g = GlobalValues::new();
+    g.set_float("ws", vec![0.1, 0.2, 0.3, 0.4]);
+    sim.set_globals(&g).unwrap();
+    assert_eq!(sim.run(&mut NullObserver).unwrap().exit, 10);
+}
+
+#[test]
+fn unknown_global_rejected() {
+    let p = compile("fn main() -> int { return 0; }").unwrap();
+    let mut sim = Simulator::new(&p);
+    let mut g = GlobalValues::new();
+    g.set_int("missing", vec![1]);
+    assert!(matches!(sim.set_globals(&g), Err(SimError::UnknownGlobal { .. })));
+}
+
+#[test]
+fn oversized_dataset_rejected() {
+    let p = compile("global int xs[2]; fn main() -> int { return xs[0]; }").unwrap();
+    let mut sim = Simulator::new(&p);
+    let mut g = GlobalValues::new();
+    g.set_int("xs", vec![1, 2, 3]);
+    assert!(matches!(sim.set_globals(&g), Err(SimError::GlobalTooSmall { .. })));
+}
+
+#[test]
+fn read_global_after_run() {
+    let src = "global int out[3];
+        fn main() -> int {
+            out[0] = 10; out[1] = 20; out[2] = 30;
+            return 0;
+        }";
+    let p = compile(src).unwrap();
+    let mut sim = Simulator::new(&p);
+    sim.run(&mut NullObserver).unwrap();
+    assert_eq!(sim.read_global("out").unwrap(), vec![10, 20, 30]);
+}
+
+#[test]
+fn null_dereference_traps() {
+    let p = compile("fn main() -> int { ptr p; p = null; return p[0]; }").unwrap();
+    let err = Simulator::new(&p).run(&mut NullObserver).unwrap_err();
+    assert!(matches!(err, SimError::BadAddress { addr: 0, .. }));
+}
+
+#[test]
+fn infinite_loop_runs_out_of_fuel() {
+    let p = compile("fn main() -> int { int i; do { i = 1; } while (i > 0); return i; }").unwrap();
+    let cfg = SimConfig { fuel: 10_000, ..SimConfig::default() };
+    let err = Simulator::with_config(&p, cfg).run(&mut NullObserver).unwrap_err();
+    assert!(matches!(err, SimError::OutOfFuel { .. }));
+}
+
+#[test]
+fn runaway_recursion_overflows_stack() {
+    let p = compile(
+        "fn f(int n) -> int { return f(n + 1); }
+        fn main() -> int { return f(0); }",
+    )
+    .unwrap();
+    let cfg = SimConfig { max_call_depth: 100, ..SimConfig::default() };
+    let err = Simulator::with_config(&p, cfg).run(&mut NullObserver).unwrap_err();
+    assert!(matches!(err, SimError::StackOverflow { .. }));
+}
+
+#[test]
+fn huge_alloc_reports_out_of_memory() {
+    let p = compile("fn main() -> int { ptr p; p = alloc(1 << 40); return 0; }").unwrap();
+    let err = Simulator::new(&p).run(&mut NullObserver).unwrap_err();
+    assert!(matches!(err, SimError::OutOfMemory { .. }));
+}
+
+#[test]
+fn edge_profile_counts_are_exact() {
+    // for (i = 0; i < 5; ...) — guard runs once (not taken: enters loop);
+    // bottom test runs 5 times, taken 4.
+    let src = "fn main() -> int {
+        int i;
+        for (i = 0; i < 5; i = i + 1) { }
+        return i;
+    }";
+    let p = compile(src).unwrap();
+    let mut prof = EdgeProfiler::new();
+    Simulator::new(&p).run(&mut prof).unwrap();
+    let profile = prof.into_profile();
+    assert_eq!(profile.n_sites(), 2);
+    let mut totals: Vec<(u64, u64)> =
+        profile.iter().map(|(_, c)| (c.taken, c.fallthru)).collect();
+    totals.sort();
+    // Guard: branch-over polarity means "enter loop" is the fall-through:
+    // 0 taken / 1 fallthru. Latch: taken 4 (backedge), fallthru 1 (exit).
+    assert_eq!(totals, vec![(0, 1), (4, 1)]);
+}
+
+#[test]
+fn instruction_counts_match_between_observers() {
+    let src = "fn main() -> int {
+        int i; int s;
+        for (i = 0; i < 50; i = i + 1) { s = s + i * i; }
+        return s;
+    }";
+    let p = compile(src).unwrap();
+    let mut pair = Pair(CountingObserver::default(), EdgeProfiler::new());
+    let r = Simulator::new(&p).run(&mut pair).unwrap();
+    assert_eq!(pair.0.instructions, r.instructions);
+    assert_eq!(pair.0.branches, pair.1.profile().total_branches());
+    assert_eq!(r.exit, (0..50).map(|i| i * i).sum::<i64>());
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let src = "global int xs[16];
+        fn main() -> int {
+            int i; int h;
+            for (i = 0; i < 16; i = i + 1) { xs[i] = i * 2654435761 % 97; }
+            for (i = 0; i < 16; i = i + 1) { h = h ^ xs[i] + 31 * h; }
+            return h;
+        }";
+    let p = compile(src).unwrap();
+    let a = Simulator::new(&p).run(&mut NullObserver).unwrap();
+    let b = Simulator::new(&p).run(&mut NullObserver).unwrap();
+    assert_eq!(a, b);
+}

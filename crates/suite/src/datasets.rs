@@ -1,0 +1,547 @@
+//! Deterministic dataset generators for every benchmark.
+//!
+//! The paper ran each benchmark on a reference dataset plus alternates
+//! (Section 7). Each generator here is seeded, so dataset `k` of a
+//! benchmark is identical across runs and machines.
+
+use bpfree_ir::GlobalValues;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Dataset;
+
+fn rng_for(benchmark: &str, dataset: usize) -> SmallRng {
+    // Stable seed from the benchmark name and dataset index.
+    let mut seed = 0xB19C_55B5_u64;
+    for b in benchmark.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    SmallRng::seed_from_u64(seed ^ (dataset as u64).wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+fn ds(name: &str, values: GlobalValues) -> Dataset {
+    Dataset { name: name.to_string(), values }
+}
+
+pub(crate) fn xlisp() -> Vec<Dataset> {
+    let mk = |name: &str, seed: i64, n: i64, depth: i64| {
+        let mut g = GlobalValues::new();
+        g.set_int("rng", vec![seed]);
+        g.set_int("n_exprs", vec![n]);
+        g.set_int("max_depth", vec![depth]);
+        ds(name, g)
+    };
+    vec![mk("ref", 42, 500, 7), mk("alt1", 977, 350, 8), mk("alt2", 31_337, 700, 6)]
+}
+
+pub(crate) fn gcc() -> Vec<Dataset> {
+    let mk = |name: &str, seed: i64, units: i64, depth: i64| {
+        let mut g = GlobalValues::new();
+        g.set_int("rng", vec![seed]);
+        g.set_int("n_units", vec![units]);
+        g.set_int("gen_depth", vec![depth]);
+        ds(name, g)
+    };
+    vec![mk("ref", 7, 250, 6), mk("alt1", 555, 180, 7), mk("alt2", 90_210, 320, 5)]
+}
+
+pub(crate) fn lcc() -> Vec<Dataset> {
+    let mk = |name: &str, seed: i64, stmts: i64| {
+        let mut g = GlobalValues::new();
+        g.set_int("rng", vec![seed]);
+        g.set_int("n_stmts", vec![stmts]);
+        ds(name, g)
+    };
+    vec![mk("ref", 11, 500), mk("alt1", 222, 700), mk("alt2", 9_041, 350)]
+}
+
+pub(crate) fn grep() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, plant_every: usize, line_len: usize| {
+        let mut r = rng_for("grep", dsi);
+        let pattern: Vec<i64> = b"branch".iter().map(|&b| b as i64).collect();
+        let mut text = Vec::with_capacity(16384);
+        while text.len() < 16384 - 8 {
+            if !text.is_empty() && text.len() % plant_every < pattern.len() {
+                // Plant the pattern (sometimes truncated at region edge).
+                text.push(pattern[text.len() % plant_every]);
+            } else if text.len() % line_len == line_len - 1 {
+                text.push(10); // newline
+            } else {
+                text.push(r.gen_range(97..123)); // a..z
+            }
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("text_len", vec![text.len() as i64]);
+        g.set_int("text", text);
+        g.set_int("pattern", pattern.clone());
+        g.set_int("pattern_len", vec![pattern.len() as i64]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 509, 77), mk("alt1", 1, 2039, 61), mk("alt2", 2, 127, 90)]
+}
+
+pub(crate) fn compress() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, alphabet: i64, repeat_prob: f64| {
+        let mut r = rng_for("compress", dsi);
+        let mut input = Vec::with_capacity(8192);
+        let mut last = 1i64;
+        for _ in 0..8192 {
+            if r.gen_bool(repeat_prob) {
+                input.push(last);
+            } else {
+                last = r.gen_range(1..=alphabet);
+                input.push(last);
+            }
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("input_len", vec![input.len() as i64]);
+        g.set_int("input", input);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 24, 0.65), mk("alt1", 1, 96, 0.30), mk("alt2", 2, 8, 0.85)]
+}
+
+pub(crate) fn eqntott() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n_vars: i64, n_nodes: usize| {
+        let mut r = rng_for("eqntott", dsi);
+        // Build a random boolean DAG bottom-up: node i may reference
+        // nodes < i.
+        let mut ops = Vec::with_capacity(n_nodes * 3);
+        for i in 0..n_nodes {
+            if i < n_vars as usize || r.gen_bool(0.3) {
+                ops.extend([0, r.gen_range(0..n_vars), 0]);
+            } else {
+                let kind = *[1i64, 1, 2, 2, 3].get(r.gen_range(0..5)).unwrap();
+                let a = r.gen_range(0..i as i64);
+                let b = r.gen_range(0..i as i64);
+                ops.extend([kind, a, b]);
+            }
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("n_vars", vec![n_vars]);
+        g.set_int("n_ops", vec![n_nodes as i64]);
+        g.set_int("ops", ops);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 14, 60), mk("alt1", 1, 15, 45), mk("alt2", 2, 13, 80)]
+}
+
+pub(crate) fn tomcatv() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: i64, iters: i64| {
+        let mut r = rng_for("tomcatv", dsi);
+        let mut x = vec![0.0f64; 1156];
+        let mut y = vec![0.0f64; 1156];
+        for i in 0..34 {
+            for j in 0..34 {
+                // A smooth mesh with noise: residuals decay over sweeps.
+                x[i * 34 + j] = i as f64 + 0.3 * r.gen::<f64>();
+                y[i * 34 + j] = j as f64 + 0.3 * r.gen::<f64>();
+            }
+        }
+        let mut g = GlobalValues::new();
+        g.set_float("x", x);
+        g.set_float("y", y);
+        g.set_int("n", vec![n]);
+        g.set_int("iters", vec![iters]);
+        g.set_float("relax", vec![0.12]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 34, 8), mk("alt1", 1, 26, 14), mk("alt2", 2, 34, 4)]
+}
+
+pub(crate) fn matrix300() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: i64, reps: i64| {
+        let mut r = rng_for("matrix300", dsi);
+        let a: Vec<f64> = (0..1024).map(|_| r.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..1024).map(|_| r.gen::<f64>()).collect();
+        let mut g = GlobalValues::new();
+        g.set_float("a", a);
+        g.set_float("b", b);
+        g.set_int("n", vec![n]);
+        g.set_int("reps", vec![reps]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 32, 2), mk("alt1", 1, 24, 5), mk("alt2", 2, 30, 3)]
+}
+
+pub(crate) fn sgefat() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: usize| {
+        let mut r = rng_for("sgefat", dsi);
+        let mut m = vec![0.0f64; 1600];
+        for i in 0..n {
+            for j in 0..n {
+                m[i * 40 + j] = r.gen_range(-1.0..1.0);
+            }
+            // Diagonal dominance keeps the system well conditioned.
+            m[i * 40 + i] += n as f64;
+        }
+        let rhs: Vec<f64> = (0..40).map(|_| r.gen_range(-5.0..5.0)).collect();
+        let mut g = GlobalValues::new();
+        g.set_float("m", m);
+        g.set_float("rhs", rhs);
+        g.set_int("n", vec![n as i64]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 40), mk("alt1", 1, 28), mk("alt2", 2, 36)]
+}
+
+pub(crate) fn congress() -> Vec<Dataset> {
+    let mk = |name: &str, seed: i64, facts: i64, queries: i64| {
+        let mut g = GlobalValues::new();
+        g.set_int("rng", vec![seed]);
+        g.set_int("n_facts", vec![facts]);
+        g.set_int("n_queries", vec![queries]);
+        ds(name, g)
+    };
+    vec![mk("ref", 3, 70, 160), mk("alt1", 88, 50, 240), mk("alt2", 412, 90, 110)]
+}
+
+pub(crate) fn ghostview() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: usize, err_rate: f64| {
+        let mut r = rng_for("ghostview", dsi);
+        let mut cmds = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            let op: i64 = if r.gen_bool(err_rate) {
+                9 // unknown operator
+            } else {
+                *[0i64, 1, 2, 2, 2, 3, 3, 4, 5].get(r.gen_range(0..9)).unwrap()
+            };
+            // Coordinates mostly on the page, occasionally off it.
+            let span = if r.gen_bool(0.08) { 1500 } else { 600 };
+            cmds.push(op);
+            cmds.push(r.gen_range(-20..span));
+            cmds.push(r.gen_range(-20..span));
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("n_cmds", vec![n as i64]);
+        g.set_int("cmds", cmds);
+        g.set_int("page_w", vec![612]);
+        g.set_int("page_h", vec![792]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 2600, 0.01), mk("alt1", 1, 1800, 0.05), mk("alt2", 2, 2700, 0.002)]
+}
+
+pub(crate) fn rn() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n_articles: usize, kill_rate: f64, group_rate: f64| {
+        let mut r = rng_for("rn", dsi);
+        let kill: Vec<i64> = b"flame".iter().map(|&b| b as i64).collect();
+        let mut spool = Vec::new();
+        for _ in 0..n_articles {
+            if spool.len() + 600 > 32768 {
+                break;
+            }
+            let tagged = r.gen_bool(group_rate);
+            spool.push(if tagged { 35 } else { 64 }); // '#' or '@'
+            let len = r.gen_range(200..500);
+            let kill_here = r.gen_bool(kill_rate);
+            let kill_at = r.gen_range(20..len - 10);
+            let mut i = 0;
+            while i < len {
+                if kill_here && i == kill_at {
+                    spool.extend(kill.iter());
+                    i += kill.len();
+                    continue;
+                }
+                if i % 60 == 59 {
+                    spool.push(10);
+                } else {
+                    spool.push(r.gen_range(97..123));
+                }
+                i += 1;
+            }
+            spool.push(0);
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("spool_len", vec![spool.len() as i64]);
+        g.set_int("spool", spool);
+        g.set_int("kill_word", kill.clone());
+        g.set_int("kill_len", vec![kill.len() as i64]);
+        g.set_int("group_tag", vec![35]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 70, 0.15, 0.75), mk("alt1", 1, 90, 0.4, 0.5), mk("alt2", 2, 55, 0.05, 0.9)]
+}
+
+pub(crate) fn espresso() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n_cubes: usize, n_bits: i64| {
+        let mut r = rng_for("espresso", dsi);
+        let mask = (1i64 << n_bits) - 1;
+        let mut cubes: Vec<i64> = Vec::with_capacity(n_cubes);
+        for i in 0..n_cubes {
+            if i > 0 && r.gen_bool(0.3) {
+                // A sub-cube of an earlier cube (creates containment).
+                let base = cubes[r.gen_range(0..i)];
+                cubes.push(base & r.gen::<i64>() & mask | 1);
+            } else {
+                cubes.push((r.gen::<i64>() & mask) | 1);
+            }
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("n_cubes", vec![n_cubes as i64]);
+        g.set_int("cubes", cubes);
+        g.set_int("n_bits", vec![n_bits]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 220, 24), mk("alt1", 1, 150, 30), mk("alt2", 2, 300, 18)]
+}
+
+pub(crate) fn qpt() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, nodes: i64, edges: usize| {
+        let mut r = rng_for("qpt", dsi);
+        let mut src = Vec::with_capacity(edges);
+        let mut dst = Vec::with_capacity(edges);
+        for _ in 0..edges {
+            let s = r.gen_range(0..nodes);
+            // Mostly-forward edges (CFG-like), some back edges.
+            let d = if r.gen_bool(0.8) {
+                (s + r.gen_range(1..8)).min(nodes - 1)
+            } else {
+                r.gen_range(0..nodes)
+            };
+            src.push(s);
+            dst.push(d);
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("n_edges", vec![src.len() as i64]);
+        g.set_int("edge_src", src);
+        g.set_int("edge_dst", dst);
+        g.set_int("n_nodes", vec![nodes]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 600, 2400), mk("alt1", 1, 900, 3600), mk("alt2", 2, 300, 1500)]
+}
+
+pub(crate) fn awk() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, records: usize, threshold: i64| {
+        let mut r = rng_for("awk", dsi);
+        let mut input = Vec::new();
+        for _ in 0..records {
+            if input.len() + 64 > 32768 {
+                break;
+            }
+            let fields = r.gen_range(1..6);
+            for f in 0..fields {
+                if f > 0 {
+                    input.push(32);
+                }
+                let v = r.gen_range(0..1000i64);
+                for ch in v.to_string().bytes() {
+                    input.push(ch as i64);
+                }
+            }
+            input.push(10);
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("input_len", vec![input.len() as i64]);
+        g.set_int("input", input);
+        g.set_int("threshold", vec![threshold]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 900, 500), mk("alt1", 1, 1200, 900), mk("alt2", 2, 700, 100)]
+}
+
+pub(crate) fn addalg() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, items: usize, cap_frac: f64| {
+        let mut r = rng_for("addalg", dsi);
+        let weight: Vec<i64> = (0..items).map(|_| r.gen_range(3..30i64)).collect();
+        // Correlated values keep the bound tight (strong pruning).
+        let value: Vec<i64> =
+            weight.iter().map(|&w| w * 3 + r.gen_range(0..5)).collect();
+        let total: i64 = weight.iter().sum();
+        let mut g = GlobalValues::new();
+        g.set_int("n_items", vec![items as i64]);
+        g.set_int("weight", weight);
+        g.set_int("value", value);
+        g.set_int("capacity", vec![(total as f64 * cap_frac) as i64]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 22, 0.4), mk("alt1", 1, 20, 0.55), mk("alt2", 2, 24, 0.3)]
+}
+
+pub(crate) fn poly() -> Vec<Dataset> {
+    // Shapes are 4-bit-per-row masks: a 1x2 domino, 2x2 square, L tromino,
+    // 1x3 bar, T tetromino.
+    let shapes: [(i64, i64, i64); 5] = [
+        (0b11, 2, 1),               // domino horizontal
+        (0b0001_0001, 1, 2),        // domino vertical
+        (0b0011_0011, 2, 2),        // square
+        (0b0001_0011, 2, 2),        // L tromino
+        (0b111, 3, 1),              // bar
+    ];
+    let mk = |name: &str, w: i64, h: i64, blocked: i64, max_solutions: i64| {
+        let mut g = GlobalValues::new();
+        g.set_int("board_w", vec![w]);
+        g.set_int("board_h", vec![h]);
+        g.set_int("blocked", vec![blocked]);
+        g.set_int("shape_masks", shapes.iter().map(|s| s.0).collect());
+        g.set_int("shape_w", shapes.iter().map(|s| s.1).collect());
+        g.set_int("shape_h", shapes.iter().map(|s| s.2).collect());
+        g.set_int("n_shapes", vec![shapes.len() as i64]);
+        g.set_int("max_solutions", vec![max_solutions]);
+        ds(name, g)
+    };
+    vec![
+        mk("ref", 6, 6, 0, 3000),
+        mk("alt1", 5, 6, 0b100001, 3000),
+        mk("alt2", 7, 5, 0, 1500),
+    ]
+}
+
+pub(crate) fn spice2g6() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: usize, steps: i64, tol: f64| {
+        let mut r = rng_for("spice2g6", dsi);
+        let mut gmat = vec![0.0f64; 1024];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && r.gen_bool(0.2) {
+                    gmat[i * 32 + j] = r.gen_range(-0.5..0.5);
+                }
+            }
+            let row_sum: f64 =
+                (0..n).filter(|&j| j != i).map(|j| gmat[i * 32 + j].abs()).sum();
+            gmat[i * 32 + i] = row_sum + 1.0 + r.gen::<f64>();
+        }
+        let rhs: Vec<f64> = (0..32).map(|_| r.gen_range(-2.0..2.0)).collect();
+        // Device regions: mostly negative (cutoff), like error codes.
+        let regions: Vec<i64> = (0..32)
+            .map(|_| if r.gen_bool(0.7) { -r.gen_range(1..5i64) } else { r.gen_range(0..3) })
+            .collect();
+        let mut g = GlobalValues::new();
+        g.set_float("g", gmat);
+        g.set_float("rhs_vec", rhs);
+        g.set_int("n", vec![n as i64]);
+        g.set_int("timesteps", vec![steps]);
+        g.set_float("tol", vec![tol]);
+        g.set_int("device_region", regions);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 28, 60, 1e-4), mk("alt1", 1, 20, 90, 1e-6), mk("alt2", 2, 32, 40, 1e-3)]
+}
+
+pub(crate) fn doduc() -> Vec<Dataset> {
+    let mk = |name: &str, seed: i64, particles: i64, steps: i64| {
+        let mut g = GlobalValues::new();
+        g.set_int("rng", vec![seed]);
+        g.set_int("n_particles", vec![particles]);
+        g.set_int("max_steps", vec![steps]);
+        g.set_float("zone_edge", vec![0.2, 0.5, 0.9, 1.4, 2.0, 2.7, 3.5, 4.4]);
+        g.set_float("absorb_prob", vec![0.05, 0.08, 0.12, 0.1, 0.15, 0.2, 0.25, 0.3]);
+        ds(name, g)
+    };
+    vec![mk("ref", 19, 4000, 250), mk("alt1", 83, 2500, 400), mk("alt2", 6, 6000, 150)]
+}
+
+pub(crate) fn fpppp() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, shells: i64, cutoff: f64| {
+        let mut r = rng_for("fpppp", dsi);
+        let mut centers = vec![0.0f64; 256];
+        for s in 0..64 {
+            centers[s * 4] = r.gen_range(-3.0..3.0);
+            centers[s * 4 + 1] = r.gen_range(-3.0..3.0);
+            centers[s * 4 + 2] = r.gen_range(-3.0..3.0);
+            centers[s * 4 + 3] = r.gen_range(0.3..2.5);
+        }
+        let mut g = GlobalValues::new();
+        g.set_float("centers", centers);
+        g.set_int("n_shells", vec![shells]);
+        g.set_float("cutoff", vec![cutoff]);
+        ds(name, g)
+    };
+    // `cutoff` is the squared screening radius: pairs farther apart are
+    // skipped. With centers in [-3,3]^3 the mean pair distance-squared is
+    // ~18, so 8.0 skips roughly three quarters of the pairs.
+    vec![mk("ref", 0, 56, 8.0), mk("alt1", 1, 64, 14.0), mk("alt2", 2, 40, 5.0)]
+}
+
+pub(crate) fn dnasa7() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: i64, reps: i64| {
+        let mut r = rng_for("dnasa7", dsi);
+        let wa: Vec<f64> = (0..4096).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let wb: Vec<f64> = (0..4096).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let mut g = GlobalValues::new();
+        g.set_float("wa", wa);
+        g.set_float("wb", wb);
+        g.set_int("n", vec![n]);
+        g.set_int("reps", vec![reps]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 28, 3), mk("alt1", 1, 20, 6), mk("alt2", 2, 32, 2)]
+}
+
+pub(crate) fn costscale() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, nodes: i64, arcs: usize| {
+        let mut r = rng_for("costScale", dsi);
+        let mut from = Vec::with_capacity(arcs);
+        let mut to = Vec::with_capacity(arcs);
+        let mut cost = Vec::with_capacity(arcs);
+        let mut cap = Vec::with_capacity(arcs);
+        // A layered network source -> ... -> sink.
+        for _ in 0..arcs {
+            let s = r.gen_range(0..nodes - 1);
+            let d = r.gen_range(s + 1..nodes);
+            from.push(s);
+            to.push(d);
+            cost.push(r.gen_range(1..200i64));
+            cap.push(r.gen_range(5..80i64));
+        }
+        let mut g = GlobalValues::new();
+        g.set_int("n_arcs", vec![from.len() as i64]);
+        g.set_int("arc_from", from);
+        g.set_int("arc_to", to);
+        g.set_int("arc_cost", cost);
+        g.set_int("arc_cap", cap);
+        g.set_int("n_nodes", vec![nodes]);
+        g.set_int("source", vec![0]);
+        g.set_int("sink", vec![nodes - 1]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 80, 640), mk("alt1", 1, 120, 960), mk("alt2", 2, 48, 380)]
+}
+
+pub(crate) fn dcg() -> Vec<Dataset> {
+    let mk = |name: &str, dsi: usize, n: usize, nnz_per_row: usize, tol: f64| {
+        let mut r = rng_for("dcg", dsi);
+        // Build a SYMMETRIC positive-definite sparse matrix: random
+        // off-diagonal pairs (i,j)=(j,i), diagonal dominating the row.
+        let mut entries: Vec<std::collections::BTreeMap<usize, f64>> =
+            vec![std::collections::BTreeMap::new(); n];
+        for i in 0..n {
+            for _ in 0..nnz_per_row / 2 {
+                let j = r.gen_range(0..n);
+                if j == i {
+                    continue;
+                }
+                let v: f64 = r.gen_range(-0.3..0.3);
+                entries[i].insert(j, v);
+                entries[j].insert(i, v);
+            }
+        }
+        let mut vals = Vec::new();
+        let mut cols = Vec::new();
+        let mut rows = Vec::with_capacity(n + 1);
+        rows.push(0i64);
+        for (i, row) in entries.iter().enumerate() {
+            let diag_extra: f64 = row.values().map(|v| v.abs()).sum();
+            for (&c, &v) in row {
+                vals.push(v);
+                cols.push(c as i64);
+            }
+            vals.push(diag_extra + 1.5 + (i % 7) as f64 * 0.1);
+            cols.push(i as i64);
+            rows.push(vals.len() as i64);
+        }
+        assert!(vals.len() <= 8192, "dcg nnz overflow: {}", vals.len());
+        let b: Vec<f64> = (0..256).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let mut g = GlobalValues::new();
+        g.set_float("csr_val", vals);
+        g.set_int("csr_col", cols);
+        g.set_int("csr_row", rows);
+        g.set_int("n", vec![n as i64]);
+        g.set_float("b_vec", b);
+        g.set_float("tol", vec![tol]);
+        g.set_int("max_iters", vec![120]);
+        ds(name, g)
+    };
+    vec![mk("ref", 0, 256, 9, 1e-7), mk("alt1", 1, 160, 6, 1e-9), mk("alt2", 2, 256, 12, 1e-5)]
+}

@@ -1,0 +1,237 @@
+//! The benchmark registry: Table 1 of the reproduction.
+
+use crate::{datasets, Dataset};
+
+/// Source-language grouping used by the paper's tables (C programs with
+/// little floating point vs. Fortran floating-point programs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lang {
+    C,
+    Fortran,
+}
+
+impl std::fmt::Display for Lang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lang::C => write!(f, "C"),
+            Lang::Fortran => write!(f, "F"),
+        }
+    }
+}
+
+/// One benchmark: a Cmm program plus its datasets.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// Name matching the paper's Table 1 row.
+    pub name: &'static str,
+    /// What the analogue models.
+    pub description: &'static str,
+    /// C-like (integer) or Fortran-like (floating point) group.
+    pub lang: Lang,
+    /// Marked as a SPEC89 benchmark in the paper.
+    pub spec: bool,
+    /// The Cmm source text.
+    pub source: &'static str,
+    pub(crate) make_datasets: fn() -> Vec<Dataset>,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("lang", &self.lang)
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+macro_rules! benchmark {
+    ($name:literal, $file:literal, $desc:literal, $lang:ident, $spec:literal, $ds:path) => {
+        Benchmark {
+            name: $name,
+            description: $desc,
+            lang: Lang::$lang,
+            spec: $spec,
+            source: include_str!(concat!("../programs/", $file)),
+            make_datasets: $ds,
+        }
+    };
+}
+
+/// All 23 benchmarks, in the paper's Table 1 order (C group by size
+/// descending, then Fortran group).
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        benchmark!(
+            "congress",
+            "congress.cmm",
+            "Interpreter for a Prolog-like language",
+            C,
+            false,
+            datasets::congress
+        ),
+        benchmark!(
+            "ghostview",
+            "ghostview.cmm",
+            "X PostScript previewer",
+            C,
+            false,
+            datasets::ghostview
+        ),
+        benchmark!("gcc", "gcc.cmm", "GNU C compiler", C, true, datasets::gcc),
+        benchmark!("lcc", "lcc.cmm", "Fraser & Hanson's C compiler", C, false, datasets::lcc),
+        benchmark!("rn", "rn.cmm", "Net news reader", C, false, datasets::rn),
+        benchmark!(
+            "espresso",
+            "espresso.cmm",
+            "PLA minimisation",
+            C,
+            true,
+            datasets::espresso
+        ),
+        benchmark!("qpt", "qpt.cmm", "Profiling and tracing tool", C, false, datasets::qpt),
+        benchmark!("awk", "awk.cmm", "Pattern scanner & processor", C, false, datasets::awk),
+        benchmark!("xlisp", "xlisp.cmm", "Lisp interpreter", C, true, datasets::xlisp),
+        benchmark!(
+            "eqntott",
+            "eqntott.cmm",
+            "Boolean equations to truth table",
+            C,
+            true,
+            datasets::eqntott
+        ),
+        benchmark!(
+            "addalg",
+            "addalg.cmm",
+            "Integer program solver",
+            C,
+            false,
+            datasets::addalg
+        ),
+        benchmark!(
+            "compress",
+            "compress.cmm",
+            "File compression utility",
+            C,
+            false,
+            datasets::compress
+        ),
+        benchmark!(
+            "grep",
+            "grep.cmm",
+            "Search file for regular expression",
+            C,
+            false,
+            datasets::grep
+        ),
+        benchmark!("poly", "poly.cmm", "Polyominoes game", C, false, datasets::poly),
+        benchmark!(
+            "spice2g6",
+            "spice2g6.cmm",
+            "Circuit simulation",
+            Fortran,
+            true,
+            datasets::spice2g6
+        ),
+        benchmark!(
+            "doduc",
+            "doduc.cmm",
+            "Hydrocode simulation",
+            Fortran,
+            true,
+            datasets::doduc
+        ),
+        benchmark!(
+            "fpppp",
+            "fpppp.cmm",
+            "Two-electron integral derivative",
+            Fortran,
+            true,
+            datasets::fpppp
+        ),
+        benchmark!(
+            "dnasa7",
+            "dnasa7.cmm",
+            "Floating point kernels",
+            Fortran,
+            true,
+            datasets::dnasa7
+        ),
+        benchmark!(
+            "tomcatv",
+            "tomcatv.cmm",
+            "Vectorised mesh generation",
+            Fortran,
+            true,
+            datasets::tomcatv
+        ),
+        benchmark!(
+            "matrix300",
+            "matrix300.cmm",
+            "Matrix multiply",
+            Fortran,
+            true,
+            datasets::matrix300
+        ),
+        benchmark!(
+            "costScale",
+            "costscale.cmm",
+            "Solve minimum cost flow",
+            C,
+            false,
+            datasets::costscale
+        ),
+        benchmark!("dcg", "dcg.cmm", "Conjugate gradient", C, false, datasets::dcg),
+        benchmark!(
+            "sgefat",
+            "sgefat.cmm",
+            "Gaussian elimination",
+            C,
+            false,
+            datasets::sgefat
+        ),
+    ]
+}
+
+/// Looks a benchmark up by its Table 1 name.
+///
+/// # Example
+///
+/// ```
+/// assert!(bpfree_suite::by_name("xlisp").is_some());
+/// assert!(bpfree_suite::by_name("nonesuch").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_the_paper() {
+        let benches = all();
+        assert_eq!(benches.len(), 23);
+        let spec = benches.iter().filter(|b| b.spec).count();
+        assert_eq!(spec, 10); // SPEC89-marked rows in Table 1
+        let fortran = benches.iter().filter(|b| b.lang == Lang::Fortran).count();
+        assert_eq!(fortran, 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let benches = all();
+        let mut names: Vec<&str> = benches.iter().map(|b| b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn every_benchmark_has_at_least_two_datasets() {
+        for b in all() {
+            assert!(b.datasets().len() >= 2, "{} lacks datasets", b.name);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Behavioural validation of individual benchmarks: each program must
+//! actually do its job, not merely execute. Where feasible the result is
+//! checked against an independent Rust-side computation on the same
+//! dataset.
+
+use bpfree_ir::GlobalValues;
+use bpfree_sim::{NullObserver, Simulator};
+use bpfree_suite::by_name;
+
+fn run_with(name: &str, values: &GlobalValues) -> (i64, Simulator<'static>) {
+    // Leak the program so the simulator (borrowing it) can be returned
+    // for post-run global inspection. Test-only convenience.
+    let bench = by_name(name).unwrap();
+    let program = Box::leak(Box::new(bench.compile().unwrap()));
+    let mut sim = Simulator::new(program);
+    sim.set_globals(values).unwrap();
+    let exit = sim.run(&mut NullObserver).unwrap().exit;
+    (exit, sim)
+}
+
+fn dataset_values(name: &str, index: usize) -> GlobalValues {
+    by_name(name).unwrap().datasets()[index].values.clone()
+}
+
+#[test]
+fn grep_counts_match_a_rust_scan() {
+    let bench = by_name("grep").unwrap();
+    let program = bench.compile().unwrap();
+    let values = dataset_values("grep", 0);
+    let mut sim = Simulator::new(&program);
+    sim.set_globals(&values).unwrap();
+    let exit = sim.run(&mut NullObserver).unwrap().exit;
+
+    // Reference scan over the same dataset.
+    let text: Vec<i64> = values.ints().iter().find(|(n, _)| n == "text").unwrap().1.clone();
+    let text_len = values.ints().iter().find(|(n, _)| n == "n" || n == "text_len").unwrap().1[0]
+        as usize;
+    let pattern: Vec<i64> =
+        values.ints().iter().find(|(n, _)| n == "pattern").unwrap().1.clone();
+    let mut matches = 0i64;
+    let mut lines = 0i64;
+    for i in 0..=text_len - pattern.len() {
+        if text[i] == 10 {
+            lines += 1;
+        }
+        if text[i..i + pattern.len()] == pattern[..] {
+            matches += 1;
+        }
+    }
+    // Lines past the last candidate window are not counted by the Cmm
+    // loop either (it stops at text_len - pattern_len).
+    assert_eq!(exit, matches * 1000 + lines % 1000);
+    assert!(matches > 0, "the dataset must plant matches");
+}
+
+#[test]
+fn compress_emits_fewer_codes_than_input_symbols() {
+    let (exit, sim) = run_with("compress", &dataset_values("compress", 0));
+    let n_out = sim.read_global("n_out").unwrap()[0];
+    let input_len = sim.read_global("input_len").unwrap()[0];
+    assert!(n_out > 0);
+    assert!(
+        n_out < input_len,
+        "LZW on redundant input must compress: {n_out} vs {input_len}"
+    );
+    assert_eq!(exit, n_out * 10 + sim.read_global("resets").unwrap()[0]);
+}
+
+#[test]
+fn sgefat_solution_satisfies_the_system() {
+    let values = dataset_values("sgefat", 0);
+    let (_, sim) = run_with("sgefat", &values);
+    // Read back the solution and check A·x ≈ b on the ORIGINAL data.
+    let sol: Vec<f64> = sim
+        .read_global("sol")
+        .unwrap()
+        .into_iter()
+        .map(|w| f64::from_bits(w as u64))
+        .collect();
+    let m: Vec<f64> =
+        values.floats().iter().find(|(n, _)| n == "m").unwrap().1.clone();
+    let rhs: Vec<f64> =
+        values.floats().iter().find(|(n, _)| n == "rhs").unwrap().1.clone();
+    let n = values.ints().iter().find(|(nm, _)| nm == "n").unwrap().1[0] as usize;
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += m[i * 40 + j] * sol[j];
+        }
+        assert!(
+            (acc - rhs[i]).abs() < 1e-6,
+            "row {i}: A·x = {acc}, b = {}",
+            rhs[i]
+        );
+    }
+}
+
+#[test]
+fn dcg_converges_to_a_solution() {
+    let values = dataset_values("dcg", 0);
+    let (exit, sim) = run_with("dcg", &values);
+    let breakdowns = exit % 100;
+    assert_eq!(breakdowns, 0, "CG must not break down on an SPD-ish system");
+    let iters = exit / 100;
+    assert!(iters > 0 && iters < 120, "converged in {iters} iterations");
+    // Residual check: r stored by the program should be small.
+    let r: Vec<f64> = sim
+        .read_global("r_vec")
+        .unwrap()
+        .into_iter()
+        .map(|w| f64::from_bits(w as u64))
+        .collect();
+    let n = values.ints().iter().find(|(nm, _)| nm == "n").unwrap().1[0] as usize;
+    let norm: f64 = r[..n].iter().map(|x| x * x).sum::<f64>();
+    assert!(norm.sqrt() < 1e-5, "residual {}", norm.sqrt());
+}
+
+#[test]
+fn eqntott_counts_match_reference_evaluation() {
+    let values = dataset_values("eqntott", 0);
+    let (exit, _) = run_with("eqntott", &values);
+    // Reference: evaluate the same DAG over all assignments.
+    let ops: Vec<i64> = values.ints().iter().find(|(n, _)| n == "ops").unwrap().1.clone();
+    let n_vars = values.ints().iter().find(|(n, _)| n == "n_vars").unwrap().1[0];
+    let n_ops = values.ints().iter().find(|(n, _)| n == "n_ops").unwrap().1[0] as usize;
+    fn eval(ops: &[i64], idx: usize, a: i64) -> i64 {
+        let (k, x, y) = (ops[idx * 3], ops[idx * 3 + 1], ops[idx * 3 + 2]);
+        match k {
+            0 => (a >> x) & 1,
+            3 => 1 - eval(ops, x as usize, a),
+            1 => {
+                if eval(ops, x as usize, a) == 0 {
+                    0
+                } else {
+                    eval(ops, y as usize, a)
+                }
+            }
+            _ => {
+                if eval(ops, x as usize, a) != 0 {
+                    1
+                } else {
+                    eval(ops, y as usize, a)
+                }
+            }
+        }
+    }
+    let mut true_rows = 0i64;
+    let mut onset = 0i64;
+    for a in 0..(1i64 << n_vars) {
+        if eval(&ops, n_ops - 1, a) != 0 {
+            true_rows += 1;
+            onset = (onset * 2 + a) % 1000003;
+        }
+    }
+    assert_eq!(exit, true_rows * 7 + onset % 7);
+    assert!(true_rows > 0);
+}
+
+#[test]
+fn qpt_edge_classification_matches_rust_dfs() {
+    let values = dataset_values("qpt", 0);
+    let (exit, _) = run_with("qpt", &values);
+    let tree = exit / 10000;
+    let back = (exit / 100) % 100;
+    let cross = exit % 100;
+    assert!(tree > 0);
+    // Conservation: classified edges cannot exceed total edges.
+    let n_edges = values.ints().iter().find(|(n, _)| n == "n_edges").unwrap().1[0];
+    // (back and cross are taken modulo 100 in the exit code, so only
+    // bound-check the tree count here.)
+    assert!(tree <= n_edges, "{tree} tree edges of {n_edges}");
+    let _ = (back, cross);
+}
+
+#[test]
+fn tomcatv_residual_updates_decay_across_iterations() {
+    // More sweeps should not multiply big_updates proportionally: the
+    // max-update happens a few times per sweep regardless.
+    let short = {
+        let mut v = dataset_values("tomcatv", 0);
+        v.set_int("iters", vec![2]);
+        run_with("tomcatv", &v).0
+    };
+    let long = {
+        let mut v = dataset_values("tomcatv", 0);
+        v.set_int("iters", vec![8]);
+        run_with("tomcatv", &v).0
+    };
+    assert!(long > short, "more sweeps, more updates: {short} vs {long}");
+    assert!(
+        long < short * 8,
+        "updates must be rare per sweep: {short} -> {long}"
+    );
+}
+
+#[test]
+fn poly_finds_tilings() {
+    let (exit, _) = run_with("poly", &dataset_values("poly", 0));
+    let solutions = exit / 1000;
+    assert!(solutions > 0, "the 6x6 board with dominoes must tile");
+}
+
+#[test]
+fn addalg_respects_capacity_bound() {
+    let values = dataset_values("addalg", 0);
+    let (exit, _) = run_with("addalg", &values);
+    let best = exit / 100;
+    let value: Vec<i64> =
+        values.ints().iter().find(|(n, _)| n == "value").unwrap().1.clone();
+    let total: i64 = value.iter().sum();
+    assert!(best > 0, "a feasible packing exists");
+    assert!(best <= total, "best {best} cannot exceed total value {total}");
+}
+
+#[test]
+fn spice_converges_most_timesteps() {
+    let (exit, _) = run_with("spice2g6", &dataset_values("spice2g6", 0));
+    let sweeps = exit / 100;
+    let nonconverged = (exit / 10) % 10;
+    assert!(sweeps > 0);
+    assert_eq!(nonconverged, 0, "diagonally dominant systems converge");
+}
+
+#[test]
+fn rn_accounts_for_every_article() {
+    let values = dataset_values("rn", 0);
+    let (exit, _) = run_with("rn", &values);
+    let shown = exit / 10000;
+    let killed = (exit / 100) % 100;
+    assert!(shown > 0, "most articles are shown");
+    assert!(killed > 0, "the kill file catches some");
+    assert!(shown > killed, "kill rate is low on the ref dataset");
+}
+
+#[test]
+fn awk_sums_match_a_reference_pass() {
+    let values = dataset_values("awk", 0);
+    let (exit, _) = run_with("awk", &values);
+    // Reference: split the same byte stream.
+    let input: Vec<i64> =
+        values.ints().iter().find(|(n, _)| n == "input").unwrap().1.clone();
+    let threshold = values.ints().iter().find(|(n, _)| n == "threshold").unwrap().1[0];
+    let text: String = input.iter().map(|&c| c as u8 as char).collect();
+    let mut sum2 = 0i64;
+    let mut matched = 0i64;
+    for line in text.split('\n') {
+        let fields: Vec<i64> =
+            line.split_whitespace().filter_map(|w| w.parse().ok()).collect();
+        if let Some(&f0) = fields.first() {
+            if f0 > threshold {
+                matched += 1;
+                if let Some(&f1) = fields.get(1) {
+                    sum2 += f1;
+                }
+            }
+        }
+    }
+    assert_eq!(exit, sum2 % 100000 + matched);
+}
+
+#[test]
+fn alternate_datasets_change_behaviour() {
+    // Datasets must be genuinely different workloads, not reruns.
+    for name in ["xlisp", "gcc", "compress", "doduc"] {
+        let a = run_with(name, &dataset_values(name, 0)).0;
+        let b = run_with(name, &dataset_values(name, 1)).0;
+        assert_ne!(a, b, "{name}: datasets 0 and 1 look identical");
+    }
+}

@@ -1,0 +1,33 @@
+//! Error-path coverage for the suite loader API.
+
+use bpfree_suite::{by_name, SuiteError};
+
+#[test]
+fn out_of_range_dataset_is_reported() {
+    let b = by_name("grep").unwrap();
+    let p = b.compile().unwrap();
+    let err = b.profile(&p, 99).unwrap_err();
+    assert!(matches!(err, SuiteError::NoSuchDataset { benchmark: "grep", index: 99 }));
+    assert!(err.to_string().contains("99"));
+}
+
+#[test]
+fn suite_error_messages_render() {
+    let b = by_name("awk").unwrap();
+    let p = b.compile().unwrap();
+    let err = b.profile(&p, 50).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("awk"));
+}
+
+#[test]
+fn datasets_have_distinct_names() {
+    for b in bpfree_suite::all() {
+        let names: Vec<String> = b.datasets().iter().map(|d| d.name.clone()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "{}: duplicate dataset names", b.name);
+        assert_eq!(names[0], "ref", "{}: first dataset must be the reference", b.name);
+    }
+}

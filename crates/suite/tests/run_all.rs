@@ -1,0 +1,83 @@
+//! Compiles and runs every benchmark on every dataset: the suite's
+//! ground-truth health check.
+
+use bpfree_cfg::FunctionAnalysis;
+use bpfree_core::{BranchClass, BranchClassifier};
+use bpfree_suite::all;
+
+#[test]
+fn every_benchmark_compiles() {
+    for b in all() {
+        match b.compile() {
+            Ok(p) => assert!(p.validate().is_ok(), "{} produced invalid IR", b.name),
+            Err(e) => panic!("{} failed to compile: {e}", b.name),
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_is_reducible() {
+    for b in all() {
+        let p = b.compile().unwrap();
+        for f in p.funcs() {
+            let a = FunctionAnalysis::new(f);
+            assert!(a.loops.is_reducible(), "{}::{} is irreducible", b.name, f.name());
+        }
+    }
+}
+
+#[test]
+fn every_dataset_runs_to_completion() {
+    for b in all() {
+        let p = b.compile().unwrap();
+        for (i, d) in b.datasets().iter().enumerate() {
+            let (profile, result) = b
+                .profile(&p, i)
+                .unwrap_or_else(|e| panic!("{} dataset {} ({}): {e}", b.name, i, d.name));
+            assert!(
+                result.instructions > 10_000,
+                "{} dataset {} ran only {} instructions — too trivial",
+                b.name,
+                i,
+                result.instructions
+            );
+            assert!(
+                profile.total_branches() > 500,
+                "{} dataset {} executed only {} branches",
+                b.name,
+                i,
+                profile.total_branches()
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for b in all() {
+        let p = b.compile().unwrap();
+        let (prof_a, res_a) = b.profile(&p, 0).unwrap();
+        let (prof_b, res_b) = b.profile(&p, 0).unwrap();
+        assert_eq!(res_a, res_b, "{} nondeterministic result", b.name);
+        assert_eq!(prof_a, prof_b, "{} nondeterministic profile", b.name);
+    }
+}
+
+#[test]
+fn every_benchmark_exercises_both_branch_classes() {
+    for b in all() {
+        let p = b.compile().unwrap();
+        let c = BranchClassifier::analyze(&p);
+        let (profile, _) = b.profile(&p, 0).unwrap();
+        let mut loops = 0u64;
+        let mut nonloop = 0u64;
+        for (branch, counts) in profile.iter() {
+            match c.class(branch) {
+                BranchClass::Loop => loops += counts.total(),
+                BranchClass::NonLoop => nonloop += counts.total(),
+            }
+        }
+        assert!(loops > 0, "{} executed no loop branches", b.name);
+        assert!(nonloop > 0, "{} executed no non-loop branches", b.name);
+    }
+}

@@ -1,0 +1,89 @@
+//! What the predictions are *for*: trace growing.
+//!
+//! Compilers like trace schedulers and code positioners (Fisher; Pettis &
+//! Hanson — both cited by the paper) follow predicted branch directions
+//! to lay out likely-executed straight-line paths. This example grows a
+//! trace through each function of a benchmark by always following the
+//! predicted edge, then checks what fraction of the program's dynamic
+//! instruction count the trace blocks actually cover.
+//!
+//! Run with: `cargo run --release --example trace_layout`
+
+use std::collections::HashSet;
+
+use bpfree::core::{BranchClassifier, CombinedPredictor, Direction, HeuristicKind};
+use bpfree::ir::{BlockId, BranchRef, FuncId, Terminator};
+use bpfree::sim::{BranchBlockCounter, EdgeProfiler, Simulator};
+
+fn main() {
+    let bench = bpfree::suite::by_name("gcc").expect("gcc analogue exists");
+    let program = bench.compile().expect("suite programs compile");
+    let classifier = BranchClassifier::analyze(&program);
+    let predictor =
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictions = predictor.predictions();
+
+    // Grow one trace per function: start at the entry, follow jumps and
+    // predicted branch directions, stop on return or revisit.
+    let mut trace_blocks: HashSet<(FuncId, BlockId)> = HashSet::new();
+    let mut trace_lens = Vec::new();
+    for fid in program.func_ids() {
+        let func = program.func(fid);
+        let mut cur = func.entry();
+        let mut visited = HashSet::new();
+        let mut len = 0u64;
+        loop {
+            if !visited.insert(cur) {
+                break;
+            }
+            trace_blocks.insert((fid, cur));
+            len += func.block(cur).len_with_term();
+            cur = match &func.block(cur).term {
+                Terminator::Jump(t) => *t,
+                Terminator::Branch { taken, fallthru, .. } => {
+                    match predictions.get(BranchRef { func: fid, block: cur }) {
+                        Some(Direction::Taken) => *taken,
+                        _ => *fallthru,
+                    }
+                }
+                Terminator::Ret { .. } => break,
+            };
+        }
+        trace_lens.push((func.name().to_string(), len));
+    }
+
+    // Measure how much dynamic execution lands on the trace.
+    let mut counter = BranchBlockCounter::new();
+    let mut profiler = EdgeProfiler::new();
+    let mut both = bpfree::sim::Pair(&mut counter, &mut profiler);
+    let datasets = bench.datasets();
+    let mut sim = Simulator::new(&program);
+    sim.set_globals(&datasets[0].values).unwrap();
+    let result = sim.run(&mut both).unwrap();
+
+    let mut on_trace = 0u64;
+    let mut total = 0u64;
+    for (branch, count) in counter.instructions() {
+        total += count;
+        if trace_blocks.contains(&(branch.func, branch.block)) {
+            on_trace += count;
+        }
+    }
+
+    println!("benchmark: {} (dataset {})", bench.name, datasets[0].name);
+    println!("dynamic instructions: {}", result.instructions);
+    println!();
+    println!("predicted main traces:");
+    trace_lens.sort_by_key(|(_, l)| std::cmp::Reverse(*l));
+    for (name, len) in trace_lens.iter().take(6) {
+        println!("  {:<16} {:>4} instructions on trace", name, len);
+    }
+    println!();
+    println!(
+        "branch-block instructions landing on the predicted traces: {:.1}%",
+        100.0 * on_trace as f64 / total.max(1) as f64
+    );
+    println!();
+    println!("A trace scheduler compacts exactly these paths; the better the static");
+    println!("prediction, the more of the execution the compacted trace captures.");
+}

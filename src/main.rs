@@ -1,0 +1,286 @@
+//! `bpfree` — command-line driver for the Ball–Larus reproduction.
+//!
+//! ```text
+//! bpfree compile FILE [--o0]        print the compiled IR
+//! bpfree run FILE [--fuel N]        execute a Cmm program
+//! bpfree predict FILE               per-branch predictions + accuracy
+//! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
+//! bpfree bench NAME [--dataset N]   run a suite benchmark and report
+//! bpfree list                       list the benchmark suite
+//! ```
+
+use std::process::ExitCode;
+
+use bpfree::core::{
+    evaluate, perfect_predictions, Attribution, BranchClass, BranchClassifier,
+    CombinedPredictor, Direction, HeuristicKind,
+};
+use bpfree::lang::{compile_with, Options};
+use bpfree::sim::{EdgeProfiler, NullObserver, SimConfig, Simulator};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("cfg") => cmd_cfg(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bpfree: {msg}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage:");
+    eprintln!("  bpfree compile FILE [--o0]        print the compiled IR");
+    eprintln!("  bpfree run FILE [--fuel N]        execute a Cmm program");
+    eprintln!("  bpfree predict FILE               per-branch predictions + accuracy");
+    eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
+    eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
+    eprintln!("  bpfree list                       list the benchmark suite");
+}
+
+fn load_program(path: &str, options: Options) -> Result<bpfree::ir::Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    compile_with(&source, options).map_err(|e| format!("{path}:{}", e.render(&source)))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value_of(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("bad value for {name}: {e}")),
+    }
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("compile needs a file")?;
+    let options = if flag(args, "--o0") { Options::o0() } else { Options::default() };
+    let program = load_program(path, options)?;
+    print!("{program}");
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run needs a file")?;
+    let program = load_program(path, Options::default())?;
+    let fuel = value_of(args, "--fuel")?.unwrap_or(SimConfig::default().fuel);
+    let config = SimConfig { fuel, ..SimConfig::default() };
+    let result = Simulator::with_config(&program, config)
+        .run(&mut NullObserver)
+        .map_err(|e| e.to_string())?;
+    println!("exit: {}", result.exit);
+    println!("instructions: {}", result.instructions);
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("predict needs a file")?;
+    let program = load_program(path, Options::default())?;
+    let classifier = BranchClassifier::analyze(&program);
+    let predictor =
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictions = predictor.predictions();
+
+    let mut profiler = EdgeProfiler::new();
+    Simulator::new(&program).run(&mut profiler).map_err(|e| e.to_string())?;
+    let profile = profiler.into_profile();
+
+    println!(
+        "{:<20} {:<8} {:<10} {:<9} {:>9} {:>9} {:>6}",
+        "branch", "class", "rule", "predicts", "taken", "fallthru", "miss%"
+    );
+    let mut branches = program.branches();
+    branches.sort();
+    for b in branches {
+        let c = profile.counts(b);
+        let miss = match predictions.get(b) {
+            Some(Direction::Taken) => c.fallthru,
+            Some(Direction::FallThru) => c.taken,
+            None => c.total(),
+        };
+        println!(
+            "{:<20} {:<8} {:<10} {:<9} {:>9} {:>9} {:>6}",
+            format!("{}:{}", program.func(b.func).name(), b.block),
+            match classifier.class(b) {
+                BranchClass::Loop => "loop",
+                BranchClass::NonLoop => "nonloop",
+            },
+            match predictor.attribution(b) {
+                Attribution::LoopBranch => "loop-pred".to_string(),
+                Attribution::Heuristic(k) => k.label().to_lowercase(),
+                Attribution::Default => "default".to_string(),
+            },
+            match predictions.get(b) {
+                Some(Direction::Taken) => "taken",
+                Some(Direction::FallThru) => "fall",
+                None => "-",
+            },
+            c.taken,
+            c.fallthru,
+            if c.total() == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}", 100.0 * miss as f64 / c.total() as f64)
+            }
+        );
+    }
+    let report = evaluate(&predictions, &profile, &classifier);
+    let perfect = evaluate(&perfect_predictions(&program, &profile), &profile, &classifier);
+    println!();
+    println!(
+        "overall: {:.1}% miss ({:.1}% perfect bound) over {} dynamic branches",
+        100.0 * report.all.miss_rate(),
+        100.0 * perfect.all.miss_rate(),
+        report.all.dynamic
+    );
+    Ok(())
+}
+
+/// Emits each requested function's CFG as Graphviz dot, with loop heads
+/// shaded, backedges dashed, and predicted edges bold.
+fn cmd_cfg(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("cfg needs a file")?;
+    let program = load_program(path, Options::default())?;
+    let only = args
+        .iter()
+        .position(|a| a == "--func")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let classifier = BranchClassifier::analyze(&program);
+    let predictor =
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictions = predictor.predictions();
+
+    println!("digraph bpfree {{");
+    println!("  node [shape=box, fontname=monospace];");
+    for fid in program.func_ids() {
+        let func = program.func(fid);
+        if let Some(name) = &only {
+            if func.name() != name {
+                continue;
+            }
+        }
+        let analysis = classifier.analysis(fid);
+        println!("  subgraph cluster_{} {{", fid.index());
+        println!("    label=\"{}\";", func.name());
+        for bid in func.block_ids() {
+            let style = if analysis.loops.is_head(bid) {
+                ", style=filled, fillcolor=lightgrey"
+            } else {
+                ""
+            };
+            println!(
+                "    n{}_{} [label=\"{} ({} instrs)\"{}];",
+                fid.index(),
+                bid.index(),
+                bid,
+                func.block(bid).instrs.len(),
+                style
+            );
+        }
+        for bid in func.block_ids() {
+            use bpfree::ir::Terminator;
+            let mk = |dst: bpfree::ir::BlockId, attrs: &str| {
+                println!(
+                    "    n{}_{} -> n{}_{} [{}];",
+                    fid.index(),
+                    bid.index(),
+                    fid.index(),
+                    dst.index(),
+                    attrs
+                );
+            };
+            match &func.block(bid).term {
+                Terminator::Jump(t) => mk(*t, ""),
+                Terminator::Branch { taken, fallthru, .. } => {
+                    let site = bpfree::ir::BranchRef { func: fid, block: bid };
+                    let predicted = predictions.get(site);
+                    let dash = |d| {
+                        if analysis.loops.is_backedge(bid, d) { "style=dashed, " } else { "" }
+                    };
+                    let bold = |dir: Direction| {
+                        if predicted == Some(dir) { "penwidth=2.4, color=blue, " } else { "" }
+                    };
+                    mk(*taken, &format!("{}{}label=T", dash(*taken), bold(Direction::Taken)));
+                    mk(
+                        *fallthru,
+                        &format!("{}{}label=F", dash(*fallthru), bold(Direction::FallThru)),
+                    );
+                }
+                Terminator::Ret { .. } => {}
+            }
+        }
+        println!("  }}");
+    }
+    println!("}}");
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("bench needs a benchmark name")?;
+    let bench = bpfree::suite::by_name(name)
+        .ok_or_else(|| format!("no benchmark `{name}` (try `bpfree list`)"))?;
+    let dataset = value_of(args, "--dataset")?.unwrap_or(0) as usize;
+    let program = bench.compile().map_err(|e| e.to_string())?;
+    let (profile, result) = bench.profile(&program, dataset).map_err(|e| e.to_string())?;
+
+    let classifier = BranchClassifier::analyze(&program);
+    let predictor =
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let report = evaluate(&predictor.predictions(), &profile, &classifier);
+    let perfect = evaluate(&perfect_predictions(&program, &profile), &profile, &classifier);
+
+    println!("benchmark: {} — {}", bench.name, bench.description);
+    println!("dataset: {} of {}", dataset, bench.datasets().len());
+    println!("instructions: {}", result.instructions);
+    println!("dynamic branches: {}", profile.total_branches());
+    println!(
+        "non-loop share: {:.0}%",
+        100.0 * report.nonloop_fraction()
+    );
+    println!(
+        "heuristic miss: loop {:.1}%, non-loop {:.1}%, all {:.1}%",
+        100.0 * report.loop_branches.miss_rate(),
+        100.0 * report.nonloop.miss_rate(),
+        100.0 * report.all.miss_rate()
+    );
+    println!("perfect bound: all {:.1}%", 100.0 * perfect.all.miss_rate());
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<11} {:<4} {:<5} description", "name", "lang", "spec");
+    for b in bpfree::suite::all() {
+        println!(
+            "{:<11} {:<4} {:<5} {}",
+            b.name,
+            b.lang.to_string(),
+            if b.spec { "*" } else { "" },
+            b.description
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,156 @@
+//! End-to-end tests of the `bpfree` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bpfree() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bpfree"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("bpfree-cli-{name}-{}.cmm", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const PROGRAM: &str = "fn main() -> int {
+    int i; int s;
+    for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { s = s + i; } }
+    return s;
+}";
+
+#[test]
+fn run_executes_and_reports_exit() {
+    let path = write_temp("run", PROGRAM);
+    let out = bpfree().arg("run").arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exit: 20"), "{stdout}");
+    assert!(stdout.contains("instructions:"));
+}
+
+#[test]
+fn compile_emits_ir() {
+    let path = write_temp("compile", PROGRAM);
+    let out = bpfree().arg("compile").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fn main"));
+    assert!(stdout.contains("L0:"));
+}
+
+#[test]
+fn compile_o0_differs_from_optimised() {
+    let src = "fn sq(int x) -> int { return x * x; }
+        fn main() -> int { return sq(4); }";
+    let path = write_temp("o0", src);
+    let opt = bpfree().arg("compile").arg(&path).output().unwrap();
+    let raw = bpfree().arg("compile").arg(&path).arg("--o0").output().unwrap();
+    let opt_s = String::from_utf8_lossy(&opt.stdout).to_string();
+    let raw_s = String::from_utf8_lossy(&raw.stdout).to_string();
+    assert!(raw_s.contains("fn sq"), "-O0 keeps the helper");
+    assert!(!opt_s.contains("fn sq"), "default pipeline inlines and drops it");
+}
+
+#[test]
+fn predict_prints_branch_table() {
+    let path = write_temp("predict", PROGRAM);
+    let out = bpfree().arg("predict").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("loop-pred"), "{stdout}");
+    assert!(stdout.contains("overall:"));
+}
+
+#[test]
+fn bench_runs_a_suite_program() {
+    let out = bpfree().arg("bench").arg("grep").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("benchmark: grep"));
+    assert!(stdout.contains("heuristic miss:"));
+}
+
+#[test]
+fn list_names_all_23() {
+    let out = bpfree().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["gcc", "xlisp", "tomcatv", "matrix300"] {
+        assert!(stdout.contains(name));
+    }
+    assert_eq!(stdout.lines().count(), 24); // header + 23 rows
+}
+
+#[test]
+fn compile_error_is_reported_with_location() {
+    let path = write_temp("err", "fn main() -> int { return undefined_var; }");
+    let out = bpfree().arg("compile").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown variable"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bpfree().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn unknown_benchmark_suggests_list() {
+    let out = bpfree().arg("bench").arg("nonesuch").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bpfree list"));
+}
+
+#[test]
+fn fuel_limit_is_honoured() {
+    let path = write_temp(
+        "fuel",
+        "fn main() -> int { int i; do { i = i + 1; } while (i > 0); return i; }",
+    );
+    let out = bpfree().arg("run").arg(&path).arg("--fuel").arg("5000").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fuel"));
+}
+
+#[test]
+fn cfg_emits_graphviz() {
+    let path = write_temp("cfg", PROGRAM);
+    let out = bpfree().arg("cfg").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph bpfree {"));
+    assert!(stdout.contains("cluster_0"));
+    // The loop latch's backedge is dashed and some edge carries the
+    // bold predicted style.
+    assert!(stdout.contains("style=dashed"), "{stdout}");
+    assert!(stdout.contains("penwidth=2.4"), "{stdout}");
+    assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn cfg_func_filter_limits_output() {
+    let src = "fn helper(int x) -> int {
+        int i; int s;
+        for (i = 0; i < x; i = i + 1) { s = s + i * (s >> 1); }
+        while (s > 9) { s = s - 3; }
+        return s;
+    }
+    fn main() -> int { return helper(5); }";
+    let path = write_temp("cfgf", src);
+    let out = bpfree()
+        .arg("cfg")
+        .arg(&path)
+        .arg("--func")
+        .arg("helper")
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("helper"));
+    assert!(!stdout.contains("label=\"main\""));
+}

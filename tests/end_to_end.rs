@@ -1,0 +1,129 @@
+//! Cross-crate integration: the full pipeline from Cmm source to
+//! evaluated predictions.
+
+use bpfree::core::{
+    evaluate, perfect_predictions, random_predictions, taken_predictions, Attribution,
+    BranchClass, BranchClassifier, CombinedPredictor, HeuristicKind, DEFAULT_SEED,
+};
+use bpfree::lang::compile;
+use bpfree::sim::{EdgeProfiler, Simulator};
+
+const PROGRAM: &str = r#"
+global int table[128];
+global int collisions;
+
+fn insert(int key) -> int {
+    int h;
+    h = key * 31 % 128;
+    if (h < 0) { h = h + 128; }
+    while (table[h] != 0 && table[h] != key) {
+        h = h + 1;
+        if (h >= 128) { h = 0; }
+        collisions = collisions + 1;
+    }
+    if (table[h] == 0) {
+        table[h] = key;
+        return 1;
+    }
+    return 0;
+}
+
+fn main() -> int {
+    int i; int added;
+    for (i = 1; i <= 300; i = i + 1) {
+        added = added + insert(i * i % 251 + 1);
+    }
+    return added;
+}
+"#;
+
+fn pipeline() -> (
+    bpfree::ir::Program,
+    bpfree::sim::EdgeProfile,
+    BranchClassifier,
+) {
+    let program = compile(PROGRAM).unwrap_or_else(|e| panic!("{}", e.render(PROGRAM)));
+    let mut profiler = EdgeProfiler::new();
+    Simulator::new(&program).run(&mut profiler).unwrap();
+    let classifier = BranchClassifier::analyze(&program);
+    (program, profiler.into_profile(), classifier)
+}
+
+#[test]
+fn combined_predictor_covers_every_branch_site() {
+    let (program, _, classifier) = pipeline();
+    let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let preds = cp.predictions();
+    for b in program.branches() {
+        assert!(preds.get(b).is_some(), "branch {b} unpredicted");
+    }
+}
+
+#[test]
+fn perfect_is_a_lower_bound_for_every_predictor() {
+    let (program, profile, classifier) = pipeline();
+    let perfect = evaluate(
+        &perfect_predictions(&program, &profile),
+        &profile,
+        &classifier,
+    );
+    for preds in [
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order())
+            .predictions(),
+        taken_predictions(&program),
+        random_predictions(&program, DEFAULT_SEED),
+    ] {
+        let r = evaluate(&preds, &profile, &classifier);
+        assert!(r.all.misses >= perfect.all.misses);
+        assert_eq!(r.all.perfect_misses, perfect.all.misses);
+    }
+}
+
+#[test]
+fn heuristics_beat_naive_baselines_here() {
+    let (program, profile, classifier) = pipeline();
+    let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let r_h = evaluate(&cp.predictions(), &profile, &classifier);
+    let r_t = evaluate(&taken_predictions(&program), &profile, &classifier);
+    let r_r = evaluate(&random_predictions(&program, DEFAULT_SEED), &profile, &classifier);
+    assert!(r_h.all.miss_rate() < r_t.all.miss_rate());
+    assert!(r_h.all.miss_rate() < r_r.all.miss_rate());
+}
+
+#[test]
+fn attribution_is_consistent_with_classification() {
+    let (program, _, classifier) = pipeline();
+    let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    for b in program.branches() {
+        match (classifier.class(b), cp.attribution(b)) {
+            (BranchClass::Loop, Attribution::LoopBranch) => {}
+            (BranchClass::NonLoop, Attribution::Heuristic(_) | Attribution::Default) => {}
+            (class, attr) => panic!("{b}: class {class:?} but attribution {attr:?}"),
+        }
+    }
+}
+
+#[test]
+fn different_orders_yield_complete_but_possibly_different_predictions() {
+    let (program, _, classifier) = pipeline();
+    let a = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order())
+        .predictions();
+    let reversed: Vec<HeuristicKind> =
+        HeuristicKind::paper_order().into_iter().rev().collect();
+    let b = CombinedPredictor::new(&program, &classifier, reversed).predictions();
+    assert_eq!(a.len(), b.len());
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // Spot check: every facade module is usable together.
+    let program = bpfree::lang::compile("fn main() -> int { return 3; }").unwrap();
+    let analysis = bpfree::cfg::FunctionAnalysis::new(program.func(program.entry()));
+    assert_eq!(analysis.cfg.n_blocks(), 1);
+    let r = bpfree::sim::Simulator::new(&program)
+        .run(&mut bpfree::sim::NullObserver)
+        .unwrap();
+    assert_eq!(r.exit, 3);
+    assert_eq!(bpfree::suite::all().len(), 23);
+    assert!(bpfree::core::model::cumulative_fraction(0.1, 5) > 0.0);
+}
