@@ -13,7 +13,13 @@ use bpfree_core::{
 };
 use bpfree_ir::BlockId;
 
-fn load(name: &str) -> (bpfree_ir::Program, BranchClassifier, bpfree_sim::EdgeProfile) {
+fn load(
+    name: &str,
+) -> (
+    bpfree_ir::Program,
+    BranchClassifier,
+    bpfree_sim::EdgeProfile,
+) {
     let b = bpfree_suite::by_name(name).expect("benchmark exists");
     let p = b.compile().expect("compiles");
     let c = BranchClassifier::analyze(&p);
@@ -214,8 +220,8 @@ fn bench_ipbc_overhead(c: &mut Criterion) {
 /// frequency propagation.
 fn bench_freq_propagation(c: &mut Criterion) {
     use bpfree_core::freq::{
-        estimate_block_frequencies, estimate_block_frequencies_structural,
-        BranchProbabilities, Confidence,
+        estimate_block_frequencies, estimate_block_frequencies_structural, BranchProbabilities,
+        Confidence,
     };
     let (p, cl, _) = load("dnasa7");
     let cp = CombinedPredictor::new(&p, &cl, HeuristicKind::paper_order());
@@ -226,9 +232,7 @@ fn bench_freq_propagation(c: &mut Criterion) {
         bench.iter(|| black_box(estimate_block_frequencies(&p, fid, &probs)))
     });
     g.bench_function("structural", |bench| {
-        bench.iter(|| {
-            black_box(estimate_block_frequencies_structural(&p, fid, &probs, &cl))
-        })
+        bench.iter(|| black_box(estimate_block_frequencies_structural(&p, fid, &probs, &cl)))
     });
     g.finish();
 }

@@ -1,0 +1,124 @@
+//! Serial-vs-parallel timing for the experiment engine's hot loops:
+//! suite loading, the 5040-order rate matrix, Pareto pruning, and the
+//! subset experiment. Every parallel path is bit-identical to the
+//! serial one (see `bpfree_par`), so these benches are purely about
+//! wall clock.
+//!
+//! Worker counts are forced through `bpfree_par::set_jobs`, so each
+//! case's label carries the job count (`jobs1` = serial path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
+use bpfree_core::{BranchClassifier, HeuristicTable, DEFAULT_SEED};
+
+/// A mid-size slice of the suite: big enough that the parallel wins are
+/// visible, small enough that `jobs1` baselines stay benchable.
+const NAMES: [&str; 8] = [
+    "xlisp", "compress", "espresso", "grep", "eqntott", "awk", "gcc", "lcc",
+];
+
+fn study_input() -> Vec<BenchOrderData> {
+    NAMES
+        .iter()
+        .map(|n| {
+            let b = bpfree_suite::by_name(n).expect("benchmark exists");
+            let p = b.compile().expect("compiles");
+            let cl = BranchClassifier::analyze(&p);
+            let table = HeuristicTable::build(&p, &cl);
+            let (profile, _) = b.profile(&p, 0).expect("runs");
+            BenchOrderData::build(*n, &table, &profile, &cl, DEFAULT_SEED)
+        })
+        .collect()
+}
+
+fn job_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if max > 1 {
+        vec![1, max]
+    } else {
+        // Single core: jobs2 measures the threaded path's overhead when
+        // oversubscribed (there is no parallel win to show).
+        vec![1, 2]
+    }
+}
+
+/// `OrderingStudy::new`: the 5040 × N miss-rate matrix.
+fn bench_rate_matrix(c: &mut Criterion) {
+    let input = study_input();
+    let mut g = c.benchmark_group("par_rate_matrix");
+    g.sample_size(10);
+    for jobs in job_counts() {
+        bpfree_par::set_jobs(jobs);
+        g.bench_function(format!("jobs{jobs}"), |bench| {
+            bench.iter(|| black_box(OrderingStudy::new(black_box(input.clone()))))
+        });
+    }
+    bpfree_par::set_jobs(0);
+    g.finish();
+}
+
+/// `pareto_order_indices`: the all-pairs domination scan over 5040
+/// orders.
+fn bench_pareto(c: &mut Criterion) {
+    let study = OrderingStudy::new(study_input());
+    let mut g = c.benchmark_group("par_pareto");
+    g.sample_size(10);
+    for jobs in job_counts() {
+        bpfree_par::set_jobs(jobs);
+        g.bench_function(format!("jobs{jobs}"), |bench| {
+            bench.iter(|| black_box(study.pareto_order_indices().len()))
+        });
+    }
+    bpfree_par::set_jobs(0);
+    g.finish();
+}
+
+/// `subset_experiment`: exhaustive C(n, n/2) subset tally.
+fn bench_subsets(c: &mut Criterion) {
+    let study = OrderingStudy::new(study_input());
+    let k = NAMES.len() / 2;
+    let mut g = c.benchmark_group("par_subsets");
+    g.sample_size(10);
+    for jobs in job_counts() {
+        bpfree_par::set_jobs(jobs);
+        g.bench_function(format!("jobs{jobs}"), |bench| {
+            bench.iter(|| black_box(study.subset_experiment(k).len()))
+        });
+    }
+    bpfree_par::set_jobs(0);
+    g.finish();
+}
+
+/// Cold suite loading (cache bypassed): one compile+analyze+profile
+/// pipeline per worker.
+fn bench_load_suite(c: &mut Criterion) {
+    // Force the uncached path so this measures the pipeline, not disk.
+    bpfree_bench::config::apply(bpfree_bench::config::Config {
+        jobs: None,
+        use_cache: false,
+        cache_dir: bpfree_cache::default_dir(),
+    });
+    let mut g = c.benchmark_group("par_load_suite");
+    g.sample_size(10);
+    for jobs in job_counts() {
+        bpfree_par::set_jobs(jobs);
+        g.bench_function(format!("jobs{jobs}"), |bench| {
+            bench.iter(|| black_box(bpfree_bench::load_suite().len()))
+        });
+    }
+    bpfree_par::set_jobs(0);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rate_matrix,
+    bench_pareto,
+    bench_subsets,
+    bench_load_suite
+);
+criterion_main!(benches);

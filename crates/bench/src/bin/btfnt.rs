@@ -11,6 +11,7 @@ use bpfree_bench::{load_suite, mean_std, pct};
 use bpfree_core::{btfnt_predictions, evaluate, loop_rand_predictions, DEFAULT_SEED};
 
 fn main() {
+    bpfree_bench::init("btfnt");
     println!(
         "{:<11} {:>10} {:>10} {:>9}",
         "Program", "BTFNT", "LoopPred", "Perfect"

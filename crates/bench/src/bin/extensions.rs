@@ -11,6 +11,7 @@ use bpfree_core::heuristics::BranchContext;
 use bpfree_core::{evaluate_coverage, BranchClass, ExtKind, HeuristicKind, Predictions};
 
 fn main() {
+    bpfree_bench::init("extensions");
     let suite = load_suite();
     let pairs = [
         (HeuristicKind::Guard, ExtKind::GuardDeep),
@@ -24,7 +25,10 @@ fn main() {
         "{:<9} {:>16} {:>16} {:>16} {:>16}",
         "", "base", "deep(1)", "deep(4)", "deep(16)"
     );
-    println!("{:<9} {:>16} {:>16} {:>16} {:>16}", "", "cov% miss%", "cov% miss%", "cov% miss%", "cov% miss%");
+    println!(
+        "{:<9} {:>16} {:>16} {:>16} {:>16}",
+        "", "cov% miss%", "cov% miss%", "cov% miss%", "cov% miss%"
+    );
     println!("{:-<80}", "");
 
     for (base, deep) in pairs {
@@ -49,8 +53,7 @@ fn main() {
                     .into_iter()
                     .filter(|b| d.classifier.class(*b) == BranchClass::NonLoop)
                     .filter_map(|b| {
-                        let ctx =
-                            BranchContext::new(&d.program, d.classifier.analysis(b.func), b);
+                        let ctx = BranchContext::new(&d.program, d.classifier.analysis(b.func), b);
                         deep.predict(&ctx, depth).map(|dir| (b, dir))
                     })
                     .collect();
@@ -62,8 +65,16 @@ fn main() {
         }
         print!("{:<9}", deep.label());
         for (covered, misses, total) in cells {
-            let covp = if total == 0 { 0.0 } else { covered as f64 / total as f64 };
-            let missp = if covered == 0 { 0.0 } else { misses as f64 / covered as f64 };
+            let covp = if total == 0 {
+                0.0
+            } else {
+                covered as f64 / total as f64
+            };
+            let missp = if covered == 0 {
+                0.0
+            } else {
+                misses as f64 / covered as f64
+            };
             print!(" {:>7} {:>8}", pct(covp), pct(missp));
         }
         println!();

@@ -13,6 +13,7 @@ use bpfree_bench::{load_suite, mean_std, pct};
 use bpfree_core::{evaluate, perfect_predictions, Direction};
 
 fn main() {
+    bpfree_bench::init("ff_stability");
     println!(
         "{:<11} {:>10} {:>12} {:>10}",
         "Program", "agree%", "crossmiss%", "perfect%"
@@ -64,7 +65,13 @@ fn main() {
     let (cm, _) = mean_std(&cross);
     let (pm, _) = mean_std(&perf);
     println!("{:-<46}", "");
-    println!("{:<11} {:>10} {:>12} {:>10}", "MEAN", pct(am), pct(cm), pct(pm));
+    println!(
+        "{:<11} {:>10} {:>12} {:>10}",
+        "MEAN",
+        pct(am),
+        pct(cm),
+        pct(pm)
+    );
     println!();
     println!("Fisher & Freudenberger found profiles transfer well between runs; the");
     println!("agreement column is the fraction of dynamic branches whose preferred");

@@ -13,6 +13,7 @@ use bpfree_core::freq::{estimate_branch_block_frequencies, spearman, Confidence}
 use bpfree_core::{CombinedPredictor, HeuristicKind};
 
 fn main() {
+    bpfree_bench::init("freq_estimate");
     let suite = load_suite();
     // Calibrate confidences once, over the whole suite (leave-in
     // calibration: the point is realistic magnitudes, not generalisation;
@@ -39,19 +40,19 @@ fn main() {
     println!("{:-<53}", "");
     let mut rhos = Vec::new();
     for (d, cp) in suite.iter().zip(&predictors) {
-        let est = estimate_branch_block_frequencies(
-            &d.program,
-            &d.classifier,
-            cp,
-            Confidence::default(),
-        );
+        let est =
+            estimate_branch_block_frequencies(&d.program, &d.classifier, cp, Confidence::default());
         let cal = estimate_branch_block_frequencies(&d.program, &d.classifier, cp, calibrated);
         // Strawman: all branches 50/50 (structure-only estimation).
         let flat = estimate_branch_block_frequencies(
             &d.program,
             &d.classifier,
             cp,
-            Confidence { loop_branch: 0.5, heuristic: 0.5, default: 0.5 },
+            Confidence {
+                loop_branch: 0.5,
+                heuristic: 0.5,
+                default: 0.5,
+            },
         );
         let mut xs = Vec::new();
         let mut cs = Vec::new();

@@ -8,14 +8,24 @@ use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
 use bpfree_core::DEFAULT_SEED;
 
 fn main() {
+    bpfree_bench::init("graph1");
     let benches: Vec<BenchOrderData> = load_suite()
         .into_iter()
         .filter(|d| d.bench.name != "matrix300")
         .map(|d| {
-            BenchOrderData::build(d.bench.name, &d.table, &d.profile, &d.classifier, DEFAULT_SEED)
+            BenchOrderData::build(
+                d.bench.name,
+                &d.table,
+                &d.profile,
+                &d.classifier,
+                DEFAULT_SEED,
+            )
         })
         .collect();
-    eprintln!("evaluating 5040 orders over {} benchmarks...", benches.len());
+    eprintln!(
+        "evaluating 5040 orders over {} benchmarks...",
+        benches.len()
+    );
     let study = OrderingStudy::new(benches);
     let rates = study.sorted_average_rates();
 
@@ -34,7 +44,10 @@ fn main() {
         pct(best_rate)
     );
     println!("worst rate: {}%", pct(*rates.last().expect("5040 orders")));
-    println!("spread: {:.1} points", 100.0 * (rates.last().unwrap() - rates[0]));
+    println!(
+        "spread: {:.1} points",
+        100.0 * (rates.last().unwrap() - rates[0])
+    );
     println!();
     println!("Paper (Graph 1): rates from ~25.5% to ~29%, a broad flat region in the");
     println!("middle — ordering matters, but many orders are near-optimal.");

@@ -6,6 +6,7 @@
 use bpfree_core::model::{dividing_length, graph12_curves};
 
 fn main() {
+    bpfree_bench::init("graph12");
     let curves = graph12_curves(200, 10);
     print!("{:>6}", "len");
     for c in &curves {
@@ -23,7 +24,11 @@ fn main() {
     println!();
     println!("model dividing lengths (50% of instructions):");
     for c in &curves {
-        println!("  m = {:>5.3}  ->  {}", c.miss_rate, dividing_length(c.miss_rate));
+        println!(
+            "  m = {:>5.3}  ->  {}",
+            c.miss_rate,
+            dividing_length(c.miss_rate)
+        );
     }
     println!();
     println!("Paper's reading: the payoff in sequence length comes from pushing the");

@@ -7,11 +7,10 @@
 //! across inputs.
 
 use bpfree_bench::{load_suite, pct};
-use bpfree_core::{
-    evaluate, perfect_predictions, CombinedPredictor, HeuristicKind,
-};
+use bpfree_core::{evaluate, perfect_predictions, CombinedPredictor, HeuristicKind};
 
 fn main() {
+    bpfree_bench::init("graph13");
     println!(
         "{:<11} {:<6} {:>10} {:>9}",
         "Program", "data", "Heuristic", "Perfect"
@@ -24,8 +23,11 @@ fn main() {
         let heuristic = cp.predictions();
         let mut rates = Vec::new();
         for (i, ds) in d.datasets().iter().enumerate() {
-            let (profile, _) =
-                if i == 0 { (d.profile.clone(), d.run) } else { d.profile_dataset(i) };
+            let (profile, _) = if i == 0 {
+                (d.profile.clone(), d.run)
+            } else {
+                d.profile_dataset(i)
+            };
             let perfect = perfect_predictions(&d.program, &profile);
             let rh = evaluate(&heuristic, &profile, &d.classifier);
             let rp = evaluate(&perfect, &profile, &d.classifier);

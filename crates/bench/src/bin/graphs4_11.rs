@@ -18,6 +18,7 @@ use bpfree_core::{
 const TRACED: [&str; 7] = ["spice2g6", "gcc", "lcc", "qpt", "xlisp", "doduc", "fpppp"];
 
 fn main() {
+    bpfree_bench::init("graphs4_11");
     for d in load_named(&TRACED) {
         let perfect = perfect_predictions(&d.program, &d.profile);
         let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());

@@ -6,14 +6,9 @@
 //! alone (plus Default) for the other direction of the question.
 
 use bpfree_bench::{load_suite, mean_std, pct};
-use bpfree_core::{
-    evaluate, CombinedPredictor, HeuristicKind, DEFAULT_SEED,
-};
+use bpfree_core::{evaluate, CombinedPredictor, HeuristicKind, DEFAULT_SEED};
 
-fn mean_nonloop_rate(
-    suite: &[bpfree_bench::BenchData],
-    order: &[HeuristicKind],
-) -> f64 {
+fn mean_nonloop_rate(suite: &[bpfree_bench::BenchData], order: &[HeuristicKind]) -> f64 {
     let rates: Vec<f64> = suite
         .iter()
         .map(|d| {
@@ -32,16 +27,22 @@ fn mean_nonloop_rate(
 }
 
 fn main() {
+    bpfree_bench::init("leave_one_out");
     let suite = load_suite();
     let full = HeuristicKind::paper_order();
     let baseline = mean_nonloop_rate(&suite, &full);
-    println!("paper order, all seven heuristics: {}% mean non-loop miss", pct(baseline));
+    println!(
+        "paper order, all seven heuristics: {}% mean non-loop miss",
+        pct(baseline)
+    );
     println!();
-    println!("{:<9} {:>12} {:>8} {:>12}", "heuristic", "without", "delta", "alone");
+    println!(
+        "{:<9} {:>12} {:>8} {:>12}",
+        "heuristic", "without", "delta", "alone"
+    );
     println!("{:-<44}", "");
     for k in HeuristicKind::ALL {
-        let without: Vec<HeuristicKind> =
-            full.iter().copied().filter(|x| *x != k).collect();
+        let without: Vec<HeuristicKind> = full.iter().copied().filter(|x| *x != k).collect();
         let r_without = mean_nonloop_rate(&suite, &without);
         let r_alone = mean_nonloop_rate(&suite, &[k]);
         println!(

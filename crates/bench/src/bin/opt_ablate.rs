@@ -14,14 +14,16 @@ use bpfree_lang::{compile_with, Options};
 use bpfree_sim::{EdgeProfiler, Simulator};
 
 fn run_at(bench: &bpfree_suite::Benchmark, options: Options) -> (f64, f64) {
-    let program = compile_with(bench.source, options)
-        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    let program =
+        compile_with(bench.source, options).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
     let classifier = BranchClassifier::analyze(&program);
     let dataset = &bench.datasets()[0];
     let mut profiler = EdgeProfiler::new();
     let mut sim = Simulator::new(&program);
-    sim.set_globals(&dataset.values).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-    sim.run(&mut profiler).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    sim.set_globals(&dataset.values)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    sim.run(&mut profiler)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
     let profile = profiler.into_profile();
     let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let r = evaluate(&cp.predictions(), &profile, &classifier);
@@ -29,6 +31,7 @@ fn run_at(bench: &bpfree_suite::Benchmark, options: Options) -> (f64, f64) {
 }
 
 fn main() {
+    bpfree_bench::init("opt_ablate");
     println!(
         "{:<11} {:>9} {:>11} {:>7}   (all-branch miss%)",
         "Program", "-O (dflt)", "no-inline", "-O0"
@@ -56,7 +59,13 @@ fn main() {
     let (nm, _) = mean_std(&noinline);
     let (zm, _) = mean_std(&o0);
     println!("{:-<48}", "");
-    println!("{:<11} {:>9} {:>11} {:>7}", "MEAN", pct(om), pct(nm), pct(zm));
+    println!(
+        "{:<11} {:>9} {:>11} {:>7}",
+        "MEAN",
+        pct(om),
+        pct(nm),
+        pct(zm)
+    );
     println!();
     println!("The heuristics were designed for optimised code: -O0's split blocks");
     println!("and helper calls hide the load-feeds-branch and store/call patterns.");

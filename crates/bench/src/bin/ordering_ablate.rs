@@ -12,6 +12,7 @@ use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
 use bpfree_core::{HeuristicTable, DEFAULT_SEED};
 
 fn main() {
+    bpfree_bench::init("ordering_ablate");
     let loaded = load_suite();
     let mut benches = Vec::new();
     let mut pairwise_input = Vec::new();
@@ -44,7 +45,10 @@ fn main() {
     let sampled = study.subset_experiment_sampled(k, 20_000, 7);
     let sampled_time = t1.elapsed();
 
-    println!("exact (pareto-pruned) : {:?} for all C({n},{k}) subsets", exact_time);
+    println!(
+        "exact (pareto-pruned) : {:?} for all C({n},{k}) subsets",
+        exact_time
+    );
     println!("sampled (full 5040)   : {:?} for 20k samples", sampled_time);
     println!();
     println!("top winners, exact vs sampled trial share:");
@@ -68,7 +72,10 @@ fn main() {
         .map(|e| sampled.first().map(|s| s.order == e.order).unwrap_or(false))
         .unwrap_or(false);
     println!();
-    println!("top-winner agreement: {}", if agree { "yes" } else { "no (sampling noise)" });
+    println!(
+        "top-winner agreement: {}",
+        if agree { "yes" } else { "no (sampling noise)" }
+    );
 
     // The paper's pairwise construction.
     let pairwise = OrderingStudy::pairwise_order(&pairwise_input);

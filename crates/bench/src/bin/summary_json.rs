@@ -2,41 +2,38 @@
 //! machine-readable companion to EXPERIMENTS.md (captured into
 //! `results/summary.json`).
 
+use bpfree_bench::json::Json;
 use bpfree_bench::load_suite;
 use bpfree_core::{
-    evaluate, loop_rand_predictions, perfect_predictions, random_predictions,
-    taken_predictions, CombinedPredictor, HeuristicKind, Report, DEFAULT_SEED,
+    evaluate, loop_rand_predictions, perfect_predictions, random_predictions, taken_predictions,
+    ClassStats, CombinedPredictor, HeuristicKind, Report, DEFAULT_SEED,
 };
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct BenchmarkSummary {
-    name: String,
-    lang: String,
-    spec: bool,
-    static_instructions: u64,
-    dynamic_instructions: u64,
-    dynamic_branches: u64,
-    nonloop_fraction: f64,
-    heuristic: Report,
-    perfect: Report,
-    taken: Report,
-    random: Report,
-    loop_rand: Report,
+fn class_stats(s: &ClassStats) -> Json {
+    Json::obj()
+        .field("dynamic", s.dynamic)
+        .field("misses", s.misses)
+        .field("perfect_misses", s.perfect_misses)
+        .build()
 }
 
-#[derive(Serialize)]
-struct Summary {
-    paper: &'static str,
-    benchmarks: Vec<BenchmarkSummary>,
-    mean_heuristic_all_miss: f64,
-    mean_perfect_all_miss: f64,
-    mean_random_nonloop_miss: f64,
+fn report(r: &Report) -> Json {
+    Json::obj()
+        .field("loop_branches", class_stats(&r.loop_branches))
+        .field("nonloop", class_stats(&r.nonloop))
+        .field("all", class_stats(&r.all))
+        .build()
 }
 
 fn main() {
+    bpfree_bench::init("summary_json");
     let mut benchmarks = Vec::new();
-    for d in load_suite() {
+    let mut sum_heuristic = 0.0;
+    let mut sum_perfect = 0.0;
+    let mut sum_random_nonloop = 0.0;
+    let suite = load_suite();
+    let n = suite.len() as f64;
+    for d in suite {
         let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
         let heuristic = evaluate(&cp.predictions(), &d.profile, &d.classifier);
         let perfect = evaluate(
@@ -55,43 +52,35 @@ fn main() {
             &d.profile,
             &d.classifier,
         );
-        benchmarks.push(BenchmarkSummary {
-            name: d.bench.name.to_string(),
-            lang: d.bench.lang.to_string(),
-            spec: d.bench.spec,
-            static_instructions: d.program.static_size(),
-            dynamic_instructions: d.run.instructions,
-            dynamic_branches: d.profile.total_branches(),
-            nonloop_fraction: heuristic.nonloop_fraction(),
-            heuristic,
-            perfect,
-            taken,
-            random,
-            loop_rand,
-        });
+        sum_heuristic += heuristic.all.miss_rate();
+        sum_perfect += perfect.all.miss_rate();
+        sum_random_nonloop += random.nonloop.miss_rate();
+        benchmarks.push(
+            Json::obj()
+                .field("name", d.bench.name)
+                .field("lang", d.bench.lang.to_string())
+                .field("spec", d.bench.spec)
+                .field("static_instructions", d.program.static_size())
+                .field("dynamic_instructions", d.run.instructions)
+                .field("dynamic_branches", d.profile.total_branches())
+                .field("nonloop_fraction", heuristic.nonloop_fraction())
+                .field("heuristic", report(&heuristic))
+                .field("perfect", report(&perfect))
+                .field("taken", report(&taken))
+                .field("random", report(&random))
+                .field("loop_rand", report(&loop_rand))
+                .build(),
+        );
     }
-    let n = benchmarks.len() as f64;
-    let summary = Summary {
-        paper: "Ball & Larus, Branch Prediction for Free, PLDI 1993",
-        mean_heuristic_all_miss: benchmarks
-            .iter()
-            .map(|b| b.heuristic.all.miss_rate())
-            .sum::<f64>()
-            / n,
-        mean_perfect_all_miss: benchmarks
-            .iter()
-            .map(|b| b.perfect.all.miss_rate())
-            .sum::<f64>()
-            / n,
-        mean_random_nonloop_miss: benchmarks
-            .iter()
-            .map(|b| b.random.nonloop.miss_rate())
-            .sum::<f64>()
-            / n,
-        benchmarks,
-    };
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&summary).expect("summary serialises")
-    );
+    let summary = Json::obj()
+        .field(
+            "paper",
+            "Ball & Larus, Branch Prediction for Free, PLDI 1993",
+        )
+        .field("benchmarks", benchmarks)
+        .field("mean_heuristic_all_miss", sum_heuristic / n)
+        .field("mean_perfect_all_miss", sum_perfect / n)
+        .field("mean_random_nonloop_miss", sum_random_nonloop / n)
+        .build();
+    println!("{}", summary.pretty());
 }

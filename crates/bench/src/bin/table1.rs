@@ -6,6 +6,7 @@ use bpfree_bench::load_suite;
 use bpfree_suite::Lang;
 
 fn main() {
+    bpfree_bench::init("table1");
     let mut rows: Vec<(String, String, Lang, bool, u64, usize)> = load_suite()
         .into_iter()
         .map(|d| {
@@ -19,7 +20,11 @@ fn main() {
             )
         })
         .collect();
-    rows.sort_by(|a, b| (a.2 == Lang::Fortran).cmp(&(b.2 == Lang::Fortran)).then(b.4.cmp(&a.4)));
+    rows.sort_by(|a, b| {
+        (a.2 == Lang::Fortran)
+            .cmp(&(b.2 == Lang::Fortran))
+            .then(b.4.cmp(&a.4))
+    });
 
     println!(
         "{:<11} {:<42} {:>4} {:>5} {:>7} {:>6}",

@@ -15,6 +15,7 @@ use bpfree_core::{
 };
 
 fn main() {
+    bpfree_bench::init("table2");
     println!(
         "{:<11} {:>8} {:>6} {:>8} {:>8} {:>5} {:>6}",
         "Program", "Loop", "%All", "Tgt", "Rnd", "Big", "Big%"
@@ -50,9 +51,7 @@ fn main() {
         let mut big_sites = 0u64;
         let mut big_dyn = 0u64;
         for (b, c) in d.profile.iter() {
-            if d.classifier.class(b) == BranchClass::NonLoop
-                && c.total() * 20 > total_nl
-            {
+            if d.classifier.class(b) == BranchClass::NonLoop && c.total() * 20 > total_nl {
                 big_sites += 1;
                 big_dyn += c.total();
             }
@@ -117,7 +116,5 @@ fn main() {
         pct(rs),
     );
     println!();
-    println!(
-        "Paper (Table 2): loop predictor 12/8 mean, %NL mean 43, Tgt 51/10, Rnd 49/10."
-    );
+    println!("Paper (Table 2): loop predictor 12/8 mean, %NL mean 43, Tgt 51/10, Rnd 49/10.");
 }

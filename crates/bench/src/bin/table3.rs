@@ -10,6 +10,7 @@ use bpfree_bench::{load_suite, mean_std, pct};
 use bpfree_core::{evaluate_coverage, HeuristicKind, Predictions};
 
 fn main() {
+    bpfree_bench::init("table3");
     let suite = load_suite();
     print!("{:<11} {:>4}", "Program", "NL");
     for k in HeuristicKind::ALL {
@@ -25,15 +26,17 @@ fn main() {
         let nl: u64 = d
             .profile
             .iter()
-            .filter(|(b, _)| {
-                d.classifier.class(*b) == bpfree_core::BranchClass::NonLoop
-            })
+            .filter(|(b, _)| d.classifier.class(*b) == bpfree_core::BranchClass::NonLoop)
             .map(|(_, c)| c.total())
             .sum();
         print!(
             "{:<11} {:>4}",
             d.bench.name,
-            if total == 0 { "0".into() } else { pct(nl as f64 / total as f64) }
+            if total == 0 {
+                "0".into()
+            } else {
+                pct(nl as f64 / total as f64)
+            }
         );
         for k in HeuristicKind::ALL {
             // Isolate the heuristic: prediction set = its predictions only.
@@ -52,11 +55,7 @@ fn main() {
                 pct(cov.coverage()),
                 format!("{}/{}", pct(cov.miss_rate()), pct(cov.perfect_rate()))
             );
-            per_heuristic[k.index()].push((
-                cov.coverage(),
-                cov.miss_rate(),
-                cov.perfect_rate(),
-            ));
+            per_heuristic[k.index()].push((cov.coverage(), cov.miss_rate(), cov.perfect_rate()));
         }
         println!();
     }

@@ -12,11 +12,18 @@ use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
 use bpfree_core::DEFAULT_SEED;
 
 fn main() {
+    bpfree_bench::init("table4");
     let benches: Vec<BenchOrderData> = load_suite()
         .into_iter()
         .filter(|d| d.bench.name != "matrix300")
         .map(|d| {
-            BenchOrderData::build(d.bench.name, &d.table, &d.profile, &d.classifier, DEFAULT_SEED)
+            BenchOrderData::build(
+                d.bench.name,
+                &d.table,
+                &d.profile,
+                &d.classifier,
+                DEFAULT_SEED,
+            )
         })
         .collect();
     let n = benches.len();

@@ -9,9 +9,9 @@ use bpfree_bench::{load_suite, mean_std, pct};
 use bpfree_core::{evaluate_with_attribution, CombinedPredictor, HeuristicKind};
 
 fn main() {
+    bpfree_bench::init("table5");
     let order = HeuristicKind::paper_order();
-    let mut columns: Vec<String> =
-        order.iter().map(|k| k.label().to_string()).collect();
+    let mut columns: Vec<String> = order.iter().map(|k| k.label().to_string()).collect();
     columns.push("Default".to_string());
 
     print!("{:<11}", "Program");

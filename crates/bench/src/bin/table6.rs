@@ -8,11 +8,12 @@
 
 use bpfree_bench::{load_suite, pct};
 use bpfree_core::{
-    evaluate, evaluate_with_attribution, loop_rand_predictions, CombinedPredictor,
-    HeuristicKind, DEFAULT_SEED,
+    evaluate, evaluate_with_attribution, loop_rand_predictions, CombinedPredictor, HeuristicKind,
+    DEFAULT_SEED,
 };
 
 fn main() {
+    bpfree_bench::init("table6");
     println!(
         "{:<11} {:>16} {:>9} {:>9} {:>10}",
         "Program", "Heuristics", "+Default", "All", "Loop+Rand"
@@ -36,9 +37,21 @@ fn main() {
                 perfect += s.perfect_misses;
             }
         }
-        let cov_frac = if total_nl == 0 { 0.0 } else { covered as f64 / total_nl as f64 };
-        let h_miss = if covered == 0 { 0.0 } else { misses as f64 / covered as f64 };
-        let h_perf = if covered == 0 { 0.0 } else { perfect as f64 / covered as f64 };
+        let cov_frac = if total_nl == 0 {
+            0.0
+        } else {
+            covered as f64 / total_nl as f64
+        };
+        let h_miss = if covered == 0 {
+            0.0
+        } else {
+            misses as f64 / covered as f64
+        };
+        let h_perf = if covered == 0 {
+            0.0
+        } else {
+            perfect as f64 / covered as f64
+        };
 
         let lr = loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED);
         let r_lr = evaluate(&lr, &d.profile, &d.classifier);
@@ -58,7 +71,11 @@ fn main() {
                 pct(att.report.all.miss_rate()),
                 pct(att.report.all.perfect_rate())
             ),
-            format!("{}/{}", pct(r_lr.all.miss_rate()), pct(r_lr.all.perfect_rate())),
+            format!(
+                "{}/{}",
+                pct(r_lr.all.miss_rate()),
+                pct(r_lr.all.perfect_rate())
+            ),
         );
     }
     println!();

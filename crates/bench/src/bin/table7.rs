@@ -6,13 +6,14 @@
 
 use bpfree_bench::{load_suite, mean_std, pct};
 use bpfree_core::{
-    evaluate, loop_rand_predictions, random_predictions, taken_predictions,
-    CombinedPredictor, HeuristicKind, DEFAULT_SEED,
+    evaluate, loop_rand_predictions, random_predictions, taken_predictions, CombinedPredictor,
+    HeuristicKind, DEFAULT_SEED,
 };
 
 const EXCLUDED: [&str; 4] = ["eqntott", "grep", "tomcatv", "matrix300"];
 
 fn main() {
+    bpfree_bench::init("table7");
     struct Row {
         name: String,
         heuristic_nl: f64,

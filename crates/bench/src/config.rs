@@ -1,0 +1,154 @@
+//! Shared CLI configuration for the experiment binaries.
+//!
+//! Every binary accepts the same flags, parsed by [`init`]:
+//!
+//! - `--jobs N` (or `BPFREE_JOBS=N`): worker threads for the parallel
+//!   loops. Results are bit-identical at any value; `--jobs 1` forces
+//!   the serial path.
+//! - `--no-cache` (or `BPFREE_NO_CACHE=1`): bypass the on-disk
+//!   suite-artifact cache.
+//! - `--cache-dir DIR` (or `BPFREE_CACHE_DIR=DIR`): cache location
+//!   (default `target/bpfree-cache`).
+//! - `--help`: usage.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Resolved configuration, also stored process-globally so
+/// [`crate::load_suite`] and [`crate::BenchData::load`] can honor it
+/// without threading it through every call site.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Worker threads (`None` = machine default / `BPFREE_JOBS`).
+    pub jobs: Option<usize>,
+    /// Whether suite artifacts may be read from / written to disk.
+    pub use_cache: bool,
+    /// Cache directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            jobs: None,
+            use_cache: !bpfree_cache::disabled_by_env(),
+            cache_dir: bpfree_cache::default_dir(),
+        }
+    }
+}
+
+static CONFIG: OnceLock<Config> = OnceLock::new();
+
+/// The active configuration ([`init`]'s result, or the environment
+/// defaults if no binary called `init`).
+pub fn config() -> &'static Config {
+    CONFIG.get_or_init(Config::default)
+}
+
+/// Parses the standard experiment flags from `std::env::args`, applies
+/// the job count via [`bpfree_par::set_jobs`], and stores the result
+/// process-globally. Call once at the top of each binary's `main`.
+///
+/// Exits the process on `--help` or an unrecognized argument.
+pub fn init(bin: &str) -> &'static Config {
+    let cfg = parse(bin, std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("{bin}: {err}");
+        eprintln!("{}", usage(bin));
+        std::process::exit(2);
+    });
+    apply(cfg)
+}
+
+/// Stores `cfg` globally and applies its job count. Split from [`init`]
+/// for tests; first caller wins, matching `OnceLock` semantics.
+pub fn apply(cfg: Config) -> &'static Config {
+    if let Some(n) = cfg.jobs {
+        bpfree_par::set_jobs(n);
+    }
+    let _ = CONFIG.set(cfg);
+    config()
+}
+
+fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--jobs N] [--no-cache] [--cache-dir DIR]\n\
+         \n\
+         --jobs N         worker threads (default: all cores; output is\n\
+         \x20                identical at any value)\n\
+         --no-cache       recompute suite artifacts instead of using the\n\
+         \x20                on-disk cache\n\
+         --cache-dir DIR  cache location (default: target/bpfree-cache)\n\
+         \n\
+         environment: BPFREE_JOBS, BPFREE_NO_CACHE, BPFREE_CACHE_DIR"
+    )
+}
+
+fn parse(bin: &str, args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage(bin));
+                std::process::exit(0);
+            }
+            "--no-cache" => cfg.use_cache = false,
+            "--jobs" | "-j" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--jobs requires a value".to_string())?;
+                cfg.jobs = Some(parse_jobs(&v)?);
+            }
+            s if s.starts_with("--jobs=") => {
+                cfg.jobs = Some(parse_jobs(&s["--jobs=".len()..])?);
+            }
+            "--cache-dir" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--cache-dir requires a value".to_string())?;
+                cfg.cache_dir = PathBuf::from(v);
+            }
+            s if s.starts_with("--cache-dir=") => {
+                cfg.cache_dir = PathBuf::from(&s["--cache-dir=".len()..]);
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs expects a positive integer, got `{v}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Config, String> {
+        parse("test", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_jobs_and_cache_flags() {
+        let c = p(&["--jobs", "4", "--no-cache", "--cache-dir", "/tmp/x"]).unwrap();
+        assert_eq!(c.jobs, Some(4));
+        assert!(!c.use_cache);
+        assert_eq!(c.cache_dir, PathBuf::from("/tmp/x"));
+
+        let c = p(&["--jobs=2", "--cache-dir=/tmp/y"]).unwrap();
+        assert_eq!(c.jobs, Some(2));
+        assert_eq!(c.cache_dir, PathBuf::from("/tmp/y"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(p(&["--jobs", "0"]).is_err());
+        assert!(p(&["--jobs", "zap"]).is_err());
+        assert!(p(&["--jobs"]).is_err());
+        assert!(p(&["--frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! A tiny JSON document builder for the machine-readable outputs
+//! (`summary_json` and friends). The build environment has no crates.io
+//! access, so this replaces `serde_json` for the handful of documents
+//! the harness emits; output formatting matches `serde_json`'s
+//! pretty-printer (two-space indent) so existing golden files diff
+//! cleanly.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder preserving insertion order.
+    pub fn obj() -> ObjBuilder {
+        ObjBuilder(Vec::new())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline
+    /// omitted (as `serde_json::to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let s = x.to_string();
+                    out.push_str(&s);
+                    // serde_json always keeps a decimal point on floats.
+                    if !s.contains('.') && !s.contains('e') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Ordered `(key, value)` accumulation ending in [`Json::Obj`].
+pub struct ObjBuilder(Vec<(String, Json)>);
+
+impl ObjBuilder {
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> ObjBuilder {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_conventions() {
+        let doc = Json::obj()
+            .field("name", "a\"b")
+            .field("n", 3u64)
+            .field("x", 0.5f64)
+            .field("whole", 2.0f64)
+            .field("flag", true)
+            .field("items", vec![Json::UInt(1), Json::Null])
+            .field("empty", Vec::new())
+            .build();
+        let expected = "{\n  \"name\": \"a\\\"b\",\n  \"n\": 3,\n  \"x\": 0.5,\n  \"whole\": 2.0,\n  \"flag\": true,\n  \"items\": [\n    1,\n    null\n  ],\n  \"empty\": []\n}";
+        assert_eq!(doc.pretty(), expected);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let doc = Json::Str("line\nbreak\u{1}".into());
+        assert_eq!(doc.pretty(), "\"line\\nbreak\\u0001\"");
+    }
+}

@@ -4,11 +4,21 @@
 //! paper; this library loads the whole suite once (compile + analyze +
 //! profile) and provides small formatting helpers so the binaries print
 //! rows shaped like the paper's.
+//!
+//! Loading is parallel (one benchmark per worker, see [`bpfree_par`])
+//! and backed by the on-disk artifact cache (see [`bpfree_cache`]):
+//! a warm run skips compilation and simulation entirely. Both are
+//! controlled by the standard flags parsed by [`config::init`].
+
+pub mod config;
+pub mod json;
 
 use bpfree_core::{BranchClassifier, HeuristicTable};
 use bpfree_ir::Program;
 use bpfree_sim::{EdgeProfile, RunResult};
 use bpfree_suite::{Benchmark, Dataset};
+
+pub use config::init;
 
 /// Everything the experiments need about one benchmark, precomputed on
 /// the reference dataset (index 0).
@@ -23,13 +33,37 @@ pub struct BenchData {
 
 impl BenchData {
     /// Loads one benchmark: compile, analyze, build the heuristic table,
-    /// and profile the reference dataset.
+    /// and profile the reference dataset. When the artifact cache is
+    /// enabled (the default — see [`config`]) and holds a current entry,
+    /// the compile and simulate steps are skipped; only the (cheap)
+    /// branch classification reruns.
     ///
     /// # Panics
     ///
     /// Panics if the benchmark fails to compile or run — suite bugs are
     /// fatal for experiments.
     pub fn load(bench: Benchmark) -> BenchData {
+        let cfg = config::config();
+        let cache_key = if cfg.use_cache {
+            let key = bpfree_cache::key(bench.name, bench.source, &bench.datasets());
+            if let Some(hit) = bpfree_cache::lookup(&cfg.cache_dir, &key) {
+                eprintln!("[bpfree-cache] hit  {}", bench.name);
+                let classifier = BranchClassifier::analyze(&hit.program);
+                return BenchData {
+                    bench,
+                    program: hit.program,
+                    classifier,
+                    table: hit.table,
+                    profile: hit.profile,
+                    run: hit.run,
+                };
+            }
+            eprintln!("[bpfree-cache] miss {}", bench.name);
+            Some(key)
+        } else {
+            None
+        };
+
         let program = bench
             .compile()
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
@@ -38,7 +72,29 @@ impl BenchData {
         let (profile, run) = bench
             .profile(&program, 0)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        BenchData { bench, program, classifier, table, profile, run }
+
+        if let Some(key) = cache_key {
+            let artifacts = bpfree_cache::Artifacts {
+                program: program.clone(),
+                table: table.clone(),
+                profile: profile.clone(),
+                run,
+            };
+            if let Err(e) = bpfree_cache::store(&cfg.cache_dir, &key, &artifacts) {
+                eprintln!(
+                    "[bpfree-cache] cannot write {} ({e}); continuing uncached",
+                    cfg.cache_dir.display()
+                );
+            }
+        }
+        BenchData {
+            bench,
+            program,
+            classifier,
+            table,
+            profile,
+            run,
+        }
     }
 
     /// Profiles an alternate dataset of this benchmark.
@@ -58,9 +114,11 @@ impl BenchData {
     }
 }
 
-/// Loads the whole suite (23 benchmarks) on the reference datasets.
+/// Loads the whole suite (23 benchmarks) on the reference datasets,
+/// one benchmark per parallel task, in the registry's order.
 pub fn load_suite() -> Vec<BenchData> {
-    bpfree_suite::all().into_iter().map(BenchData::load).collect()
+    let benches = bpfree_suite::all();
+    bpfree_par::par_map(&benches, |b| BenchData::load(b.clone()))
 }
 
 /// Loads a named subset of the suite, preserving the given order.
@@ -69,14 +127,11 @@ pub fn load_suite() -> Vec<BenchData> {
 ///
 /// Panics on an unknown benchmark name.
 pub fn load_named(names: &[&str]) -> Vec<BenchData> {
-    names
+    let benches: Vec<Benchmark> = names
         .iter()
-        .map(|n| {
-            BenchData::load(
-                bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")),
-            )
-        })
-        .collect()
+        .map(|n| bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+        .collect();
+    bpfree_par::par_map(&benches, |b| BenchData::load(b.clone()))
 }
 
 /// Formats a fraction as a whole percentage, paper style.

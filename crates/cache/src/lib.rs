@@ -1,0 +1,356 @@
+//! On-disk cache of per-benchmark suite artifacts.
+//!
+//! Loading the suite means compiling 23 Cmm programs, running seven
+//! heuristics over every non-loop branch, and *simulating* each program
+//! on its reference dataset — by far the most expensive part of every
+//! experiment binary. None of it changes between runs unless the
+//! benchmark source, its datasets, or this crate's code changes, so the
+//! results are cached on disk and reloaded in milliseconds.
+//!
+//! # Keying
+//!
+//! Each entry is keyed by an FNV-1a hash over: the cache format
+//! version, the workspace crate version (any code change that ships a
+//! new version invalidates everything), the benchmark name, its full
+//! source text, and a fingerprint of every dataset (names plus the
+//! exact bit patterns of all initial global values). A stale entry is
+//! therefore *unreachable*, not just detectable.
+//!
+//! # Format and robustness
+//!
+//! Entries are single text files, `<key>.txt`, under the cache
+//! directory (default `target/bpfree-cache`, override with
+//! `BPFREE_CACHE_DIR`). The program itself is stored as IR text and
+//! re-parsed on load — round-trip fidelity is covered by the suite's
+//! `roundtrips_every_suite_benchmark` test. Any read, parse, or
+//! validation failure makes [`lookup`] return `None` and the caller
+//! recomputes; a corrupt cache can cost time but never correctness.
+//! Writes go to a temp file first and are renamed into place, so a
+//! crashed run cannot leave a half-written entry under a valid key.
+//!
+//! Set `BPFREE_NO_CACHE=1` (or pass `--no-cache` to the experiment
+//! binaries) to bypass the cache entirely.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use bpfree_core::{Direction, HeuristicTable};
+use bpfree_ir::{BlockId, BranchRef, FuncId, Program};
+use bpfree_sim::{EdgeCounts, EdgeProfile, RunResult};
+use bpfree_suite::Dataset;
+
+/// Bump on any change to the file layout below.
+const FORMAT_VERSION: u32 = 1;
+
+/// The cached artifacts for one benchmark: everything expensive that
+/// [`lookup`] can restore without compiling or simulating.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    pub program: Program,
+    pub table: HeuristicTable,
+    pub profile: EdgeProfile,
+    pub run: RunResult,
+}
+
+/// The cache directory: `BPFREE_CACHE_DIR`, else
+/// `$CARGO_TARGET_DIR/bpfree-cache`, else `target/bpfree-cache`.
+pub fn default_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("BPFREE_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| "target".into());
+    target.join("bpfree-cache")
+}
+
+/// Is the cache disabled via `BPFREE_NO_CACHE`?
+pub fn disabled_by_env() -> bool {
+    std::env::var_os("BPFREE_NO_CACHE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// 64-bit FNV-1a.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Separator between variable-length fields, so ("ab","c") and
+    /// ("a","bc") hash differently.
+    fn sep(&mut self) {
+        self.write(&[0xff]);
+    }
+}
+
+/// The content key for one benchmark: hex digest of format version,
+/// crate version, benchmark name, source text, and all dataset values.
+pub fn key(bench_name: &str, source: &str, datasets: &[Dataset]) -> String {
+    let mut h = Fnv::new();
+    h.write_u64(u64::from(FORMAT_VERSION));
+    h.write(env!("CARGO_PKG_VERSION").as_bytes());
+    h.sep();
+    h.write(bench_name.as_bytes());
+    h.sep();
+    h.write(source.as_bytes());
+    h.sep();
+    for ds in datasets {
+        h.write(ds.name.as_bytes());
+        h.sep();
+        for (name, values) in ds.values.ints() {
+            h.write(name.as_bytes());
+            h.sep();
+            for &v in values {
+                h.write_u64(v as u64);
+            }
+            h.sep();
+        }
+        for (name, values) in ds.values.floats() {
+            h.write(name.as_bytes());
+            h.sep();
+            for &v in values {
+                h.write_u64(v.to_bits());
+            }
+            h.sep();
+        }
+        h.sep();
+    }
+    format!("{:016x}", h.0)
+}
+
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{key}.txt"))
+}
+
+/// Serializes `a` to the v1 text format.
+fn encode(key: &str, a: &Artifacts) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bpfree-cache v{FORMAT_VERSION}");
+    let _ = writeln!(out, "key {key}");
+    let _ = writeln!(out, "exit {}", a.run.exit);
+    let _ = writeln!(out, "instructions {}", a.run.instructions);
+
+    let mut counts: Vec<(BranchRef, EdgeCounts)> = a.profile.iter().collect();
+    counts.sort_by_key(|(b, _)| *b);
+    let _ = writeln!(out, "profile {}", counts.len());
+    for (b, c) in counts {
+        let _ = writeln!(out, "{} {} {} {}", b.func.0, b.block.0, c.taken, c.fallthru);
+    }
+
+    let mut rows: Vec<(BranchRef, &[Option<Direction>; 7])> = a.table.rows().collect();
+    rows.sort_by_key(|(b, _)| *b);
+    let _ = writeln!(out, "table {}", rows.len());
+    for (b, row) in rows {
+        let _ = write!(out, "{} {} ", b.func.0, b.block.0);
+        for d in row {
+            out.push(match d {
+                Some(Direction::Taken) => 'T',
+                Some(Direction::FallThru) => 'F',
+                None => '-',
+            });
+        }
+        out.push('\n');
+    }
+
+    let ir = a.program.to_string();
+    let _ = writeln!(out, "program {}", ir.lines().count());
+    out.push_str(&ir);
+    if !ir.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 text format; `None` on any mismatch (treated as a
+/// cache miss by [`lookup`]).
+fn decode(key: &str, text: &str) -> Option<Artifacts> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("bpfree-cache v{FORMAT_VERSION}") {
+        return None;
+    }
+    if lines.next()?.strip_prefix("key ")? != key {
+        return None;
+    }
+    let exit: i64 = lines.next()?.strip_prefix("exit ")?.parse().ok()?;
+    let instructions: u64 = lines.next()?.strip_prefix("instructions ")?.parse().ok()?;
+
+    let n_profile: usize = lines.next()?.strip_prefix("profile ")?.parse().ok()?;
+    let mut counts = Vec::with_capacity(n_profile);
+    for _ in 0..n_profile {
+        let line = lines.next()?;
+        let mut it = line.split_ascii_whitespace();
+        let func: u32 = it.next()?.parse().ok()?;
+        let block: u32 = it.next()?.parse().ok()?;
+        let taken: u64 = it.next()?.parse().ok()?;
+        let fallthru: u64 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        let b = BranchRef {
+            func: FuncId(func),
+            block: BlockId(block),
+        };
+        counts.push((b, EdgeCounts { taken, fallthru }));
+    }
+    let profile: EdgeProfile = counts.into_iter().collect();
+
+    let n_rows: usize = lines.next()?.strip_prefix("table ")?.parse().ok()?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let line = lines.next()?;
+        let mut it = line.split_ascii_whitespace();
+        let func: u32 = it.next()?.parse().ok()?;
+        let block: u32 = it.next()?.parse().ok()?;
+        let cells = it.next()?;
+        if it.next().is_some() || cells.chars().count() != 7 {
+            return None;
+        }
+        let mut row = [None; 7];
+        for (i, c) in cells.chars().enumerate() {
+            row[i] = match c {
+                'T' => Some(Direction::Taken),
+                'F' => Some(Direction::FallThru),
+                '-' => None,
+                _ => return None,
+            };
+        }
+        rows.push((
+            BranchRef {
+                func: FuncId(func),
+                block: BlockId(block),
+            },
+            row,
+        ));
+    }
+
+    let n_ir: usize = lines.next()?.strip_prefix("program ")?.parse().ok()?;
+    let ir: Vec<&str> = lines.collect();
+    if ir.len() != n_ir {
+        return None;
+    }
+    let program = bpfree_ir::parse_program(&ir.join("\n")).ok()?;
+
+    Some(Artifacts {
+        program,
+        table: HeuristicTable::from_rows(rows),
+        profile,
+        run: RunResult { exit, instructions },
+    })
+}
+
+/// Loads the entry for `key`, or `None` if absent, unreadable, or
+/// corrupt. Never panics on bad cache contents.
+pub fn lookup(dir: &Path, key: &str) -> Option<Artifacts> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    decode(key, &text)
+}
+
+/// Writes the entry for `key` atomically (temp file + rename). Errors
+/// are returned, not panicked, so a read-only cache directory degrades
+/// to "no caching".
+pub fn store(dir: &Path, key: &str, artifacts: &Artifacts) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(".{key}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, encode(key, artifacts))?;
+    std::fs::rename(&tmp, entry_path(dir, key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifacts {
+        let program = bpfree_lang::compile(
+            "fn main() -> int {
+                int x;
+                x = -3;
+                if (x < 0) { x = 0; }
+                return x;
+            }",
+        )
+        .unwrap();
+        let classifier = bpfree_core::BranchClassifier::analyze(&program);
+        let table = HeuristicTable::build(&program, &classifier);
+        let mut profile = EdgeProfile::new();
+        profile.record(program.branches()[0], true);
+        profile.record(program.branches()[0], false);
+        Artifacts {
+            program,
+            table,
+            profile,
+            run: RunResult {
+                exit: 0,
+                instructions: 42,
+            },
+        }
+    }
+
+    fn table_rows_sorted(t: &HeuristicTable) -> Vec<(BranchRef, [Option<Direction>; 7])> {
+        let mut rows: Vec<_> = t.rows().map(|(b, r)| (b, *r)).collect();
+        rows.sort_by_key(|(b, _)| *b);
+        rows
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = sample();
+        let key = "0123456789abcdef";
+        let text = encode(key, &a);
+        let b = decode(key, &text).expect("decodes");
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.run, b.run);
+        assert_eq!(table_rows_sorted(&a.table), table_rows_sorted(&b.table));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_key_and_corruption() {
+        let a = sample();
+        let text = encode("aaaa", &a);
+        assert!(decode("bbbb", &text).is_none(), "key mismatch is a miss");
+        assert!(
+            decode("aaaa", &text[..text.len() / 2]).is_none(),
+            "truncation is a miss"
+        );
+        let garbled = text.replace("instructions 42", "instructions x");
+        assert!(
+            decode("aaaa", &garbled).is_none(),
+            "garbled field is a miss"
+        );
+        assert!(decode("aaaa", "").is_none());
+        assert!(
+            decode("aaaa", "bpfree-cache v999\n").is_none(),
+            "future version is a miss"
+        );
+    }
+
+    #[test]
+    fn key_tracks_source_and_datasets() {
+        let ds = |v: i64| {
+            let mut g = bpfree_ir::GlobalValues::new();
+            g.set_int("n", vec![v]);
+            vec![Dataset {
+                name: "ref".into(),
+                values: g,
+            }]
+        };
+        let k0 = key("b", "src", &ds(1));
+        assert_eq!(k0, key("b", "src", &ds(1)), "deterministic");
+        assert_ne!(k0, key("b", "src2", &ds(1)), "source change");
+        assert_ne!(k0, key("b2", "src", &ds(1)), "name change");
+        assert_ne!(k0, key("b", "src", &ds(2)), "dataset change");
+    }
+}

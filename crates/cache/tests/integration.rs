@@ -1,0 +1,167 @@
+//! End-to-end cache behavior against real suite benchmarks: hits
+//! restore exactly what was stored, corruption degrades to a miss, and
+//! experiment results computed from cached artifacts are identical to
+//! fresh ones.
+
+use std::path::PathBuf;
+
+use bpfree_cache::Artifacts;
+use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
+use bpfree_core::{BranchClassifier, HeuristicTable, DEFAULT_SEED};
+
+/// A unique scratch cache directory, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir =
+            std::env::temp_dir().join(format!("bpfree-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Compiles + simulates one suite benchmark the same way the bench
+/// harness does on a cache miss.
+fn fresh(name: &str) -> (Artifacts, BranchClassifier) {
+    let b = bpfree_suite::by_name(name).expect("benchmark exists");
+    let program = b.compile().expect("compiles");
+    let classifier = BranchClassifier::analyze(&program);
+    let table = HeuristicTable::build(&program, &classifier);
+    let (profile, run) = b.profile(&program, 0).expect("runs");
+    (
+        Artifacts {
+            program,
+            table,
+            profile,
+            run,
+        },
+        classifier,
+    )
+}
+
+fn suite_key(name: &str) -> String {
+    let b = bpfree_suite::by_name(name).expect("benchmark exists");
+    bpfree_cache::key(b.name, b.source, &b.datasets())
+}
+
+fn table_rows(
+    t: &HeuristicTable,
+) -> Vec<(bpfree_ir::BranchRef, [Option<bpfree_core::Direction>; 7])> {
+    let mut rows: Vec<_> = t.rows().map(|(b, r)| (b, *r)).collect();
+    rows.sort_by_key(|(b, _)| *b);
+    rows
+}
+
+#[test]
+fn store_then_lookup_restores_everything() {
+    let dir = ScratchDir::new("roundtrip");
+    let (a, _) = fresh("grep");
+    let key = suite_key("grep");
+
+    assert!(
+        bpfree_cache::lookup(&dir.0, &key).is_none(),
+        "empty dir is a miss"
+    );
+    bpfree_cache::store(&dir.0, &key, &a).expect("store succeeds");
+    let b = bpfree_cache::lookup(&dir.0, &key).expect("hit after store");
+
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.run, b.run);
+    assert_eq!(table_rows(&a.table), table_rows(&b.table));
+}
+
+#[test]
+fn corruption_is_a_miss_not_a_panic() {
+    let dir = ScratchDir::new("corrupt");
+    let (a, _) = fresh("compress");
+    let key = suite_key("compress");
+    bpfree_cache::store(&dir.0, &key, &a).expect("store succeeds");
+    let path = dir.0.join(format!("{key}.txt"));
+    let text = std::fs::read_to_string(&path).unwrap();
+
+    // Truncation, bit flips in the middle, and outright garbage must
+    // all fall back to recompute (lookup -> None), never panic.
+    std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+    assert!(bpfree_cache::lookup(&dir.0, &key).is_none(), "truncated");
+
+    std::fs::write(&path, text.replace("profile", "profane")).unwrap();
+    assert!(
+        bpfree_cache::lookup(&dir.0, &key).is_none(),
+        "garbled section header"
+    );
+
+    std::fs::write(&path, "not a cache file at all\n").unwrap();
+    assert!(bpfree_cache::lookup(&dir.0, &key).is_none(), "garbage");
+
+    // And a valid re-store recovers.
+    bpfree_cache::store(&dir.0, &key, &a).expect("re-store succeeds");
+    assert!(bpfree_cache::lookup(&dir.0, &key).is_some());
+}
+
+#[test]
+fn keys_differ_across_benchmarks_and_are_stable() {
+    let k1 = suite_key("grep");
+    let k2 = suite_key("compress");
+    assert_ne!(k1, k2);
+    assert_eq!(k1, suite_key("grep"), "same inputs, same key");
+}
+
+#[test]
+fn cached_artifacts_give_identical_experiment_results() {
+    let dir = ScratchDir::new("experiment");
+    let names = ["grep", "compress", "eqntott"];
+
+    let mut fresh_data = Vec::new();
+    let mut cached_data = Vec::new();
+    for name in names {
+        let (a, classifier) = fresh(name);
+        let key = suite_key(name);
+        bpfree_cache::store(&dir.0, &key, &a).expect("store succeeds");
+        let hit = bpfree_cache::lookup(&dir.0, &key).expect("hit");
+        // The harness recomputes the classifier from the cached program.
+        let hit_classifier = BranchClassifier::analyze(&hit.program);
+
+        fresh_data.push(BenchOrderData::build(
+            name,
+            &a.table,
+            &a.profile,
+            &classifier,
+            DEFAULT_SEED,
+        ));
+        cached_data.push(BenchOrderData::build(
+            name,
+            &hit.table,
+            &hit.profile,
+            &hit_classifier,
+            DEFAULT_SEED,
+        ));
+    }
+
+    let fresh_study = OrderingStudy::new(fresh_data);
+    let cached_study = OrderingStudy::new(cached_data);
+
+    // Graph 1 data: bit-identical average rates for all 5040 orders.
+    assert_eq!(
+        fresh_study.sorted_average_rates(),
+        cached_study.sorted_average_rates()
+    );
+
+    // Table 4 data: identical winners, tallies, and rates.
+    let f = fresh_study.subset_experiment(2);
+    let c = cached_study.subset_experiment(2);
+    assert_eq!(f.len(), c.len());
+    for (a, b) in f.iter().zip(&c) {
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.trial_fraction.to_bits(), b.trial_fraction.to_bits());
+        assert_eq!(a.mean_miss_rate.to_bits(), b.mean_miss_rate.to_bits());
+    }
+}

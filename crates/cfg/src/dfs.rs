@@ -56,7 +56,12 @@ impl DfsOrder {
         for (i, b) in rpo.iter().enumerate() {
             rpo_index[b.index()] = Some(i);
         }
-        DfsOrder { rpo, rpo_index, pre, post }
+        DfsOrder {
+            rpo,
+            rpo_index,
+            pre,
+            post,
+        }
     }
 
     /// Blocks in reverse postorder (entry first). Unreachable blocks are
@@ -105,7 +110,10 @@ mod tests {
     use bpfree_ir::{Cond, FunctionBuilder, Terminator};
 
     fn ret() -> Terminator {
-        Terminator::Ret { val: None, fval: None }
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
     }
 
     #[test]
@@ -146,7 +154,14 @@ mod tests {
         let exit = b.new_block();
         let r = b.new_reg();
         b.set_term(e, Terminator::Jump(head));
-        b.set_term(head, Terminator::Branch { cond: Cond::Gtz(r), taken: body, fallthru: exit });
+        b.set_term(
+            head,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: body,
+                fallthru: exit,
+            },
+        );
         b.set_term(body, Terminator::Jump(head));
         b.set_term(exit, ret());
         let cfg = Cfg::new(&b.finish().unwrap());
@@ -165,7 +180,14 @@ mod tests {
         let r = b.new_block();
         let j = b.new_block();
         let c = b.new_reg();
-        b.set_term(e, Terminator::Branch { cond: Cond::Nez(c), taken: l, fallthru: r });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(c),
+                taken: l,
+                fallthru: r,
+            },
+        );
         b.set_term(l, Terminator::Jump(j));
         b.set_term(r, Terminator::Jump(j));
         b.set_term(j, ret());

@@ -8,11 +8,7 @@ use crate::graph::Cfg;
 /// `rpo` is a reverse postorder of the graph rooted at `rpo[0]`;
 /// `preds(b)` yields predecessor indices. Returns `idom[b]` for every node
 /// in `rpo` (`idom[root] == root`), `None` for nodes not in `rpo`.
-fn idoms_core(
-    n: usize,
-    rpo: &[usize],
-    preds: impl Fn(usize) -> Vec<usize>,
-) -> Vec<Option<usize>> {
+fn idoms_core(n: usize, rpo: &[usize], preds: impl Fn(usize) -> Vec<usize>) -> Vec<Option<usize>> {
     let mut rpo_index = vec![usize::MAX; n];
     for (i, &b) in rpo.iter().enumerate() {
         rpo_index[b] = i;
@@ -107,9 +103,15 @@ impl Dominators {
     pub fn compute(cfg: &Cfg, dfs: &DfsOrder) -> Dominators {
         let rpo: Vec<usize> = dfs.reverse_postorder().iter().map(|b| b.index()).collect();
         let idom = idoms_core(cfg.n_blocks(), &rpo, |b| {
-            cfg.predecessors(BlockId(b as u32)).iter().map(|p| p.index()).collect()
+            cfg.predecessors(BlockId(b as u32))
+                .iter()
+                .map(|p| p.index())
+                .collect()
         });
-        Dominators { idom, entry: cfg.entry() }
+        Dominators {
+            idom,
+            entry: cfg.entry(),
+        }
     }
 
     /// The immediate dominator of `b` (`None` for the entry block and for
@@ -156,13 +158,16 @@ impl PostDominators {
     pub fn compute(cfg: &Cfg) -> PostDominators {
         let n = cfg.n_blocks();
         let virt = n; // virtual exit node index
-        // Reversed graph: edge v -> u for every CFG edge u -> v, plus
-        // virt -> e for every exit e. DFS from virt.
+                      // Reversed graph: edge v -> u for every CFG edge u -> v, plus
+                      // virt -> e for every exit e. DFS from virt.
         let succs_rev = |b: usize| -> Vec<usize> {
             if b == virt {
                 cfg.exits().iter().map(|e| e.index()).collect()
             } else {
-                cfg.predecessors(BlockId(b as u32)).iter().map(|p| p.index()).collect()
+                cfg.predecessors(BlockId(b as u32))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
             }
         };
         let preds_rev = |b: usize| -> Vec<usize> {
@@ -170,8 +175,7 @@ impl PostDominators {
                 return Vec::new();
             }
             let block = BlockId(b as u32);
-            let mut out: Vec<usize> =
-                cfg.successors(block).iter().map(|s| s.index()).collect();
+            let mut out: Vec<usize> = cfg.successors(block).iter().map(|s| s.index()).collect();
             if cfg.exits().contains(&block) {
                 out.push(virt);
             }
@@ -226,7 +230,10 @@ mod tests {
     use bpfree_ir::{Cond, FunctionBuilder, Terminator};
 
     fn ret() -> Terminator {
-        Terminator::Ret { val: None, fval: None }
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
     }
 
     /// entry -> (l | r) -> join -> ret
@@ -237,7 +244,14 @@ mod tests {
         let r = b.new_block();
         let j = b.new_block();
         let c = b.new_reg();
-        b.set_term(e, Terminator::Branch { cond: Cond::Nez(c), taken: l, fallthru: r });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(c),
+                taken: l,
+                fallthru: r,
+            },
+        );
         b.set_term(l, Terminator::Jump(j));
         b.set_term(r, Terminator::Jump(j));
         b.set_term(j, ret());
@@ -279,7 +293,14 @@ mod tests {
         let early = b.new_block();
         let tail = b.new_block();
         let c = b.new_reg();
-        b.set_term(e, Terminator::Branch { cond: Cond::Ltz(c), taken: early, fallthru: tail });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Ltz(c),
+                taken: early,
+                fallthru: tail,
+            },
+        );
         b.set_term(early, ret());
         b.set_term(tail, ret());
         let cfg = Cfg::new(&b.finish().unwrap());
@@ -299,7 +320,14 @@ mod tests {
         let exit = b.new_block();
         let c = b.new_reg();
         b.set_term(e, Terminator::Jump(head));
-        b.set_term(head, Terminator::Branch { cond: Cond::Gtz(c), taken: body, fallthru: exit });
+        b.set_term(
+            head,
+            Terminator::Branch {
+                cond: Cond::Gtz(c),
+                taken: body,
+                fallthru: exit,
+            },
+        );
         b.set_term(body, Terminator::Jump(head));
         b.set_term(exit, ret());
         let cfg = Cfg::new(&b.finish().unwrap());

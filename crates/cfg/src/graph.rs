@@ -55,7 +55,9 @@ impl Cfg {
                     kinds[bid.index()].push(EdgeKind::Jump);
                     preds[t.index()].push(bid);
                 }
-                Terminator::Branch { taken, fallthru, .. } => {
+                Terminator::Branch {
+                    taken, fallthru, ..
+                } => {
                     succs[bid.index()].push(*taken);
                     kinds[bid.index()].push(EdgeKind::Taken);
                     preds[taken.index()].push(bid);
@@ -66,7 +68,13 @@ impl Cfg {
                 Terminator::Ret { .. } => exits.push(bid),
             }
         }
-        Cfg { succs, preds, kinds, entry: func.entry(), exits }
+        Cfg {
+            succs,
+            preds,
+            kinds,
+            entry: func.entry(),
+            exits,
+        }
     }
 
     /// Number of blocks (vertices).
@@ -122,7 +130,10 @@ mod tests {
     use bpfree_ir::{Cond, FunctionBuilder};
 
     fn ret() -> Terminator {
-        Terminator::Ret { val: None, fval: None }
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
     }
 
     #[test]
@@ -132,12 +143,22 @@ mod tests {
         let t = b.new_block();
         let f = b.new_block();
         let r = b.new_reg();
-        b.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: t, fallthru: f });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: t,
+                fallthru: f,
+            },
+        );
         b.set_term(t, ret());
         b.set_term(f, ret());
         let cfg = Cfg::new(&b.finish().unwrap());
         assert_eq!(cfg.successors(e), &[t, f]);
-        assert_eq!(cfg.successor_kinds(e), &[EdgeKind::Taken, EdgeKind::FallThru]);
+        assert_eq!(
+            cfg.successor_kinds(e),
+            &[EdgeKind::Taken, EdgeKind::FallThru]
+        );
         assert_eq!(cfg.exits(), &[t, f]);
     }
 
@@ -161,7 +182,14 @@ mod tests {
         let done = b.new_block();
         let r = b.new_reg();
         b.set_term(e, Terminator::Jump(l));
-        b.set_term(l, Terminator::Branch { cond: Cond::Gtz(r), taken: l, fallthru: done });
+        b.set_term(
+            l,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: l,
+                fallthru: done,
+            },
+        );
         b.set_term(done, ret());
         let cfg = Cfg::new(&b.finish().unwrap());
         assert!(cfg.successors(l).contains(&l));

@@ -87,6 +87,12 @@ impl FunctionAnalysis {
         let doms = Dominators::compute(&cfg, &dfs);
         let pdoms = PostDominators::compute(&cfg);
         let loops = Loops::compute(&cfg, &doms);
-        FunctionAnalysis { cfg, dfs, doms, pdoms, loops }
+        FunctionAnalysis {
+            cfg,
+            dfs,
+            doms,
+            pdoms,
+            loops,
+        }
     }
 }

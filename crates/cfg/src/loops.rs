@@ -126,7 +126,14 @@ impl Loops {
             }
         }
 
-        Loops { backedges, heads, loops, exit_edges, irreducible_edges, depth }
+        Loops {
+            backedges,
+            heads,
+            loops,
+            exit_edges,
+            irreducible_edges,
+            depth,
+        }
     }
 
     /// Is `src -> dst` a loop backedge (dst dominates src)?
@@ -188,7 +195,10 @@ mod tests {
     use bpfree_ir::{Cond, FunctionBuilder, Terminator};
 
     fn ret() -> Terminator {
-        Terminator::Ret { val: None, fval: None }
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
     }
 
     fn analyze(f: bpfree_ir::Function) -> (Cfg, Loops) {
@@ -213,11 +223,39 @@ mod tests {
         let e = bld.new_block();
         let f = bld.new_block();
         let r = bld.new_reg();
-        bld.set_term(a, Terminator::Branch { cond: Cond::Nez(r), taken: b, fallthru: f });
-        bld.set_term(b, Terminator::Branch { cond: Cond::Gtz(r), taken: c, fallthru: e });
-        bld.set_term(c, Terminator::Branch { cond: Cond::Ltz(r), taken: d, fallthru: f });
+        bld.set_term(
+            a,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: b,
+                fallthru: f,
+            },
+        );
+        bld.set_term(
+            b,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: c,
+                fallthru: e,
+            },
+        );
+        bld.set_term(
+            c,
+            Terminator::Branch {
+                cond: Cond::Ltz(r),
+                taken: d,
+                fallthru: f,
+            },
+        );
         bld.set_term(d, Terminator::Jump(b));
-        bld.set_term(e, Terminator::Branch { cond: Cond::Lez(r), taken: b, fallthru: f });
+        bld.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Lez(r),
+                taken: b,
+                fallthru: f,
+            },
+        );
         bld.set_term(f, ret());
         let (_cfg, loops) = analyze(bld.finish().unwrap());
 
@@ -246,8 +284,22 @@ mod tests {
         let done = bld.new_block();
         let r = bld.new_reg();
         bld.set_term(entry, Terminator::Jump(oh));
-        bld.set_term(oh, Terminator::Branch { cond: Cond::Gtz(r), taken: ih, fallthru: done });
-        bld.set_term(ih, Terminator::Branch { cond: Cond::Ltz(r), taken: ib, fallthru: ol });
+        bld.set_term(
+            oh,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: ih,
+                fallthru: done,
+            },
+        );
+        bld.set_term(
+            ih,
+            Terminator::Branch {
+                cond: Cond::Ltz(r),
+                taken: ib,
+                fallthru: ol,
+            },
+        );
         bld.set_term(ib, Terminator::Jump(ih));
         bld.set_term(ol, Terminator::Jump(oh));
         bld.set_term(done, ret());
@@ -270,7 +322,14 @@ mod tests {
         let done = bld.new_block();
         let r = bld.new_reg();
         bld.set_term(e, Terminator::Jump(l));
-        bld.set_term(l, Terminator::Branch { cond: Cond::Gtz(r), taken: l, fallthru: done });
+        bld.set_term(
+            l,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: l,
+                fallthru: done,
+            },
+        );
         bld.set_term(done, ret());
         let (_cfg, loops) = analyze(bld.finish().unwrap());
         assert!(loops.is_backedge(l, l));
@@ -285,7 +344,14 @@ mod tests {
         let e = bld.entry();
         let x = bld.new_block();
         let r = bld.new_reg();
-        bld.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: x, fallthru: x });
+        bld.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: x,
+                fallthru: x,
+            },
+        );
         // Degenerate branch is invalid IR; use jump instead.
         bld.set_term(e, Terminator::Jump(x));
         bld.set_term(x, ret());
@@ -303,9 +369,23 @@ mod tests {
         let b = bld.new_block();
         let out = bld.new_block();
         let r = bld.new_reg();
-        bld.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: a, fallthru: b });
+        bld.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: a,
+                fallthru: b,
+            },
+        );
         bld.set_term(a, Terminator::Jump(b));
-        bld.set_term(b, Terminator::Branch { cond: Cond::Gtz(r), taken: a, fallthru: out });
+        bld.set_term(
+            b,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: a,
+                fallthru: out,
+            },
+        );
         bld.set_term(out, ret());
         let (_cfg, loops) = analyze(bld.finish().unwrap());
         // Neither a nor b dominates the other, so no natural loop exists,
@@ -327,8 +407,22 @@ mod tests {
         let out = bld.new_block();
         let r = bld.new_reg();
         bld.set_term(e, Terminator::Jump(head));
-        bld.set_term(head, Terminator::Branch { cond: Cond::Gtz(r), taken: body, fallthru: out });
-        bld.set_term(body, Terminator::Branch { cond: Cond::Ltz(r), taken: brk, fallthru: latch });
+        bld.set_term(
+            head,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: body,
+                fallthru: out,
+            },
+        );
+        bld.set_term(
+            body,
+            Terminator::Branch {
+                cond: Cond::Ltz(r),
+                taken: brk,
+                fallthru: latch,
+            },
+        );
         bld.set_term(brk, Terminator::Jump(out));
         bld.set_term(latch, Terminator::Jump(head));
         bld.set_term(out, ret());

@@ -19,7 +19,13 @@ fn random_function(n: usize, seed: &[u8]) -> bpfree_ir::Function {
         let s1 = seed[(i * 3 + 1) % seed.len()] as usize;
         let s2 = seed[(i * 3 + 2) % seed.len()] as usize;
         match s0 % 4 {
-            0 => b.set_term(blk, Terminator::Ret { val: None, fval: None }),
+            0 => b.set_term(
+                blk,
+                Terminator::Ret {
+                    val: None,
+                    fval: None,
+                },
+            ),
             1 => b.set_term(blk, Terminator::Jump(blocks[s1 % n])),
             _ => {
                 let taken = blocks[s1 % n];
@@ -30,7 +36,14 @@ fn random_function(n: usize, seed: &[u8]) -> bpfree_ir::Function {
                 if taken == fall {
                     b.set_term(blk, Terminator::Jump(taken));
                 } else {
-                    b.set_term(blk, Terminator::Branch { cond: Cond::Gtz(r), taken, fallthru: fall });
+                    b.set_term(
+                        blk,
+                        Terminator::Branch {
+                            cond: Cond::Gtz(r),
+                            taken,
+                            fallthru: fall,
+                        },
+                    );
                 }
             }
         }

@@ -65,11 +65,20 @@ impl BranchClassifier {
             let func = program.func(fid);
             let a = &analyses[fid.index()];
             for bid in func.block_ids() {
-                let Terminator::Branch { taken, fallthru, .. } = func.block(bid).term else {
+                let Terminator::Branch {
+                    taken, fallthru, ..
+                } = func.block(bid).term
+                else {
                     continue;
                 };
                 let site = classify_branch(a, bid, taken, fallthru);
-                info.insert(BranchRef { func: fid, block: bid }, site);
+                info.insert(
+                    BranchRef {
+                        func: fid,
+                        block: bid,
+                    },
+                    site,
+                );
             }
         }
         BranchClassifier { analyses, info }
@@ -113,12 +122,13 @@ impl BranchClassifier {
     /// Is the taken edge of `branch` a backedge? (Diagnostics and the
     /// BTFNT comparison use this.)
     pub fn taken_is_backedge(&self, branch: BranchRef, program: &Program) -> bool {
-        let Terminator::Branch { taken, .. } =
-            program.func(branch.func).block(branch.block).term
+        let Terminator::Branch { taken, .. } = program.func(branch.func).block(branch.block).term
         else {
             return false;
         };
-        self.analyses[branch.func.index()].loops.is_backedge(branch.block, taken)
+        self.analyses[branch.func.index()]
+            .loops
+            .is_backedge(branch.block, taken)
     }
 }
 
@@ -134,7 +144,10 @@ fn classify_branch(
     let fall_exit = a.loops.is_exit_edge(block, fallthru);
 
     if !taken_back && !fall_back && !taken_exit && !fall_exit {
-        return BranchSite { class: BranchClass::NonLoop, loop_prediction: None };
+        return BranchSite {
+            class: BranchClass::NonLoop,
+            loop_prediction: None,
+        };
     }
 
     // Loop branch. Predict a backedge if one exists; otherwise the
@@ -164,7 +177,10 @@ fn classify_branch(
             Direction::FallThru
         }
     };
-    BranchSite { class: BranchClass::Loop, loop_prediction: Some(prediction) }
+    BranchSite {
+        class: BranchClass::Loop,
+        loop_prediction: Some(prediction),
+    }
 }
 
 #[cfg(test)]
@@ -265,7 +281,11 @@ mod tests {
                 return s;
             }",
         );
-        let nonloop = p.branches().iter().filter(|b| c.class(**b) == BranchClass::NonLoop).count();
+        let nonloop = p
+            .branches()
+            .iter()
+            .filter(|b| c.class(**b) == BranchClass::NonLoop)
+            .count();
         // The guard and the mod test are non-loop; the latch is a loop
         // branch.
         assert_eq!(nonloop, 2);

@@ -1,7 +1,6 @@
 use std::collections::HashMap;
 
 use bpfree_sim::EdgeProfile;
-use serde::Serialize;
 
 use crate::classify::{BranchClass, BranchClassifier};
 use crate::predictors::{Attribution, CombinedPredictor, Direction, Predictions};
@@ -9,7 +8,7 @@ use crate::predictors::{Attribution, CombinedPredictor, Direction, Predictions};
 /// Dynamic miss statistics for one class of branches, in the paper's
 /// `C/D` notation: the predictor's miss rate over the perfect static
 /// predictor's miss rate.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassStats {
     /// Dynamic executions of branches in this class.
     pub dynamic: u64,
@@ -57,7 +56,7 @@ impl ClassStats {
 
 /// Evaluation of a predictor against one execution's edge profile,
 /// broken down by the loop/non-loop taxonomy.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Report {
     /// Loop branches only.
     pub loop_branches: ClassStats,
@@ -135,7 +134,7 @@ pub fn evaluate(
 /// isolation): how many dynamic non-loop branches it applies to, and its
 /// miss rate on that covered subset — the bold number plus `C/D` pair of
 /// the paper's Table 3.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoverageStats {
     /// Dynamic executions of covered branches.
     pub covered: u64,
@@ -189,7 +188,9 @@ pub fn evaluate_coverage(
             continue;
         }
         stats.total_nonloop += counts.total();
-        let Some(dir) = predictions.get(branch) else { continue };
+        let Some(dir) = predictions.get(branch) else {
+            continue;
+        };
         stats.covered += counts.total();
         stats.misses += match dir {
             Direction::Taken => counts.fallthru,
@@ -202,7 +203,7 @@ pub fn evaluate_coverage(
 
 /// A [`Report`] plus per-attribution breakdown (which heuristic predicted
 /// what, with what accuracy) — the raw material of the paper's Table 5.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AttributedReport {
     pub report: Report,
     /// Coverage stats per attribution source over non-loop branches.
@@ -296,10 +297,7 @@ mod tests {
         let (p, profile, c) = setup(LOOPY);
         let tk = taken_predictions(&p);
         let r = evaluate(&tk, &profile, &c);
-        assert_eq!(
-            r.all.dynamic,
-            r.loop_branches.dynamic + r.nonloop.dynamic
-        );
+        assert_eq!(r.all.dynamic, r.loop_branches.dynamic + r.nonloop.dynamic);
         assert_eq!(r.all.misses, r.loop_branches.misses + r.nonloop.misses);
         assert!(r.nonloop_fraction() > 0.0 && r.nonloop_fraction() < 1.0);
     }
@@ -336,7 +334,11 @@ mod tests {
 
     #[test]
     fn c_over_d_format() {
-        let s = ClassStats { dynamic: 100, misses: 26, perfect_misses: 10 };
+        let s = ClassStats {
+            dynamic: 100,
+            misses: 26,
+            perfect_misses: 10,
+        };
         assert_eq!(s.c_over_d(), "26/10");
         assert_eq!(ClassStats::default().c_over_d(), "0/0");
     }

@@ -46,7 +46,11 @@ pub struct Confidence {
 
 impl Default for Confidence {
     fn default() -> Confidence {
-        Confidence { loop_branch: 0.88, heuristic: 0.74, default: 0.5 }
+        Confidence {
+            loop_branch: 0.88,
+            heuristic: 0.74,
+            default: 0.5,
+        }
     }
 }
 
@@ -61,7 +65,11 @@ impl Confidence {
     /// the numbers forever after.
     pub fn calibrate<'a>(
         runs: impl IntoIterator<
-            Item = (&'a CombinedPredictor, &'a bpfree_sim::EdgeProfile, &'a BranchClassifier),
+            Item = (
+                &'a CombinedPredictor,
+                &'a bpfree_sim::EdgeProfile,
+                &'a BranchClassifier,
+            ),
         >,
     ) -> Confidence {
         let mut loop_hits = 0u64;
@@ -71,7 +79,9 @@ impl Confidence {
         for (predictor, profile, _classifier) in runs {
             let predictions = predictor.predictions();
             for (branch, counts) in profile.iter() {
-                let Some(dir) = predictions.get(branch) else { continue };
+                let Some(dir) = predictions.get(branch) else {
+                    continue;
+                };
                 let hits = match dir {
                     Direction::Taken => counts.taken,
                     Direction::FallThru => counts.fallthru,
@@ -138,7 +148,10 @@ impl BranchProbabilities {
 
     /// Overrides one branch's probability (for what-if analyses).
     pub fn set(&mut self, branch: BranchRef, p_taken: f64) {
-        assert!((0.0..=1.0).contains(&p_taken), "probability {p_taken} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p_taken),
+            "probability {p_taken} out of range"
+        );
         self.map.insert(branch, p_taken);
     }
 }
@@ -176,7 +189,9 @@ pub fn estimate_block_frequencies(
     for bid in f.block_ids() {
         match &f.block(bid).term {
             Terminator::Jump(t) => incoming[t.index()].push((bid.index(), 1.0)),
-            Terminator::Branch { taken, fallthru, .. } => {
+            Terminator::Branch {
+                taken, fallthru, ..
+            } => {
                 let p = probs.taken(BranchRef { func, block: bid });
                 incoming[taken.index()].push((bid.index(), p));
                 incoming[fallthru.index()].push((bid.index(), 1.0 - p));
@@ -198,8 +213,7 @@ pub fn estimate_block_frequencies(
                 next[b] += freqs[p] * prob;
             }
         }
-        let delta: f64 =
-            next.iter().zip(&freqs).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = next.iter().zip(&freqs).map(|(a, b)| (a - b).abs()).sum();
         freqs = next;
         if delta < 1e-9 {
             break;
@@ -230,7 +244,9 @@ pub fn estimate_block_frequencies_structural(
     for bid in f.block_ids() {
         match &f.block(bid).term {
             Terminator::Jump(t) => out_edges[bid.index()].push((t.index(), 1.0)),
-            Terminator::Branch { taken, fallthru, .. } => {
+            Terminator::Branch {
+                taken, fallthru, ..
+            } => {
                 let p = probs.taken(BranchRef { func, block: bid });
                 out_edges[bid.index()].push((taken.index(), p));
                 out_edges[bid.index()].push((fallthru.index(), 1.0 - p));
@@ -249,7 +265,11 @@ pub fn estimate_block_frequencies_structural(
         // Propagate a unit of flow from the head through the loop body
         // (already-solved inner loops amplify by their own factor), and
         // accumulate what returns along the backedges.
-        let body = &analysis.loops.natural_loop(head).expect("head has a loop").body;
+        let body = &analysis
+            .loops
+            .natural_loop(head)
+            .expect("head has a loop")
+            .body;
         let mut flow = vec![0.0f64; n];
         flow[head.index()] = 1.0;
         // Process body blocks in reverse postorder so each block's inflow
@@ -302,7 +322,10 @@ pub fn estimate_block_frequencies_structural(
         }
         for &(dst, p) in &out_edges[bi] {
             // Skip backedges: already folded into the cyclic factor.
-            if analysis.loops.is_backedge(*b, bpfree_ir::BlockId(dst as u32)) {
+            if analysis
+                .loops
+                .is_backedge(*b, bpfree_ir::BlockId(dst as u32))
+            {
                 continue;
             }
             freqs[dst] += amount * p;
@@ -386,7 +409,13 @@ pub fn estimate_branch_block_frequencies(
         let freqs = estimate_block_frequencies(program, fid, &probs);
         for bid in program.func(fid).block_ids() {
             if program.func(fid).block(bid).term.is_branch() {
-                out.insert(BranchRef { func: fid, block: bid }, freqs.get(bid));
+                out.insert(
+                    BranchRef {
+                        func: fid,
+                        block: bid,
+                    },
+                    freqs.get(bid),
+                );
             }
         }
     }
@@ -433,7 +462,10 @@ mod tests {
             .block_ids()
             .find(|b| func.block(*b).term.is_branch())
             .expect("has a branch");
-        if let Terminator::Branch { taken, fallthru, .. } = func.block(branch).term {
+        if let Terminator::Branch {
+            taken, fallthru, ..
+        } = func.block(branch).term
+        {
             let sum = f.get(taken) + f.get(fallthru);
             assert!((sum - f.get(branch)).abs() < 1e-6, "sum {sum}");
         }
@@ -453,10 +485,7 @@ mod tests {
         let func = p.func(p.entry());
         // Some block (the loop body) should have frequency well above 1:
         // with p_back = 0.88 the geometric sum is ~1/(1-0.88) ≈ 8.3.
-        let max = func
-            .block_ids()
-            .map(|b| f.get(b))
-            .fold(0.0f64, f64::max);
+        let max = func.block_ids().map(|b| f.get(b)).fold(0.0f64, f64::max);
         assert!(max > 4.0, "max frequency {max}");
         assert!(max < 20.0, "diverged: {max}");
     }
@@ -555,7 +584,10 @@ mod tests {
     fn out_of_range_probability_panics() {
         let mut p = BranchProbabilities::default();
         p.set(
-            BranchRef { func: bpfree_ir::FuncId(0), block: BlockId(0) },
+            BranchRef {
+                func: bpfree_ir::FuncId(0),
+                block: BlockId(0),
+            },
             1.5,
         );
     }

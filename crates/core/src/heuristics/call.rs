@@ -11,7 +11,10 @@ use super::{contains_call, jump_target, BranchContext};
 use crate::predictors::Direction;
 
 pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
-    ctx.select(|s| !ctx.postdominates_branch(s) && leads_to_call(ctx, s), false)
+    ctx.select(
+        |s| !ctx.postdominates_branch(s) && leads_to_call(ctx, s),
+        false,
+    )
 }
 
 fn leads_to_call(ctx: &BranchContext<'_>, s: BlockId) -> bool {

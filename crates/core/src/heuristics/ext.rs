@@ -37,8 +37,12 @@ pub enum ExtKind {
 
 impl ExtKind {
     /// All generalised heuristics.
-    pub const ALL: [ExtKind; 4] =
-        [ExtKind::GuardDeep, ExtKind::CallDeep, ExtKind::ReturnDeep, ExtKind::StoreDeep];
+    pub const ALL: [ExtKind; 4] = [
+        ExtKind::GuardDeep,
+        ExtKind::CallDeep,
+        ExtKind::ReturnDeep,
+        ExtKind::StoreDeep,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -55,7 +59,9 @@ impl ExtKind {
     pub fn predict(self, ctx: &BranchContext<'_>, depth: usize) -> Option<Direction> {
         match self {
             ExtKind::GuardDeep => guard_deep(ctx, depth),
-            ExtKind::CallDeep => region_property(ctx, depth, |c, b| contains_call(c.func, b), false),
+            ExtKind::CallDeep => {
+                region_property(ctx, depth, |c, b| contains_call(c.func, b), false)
+            }
             ExtKind::ReturnDeep => {
                 region_property(ctx, depth, |c, b| is_return_block(c.func, b), false)
             }
@@ -103,7 +109,9 @@ fn region_property(
     ctx.select(
         |s| {
             !ctx.postdominates_branch(s)
-                && dominated_region(ctx, s, depth).into_iter().any(|b| prop(ctx, b))
+                && dominated_region(ctx, s, depth)
+                    .into_iter()
+                    .any(|b| prop(ctx, b))
         },
         predict_with,
     )
@@ -247,7 +255,10 @@ mod tests {
         let t = crate::heuristics::HeuristicTable::build(&p, &c);
         let mut branches: Vec<BranchRef> = t.branches().collect();
         branches.sort();
-        branches.into_iter().map(|b| t.prediction(b, kind)).collect()
+        branches
+            .into_iter()
+            .map(|b| t.prediction(b, kind))
+            .collect()
     }
 
     /// A guard whose use sits one block deeper than the successor: the
@@ -346,7 +357,8 @@ mod tests {
         let p = bpfree_lang::compile(src).unwrap();
         let _ = p;
         assert!(
-            !deep.is_empty() && deep[0].is_none() || deep.iter().filter(|d| d.is_some()).count() <= 1,
+            !deep.is_empty() && deep[0].is_none()
+                || deep.iter().filter(|d| d.is_some()).count() <= 1,
             "{deep:?}"
         );
     }

@@ -19,7 +19,11 @@ use crate::predictors::Direction;
 
 pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
     let operands = ctx.cond.uses();
-    let foperands = if ctx.cond.uses_fflag() { last_fcmp_operands(ctx) } else { Vec::new() };
+    let foperands = if ctx.cond.uses_fflag() {
+        last_fcmp_operands(ctx)
+    } else {
+        Vec::new()
+    };
     if operands.is_empty() && foperands.is_empty() {
         return None;
     }

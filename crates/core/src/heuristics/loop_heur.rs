@@ -12,7 +12,10 @@ use super::{jump_target, BranchContext};
 use crate::predictors::Direction;
 
 pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
-    ctx.select(|s| !ctx.postdominates_branch(s) && is_head_or_preheader(ctx, s), true)
+    ctx.select(
+        |s| !ctx.postdominates_branch(s) && is_head_or_preheader(ctx, s),
+        true,
+    )
 }
 
 fn is_head_or_preheader(ctx: &BranchContext<'_>, s: BlockId) -> bool {

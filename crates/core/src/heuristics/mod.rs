@@ -144,7 +144,11 @@ impl<'a> BranchContext<'a> {
         branch: BranchRef,
     ) -> BranchContext<'a> {
         let func = program.func(branch.func);
-        let Terminator::Branch { cond, taken, fallthru } = &func.block(branch.block).term
+        let Terminator::Branch {
+            cond,
+            taken,
+            fallthru,
+        } = &func.block(branch.block).term
         else {
             panic!("{branch} is not a conditional branch site")
         };
@@ -177,7 +181,11 @@ impl<'a> BranchContext<'a> {
         if tp == fp {
             return None;
         }
-        let with = if tp { Direction::Taken } else { Direction::FallThru };
+        let with = if tp {
+            Direction::Taken
+        } else {
+            Direction::FallThru
+        };
         Some(if predict_with { with } else { with.flip() })
     }
 }
@@ -229,10 +237,28 @@ impl HeuristicTable {
         HeuristicTable { per_branch }
     }
 
+    /// Reassembles a table from previously extracted rows (the inverse
+    /// of [`HeuristicTable::rows`]) — used by the on-disk artifact cache
+    /// to restore a table without re-running the heuristics.
+    pub fn from_rows(
+        rows: impl IntoIterator<Item = (BranchRef, [Option<Direction>; 7])>,
+    ) -> HeuristicTable {
+        HeuristicTable {
+            per_branch: rows.into_iter().collect(),
+        }
+    }
+
+    /// Iterator over every `(branch, row)` pair, unordered.
+    pub fn rows(&self) -> impl Iterator<Item = (BranchRef, &[Option<Direction>; 7])> + '_ {
+        self.per_branch.iter().map(|(&b, row)| (b, row))
+    }
+
     /// The prediction of `kind` for `branch` (`None` if the heuristic
     /// does not apply, or if `branch` is not a non-loop branch).
     pub fn prediction(&self, branch: BranchRef, kind: HeuristicKind) -> Option<Direction> {
-        self.per_branch.get(&branch).and_then(|row| row[kind.index()])
+        self.per_branch
+            .get(&branch)
+            .and_then(|row| row[kind.index()])
     }
 
     /// The full row for a branch, indexed by [`HeuristicKind::index`].
@@ -292,14 +318,22 @@ pub(crate) mod testutil {
         let t = HeuristicTable::build(&p, &c);
         let mut branches: Vec<BranchRef> = t.branches().collect();
         branches.sort();
-        branches.into_iter().map(|b| t.prediction(b, kind)).collect()
+        branches
+            .into_iter()
+            .map(|b| t.prediction(b, kind))
+            .collect()
     }
 
     /// Like `predictions_for` but for a single non-loop branch (panics
     /// unless exactly one exists).
     pub fn single_prediction(src: &str, kind: HeuristicKind) -> Option<Direction> {
         let v = predictions_for(src, kind);
-        assert_eq!(v.len(), 1, "expected exactly one non-loop branch, got {}", v.len());
+        assert_eq!(
+            v.len(),
+            1,
+            "expected exactly one non-loop branch, got {}",
+            v.len()
+        );
         v[0]
     }
 }

@@ -36,10 +36,15 @@ pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
 /// The comparison that set the FP flag this branch reads: the last `CmpF`
 /// in the branch's own block.
 fn last_fcmp(ctx: &BranchContext<'_>) -> Option<FCmp> {
-    ctx.func.block(ctx.block).instrs.iter().rev().find_map(|i| match i {
-        Instr::CmpF { cmp, .. } => Some(*cmp),
-        _ => None,
-    })
+    ctx.func
+        .block(ctx.block)
+        .instrs
+        .iter()
+        .rev()
+        .find_map(|i| match i {
+            Instr::CmpF { cmp, .. } => Some(*cmp),
+            _ => None,
+        })
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@ use super::{contains_store, BranchContext};
 use crate::predictors::Direction;
 
 pub(super) fn predict(ctx: &BranchContext<'_>) -> Option<Direction> {
-    ctx.select(|s| !ctx.postdominates_branch(s) && contains_store(ctx.func, s), false)
+    ctx.select(
+        |s| !ctx.postdominates_branch(s) && contains_store(ctx.func, s),
+        false,
+    )
 }
 
 #[cfg(test)]

@@ -23,7 +23,6 @@
 
 use bpfree_ir::{BranchRef, Program, Terminator};
 use bpfree_sim::ExecObserver;
-use serde::Serialize;
 
 use crate::predictors::{Direction, Predictions};
 
@@ -31,7 +30,7 @@ use crate::predictors::{Direction, Predictions};
 pub const N_BUCKETS: usize = 1000;
 
 /// Sequence-length statistics for one predictor over one run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SequenceDist {
     /// The predictor's display name.
     pub name: String,
@@ -151,9 +150,11 @@ impl DensePredictions {
             let func = program.func(fid);
             for bid in func.block_ids() {
                 if let Terminator::Branch { .. } = func.block(bid).term {
-                    let dir = predictions.get(BranchRef { func: fid, block: bid });
-                    per_func[fid.index()][bid.index()] =
-                        dir.map(|d| d == Direction::Taken);
+                    let dir = predictions.get(BranchRef {
+                        func: fid,
+                        block: bid,
+                    });
+                    per_func[fid.index()][bid.index()] = dir.map(|d| d == Direction::Taken);
                 }
             }
         }
@@ -203,12 +204,18 @@ pub struct IpbcAnalyzer<'p> {
 impl<'p> IpbcAnalyzer<'p> {
     /// Creates an analyzer for one program.
     pub fn new(program: &'p Program) -> IpbcAnalyzer<'p> {
-        IpbcAnalyzer { program, dense: Vec::new(), dists: Vec::new(), current_len: Vec::new() }
+        IpbcAnalyzer {
+            program,
+            dense: Vec::new(),
+            dists: Vec::new(),
+            current_len: Vec::new(),
+        }
     }
 
     /// Registers a predictor to score. Call before running the simulator.
     pub fn add_predictor(&mut self, name: impl Into<String>, predictions: &Predictions) {
-        self.dense.push(DensePredictions::build(self.program, predictions));
+        self.dense
+            .push(DensePredictions::build(self.program, predictions));
         self.dists.push(SequenceDist::new(name.into()));
         self.current_len.push(0);
     }

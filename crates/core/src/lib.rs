@@ -68,6 +68,6 @@ pub use heuristics::ext::ExtKind;
 pub use heuristics::{HeuristicKind, HeuristicTable};
 pub use predictors::{
     btfnt_predictions, fallthru_predictions, loop_rand_predictions, perfect_predictions,
-    random_predictions, taken_predictions, Attribution, CombinedPredictor, Direction,
-    Predictions, DEFAULT_SEED,
+    random_predictions, taken_predictions, Attribution, CombinedPredictor, Direction, Predictions,
+    DEFAULT_SEED,
 };

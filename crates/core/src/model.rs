@@ -11,8 +11,6 @@
 //! The paper's reading: the payoff in sequence length comes not from
 //! improving a 30% miss rate to 15%, but from pushing below 15%.
 
-use serde::Serialize;
-
 /// `f(m, s) = 1 - (1 - m)^s` — the cumulative fraction of instructions in
 /// sequences of length at most `s` under miss rate `m`.
 ///
@@ -33,7 +31,7 @@ pub fn cumulative_fraction(m: f64, s: u64) -> f64 {
 }
 
 /// One curve of Graph 12.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelCurve {
     pub miss_rate: f64,
     /// `(sequence length, cumulative fraction)` samples.
@@ -58,7 +56,10 @@ pub fn graph12_curves(max_len: u64, step: u64) -> Vec<ModelCurve> {
                 .step_by(step.max(1) as usize)
                 .map(|s| (s, cumulative_fraction(m, s)))
                 .collect();
-            ModelCurve { miss_rate: m, points }
+            ModelCurve {
+                miss_rate: m,
+                points,
+            }
         })
         .collect()
 }

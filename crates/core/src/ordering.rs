@@ -17,7 +17,6 @@
 //! order that is dominated on every benchmark can never be an argmin).
 
 use bpfree_sim::EdgeProfile;
-use serde::Serialize;
 
 use crate::classify::{BranchClass, BranchClassifier};
 use crate::heuristics::{HeuristicKind, HeuristicTable};
@@ -53,17 +52,164 @@ fn permute(items: &mut Order, k: usize, out: &mut Vec<Order>) {
     }
 }
 
+/// Streaming enumerator of the k-element subsets of `{0, .., n-1}` in
+/// lexicographic order, startable at any rank — the workhorse of the
+/// C(22,11) subset experiment, where workers each enumerate a contiguous
+/// rank range independently.
+///
+/// Subsets are visited via [`KSubsets::for_each_subset`] (no per-item
+/// allocation) or the [`Iterator`] implementation (clones each subset).
+///
+/// # Example
+///
+/// ```
+/// use bpfree_core::ordering::KSubsets;
+/// assert_eq!(KSubsets::count(4, 2), 6);
+/// let all: Vec<Vec<usize>> = KSubsets::all(4, 2).collect();
+/// assert_eq!(all[0], [0, 1]);
+/// assert_eq!(all[5], [2, 3]);
+/// // Ranks 2.. of the same enumeration:
+/// let tail: Vec<Vec<usize>> = KSubsets::range(4, 2, 2, 4).collect();
+/// assert_eq!(all[2..], tail[..]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KSubsets {
+    subset: Vec<usize>,
+    n: usize,
+    k: usize,
+    remaining: u64,
+    /// True until the first `advance()`, which yields the start subset.
+    fresh: bool,
+}
+
+impl KSubsets {
+    /// All `C(n, k)` subsets, first to last.
+    pub fn all(n: usize, k: usize) -> KSubsets {
+        KSubsets::range(n, k, 0, KSubsets::count(n, k))
+    }
+
+    /// `len` subsets starting at lexicographic rank `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n` or the range overruns `C(n, k)`.
+    pub fn range(n: usize, k: usize, start: u64, len: u64) -> KSubsets {
+        assert!(k <= n, "subset size {k} exceeds {n} elements");
+        let total = KSubsets::count(n, k);
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= total),
+            "rank range {start}+{len} overruns C({n},{k}) = {total}"
+        );
+        KSubsets {
+            subset: KSubsets::unrank(n, k, start),
+            n,
+            k,
+            remaining: len,
+            fresh: true,
+        }
+    }
+
+    /// `C(n, k)`, saturating at `u64::MAX` for astronomically large
+    /// spaces (the experiments stay far below it).
+    pub fn count(n: usize, k: usize) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut c: u128 = 1;
+        for i in 0..k {
+            c = c * (n - i) as u128 / (i + 1) as u128;
+            if c > u64::MAX as u128 {
+                return u64::MAX;
+            }
+        }
+        c as u64
+    }
+
+    /// The subset at lexicographic rank `rank` (combinatorial number
+    /// system).
+    fn unrank(n: usize, k: usize, mut rank: u64) -> Vec<usize> {
+        let mut subset = Vec::with_capacity(k);
+        let mut v = 0usize;
+        for slot in 0..k {
+            loop {
+                // Subsets starting with `v` at this slot.
+                let block = KSubsets::count(n - 1 - v, k - 1 - slot);
+                if rank < block {
+                    break;
+                }
+                rank -= block;
+                v += 1;
+            }
+            subset.push(v);
+            v += 1;
+        }
+        subset
+    }
+
+    /// Advances to the next subset; `false` when the range is exhausted.
+    /// The first call yields the range's start subset unchanged.
+    fn advance(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        if self.fresh {
+            self.fresh = false;
+            return true;
+        }
+        // Lexicographic successor: bump the rightmost bumpable slot and
+        // reset everything after it.
+        let (n, k) = (self.n, self.k);
+        for i in (0..k).rev() {
+            if self.subset[i] != i + n - k {
+                self.subset[i] += 1;
+                for j in i + 1..k {
+                    self.subset[j] = self.subset[j - 1] + 1;
+                }
+                return true;
+            }
+        }
+        unreachable!("range length was validated against C(n, k)")
+    }
+
+    /// Streams every subset in the range to `f` without allocating per
+    /// item.
+    pub fn for_each_subset(mut self, mut f: impl FnMut(&[usize])) {
+        while self.advance() {
+            f(&self.subset);
+        }
+    }
+}
+
+impl Iterator for KSubsets {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.advance() {
+            Some(self.subset.clone())
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = usize::try_from(self.remaining).ok();
+        (r.unwrap_or(usize::MAX), r)
+    }
+}
+
 /// One benchmark's non-loop branches, condensed for fast order
 /// evaluation. Branches with identical heuristic rows and default
 /// directions are merged.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchOrderData {
     pub name: String,
     groups: Vec<Group>,
     total_dynamic: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct GroupKey {
     /// Bit `i` set: heuristic with index `i` applies.
     applies: u8,
@@ -73,7 +219,7 @@ struct GroupKey {
     default_taken: bool,
 }
 
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 struct Group {
     key: GroupKey,
     taken: u64,
@@ -96,7 +242,9 @@ impl BenchOrderData {
             if classifier.class(branch) != BranchClass::NonLoop {
                 continue;
             }
-            let Some(row) = table.row(branch) else { continue };
+            let Some(row) = table.row(branch) else {
+                continue;
+            };
             let mut applies = 0u8;
             let mut predicts_taken = 0u8;
             for (i, pred) in row.iter().enumerate() {
@@ -119,10 +267,18 @@ impl BenchOrderData {
         }
         let mut groups: Vec<Group> = groups
             .into_iter()
-            .map(|(key, (taken, fallthru))| Group { key, taken, fallthru })
+            .map(|(key, (taken, fallthru))| Group {
+                key,
+                taken,
+                fallthru,
+            })
             .collect();
         groups.sort_by_key(|g| (g.key.applies, g.key.predicts_taken, g.key.default_taken));
-        BenchOrderData { name: name.into(), groups, total_dynamic: total }
+        BenchOrderData {
+            name: name.into(),
+            groups,
+            total_dynamic: total,
+        }
     }
 
     /// Dynamic non-loop branch executions in this benchmark.
@@ -164,7 +320,7 @@ pub struct OrderingStudy {
 
 /// One row of the Table 4 output: a winning order, how many subset
 /// trials it won, and its overall average miss rate.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CommonOrder {
     pub order: Vec<String>,
     pub trials: u64,
@@ -173,14 +329,19 @@ pub struct CommonOrder {
 }
 
 impl OrderingStudy {
-    /// Precomputes the 5040 × n-benchmarks miss-rate matrix.
+    /// Precomputes the 5040 × n-benchmarks miss-rate matrix, one order
+    /// per parallel task ([`bpfree_par::jobs`] workers; the result is
+    /// identical at any worker count since rows land in order).
     pub fn new(benches: Vec<BenchOrderData>) -> OrderingStudy {
         let orders = all_orders();
-        let rates = orders
-            .iter()
-            .map(|o| benches.iter().map(|b| b.miss_rate(o)).collect())
-            .collect();
-        OrderingStudy { benches, orders, rates }
+        let rates = bpfree_par::par_map(&orders, |o| {
+            benches.iter().map(|b| b.miss_rate(o)).collect()
+        });
+        OrderingStudy {
+            benches,
+            orders,
+            rates,
+        }
     }
 
     /// The benchmarks in this study.
@@ -201,7 +362,9 @@ impl OrderingStudy {
 
     /// Graph 1: all orders' average miss rates, sorted ascending.
     pub fn sorted_average_rates(&self) -> Vec<f64> {
-        let mut v: Vec<f64> = (0..self.orders.len()).map(|o| self.average_rate(o)).collect();
+        let mut v: Vec<f64> = (0..self.orders.len())
+            .map(|o| self.average_rate(o))
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).expect("miss rates are finite"));
         v
     }
@@ -217,11 +380,13 @@ impl OrderingStudy {
 
     /// Pareto-prunes order indices: keeps only orders not dominated by
     /// another order on every benchmark (ties broken toward the earlier
-    /// index, which also deduplicates identical rows).
+    /// index, which also deduplicates identical rows). Each candidate's
+    /// domination scan is an independent parallel task; the kept set is
+    /// assembled in index order, so the result matches the serial scan.
     pub fn pareto_order_indices(&self) -> Vec<usize> {
         let n = self.orders.len();
-        let mut keep = Vec::new();
-        'outer: for i in 0..n {
+        let indices: Vec<usize> = (0..n).collect();
+        let kept = bpfree_par::par_map(&indices, |&i| {
             for j in 0..n {
                 if i == j {
                     continue;
@@ -232,12 +397,12 @@ impl OrderingStudy {
                     .all(|(rj, ri)| rj <= ri)
                     && (self.rates[j] != self.rates[i] || j < i);
                 if dominates {
-                    continue 'outer;
+                    return false;
                 }
             }
-            keep.push(i);
-        }
-        keep
+            true
+        });
+        indices.into_iter().filter(|&i| kept[i]).collect()
     }
 
     /// The C(n, k) subset experiment: for every k-subset of benchmarks,
@@ -245,7 +410,12 @@ impl OrderingStudy {
     /// how often each order wins. Returns winners sorted by frequency
     /// (descending), with the overall (all-benchmark) mean rate attached.
     ///
-    /// Uses Pareto pruning; exact over all subsets.
+    /// Uses Pareto pruning; exact over all subsets. The combination
+    /// space is split into contiguous rank ranges enumerated
+    /// independently per worker with per-worker `wins` tallies summed at
+    /// the end — every subset's winner is scheduling-independent, so the
+    /// result is bit-identical to the serial enumeration at any thread
+    /// count.
     pub fn subset_experiment(&self, k: usize) -> Vec<CommonOrder> {
         let candidates = self.pareto_order_indices();
         let n = self.benches.len();
@@ -253,59 +423,52 @@ impl OrderingStudy {
         assert!(k <= n, "subset size {k} exceeds {n} benchmarks");
         // Candidate-major rate slices for cache-friendly scanning.
         let cand_rates: Vec<&[f64]> = candidates.iter().map(|&o| &self.rates[o][..]).collect();
-        let mut wins: Vec<u64> = vec![0; candidates.len()];
-        let mut trials = 0u64;
+        let trials = KSubsets::count(n, k);
 
-        // Enumerate k-subsets with the revolving-door successor.
-        let mut subset: Vec<usize> = (0..k).collect();
-        loop {
-            trials += 1;
-            let mut best = 0usize;
-            let mut best_rate = f64::INFINITY;
-            for (ci, rates) in cand_rates.iter().enumerate() {
-                let mut sum = 0.0;
-                for &b in &subset {
-                    sum += rates[b];
-                }
-                if sum < best_rate {
-                    best_rate = sum;
-                    best = ci;
-                }
-            }
-            wins[best] += 1;
-
-            // Next combination in lexicographic order.
-            let mut i = k;
-            loop {
-                if i == 0 {
-                    break;
-                }
-                i -= 1;
-                if subset[i] != i + n - k {
-                    subset[i] += 1;
-                    for j in i + 1..k {
-                        subset[j] = subset[j - 1] + 1;
+        let wins = bpfree_par::par_fold_chunks(
+            trials,
+            || vec![0u64; candidates.len()],
+            |range, mut wins| {
+                let len = range.end - range.start;
+                KSubsets::range(n, k, range.start, len).for_each_subset(|subset| {
+                    let mut best = 0usize;
+                    let mut best_rate = f64::INFINITY;
+                    for (ci, rates) in cand_rates.iter().enumerate() {
+                        let mut sum = 0.0;
+                        for &b in subset {
+                            sum += rates[b];
+                        }
+                        if sum < best_rate {
+                            best_rate = sum;
+                            best = ci;
+                        }
                     }
-                    break;
+                    wins[best] += 1;
+                });
+                wins
+            },
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
                 }
-                if i == 0 {
-                    // Finished all combinations.
-                    let mut out: Vec<CommonOrder> = candidates
-                        .iter()
-                        .zip(&wins)
-                        .filter(|(_, &w)| w > 0)
-                        .map(|(&o, &w)| CommonOrder {
-                            order: self.orders[o].iter().map(|k| k.label().into()).collect(),
-                            trials: w,
-                            trial_fraction: w as f64 / trials as f64,
-                            mean_miss_rate: self.average_rate(o),
-                        })
-                        .collect();
-                    out.sort_by_key(|w| std::cmp::Reverse(w.trials));
-                    return out;
-                }
-            }
-        }
+                a
+            },
+        )
+        .unwrap_or_else(|| vec![0u64; candidates.len()]);
+
+        let mut out: Vec<CommonOrder> = candidates
+            .iter()
+            .zip(&wins)
+            .filter(|(_, &w)| w > 0)
+            .map(|(&o, &w)| CommonOrder {
+                order: self.orders[o].iter().map(|k| k.label().into()).collect(),
+                trials: w,
+                trial_fraction: w as f64 / trials as f64,
+                mean_miss_rate: self.average_rate(o),
+            })
+            .collect();
+        out.sort_by_key(|w| std::cmp::Reverse(w.trials));
+        out
     }
 
     /// Monte-Carlo variant of [`OrderingStudy::subset_experiment`]:
@@ -356,9 +519,7 @@ impl OrderingStudy {
     /// The paper's cheaper pairwise construction: order heuristics by
     /// comparing each pair on the branches where both apply, then sort by
     /// net wins.
-    pub fn pairwise_order(
-        benches: &[(HeuristicTable, EdgeProfile, &BranchClassifier)],
-    ) -> Order {
+    pub fn pairwise_order(benches: &[(HeuristicTable, EdgeProfile, &BranchClassifier)]) -> Order {
         let mut score = [0i64; 7];
         for a in HeuristicKind::ALL {
             for b in HeuristicKind::ALL {
@@ -511,12 +672,17 @@ mod tests {
         // The global best must be on the front.
         let best = (0..5040)
             .min_by(|&a, &b| {
-                study.average_rate(a).partial_cmp(&study.average_rate(b)).unwrap()
+                study
+                    .average_rate(a)
+                    .partial_cmp(&study.average_rate(b))
+                    .unwrap()
             })
             .unwrap();
         let best_rate = study.average_rate(best);
         assert!(
-            front.iter().any(|&o| (study.average_rate(o) - best_rate).abs() < 1e-12),
+            front
+                .iter()
+                .any(|&o| (study.average_rate(o) - best_rate).abs() < 1e-12),
             "pareto front lost the best order"
         );
     }
@@ -563,6 +729,87 @@ mod tests {
         assert!((winners.iter().map(|w| w.trial_fraction).sum::<f64>() - 1.0).abs() < 1e-9);
         // Sorted descending.
         assert!(winners.windows(2).all(|w| w[0].trials >= w[1].trials));
+    }
+
+    #[test]
+    fn ksubsets_enumerates_lexicographically() {
+        let all: Vec<Vec<usize>> = KSubsets::all(5, 3).collect();
+        assert_eq!(all.len() as u64, KSubsets::count(5, 3));
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0], [0, 1, 2]);
+        assert_eq!(all[9], [2, 3, 4]);
+        // Strictly increasing within each subset, lexicographic across.
+        for s in &all {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "lexicographic order");
+        // Edge cases.
+        assert_eq!(
+            KSubsets::all(4, 0).collect::<Vec<_>>(),
+            [Vec::<usize>::new()]
+        );
+        assert_eq!(KSubsets::all(4, 4).collect::<Vec<_>>(), [vec![0, 1, 2, 3]]);
+        assert_eq!(KSubsets::count(22, 11), 705_432);
+        assert_eq!(KSubsets::count(3, 5), 0);
+    }
+
+    #[test]
+    fn ksubsets_ranges_reassemble_the_full_enumeration() {
+        let (n, k) = (9, 4);
+        let all: Vec<Vec<usize>> = KSubsets::all(n, k).collect();
+        let total = KSubsets::count(n, k);
+        for parts in [1usize, 2, 5, 126, 200] {
+            let mut reassembled = Vec::new();
+            for r in bpfree_par::split_ranges(total, parts) {
+                KSubsets::range(n, k, r.start, r.end - r.start)
+                    .for_each_subset(|s| reassembled.push(s.to_vec()));
+            }
+            assert_eq!(reassembled, all, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn subset_experiment_is_identical_at_any_job_count() {
+        let (d1, _, _) = bench_data("a", SRC);
+        let (d2, _, _) = bench_data(
+            "b",
+            "fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 25; i = i + 1) { if (i > 20) { s = s + 1; } }
+                return s;
+            }",
+        );
+        let (d3, _, _) = bench_data(
+            "c",
+            "global int g[4];
+            fn main() -> int {
+                int i;
+                for (i = 0; i < 16; i = i + 1) { if (i % 4 == 0) { g[1] = i; } }
+                return g[1];
+            }",
+        );
+        let study = OrderingStudy::new(vec![d1, d2, d3]);
+        let reference = study.subset_experiment(2);
+        // par_fold_chunks folds each contiguous range separately; the
+        // merged tallies (and so the sorted rows) must not depend on how
+        // many ranges there are. Exercise the splitting directly rather
+        // than via the process-global job override (tests run in
+        // parallel and must not race on it).
+        for parts in [1usize, 2, 3] {
+            let trials = KSubsets::count(3, 2);
+            let ranges = bpfree_par::split_ranges(trials, parts);
+            let mut tally = 0u64;
+            for r in &ranges {
+                KSubsets::range(3, 2, r.start, r.end - r.start).for_each_subset(|_| tally += 1);
+            }
+            assert_eq!(tally, trials, "parts={parts}");
+        }
+        let again = study.subset_experiment(2);
+        for (a, b) in reference.iter().zip(&again) {
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.trials, b.trials);
+            assert!((a.trial_fraction - b.trial_fraction).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -86,7 +86,9 @@ impl Predictions {
 
 impl FromIterator<(BranchRef, Direction)> for Predictions {
     fn from_iter<I: IntoIterator<Item = (BranchRef, Direction)>>(iter: I) -> Predictions {
-        Predictions { map: iter.into_iter().collect() }
+        Predictions {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -113,17 +115,29 @@ pub fn random_direction(branch: BranchRef, seed: u64) -> Direction {
 /// Always predict the target (taken) successor — the `Tgt` baseline of
 /// Table 2.
 pub fn taken_predictions(program: &Program) -> Predictions {
-    program.branches().into_iter().map(|b| (b, Direction::Taken)).collect()
+    program
+        .branches()
+        .into_iter()
+        .map(|b| (b, Direction::Taken))
+        .collect()
 }
 
 /// Always predict the fall-through successor.
 pub fn fallthru_predictions(program: &Program) -> Predictions {
-    program.branches().into_iter().map(|b| (b, Direction::FallThru)).collect()
+    program
+        .branches()
+        .into_iter()
+        .map(|b| (b, Direction::FallThru))
+        .collect()
 }
 
 /// Random prediction per branch — the `Rnd` baseline of Table 2.
 pub fn random_predictions(program: &Program, seed: u64) -> Predictions {
-    program.branches().into_iter().map(|b| (b, random_direction(b, seed))).collect()
+    program
+        .branches()
+        .into_iter()
+        .map(|b| (b, random_direction(b, seed)))
+        .collect()
 }
 
 /// The perfect static predictor: the majority direction from an edge
@@ -135,8 +149,11 @@ pub fn perfect_predictions(program: &Program, profile: &EdgeProfile) -> Predicti
         .into_iter()
         .map(|b| {
             let c = profile.counts(b);
-            let dir =
-                if c.taken_majority() { Direction::Taken } else { Direction::FallThru };
+            let dir = if c.taken_majority() {
+                Direction::Taken
+            } else {
+                Direction::FallThru
+            };
             (b, dir)
         })
         .collect()
@@ -151,8 +168,7 @@ pub fn btfnt_predictions(program: &Program) -> Predictions {
         .branches()
         .into_iter()
         .map(|b| {
-            let Terminator::Branch { taken, .. } = program.func(b.func).block(b.block).term
-            else {
+            let Terminator::Branch { taken, .. } = program.func(b.func).block(b.block).term else {
                 unreachable!("branches() yields only branch sites")
             };
             let dir = if taken.index() <= b.block.index() {
@@ -272,14 +288,17 @@ impl CombinedPredictor {
                             break;
                         }
                     }
-                    let (dir, attr) = chosen
-                        .unwrap_or_else(|| (random_direction(b, seed), Attribution::Default));
+                    let (dir, attr) =
+                        chosen.unwrap_or_else(|| (random_direction(b, seed), Attribution::Default));
                     predictions.set(b, dir);
                     attribution.insert(b, attr);
                 }
             }
         }
-        CombinedPredictor { predictions, attribution }
+        CombinedPredictor {
+            predictions,
+            attribution,
+        }
     }
 
     /// The complete prediction set (every branch site covered).
@@ -303,7 +322,10 @@ mod tests {
     use bpfree_ir::{BlockId, FuncId};
 
     fn br(f: u32, b: u32) -> BranchRef {
-        BranchRef { func: FuncId(f), block: BlockId(b) }
+        BranchRef {
+            func: FuncId(f),
+            block: BlockId(b),
+        }
     }
 
     #[test]
@@ -317,12 +339,12 @@ mod tests {
     fn random_direction_varies_with_seed_and_site() {
         // Over many sites, both directions must appear, and a different
         // seed must change at least one choice.
-        let dirs: Vec<Direction> =
-            (0..64).map(|i| random_direction(br(0, i), DEFAULT_SEED)).collect();
+        let dirs: Vec<Direction> = (0..64)
+            .map(|i| random_direction(br(0, i), DEFAULT_SEED))
+            .collect();
         assert!(dirs.contains(&Direction::Taken));
         assert!(dirs.contains(&Direction::FallThru));
-        let other: Vec<Direction> =
-            (0..64).map(|i| random_direction(br(0, i), 12345)).collect();
+        let other: Vec<Direction> = (0..64).map(|i| random_direction(br(0, i), 12345)).collect();
         assert_ne!(dirs, other);
     }
 

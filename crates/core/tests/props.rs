@@ -36,9 +36,7 @@ fn setup() -> (bpfree_ir::Program, BranchClassifier) {
 }
 
 /// A random profile over the program's branch sites.
-fn arb_profile(
-    branches: Vec<BranchRef>,
-) -> impl Strategy<Value = EdgeProfile> {
+fn arb_profile(branches: Vec<BranchRef>) -> impl Strategy<Value = EdgeProfile> {
     proptest::collection::vec((0u64..500, 0u64..500), branches.len()).prop_map(move |counts| {
         let mut prof = EdgeProfile::new();
         for (b, (t, f)) in branches.iter().zip(counts) {
@@ -59,7 +57,16 @@ fn arb_predictions(branches: Vec<BranchRef>) -> impl Strategy<Value = Prediction
         branches
             .iter()
             .zip(bits)
-            .map(|(b, t)| (*b, if t { Direction::Taken } else { Direction::FallThru }))
+            .map(|(b, t)| {
+                (
+                    *b,
+                    if t {
+                        Direction::Taken
+                    } else {
+                        Direction::FallThru
+                    },
+                )
+            })
             .collect()
     })
 }
@@ -174,8 +181,10 @@ proptest! {
 /// tables depend on it.
 #[test]
 fn paper_order_is_fixed() {
-    let labels: Vec<&str> =
-        HeuristicKind::paper_order().iter().map(|k| k.label()).collect();
+    let labels: Vec<&str> = HeuristicKind::paper_order()
+        .iter()
+        .map(|k| k.label())
+        .collect();
     assert_eq!(
         labels,
         vec!["Point", "Call", "Opcode", "Return", "Store", "Loop", "Guard"]

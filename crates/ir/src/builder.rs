@@ -202,9 +202,21 @@ mod tests {
     fn unterminated_block_is_an_error() {
         let mut b = FunctionBuilder::new("f");
         let _ = b.new_block();
-        b.set_term(b.entry(), Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            b.entry(),
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         let err = b.finish().unwrap_err();
-        assert_eq!(err, BuildError::UnterminatedBlock { func: "f".into(), block: BlockId(1) });
+        assert_eq!(
+            err,
+            BuildError::UnterminatedBlock {
+                func: "f".into(),
+                block: BlockId(1)
+            }
+        );
         assert!(err.to_string().contains("L1"));
     }
 
@@ -213,8 +225,20 @@ mod tests {
     fn push_after_terminate_panics() {
         let mut b = FunctionBuilder::new("f");
         let e = b.entry();
-        b.set_term(e, Terminator::Ret { val: None, fval: None });
-        b.push(e, Instr::Li { rd: Reg::temp(0), imm: 0 });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
+        b.push(
+            e,
+            Instr::Li {
+                rd: Reg::temp(0),
+                imm: 0,
+            },
+        );
     }
 
     #[test]
@@ -226,7 +250,13 @@ mod tests {
         assert_ne!(p0, p1);
         assert_eq!(fp, FReg(0));
         let e = b.entry();
-        b.set_term(e, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         let f = b.finish().unwrap();
         assert_eq!(f.params(), &[p0, p1]);
         assert_eq!(f.fparams(), &[fp]);
@@ -238,7 +268,13 @@ mod tests {
         assert_eq!(b.reserve_frame(10), 0);
         assert_eq!(b.reserve_frame(5), 10);
         let e = b.entry();
-        b.set_term(e, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         assert_eq!(b.finish().unwrap().frame_words(), 15);
     }
 
@@ -250,10 +286,23 @@ mod tests {
         let r = b.new_block();
         let j = b.new_block();
         let c = b.new_reg();
-        b.set_term(e, Terminator::Branch { cond: Cond::Nez(c), taken: l, fallthru: r });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(c),
+                taken: l,
+                fallthru: r,
+            },
+        );
         b.set_term(l, Terminator::Jump(j));
         b.set_term(r, Terminator::Jump(j));
-        b.set_term(j, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            j,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         let f = b.finish().unwrap();
         assert_eq!(f.blocks().len(), 4);
         assert_eq!(f.block(BlockId(0)).term.successors(), vec![l, r]);

@@ -69,7 +69,13 @@ impl fmt::Display for Instr {
             Instr::LoadF { fd, base, offset } => write!(f, "l.d {fd}, {offset}({base})"),
             Instr::StoreF { fs, base, offset } => write!(f, "s.d {fs}, {offset}({base})"),
             Instr::Alloc { rd, size } => write!(f, "alloc {rd}, {size}"),
-            Instr::Call { callee, args, fargs, ret, fret } => {
+            Instr::Call {
+                callee,
+                args,
+                fargs,
+                ret,
+                fret,
+            } => {
                 write!(f, "call {callee}(")?;
                 let mut first = true;
                 for a in args {
@@ -119,13 +125,29 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Jump(t) => write!(f, "j {t}"),
-            Terminator::Branch { cond, taken, fallthru } => {
+            Terminator::Branch {
+                cond,
+                taken,
+                fallthru,
+            } => {
                 write!(f, "{cond}, {taken} (else {fallthru})")
             }
-            Terminator::Ret { val: Some(r), fval: None } => write!(f, "ret {r}"),
-            Terminator::Ret { val: None, fval: Some(r) } => write!(f, "ret {r}"),
-            Terminator::Ret { val: Some(r), fval: Some(fr) } => write!(f, "ret {r}, {fr}"),
-            Terminator::Ret { val: None, fval: None } => write!(f, "ret"),
+            Terminator::Ret {
+                val: Some(r),
+                fval: None,
+            } => write!(f, "ret {r}"),
+            Terminator::Ret {
+                val: None,
+                fval: Some(r),
+            } => write!(f, "ret {r}"),
+            Terminator::Ret {
+                val: Some(r),
+                fval: Some(fr),
+            } => write!(f, "ret {r}, {fr}"),
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            } => write!(f, "ret"),
         }
     }
 }
@@ -197,9 +219,17 @@ mod tests {
 
     #[test]
     fn instr_display_is_assembly_like() {
-        let i = Instr::Load { rd: Reg::temp(0), base: Reg::GP, offset: 12 };
+        let i = Instr::Load {
+            rd: Reg::temp(0),
+            base: Reg::GP,
+            offset: 12,
+        };
         assert_eq!(i.to_string(), "lw $r0, 12($gp)");
-        let i = Instr::CmpF { cmp: FCmp::Eq, fs: FReg(0), ft: FReg(1) };
+        let i = Instr::CmpF {
+            cmp: FCmp::Eq,
+            fs: FReg(0),
+            ft: FReg(1),
+        };
         assert_eq!(i.to_string(), "c.eq.d $f0, $f1");
     }
 
@@ -209,7 +239,13 @@ mod tests {
         let e = b.entry();
         let x = b.new_block();
         b.set_term(e, Terminator::Jump(x));
-        b.set_term(x, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            x,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         let s = b.finish().unwrap().to_string();
         assert!(s.contains("L0:"));
         assert!(s.contains("L1:"));

@@ -75,7 +75,15 @@ impl Function {
         n_fregs: u32,
         frame_words: i64,
     ) -> Function {
-        Function { name, blocks, params, fparams, n_regs, n_fregs, frame_words }
+        Function {
+            name,
+            blocks,
+            params,
+            fparams,
+            n_regs,
+            n_fregs,
+            frame_words,
+        }
     }
 
     /// The function's name.
@@ -155,7 +163,15 @@ impl Function {
         n_fregs: u32,
         frame_words: i64,
     ) -> Function {
-        Function { name, blocks, params, fparams, n_regs, n_fregs, frame_words }
+        Function {
+            name,
+            blocks,
+            params,
+            fparams,
+            n_regs,
+            n_fregs,
+            frame_words,
+        }
     }
 
     /// An owned copy of the blocks (for transformation passes).
@@ -250,7 +266,12 @@ impl Program {
             .position(|f| f.name() == "main")
             .map(|i| FuncId(i as u32))
             .unwrap_or(FuncId(0));
-        let p = Program { funcs, entry, globals_words, symbols: HashMap::new() };
+        let p = Program {
+            funcs,
+            entry,
+            globals_words,
+            symbols: HashMap::new(),
+        };
         p.validate()?;
         Ok(p)
     }
@@ -318,7 +339,10 @@ impl Program {
         for fid in self.func_ids() {
             for bid in self.func(fid).block_ids() {
                 if self.func(fid).block(bid).term.is_branch() {
-                    out.push(BranchRef { func: fid, block: bid });
+                    out.push(BranchRef {
+                        func: fid,
+                        block: bid,
+                    });
                 }
             }
         }
@@ -398,7 +422,13 @@ mod tests {
     fn trivial(name: &str) -> Function {
         let mut b = FunctionBuilder::new(name);
         let e = b.entry();
-        b.set_term(e, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         b.finish().unwrap()
     }
 
@@ -426,8 +456,18 @@ mod tests {
     fn global_out_of_range_rejected() {
         let mut pb = ProgramBuilder::new();
         pb.add_function(trivial("main"));
-        pb.add_global("g", GlobalSym { offset: 5, len: 10, is_float: false });
-        assert!(matches!(pb.finish(8), Err(ValidateError::GlobalOutOfRange { .. })));
+        pb.add_global(
+            "g",
+            GlobalSym {
+                offset: 5,
+                len: 10,
+                is_float: false,
+            },
+        );
+        assert!(matches!(
+            pb.finish(8),
+            Err(ValidateError::GlobalOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -439,13 +479,38 @@ mod tests {
         let f = b.new_block();
         let r = b.new_reg();
         b.push(e, Instr::Li { rd: r, imm: 1 });
-        b.set_term(e, Terminator::Branch { cond: Cond::Gtz(r), taken: t, fallthru: f });
-        b.set_term(t, Terminator::Ret { val: None, fval: None });
-        b.set_term(f, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Gtz(r),
+                taken: t,
+                fallthru: f,
+            },
+        );
+        b.set_term(
+            t,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
+        b.set_term(
+            f,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         let p = Program::new(vec![b.finish().unwrap()], 0).unwrap();
         let brs = p.branches();
         assert_eq!(brs.len(), 1);
-        assert_eq!(brs[0], BranchRef { func: FuncId(0), block: BlockId(0) });
+        assert_eq!(
+            brs[0],
+            BranchRef {
+                func: FuncId(0),
+                block: BlockId(0)
+            }
+        );
     }
 
     #[test]

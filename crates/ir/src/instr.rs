@@ -83,15 +83,30 @@ pub enum Instr {
     /// `rd <- rs`
     Move { rd: Reg, rs: Reg },
     /// `rd <- rs <op> rt`
-    Bin { op: BinOp, rd: Reg, rs: Reg, rt: Reg },
+    Bin {
+        op: BinOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `rd <- rs <op> imm`
-    BinImm { op: BinOp, rd: Reg, rs: Reg, imm: i64 },
+    BinImm {
+        op: BinOp,
+        rd: Reg,
+        rs: Reg,
+        imm: i64,
+    },
     /// `fd <- imm`
     LiF { fd: FReg, imm: f64 },
     /// `fd <- fs`
     MoveF { fd: FReg, fs: FReg },
     /// `fd <- fs <op> ft`
-    BinF { op: FBinOp, fd: FReg, fs: FReg, ft: FReg },
+    BinF {
+        op: FBinOp,
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+    },
     /// `fd <- (f64) rs`
     CvtIF { fd: FReg, rs: Reg },
     /// `rd <- (i64) fs` (truncating; saturates at the `i64` range)
@@ -283,7 +298,11 @@ impl Cond {
     /// Integer registers this condition reads.
     pub fn uses(&self) -> Vec<Reg> {
         match *self {
-            Cond::Eqz(r) | Cond::Nez(r) | Cond::Lez(r) | Cond::Ltz(r) | Cond::Gez(r)
+            Cond::Eqz(r)
+            | Cond::Nez(r)
+            | Cond::Lez(r)
+            | Cond::Ltz(r)
+            | Cond::Gez(r)
             | Cond::Gtz(r) => vec![r],
             Cond::Eq(a, b) | Cond::Ne(a, b) => vec![a, b],
             Cond::FTrue | Cond::FFalse => vec![],
@@ -333,7 +352,10 @@ pub enum Terminator {
         fallthru: BlockId,
     },
     /// Procedure return with an optional integer and/or float result.
-    Ret { val: Option<Reg>, fval: Option<FReg> },
+    Ret {
+        val: Option<Reg>,
+        fval: Option<FReg>,
+    },
 }
 
 impl Terminator {
@@ -341,7 +363,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { taken, fallthru, .. } => vec![*taken, *fallthru],
+            Terminator::Branch {
+                taken, fallthru, ..
+            } => vec![*taken, *fallthru],
             Terminator::Ret { .. } => vec![],
         }
     }
@@ -365,7 +389,12 @@ mod tests {
     fn def_use_cover_basic_instrs() {
         let r0 = Reg::temp(0);
         let r1 = Reg::temp(1);
-        let i = Instr::Bin { op: BinOp::Add, rd: r0, rs: r1, rt: Reg::GP };
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            rd: r0,
+            rs: r1,
+            rt: Reg::GP,
+        };
         assert_eq!(i.def(), Some(r0));
         assert_eq!(i.uses(), vec![r1, Reg::GP]);
         assert_eq!(i.fdef(), None);
@@ -374,7 +403,11 @@ mod tests {
 
     #[test]
     fn store_has_no_def() {
-        let i = Instr::Store { rs: Reg::temp(0), base: Reg::SP, offset: 4 };
+        let i = Instr::Store {
+            rs: Reg::temp(0),
+            base: Reg::SP,
+            offset: 4,
+        };
         assert_eq!(i.def(), None);
         assert!(i.is_store());
         assert!(!i.is_load());
@@ -425,6 +458,11 @@ mod tests {
         };
         assert_eq!(t.successors(), vec![BlockId(4), BlockId(5)]);
         assert!(t.is_branch());
-        assert!(Terminator::Ret { val: None, fval: None }.successors().is_empty());
+        assert!(Terminator::Ret {
+            val: None,
+            fval: None
+        }
+        .successors()
+        .is_empty());
     }
 }

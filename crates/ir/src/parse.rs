@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::function::{FuncId, GlobalSym, Program, ProgramBuilder};
 use crate::builder::FunctionBuilder;
+use crate::function::{FuncId, GlobalSym, Program, ProgramBuilder};
 use crate::instr::{BinOp, BlockId, Cond, FBinOp, FCmp, Instr, Terminator};
 use crate::reg::{FReg, Reg};
 
@@ -60,7 +60,10 @@ struct Parser<'a> {
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 impl<'a> Parser<'a> {
@@ -92,9 +95,10 @@ impl<'a> Parser<'a> {
         while let Some((ln, line)) = self.peek() {
             if let Some(rest) = line.strip_prefix("; globals:") {
                 let words = rest.trim().trim_end_matches("words").trim();
-                globals_words = words
-                    .parse()
-                    .map_err(|e| ParseError { line: ln, message: format!("bad globals: {e}") })?;
+                globals_words = words.parse().map_err(|e| ParseError {
+                    line: ln,
+                    message: format!("bad globals: {e}"),
+                })?;
                 self.bump();
             } else if let Some(rest) = line.strip_prefix("; global ") {
                 symbols.push(parse_symbol(ln, rest)?);
@@ -108,14 +112,19 @@ impl<'a> Parser<'a> {
             } else if line.starts_with(';') {
                 self.bump();
             } else {
-                return err(ln, format!("expected a function or comment, found `{line}`"));
+                return err(
+                    ln,
+                    format!("expected a function or comment, found `{line}`"),
+                );
             }
         }
         for (name, sym) in symbols {
             pb.add_global(name, sym);
         }
-        pb.finish(globals_words)
-            .map_err(|e| ParseError { line: 0, message: format!("invalid program: {e}") })
+        pb.finish(globals_words).map_err(|e| ParseError {
+            line: 0,
+            message: format!("invalid program: {e}"),
+        })
     }
 
     fn function(&mut self) -> Result<crate::function::Function, ParseError> {
@@ -147,7 +156,10 @@ impl<'a> Parser<'a> {
                 frame = v
                     .trim_end_matches(" words")
                     .parse()
-                    .map_err(|e| ParseError { line: ln, message: format!("bad frame: {e}") })?;
+                    .map_err(|e| ParseError {
+                        line: ln,
+                        message: format!("bad frame: {e}"),
+                    })?;
             } else if let Some(v) = part.strip_prefix("regs=") {
                 let (r, fr) = v.split_once('/').ok_or_else(|| ParseError {
                     line: ln,
@@ -178,7 +190,11 @@ impl<'a> Parser<'a> {
 
         let mut b = FunctionBuilder::new(name);
         // Parameters in header order.
-        for p in params_text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        for p in params_text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
             if p.starts_with("$f") {
                 b.add_fparam();
             } else {
@@ -229,18 +245,26 @@ impl<'a> Parser<'a> {
                 let id: u32 = label
                     .strip_prefix('L')
                     .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ParseError { line: ln, message: format!("bad label {label}") })?;
+                    .ok_or_else(|| ParseError {
+                        line: ln,
+                        message: format!("bad label {label}"),
+                    })?;
                 current = Some(BlockId(id));
                 continue;
             }
-            let blk = current
-                .ok_or_else(|| ParseError { line: ln, message: "instruction before label".into() })?;
+            let blk = current.ok_or_else(|| ParseError {
+                line: ln,
+                message: "instruction before label".into(),
+            })?;
             match parse_line(ln, line)? {
                 Line::Instr(i) => b.push(blk, i),
                 Line::Term(t) => b.set_term(blk, t),
             }
         }
-        b.finish().map_err(|e| ParseError { line: ln, message: e.to_string() })
+        b.finish().map_err(|e| ParseError {
+            line: ln,
+            message: e.to_string(),
+        })
     }
 }
 
@@ -250,28 +274,42 @@ fn is_block_label(line: &str) -> bool {
 
 fn parse_symbol(ln: usize, rest: &str) -> Result<(String, GlobalSym), ParseError> {
     // name: [lo..hi) kind
-    let (name, spec) = rest
-        .split_once(':')
-        .ok_or_else(|| ParseError { line: ln, message: "bad global line".into() })?;
+    let (name, spec) = rest.split_once(':').ok_or_else(|| ParseError {
+        line: ln,
+        message: "bad global line".into(),
+    })?;
     let spec = spec.trim();
-    let (range, kind) = spec
-        .rsplit_once(' ')
-        .ok_or_else(|| ParseError { line: ln, message: "bad global spec".into() })?;
+    let (range, kind) = spec.rsplit_once(' ').ok_or_else(|| ParseError {
+        line: ln,
+        message: "bad global spec".into(),
+    })?;
     let range = range
         .trim()
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(')'))
-        .ok_or_else(|| ParseError { line: ln, message: "bad global range".into() })?;
-    let (lo, hi) = range
-        .split_once("..")
-        .ok_or_else(|| ParseError { line: ln, message: "bad global range".into() })?;
-    let lo: i64 =
-        lo.parse().map_err(|e| ParseError { line: ln, message: format!("bad offset: {e}") })?;
-    let hi: i64 =
-        hi.parse().map_err(|e| ParseError { line: ln, message: format!("bad extent: {e}") })?;
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: "bad global range".into(),
+        })?;
+    let (lo, hi) = range.split_once("..").ok_or_else(|| ParseError {
+        line: ln,
+        message: "bad global range".into(),
+    })?;
+    let lo: i64 = lo.parse().map_err(|e| ParseError {
+        line: ln,
+        message: format!("bad offset: {e}"),
+    })?;
+    let hi: i64 = hi.parse().map_err(|e| ParseError {
+        line: ln,
+        message: format!("bad extent: {e}"),
+    })?;
     Ok((
         name.trim().to_string(),
-        GlobalSym { offset: lo, len: hi - lo, is_float: kind.trim() == "float" },
+        GlobalSym {
+            offset: lo,
+            len: hi - lo,
+            is_float: kind.trim() == "float",
+        },
     ))
 }
 
@@ -290,7 +328,10 @@ fn reg(ln: usize, s: &str) -> Result<Reg, ParseError> {
             .strip_prefix("$r")
             .and_then(|n| n.parse::<u32>().ok())
             .map(Reg::temp)
-            .ok_or_else(|| ParseError { line: ln, message: format!("bad register `{s}`") }),
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad register `{s}`"),
+            }),
     }
 }
 
@@ -299,21 +340,30 @@ fn freg(ln: usize, s: &str) -> Result<FReg, ParseError> {
     s.strip_prefix("$f")
         .and_then(|n| n.parse::<u32>().ok())
         .map(FReg)
-        .ok_or_else(|| ParseError { line: ln, message: format!("bad float register `{s}`") })
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("bad float register `{s}`"),
+        })
 }
 
 fn imm(ln: usize, s: &str) -> Result<i64, ParseError> {
     s.trim()
         .trim_end_matches(',')
         .parse()
-        .map_err(|e| ParseError { line: ln, message: format!("bad immediate `{s}`: {e}") })
+        .map_err(|e| ParseError {
+            line: ln,
+            message: format!("bad immediate `{s}`: {e}"),
+        })
 }
 
 fn fimm(ln: usize, s: &str) -> Result<f64, ParseError> {
     s.trim()
         .trim_end_matches(',')
         .parse()
-        .map_err(|e| ParseError { line: ln, message: format!("bad float literal `{s}`: {e}") })
+        .map_err(|e| ParseError {
+            line: ln,
+            message: format!("bad float literal `{s}`: {e}"),
+        })
 }
 
 fn block_id(ln: usize, s: &str) -> Result<BlockId, ParseError> {
@@ -322,15 +372,19 @@ fn block_id(ln: usize, s: &str) -> Result<BlockId, ParseError> {
         .strip_prefix('L')
         .and_then(|n| n.parse::<u32>().ok())
         .map(BlockId)
-        .ok_or_else(|| ParseError { line: ln, message: format!("bad block `{s}`") })
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("bad block `{s}`"),
+        })
 }
 
 /// `off(base)` operands.
 fn mem(ln: usize, s: &str) -> Result<(Reg, i64), ParseError> {
     let s = s.trim();
-    let open = s
-        .find('(')
-        .ok_or_else(|| ParseError { line: ln, message: format!("bad address `{s}`") })?;
+    let open = s.find('(').ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("bad address `{s}`"),
+    })?;
     let offset = imm(ln, &s[..open])?;
     let base = reg(ln, s[open + 1..].trim_end_matches(')'))?;
     Ok((base, offset))
@@ -368,7 +422,11 @@ fn binop_from(op: &str) -> Option<(BinOp, bool)> {
 fn parse_line(ln: usize, line: &str) -> Result<Line, ParseError> {
     let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
     let op = op.trim_end_matches(',');
-    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let args: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let need = |n: usize| -> Result<(), ParseError> {
         if args.len() == n {
             Ok(())
@@ -379,19 +437,31 @@ fn parse_line(ln: usize, line: &str) -> Result<Line, ParseError> {
     let i = match op {
         "li" => {
             need(2)?;
-            Instr::Li { rd: reg(ln, args[0])?, imm: imm(ln, args[1])? }
+            Instr::Li {
+                rd: reg(ln, args[0])?,
+                imm: imm(ln, args[1])?,
+            }
         }
         "move" => {
             need(2)?;
-            Instr::Move { rd: reg(ln, args[0])?, rs: reg(ln, args[1])? }
+            Instr::Move {
+                rd: reg(ln, args[0])?,
+                rs: reg(ln, args[1])?,
+            }
         }
         "li.d" => {
             need(2)?;
-            Instr::LiF { fd: freg(ln, args[0])?, imm: fimm(ln, args[1])? }
+            Instr::LiF {
+                fd: freg(ln, args[0])?,
+                imm: fimm(ln, args[1])?,
+            }
         }
         "mov.d" => {
             need(2)?;
-            Instr::MoveF { fd: freg(ln, args[0])?, fs: freg(ln, args[1])? }
+            Instr::MoveF {
+                fd: freg(ln, args[0])?,
+                fs: freg(ln, args[1])?,
+            }
         }
         "add.d" | "sub.d" | "mul.d" | "div.d" => {
             need(3)?;
@@ -410,11 +480,17 @@ fn parse_line(ln: usize, line: &str) -> Result<Line, ParseError> {
         }
         "cvt.d.w" => {
             need(2)?;
-            Instr::CvtIF { fd: freg(ln, args[0])?, rs: reg(ln, args[1])? }
+            Instr::CvtIF {
+                fd: freg(ln, args[0])?,
+                rs: reg(ln, args[1])?,
+            }
         }
         "cvt.w.d" => {
             need(2)?;
-            Instr::CvtFI { rd: reg(ln, args[0])?, fs: freg(ln, args[1])? }
+            Instr::CvtFI {
+                rd: reg(ln, args[0])?,
+                fs: freg(ln, args[1])?,
+            }
         }
         "c.eq.d" | "c.lt.d" | "c.le.d" => {
             need(2)?;
@@ -423,31 +499,54 @@ fn parse_line(ln: usize, line: &str) -> Result<Line, ParseError> {
                 "c.lt.d" => FCmp::Lt,
                 _ => FCmp::Le,
             };
-            Instr::CmpF { cmp, fs: freg(ln, args[0])?, ft: freg(ln, args[1])? }
+            Instr::CmpF {
+                cmp,
+                fs: freg(ln, args[0])?,
+                ft: freg(ln, args[1])?,
+            }
         }
         "lw" => {
             need(2)?;
             let (base, offset) = mem(ln, args[1])?;
-            Instr::Load { rd: reg(ln, args[0])?, base, offset }
+            Instr::Load {
+                rd: reg(ln, args[0])?,
+                base,
+                offset,
+            }
         }
         "sw" => {
             need(2)?;
             let (base, offset) = mem(ln, args[1])?;
-            Instr::Store { rs: reg(ln, args[0])?, base, offset }
+            Instr::Store {
+                rs: reg(ln, args[0])?,
+                base,
+                offset,
+            }
         }
         "l.d" => {
             need(2)?;
             let (base, offset) = mem(ln, args[1])?;
-            Instr::LoadF { fd: freg(ln, args[0])?, base, offset }
+            Instr::LoadF {
+                fd: freg(ln, args[0])?,
+                base,
+                offset,
+            }
         }
         "s.d" => {
             need(2)?;
             let (base, offset) = mem(ln, args[1])?;
-            Instr::StoreF { fs: freg(ln, args[0])?, base, offset }
+            Instr::StoreF {
+                fs: freg(ln, args[0])?,
+                base,
+                offset,
+            }
         }
         "alloc" => {
             need(2)?;
-            Instr::Alloc { rd: reg(ln, args[0])?, size: reg(ln, args[1])? }
+            Instr::Alloc {
+                rd: reg(ln, args[0])?,
+                size: reg(ln, args[1])?,
+            }
         }
         "call" => return parse_call(ln, rest),
         "j" => {
@@ -497,11 +596,16 @@ fn parse_line(ln: usize, line: &str) -> Result<Line, ParseError> {
 
 /// `bxx ..., Lk (else Lm)` terminators.
 fn parse_branch(ln: usize, op: &str, rest: &str) -> Result<Line, ParseError> {
-    let (main, else_part) = rest
-        .split_once("(else ")
-        .ok_or_else(|| ParseError { line: ln, message: "branch missing (else ...)".into() })?;
+    let (main, else_part) = rest.split_once("(else ").ok_or_else(|| ParseError {
+        line: ln,
+        message: "branch missing (else ...)".into(),
+    })?;
     let fallthru = block_id(ln, else_part.trim_end_matches(')'))?;
-    let parts: Vec<&str> = main.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let parts: Vec<&str> = main
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let (cond, taken) = match op {
         "beqz" | "bnez" | "blez" | "bltz" | "bgez" | "bgtz" => {
             if parts.len() != 2 {
@@ -524,41 +628,59 @@ fn parse_branch(ln: usize, op: &str, rest: &str) -> Result<Line, ParseError> {
             }
             let a = reg(ln, parts[0])?;
             let b = reg(ln, parts[1])?;
-            let c = if op == "beq" { Cond::Eq(a, b) } else { Cond::Ne(a, b) };
+            let c = if op == "beq" {
+                Cond::Eq(a, b)
+            } else {
+                Cond::Ne(a, b)
+            };
             (c, block_id(ln, parts[2])?)
         }
         "bc1t" | "bc1f" => {
             if parts.len() != 1 {
                 return err(ln, format!("`{op}` needs a target"));
             }
-            let c = if op == "bc1t" { Cond::FTrue } else { Cond::FFalse };
+            let c = if op == "bc1t" {
+                Cond::FTrue
+            } else {
+                Cond::FFalse
+            };
             (c, block_id(ln, parts[0])?)
         }
         other => return err(ln, format!("unknown branch `{other}`")),
     };
-    Ok(Line::Term(Terminator::Branch { cond, taken, fallthru }))
+    Ok(Line::Term(Terminator::Branch {
+        cond,
+        taken,
+        fallthru,
+    }))
 }
 
 /// `call @k(args) -> rets`
 fn parse_call(ln: usize, rest: &str) -> Result<Line, ParseError> {
     let rest = rest.trim();
-    let at = rest
-        .strip_prefix('@')
-        .ok_or_else(|| ParseError { line: ln, message: "call needs @id".into() })?;
-    let open = at
-        .find('(')
-        .ok_or_else(|| ParseError { line: ln, message: "call needs (args)".into() })?;
-    let callee = FuncId(
-        at[..open]
-            .parse()
-            .map_err(|e| ParseError { line: ln, message: format!("bad callee: {e}") })?,
-    );
-    let close = at
-        .find(')')
-        .ok_or_else(|| ParseError { line: ln, message: "call missing )".into() })?;
+    let at = rest.strip_prefix('@').ok_or_else(|| ParseError {
+        line: ln,
+        message: "call needs @id".into(),
+    })?;
+    let open = at.find('(').ok_or_else(|| ParseError {
+        line: ln,
+        message: "call needs (args)".into(),
+    })?;
+    let callee = FuncId(at[..open].parse().map_err(|e| ParseError {
+        line: ln,
+        message: format!("bad callee: {e}"),
+    })?);
+    let close = at.find(')').ok_or_else(|| ParseError {
+        line: ln,
+        message: "call missing )".into(),
+    })?;
     let mut args = Vec::new();
     let mut fargs = Vec::new();
-    for a in at[open + 1..close].split(',').map(str::trim).filter(|s| !s.is_empty()) {
+    for a in at[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
         if a.starts_with("$f") {
             fargs.push(freg(ln, a)?);
         } else {
@@ -576,7 +698,13 @@ fn parse_call(ln: usize, rest: &str) -> Result<Line, ParseError> {
             }
         }
     }
-    Ok(Line::Instr(Instr::Call { callee, args, fargs, ret, fret }))
+    Ok(Line::Instr(Instr::Call {
+        callee,
+        args,
+        fargs,
+        ret,
+        fret,
+    }))
 }
 
 /// Collected symbols become the program's table; re-exported here so the
@@ -590,7 +718,8 @@ mod tests {
 
     #[test]
     fn parses_a_minimal_function() {
-        let text = "; globals: 0 words\nfn main() [frame=0 words]\nL0:\n    li $r0, 42\n    ret $r0\n";
+        let text =
+            "; globals: 0 words\nfn main() [frame=0 words]\nL0:\n    li $r0, 42\n    ret $r0\n";
         let p = parse_program(text).unwrap();
         assert_eq!(p.funcs().len(), 1);
         assert_eq!(p.func(FuncId(0)).block(BlockId(0)).instrs.len(), 1);

@@ -12,12 +12,20 @@ pub enum ValidateError {
     /// A function must contain at least one block.
     EmptyFunction { func: String },
     /// A terminator names a block outside the function.
-    BadBlockTarget { func: String, block: BlockId, target: BlockId },
+    BadBlockTarget {
+        func: String,
+        block: BlockId,
+        target: BlockId,
+    },
     /// A conditional branch whose two successors are the same block is a
     /// degenerate branch the prediction framework cannot score.
     DegenerateBranch { func: String, block: BlockId },
     /// A call names a function id outside the program.
-    BadCallee { func: String, block: BlockId, callee: FuncId },
+    BadCallee {
+        func: String,
+        block: BlockId,
+        callee: FuncId,
+    },
     /// A call passes the wrong number of arguments.
     ArityMismatch {
         func: String,
@@ -27,11 +35,24 @@ pub enum ValidateError {
         got: (usize, usize),
     },
     /// An instruction names an integer register beyond the declared count.
-    BadReg { func: String, block: BlockId, reg: Reg },
+    BadReg {
+        func: String,
+        block: BlockId,
+        reg: Reg,
+    },
     /// An instruction names a float register beyond the declared count.
-    BadFReg { func: String, block: BlockId, reg: FReg },
+    BadFReg {
+        func: String,
+        block: BlockId,
+        reg: FReg,
+    },
     /// A named global lies outside the global region.
-    GlobalOutOfRange { name: String, offset: i64, len: i64, globals_words: i64 },
+    GlobalOutOfRange {
+        name: String,
+        offset: i64,
+        len: i64,
+        globals_words: i64,
+    },
     /// A negative stack frame size.
     NegativeFrame { func: String, frame_words: i64 },
 }
@@ -43,27 +64,61 @@ impl fmt::Display for ValidateError {
             ValidateError::EmptyFunction { func } => {
                 write!(f, "function `{func}` has no blocks")
             }
-            ValidateError::BadBlockTarget { func, block, target } => {
-                write!(f, "function `{func}`: block {block} targets nonexistent {target}")
+            ValidateError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => {
+                write!(
+                    f,
+                    "function `{func}`: block {block} targets nonexistent {target}"
+                )
             }
             ValidateError::DegenerateBranch { func, block } => {
-                write!(f, "function `{func}`: block {block} branches to one target twice")
+                write!(
+                    f,
+                    "function `{func}`: block {block} branches to one target twice"
+                )
             }
-            ValidateError::BadCallee { func, block, callee } => {
-                write!(f, "function `{func}`: block {block} calls nonexistent {callee}")
+            ValidateError::BadCallee {
+                func,
+                block,
+                callee,
+            } => {
+                write!(
+                    f,
+                    "function `{func}`: block {block} calls nonexistent {callee}"
+                )
             }
-            ValidateError::ArityMismatch { func, block, callee, expected, got } => write!(
+            ValidateError::ArityMismatch {
+                func,
+                block,
+                callee,
+                expected,
+                got,
+            } => write!(
                 f,
                 "function `{func}`: block {block} calls `{callee}` with {}+{} args, expected {}+{}",
                 got.0, got.1, expected.0, expected.1
             ),
             ValidateError::BadReg { func, block, reg } => {
-                write!(f, "function `{func}`: block {block} uses undeclared register {reg}")
+                write!(
+                    f,
+                    "function `{func}`: block {block} uses undeclared register {reg}"
+                )
             }
             ValidateError::BadFReg { func, block, reg } => {
-                write!(f, "function `{func}`: block {block} uses undeclared register {reg}")
+                write!(
+                    f,
+                    "function `{func}`: block {block} uses undeclared register {reg}"
+                )
             }
-            ValidateError::GlobalOutOfRange { name, offset, len, globals_words } => write!(
+            ValidateError::GlobalOutOfRange {
+                name,
+                offset,
+                len,
+                globals_words,
+            } => write!(
                 f,
                 "global `{name}` at [{offset}, {}) exceeds the {globals_words}-word region",
                 offset + len
@@ -122,7 +177,11 @@ impl Program {
                         });
                     }
                 }
-                Terminator::Branch { cond, taken, fallthru } => {
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthru,
+                } => {
                     for t in [taken, fallthru] {
                         if t.0 >= n_blocks {
                             return Err(ValidateError::BadBlockTarget {
@@ -167,7 +226,13 @@ impl Program {
         for r in instr.fuses().into_iter().chain(instr.fdef()) {
             check_freg(func, bid, r)?;
         }
-        if let Instr::Call { callee, args, fargs, .. } = instr {
+        if let Instr::Call {
+            callee,
+            args,
+            fargs,
+            ..
+        } = instr
+        {
             if callee.0 as usize >= self.funcs().len() {
                 return Err(ValidateError::BadCallee {
                     func: func.name().into(),
@@ -194,14 +259,22 @@ impl Program {
 
 fn check_reg(func: &Function, bid: BlockId, r: Reg) -> Result<(), ValidateError> {
     if r.0 >= func.n_regs() && !r.is_special() {
-        return Err(ValidateError::BadReg { func: func.name().into(), block: bid, reg: r });
+        return Err(ValidateError::BadReg {
+            func: func.name().into(),
+            block: bid,
+            reg: r,
+        });
     }
     Ok(())
 }
 
 fn check_freg(func: &Function, bid: BlockId, r: FReg) -> Result<(), ValidateError> {
     if r.0 >= func.n_fregs() {
-        return Err(ValidateError::BadFReg { func: func.name().into(), block: bid, reg: r });
+        return Err(ValidateError::BadFReg {
+            func: func.name().into(),
+            block: bid,
+            reg: r,
+        });
     }
     Ok(())
 }
@@ -213,12 +286,18 @@ mod tests {
     use crate::instr::Cond;
 
     fn ret() -> Terminator {
-        Terminator::Ret { val: None, fval: None }
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
     }
 
     #[test]
     fn empty_program_rejected() {
-        assert_eq!(Program::new(vec![], 0).unwrap_err(), ValidateError::EmptyProgram);
+        assert_eq!(
+            Program::new(vec![], 0).unwrap_err(),
+            ValidateError::EmptyProgram
+        );
     }
 
     #[test]
@@ -236,7 +315,14 @@ mod tests {
         let e = b.entry();
         let t = b.new_block();
         let r = b.new_reg();
-        b.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: t, fallthru: t });
+        b.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: t,
+                fallthru: t,
+            },
+        );
         b.set_term(t, ret());
         let err = Program::new(vec![b.finish().unwrap()], 0).unwrap_err();
         assert!(matches!(err, ValidateError::DegenerateBranch { .. }));
@@ -248,7 +334,13 @@ mod tests {
         let e = b.entry();
         b.push(
             e,
-            Instr::Call { callee: FuncId(7), args: vec![], fargs: vec![], ret: None, fret: None },
+            Instr::Call {
+                callee: FuncId(7),
+                args: vec![],
+                fargs: vec![],
+                ret: None,
+                fret: None,
+            },
         );
         b.set_term(e, ret());
         let err = Program::new(vec![b.finish().unwrap()], 0).unwrap_err();
@@ -266,11 +358,16 @@ mod tests {
         let e = b.entry();
         b.push(
             e,
-            Instr::Call { callee: FuncId(1), args: vec![], fargs: vec![], ret: None, fret: None },
+            Instr::Call {
+                callee: FuncId(1),
+                args: vec![],
+                fargs: vec![],
+                ret: None,
+                fret: None,
+            },
         );
         b.set_term(e, ret());
-        let err =
-            Program::new(vec![b.finish().unwrap(), callee.finish().unwrap()], 0).unwrap_err();
+        let err = Program::new(vec![b.finish().unwrap(), callee.finish().unwrap()], 0).unwrap_err();
         assert!(matches!(err, ValidateError::ArityMismatch { .. }));
     }
 
@@ -278,7 +375,13 @@ mod tests {
     fn undeclared_register_rejected() {
         let mut b = FunctionBuilder::new("main");
         let e = b.entry();
-        b.push(e, Instr::Move { rd: Reg(100), rs: Reg::ZERO });
+        b.push(
+            e,
+            Instr::Move {
+                rd: Reg(100),
+                rs: Reg::ZERO,
+            },
+        );
         b.set_term(e, ret());
         let err = Program::new(vec![b.finish().unwrap()], 0).unwrap_err();
         assert!(matches!(err, ValidateError::BadReg { .. }));
@@ -289,8 +392,22 @@ mod tests {
         let mut b = FunctionBuilder::new("main");
         let e = b.entry();
         let r = b.new_reg();
-        b.push(e, Instr::Load { rd: r, base: Reg::GP, offset: 0 });
-        b.push(e, Instr::Store { rs: r, base: Reg::SP, offset: 0 });
+        b.push(
+            e,
+            Instr::Load {
+                rd: r,
+                base: Reg::GP,
+                offset: 0,
+            },
+        );
+        b.push(
+            e,
+            Instr::Store {
+                rs: r,
+                base: Reg::SP,
+                offset: 0,
+            },
+        );
         b.set_term(e, ret());
         assert!(Program::new(vec![b.finish().unwrap()], 4).is_ok());
     }

@@ -57,7 +57,10 @@ pub enum BinOp {
 impl BinOp {
     /// Is this a comparison producing a 0/1 result?
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// Is this a short-circuit logical operator?
@@ -92,12 +95,25 @@ pub enum ExprKind {
     /// A variable reference (local, parameter, or global scalar) or a bare
     /// array name (which denotes its address).
     Var(String),
-    Unary { op: UnOp, expr: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Function call, or the builtins `alloc`, `int`, `float`.
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `base[index]` — array element or pointer load.
-    Index { base: Box<Expr>, index: Box<Expr> },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
 }
 
 /// A statement with its source span.
@@ -111,12 +127,29 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `type name;` or `type name[N];` (local declaration).
-    Decl { ty: Type, name: String, size: Option<i64> },
+    Decl {
+        ty: Type,
+        name: String,
+        size: Option<i64>,
+    },
     /// `lvalue = expr;` where lvalue is a variable or an index expression.
-    Assign { target: Expr, value: Expr },
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
-    While { cond: Expr, body: Vec<Stmt> },
-    DoWhile { body: Vec<Stmt>, cond: Expr },
+    Assign {
+        target: Expr,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,
@@ -134,7 +167,12 @@ pub enum StmtKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Item {
     /// `global type name;` or `global type name[N];`
-    Global { ty: Type, name: String, size: Option<i64>, span: Span },
+    Global {
+        ty: Type,
+        name: String,
+        size: Option<i64>,
+        span: Span,
+    },
     /// A function definition.
     Function {
         name: String,
@@ -154,11 +192,15 @@ pub struct Program {
 impl Program {
     /// Iterator over function items.
     pub fn functions(&self) -> impl Iterator<Item = &Item> {
-        self.items.iter().filter(|i| matches!(i, Item::Function { .. }))
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Function { .. }))
     }
 
     /// Iterator over global items.
     pub fn globals(&self) -> impl Iterator<Item = &Item> {
-        self.items.iter().filter(|i| matches!(i, Item::Global { .. }))
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Global { .. }))
     }
 }

@@ -24,19 +24,35 @@ pub struct CompileError {
 
 impl CompileError {
     pub(crate) fn lex(message: String, span: Span) -> CompileError {
-        CompileError { phase: Phase::Lex, message, span }
+        CompileError {
+            phase: Phase::Lex,
+            message,
+            span,
+        }
     }
 
     pub(crate) fn parse(message: String, span: Span) -> CompileError {
-        CompileError { phase: Phase::Parse, message, span }
+        CompileError {
+            phase: Phase::Parse,
+            message,
+            span,
+        }
     }
 
     pub(crate) fn ty(message: String, span: Span) -> CompileError {
-        CompileError { phase: Phase::Type, message, span }
+        CompileError {
+            phase: Phase::Type,
+            message,
+            span,
+        }
     }
 
     pub(crate) fn internal(message: String) -> CompileError {
-        CompileError { phase: Phase::Internal, message, span: Span::default() }
+        CompileError {
+            phase: Phase::Internal,
+            message,
+            span: Span::default(),
+        }
     }
 
     /// The source span the error points at.

@@ -17,9 +17,7 @@
 //!   jump to the continuation block holding the instructions that
 //!   followed the call.
 
-use bpfree_ir::{
-    BinOp, Block, BlockId, Cond, FReg, Function, Instr, Reg, Terminator,
-};
+use bpfree_ir::{BinOp, Block, BlockId, Cond, FReg, Function, Instr, Reg, Terminator};
 
 /// Maximum static size (instructions + terminators) of an inlinable
 /// function.
@@ -44,8 +42,7 @@ pub(crate) fn inline_program(funcs: &mut [Function]) {
                     .iter()
                     .position(|i| is_inlinable_call(i, &inlinable, caller_idx))
                 {
-                    let Instr::Call { callee, .. } = work.blocks[b].instrs[call_at].clone()
-                    else {
+                    let Instr::Call { callee, .. } = work.blocks[b].instrs[call_at].clone() else {
                         unreachable!("position matched a call")
                     };
                     work.splice(b, call_at, &funcs[callee.index()]);
@@ -122,9 +119,7 @@ fn is_inlinable(f: &Function) -> bool {
 
 fn is_inlinable_call(i: &Instr, inlinable: &[bool], caller_idx: usize) -> bool {
     match i {
-        Instr::Call { callee, .. } => {
-            callee.index() != caller_idx && inlinable[callee.index()]
-        }
+        Instr::Call { callee, .. } => callee.index() != caller_idx && inlinable[callee.index()],
         _ => false,
     }
 }
@@ -167,8 +162,13 @@ impl InlineWork {
     /// Replaces the call at `blocks[b].instrs[call_at]` with the body of
     /// `callee`.
     fn splice(&mut self, b: usize, call_at: usize, callee: &Function) {
-        let Instr::Call { args, fargs, ret, fret, .. } =
-            self.blocks[b].instrs[call_at].clone()
+        let Instr::Call {
+            args,
+            fargs,
+            ret,
+            fret,
+            ..
+        } = self.blocks[b].instrs[call_at].clone()
         else {
             unreachable!("splice called on a non-call")
         };
@@ -201,7 +201,10 @@ impl InlineWork {
         self.blocks[b].instrs.pop(); // drop the call itself
         let head_term = self.blocks[b].term.clone();
         let cont_id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { instrs: tail_instrs, term: head_term });
+        self.blocks.push(Block {
+            instrs: tail_instrs,
+            term: head_term,
+        });
 
         // Prologue in the head block: sp2, argument moves.
         self.blocks[b].instrs.push(Instr::BinImm {
@@ -211,23 +214,34 @@ impl InlineWork {
             imm: frame_off,
         });
         for (param, arg) in callee.params().iter().zip(&args) {
-            self.blocks[b].instrs.push(Instr::Move { rd: map_reg(*param), rs: *arg });
+            self.blocks[b].instrs.push(Instr::Move {
+                rd: map_reg(*param),
+                rs: *arg,
+            });
         }
         for (param, arg) in callee.fparams().iter().zip(&fargs) {
-            self.blocks[b]
-                .instrs
-                .push(Instr::MoveF { fd: map_freg(*param), fs: *arg });
+            self.blocks[b].instrs.push(Instr::MoveF {
+                fd: map_freg(*param),
+                fs: *arg,
+            });
         }
 
         // Copy the callee's blocks with remapped registers and block ids.
         let block_base = self.blocks.len() as u32;
         let map_block = |id: BlockId| BlockId(block_base + id.0);
         for src in callee.blocks() {
-            let instrs: Vec<Instr> =
-                src.instrs.iter().map(|i| remap_instr(i, &map_reg, &map_freg)).collect();
+            let instrs: Vec<Instr> = src
+                .instrs
+                .iter()
+                .map(|i| remap_instr(i, &map_reg, &map_freg))
+                .collect();
             let term = match &src.term {
                 Terminator::Jump(t) => Terminator::Jump(map_block(*t)),
-                Terminator::Branch { cond, taken, fallthru } => Terminator::Branch {
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthru,
+                } => Terminator::Branch {
                     cond: remap_cond(cond, &map_reg),
                     taken: map_block(*taken),
                     fallthru: map_block(*fallthru),
@@ -236,12 +250,21 @@ impl InlineWork {
                     // ret -> result moves + jump to the continuation.
                     let mut epilogue = Vec::new();
                     if let (Some(dst), Some(src)) = (ret, *val) {
-                        epilogue.push(Instr::Move { rd: dst, rs: map_reg(src) });
+                        epilogue.push(Instr::Move {
+                            rd: dst,
+                            rs: map_reg(src),
+                        });
                     }
                     if let (Some(dst), Some(src)) = (fret, *fval) {
-                        epilogue.push(Instr::MoveF { fd: dst, fs: map_freg(src) });
+                        epilogue.push(Instr::MoveF {
+                            fd: dst,
+                            fs: map_freg(src),
+                        });
                     }
-                    let mut block = Block { instrs: instrs.clone(), term: Terminator::Jump(cont_id) };
+                    let mut block = Block {
+                        instrs: instrs.clone(),
+                        term: Terminator::Jump(cont_id),
+                    };
                     block.instrs.extend(epilogue);
                     self.blocks.push(block);
                     continue;
@@ -347,8 +370,22 @@ mod tests {
         let x = b.add_param();
         let r = b.new_reg();
         let e = b.entry();
-        b.push(e, Instr::Bin { op: BinOp::Add, rd: r, rs: x, rt: x });
-        b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        b.push(
+            e,
+            Instr::Bin {
+                op: BinOp::Add,
+                rd: r,
+                rs: x,
+                rt: x,
+            },
+        );
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(r),
+                fval: None,
+            },
+        );
         b.finish().unwrap()
     }
 
@@ -360,9 +397,21 @@ mod tests {
         b.push(e, Instr::Li { rd: a, imm: 21 });
         b.push(
             e,
-            Instr::Call { callee: callee_id, args: vec![a], fargs: vec![], ret: Some(r), fret: None },
+            Instr::Call {
+                callee: callee_id,
+                args: vec![a],
+                fargs: vec![],
+                ret: Some(r),
+                fret: None,
+            },
         );
-        b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(r),
+                fval: None,
+            },
+        );
         b.finish().unwrap()
     }
 
@@ -387,13 +436,28 @@ mod tests {
         let x = b.add_param();
         b.push(
             e,
-            Instr::Call { callee: FuncId(0), args: vec![x], fargs: vec![], ret: None, fret: None },
+            Instr::Call {
+                callee: FuncId(0),
+                args: vec![x],
+                fargs: vec![],
+                ret: None,
+                fret: None,
+            },
         );
-        b.set_term(e, Terminator::Ret { val: None, fval: None });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: None,
+                fval: None,
+            },
+        );
         let rec = b.finish().unwrap();
         let mut funcs = vec![rec, caller_of(FuncId(0))];
         inline_program(&mut funcs);
-        assert!(funcs[1].blocks().iter().any(|b| b.instrs.iter().any(|i| i.is_call())));
+        assert!(funcs[1]
+            .blocks()
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| i.is_call())));
     }
 
     #[test]
@@ -403,13 +467,30 @@ mod tests {
         let e = b.entry();
         for _ in 0..(MAX_INLINE_SIZE + 4) {
             let r = b.new_reg();
-            b.push(e, Instr::Bin { op: BinOp::Add, rd: r, rs: x, rt: x });
+            b.push(
+                e,
+                Instr::Bin {
+                    op: BinOp::Add,
+                    rd: r,
+                    rs: x,
+                    rt: x,
+                },
+            );
         }
-        b.set_term(e, Terminator::Ret { val: Some(x), fval: None });
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(x),
+                fval: None,
+            },
+        );
         let big = b.finish().unwrap();
         let mut funcs = vec![caller_of(FuncId(1)), big];
         inline_program(&mut funcs);
-        assert!(funcs[0].blocks().iter().any(|b| b.instrs.iter().any(|i| i.is_call())));
+        assert!(funcs[0]
+            .blocks()
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| i.is_call())));
     }
 
     #[test]
@@ -419,20 +500,52 @@ mod tests {
         let e = b.entry();
         let off = b.reserve_frame(4);
         let r = b.new_reg();
-        b.push(e, Instr::Load { rd: r, base: Reg::SP, offset: off });
-        b.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        b.push(
+            e,
+            Instr::Load {
+                rd: r,
+                base: Reg::SP,
+                offset: off,
+            },
+        );
+        b.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(r),
+                fval: None,
+            },
+        );
         let leaf = b.finish().unwrap();
 
         let mut caller = FunctionBuilder::new("main");
         let e = caller.entry();
         let coff = caller.reserve_frame(2);
         let r = caller.new_reg();
-        caller.push(e, Instr::Load { rd: r, base: Reg::SP, offset: coff });
         caller.push(
             e,
-            Instr::Call { callee: FuncId(1), args: vec![], fargs: vec![], ret: Some(r), fret: None },
+            Instr::Load {
+                rd: r,
+                base: Reg::SP,
+                offset: coff,
+            },
         );
-        caller.set_term(e, Terminator::Ret { val: Some(r), fval: None });
+        caller.push(
+            e,
+            Instr::Call {
+                callee: FuncId(1),
+                args: vec![],
+                fargs: vec![],
+                ret: Some(r),
+                fret: None,
+            },
+        );
+        caller.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(r),
+                fval: None,
+            },
+        );
         let main = caller.finish().unwrap();
 
         let mut funcs = vec![main, leaf];

@@ -17,7 +17,10 @@ impl Span {
 
     /// The smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// 1-based (line, column) of the span start within `source`.
@@ -177,7 +180,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `src`.
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Tokenizes the whole input, ending with an [`TokenKind::Eof`] token.
@@ -192,7 +199,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.pos;
             let Some(&c) = self.bytes.get(self.pos) else {
-                out.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start),
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -280,7 +290,10 @@ impl<'a> Lexer<'a> {
                     ))
                 }
             };
-            out.push(Token { kind, span: Span::new(start, self.pos) });
+            out.push(Token {
+                kind,
+                span: Span::new(start, self.pos),
+            });
         }
     }
 
@@ -375,12 +388,18 @@ impl<'a> Lexer<'a> {
         let text = &self.src[start..self.pos];
         if is_float {
             let value: f64 = text.parse().map_err(|e| {
-                CompileError::lex(format!("bad float literal: {e}"), Span::new(start, self.pos))
+                CompileError::lex(
+                    format!("bad float literal: {e}"),
+                    Span::new(start, self.pos),
+                )
             })?;
             Ok(TokenKind::Float(value))
         } else {
             let value: i64 = text.parse().map_err(|e| {
-                CompileError::lex(format!("bad integer literal: {e}"), Span::new(start, self.pos))
+                CompileError::lex(
+                    format!("bad integer literal: {e}"),
+                    Span::new(start, self.pos),
+                )
             })?;
             Ok(TokenKind::Int(value))
         }
@@ -417,7 +436,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -109,19 +109,28 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Options {
-        Options { inline: true, simplify: true }
+        Options {
+            inline: true,
+            simplify: true,
+        }
     }
 }
 
 impl Options {
     /// No optimisation passes: the raw lowering output.
     pub fn o0() -> Options {
-        Options { inline: false, simplify: false }
+        Options {
+            inline: false,
+            simplify: false,
+        }
     }
 
     /// CFG cleanup without inlining.
     pub fn no_inline() -> Options {
-        Options { inline: false, simplify: true }
+        Options {
+            inline: false,
+            simplify: true,
+        }
     }
 }
 

@@ -18,8 +18,8 @@
 use std::collections::HashMap;
 
 use bpfree_ir::{
-    BinOp as IrBinOp, BlockId, Cond, FBinOp, FCmp, FReg, FuncId, FunctionBuilder, GlobalSym,
-    Instr, Program, ProgramBuilder, Reg, Terminator,
+    BinOp as IrBinOp, BlockId, Cond, FBinOp, FCmp, FReg, FuncId, FunctionBuilder, GlobalSym, Instr,
+    Program, ProgramBuilder, Reg, Terminator,
 };
 
 use crate::ast::{BinOp, Expr, ExprKind, Item, Program as Ast, Stmt, StmtKind, Type, UnOp};
@@ -33,14 +33,28 @@ pub fn lower(ast: &Ast, options: crate::Options) -> Result<Program, CompileError
     let mut globals: HashMap<String, GlobalInfo> = HashMap::new();
     let mut next_off = 0i64;
     for item in &ast.items {
-        if let Item::Global { ty, name, size, span } = item {
+        if let Item::Global {
+            ty,
+            name,
+            size,
+            span,
+        } = item
+        {
             if globals.contains_key(name) {
-                return Err(CompileError::ty(format!("duplicate global `{name}`"), *span));
+                return Err(CompileError::ty(
+                    format!("duplicate global `{name}`"),
+                    *span,
+                ));
             }
             let len = size.unwrap_or(1);
             globals.insert(
                 name.clone(),
-                GlobalInfo { off: next_off, len, ty: *ty, array: size.is_some() },
+                GlobalInfo {
+                    off: next_off,
+                    len,
+                    ty: *ty,
+                    array: size.is_some(),
+                },
             );
             next_off += len;
         }
@@ -51,9 +65,19 @@ pub fn lower(ast: &Ast, options: crate::Options) -> Result<Program, CompileError
     let mut sigs: HashMap<String, FuncSig> = HashMap::new();
     let mut order: Vec<&Item> = Vec::new();
     for item in &ast.items {
-        if let Item::Function { name, params, ret, span, .. } = item {
+        if let Item::Function {
+            name,
+            params,
+            ret,
+            span,
+            ..
+        } = item
+        {
             if sigs.contains_key(name) {
-                return Err(CompileError::ty(format!("duplicate function `{name}`"), *span));
+                return Err(CompileError::ty(
+                    format!("duplicate function `{name}`"),
+                    *span,
+                ));
             }
             if matches!(name.as_str(), "alloc" | "int" | "float") {
                 return Err(CompileError::ty(
@@ -84,7 +108,16 @@ pub fn lower(ast: &Ast, options: crate::Options) -> Result<Program, CompileError
     // straightening, unreachable-block removal, and copy propagation.
     let mut funcs = Vec::with_capacity(order.len());
     for item in order {
-        let Item::Function { name, params, ret, body, span } = item else { unreachable!() };
+        let Item::Function {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        } = item
+        else {
+            unreachable!()
+        };
         funcs.push(FnLower::new(name, params, *ret, &globals, &sigs).lower_body(body, *span)?);
     }
     if options.inline {
@@ -93,12 +126,20 @@ pub fn lower(ast: &Ast, options: crate::Options) -> Result<Program, CompileError
     }
     let mut pb = ProgramBuilder::new();
     for f in funcs {
-        pb.add_function(if options.simplify { crate::passes::simplify(f) } else { f });
+        pb.add_function(if options.simplify {
+            crate::passes::simplify(f)
+        } else {
+            f
+        });
     }
     for (name, g) in &globals {
         pb.add_global(
             name.clone(),
-            GlobalSym { offset: g.off, len: g.len, is_float: g.ty == Type::Float },
+            GlobalSym {
+                offset: g.off,
+                len: g.len,
+                is_float: g.ty == Type::Float,
+            },
         );
     }
     pb.finish(globals_words)
@@ -133,7 +174,11 @@ enum Local {
     Word(Reg),
     Float(FReg),
     /// A local array in the SP-addressed frame.
-    Array { off: i64, len: i64, float: bool },
+    Array {
+        off: i64,
+        len: i64,
+        float: bool,
+    },
 }
 
 /// Which CFG edge the "interesting" target should sit on when emitting a
@@ -211,14 +256,23 @@ impl<'a> FnLower<'a> {
                 Some(Type::Float) => {
                     let f = self.b.new_freg();
                     self.emit(Instr::LiF { fd: f, imm: 0.0 });
-                    Terminator::Ret { val: None, fval: Some(f) }
+                    Terminator::Ret {
+                        val: None,
+                        fval: Some(f),
+                    }
                 }
                 Some(_) => {
                     let r = self.b.new_reg();
                     self.emit(Instr::Li { rd: r, imm: 0 });
-                    Terminator::Ret { val: Some(r), fval: None }
+                    Terminator::Ret {
+                        val: Some(r),
+                        fval: None,
+                    }
                 }
-                None => Terminator::Ret { val: None, fval: None },
+                None => Terminator::Ret {
+                    val: None,
+                    fval: None,
+                },
             };
             self.b.set_term(self.cur, term);
         }
@@ -324,7 +378,11 @@ impl<'a> FnLower<'a> {
                             ));
                         }
                         let off = self.b.reserve_frame(*n);
-                        Local::Array { off, len: *n, float: *ty == Type::Float }
+                        Local::Array {
+                            off,
+                            len: *n,
+                            float: *ty == Type::Float,
+                        }
                     }
                 };
                 self.declare(name, local, span)
@@ -339,12 +397,18 @@ impl<'a> FnLower<'a> {
                     (Some(e), Some(Type::Float)) => {
                         let v = self.expr(e)?;
                         let f = self.coerce_float(v);
-                        Terminator::Ret { val: None, fval: Some(f) }
+                        Terminator::Ret {
+                            val: None,
+                            fval: Some(f),
+                        }
                     }
                     (Some(e), Some(_)) => {
                         let v = self.expr(e)?;
                         let r = self.expect_word(v, e.span)?;
-                        Terminator::Ret { val: Some(r), fval: None }
+                        Terminator::Ret {
+                            val: Some(r),
+                            fval: None,
+                        }
                     }
                     (Some(e), None) => {
                         return Err(CompileError::ty(
@@ -358,7 +422,10 @@ impl<'a> FnLower<'a> {
                             span,
                         ))
                     }
-                    (None, None) => Terminator::Ret { val: None, fval: None },
+                    (None, None) => Terminator::Ret {
+                        val: None,
+                        fval: None,
+                    },
                 };
                 self.terminate(term);
                 Ok(())
@@ -375,7 +442,10 @@ impl<'a> FnLower<'a> {
                     self.terminate(Terminator::Jump(cont));
                     Ok(())
                 }
-                None => Err(CompileError::ty("`continue` outside of a loop".into(), span)),
+                None => Err(CompileError::ty(
+                    "`continue` outside of a loop".into(),
+                    span,
+                )),
             },
             StmtKind::Block(body) => {
                 self.scopes.push(HashMap::new());
@@ -383,10 +453,18 @@ impl<'a> FnLower<'a> {
                 self.scopes.pop();
                 r
             }
-            StmtKind::If { cond, then_body, else_body } => {
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let then_blk = self.b.new_block();
                 let join = self.b.new_block();
-                let else_blk = if else_body.is_empty() { join } else { self.b.new_block() };
+                let else_blk = if else_body.is_empty() {
+                    join
+                } else {
+                    self.b.new_block()
+                };
                 self.cond(cond, then_blk, else_blk, Polarity::FalseTaken)?;
 
                 self.switch_to(then_blk);
@@ -413,7 +491,10 @@ impl<'a> FnLower<'a> {
                 self.switch_to(join);
                 if then_done && (else_done || else_body.is_empty()) && !else_body.is_empty() {
                     // Both arms terminated: the join is unreachable.
-                    self.terminate(Terminator::Ret { val: None, fval: None });
+                    self.terminate(Terminator::Ret {
+                        val: None,
+                        fval: None,
+                    });
                 }
                 Ok(())
             }
@@ -460,7 +541,12 @@ impl<'a> FnLower<'a> {
                 self.switch_to(exit);
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.stmt(init)?;
@@ -531,17 +617,28 @@ impl<'a> FnLower<'a> {
                         Type::Float => {
                             let v = self.expr(value)?;
                             let f = self.coerce_float(v);
-                            self.emit(Instr::StoreF { fs: f, base: Reg::GP, offset: g.off });
+                            self.emit(Instr::StoreF {
+                                fs: f,
+                                base: Reg::GP,
+                                offset: g.off,
+                            });
                         }
                         _ => {
                             let v = self.expr(value)?;
                             let r = self.expect_word(v, value.span)?;
-                            self.emit(Instr::Store { rs: r, base: Reg::GP, offset: g.off });
+                            self.emit(Instr::Store {
+                                rs: r,
+                                base: Reg::GP,
+                                offset: g.off,
+                            });
                         }
                     }
                     Ok(())
                 } else {
-                    Err(CompileError::ty(format!("unknown variable `{name}`"), target.span))
+                    Err(CompileError::ty(
+                        format!("unknown variable `{name}`"),
+                        target.span,
+                    ))
                 }
             }
             ExprKind::Index { base, index } => {
@@ -549,15 +646,26 @@ impl<'a> FnLower<'a> {
                 if is_float {
                     let v = self.expr(value)?;
                     let f = self.coerce_float(v);
-                    self.emit(Instr::StoreF { fs: f, base: base_reg, offset });
+                    self.emit(Instr::StoreF {
+                        fs: f,
+                        base: base_reg,
+                        offset,
+                    });
                 } else {
                     let v = self.expr(value)?;
                     let r = self.expect_word(v, value.span)?;
-                    self.emit(Instr::Store { rs: r, base: base_reg, offset });
+                    self.emit(Instr::Store {
+                        rs: r,
+                        base: base_reg,
+                        offset,
+                    });
                 }
                 Ok(())
             }
-            _ => Err(CompileError::ty("invalid assignment target".into(), target.span)),
+            _ => Err(CompileError::ty(
+                "invalid assignment target".into(),
+                target.span,
+            )),
         }
     }
 
@@ -600,7 +708,12 @@ impl<'a> FnLower<'a> {
                 let iv = self.expr(index)?;
                 let idx = self.expect_word(iv, index.span)?;
                 let t = self.b.new_reg();
-                self.emit(Instr::Bin { op: IrBinOp::Add, rd: t, rs: ptr, rt: idx });
+                self.emit(Instr::Bin {
+                    op: IrBinOp::Add,
+                    rd: t,
+                    rs: ptr,
+                    rt: idx,
+                });
                 Ok((t, 0, false))
             }
         }
@@ -628,7 +741,12 @@ impl<'a> FnLower<'a> {
                 let iv = self.expr(index)?;
                 let idx = self.expect_word(iv, index.span)?;
                 let t = self.b.new_reg();
-                self.emit(Instr::Bin { op: IrBinOp::Add, rd: t, rs: base, rt: idx });
+                self.emit(Instr::Bin {
+                    op: IrBinOp::Add,
+                    rd: t,
+                    rs: base,
+                    rt: idx,
+                });
                 Ok((t, off, float))
             }
         }
@@ -646,16 +764,25 @@ impl<'a> FnLower<'a> {
         pol: Polarity,
     ) -> Result<(), CompileError> {
         match &e.kind {
-            ExprKind::Unary { op: UnOp::Not, expr } => {
-                self.cond(expr, f_blk, t_blk, pol.flip())
-            }
-            ExprKind::Binary { op: BinOp::LAnd, lhs, rhs } => {
+            ExprKind::Unary {
+                op: UnOp::Not,
+                expr,
+            } => self.cond(expr, f_blk, t_blk, pol.flip()),
+            ExprKind::Binary {
+                op: BinOp::LAnd,
+                lhs,
+                rhs,
+            } => {
                 let mid = self.b.new_block();
                 self.cond(lhs, mid, f_blk, Polarity::FalseTaken)?;
                 self.switch_to(mid);
                 self.cond(rhs, t_blk, f_blk, pol)
             }
-            ExprKind::Binary { op: BinOp::LOr, lhs, rhs } => {
+            ExprKind::Binary {
+                op: BinOp::LOr,
+                lhs,
+                rhs,
+            } => {
                 let mid = self.b.new_block();
                 self.cond(lhs, t_blk, mid, Polarity::TrueTaken)?;
                 self.switch_to(mid);
@@ -674,7 +801,11 @@ impl<'a> FnLower<'a> {
                     Value::Float(f) => {
                         let zero = self.b.new_freg();
                         self.emit(Instr::LiF { fd: zero, imm: 0.0 });
-                        self.emit(Instr::CmpF { cmp: FCmp::Eq, fs: f, ft: zero });
+                        self.emit(Instr::CmpF {
+                            cmp: FCmp::Eq,
+                            fs: f,
+                            ft: zero,
+                        });
                         Cond::FFalse
                     }
                 };
@@ -686,10 +817,16 @@ impl<'a> FnLower<'a> {
 
     fn branch(&mut self, c: Cond, t_blk: BlockId, f_blk: BlockId, pol: Polarity) {
         let term = match pol {
-            Polarity::TrueTaken => Terminator::Branch { cond: c, taken: t_blk, fallthru: f_blk },
-            Polarity::FalseTaken => {
-                Terminator::Branch { cond: c.negated(), taken: f_blk, fallthru: t_blk }
-            }
+            Polarity::TrueTaken => Terminator::Branch {
+                cond: c,
+                taken: t_blk,
+                fallthru: f_blk,
+            },
+            Polarity::FalseTaken => Terminator::Branch {
+                cond: c.negated(),
+                taken: f_blk,
+                fallthru: t_blk,
+            },
         };
         self.terminate(term);
     }
@@ -761,7 +898,12 @@ impl<'a> FnLower<'a> {
                     BinOp::Ge => (IrBinOp::Sle, r, l),
                     _ => unreachable!(),
                 };
-                self.emit(Instr::Bin { op: irop, rd: t, rs: a, rt: b });
+                self.emit(Instr::Bin {
+                    op: irop,
+                    rd: t,
+                    rs: a,
+                    rt: b,
+                });
                 Ok(Cond::Nez(t))
             }
             _ => unreachable!(),
@@ -781,7 +923,10 @@ impl<'a> FnLower<'a> {
                     .map(|g| g.ty == Type::Float && !g.array)
                     .unwrap_or(false),
             },
-            ExprKind::Unary { op: UnOp::Neg, expr } => self.is_floatish(expr),
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => self.is_floatish(expr),
             ExprKind::Unary { op: UnOp::Not, .. } => false,
             ExprKind::Binary { op, lhs, rhs } => {
                 !op.is_comparison()
@@ -791,7 +936,11 @@ impl<'a> FnLower<'a> {
             ExprKind::Call { name, .. } => match name.as_str() {
                 "float" => true,
                 "int" | "alloc" => false,
-                _ => self.sigs.get(name).map(|s| s.ret == Some(Type::Float)).unwrap_or(false),
+                _ => self
+                    .sigs
+                    .get(name)
+                    .map(|s| s.ret == Some(Type::Float))
+                    .unwrap_or(false),
             },
             ExprKind::Index { base, .. } => {
                 if let ExprKind::Var(name) = &base.kind {
@@ -861,41 +1010,73 @@ impl<'a> FnLower<'a> {
                     return match g.ty {
                         Type::Float => {
                             let f = self.b.new_freg();
-                            self.emit(Instr::LoadF { fd: f, base: Reg::GP, offset: g.off });
+                            self.emit(Instr::LoadF {
+                                fd: f,
+                                base: Reg::GP,
+                                offset: g.off,
+                            });
                             Ok(Value::Float(f))
                         }
                         _ => {
                             let r = self.b.new_reg();
-                            self.emit(Instr::Load { rd: r, base: Reg::GP, offset: g.off });
+                            self.emit(Instr::Load {
+                                rd: r,
+                                base: Reg::GP,
+                                offset: g.off,
+                            });
                             Ok(Value::Word(r))
                         }
                     };
                 }
-                Err(CompileError::ty(format!("unknown variable `{name}`"), e.span))
+                Err(CompileError::ty(
+                    format!("unknown variable `{name}`"),
+                    e.span,
+                ))
             }
-            ExprKind::Unary { op: UnOp::Neg, expr } => {
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => {
                 let v = self.expr(expr)?;
                 match v {
                     Value::Word(r) => {
                         let t = self.b.new_reg();
-                        self.emit(Instr::Bin { op: IrBinOp::Sub, rd: t, rs: Reg::ZERO, rt: r });
+                        self.emit(Instr::Bin {
+                            op: IrBinOp::Sub,
+                            rd: t,
+                            rs: Reg::ZERO,
+                            rt: r,
+                        });
                         Ok(Value::Word(t))
                     }
                     Value::Float(f) => {
                         let zero = self.b.new_freg();
                         self.emit(Instr::LiF { fd: zero, imm: 0.0 });
                         let t = self.b.new_freg();
-                        self.emit(Instr::BinF { op: FBinOp::Sub, fd: t, fs: zero, ft: f });
+                        self.emit(Instr::BinF {
+                            op: FBinOp::Sub,
+                            fd: t,
+                            fs: zero,
+                            ft: f,
+                        });
                         Ok(Value::Float(t))
                     }
                 }
             }
-            ExprKind::Unary { op: UnOp::Not, expr } => {
+            ExprKind::Unary {
+                op: UnOp::Not,
+                expr,
+            } => {
                 let v = self.expr(expr)?;
                 match v {
                     Value::Word(r) => {
                         let t = self.b.new_reg();
-                        self.emit(Instr::Bin { op: IrBinOp::Seq, rd: t, rs: r, rt: Reg::ZERO });
+                        self.emit(Instr::Bin {
+                            op: IrBinOp::Seq,
+                            rd: t,
+                            rs: r,
+                            rt: Reg::ZERO,
+                        });
                         Ok(Value::Word(t))
                     }
                     Value::Float(_) => self.materialize_cond(e),
@@ -922,7 +1103,12 @@ impl<'a> FnLower<'a> {
                     BinOp::Ne => (IrBinOp::Sne, l, r),
                     _ => unreachable!(),
                 };
-                self.emit(Instr::Bin { op: irop, rd: t, rs: a, rt: b });
+                self.emit(Instr::Bin {
+                    op: irop,
+                    rd: t,
+                    rs: a,
+                    rt: b,
+                });
                 Ok(Value::Word(t))
             }
             ExprKind::Binary { op, lhs, rhs } => {
@@ -944,7 +1130,12 @@ impl<'a> FnLower<'a> {
                     let rv = self.expr(rhs)?;
                     let rf = self.coerce_float(rv);
                     let t = self.b.new_freg();
-                    self.emit(Instr::BinF { op: fop, fd: t, fs: lf, ft: rf });
+                    self.emit(Instr::BinF {
+                        op: fop,
+                        fd: t,
+                        fs: lf,
+                        ft: rf,
+                    });
                     return Ok(Value::Float(t));
                 }
                 let irop = match op {
@@ -965,24 +1156,42 @@ impl<'a> FnLower<'a> {
                 // Constant right operands use the immediate ALU forms.
                 if let ExprKind::IntLit(k) = rhs.kind {
                     let t = self.b.new_reg();
-                    self.emit(Instr::BinImm { op: irop, rd: t, rs: l, imm: k });
+                    self.emit(Instr::BinImm {
+                        op: irop,
+                        rd: t,
+                        rs: l,
+                        imm: k,
+                    });
                     return Ok(Value::Word(t));
                 }
                 let rv = self.expr(rhs)?;
                 let r = self.expect_word(rv, rhs.span)?;
                 let t = self.b.new_reg();
-                self.emit(Instr::Bin { op: irop, rd: t, rs: l, rt: r });
+                self.emit(Instr::Bin {
+                    op: irop,
+                    rd: t,
+                    rs: l,
+                    rt: r,
+                });
                 Ok(Value::Word(t))
             }
             ExprKind::Index { base, index } => {
                 let (base_reg, offset, is_float) = self.element_access(base, index)?;
                 if is_float {
                     let f = self.b.new_freg();
-                    self.emit(Instr::LoadF { fd: f, base: base_reg, offset });
+                    self.emit(Instr::LoadF {
+                        fd: f,
+                        base: base_reg,
+                        offset,
+                    });
                     Ok(Value::Float(f))
                 } else {
                     let r = self.b.new_reg();
-                    self.emit(Instr::Load { rd: r, base: base_reg, offset });
+                    self.emit(Instr::Load {
+                        rd: r,
+                        base: base_reg,
+                        offset,
+                    });
                     Ok(Value::Word(r))
                 }
             }
@@ -1053,7 +1262,11 @@ impl<'a> FnLower<'a> {
             .clone();
         if sig.params.len() != args.len() {
             return Err(CompileError::ty(
-                format!("`{name}` takes {} arguments, got {}", sig.params.len(), args.len()),
+                format!(
+                    "`{name}` takes {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
                 span,
             ));
         }
@@ -1088,7 +1301,13 @@ impl<'a> FnLower<'a> {
                 (None, None, Value::Word(r))
             }
         };
-        self.emit(Instr::Call { callee: sig.id, args: word_args, fargs: float_args, ret, fret });
+        self.emit(Instr::Call {
+            callee: sig.id,
+            args: word_args,
+            fargs: float_args,
+            ret,
+            fret,
+        });
         Ok(value)
     }
 }

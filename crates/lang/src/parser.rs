@@ -72,12 +72,10 @@ impl Parser {
                 self.bump();
                 Ok((name, span))
             }
-            other => {
-                Err(CompileError::parse(
-                    format!("expected identifier, found {other}"),
-                    self.peek_span(),
-                ))
-            }
+            other => Err(CompileError::parse(
+                format!("expected identifier, found {other}"),
+                self.peek_span(),
+            )),
         }
     }
 
@@ -95,14 +93,18 @@ impl Parser {
                 self.bump();
                 Ok(Type::Ptr)
             }
-            other => {
-                Err(CompileError::parse(format!("expected type, found {other}"), self.peek_span()))
-            }
+            other => Err(CompileError::parse(
+                format!("expected type, found {other}"),
+                self.peek_span(),
+            )),
         }
     }
 
     fn is_type_token(kind: &TokenKind) -> bool {
-        matches!(kind, TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwPtr)
+        matches!(
+            kind,
+            TokenKind::KwInt | TokenKind::KwFloat | TokenKind::KwPtr
+        )
     }
 
     fn program(mut self) -> Result<Program, CompileError> {
@@ -130,7 +132,12 @@ impl Parser {
         let size = self.array_suffix()?;
         let end = self.peek_span();
         self.expect(TokenKind::Semi)?;
-        Ok(Item::Global { ty, name, size, span: start.merge(end) })
+        Ok(Item::Global {
+            ty,
+            name,
+            size,
+            span: start.merge(end),
+        })
     }
 
     fn array_suffix(&mut self) -> Result<Option<i64>, CompileError> {
@@ -174,10 +181,20 @@ impl Parser {
             }
         }
         self.expect(TokenKind::RParen)?;
-        let ret = if self.eat(&TokenKind::Arrow) { Some(self.parse_type()?) } else { None };
+        let ret = if self.eat(&TokenKind::Arrow) {
+            Some(self.parse_type()?)
+        } else {
+            None
+        };
         let body = self.block()?;
         let span = start.merge(self.tokens[self.pos.saturating_sub(1)].span);
-        Ok(Item::Function { name, params, ret, body, span })
+        Ok(Item::Function {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
@@ -185,7 +202,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while self.peek() != &TokenKind::RBrace {
             if self.peek() == &TokenKind::Eof {
-                return Err(CompileError::parse("unclosed block".into(), self.peek_span()));
+                return Err(CompileError::parse(
+                    "unclosed block".into(),
+                    self.peek_span(),
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -205,7 +225,10 @@ impl Parser {
                     let size = self.array_suffix()?;
                     let end = self.peek_span();
                     self.expect(TokenKind::Semi)?;
-                    Ok(Stmt { kind: StmtKind::Decl { ty, name, size }, span: start.merge(end) })
+                    Ok(Stmt {
+                        kind: StmtKind::Decl { ty, name, size },
+                        span: start.merge(end),
+                    })
                 } else {
                     let s = self.simple_stmt()?;
                     self.expect(TokenKind::Semi)?;
@@ -220,7 +243,10 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let body = self.block()?;
                 let span = start.merge(self.prev_span());
-                Ok(Stmt { kind: StmtKind::While { cond, body }, span })
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span,
+                })
             }
             TokenKind::KwDo => {
                 self.bump();
@@ -231,7 +257,10 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let end = self.peek_span();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::DoWhile { body, cond }, span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::DoWhile { body, cond },
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwFor => {
                 self.bump();
@@ -242,7 +271,11 @@ impl Parser {
                     Some(Box::new(self.simple_stmt()?))
                 };
                 self.expect(TokenKind::Semi)?;
-                let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let cond = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 let step = if self.peek() == &TokenKind::RParen {
                     None
@@ -252,32 +285,55 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let body = self.block()?;
                 let span = start.merge(self.prev_span());
-                Ok(Stmt { kind: StmtKind::For { init, cond, step, body }, span })
+                Ok(Stmt {
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    span,
+                })
             }
             TokenKind::KwBreak => {
                 self.bump();
                 let end = self.peek_span();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::Break, span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwContinue => {
                 self.bump();
                 let end = self.peek_span();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::Continue, span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let end = self.peek_span();
                 self.expect(TokenKind::Semi)?;
-                Ok(Stmt { kind: StmtKind::Return(value), span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: start.merge(end),
+                })
             }
             TokenKind::LBrace => {
                 let body = self.block()?;
                 let span = start.merge(self.prev_span());
-                Ok(Stmt { kind: StmtKind::Block(body), span })
+                Ok(Stmt {
+                    kind: StmtKind::Block(body),
+                    span,
+                })
             }
             _ => {
                 let s = self.simple_stmt()?;
@@ -308,10 +364,16 @@ impl Parser {
             }
             let value = self.expr()?;
             let span = start.merge(value.span);
-            Ok(Stmt { kind: StmtKind::Assign { target: e, value }, span })
+            Ok(Stmt {
+                kind: StmtKind::Assign { target: e, value },
+                span,
+            })
         } else {
             let span = e.span;
-            Ok(Stmt { kind: StmtKind::ExprStmt(e), span })
+            Ok(Stmt {
+                kind: StmtKind::ExprStmt(e),
+                span,
+            })
         }
     }
 
@@ -332,7 +394,14 @@ impl Parser {
             Vec::new()
         };
         let span = start.merge(self.prev_span());
-        Ok(Stmt { kind: StmtKind::If { cond, then_body, else_body }, span })
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            },
+            span,
+        })
     }
 
     // ---- expressions: precedence climbing ----
@@ -374,7 +443,11 @@ impl Parser {
             let rhs = self.binary_expr(prec + 1)?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr {
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -388,13 +461,25 @@ impl Parser {
                 self.bump();
                 let inner = self.unary_expr()?;
                 let span = start.merge(inner.span);
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(inner) }, span })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(inner),
+                    },
+                    span,
+                })
             }
             TokenKind::Bang => {
                 self.bump();
                 let inner = self.unary_expr()?;
                 let span = start.merge(inner.span);
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Not, expr: Box::new(inner) }, span })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(inner),
+                    },
+                    span,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -409,7 +494,10 @@ impl Parser {
                 self.expect(TokenKind::RBracket)?;
                 let span = e.span.merge(end);
                 e = Expr {
-                    kind: ExprKind::Index { base: Box::new(e), index: Box::new(index) },
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    },
                     span,
                 };
             } else {
@@ -423,15 +511,24 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Int(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::IntLit(v), span: start })
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    span: start,
+                })
             }
             TokenKind::Float(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::FloatLit(v), span: start })
+                Ok(Expr {
+                    kind: ExprKind::FloatLit(v),
+                    span: start,
+                })
             }
             TokenKind::KwNull => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Null, span: start })
+                Ok(Expr {
+                    kind: ExprKind::Null,
+                    span: start,
+                })
             }
             TokenKind::LParen => {
                 self.bump();
@@ -442,15 +539,22 @@ impl Parser {
             // `int(e)` / `float(e)` casts parse as calls to the builtin
             // names `int` / `float`.
             TokenKind::KwInt | TokenKind::KwFloat => {
-                let name =
-                    if self.peek() == &TokenKind::KwInt { "int" } else { "float" }.to_string();
+                let name = if self.peek() == &TokenKind::KwInt {
+                    "int"
+                } else {
+                    "float"
+                }
+                .to_string();
                 self.bump();
                 self.expect(TokenKind::LParen)?;
                 let arg = self.expr()?;
                 let end = self.peek_span();
                 self.expect(TokenKind::RParen)?;
                 Ok(Expr {
-                    kind: ExprKind::Call { name, args: vec![arg] },
+                    kind: ExprKind::Call {
+                        name,
+                        args: vec![arg],
+                    },
                     span: start.merge(end),
                 })
             }
@@ -468,9 +572,15 @@ impl Parser {
                     }
                     let end = self.peek_span();
                     self.expect(TokenKind::RParen)?;
-                    Ok(Expr { kind: ExprKind::Call { name, args }, span: start.merge(end) })
+                    Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        span: start.merge(end),
+                    })
                 } else {
-                    Ok(Expr { kind: ExprKind::Var(name), span: start })
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        span: start,
+                    })
                 }
             }
             other => Err(CompileError::parse(
@@ -519,7 +629,9 @@ mod tests {
     fn parses_function_signature() {
         let p = parse_ok("fn f(int a, float b, ptr c) -> float { return b; }");
         match &p.items[0] {
-            Item::Function { name, params, ret, .. } => {
+            Item::Function {
+                name, params, ret, ..
+            } => {
                 assert_eq!(name, "f");
                 assert_eq!(params.len(), 3);
                 assert_eq!(params[1], (Type::Float, "b".into()));
@@ -535,7 +647,11 @@ mod tests {
         let body = first_fn_body(&p);
         match &body[0].kind {
             StmtKind::Return(Some(e)) => match &e.kind {
-                ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("wrong tree: {other:?}"),
@@ -562,7 +678,11 @@ mod tests {
         let body = first_fn_body(&p);
         match &body[0].kind {
             StmtKind::Return(Some(e)) => match &e.kind {
-                ExprKind::Binary { op: BinOp::Sub, lhs, rhs } => {
+                ExprKind::Binary {
+                    op: BinOp::Sub,
+                    lhs,
+                    rhs,
+                } => {
                     assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Sub, .. }));
                     assert!(matches!(rhs.kind, ExprKind::IntLit(2)));
                 }
@@ -654,7 +774,9 @@ mod tests {
     fn empty_for_header_parts() {
         let p = parse_ok("fn f() { int i; for (;;) { break; } }");
         match &first_fn_body(&p)[1].kind {
-            StmtKind::For { init, cond, step, .. } => {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_none() && cond.is_none() && step.is_none());
             }
             _ => panic!(),

@@ -52,7 +52,10 @@ fn merge_blocks(blocks: &mut [Block]) {
             }
             let spliced = std::mem::replace(
                 &mut blocks[bi],
-                Block { instrs: Vec::new(), term: Terminator::Jump(b) },
+                Block {
+                    instrs: Vec::new(),
+                    term: Terminator::Jump(b),
+                },
             );
             blocks[a].instrs.extend(spliced.instrs);
             blocks[a].term = spliced.term;
@@ -91,7 +94,9 @@ fn remove_unreachable(blocks: Vec<Block>) -> Vec<Block> {
         .map(|(_, mut b)| {
             match &mut b.term {
                 Terminator::Jump(t) => *t = remap[t.index()],
-                Terminator::Branch { taken, fallthru, .. } => {
+                Terminator::Branch {
+                    taken, fallthru, ..
+                } => {
                     *taken = remap[taken.index()];
                     *fallthru = remap[fallthru.index()];
                 }
@@ -165,7 +170,9 @@ fn copy_propagate(blocks: &mut [Block]) {
                 _ => false,
             };
             if fused {
-                let Instr::Move { rd, rs } = b.instrs[i + 1] else { unreachable!() };
+                let Instr::Move { rd, rs } = b.instrs[i + 1] else {
+                    unreachable!()
+                };
                 if b.instrs[i].set_def(rd) {
                     b.instrs.remove(i + 1);
                     *counts.def.entry(rs).or_default() -= 1;
@@ -184,7 +191,9 @@ fn copy_propagate(blocks: &mut [Block]) {
                 _ => false,
             };
             if ffused {
-                let Instr::MoveF { fd, fs } = b.instrs[i + 1] else { unreachable!() };
+                let Instr::MoveF { fd, fs } = b.instrs[i + 1] else {
+                    unreachable!()
+                };
                 if b.instrs[i].set_fdef(fd) {
                     b.instrs.remove(i + 1);
                     *counts.fdef.entry(fs).or_default() -= 1;
@@ -204,7 +213,10 @@ mod tests {
     use bpfree_ir::{BinOp, Cond, FunctionBuilder};
 
     fn ret() -> Terminator {
-        Terminator::Ret { val: None, fval: None }
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
     }
 
     #[test]
@@ -216,9 +228,23 @@ mod tests {
         let r = fb.new_reg();
         fb.push(e, Instr::Li { rd: r, imm: 1 });
         fb.set_term(e, Terminator::Jump(m));
-        fb.push(m, Instr::BinImm { op: BinOp::Add, rd: r, rs: r, imm: 1 });
+        fb.push(
+            m,
+            Instr::BinImm {
+                op: BinOp::Add,
+                rd: r,
+                rs: r,
+                imm: 1,
+            },
+        );
         fb.set_term(m, Terminator::Jump(z));
-        fb.set_term(z, Terminator::Ret { val: Some(r), fval: None });
+        fb.set_term(
+            z,
+            Terminator::Ret {
+                val: Some(r),
+                fval: None,
+            },
+        );
         let f = simplify(fb.finish().unwrap());
         assert_eq!(f.blocks().len(), 1);
         assert_eq!(f.block(BlockId(0)).instrs.len(), 2);
@@ -233,7 +259,14 @@ mod tests {
         let b = fb.new_block();
         let j = fb.new_block();
         let r = fb.new_reg();
-        fb.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: a, fallthru: b });
+        fb.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: a,
+                fallthru: b,
+            },
+        );
         fb.set_term(a, Terminator::Jump(j));
         fb.set_term(b, Terminator::Jump(j));
         fb.set_term(j, ret());
@@ -248,14 +281,23 @@ mod tests {
         let dead = fb.new_block();
         let live = fb.new_block();
         let r = fb.new_reg();
-        fb.set_term(e, Terminator::Branch { cond: Cond::Nez(r), taken: live, fallthru: e });
+        fb.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Nez(r),
+                taken: live,
+                fallthru: e,
+            },
+        );
         fb.set_term(dead, ret());
         fb.set_term(live, ret());
         let f = simplify(fb.finish().unwrap());
         assert_eq!(f.blocks().len(), 2);
         // The branch's taken target must have been remapped to block 1.
         match f.block(BlockId(0)).term {
-            Terminator::Branch { taken, fallthru, .. } => {
+            Terminator::Branch {
+                taken, fallthru, ..
+            } => {
                 assert_eq!(taken, BlockId(1));
                 assert_eq!(fallthru, BlockId(0));
             }
@@ -270,15 +312,42 @@ mod tests {
         let p = fb.add_param();
         let t = fb.new_reg();
         let q = fb.new_reg();
-        fb.push(e, Instr::Load { rd: t, base: p, offset: 1 });
+        fb.push(
+            e,
+            Instr::Load {
+                rd: t,
+                base: p,
+                offset: 1,
+            },
+        );
         fb.push(e, Instr::Move { rd: q, rs: t });
-        fb.set_term(e, Terminator::Branch { cond: Cond::Eqz(q), taken: e, fallthru: e });
+        fb.set_term(
+            e,
+            Terminator::Branch {
+                cond: Cond::Eqz(q),
+                taken: e,
+                fallthru: e,
+            },
+        );
         // (degenerate branch targets don't matter for this pass test)
-        fb.set_term(e, Terminator::Ret { val: Some(q), fval: None });
+        fb.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(q),
+                fval: None,
+            },
+        );
         let f = simplify(fb.finish().unwrap());
         let instrs = &f.block(BlockId(0)).instrs;
         assert_eq!(instrs.len(), 1);
-        assert_eq!(instrs[0], Instr::Load { rd: q, base: p, offset: 1 });
+        assert_eq!(
+            instrs[0],
+            Instr::Load {
+                rd: q,
+                base: p,
+                offset: 1
+            }
+        );
     }
 
     #[test]
@@ -290,8 +359,22 @@ mod tests {
         fb.push(e, Instr::Li { rd: t, imm: 3 });
         fb.push(e, Instr::Move { rd: q, rs: t });
         // Second use of t after the move: fusing would be wrong.
-        fb.push(e, Instr::Bin { op: BinOp::Add, rd: q, rs: q, rt: t });
-        fb.set_term(e, Terminator::Ret { val: Some(q), fval: None });
+        fb.push(
+            e,
+            Instr::Bin {
+                op: BinOp::Add,
+                rd: q,
+                rs: q,
+                rt: t,
+            },
+        );
+        fb.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(q),
+                fval: None,
+            },
+        );
         let f = simplify(fb.finish().unwrap());
         assert_eq!(f.block(BlockId(0)).instrs.len(), 3);
     }
@@ -303,13 +386,33 @@ mod tests {
         let p = fb.add_param();
         let t = fb.new_freg();
         let q = fb.new_freg();
-        fb.push(e, Instr::LoadF { fd: t, base: p, offset: 0 });
+        fb.push(
+            e,
+            Instr::LoadF {
+                fd: t,
+                base: p,
+                offset: 0,
+            },
+        );
         fb.push(e, Instr::MoveF { fd: q, fs: t });
-        fb.set_term(e, Terminator::Ret { val: None, fval: Some(q) });
+        fb.set_term(
+            e,
+            Terminator::Ret {
+                val: None,
+                fval: Some(q),
+            },
+        );
         let f = simplify(fb.finish().unwrap());
         let instrs = &f.block(BlockId(0)).instrs;
         assert_eq!(instrs.len(), 1);
-        assert_eq!(instrs[0], Instr::LoadF { fd: q, base: p, offset: 0 });
+        assert_eq!(
+            instrs[0],
+            Instr::LoadF {
+                fd: q,
+                base: p,
+                offset: 0
+            }
+        );
     }
 
     #[test]
@@ -323,9 +426,18 @@ mod tests {
         fb.push(e, Instr::Li { rd: t, imm: 9 });
         fb.set_term(e, Terminator::Jump(b));
         fb.push(b, Instr::Move { rd: v, rs: t });
-        fb.set_term(b, Terminator::Ret { val: Some(v), fval: None });
+        fb.set_term(
+            b,
+            Terminator::Ret {
+                val: Some(v),
+                fval: None,
+            },
+        );
         let f = simplify(fb.finish().unwrap());
         assert_eq!(f.blocks().len(), 1);
-        assert_eq!(f.block(BlockId(0)).instrs, vec![Instr::Li { rd: v, imm: 9 }]);
+        assert_eq!(
+            f.block(BlockId(0)).instrs,
+            vec![Instr::Li { rd: v, imm: 9 }]
+        );
     }
 }

@@ -90,11 +90,17 @@ fn if_branches_over_then_block() {
         .block_ids()
         .find(|b| f.block(*b).term.is_branch())
         .unwrap();
-    if let Terminator::Branch { taken, fallthru, .. } = &f.block(branch_block).term {
+    if let Terminator::Branch {
+        taken, fallthru, ..
+    } = &f.block(branch_block).term
+    {
         let taken_has_store = !f.block(*taken).instrs.is_empty();
         let fall_has_store = !f.block(*fallthru).instrs.is_empty();
         assert!(!taken_has_store, "taken edge must skip the then block");
-        assert!(fall_has_store, "fall-through edge must enter the then block");
+        assert!(
+            fall_has_store,
+            "fall-through edge must enter the then block"
+        );
     }
 }
 
@@ -161,11 +167,15 @@ fn general_relational_materialises_through_slt() {
         fn main() -> int { return f(1, 2); }",
     );
     let (_, f) = p.func_by_name("f").unwrap();
-    let has_slt = f
-        .blocks()
-        .iter()
-        .flat_map(|b| &b.instrs)
-        .any(|i| matches!(i, Instr::Bin { op: bpfree_ir::BinOp::Slt, .. }));
+    let has_slt = f.blocks().iter().flat_map(|b| &b.instrs).any(|i| {
+        matches!(
+            i,
+            Instr::Bin {
+                op: bpfree_ir::BinOp::Slt,
+                ..
+            }
+        )
+    });
     assert!(has_slt);
     let conds = branch_conds(&p, "f");
     assert!(matches!(conds[0], Cond::Eqz(_))); // !(slt result != 0)
@@ -204,7 +214,12 @@ fn global_scalar_loads_off_gp() {
         fn main() -> int { return n; }",
     );
     let (_, f) = p.func_by_name("main").unwrap();
-    let load = f.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_load()).unwrap();
+    let load = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .find(|i| i.is_load())
+        .unwrap();
     match load {
         Instr::Load { base, .. } => assert_eq!(*base, Reg::GP),
         other => panic!("expected Load, got {other}"),
@@ -218,7 +233,12 @@ fn constant_indexed_global_array_keeps_gp_base() {
         fn main() -> int { return xs[2]; }",
     );
     let (_, f) = p.func_by_name("main").unwrap();
-    let load = f.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_load()).unwrap();
+    let load = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .find(|i| i.is_load())
+        .unwrap();
     match load {
         Instr::Load { base, offset, .. } => {
             assert_eq!(*base, Reg::GP);
@@ -239,7 +259,12 @@ fn local_array_uses_sp_base() {
     );
     let (_, f) = p.func_by_name("main").unwrap();
     assert_eq!(f.frame_words(), 8);
-    let store = f.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_store()).unwrap();
+    let store = f
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .find(|i| i.is_store())
+        .unwrap();
     match store {
         Instr::Store { base, offset, .. } => {
             assert_eq!(*base, Reg::SP);
@@ -366,9 +391,20 @@ fn call_lowering_carries_arguments() {
         fn main() -> int { return int(acc3(1, 2, 3.0)); }",
     );
     let (_, m) = p.func_by_name("main").unwrap();
-    let call = m.blocks().iter().flat_map(|b| &b.instrs).find(|i| i.is_call()).unwrap();
+    let call = m
+        .blocks()
+        .iter()
+        .flat_map(|b| &b.instrs)
+        .find(|i| i.is_call())
+        .unwrap();
     match call {
-        Instr::Call { callee, args, fargs, ret, fret } => {
+        Instr::Call {
+            callee,
+            args,
+            fargs,
+            ret,
+            fret,
+        } => {
             assert_eq!(*callee, FuncId(0));
             assert_eq!(args.len(), 2);
             assert_eq!(fargs.len(), 1);
@@ -391,7 +427,9 @@ fn tiny_leaf_helpers_are_inlined() {
     );
     let (_, m) = p.func_by_name("main").unwrap();
     assert!(
-        !m.blocks().iter().any(|b| b.instrs.iter().any(|i| i.is_call())),
+        !m.blocks()
+            .iter()
+            .any(|b| b.instrs.iter().any(|i| i.is_call())),
         "sq should have been inlined"
     );
     // And the program still computes the right answer.
@@ -475,10 +513,13 @@ fn float_where_word_needed_is_a_type_error() {
 
 #[test]
 fn implicit_float_to_int_rejected_but_cast_accepted() {
-    assert!(compile("fn f(float x) -> int { return x; } fn main() -> int { return f(1.0); }")
-        .is_err());
-    assert!(compile("fn f(float x) -> int { return int(x); } fn main() -> int { return f(1.0); }")
-        .is_ok());
+    assert!(
+        compile("fn f(float x) -> int { return x; } fn main() -> int { return f(1.0); }").is_err()
+    );
+    assert!(
+        compile("fn f(float x) -> int { return int(x); } fn main() -> int { return f(1.0); }")
+            .is_ok()
+    );
 }
 
 #[test]
@@ -522,10 +563,7 @@ fn duplicate_local_in_same_scope_rejected() {
 
 #[test]
 fn shadowing_in_inner_scope_allowed() {
-    assert!(compile(
-        "fn main() -> int { int a; a = 1; { int a; a = 2; } return a; }"
-    )
-    .is_ok());
+    assert!(compile("fn main() -> int { int a; a = 1; { int a; a = 2; } return a; }").is_ok());
 }
 
 #[test]
@@ -550,8 +588,9 @@ fn assign_to_bare_array_rejected() {
 
 #[test]
 fn builtin_redefinition_rejected() {
-    assert!(compile("fn alloc(int n) -> ptr { return null; } fn main() -> int { return 0; }")
-        .is_err());
+    assert!(
+        compile("fn alloc(int n) -> ptr { return null; } fn main() -> int { return 0; }").is_err()
+    );
 }
 
 #[test]
@@ -649,5 +688,10 @@ fn optimisation_levels_preserve_semantics_on_a_real_program() {
     let r2 = Simulator::new(&o2).run(&mut NullObserver).unwrap();
     assert_eq!(r0.exit, r2.exit);
     // Optimisation should not grow the instruction count here.
-    assert!(r2.instructions <= r0.instructions, "{} vs {}", r2.instructions, r0.instructions);
+    assert!(
+        r2.instructions <= r0.instructions,
+        "{} vs {}",
+        r2.instructions,
+        r0.instructions
+    );
 }

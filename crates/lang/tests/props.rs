@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 /// A little expression AST mirrored on both sides.
 #[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)] // `EqE` avoids clashing with `Eq`
 enum E {
     Lit(i32),
     Var(usize),
@@ -118,12 +119,8 @@ fn reference_eval(e: &E, vars: &[i64; N_VARS]) -> i64 {
         E::Le(a, b) => (reference_eval(a, vars) <= reference_eval(b, vars)) as i64,
         E::EqE(a, b) => (reference_eval(a, vars) == reference_eval(b, vars)) as i64,
         E::Ne(a, b) => (reference_eval(a, vars) != reference_eval(b, vars)) as i64,
-        E::LAnd(a, b) => {
-            (reference_eval(a, vars) != 0 && reference_eval(b, vars) != 0) as i64
-        }
-        E::LOr(a, b) => {
-            (reference_eval(a, vars) != 0 || reference_eval(b, vars) != 0) as i64
-        }
+        E::LAnd(a, b) => (reference_eval(a, vars) != 0 && reference_eval(b, vars) != 0) as i64,
+        E::LOr(a, b) => (reference_eval(a, vars) != 0 || reference_eval(b, vars) != 0) as i64,
         E::Neg(a) => 0i64.wrapping_sub(reference_eval(a, vars)),
         E::Not(a) => (reference_eval(a, vars) == 0) as i64,
     }
@@ -131,7 +128,10 @@ fn reference_eval(e: &E, vars: &[i64; N_VARS]) -> i64 {
 
 fn run_program(src: &str, opts: Options) -> i64 {
     let p = compile_with(src, opts).unwrap_or_else(|e| panic!("{}\n{src}", e.render(src)));
-    let cfg = SimConfig { fuel: 10_000_000, ..SimConfig::default() };
+    let cfg = SimConfig {
+        fuel: 10_000_000,
+        ..SimConfig::default()
+    };
     Simulator::with_config(&p, cfg)
         .run(&mut NullObserver)
         .unwrap_or_else(|e| panic!("{e}\n{src}"))

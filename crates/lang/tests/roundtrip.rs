@@ -55,8 +55,8 @@ fn roundtrips_every_suite_benchmark() {
     for b in bpfree_suite::all() {
         let p = b.compile().unwrap();
         let text = p.to_string();
-        let q = parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: parse-back failed: {e}", b.name));
+        let q =
+            parse_program(&text).unwrap_or_else(|e| panic!("{}: parse-back failed: {e}", b.name));
         assert_eq!(p, q, "{} round-trip mismatch", b.name);
     }
 }

@@ -1,0 +1,242 @@
+//! Data parallelism for the experiment engine.
+//!
+//! The paper's sweeps are embarrassingly parallel: 5040 orderings × N
+//! benchmarks, C(22,11) = 705,432 subset trials, 23 independent
+//! compile+simulate pipelines. This crate provides the few primitives
+//! those loops need — an **ordered** parallel map and a splittable
+//! parallel fold — built on `std::thread::scope` (the build environment
+//! has no crates.io access, so `rayon` is not an option; the fan-out
+//! patterns here are simple enough that scoped threads with an atomic
+//! work counter match it for these workloads).
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical to the serial loop at any thread count**:
+//! [`par_map`] writes each output into its input's slot (order
+//! preserved), and [`par_fold_chunks`] gives every worker its own
+//! accumulator over a contiguous index range, merging them in range
+//! order at the end. Nothing here depends on scheduling.
+//!
+//! # Job-count resolution
+//!
+//! [`jobs`] resolves, in priority order: the process-wide override set
+//! by [`set_jobs`] (the binaries' `--jobs N` flag) → the `BPFREE_JOBS`
+//! environment variable → [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count (`0` clears the override).
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: [`set_jobs`] override, else `BPFREE_JOBS`,
+/// else the machine's available parallelism (at least 1).
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("BPFREE_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`jobs`] workers, preserving input order in
+/// the output. Falls back to a plain serial map for one worker or tiny
+/// inputs (avoids thread-spawn overhead on the many small suites the
+/// tests build).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_jobs(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+pub fn par_map_jobs<T, R, F>(n_jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n_jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = n_jobs.min(n);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    // Hand each worker slices of the output it exclusively owns via a
+    // striped claim on indices: worker w claims index i atomically and
+    // writes out[i]. SAFETY-free version: collect (index, value) pairs
+    // per worker and scatter afterwards.
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    for (i, v) in per_worker.drain(..).flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Splits `[0, total)` into at most `parts` contiguous ranges of
+/// near-equal length (never empty; fewer ranges when `total < parts`).
+pub fn split_ranges(total: u64, parts: usize) -> Vec<std::ops::Range<u64>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = (parts.max(1) as u64).min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + u64::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Parallel fold over `[0, total)`: each worker runs `fold` on one
+/// contiguous range producing an accumulator seeded by `init`, and the
+/// accumulators are merged **in range order** with `merge`. With any
+/// commutative-and-associative merge (or any associative merge, given
+/// the in-order reduction) the result equals the serial fold.
+pub fn par_fold_chunks<A, FInit, FFold, FMerge>(
+    total: u64,
+    init: FInit,
+    fold: FFold,
+    merge: FMerge,
+) -> Option<A>
+where
+    A: Send,
+    FInit: Fn() -> A + Sync,
+    FFold: Fn(std::ops::Range<u64>, A) -> A + Sync,
+    FMerge: Fn(A, A) -> A,
+{
+    let ranges = split_ranges(total, jobs());
+    match ranges.len() {
+        0 => None,
+        1 => Some(fold(ranges.into_iter().next().unwrap(), init())),
+        _ => {
+            let fold = &fold;
+            let init = &init;
+            let accs: Vec<A> = std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| s.spawn(move || fold(r, init())))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("par_fold worker panicked"))
+                    .collect()
+            });
+            accs.into_iter().reduce(merge)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 7, 64] {
+            assert_eq!(par_map_jobs(jobs, &items, |x| x * x), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map_jobs(8, &[] as &[u64], |x| *x), Vec::<u64>::new());
+        assert_eq!(par_map_jobs(8, &[5u64], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for total in [0u64, 1, 7, 100, 705_432] {
+            for parts in [1usize, 2, 3, 11, 64] {
+                let ranges = split_ranges(total, parts);
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, total, "covers [0,{total})");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_fold_matches_serial_sum() {
+        // Uses whatever jobs() resolves to; the result must not depend
+        // on it.
+        let total = 123_456u64;
+        let sum = par_fold_chunks(
+            total,
+            || 0u64,
+            |range, mut acc| {
+                for i in range {
+                    acc += i;
+                }
+                acc
+            },
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(sum, total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn jobs_respects_override() {
+        // The only test mutating the process-wide override (tests run
+        // concurrently; others must not touch it).
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

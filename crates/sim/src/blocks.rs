@@ -66,8 +66,7 @@ impl ExecObserver for BranchBlockCounter {
 
     fn on_branch(&mut self, branch: BranchRef, _taken: bool) {
         *self.executions.entry(branch).or_default() += 1;
-        *self.instructions.entry(branch).or_default() +=
-            std::mem::take(&mut self.pending_instrs);
+        *self.instructions.entry(branch).or_default() += std::mem::take(&mut self.pending_instrs);
     }
 }
 
@@ -79,8 +78,14 @@ mod tests {
     #[test]
     fn attributes_runs_to_the_next_branch() {
         let mut c = BranchBlockCounter::new();
-        let b0 = BranchRef { func: FuncId(0), block: BlockId(0) };
-        let b1 = BranchRef { func: FuncId(0), block: BlockId(3) };
+        let b0 = BranchRef {
+            func: FuncId(0),
+            block: BlockId(0),
+        };
+        let b1 = BranchRef {
+            func: FuncId(0),
+            block: BlockId(3),
+        };
         c.on_instrs(4);
         c.on_branch(b0, true);
         c.on_instrs(2);

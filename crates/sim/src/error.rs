@@ -33,7 +33,10 @@ impl fmt::Display for SimError {
                 write!(f, "bad memory address {addr} in function {func}")
             }
             SimError::OutOfMemory { requested } => {
-                write!(f, "heap allocation of {requested} words collided with the stack")
+                write!(
+                    f,
+                    "heap allocation of {requested} words collided with the stack"
+                )
             }
             SimError::StackOverflow { depth } => {
                 write!(f, "call depth exceeded {depth}")
@@ -43,7 +46,10 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownGlobal { name } => write!(f, "unknown global `{name}`"),
             SimError::GlobalTooSmall { name, len, got } => {
-                write!(f, "global `{name}` holds {len} words but {got} were provided")
+                write!(
+                    f,
+                    "global `{name}` holds {len} words but {got} were provided"
+                )
             }
         }
     }

@@ -18,7 +18,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
-        SimConfig { mem_words: 1 << 22, fuel: 2_000_000_000, max_call_depth: 100_000 }
+        SimConfig {
+            mem_words: 1 << 22,
+            fuel: 2_000_000_000,
+            max_call_depth: 100_000,
+        }
     }
 }
 
@@ -69,7 +73,14 @@ impl<'p> Simulator<'p> {
     pub fn with_config(program: &'p Program, config: SimConfig) -> Simulator<'p> {
         let mem = vec![0i64; config.mem_words];
         let heap_next = GP_BASE + program.globals_words();
-        Simulator { program, config, mem, heap_next, fuel_left: config.fuel, depth: 0 }
+        Simulator {
+            program,
+            config,
+            mem,
+            heap_next,
+            fuel_left: config.fuel,
+            depth: 0,
+        }
     }
 
     /// Pokes initial values into named globals — the "dataset" of a run.
@@ -123,7 +134,9 @@ impl<'p> Simulator<'p> {
         let sym = self
             .program
             .symbol(name)
-            .ok_or_else(|| SimError::UnknownGlobal { name: name.to_string() })?;
+            .ok_or_else(|| SimError::UnknownGlobal {
+                name: name.to_string(),
+            })?;
         let base = (GP_BASE + sym.offset) as usize;
         Ok(self.mem[base..base + sym.len as usize].to_vec())
     }
@@ -138,7 +151,10 @@ impl<'p> Simulator<'p> {
         let entry = self.program.entry();
         let sp_top = self.config.mem_words as i64;
         let (val, _fval) = self.call(entry, &[], &[], sp_top, observer)?;
-        Ok(RunResult { exit: val, instructions: self.config.fuel - self.fuel_left })
+        Ok(RunResult {
+            exit: val,
+            instructions: self.config.fuel - self.fuel_left,
+        })
     }
 
     fn call<O: ExecObserver>(
@@ -186,14 +202,26 @@ impl<'p> Simulator<'p> {
             }
             self.fuel_left -= cost;
             for instr in &b.instrs {
-                self.exec_instr(func_id, instr, &mut regs, &mut fregs, &mut fflag, sp, observer)?;
+                self.exec_instr(
+                    func_id, instr, &mut regs, &mut fregs, &mut fflag, sp, observer,
+                )?;
             }
             observer.on_instrs(cost);
             match &b.term {
                 Terminator::Jump(t) => block = *t,
-                Terminator::Branch { cond, taken, fallthru } => {
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    fallthru,
+                } => {
                     let is_taken = eval_cond(cond, &regs, fflag);
-                    observer.on_branch(BranchRef { func: func_id, block }, is_taken);
+                    observer.on_branch(
+                        BranchRef {
+                            func: func_id,
+                            block,
+                        },
+                        is_taken,
+                    );
                     block = if is_taken { *taken } else { *fallthru };
                 }
                 Terminator::Ret { val, fval } => {
@@ -293,7 +321,13 @@ impl<'p> Simulator<'p> {
                 self.heap_next += bump;
                 write_reg(regs, *rd, addr);
             }
-            Instr::Call { callee, args, fargs, ret, fret } => {
+            Instr::Call {
+                callee,
+                args,
+                fargs,
+                ret,
+                fret,
+            } => {
                 let a: Vec<i64> = args.iter().map(|r| read_reg(regs, *r)).collect();
                 let fa: Vec<f64> = fargs.iter().map(|r| fregs[r.index() as usize]).collect();
                 let (v, fv) = self.call(*callee, &a, &fa, sp, observer)?;

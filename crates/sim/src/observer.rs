@@ -107,7 +107,10 @@ mod tests {
         let mut c = CountingObserver::default();
         c.on_instrs(5);
         c.on_instrs(3);
-        let b = BranchRef { func: FuncId(0), block: BlockId(0) };
+        let b = BranchRef {
+            func: FuncId(0),
+            block: BlockId(0),
+        };
         c.on_branch(b, true);
         c.on_branch(b, false);
         assert_eq!(c.instructions, 8);

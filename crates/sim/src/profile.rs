@@ -109,7 +109,9 @@ impl EdgeProfile {
 
 impl FromIterator<(BranchRef, EdgeCounts)> for EdgeProfile {
     fn from_iter<I: IntoIterator<Item = (BranchRef, EdgeCounts)>>(iter: I) -> EdgeProfile {
-        EdgeProfile { counts: iter.into_iter().collect() }
+        EdgeProfile {
+            counts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -148,7 +150,10 @@ mod tests {
     use bpfree_ir::{BlockId, FuncId};
 
     fn br(b: u32) -> BranchRef {
-        BranchRef { func: FuncId(0), block: BlockId(b) }
+        BranchRef {
+            func: FuncId(0),
+            block: BlockId(b),
+        }
     }
 
     #[test]
@@ -158,7 +163,13 @@ mod tests {
         p.record(br(0), true);
         p.record(br(0), false);
         let c = p.counts(br(0));
-        assert_eq!(c, EdgeCounts { taken: 2, fallthru: 1 });
+        assert_eq!(
+            c,
+            EdgeCounts {
+                taken: 2,
+                fallthru: 1
+            }
+        );
         assert_eq!(c.total(), 3);
         assert_eq!(c.majority(), 2);
         assert_eq!(c.minority(), 1);
@@ -168,7 +179,10 @@ mod tests {
 
     #[test]
     fn ties_predict_taken() {
-        let c = EdgeCounts { taken: 5, fallthru: 5 };
+        let c = EdgeCounts {
+            taken: 5,
+            fallthru: 5,
+        };
         assert!(c.taken_majority());
     }
 
@@ -180,7 +194,13 @@ mod tests {
         b.record(br(0), false);
         b.record(br(1), true);
         a.merge(&b);
-        assert_eq!(a.counts(br(0)), EdgeCounts { taken: 1, fallthru: 1 });
+        assert_eq!(
+            a.counts(br(0)),
+            EdgeCounts {
+                taken: 1,
+                fallthru: 1
+            }
+        );
         assert_eq!(a.n_sites(), 2);
         assert_eq!(a.total_branches(), 3);
     }

@@ -1,6 +1,9 @@
 //! End-to-end semantics tests: compile Cmm, run, check results and
 //! profiles.
 
+// Expected values are written as the per-iteration sums they come from.
+#![allow(clippy::identity_op)]
+
 use bpfree_ir::GlobalValues;
 use bpfree_lang::compile;
 use bpfree_sim::{
@@ -380,7 +383,10 @@ fn unknown_global_rejected() {
     let mut sim = Simulator::new(&p);
     let mut g = GlobalValues::new();
     g.set_int("missing", vec![1]);
-    assert!(matches!(sim.set_globals(&g), Err(SimError::UnknownGlobal { .. })));
+    assert!(matches!(
+        sim.set_globals(&g),
+        Err(SimError::UnknownGlobal { .. })
+    ));
 }
 
 #[test]
@@ -389,7 +395,10 @@ fn oversized_dataset_rejected() {
     let mut sim = Simulator::new(&p);
     let mut g = GlobalValues::new();
     g.set_int("xs", vec![1, 2, 3]);
-    assert!(matches!(sim.set_globals(&g), Err(SimError::GlobalTooSmall { .. })));
+    assert!(matches!(
+        sim.set_globals(&g),
+        Err(SimError::GlobalTooSmall { .. })
+    ));
 }
 
 #[test]
@@ -415,8 +424,13 @@ fn null_dereference_traps() {
 #[test]
 fn infinite_loop_runs_out_of_fuel() {
     let p = compile("fn main() -> int { int i; do { i = 1; } while (i > 0); return i; }").unwrap();
-    let cfg = SimConfig { fuel: 10_000, ..SimConfig::default() };
-    let err = Simulator::with_config(&p, cfg).run(&mut NullObserver).unwrap_err();
+    let cfg = SimConfig {
+        fuel: 10_000,
+        ..SimConfig::default()
+    };
+    let err = Simulator::with_config(&p, cfg)
+        .run(&mut NullObserver)
+        .unwrap_err();
     assert!(matches!(err, SimError::OutOfFuel { .. }));
 }
 
@@ -427,8 +441,13 @@ fn runaway_recursion_overflows_stack() {
         fn main() -> int { return f(0); }",
     )
     .unwrap();
-    let cfg = SimConfig { max_call_depth: 100, ..SimConfig::default() };
-    let err = Simulator::with_config(&p, cfg).run(&mut NullObserver).unwrap_err();
+    let cfg = SimConfig {
+        max_call_depth: 100,
+        ..SimConfig::default()
+    };
+    let err = Simulator::with_config(&p, cfg)
+        .run(&mut NullObserver)
+        .unwrap_err();
     assert!(matches!(err, SimError::StackOverflow { .. }));
 }
 
@@ -453,8 +472,7 @@ fn edge_profile_counts_are_exact() {
     Simulator::new(&p).run(&mut prof).unwrap();
     let profile = prof.into_profile();
     assert_eq!(profile.n_sites(), 2);
-    let mut totals: Vec<(u64, u64)> =
-        profile.iter().map(|(_, c)| (c.taken, c.fallthru)).collect();
+    let mut totals: Vec<(u64, u64)> = profile.iter().map(|(_, c)| (c.taken, c.fallthru)).collect();
     totals.sort();
     // Guard: branch-over polarity means "enter loop" is the fall-through:
     // 0 taken / 1 fallthru. Latch: taken 4 (backedge), fallthru 1 (exit).

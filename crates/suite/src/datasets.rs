@@ -20,7 +20,10 @@ fn rng_for(benchmark: &str, dataset: usize) -> SmallRng {
 }
 
 fn ds(name: &str, values: GlobalValues) -> Dataset {
-    Dataset { name: name.to_string(), values }
+    Dataset {
+        name: name.to_string(),
+        values,
+    }
 }
 
 pub(crate) fn xlisp() -> Vec<Dataset> {
@@ -31,7 +34,11 @@ pub(crate) fn xlisp() -> Vec<Dataset> {
         g.set_int("max_depth", vec![depth]);
         ds(name, g)
     };
-    vec![mk("ref", 42, 500, 7), mk("alt1", 977, 350, 8), mk("alt2", 31_337, 700, 6)]
+    vec![
+        mk("ref", 42, 500, 7),
+        mk("alt1", 977, 350, 8),
+        mk("alt2", 31_337, 700, 6),
+    ]
 }
 
 pub(crate) fn gcc() -> Vec<Dataset> {
@@ -42,7 +49,11 @@ pub(crate) fn gcc() -> Vec<Dataset> {
         g.set_int("gen_depth", vec![depth]);
         ds(name, g)
     };
-    vec![mk("ref", 7, 250, 6), mk("alt1", 555, 180, 7), mk("alt2", 90_210, 320, 5)]
+    vec![
+        mk("ref", 7, 250, 6),
+        mk("alt1", 555, 180, 7),
+        mk("alt2", 90_210, 320, 5),
+    ]
 }
 
 pub(crate) fn lcc() -> Vec<Dataset> {
@@ -52,7 +63,11 @@ pub(crate) fn lcc() -> Vec<Dataset> {
         g.set_int("n_stmts", vec![stmts]);
         ds(name, g)
     };
-    vec![mk("ref", 11, 500), mk("alt1", 222, 700), mk("alt2", 9_041, 350)]
+    vec![
+        mk("ref", 11, 500),
+        mk("alt1", 222, 700),
+        mk("alt2", 9_041, 350),
+    ]
 }
 
 pub(crate) fn grep() -> Vec<Dataset> {
@@ -77,7 +92,11 @@ pub(crate) fn grep() -> Vec<Dataset> {
         g.set_int("pattern_len", vec![pattern.len() as i64]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 509, 77), mk("alt1", 1, 2039, 61), mk("alt2", 2, 127, 90)]
+    vec![
+        mk("ref", 0, 509, 77),
+        mk("alt1", 1, 2039, 61),
+        mk("alt2", 2, 127, 90),
+    ]
 }
 
 pub(crate) fn compress() -> Vec<Dataset> {
@@ -98,7 +117,11 @@ pub(crate) fn compress() -> Vec<Dataset> {
         g.set_int("input", input);
         ds(name, g)
     };
-    vec![mk("ref", 0, 24, 0.65), mk("alt1", 1, 96, 0.30), mk("alt2", 2, 8, 0.85)]
+    vec![
+        mk("ref", 0, 24, 0.65),
+        mk("alt1", 1, 96, 0.30),
+        mk("alt2", 2, 8, 0.85),
+    ]
 }
 
 pub(crate) fn eqntott() -> Vec<Dataset> {
@@ -123,7 +146,11 @@ pub(crate) fn eqntott() -> Vec<Dataset> {
         g.set_int("ops", ops);
         ds(name, g)
     };
-    vec![mk("ref", 0, 14, 60), mk("alt1", 1, 15, 45), mk("alt2", 2, 13, 80)]
+    vec![
+        mk("ref", 0, 14, 60),
+        mk("alt1", 1, 15, 45),
+        mk("alt2", 2, 13, 80),
+    ]
 }
 
 pub(crate) fn tomcatv() -> Vec<Dataset> {
@@ -146,7 +173,11 @@ pub(crate) fn tomcatv() -> Vec<Dataset> {
         g.set_float("relax", vec![0.12]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 34, 8), mk("alt1", 1, 26, 14), mk("alt2", 2, 34, 4)]
+    vec![
+        mk("ref", 0, 34, 8),
+        mk("alt1", 1, 26, 14),
+        mk("alt2", 2, 34, 4),
+    ]
 }
 
 pub(crate) fn matrix300() -> Vec<Dataset> {
@@ -161,7 +192,11 @@ pub(crate) fn matrix300() -> Vec<Dataset> {
         g.set_int("reps", vec![reps]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 32, 2), mk("alt1", 1, 24, 5), mk("alt2", 2, 30, 3)]
+    vec![
+        mk("ref", 0, 32, 2),
+        mk("alt1", 1, 24, 5),
+        mk("alt2", 2, 30, 3),
+    ]
 }
 
 pub(crate) fn sgefat() -> Vec<Dataset> {
@@ -193,7 +228,11 @@ pub(crate) fn congress() -> Vec<Dataset> {
         g.set_int("n_queries", vec![queries]);
         ds(name, g)
     };
-    vec![mk("ref", 3, 70, 160), mk("alt1", 88, 50, 240), mk("alt2", 412, 90, 110)]
+    vec![
+        mk("ref", 3, 70, 160),
+        mk("alt1", 88, 50, 240),
+        mk("alt2", 412, 90, 110),
+    ]
 }
 
 pub(crate) fn ghostview() -> Vec<Dataset> {
@@ -204,7 +243,9 @@ pub(crate) fn ghostview() -> Vec<Dataset> {
             let op: i64 = if r.gen_bool(err_rate) {
                 9 // unknown operator
             } else {
-                *[0i64, 1, 2, 2, 2, 3, 3, 4, 5].get(r.gen_range(0..9)).unwrap()
+                *[0i64, 1, 2, 2, 2, 3, 3, 4, 5]
+                    .get(r.gen_range(0..9))
+                    .unwrap()
             };
             // Coordinates mostly on the page, occasionally off it.
             let span = if r.gen_bool(0.08) { 1500 } else { 600 };
@@ -219,7 +260,11 @@ pub(crate) fn ghostview() -> Vec<Dataset> {
         g.set_int("page_h", vec![792]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 2600, 0.01), mk("alt1", 1, 1800, 0.05), mk("alt2", 2, 2700, 0.002)]
+    vec![
+        mk("ref", 0, 2600, 0.01),
+        mk("alt1", 1, 1800, 0.05),
+        mk("alt2", 2, 2700, 0.002),
+    ]
 }
 
 pub(crate) fn rn() -> Vec<Dataset> {
@@ -260,7 +305,11 @@ pub(crate) fn rn() -> Vec<Dataset> {
         g.set_int("group_tag", vec![35]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 70, 0.15, 0.75), mk("alt1", 1, 90, 0.4, 0.5), mk("alt2", 2, 55, 0.05, 0.9)]
+    vec![
+        mk("ref", 0, 70, 0.15, 0.75),
+        mk("alt1", 1, 90, 0.4, 0.5),
+        mk("alt2", 2, 55, 0.05, 0.9),
+    ]
 }
 
 pub(crate) fn espresso() -> Vec<Dataset> {
@@ -283,7 +332,11 @@ pub(crate) fn espresso() -> Vec<Dataset> {
         g.set_int("n_bits", vec![n_bits]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 220, 24), mk("alt1", 1, 150, 30), mk("alt2", 2, 300, 18)]
+    vec![
+        mk("ref", 0, 220, 24),
+        mk("alt1", 1, 150, 30),
+        mk("alt2", 2, 300, 18),
+    ]
 }
 
 pub(crate) fn qpt() -> Vec<Dataset> {
@@ -309,7 +362,11 @@ pub(crate) fn qpt() -> Vec<Dataset> {
         g.set_int("n_nodes", vec![nodes]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 600, 2400), mk("alt1", 1, 900, 3600), mk("alt2", 2, 300, 1500)]
+    vec![
+        mk("ref", 0, 600, 2400),
+        mk("alt1", 1, 900, 3600),
+        mk("alt2", 2, 300, 1500),
+    ]
 }
 
 pub(crate) fn awk() -> Vec<Dataset> {
@@ -338,7 +395,11 @@ pub(crate) fn awk() -> Vec<Dataset> {
         g.set_int("threshold", vec![threshold]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 900, 500), mk("alt1", 1, 1200, 900), mk("alt2", 2, 700, 100)]
+    vec![
+        mk("ref", 0, 900, 500),
+        mk("alt1", 1, 1200, 900),
+        mk("alt2", 2, 700, 100),
+    ]
 }
 
 pub(crate) fn addalg() -> Vec<Dataset> {
@@ -346,8 +407,7 @@ pub(crate) fn addalg() -> Vec<Dataset> {
         let mut r = rng_for("addalg", dsi);
         let weight: Vec<i64> = (0..items).map(|_| r.gen_range(3..30i64)).collect();
         // Correlated values keep the bound tight (strong pruning).
-        let value: Vec<i64> =
-            weight.iter().map(|&w| w * 3 + r.gen_range(0..5)).collect();
+        let value: Vec<i64> = weight.iter().map(|&w| w * 3 + r.gen_range(0..5)).collect();
         let total: i64 = weight.iter().sum();
         let mut g = GlobalValues::new();
         g.set_int("n_items", vec![items as i64]);
@@ -356,18 +416,22 @@ pub(crate) fn addalg() -> Vec<Dataset> {
         g.set_int("capacity", vec![(total as f64 * cap_frac) as i64]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 22, 0.4), mk("alt1", 1, 20, 0.55), mk("alt2", 2, 24, 0.3)]
+    vec![
+        mk("ref", 0, 22, 0.4),
+        mk("alt1", 1, 20, 0.55),
+        mk("alt2", 2, 24, 0.3),
+    ]
 }
 
 pub(crate) fn poly() -> Vec<Dataset> {
     // Shapes are 4-bit-per-row masks: a 1x2 domino, 2x2 square, L tromino,
     // 1x3 bar, T tetromino.
     let shapes: [(i64, i64, i64); 5] = [
-        (0b11, 2, 1),               // domino horizontal
-        (0b0001_0001, 1, 2),        // domino vertical
-        (0b0011_0011, 2, 2),        // square
-        (0b0001_0011, 2, 2),        // L tromino
-        (0b111, 3, 1),              // bar
+        (0b11, 2, 1),        // domino horizontal
+        (0b0001_0001, 1, 2), // domino vertical
+        (0b0011_0011, 2, 2), // square
+        (0b0001_0011, 2, 2), // L tromino
+        (0b111, 3, 1),       // bar
     ];
     let mk = |name: &str, w: i64, h: i64, blocked: i64, max_solutions: i64| {
         let mut g = GlobalValues::new();
@@ -398,14 +462,22 @@ pub(crate) fn spice2g6() -> Vec<Dataset> {
                     gmat[i * 32 + j] = r.gen_range(-0.5..0.5);
                 }
             }
-            let row_sum: f64 =
-                (0..n).filter(|&j| j != i).map(|j| gmat[i * 32 + j].abs()).sum();
+            let row_sum: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| gmat[i * 32 + j].abs())
+                .sum();
             gmat[i * 32 + i] = row_sum + 1.0 + r.gen::<f64>();
         }
         let rhs: Vec<f64> = (0..32).map(|_| r.gen_range(-2.0..2.0)).collect();
         // Device regions: mostly negative (cutoff), like error codes.
         let regions: Vec<i64> = (0..32)
-            .map(|_| if r.gen_bool(0.7) { -r.gen_range(1..5i64) } else { r.gen_range(0..3) })
+            .map(|_| {
+                if r.gen_bool(0.7) {
+                    -r.gen_range(1..5i64)
+                } else {
+                    r.gen_range(0..3)
+                }
+            })
             .collect();
         let mut g = GlobalValues::new();
         g.set_float("g", gmat);
@@ -416,7 +488,11 @@ pub(crate) fn spice2g6() -> Vec<Dataset> {
         g.set_int("device_region", regions);
         ds(name, g)
     };
-    vec![mk("ref", 0, 28, 60, 1e-4), mk("alt1", 1, 20, 90, 1e-6), mk("alt2", 2, 32, 40, 1e-3)]
+    vec![
+        mk("ref", 0, 28, 60, 1e-4),
+        mk("alt1", 1, 20, 90, 1e-6),
+        mk("alt2", 2, 32, 40, 1e-3),
+    ]
 }
 
 pub(crate) fn doduc() -> Vec<Dataset> {
@@ -426,10 +502,17 @@ pub(crate) fn doduc() -> Vec<Dataset> {
         g.set_int("n_particles", vec![particles]);
         g.set_int("max_steps", vec![steps]);
         g.set_float("zone_edge", vec![0.2, 0.5, 0.9, 1.4, 2.0, 2.7, 3.5, 4.4]);
-        g.set_float("absorb_prob", vec![0.05, 0.08, 0.12, 0.1, 0.15, 0.2, 0.25, 0.3]);
+        g.set_float(
+            "absorb_prob",
+            vec![0.05, 0.08, 0.12, 0.1, 0.15, 0.2, 0.25, 0.3],
+        );
         ds(name, g)
     };
-    vec![mk("ref", 19, 4000, 250), mk("alt1", 83, 2500, 400), mk("alt2", 6, 6000, 150)]
+    vec![
+        mk("ref", 19, 4000, 250),
+        mk("alt1", 83, 2500, 400),
+        mk("alt2", 6, 6000, 150),
+    ]
 }
 
 pub(crate) fn fpppp() -> Vec<Dataset> {
@@ -451,7 +534,11 @@ pub(crate) fn fpppp() -> Vec<Dataset> {
     // `cutoff` is the squared screening radius: pairs farther apart are
     // skipped. With centers in [-3,3]^3 the mean pair distance-squared is
     // ~18, so 8.0 skips roughly three quarters of the pairs.
-    vec![mk("ref", 0, 56, 8.0), mk("alt1", 1, 64, 14.0), mk("alt2", 2, 40, 5.0)]
+    vec![
+        mk("ref", 0, 56, 8.0),
+        mk("alt1", 1, 64, 14.0),
+        mk("alt2", 2, 40, 5.0),
+    ]
 }
 
 pub(crate) fn dnasa7() -> Vec<Dataset> {
@@ -466,7 +553,11 @@ pub(crate) fn dnasa7() -> Vec<Dataset> {
         g.set_int("reps", vec![reps]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 28, 3), mk("alt1", 1, 20, 6), mk("alt2", 2, 32, 2)]
+    vec![
+        mk("ref", 0, 28, 3),
+        mk("alt1", 1, 20, 6),
+        mk("alt2", 2, 32, 2),
+    ]
 }
 
 pub(crate) fn costscale() -> Vec<Dataset> {
@@ -496,7 +587,11 @@ pub(crate) fn costscale() -> Vec<Dataset> {
         g.set_int("sink", vec![nodes - 1]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 80, 640), mk("alt1", 1, 120, 960), mk("alt2", 2, 48, 380)]
+    vec![
+        mk("ref", 0, 80, 640),
+        mk("alt1", 1, 120, 960),
+        mk("alt2", 2, 48, 380),
+    ]
 }
 
 pub(crate) fn dcg() -> Vec<Dataset> {
@@ -543,5 +638,9 @@ pub(crate) fn dcg() -> Vec<Dataset> {
         g.set_int("max_iters", vec![120]);
         ds(name, g)
     };
-    vec![mk("ref", 0, 256, 9, 1e-7), mk("alt1", 1, 160, 6, 1e-9), mk("alt2", 2, 256, 12, 1e-5)]
+    vec![
+        mk("ref", 0, 256, 9, 1e-7),
+        mk("alt1", 1, 160, 6, 1e-9),
+        mk("alt2", 2, 256, 12, 1e-5),
+    ]
 }

@@ -51,7 +51,10 @@ pub struct Dataset {
 pub enum SuiteError {
     Compile(CompileError),
     Run(SimError),
-    NoSuchDataset { benchmark: &'static str, index: usize },
+    NoSuchDataset {
+        benchmark: &'static str,
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for SuiteError {
@@ -107,9 +110,10 @@ impl Benchmark {
         index: usize,
     ) -> Result<(EdgeProfile, RunResult), SuiteError> {
         let datasets = self.datasets();
-        let dataset = datasets
-            .get(index)
-            .ok_or(SuiteError::NoSuchDataset { benchmark: self.name, index })?;
+        let dataset = datasets.get(index).ok_or(SuiteError::NoSuchDataset {
+            benchmark: self.name,
+            index,
+        })?;
         let mut profiler = EdgeProfiler::new();
         let result = self.run_with(program, dataset, &mut profiler)?;
         Ok((profiler.into_profile(), result))

@@ -79,7 +79,14 @@ pub fn all() -> Vec<Benchmark> {
             datasets::ghostview
         ),
         benchmark!("gcc", "gcc.cmm", "GNU C compiler", C, true, datasets::gcc),
-        benchmark!("lcc", "lcc.cmm", "Fraser & Hanson's C compiler", C, false, datasets::lcc),
+        benchmark!(
+            "lcc",
+            "lcc.cmm",
+            "Fraser & Hanson's C compiler",
+            C,
+            false,
+            datasets::lcc
+        ),
         benchmark!("rn", "rn.cmm", "Net news reader", C, false, datasets::rn),
         benchmark!(
             "espresso",
@@ -89,9 +96,30 @@ pub fn all() -> Vec<Benchmark> {
             true,
             datasets::espresso
         ),
-        benchmark!("qpt", "qpt.cmm", "Profiling and tracing tool", C, false, datasets::qpt),
-        benchmark!("awk", "awk.cmm", "Pattern scanner & processor", C, false, datasets::awk),
-        benchmark!("xlisp", "xlisp.cmm", "Lisp interpreter", C, true, datasets::xlisp),
+        benchmark!(
+            "qpt",
+            "qpt.cmm",
+            "Profiling and tracing tool",
+            C,
+            false,
+            datasets::qpt
+        ),
+        benchmark!(
+            "awk",
+            "awk.cmm",
+            "Pattern scanner & processor",
+            C,
+            false,
+            datasets::awk
+        ),
+        benchmark!(
+            "xlisp",
+            "xlisp.cmm",
+            "Lisp interpreter",
+            C,
+            true,
+            datasets::xlisp
+        ),
         benchmark!(
             "eqntott",
             "eqntott.cmm",
@@ -124,7 +152,14 @@ pub fn all() -> Vec<Benchmark> {
             false,
             datasets::grep
         ),
-        benchmark!("poly", "poly.cmm", "Polyominoes game", C, false, datasets::poly),
+        benchmark!(
+            "poly",
+            "poly.cmm",
+            "Polyominoes game",
+            C,
+            false,
+            datasets::poly
+        ),
         benchmark!(
             "spice2g6",
             "spice2g6.cmm",
@@ -181,7 +216,14 @@ pub fn all() -> Vec<Benchmark> {
             false,
             datasets::costscale
         ),
-        benchmark!("dcg", "dcg.cmm", "Conjugate gradient", C, false, datasets::dcg),
+        benchmark!(
+            "dcg",
+            "dcg.cmm",
+            "Conjugate gradient",
+            C,
+            false,
+            datasets::dcg
+        ),
         benchmark!(
             "sgefat",
             "sgefat.cmm",

@@ -32,11 +32,26 @@ fn grep_counts_match_a_rust_scan() {
     let exit = sim.run(&mut NullObserver).unwrap().exit;
 
     // Reference scan over the same dataset.
-    let text: Vec<i64> = values.ints().iter().find(|(n, _)| n == "text").unwrap().1.clone();
-    let text_len = values.ints().iter().find(|(n, _)| n == "n" || n == "text_len").unwrap().1[0]
-        as usize;
-    let pattern: Vec<i64> =
-        values.ints().iter().find(|(n, _)| n == "pattern").unwrap().1.clone();
+    let text: Vec<i64> = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "text")
+        .unwrap()
+        .1
+        .clone();
+    let text_len = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "n" || n == "text_len")
+        .unwrap()
+        .1[0] as usize;
+    let pattern: Vec<i64> = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "pattern")
+        .unwrap()
+        .1
+        .clone();
     let mut matches = 0i64;
     let mut lines = 0i64;
     for i in 0..=text_len - pattern.len() {
@@ -77,10 +92,20 @@ fn sgefat_solution_satisfies_the_system() {
         .into_iter()
         .map(|w| f64::from_bits(w as u64))
         .collect();
-    let m: Vec<f64> =
-        values.floats().iter().find(|(n, _)| n == "m").unwrap().1.clone();
-    let rhs: Vec<f64> =
-        values.floats().iter().find(|(n, _)| n == "rhs").unwrap().1.clone();
+    let m: Vec<f64> = values
+        .floats()
+        .iter()
+        .find(|(n, _)| n == "m")
+        .unwrap()
+        .1
+        .clone();
+    let rhs: Vec<f64> = values
+        .floats()
+        .iter()
+        .find(|(n, _)| n == "rhs")
+        .unwrap()
+        .1
+        .clone();
     let n = values.ints().iter().find(|(nm, _)| nm == "n").unwrap().1[0] as usize;
     for i in 0..n {
         let mut acc = 0.0;
@@ -120,7 +145,13 @@ fn eqntott_counts_match_reference_evaluation() {
     let values = dataset_values("eqntott", 0);
     let (exit, _) = run_with("eqntott", &values);
     // Reference: evaluate the same DAG over all assignments.
-    let ops: Vec<i64> = values.ints().iter().find(|(n, _)| n == "ops").unwrap().1.clone();
+    let ops: Vec<i64> = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "ops")
+        .unwrap()
+        .1
+        .clone();
     let n_vars = values.ints().iter().find(|(n, _)| n == "n_vars").unwrap().1[0];
     let n_ops = values.ints().iter().find(|(n, _)| n == "n_ops").unwrap().1[0] as usize;
     fn eval(ops: &[i64], idx: usize, a: i64) -> i64 {
@@ -165,7 +196,12 @@ fn qpt_edge_classification_matches_rust_dfs() {
     let cross = exit % 100;
     assert!(tree > 0);
     // Conservation: classified edges cannot exceed total edges.
-    let n_edges = values.ints().iter().find(|(n, _)| n == "n_edges").unwrap().1[0];
+    let n_edges = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "n_edges")
+        .unwrap()
+        .1[0];
     // (back and cross are taken modulo 100 in the exit code, so only
     // bound-check the tree count here.)
     assert!(tree <= n_edges, "{tree} tree edges of {n_edges}");
@@ -205,11 +241,19 @@ fn addalg_respects_capacity_bound() {
     let values = dataset_values("addalg", 0);
     let (exit, _) = run_with("addalg", &values);
     let best = exit / 100;
-    let value: Vec<i64> =
-        values.ints().iter().find(|(n, _)| n == "value").unwrap().1.clone();
+    let value: Vec<i64> = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "value")
+        .unwrap()
+        .1
+        .clone();
     let total: i64 = value.iter().sum();
     assert!(best > 0, "a feasible packing exists");
-    assert!(best <= total, "best {best} cannot exceed total value {total}");
+    assert!(
+        best <= total,
+        "best {best} cannot exceed total value {total}"
+    );
 }
 
 #[test]
@@ -237,15 +281,27 @@ fn awk_sums_match_a_reference_pass() {
     let values = dataset_values("awk", 0);
     let (exit, _) = run_with("awk", &values);
     // Reference: split the same byte stream.
-    let input: Vec<i64> =
-        values.ints().iter().find(|(n, _)| n == "input").unwrap().1.clone();
-    let threshold = values.ints().iter().find(|(n, _)| n == "threshold").unwrap().1[0];
+    let input: Vec<i64> = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "input")
+        .unwrap()
+        .1
+        .clone();
+    let threshold = values
+        .ints()
+        .iter()
+        .find(|(n, _)| n == "threshold")
+        .unwrap()
+        .1[0];
     let text: String = input.iter().map(|&c| c as u8 as char).collect();
     let mut sum2 = 0i64;
     let mut matched = 0i64;
     for line in text.split('\n') {
-        let fields: Vec<i64> =
-            line.split_whitespace().filter_map(|w| w.parse().ok()).collect();
+        let fields: Vec<i64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
         if let Some(&f0) = fields.first() {
             if f0 > threshold {
                 matched += 1;

@@ -7,7 +7,13 @@ fn out_of_range_dataset_is_reported() {
     let b = by_name("grep").unwrap();
     let p = b.compile().unwrap();
     let err = b.profile(&p, 99).unwrap_err();
-    assert!(matches!(err, SuiteError::NoSuchDataset { benchmark: "grep", index: 99 }));
+    assert!(matches!(
+        err,
+        SuiteError::NoSuchDataset {
+            benchmark: "grep",
+            index: 99
+        }
+    ));
     assert!(err.to_string().contains("99"));
 }
 
@@ -27,7 +33,16 @@ fn datasets_have_distinct_names() {
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
-        assert_eq!(names.len(), dedup.len(), "{}: duplicate dataset names", b.name);
-        assert_eq!(names[0], "ref", "{}: first dataset must be the reference", b.name);
+        assert_eq!(
+            names.len(),
+            dedup.len(),
+            "{}: duplicate dataset names",
+            b.name
+        );
+        assert_eq!(
+            names[0], "ref",
+            "{}: first dataset must be the reference",
+            b.name
+        );
     }
 }

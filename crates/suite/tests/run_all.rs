@@ -21,7 +21,12 @@ fn every_benchmark_is_reducible() {
         let p = b.compile().unwrap();
         for f in p.funcs() {
             let a = FunctionAnalysis::new(f);
-            assert!(a.loops.is_reducible(), "{}::{} is irreducible", b.name, f.name());
+            assert!(
+                a.loops.is_reducible(),
+                "{}::{} is irreducible",
+                b.name,
+                f.name()
+            );
         }
     }
 }

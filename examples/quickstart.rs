@@ -80,12 +80,14 @@ fn main() {
 
     // 3. Predict every branch statically — no profile consulted.
     let classifier = BranchClassifier::analyze(&program);
-    let predictor =
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
 
     // 4. Score everything against the profile.
     println!();
-    println!("{:<22} {:>9} {:>9} {:>9}", "predictor", "loop%", "nonloop%", "all%");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}",
+        "predictor", "loop%", "nonloop%", "all%"
+    );
     for (name, preds) in [
         ("program-based (B&L)", predictor.predictions()),
         ("perfect static", perfect_predictions(&program, &profile)),

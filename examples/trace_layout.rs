@@ -19,8 +19,7 @@ fn main() {
     let bench = bpfree::suite::by_name("gcc").expect("gcc analogue exists");
     let program = bench.compile().expect("suite programs compile");
     let classifier = BranchClassifier::analyze(&program);
-    let predictor =
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let predictions = predictor.predictions();
 
     // Grow one trace per function: start at the entry, follow jumps and
@@ -40,8 +39,13 @@ fn main() {
             len += func.block(cur).len_with_term();
             cur = match &func.block(cur).term {
                 Terminator::Jump(t) => *t,
-                Terminator::Branch { taken, fallthru, .. } => {
-                    match predictions.get(BranchRef { func: fid, block: cur }) {
+                Terminator::Branch {
+                    taken, fallthru, ..
+                } => {
+                    match predictions.get(BranchRef {
+                        func: fid,
+                        block: cur,
+                    }) {
                         Some(Direction::Taken) => *taken,
                         _ => *fallthru,
                     }

@@ -56,8 +56,7 @@ fn main() -> int {
 fn main() {
     let program = compile(PROGRAM).unwrap_or_else(|e| panic!("{}", e.render(PROGRAM)));
     let classifier = BranchClassifier::analyze(&program);
-    let predictor =
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let predictions = predictor.predictions();
 
     let mut profiler = EdgeProfiler::new();

@@ -1,0 +1,318 @@
+//! A minimal, self-contained stand-in for the parts of Criterion the
+//! workspace's benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors this shim. It measures wall-clock time with adaptive
+//! iteration counts and prints a one-line median/mean report per bench —
+//! no HTML, no statistical machinery. Benchmark names can be filtered by
+//! passing a substring on the command line (as with real Criterion).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim times each routine call
+/// individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units-per-iteration annotation; printed as derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    filter: Option<String>,
+    /// Target measurement time per benchmark.
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Ignore harness flags Cargo forwards (e.g. `--bench`); treat the
+        // first bare argument as a name filter, as real Criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            measure: Duration::from_millis(300),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.as_ref(), None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measure,
+            min_samples: self.sample_size,
+        };
+        f(&mut b);
+        b.report(id, throughput);
+    }
+}
+
+/// A named group of benches sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if let Some(n) = self.sample_size {
+            self.c.sample_size = n;
+        }
+        let throughput = self.throughput;
+        self.c.run_one(&full, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    min_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` in batches, recording per-iteration durations
+    /// until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and size the batch so each sample is >= ~100us.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_micros(100) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let start = Instant::now();
+        while self.samples.len() < self.min_samples || start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+            if self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while self.samples.len() < self.min_samples || start.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// `iter_batched` with a by-reference routine.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(
+            setup,
+            |mut i| {
+                routine(&mut i);
+            },
+            size,
+        )
+    }
+
+    fn report(&mut self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let mean: Duration = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let rate = |units: u64, suffix: &str| {
+            let per_sec = units as f64 / median.as_secs_f64();
+            format!("  {} {suffix}/s", human_count(per_sec))
+        };
+        let extra = match throughput {
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => rate(n, "B"),
+            Some(Throughput::Elements(n)) => rate(n, "elem"),
+            None => String::new(),
+        };
+        println!(
+            "{id:<50} median {:>12}  mean {:>12}  ({} samples){extra}",
+            human_time(median),
+            human_time(mean),
+            self.samples.len(),
+        );
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Declares a benchmark group function, as in real Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in real Criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1, 2, 3, 4],
+                |v| v.iter().sum::<i32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

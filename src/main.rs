@@ -12,8 +12,8 @@
 use std::process::ExitCode;
 
 use bpfree::core::{
-    evaluate, perfect_predictions, Attribution, BranchClass, BranchClassifier,
-    CombinedPredictor, Direction, HeuristicKind,
+    evaluate, perfect_predictions, Attribution, BranchClass, BranchClassifier, CombinedPredictor,
+    Direction, HeuristicKind,
 };
 use bpfree::lang::{compile_with, Options};
 use bpfree::sim::{EdgeProfiler, NullObserver, SimConfig, Simulator};
@@ -54,8 +54,7 @@ fn print_usage() {
 }
 
 fn load_program(path: &str, options: Options) -> Result<bpfree::ir::Program, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     compile_with(&source, options).map_err(|e| format!("{path}:{}", e.render(&source)))
 }
 
@@ -77,7 +76,11 @@ fn value_of(args: &[String], name: &str) -> Result<Option<u64>, String> {
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("compile needs a file")?;
-    let options = if flag(args, "--o0") { Options::o0() } else { Options::default() };
+    let options = if flag(args, "--o0") {
+        Options::o0()
+    } else {
+        Options::default()
+    };
     let program = load_program(path, options)?;
     print!("{program}");
     Ok(())
@@ -87,7 +90,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("run needs a file")?;
     let program = load_program(path, Options::default())?;
     let fuel = value_of(args, "--fuel")?.unwrap_or(SimConfig::default().fuel);
-    let config = SimConfig { fuel, ..SimConfig::default() };
+    let config = SimConfig {
+        fuel,
+        ..SimConfig::default()
+    };
     let result = Simulator::with_config(&program, config)
         .run(&mut NullObserver)
         .map_err(|e| e.to_string())?;
@@ -100,12 +106,13 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("predict needs a file")?;
     let program = load_program(path, Options::default())?;
     let classifier = BranchClassifier::analyze(&program);
-    let predictor =
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let predictions = predictor.predictions();
 
     let mut profiler = EdgeProfiler::new();
-    Simulator::new(&program).run(&mut profiler).map_err(|e| e.to_string())?;
+    Simulator::new(&program)
+        .run(&mut profiler)
+        .map_err(|e| e.to_string())?;
     let profile = profiler.into_profile();
 
     println!(
@@ -148,7 +155,11 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         );
     }
     let report = evaluate(&predictions, &profile, &classifier);
-    let perfect = evaluate(&perfect_predictions(&program, &profile), &profile, &classifier);
+    let perfect = evaluate(
+        &perfect_predictions(&program, &profile),
+        &profile,
+        &classifier,
+    );
     println!();
     println!(
         "overall: {:.1}% miss ({:.1}% perfect bound) over {} dynamic branches",
@@ -170,8 +181,7 @@ fn cmd_cfg(args: &[String]) -> Result<(), String> {
         .and_then(|i| args.get(i + 1))
         .cloned();
     let classifier = BranchClassifier::analyze(&program);
-    let predictor =
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let predictions = predictor.predictions();
 
     println!("digraph bpfree {{");
@@ -215,16 +225,32 @@ fn cmd_cfg(args: &[String]) -> Result<(), String> {
             };
             match &func.block(bid).term {
                 Terminator::Jump(t) => mk(*t, ""),
-                Terminator::Branch { taken, fallthru, .. } => {
-                    let site = bpfree::ir::BranchRef { func: fid, block: bid };
+                Terminator::Branch {
+                    taken, fallthru, ..
+                } => {
+                    let site = bpfree::ir::BranchRef {
+                        func: fid,
+                        block: bid,
+                    };
                     let predicted = predictions.get(site);
                     let dash = |d| {
-                        if analysis.loops.is_backedge(bid, d) { "style=dashed, " } else { "" }
+                        if analysis.loops.is_backedge(bid, d) {
+                            "style=dashed, "
+                        } else {
+                            ""
+                        }
                     };
                     let bold = |dir: Direction| {
-                        if predicted == Some(dir) { "penwidth=2.4, color=blue, " } else { "" }
+                        if predicted == Some(dir) {
+                            "penwidth=2.4, color=blue, "
+                        } else {
+                            ""
+                        }
                     };
-                    mk(*taken, &format!("{}{}label=T", dash(*taken), bold(Direction::Taken)));
+                    mk(
+                        *taken,
+                        &format!("{}{}label=T", dash(*taken), bold(Direction::Taken)),
+                    );
                     mk(
                         *fallthru,
                         &format!("{}{}label=F", dash(*fallthru), bold(Direction::FallThru)),
@@ -245,22 +271,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("no benchmark `{name}` (try `bpfree list`)"))?;
     let dataset = value_of(args, "--dataset")?.unwrap_or(0) as usize;
     let program = bench.compile().map_err(|e| e.to_string())?;
-    let (profile, result) = bench.profile(&program, dataset).map_err(|e| e.to_string())?;
+    let (profile, result) = bench
+        .profile(&program, dataset)
+        .map_err(|e| e.to_string())?;
 
     let classifier = BranchClassifier::analyze(&program);
-    let predictor =
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let report = evaluate(&predictor.predictions(), &profile, &classifier);
-    let perfect = evaluate(&perfect_predictions(&program, &profile), &profile, &classifier);
+    let perfect = evaluate(
+        &perfect_predictions(&program, &profile),
+        &profile,
+        &classifier,
+    );
 
     println!("benchmark: {} — {}", bench.name, bench.description);
     println!("dataset: {} of {}", dataset, bench.datasets().len());
     println!("instructions: {}", result.instructions);
     println!("dynamic branches: {}", profile.total_branches());
-    println!(
-        "non-loop share: {:.0}%",
-        100.0 * report.nonloop_fraction()
-    );
+    println!("non-loop share: {:.0}%", 100.0 * report.nonloop_fraction());
     println!(
         "heuristic miss: loop {:.1}%, non-loop {:.1}%, all {:.1}%",
         100.0 * report.loop_branches.miss_rate(),

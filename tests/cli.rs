@@ -24,7 +24,11 @@ const PROGRAM: &str = "fn main() -> int {
 fn run_executes_and_reports_exit() {
     let path = write_temp("run", PROGRAM);
     let out = bpfree().arg("run").arg(&path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("exit: 20"), "{stdout}");
     assert!(stdout.contains("instructions:"));
@@ -46,11 +50,19 @@ fn compile_o0_differs_from_optimised() {
         fn main() -> int { return sq(4); }";
     let path = write_temp("o0", src);
     let opt = bpfree().arg("compile").arg(&path).output().unwrap();
-    let raw = bpfree().arg("compile").arg(&path).arg("--o0").output().unwrap();
+    let raw = bpfree()
+        .arg("compile")
+        .arg(&path)
+        .arg("--o0")
+        .output()
+        .unwrap();
     let opt_s = String::from_utf8_lossy(&opt.stdout).to_string();
     let raw_s = String::from_utf8_lossy(&raw.stdout).to_string();
     assert!(raw_s.contains("fn sq"), "-O0 keeps the helper");
-    assert!(!opt_s.contains("fn sq"), "default pipeline inlines and drops it");
+    assert!(
+        !opt_s.contains("fn sq"),
+        "default pipeline inlines and drops it"
+    );
 }
 
 #[test]
@@ -66,7 +78,11 @@ fn predict_prints_branch_table() {
 #[test]
 fn bench_runs_a_suite_program() {
     let out = bpfree().arg("bench").arg("grep").output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("benchmark: grep"));
     assert!(stdout.contains("heuristic miss:"));
@@ -113,7 +129,13 @@ fn fuel_limit_is_honoured() {
         "fuel",
         "fn main() -> int { int i; do { i = i + 1; } while (i > 0); return i; }",
     );
-    let out = bpfree().arg("run").arg(&path).arg("--fuel").arg("5000").output().unwrap();
+    let out = bpfree()
+        .arg("run")
+        .arg(&path)
+        .arg("--fuel")
+        .arg("5000")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("fuel"));
 }

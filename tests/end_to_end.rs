@@ -2,8 +2,8 @@
 //! evaluated predictions.
 
 use bpfree::core::{
-    evaluate, perfect_predictions, random_predictions, taken_predictions, Attribution,
-    BranchClass, BranchClassifier, CombinedPredictor, HeuristicKind, DEFAULT_SEED,
+    evaluate, perfect_predictions, random_predictions, taken_predictions, Attribution, BranchClass,
+    BranchClassifier, CombinedPredictor, HeuristicKind, DEFAULT_SEED,
 };
 use bpfree::lang::compile;
 use bpfree::sim::{EdgeProfiler, Simulator};
@@ -68,8 +68,7 @@ fn perfect_is_a_lower_bound_for_every_predictor() {
         &classifier,
     );
     for preds in [
-        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order())
-            .predictions(),
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order()).predictions(),
         taken_predictions(&program),
         random_predictions(&program, DEFAULT_SEED),
     ] {
@@ -85,7 +84,11 @@ fn heuristics_beat_naive_baselines_here() {
     let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
     let r_h = evaluate(&cp.predictions(), &profile, &classifier);
     let r_t = evaluate(&taken_predictions(&program), &profile, &classifier);
-    let r_r = evaluate(&random_predictions(&program, DEFAULT_SEED), &profile, &classifier);
+    let r_r = evaluate(
+        &random_predictions(&program, DEFAULT_SEED),
+        &profile,
+        &classifier,
+    );
     assert!(r_h.all.miss_rate() < r_t.all.miss_rate());
     assert!(r_h.all.miss_rate() < r_r.all.miss_rate());
 }
@@ -106,10 +109,9 @@ fn attribution_is_consistent_with_classification() {
 #[test]
 fn different_orders_yield_complete_but_possibly_different_predictions() {
     let (program, _, classifier) = pipeline();
-    let a = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order())
-        .predictions();
-    let reversed: Vec<HeuristicKind> =
-        HeuristicKind::paper_order().into_iter().rev().collect();
+    let a =
+        CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order()).predictions();
+    let reversed: Vec<HeuristicKind> = HeuristicKind::paper_order().into_iter().rev().collect();
     let b = CombinedPredictor::new(&program, &classifier, reversed).predictions();
     assert_eq!(a.len(), b.len());
 }

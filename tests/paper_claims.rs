@@ -24,7 +24,12 @@ fn load(name: &str) -> Loaded {
     let program = bench.compile().expect("suite programs compile");
     let classifier = BranchClassifier::analyze(&program);
     let (profile, _) = bench.profile(&program, 0).expect("dataset 0 runs");
-    Loaded { program, classifier, profile, bench }
+    Loaded {
+        program,
+        classifier,
+        profile,
+        bench,
+    }
 }
 
 fn heuristic_report(l: &Loaded) -> bpfree::core::Report {
@@ -95,7 +100,9 @@ fn most_branches_are_strongly_biased() {
 /// average.
 #[test]
 fn combined_heuristic_sits_between_perfect_and_random() {
-    let names = ["gcc", "xlisp", "compress", "espresso", "doduc", "tomcatv", "grep"];
+    let names = [
+        "gcc", "xlisp", "compress", "espresso", "doduc", "tomcatv", "grep",
+    ];
     let mut h_sum = 0.0;
     let mut p_sum = 0.0;
     let mut r_sum = 0.0;
@@ -153,8 +160,16 @@ fn tomcatv_guard_fails_store_wins() {
 
     let guard = bpfree::core::evaluate_coverage(&guard_preds, &l.profile, &l.classifier);
     let store = bpfree::core::evaluate_coverage(&store_preds, &l.profile, &l.classifier);
-    assert!(guard.coverage() > 0.5, "guard covers {:.2}", guard.coverage());
-    assert!(store.coverage() > 0.3, "store covers {:.2}", store.coverage());
+    assert!(
+        guard.coverage() > 0.5,
+        "guard covers {:.2}",
+        guard.coverage()
+    );
+    assert!(
+        store.coverage() > 0.3,
+        "store covers {:.2}",
+        store.coverage()
+    );
     assert!(
         guard.miss_rate() > 0.5,
         "guard should mispredict the max updates, got {:.2}",
@@ -178,7 +193,11 @@ fn pointer_heuristic_applies_to_pointer_codes() {
         .filter_map(|b| table.prediction(b, HeuristicKind::Pointer).map(|d| (b, d)))
         .collect();
     let cov = bpfree::core::evaluate_coverage(&preds, &l.profile, &l.classifier);
-    assert!(cov.coverage() > 0.05, "pointer coverage {:.3}", cov.coverage());
+    assert!(
+        cov.coverage() > 0.05,
+        "pointer coverage {:.3}",
+        cov.coverage()
+    );
     assert!(cov.miss_rate() < 0.5, "pointer miss {:.3}", cov.miss_rate());
 }
 
@@ -193,7 +212,9 @@ fn ipbc_invariants_on_spice() {
     analyzer.add_predictor("Heuristic", &cp.predictions());
     analyzer.add_predictor("Perfect", &perfect_predictions(&l.program, &l.profile));
     let datasets = l.bench.datasets();
-    l.bench.run_with(&l.program, &datasets[0], &mut analyzer).unwrap();
+    l.bench
+        .run_with(&l.program, &datasets[0], &mut analyzer)
+        .unwrap();
     let dists = analyzer.finish();
     let heuristic = &dists[0];
     let perfect = &dists[1];
