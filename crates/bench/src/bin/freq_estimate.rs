@@ -26,7 +26,7 @@ fn main() {
         suite
             .iter()
             .zip(&predictors)
-            .map(|(d, cp)| (cp, &d.profile, &d.classifier)),
+            .map(|(d, cp)| (cp, &*d.profile, &*d.classifier)),
     );
     println!(
         "calibrated confidences: loop {:.2}, heuristic {:.2}",

@@ -9,7 +9,7 @@
 //! spice2g6 analogue it also prints the break-weighted distribution
 //! (Graph 5), whose skew explains why the IPBC average misleads.
 
-use bpfree_bench::{load_named, pct};
+use bpfree_bench::{load_named_traced, pct, report_simulations};
 use bpfree_core::ipbc::IpbcAnalyzer;
 use bpfree_core::{
     loop_rand_predictions, perfect_predictions, CombinedPredictor, HeuristicKind, DEFAULT_SEED,
@@ -19,7 +19,7 @@ const TRACED: [&str; 7] = ["spice2g6", "gcc", "lcc", "qpt", "xlisp", "doduc", "f
 
 fn main() {
     bpfree_bench::init("graphs4_11");
-    for d in load_named(&TRACED) {
+    for d in load_named_traced(&TRACED) {
         let perfect = perfect_predictions(&d.program, &d.profile);
         let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
         let heuristic = cp.predictions();
@@ -29,10 +29,11 @@ fn main() {
         analyzer.add_predictor("Loop+Rand", &loop_rand);
         analyzer.add_predictor("Heuristic", &heuristic);
         analyzer.add_predictor("Perfect", &perfect);
-        let datasets = d.datasets();
-        d.bench
-            .run_with(&d.program, &datasets[0], &mut analyzer)
-            .unwrap_or_else(|e| panic!("{}: {e}", d.bench.name));
+        // The perfect predictor above trained on this run's own edge
+        // profile, so the sequence analysis cannot share the live pass.
+        // Replaying the recorded branch trace is bit-identical for the
+        // analyzer and costs no interpreter pass.
+        d.trace().replay(&mut analyzer);
         let dists = analyzer.finish();
 
         println!("== {} ==", d.bench.name);
@@ -80,4 +81,5 @@ fn main() {
     println!("to Loop+Rand: long sequences demand very low miss rates); IPBC averages");
     println!("underestimate available sequence lengths because short sequences");
     println!("dominate the break count.");
+    report_simulations();
 }

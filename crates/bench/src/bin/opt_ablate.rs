@@ -8,30 +8,29 @@
 //! compiles every benchmark at three levels and reports the combined
 //! predictor's miss rates.
 
-use bpfree_bench::{mean_std, pct};
-use bpfree_core::{evaluate, BranchClassifier, CombinedPredictor, HeuristicKind};
-use bpfree_lang::{compile_with, Options};
-use bpfree_sim::{EdgeProfiler, Simulator};
+use bpfree_bench::{config, mean_std, pct};
+use bpfree_core::{evaluate, CombinedPredictor, HeuristicKind};
+use bpfree_engine::Engine;
+use bpfree_lang::Options;
 
-fn run_at(bench: &bpfree_suite::Benchmark, options: Options) -> (f64, f64) {
-    let program =
-        compile_with(bench.source, options).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-    let classifier = BranchClassifier::analyze(&program);
-    let dataset = &bench.datasets()[0];
-    let mut profiler = EdgeProfiler::new();
-    let mut sim = Simulator::new(&program);
-    sim.set_globals(&dataset.values)
-        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-    sim.run(&mut profiler)
-        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-    let profile = profiler.into_profile();
-    let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
-    let r = evaluate(&cp.predictions(), &profile, &classifier);
+fn run_at(engine: &Engine, bench: &bpfree_suite::Benchmark, options: Options) -> (f64, f64) {
+    // Each optimisation level is a distinct engine artifact — the cache
+    // keys include the options fingerprint, so -O0 entries can never
+    // collide with the -O artifacts the other binaries share.
+    let compiled = engine.compiled(bench, options);
+    let run = engine.run(bench, options, 0);
+    let cp = CombinedPredictor::new(
+        &compiled.program,
+        &compiled.classifier,
+        HeuristicKind::paper_order(),
+    );
+    let r = evaluate(&cp.predictions(), &run.profile, &compiled.classifier);
     (r.all.miss_rate(), r.nonloop.miss_rate())
 }
 
 fn main() {
     bpfree_bench::init("opt_ablate");
+    let engine = config::engine();
     println!(
         "{:<11} {:>9} {:>11} {:>7}   (all-branch miss%)",
         "Program", "-O (dflt)", "no-inline", "-O0"
@@ -41,9 +40,9 @@ fn main() {
     let mut noinline = Vec::new();
     let mut o0 = Vec::new();
     for b in bpfree_suite::all() {
-        let (a, _) = run_at(&b, Options::default());
-        let (ni, _) = run_at(&b, Options::no_inline());
-        let (raw, _) = run_at(&b, Options::o0());
+        let (a, _) = run_at(engine, &b, Options::default());
+        let (ni, _) = run_at(engine, &b, Options::no_inline());
+        let (raw, _) = run_at(engine, &b, Options::o0());
         println!(
             "{:<11} {:>9} {:>11} {:>7}",
             b.name,

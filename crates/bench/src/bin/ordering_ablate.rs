@@ -29,8 +29,8 @@ fn main() {
         ));
         pairwise_input.push((
             HeuristicTable::build(&d.program, &d.classifier),
-            d.profile.clone(),
-            &d.classifier,
+            (*d.profile).clone(),
+            &*d.classifier,
         ));
     }
     let n = benches.len();

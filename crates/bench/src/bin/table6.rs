@@ -24,34 +24,9 @@ fn main() {
         let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
         let att = evaluate_with_attribution(&cp, &d.profile, &d.classifier);
 
-        // Heuristics-only stats: aggregate the non-Default sources.
-        let mut covered = 0u64;
-        let mut misses = 0u64;
-        let mut perfect = 0u64;
-        let mut total_nl = 0u64;
-        for (name, s) in &att.by_source {
-            total_nl = total_nl.max(s.total_nonloop);
-            if name != "Default" {
-                covered += s.covered;
-                misses += s.misses;
-                perfect += s.perfect_misses;
-            }
-        }
-        let cov_frac = if total_nl == 0 {
-            0.0
-        } else {
-            covered as f64 / total_nl as f64
-        };
-        let h_miss = if covered == 0 {
-            0.0
-        } else {
-            misses as f64 / covered as f64
-        };
-        let h_perf = if covered == 0 {
-            0.0
-        } else {
-            perfect as f64 / covered as f64
-        };
+        // Heuristics-only stats (the non-Default sources), aggregated
+        // by the attribution report itself.
+        let h = &att.heuristics;
 
         let lr = loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED);
         let r_lr = evaluate(&lr, &d.profile, &d.classifier);
@@ -59,8 +34,8 @@ fn main() {
         println!(
             "{:<11} {:>4} {:>11} {:>9} {:>9} {:>10}",
             d.bench.name,
-            pct(cov_frac),
-            format!("{}/{}", pct(h_miss), pct(h_perf)),
+            pct(h.coverage()),
+            format!("{}/{}", pct(h.miss_rate()), pct(h.perfect_rate())),
             format!(
                 "{}/{}",
                 pct(att.report.nonloop.miss_rate()),

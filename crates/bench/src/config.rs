@@ -59,14 +59,33 @@ pub fn init(bin: &str) -> &'static Config {
     apply(cfg)
 }
 
-/// Stores `cfg` globally and applies its job count. Split from [`init`]
-/// for tests; first caller wins, matching `OnceLock` semantics.
+/// Stores `cfg` globally, applies its job count, and installs the
+/// process-wide artifact engine with matching cache settings. Split
+/// from [`init`] for tests; first caller wins, matching `OnceLock`
+/// semantics.
 pub fn apply(cfg: Config) -> &'static Config {
     if let Some(n) = cfg.jobs {
         bpfree_par::set_jobs(n);
     }
     let _ = CONFIG.set(cfg);
-    config()
+    let cfg = config();
+    bpfree_engine::install(bpfree_engine::EngineConfig {
+        use_cache: cfg.use_cache,
+        cache_dir: cfg.cache_dir.clone(),
+        verbose: true,
+    });
+    cfg
+}
+
+/// The process-wide artifact engine, configured from [`config`] (or the
+/// environment defaults if no binary called [`init`]).
+pub fn engine() -> &'static bpfree_engine::Engine {
+    let cfg = config();
+    bpfree_engine::install(bpfree_engine::EngineConfig {
+        use_cache: cfg.use_cache,
+        cache_dir: cfg.cache_dir.clone(),
+        verbose: true,
+    })
 }
 
 fn usage(bin: &str) -> String {

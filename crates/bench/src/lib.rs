@@ -1,124 +1,111 @@
 //! Shared harness for the experiment-regeneration binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper; this library loads the whole suite once (compile + analyze +
-//! profile) and provides small formatting helpers so the binaries print
+//! paper. Since PR 2 the heavy lifting lives in [`bpfree_engine`]: the
+//! binaries query typed artifacts (compiled programs, heuristic tables,
+//! edge profiles, branch traces) that the engine computes at most once
+//! per process and persists through the on-disk cache. This crate is a
+//! thin shim — [`BenchData`] bundles the per-benchmark artifacts the
+//! binaries iterate over, plus small formatting helpers so they print
 //! rows shaped like the paper's.
 //!
-//! Loading is parallel (one benchmark per worker, see [`bpfree_par`])
-//! and backed by the on-disk artifact cache (see [`bpfree_cache`]):
+//! Loading is parallel (one benchmark per worker, see [`bpfree_par`]);
 //! a warm run skips compilation and simulation entirely. Both are
 //! controlled by the standard flags parsed by [`config::init`].
 
 pub mod config;
 pub mod json;
 
+use std::sync::Arc;
+
 use bpfree_core::{BranchClassifier, HeuristicTable};
+use bpfree_engine::Engine;
 use bpfree_ir::Program;
-use bpfree_sim::{EdgeProfile, RunResult};
+use bpfree_lang::Options;
+use bpfree_sim::{BranchTrace, EdgeProfile, RunResult};
 use bpfree_suite::{Benchmark, Dataset};
 
 pub use config::init;
 
 /// Everything the experiments need about one benchmark, precomputed on
-/// the reference dataset (index 0).
+/// the reference dataset (index 0). The `Arc` fields deref-coerce, so
+/// call sites pass `&d.program` etc. exactly as before the engine
+/// refactor.
 pub struct BenchData {
     pub bench: Benchmark,
-    pub program: Program,
-    pub classifier: BranchClassifier,
-    pub table: HeuristicTable,
-    pub profile: EdgeProfile,
+    pub program: Arc<Program>,
+    pub classifier: Arc<BranchClassifier>,
+    pub table: Arc<HeuristicTable>,
+    pub profile: Arc<EdgeProfile>,
     pub run: RunResult,
 }
 
 impl BenchData {
-    /// Loads one benchmark: compile, analyze, build the heuristic table,
-    /// and profile the reference dataset. When the artifact cache is
-    /// enabled (the default — see [`config`]) and holds a current entry,
-    /// the compile and simulate steps are skipped; only the (cheap)
-    /// branch classification reruns.
+    fn from_engine(engine: &Engine, bench: Benchmark) -> BenchData {
+        let opt = Options::default();
+        let compiled = engine.compiled(&bench, opt);
+        let run = engine.run(&bench, opt, 0);
+        BenchData {
+            bench,
+            program: compiled.program,
+            classifier: compiled.classifier,
+            table: compiled.table,
+            profile: run.profile,
+            run: run.result,
+        }
+    }
+
+    /// Loads one benchmark through the process-wide engine: compile,
+    /// analyze, build the heuristic table, and profile the reference
+    /// dataset — each at most once per process, and not at all when the
+    /// on-disk cache (see [`config`]) holds a current entry.
     ///
     /// # Panics
     ///
     /// Panics if the benchmark fails to compile or run — suite bugs are
     /// fatal for experiments.
     pub fn load(bench: Benchmark) -> BenchData {
-        let cfg = config::config();
-        let cache_key = if cfg.use_cache {
-            let key = bpfree_cache::key(bench.name, bench.source, &bench.datasets());
-            if let Some(hit) = bpfree_cache::lookup(&cfg.cache_dir, &key) {
-                eprintln!("[bpfree-cache] hit  {}", bench.name);
-                let classifier = BranchClassifier::analyze(&hit.program);
-                return BenchData {
-                    bench,
-                    program: hit.program,
-                    classifier,
-                    table: hit.table,
-                    profile: hit.profile,
-                    run: hit.run,
-                };
-            }
-            eprintln!("[bpfree-cache] miss {}", bench.name);
-            Some(key)
-        } else {
-            None
-        };
-
-        let program = bench
-            .compile()
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        let classifier = BranchClassifier::analyze(&program);
-        let table = HeuristicTable::build(&program, &classifier);
-        let (profile, run) = bench
-            .profile(&program, 0)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-
-        if let Some(key) = cache_key {
-            let artifacts = bpfree_cache::Artifacts {
-                program: program.clone(),
-                table: table.clone(),
-                profile: profile.clone(),
-                run,
-            };
-            if let Err(e) = bpfree_cache::store(&cfg.cache_dir, &key, &artifacts) {
-                eprintln!(
-                    "[bpfree-cache] cannot write {} ({e}); continuing uncached",
-                    cfg.cache_dir.display()
-                );
-            }
-        }
-        BenchData {
-            bench,
-            program,
-            classifier,
-            table,
-            profile,
-            run,
-        }
+        BenchData::from_engine(config::engine(), bench)
     }
 
-    /// Profiles an alternate dataset of this benchmark.
+    /// The replayable branch trace of the reference dataset. Recording
+    /// shares the single interpreter pass that produced [`Self::profile`]
+    /// (or replays from the cache), so trace consumers cost no extra
+    /// simulation.
+    pub fn trace(&self) -> Arc<BranchTrace> {
+        config::engine().trace(&self.bench, Options::default(), 0)
+    }
+
+    /// Profiles an alternate dataset of this benchmark (memoized and
+    /// cached like every engine artifact).
     ///
     /// # Panics
     ///
     /// Panics on an invalid index or a runtime failure.
-    pub fn profile_dataset(&self, index: usize) -> (EdgeProfile, RunResult) {
-        self.bench
-            .profile(&self.program, index)
-            .unwrap_or_else(|e| panic!("{} dataset {index}: {e}", self.bench.name))
+    pub fn profile_dataset(&self, index: usize) -> (Arc<EdgeProfile>, RunResult) {
+        let bundle = config::engine()
+            .try_run(&self.bench, Options::default(), index)
+            .unwrap_or_else(|e| panic!("{} dataset {index}: {e}", self.bench.name));
+        (bundle.profile, bundle.result)
     }
 
     /// The benchmark's datasets.
-    pub fn datasets(&self) -> Vec<Dataset> {
-        self.bench.datasets()
+    pub fn datasets(&self) -> Arc<Vec<Dataset>> {
+        config::engine().datasets(&self.bench)
     }
 }
 
 /// Loads the whole suite (23 benchmarks) on the reference datasets,
 /// one benchmark per parallel task, in the registry's order.
 pub fn load_suite() -> Vec<BenchData> {
+    let engine = config::engine();
     let benches = bpfree_suite::all();
-    bpfree_par::par_map(&benches, |b| BenchData::load(b.clone()))
+    let refs: Vec<&Benchmark> = benches.iter().collect();
+    engine.prefetch(&refs, Options::default(), &[]);
+    benches
+        .into_iter()
+        .map(|b| BenchData::from_engine(engine, b))
+        .collect()
 }
 
 /// Loads a named subset of the suite, preserving the given order.
@@ -127,11 +114,38 @@ pub fn load_suite() -> Vec<BenchData> {
 ///
 /// Panics on an unknown benchmark name.
 pub fn load_named(names: &[&str]) -> Vec<BenchData> {
+    load_named_inner(names, &[])
+}
+
+/// [`load_named`], additionally recording a replayable branch trace for
+/// every benchmark — still one interpreter pass each, with the profile
+/// and trace observers fanned out of the same execution.
+pub fn load_named_traced(names: &[&str]) -> Vec<BenchData> {
+    load_named_inner(names, names)
+}
+
+fn load_named_inner(names: &[&str], traced: &[&str]) -> Vec<BenchData> {
+    let engine = config::engine();
     let benches: Vec<Benchmark> = names
         .iter()
         .map(|n| bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
         .collect();
-    bpfree_par::par_map(&benches, |b| BenchData::load(b.clone()))
+    let refs: Vec<&Benchmark> = benches.iter().collect();
+    engine.prefetch(&refs, Options::default(), traced);
+    benches
+        .into_iter()
+        .map(|b| BenchData::from_engine(engine, b))
+        .collect()
+}
+
+/// Reports the engine's interpreter-pass count on stderr — the proof
+/// line for the single-pass property (cold runs pay one pass per
+/// (benchmark, dataset); warm runs pay zero).
+pub fn report_simulations() {
+    eprintln!(
+        "[bpfree-engine] interpreter passes this process: {}",
+        config::engine().simulations()
+    );
 }
 
 /// Formats a fraction as a whole percentage, paper style.

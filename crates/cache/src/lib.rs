@@ -2,28 +2,43 @@
 //!
 //! Loading the suite means compiling 23 Cmm programs, running seven
 //! heuristics over every non-loop branch, and *simulating* each program
-//! on its reference dataset — by far the most expensive part of every
-//! experiment binary. None of it changes between runs unless the
-//! benchmark source, its datasets, or this crate's code changes, so the
-//! results are cached on disk and reloaded in milliseconds.
+//! on its datasets — by far the most expensive part of every experiment
+//! binary. None of it changes between runs unless the benchmark source,
+//! the compile options, its datasets, or this crate's code changes, so
+//! the results are cached on disk and reloaded in milliseconds.
+//!
+//! # Entry kinds
+//!
+//! The cache stores three independent entry kinds, matching the artifact
+//! granularity of the demand-driven engine (`bpfree-engine`):
+//!
+//! * **compile** — the compiled [`Program`] and its [`HeuristicTable`],
+//!   keyed per (benchmark, source, compile options);
+//! * **run** — the [`EdgeProfile`] and [`RunResult`] of one dataset,
+//!   keyed per (benchmark, source, options, dataset);
+//! * **trace** — the replayable [`BranchTrace`] of one dataset (plus its
+//!   [`RunResult`], so a run entry can be reconstructed from a trace
+//!   entry by replay alone), same key shape as a run entry.
 //!
 //! # Keying
 //!
-//! Each entry is keyed by an FNV-1a hash over: the cache format
-//! version, the workspace crate version (any code change that ships a
-//! new version invalidates everything), the benchmark name, its full
-//! source text, and a fingerprint of every dataset (names plus the
-//! exact bit patterns of all initial global values). A stale entry is
-//! therefore *unreachable*, not just detectable.
+//! Each entry is keyed by an FNV-1a hash over: the cache format version,
+//! the workspace crate version (any code change that ships a new version
+//! invalidates everything), the entry kind, the benchmark name, its full
+//! source text, **the compile-options fingerprint** (so `-O0` artifacts
+//! can never collide with `-O` entries), and — for run/trace entries — a
+//! fingerprint of the dataset (name plus the exact bit patterns of all
+//! initial global values). A stale entry is therefore *unreachable*, not
+//! just detectable.
 //!
 //! # Format and robustness
 //!
-//! Entries are single text files, `<key>.txt`, under the cache
-//! directory (default `target/bpfree-cache`, override with
-//! `BPFREE_CACHE_DIR`). The program itself is stored as IR text and
-//! re-parsed on load — round-trip fidelity is covered by the suite's
+//! Entries are single text files, `<key>.txt`, under the cache directory
+//! (default `target/bpfree-cache`, override with `BPFREE_CACHE_DIR`).
+//! The program itself is stored as IR text and re-parsed on load —
+//! round-trip fidelity is covered by the suite's
 //! `roundtrips_every_suite_benchmark` test. Any read, parse, or
-//! validation failure makes [`lookup`] return `None` and the caller
+//! validation failure makes a lookup return `None` and the caller
 //! recomputes; a corrupt cache can cost time but never correctness.
 //! Writes go to a temp file first and are renamed into place, so a
 //! crashed run cannot leave a half-written entry under a valid key.
@@ -36,19 +51,32 @@ use std::path::{Path, PathBuf};
 
 use bpfree_core::{Direction, HeuristicTable};
 use bpfree_ir::{BlockId, BranchRef, FuncId, Program};
-use bpfree_sim::{EdgeCounts, EdgeProfile, RunResult};
+use bpfree_sim::{BranchTrace, EdgeCounts, EdgeProfile, RunResult, TraceEvent};
 use bpfree_suite::Dataset;
 
 /// Bump on any change to the file layout below.
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u32 = 2;
 
-/// The cached artifacts for one benchmark: everything expensive that
-/// [`lookup`] can restore without compiling or simulating.
+/// The cached compile-time artifacts for one (benchmark, options) pair.
 #[derive(Debug, Clone)]
-pub struct Artifacts {
+pub struct CompileArtifacts {
     pub program: Program,
     pub table: HeuristicTable,
+}
+
+/// The cached artifacts of one simulated (benchmark, options, dataset)
+/// run.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
     pub profile: EdgeProfile,
+    pub run: RunResult,
+}
+
+/// The cached replayable trace of one run. Carries the [`RunResult`]
+/// too, so the profile can be rebuilt by replay without re-simulating.
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    pub trace: BranchTrace,
     pub run: RunResult,
 }
 
@@ -96,38 +124,63 @@ impl Fnv {
     }
 }
 
-/// The content key for one benchmark: hex digest of format version,
-/// crate version, benchmark name, source text, and all dataset values.
-pub fn key(bench_name: &str, source: &str, datasets: &[Dataset]) -> String {
+fn base_hash(kind: &str, bench_name: &str, source: &str, opt: &str) -> Fnv {
     let mut h = Fnv::new();
     h.write_u64(u64::from(FORMAT_VERSION));
     h.write(env!("CARGO_PKG_VERSION").as_bytes());
+    h.sep();
+    h.write(kind.as_bytes());
     h.sep();
     h.write(bench_name.as_bytes());
     h.sep();
     h.write(source.as_bytes());
     h.sep();
-    for ds in datasets {
-        h.write(ds.name.as_bytes());
+    h.write(opt.as_bytes());
+    h.sep();
+    h
+}
+
+fn write_dataset(h: &mut Fnv, ds: &Dataset) {
+    h.write(ds.name.as_bytes());
+    h.sep();
+    for (name, values) in ds.values.ints() {
+        h.write(name.as_bytes());
         h.sep();
-        for (name, values) in ds.values.ints() {
-            h.write(name.as_bytes());
-            h.sep();
-            for &v in values {
-                h.write_u64(v as u64);
-            }
-            h.sep();
-        }
-        for (name, values) in ds.values.floats() {
-            h.write(name.as_bytes());
-            h.sep();
-            for &v in values {
-                h.write_u64(v.to_bits());
-            }
-            h.sep();
+        for &v in values {
+            h.write_u64(v as u64);
         }
         h.sep();
     }
+    for (name, values) in ds.values.floats() {
+        h.write(name.as_bytes());
+        h.sep();
+        for &v in values {
+            h.write_u64(v.to_bits());
+        }
+        h.sep();
+    }
+    h.sep();
+}
+
+/// The content key for a compile entry: hex digest over format version,
+/// crate version, benchmark name, source text, and the compile-options
+/// fingerprint (`bpfree_lang::Options::fingerprint`). Artifacts built at
+/// different optimisation levels can never collide.
+pub fn compile_key(bench_name: &str, source: &str, opt: &str) -> String {
+    format!("{:016x}", base_hash("compile", bench_name, source, opt).0)
+}
+
+/// The content key for one dataset's run entry.
+pub fn run_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> String {
+    let mut h = base_hash("run", bench_name, source, opt);
+    write_dataset(&mut h, dataset);
+    format!("{:016x}", h.0)
+}
+
+/// The content key for one dataset's trace entry.
+pub fn trace_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> String {
+    let mut h = base_hash("trace", bench_name, source, opt);
+    write_dataset(&mut h, dataset);
     format!("{:016x}", h.0)
 }
 
@@ -135,20 +188,40 @@ fn entry_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("{key}.txt"))
 }
 
-/// Serializes `a` to the v1 text format.
-fn encode(key: &str, a: &Artifacts) -> String {
-    let mut out = String::new();
+fn header(out: &mut String, key: &str, kind: &str) {
     let _ = writeln!(out, "bpfree-cache v{FORMAT_VERSION}");
     let _ = writeln!(out, "key {key}");
-    let _ = writeln!(out, "exit {}", a.run.exit);
-    let _ = writeln!(out, "instructions {}", a.run.instructions);
+    let _ = writeln!(out, "kind {kind}");
+}
 
-    let mut counts: Vec<(BranchRef, EdgeCounts)> = a.profile.iter().collect();
-    counts.sort_by_key(|(b, _)| *b);
-    let _ = writeln!(out, "profile {}", counts.len());
-    for (b, c) in counts {
-        let _ = writeln!(out, "{} {} {} {}", b.func.0, b.block.0, c.taken, c.fallthru);
+/// Consumes the three header lines; `None` on any mismatch.
+fn check_header<'a>(lines: &mut std::str::Lines<'a>, key: &str, kind: &str) -> Option<()> {
+    if lines.next()? != format!("bpfree-cache v{FORMAT_VERSION}") {
+        return None;
     }
+    if lines.next()?.strip_prefix("key ")? != key {
+        return None;
+    }
+    if lines.next()?.strip_prefix("kind ")? != kind {
+        return None;
+    }
+    Some(())
+}
+
+fn encode_run_result(out: &mut String, run: RunResult) {
+    let _ = writeln!(out, "exit {}", run.exit);
+    let _ = writeln!(out, "instructions {}", run.instructions);
+}
+
+fn decode_run_result(lines: &mut std::str::Lines<'_>) -> Option<RunResult> {
+    let exit: i64 = lines.next()?.strip_prefix("exit ")?.parse().ok()?;
+    let instructions: u64 = lines.next()?.strip_prefix("instructions ")?.parse().ok()?;
+    Some(RunResult { exit, instructions })
+}
+
+fn encode_compile(key: &str, a: &CompileArtifacts) -> String {
+    let mut out = String::new();
+    header(&mut out, key, "compile");
 
     let mut rows: Vec<(BranchRef, &[Option<Direction>; 7])> = a.table.rows().collect();
     rows.sort_by_key(|(b, _)| *b);
@@ -174,38 +247,9 @@ fn encode(key: &str, a: &Artifacts) -> String {
     out
 }
 
-/// Parses the v1 text format; `None` on any mismatch (treated as a
-/// cache miss by [`lookup`]).
-fn decode(key: &str, text: &str) -> Option<Artifacts> {
+fn decode_compile(key: &str, text: &str) -> Option<CompileArtifacts> {
     let mut lines = text.lines();
-    if lines.next()? != format!("bpfree-cache v{FORMAT_VERSION}") {
-        return None;
-    }
-    if lines.next()?.strip_prefix("key ")? != key {
-        return None;
-    }
-    let exit: i64 = lines.next()?.strip_prefix("exit ")?.parse().ok()?;
-    let instructions: u64 = lines.next()?.strip_prefix("instructions ")?.parse().ok()?;
-
-    let n_profile: usize = lines.next()?.strip_prefix("profile ")?.parse().ok()?;
-    let mut counts = Vec::with_capacity(n_profile);
-    for _ in 0..n_profile {
-        let line = lines.next()?;
-        let mut it = line.split_ascii_whitespace();
-        let func: u32 = it.next()?.parse().ok()?;
-        let block: u32 = it.next()?.parse().ok()?;
-        let taken: u64 = it.next()?.parse().ok()?;
-        let fallthru: u64 = it.next()?.parse().ok()?;
-        if it.next().is_some() {
-            return None;
-        }
-        let b = BranchRef {
-            func: FuncId(func),
-            block: BlockId(block),
-        };
-        counts.push((b, EdgeCounts { taken, fallthru }));
-    }
-    let profile: EdgeProfile = counts.into_iter().collect();
+    check_header(&mut lines, key, "compile")?;
 
     let n_rows: usize = lines.next()?.strip_prefix("table ")?.parse().ok()?;
     let mut rows = Vec::with_capacity(n_rows);
@@ -243,59 +287,251 @@ fn decode(key: &str, text: &str) -> Option<Artifacts> {
     }
     let program = bpfree_ir::parse_program(&ir.join("\n")).ok()?;
 
-    Some(Artifacts {
+    Some(CompileArtifacts {
         program,
         table: HeuristicTable::from_rows(rows),
-        profile,
-        run: RunResult { exit, instructions },
     })
 }
 
-/// Loads the entry for `key`, or `None` if absent, unreadable, or
-/// corrupt. Never panics on bad cache contents.
-pub fn lookup(dir: &Path, key: &str) -> Option<Artifacts> {
-    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
-    decode(key, &text)
+fn encode_run(key: &str, a: &RunArtifacts) -> String {
+    let mut out = String::new();
+    header(&mut out, key, "run");
+    encode_run_result(&mut out, a.run);
+
+    let mut counts: Vec<(BranchRef, EdgeCounts)> = a.profile.iter().collect();
+    counts.sort_by_key(|(b, _)| *b);
+    let _ = writeln!(out, "profile {}", counts.len());
+    for (b, c) in counts {
+        let _ = writeln!(out, "{} {} {} {}", b.func.0, b.block.0, c.taken, c.fallthru);
+    }
+    out
 }
 
-/// Writes the entry for `key` atomically (temp file + rename). Errors
-/// are returned, not panicked, so a read-only cache directory degrades
-/// to "no caching".
-pub fn store(dir: &Path, key: &str, artifacts: &Artifacts) -> std::io::Result<()> {
+fn decode_run(key: &str, text: &str) -> Option<RunArtifacts> {
+    let mut lines = text.lines();
+    check_header(&mut lines, key, "run")?;
+    let run = decode_run_result(&mut lines)?;
+
+    let n_profile: usize = lines.next()?.strip_prefix("profile ")?.parse().ok()?;
+    let mut counts = Vec::with_capacity(n_profile);
+    for _ in 0..n_profile {
+        let line = lines.next()?;
+        let mut it = line.split_ascii_whitespace();
+        let func: u32 = it.next()?.parse().ok()?;
+        let block: u32 = it.next()?.parse().ok()?;
+        let taken: u64 = it.next()?.parse().ok()?;
+        let fallthru: u64 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        let b = BranchRef {
+            func: FuncId(func),
+            block: BlockId(block),
+        };
+        counts.push((b, EdgeCounts { taken, fallthru }));
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(RunArtifacts {
+        profile: counts.into_iter().collect(),
+        run,
+    })
+}
+
+/// Sequence tokens per line in a trace entry (keeps lines short enough
+/// for text tools without inflating the file).
+const TRACE_TOKENS_PER_LINE: usize = 256;
+
+fn encode_trace(key: &str, a: &TraceArtifacts) -> String {
+    let mut out = String::new();
+    header(&mut out, key, "trace");
+    encode_run_result(&mut out, a.run);
+
+    let dict = a.trace.dict();
+    let _ = writeln!(out, "dict {}", dict.len());
+    for e in dict {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            e.instrs,
+            e.branch.func.0,
+            e.branch.block.0,
+            if e.taken { 'T' } else { 'F' }
+        );
+    }
+
+    // The index sequence, run-length encoded (`idx` or `idx*count`):
+    // tight loops revisit the same event millions of times in a row.
+    let seq = a.trace.seq();
+    let _ = writeln!(out, "seq {}", seq.len());
+    let mut tokens_on_line = 0usize;
+    let mut i = 0usize;
+    while i < seq.len() {
+        let idx = seq[i];
+        let mut runlen = 1usize;
+        while i + runlen < seq.len() && seq[i + runlen] == idx {
+            runlen += 1;
+        }
+        if tokens_on_line == TRACE_TOKENS_PER_LINE {
+            out.push('\n');
+            tokens_on_line = 0;
+        } else if tokens_on_line > 0 {
+            out.push(' ');
+        }
+        if runlen > 1 {
+            let _ = write!(out, "{idx}*{runlen}");
+        } else {
+            let _ = write!(out, "{idx}");
+        }
+        tokens_on_line += 1;
+        i += runlen;
+    }
+    if tokens_on_line > 0 {
+        out.push('\n');
+    }
+    let _ = writeln!(out, "tail {}", a.trace.trailing_instrs());
+    out
+}
+
+fn decode_trace(key: &str, text: &str) -> Option<TraceArtifacts> {
+    let mut lines = text.lines();
+    check_header(&mut lines, key, "trace")?;
+    let run = decode_run_result(&mut lines)?;
+
+    let n_dict: usize = lines.next()?.strip_prefix("dict ")?.parse().ok()?;
+    let mut dict = Vec::with_capacity(n_dict);
+    for _ in 0..n_dict {
+        let line = lines.next()?;
+        let mut it = line.split_ascii_whitespace();
+        let instrs: u64 = it.next()?.parse().ok()?;
+        let func: u32 = it.next()?.parse().ok()?;
+        let block: u32 = it.next()?.parse().ok()?;
+        let taken = match it.next()? {
+            "T" => true,
+            "F" => false,
+            _ => return None,
+        };
+        if it.next().is_some() {
+            return None;
+        }
+        dict.push(TraceEvent {
+            instrs,
+            branch: BranchRef {
+                func: FuncId(func),
+                block: BlockId(block),
+            },
+            taken,
+        });
+    }
+
+    let n_seq: usize = lines.next()?.strip_prefix("seq ")?.parse().ok()?;
+    let mut seq = Vec::with_capacity(n_seq);
+    while seq.len() < n_seq {
+        for token in lines.next()?.split_ascii_whitespace() {
+            match token.split_once('*') {
+                Some((idx, count)) => {
+                    let idx: u32 = idx.parse().ok()?;
+                    let count: usize = count.parse().ok()?;
+                    if count < 2 {
+                        return None;
+                    }
+                    seq.resize(seq.len() + count, idx);
+                }
+                None => seq.push(token.parse().ok()?),
+            }
+        }
+    }
+    if seq.len() != n_seq {
+        return None;
+    }
+
+    let tail: u64 = lines.next()?.strip_prefix("tail ")?.parse().ok()?;
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(TraceArtifacts {
+        trace: BranchTrace::from_parts(dict, seq, tail)?,
+        run,
+    })
+}
+
+fn read_entry(dir: &Path, key: &str) -> Option<String> {
+    std::fs::read_to_string(entry_path(dir, key)).ok()
+}
+
+/// Writes an entry atomically (temp file + rename). Errors are returned,
+/// not panicked, so a read-only cache directory degrades to "no
+/// caching".
+fn write_entry(dir: &Path, key: &str, text: String) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(".{key}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, encode(key, artifacts))?;
+    std::fs::write(&tmp, text)?;
     std::fs::rename(&tmp, entry_path(dir, key))
+}
+
+/// Loads the compile entry for `key`, or `None` if absent, unreadable,
+/// or corrupt. Never panics on bad cache contents.
+pub fn lookup_compile(dir: &Path, key: &str) -> Option<CompileArtifacts> {
+    decode_compile(key, &read_entry(dir, key)?)
+}
+
+/// Stores a compile entry atomically.
+pub fn store_compile(dir: &Path, key: &str, a: &CompileArtifacts) -> std::io::Result<()> {
+    write_entry(dir, key, encode_compile(key, a))
+}
+
+/// Loads the run entry for `key` (miss on absence or corruption).
+pub fn lookup_run(dir: &Path, key: &str) -> Option<RunArtifacts> {
+    decode_run(key, &read_entry(dir, key)?)
+}
+
+/// Stores a run entry atomically.
+pub fn store_run(dir: &Path, key: &str, a: &RunArtifacts) -> std::io::Result<()> {
+    write_entry(dir, key, encode_run(key, a))
+}
+
+/// Loads the trace entry for `key` (miss on absence or corruption).
+pub fn lookup_trace(dir: &Path, key: &str) -> Option<TraceArtifacts> {
+    decode_trace(key, &read_entry(dir, key)?)
+}
+
+/// Stores a trace entry atomically.
+pub fn store_trace(dir: &Path, key: &str, a: &TraceArtifacts) -> std::io::Result<()> {
+    write_entry(dir, key, encode_trace(key, a))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bpfree_sim::TraceRecorder;
 
-    fn sample() -> Artifacts {
+    fn sample() -> (CompileArtifacts, RunArtifacts, TraceArtifacts) {
         let program = bpfree_lang::compile(
             "fn main() -> int {
-                int x;
+                int x; int i;
                 x = -3;
                 if (x < 0) { x = 0; }
+                for (i = 0; i < 5; i = i + 1) { x = x + i; }
                 return x;
             }",
         )
         .unwrap();
         let classifier = bpfree_core::BranchClassifier::analyze(&program);
         let table = HeuristicTable::build(&program, &classifier);
-        let mut profile = EdgeProfile::new();
-        profile.record(program.branches()[0], true);
-        profile.record(program.branches()[0], false);
-        Artifacts {
-            program,
-            table,
-            profile,
-            run: RunResult {
-                exit: 0,
-                instructions: 42,
-            },
-        }
+        let mut profiler = bpfree_sim::EdgeProfiler::new();
+        let mut recorder = TraceRecorder::new();
+        let mut fan = bpfree_sim::Multiplex::new();
+        fan.push(&mut profiler);
+        fan.push(&mut recorder);
+        let run = bpfree_sim::Simulator::new(&program).run(&mut fan).unwrap();
+        let profile = profiler.into_profile();
+        let trace = recorder.into_trace();
+        (
+            CompileArtifacts { program, table },
+            RunArtifacts { profile, run },
+            TraceArtifacts { trace, run },
+        )
     }
 
     fn table_rows_sorted(t: &HeuristicTable) -> Vec<(BranchRef, [Option<Direction>; 7])> {
@@ -305,52 +541,116 @@ mod tests {
     }
 
     #[test]
-    fn encode_decode_roundtrip() {
-        let a = sample();
+    fn compile_roundtrip() {
+        let (a, _, _) = sample();
         let key = "0123456789abcdef";
-        let text = encode(key, &a);
-        let b = decode(key, &text).expect("decodes");
+        let text = encode_compile(key, &a);
+        let b = decode_compile(key, &text).expect("decodes");
         assert_eq!(a.program, b.program);
-        assert_eq!(a.profile, b.profile);
-        assert_eq!(a.run, b.run);
         assert_eq!(table_rows_sorted(&a.table), table_rows_sorted(&b.table));
     }
 
     #[test]
-    fn decode_rejects_wrong_key_and_corruption() {
-        let a = sample();
-        let text = encode("aaaa", &a);
-        assert!(decode("bbbb", &text).is_none(), "key mismatch is a miss");
-        assert!(
-            decode("aaaa", &text[..text.len() / 2]).is_none(),
-            "truncation is a miss"
-        );
-        let garbled = text.replace("instructions 42", "instructions x");
-        assert!(
-            decode("aaaa", &garbled).is_none(),
-            "garbled field is a miss"
-        );
-        assert!(decode("aaaa", "").is_none());
-        assert!(
-            decode("aaaa", "bpfree-cache v999\n").is_none(),
-            "future version is a miss"
-        );
+    fn run_roundtrip() {
+        let (_, a, _) = sample();
+        let key = "0123456789abcdef";
+        let text = encode_run(key, &a);
+        let b = decode_run(key, &text).expect("decodes");
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(a.run, b.run);
     }
 
     #[test]
-    fn key_tracks_source_and_datasets() {
-        let ds = |v: i64| {
-            let mut g = bpfree_ir::GlobalValues::new();
-            g.set_int("n", vec![v]);
-            vec![Dataset {
-                name: "ref".into(),
-                values: g,
-            }]
-        };
-        let k0 = key("b", "src", &ds(1));
-        assert_eq!(k0, key("b", "src", &ds(1)), "deterministic");
-        assert_ne!(k0, key("b", "src2", &ds(1)), "source change");
-        assert_ne!(k0, key("b2", "src", &ds(1)), "name change");
-        assert_ne!(k0, key("b", "src", &ds(2)), "dataset change");
+    fn trace_roundtrip_including_rle() {
+        let (_, _, a) = sample();
+        assert!(!a.trace.is_empty());
+        let key = "0123456789abcdef";
+        let text = encode_trace(key, &a);
+        // The 5-iteration loop must have produced at least one RLE run.
+        assert!(
+            text.contains('*'),
+            "loop latch events RLE-compress:\n{text}"
+        );
+        let b = decode_trace(key, &text).expect("decodes");
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.run, b.run);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_key_kind_and_corruption() {
+        let (c, r, t) = sample();
+        let text = encode_compile("aaaa", &c);
+        assert!(decode_compile("bbbb", &text).is_none(), "key mismatch");
+        assert!(
+            decode_compile("aaaa", &text[..text.len() / 2]).is_none(),
+            "truncation"
+        );
+        assert!(decode_compile("aaaa", "").is_none());
+        assert!(
+            decode_compile("aaaa", "bpfree-cache v999\n").is_none(),
+            "future version"
+        );
+
+        // A run entry never decodes as a compile entry or vice versa.
+        let run_text = encode_run("aaaa", &r);
+        assert!(decode_compile("aaaa", &run_text).is_none(), "kind mismatch");
+        assert!(decode_run("aaaa", &text).is_none(), "kind mismatch");
+
+        let garbled = run_text.replace("instructions", "instructoins");
+        assert!(decode_run("aaaa", &garbled).is_none(), "garbled field");
+
+        let trace_text = encode_trace("aaaa", &t);
+        let garbled = trace_text.replace("tail", "tali");
+        assert!(decode_trace("aaaa", &garbled).is_none(), "garbled tail");
+        assert!(
+            decode_trace("aaaa", &trace_text[..trace_text.len() - 8]).is_none(),
+            "truncated trace"
+        );
+    }
+
+    fn ds(v: i64) -> Dataset {
+        let mut g = bpfree_ir::GlobalValues::new();
+        g.set_int("n", vec![v]);
+        Dataset {
+            name: "ref".into(),
+            values: g,
+        }
+    }
+
+    #[test]
+    fn keys_track_source_options_and_datasets() {
+        let k0 = compile_key("b", "src", "O:inline+simplify");
+        assert_eq!(k0, compile_key("b", "src", "O:inline+simplify"));
+        assert_ne!(k0, compile_key("b", "src2", "O:inline+simplify"), "source");
+        assert_ne!(k0, compile_key("b2", "src", "O:inline+simplify"), "name");
+
+        let r0 = run_key("b", "src", "O:inline+simplify", &ds(1));
+        assert_eq!(r0, run_key("b", "src", "O:inline+simplify", &ds(1)));
+        assert_ne!(
+            r0,
+            run_key("b", "src", "O:inline+simplify", &ds(2)),
+            "dataset"
+        );
+        assert_ne!(r0, k0, "entry kinds never collide");
+        assert_ne!(r0, trace_key("b", "src", "O:inline+simplify", &ds(1)));
+    }
+
+    /// Regression test for the PR 1 cache-key blind spot: artifacts
+    /// compiled at `-O0` (e.g. by `opt_ablate`) must never collide with
+    /// `-O` entries for the same benchmark.
+    #[test]
+    fn opt_level_is_part_of_every_key() {
+        let o = bpfree_lang::Options::default().fingerprint();
+        let o0 = bpfree_lang::Options::o0().fingerprint();
+        assert_ne!(o, o0);
+        assert_ne!(compile_key("b", "src", o), compile_key("b", "src", o0));
+        assert_ne!(
+            run_key("b", "src", o, &ds(1)),
+            run_key("b", "src", o0, &ds(1))
+        );
+        assert_ne!(
+            trace_key("b", "src", o, &ds(1)),
+            trace_key("b", "src", o0, &ds(1))
+        );
     }
 }

@@ -1,13 +1,15 @@
 //! End-to-end cache behavior against real suite benchmarks: hits
-//! restore exactly what was stored, corruption degrades to a miss, and
-//! experiment results computed from cached artifacts are identical to
-//! fresh ones.
+//! restore exactly what was stored, corruption degrades to a miss,
+//! traces rebuild runs by replay, and experiment results computed from
+//! cached artifacts are identical to fresh ones.
 
 use std::path::PathBuf;
 
-use bpfree_cache::Artifacts;
+use bpfree_cache::{CompileArtifacts, RunArtifacts, TraceArtifacts};
 use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
 use bpfree_core::{BranchClassifier, HeuristicTable, DEFAULT_SEED};
+use bpfree_lang::Options;
+use bpfree_sim::{EdgeProfiler, Multiplex, TraceRecorder};
 
 /// A unique scratch cache directory, removed on drop.
 struct ScratchDir(PathBuf);
@@ -27,28 +29,60 @@ impl Drop for ScratchDir {
     }
 }
 
-/// Compiles + simulates one suite benchmark the same way the bench
-/// harness does on a cache miss.
-fn fresh(name: &str) -> (Artifacts, BranchClassifier) {
+/// Compiles + simulates one suite benchmark (dataset 0) the way the
+/// engine does on a full miss: one interpreter pass recording profile
+/// and trace together.
+fn fresh(
+    name: &str,
+) -> (
+    CompileArtifacts,
+    RunArtifacts,
+    TraceArtifacts,
+    BranchClassifier,
+) {
     let b = bpfree_suite::by_name(name).expect("benchmark exists");
     let program = b.compile().expect("compiles");
     let classifier = BranchClassifier::analyze(&program);
     let table = HeuristicTable::build(&program, &classifier);
-    let (profile, run) = b.profile(&program, 0).expect("runs");
+    let mut profiler = EdgeProfiler::new();
+    let mut recorder = TraceRecorder::new();
+    let mut fan = Multiplex::new();
+    fan.push(&mut profiler);
+    fan.push(&mut recorder);
+    let run = b
+        .run_with(&program, &b.datasets()[0], &mut fan)
+        .expect("runs");
     (
-        Artifacts {
-            program,
-            table,
-            profile,
+        CompileArtifacts { program, table },
+        RunArtifacts {
+            profile: profiler.into_profile(),
+            run,
+        },
+        TraceArtifacts {
+            trace: recorder.into_trace(),
             run,
         },
         classifier,
     )
 }
 
-fn suite_key(name: &str) -> String {
+fn opt() -> &'static str {
+    Options::default().fingerprint()
+}
+
+fn compile_key(name: &str) -> String {
     let b = bpfree_suite::by_name(name).expect("benchmark exists");
-    bpfree_cache::key(b.name, b.source, &b.datasets())
+    bpfree_cache::compile_key(b.name, b.source, opt())
+}
+
+fn run_key(name: &str) -> String {
+    let b = bpfree_suite::by_name(name).expect("benchmark exists");
+    bpfree_cache::run_key(b.name, b.source, opt(), &b.datasets()[0])
+}
+
+fn trace_key(name: &str) -> String {
+    let b = bpfree_suite::by_name(name).expect("benchmark exists");
+    bpfree_cache::trace_key(b.name, b.source, opt(), &b.datasets()[0])
 }
 
 fn table_rows(
@@ -62,56 +96,111 @@ fn table_rows(
 #[test]
 fn store_then_lookup_restores_everything() {
     let dir = ScratchDir::new("roundtrip");
-    let (a, _) = fresh("grep");
-    let key = suite_key("grep");
+    let (c, r, t, _) = fresh("grep");
 
     assert!(
-        bpfree_cache::lookup(&dir.0, &key).is_none(),
+        bpfree_cache::lookup_compile(&dir.0, &compile_key("grep")).is_none(),
         "empty dir is a miss"
     );
-    bpfree_cache::store(&dir.0, &key, &a).expect("store succeeds");
-    let b = bpfree_cache::lookup(&dir.0, &key).expect("hit after store");
+    bpfree_cache::store_compile(&dir.0, &compile_key("grep"), &c).expect("store");
+    bpfree_cache::store_run(&dir.0, &run_key("grep"), &r).expect("store");
+    bpfree_cache::store_trace(&dir.0, &trace_key("grep"), &t).expect("store");
 
-    assert_eq!(a.program, b.program);
-    assert_eq!(a.profile, b.profile);
-    assert_eq!(a.run, b.run);
-    assert_eq!(table_rows(&a.table), table_rows(&b.table));
+    let c2 = bpfree_cache::lookup_compile(&dir.0, &compile_key("grep")).expect("hit");
+    let r2 = bpfree_cache::lookup_run(&dir.0, &run_key("grep")).expect("hit");
+    let t2 = bpfree_cache::lookup_trace(&dir.0, &trace_key("grep")).expect("hit");
+
+    assert_eq!(c.program, c2.program);
+    assert_eq!(table_rows(&c.table), table_rows(&c2.table));
+    assert_eq!(r.profile, r2.profile);
+    assert_eq!(r.run, r2.run);
+    assert_eq!(t.trace, t2.trace);
+    assert_eq!(t.run, t2.run);
+}
+
+/// The warm graphs4_11 path: a run entry is derivable from a trace
+/// entry by replay alone, with a bit-identical profile.
+#[test]
+fn trace_replay_rebuilds_the_run_entry() {
+    let dir = ScratchDir::new("replay");
+    let (_, r, t, _) = fresh("eqntott");
+    bpfree_cache::store_trace(&dir.0, &trace_key("eqntott"), &t).expect("store");
+
+    let t2 = bpfree_cache::lookup_trace(&dir.0, &trace_key("eqntott")).expect("hit");
+    let mut profiler = EdgeProfiler::new();
+    t2.trace.replay(&mut profiler);
+    assert_eq!(profiler.into_profile(), r.profile);
+    assert_eq!(t2.run, r.run);
+    assert_eq!(t2.trace.total_instructions(), r.run.instructions);
 }
 
 #[test]
 fn corruption_is_a_miss_not_a_panic() {
     let dir = ScratchDir::new("corrupt");
-    let (a, _) = fresh("compress");
-    let key = suite_key("compress");
-    bpfree_cache::store(&dir.0, &key, &a).expect("store succeeds");
-    let path = dir.0.join(format!("{key}.txt"));
-    let text = std::fs::read_to_string(&path).unwrap();
+    let (c, r, t, _) = fresh("compress");
+    let ck = compile_key("compress");
+    let rk = run_key("compress");
+    let tk = trace_key("compress");
+    bpfree_cache::store_compile(&dir.0, &ck, &c).expect("store");
+    bpfree_cache::store_run(&dir.0, &rk, &r).expect("store");
+    bpfree_cache::store_trace(&dir.0, &tk, &t).expect("store");
 
     // Truncation, bit flips in the middle, and outright garbage must
     // all fall back to recompute (lookup -> None), never panic.
-    std::fs::write(&path, &text[..text.len() / 3]).unwrap();
-    assert!(bpfree_cache::lookup(&dir.0, &key).is_none(), "truncated");
+    for (key, garble) in [(&ck, "table"), (&rk, "profile"), (&tk, "dict")] {
+        let path = dir.0.join(format!("{key}.txt"));
+        let text = std::fs::read_to_string(&path).unwrap();
 
-    std::fs::write(&path, text.replace("profile", "profane")).unwrap();
-    assert!(
-        bpfree_cache::lookup(&dir.0, &key).is_none(),
-        "garbled section header"
-    );
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        assert!(
+            bpfree_cache::lookup_compile(&dir.0, key).is_none()
+                && bpfree_cache::lookup_run(&dir.0, key).is_none()
+                && bpfree_cache::lookup_trace(&dir.0, key).is_none(),
+            "truncated {key}"
+        );
 
-    std::fs::write(&path, "not a cache file at all\n").unwrap();
-    assert!(bpfree_cache::lookup(&dir.0, &key).is_none(), "garbage");
+        std::fs::write(&path, text.replace(garble, "garbled!")).unwrap();
+        assert!(
+            bpfree_cache::lookup_compile(&dir.0, key).is_none()
+                && bpfree_cache::lookup_run(&dir.0, key).is_none()
+                && bpfree_cache::lookup_trace(&dir.0, key).is_none(),
+            "garbled section header in {key}"
+        );
+
+        std::fs::write(&path, "not a cache file at all\n").unwrap();
+        assert!(
+            bpfree_cache::lookup_compile(&dir.0, key).is_none()
+                && bpfree_cache::lookup_run(&dir.0, key).is_none()
+                && bpfree_cache::lookup_trace(&dir.0, key).is_none(),
+            "garbage {key}"
+        );
+    }
 
     // And a valid re-store recovers.
-    bpfree_cache::store(&dir.0, &key, &a).expect("re-store succeeds");
-    assert!(bpfree_cache::lookup(&dir.0, &key).is_some());
+    bpfree_cache::store_compile(&dir.0, &ck, &c).expect("re-store");
+    assert!(bpfree_cache::lookup_compile(&dir.0, &ck).is_some());
 }
 
 #[test]
-fn keys_differ_across_benchmarks_and_are_stable() {
-    let k1 = suite_key("grep");
-    let k2 = suite_key("compress");
-    assert_ne!(k1, k2);
-    assert_eq!(k1, suite_key("grep"), "same inputs, same key");
+fn keys_differ_across_benchmarks_kinds_and_opt_levels() {
+    assert_ne!(compile_key("grep"), compile_key("compress"));
+    assert_eq!(compile_key("grep"), compile_key("grep"), "stable");
+    assert_ne!(run_key("grep"), trace_key("grep"), "kind tag");
+    assert_ne!(compile_key("grep"), run_key("grep"));
+
+    // Regression: PR 1's single-key scheme ignored compile options, so
+    // an -O0 build (opt_ablate) could poison the -O cache. Every kind
+    // now keys on the options fingerprint.
+    let b = bpfree_suite::by_name("grep").unwrap();
+    let o0 = Options::o0().fingerprint();
+    assert_ne!(
+        bpfree_cache::compile_key(b.name, b.source, o0),
+        compile_key("grep")
+    );
+    assert_ne!(
+        bpfree_cache::run_key(b.name, b.source, o0, &b.datasets()[0]),
+        run_key("grep")
+    );
 }
 
 #[test]
@@ -122,24 +211,25 @@ fn cached_artifacts_give_identical_experiment_results() {
     let mut fresh_data = Vec::new();
     let mut cached_data = Vec::new();
     for name in names {
-        let (a, classifier) = fresh(name);
-        let key = suite_key(name);
-        bpfree_cache::store(&dir.0, &key, &a).expect("store succeeds");
-        let hit = bpfree_cache::lookup(&dir.0, &key).expect("hit");
+        let (c, r, _, classifier) = fresh(name);
+        bpfree_cache::store_compile(&dir.0, &compile_key(name), &c).expect("store");
+        bpfree_cache::store_run(&dir.0, &run_key(name), &r).expect("store");
+        let hit_c = bpfree_cache::lookup_compile(&dir.0, &compile_key(name)).expect("hit");
+        let hit_r = bpfree_cache::lookup_run(&dir.0, &run_key(name)).expect("hit");
         // The harness recomputes the classifier from the cached program.
-        let hit_classifier = BranchClassifier::analyze(&hit.program);
+        let hit_classifier = BranchClassifier::analyze(&hit_c.program);
 
         fresh_data.push(BenchOrderData::build(
             name,
-            &a.table,
-            &a.profile,
+            &c.table,
+            &r.profile,
             &classifier,
             DEFAULT_SEED,
         ));
         cached_data.push(BenchOrderData::build(
             name,
-            &hit.table,
-            &hit.profile,
+            &hit_c.table,
+            &hit_r.profile,
             &hit_classifier,
             DEFAULT_SEED,
         ));

@@ -208,6 +208,11 @@ pub struct AttributedReport {
     pub report: Report,
     /// Coverage stats per attribution source over non-loop branches.
     pub by_source: HashMap<String, CoverageStats>,
+    /// The heuristics-only aggregate (every source except `Default`):
+    /// the paper's Table 6 "Heuristics" columns — how much of the
+    /// non-loop branch stream the heuristics themselves cover, and how
+    /// well they predict that covered subset.
+    pub heuristics: CoverageStats,
 }
 
 /// Evaluates a combined predictor and attributes every non-loop miss to
@@ -241,10 +246,23 @@ pub fn evaluate_with_attribution(
         };
         entry.perfect_misses += counts.minority();
     }
-    for stats in by_source.values_mut() {
+    let mut heuristics = CoverageStats {
+        total_nonloop,
+        ..CoverageStats::default()
+    };
+    for (name, stats) in by_source.iter_mut() {
         stats.total_nonloop = total_nonloop;
+        if name != "Default" {
+            heuristics.covered += stats.covered;
+            heuristics.misses += stats.misses;
+            heuristics.perfect_misses += stats.perfect_misses;
+        }
     }
-    AttributedReport { report, by_source }
+    AttributedReport {
+        report,
+        by_source,
+        heuristics,
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +348,38 @@ mod tests {
         assert_eq!(cov.misses, 10);
         assert_eq!(cov.perfect_misses, 10);
         assert!((cov.coverage() - 100.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heuristics_aggregate_excludes_default_and_shares_the_total() {
+        let (p, profile, c) = setup(LOOPY);
+        let cp = crate::predictors::CombinedPredictor::new(
+            &p,
+            &c,
+            crate::heuristics::HeuristicKind::paper_order(),
+        );
+        let att = evaluate_with_attribution(&cp, &profile, &c);
+
+        let mut covered = 0u64;
+        let mut misses = 0u64;
+        let mut perfect = 0u64;
+        let mut total_nl = 0u64;
+        for (name, s) in &att.by_source {
+            total_nl = total_nl.max(s.total_nonloop);
+            if name != "Default" {
+                covered += s.covered;
+                misses += s.misses;
+                perfect += s.perfect_misses;
+            }
+        }
+        assert_eq!(att.heuristics.covered, covered);
+        assert_eq!(att.heuristics.misses, misses);
+        assert_eq!(att.heuristics.perfect_misses, perfect);
+        assert_eq!(att.heuristics.total_nonloop, total_nl);
+        // Heuristics + Default together cover every non-loop execution.
+        let default_covered = att.by_source.get("Default").map_or(0, |s| s.covered);
+        assert_eq!(covered + default_covered, att.heuristics.total_nonloop);
+        assert!(att.heuristics.covered > 0, "LOOPY has a mod-test branch");
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! The demand-driven experiment engine.
+//!
+//! Every experiment binary in this workspace consumes the same handful
+//! of derived artifacts — compiled programs, branch classifications,
+//! heuristic tables, edge profiles, run results, branch traces. PR 1
+//! computed them eagerly per *benchmark*; this crate turns them into a
+//! typed artifact graph that experiments query on demand:
+//!
+//! * [`Engine::compiled`] — program + classifier + heuristic table for
+//!   a `(benchmark, Options)` pair;
+//! * [`Engine::run`] — edge profile + [`RunResult`] for a
+//!   `(benchmark, Options, dataset)` triple;
+//! * [`Engine::trace`] — a replayable [`BranchTrace`] of the same
+//!   triple, for analyses (IPBC) that need the event stream *after*
+//!   training on the run's own profile.
+//!
+//! Each artifact is computed **at most once per process** (a
+//! `Mutex<HashMap<Key, Arc<OnceLock<V>>>>` memo: the map lock is held
+//! only to fetch the slot, so concurrent queries for different keys
+//! compute in parallel while duplicate queries block on the same slot),
+//! and persisted through [`bpfree_cache`] so later processes skip the
+//! work entirely.
+//!
+//! # One interpreter pass per (benchmark, dataset)
+//!
+//! Simulation dominates everything else, so the engine never runs the
+//! interpreter twice over the same input. When a trace is requested it
+//! fans an [`EdgeProfiler`] and a [`TraceRecorder`] out of a *single*
+//! pass ([`bpfree_sim::Multiplex`]) and fills the run memo as a side
+//! effect; a cached trace entry rebuilds the run bundle by replay
+//! without simulating at all. [`Engine::simulations`] counts actual
+//! interpreter passes, so experiments (and tests) can prove the
+//! single-pass property: a cold `graphs4_11` performs exactly one
+//! simulation per (benchmark, dataset), and a warm one performs zero.
+//!
+//! # Example
+//!
+//! ```
+//! use bpfree_engine::{Engine, EngineConfig};
+//! use bpfree_lang::Options;
+//!
+//! let engine = Engine::new(EngineConfig::no_cache());
+//! let bench = bpfree_suite::by_name("grep").unwrap();
+//! let compiled = engine.compiled(&bench, Options::default());
+//! let bundle = engine.run(&bench, Options::default(), 0);
+//! assert!(bundle.profile.total_branches() > 0);
+//! // A second query is a memo hit: still exactly one simulation.
+//! let again = engine.run(&bench, Options::default(), 0);
+//! assert_eq!(again.result, bundle.result);
+//! assert_eq!(engine.simulations(), 1);
+//! assert!(compiled.table.rows().count() > 0);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bpfree_core::{BranchClassifier, HeuristicTable};
+use bpfree_ir::Program;
+use bpfree_lang::Options;
+use bpfree_sim::{BranchTrace, EdgeProfile, EdgeProfiler, Multiplex, RunResult, TraceRecorder};
+use bpfree_suite::{Benchmark, Dataset, SuiteError};
+
+/// Engine configuration. [`Default`] honours the `BPFREE_NO_CACHE` and
+/// `BPFREE_CACHE_DIR` environment variables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Consult and populate the on-disk artifact cache.
+    pub use_cache: bool,
+    /// Where the cache lives.
+    pub cache_dir: PathBuf,
+    /// Print cache hit/miss lines to stderr (never stdout — experiment
+    /// output stays byte-identical either way).
+    pub verbose: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            use_cache: !bpfree_cache::disabled_by_env(),
+            cache_dir: bpfree_cache::default_dir(),
+            verbose: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// In-memory memoization only: no disk reads or writes, no stderr
+    /// chatter. What tests and examples usually want.
+    pub fn no_cache() -> EngineConfig {
+        EngineConfig {
+            use_cache: false,
+            cache_dir: bpfree_cache::default_dir(),
+            verbose: false,
+        }
+    }
+}
+
+/// The compile-time artifacts of one `(benchmark, Options)` pair.
+/// Cheap to clone (all `Arc`s).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub program: Arc<Program>,
+    pub classifier: Arc<BranchClassifier>,
+    pub table: Arc<HeuristicTable>,
+}
+
+/// The artifacts of one simulated `(benchmark, Options, dataset)`
+/// triple. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct RunBundle {
+    pub profile: Arc<EdgeProfile>,
+    pub result: RunResult,
+}
+
+type CompileKey = (&'static str, Options);
+type RunKey = (&'static str, Options, usize);
+
+/// A compute-once memo: the map lock is held only long enough to fetch
+/// the slot, so distinct keys compute concurrently while duplicate
+/// requests block on the slot's `OnceLock`.
+struct Memo<K, V> {
+    slots: Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+}
+
+impl<K: Eq + Hash, V: Clone> Memo<K, V> {
+    fn new() -> Memo<K, V> {
+        Memo {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn slot(&self, key: K) -> Arc<OnceLock<V>> {
+        self.slots
+            .lock()
+            .expect("memo lock poisoned")
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    fn get_or_init(&self, key: K, init: impl FnOnce() -> V) -> V {
+        self.slot(key).get_or_init(init).clone()
+    }
+
+    /// Fills the slot if nothing beat us to it (used when one
+    /// computation produces a sibling artifact as a by-product).
+    fn offer(&self, key: K, value: V) {
+        let _ = self.slot(key).set(value);
+    }
+}
+
+/// The artifact graph. See the crate docs; usually accessed through
+/// [`install`]/[`global`].
+pub struct Engine {
+    config: EngineConfig,
+    compiled: Memo<CompileKey, Compiled>,
+    runs: Memo<RunKey, RunBundle>,
+    traces: Memo<RunKey, Arc<BranchTrace>>,
+    datasets: Memo<&'static str, Arc<Vec<Dataset>>>,
+    simulations: AtomicU64,
+}
+
+impl Engine {
+    /// A fresh engine with empty memos.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            compiled: Memo::new(),
+            runs: Memo::new(),
+            traces: Memo::new(),
+            datasets: Memo::new(),
+            simulations: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// How many interpreter passes this engine has actually executed —
+    /// the currency every other artifact is bought with. Memo and cache
+    /// hits don't count; `Multiplex` fan-out means one pass can serve
+    /// profile, run result, and trace together.
+    pub fn simulations(&self) -> u64 {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// The benchmark's datasets, generated once per process.
+    pub fn datasets(&self, bench: &Benchmark) -> Arc<Vec<Dataset>> {
+        self.datasets
+            .get_or_init(bench.name, || Arc::new(bench.datasets()))
+    }
+
+    /// The compiled program, branch classifier, and heuristic table for
+    /// `bench` under `opt`.
+    ///
+    /// # Panics
+    ///
+    /// If the benchmark source fails to compile (a suite bug).
+    pub fn compiled(&self, bench: &Benchmark, opt: Options) -> Compiled {
+        self.compiled
+            .get_or_init((bench.name, opt), || self.build_compiled(bench, opt))
+    }
+
+    /// Shorthand for [`Engine::compiled`]`.program`.
+    pub fn program(&self, bench: &Benchmark, opt: Options) -> Arc<Program> {
+        self.compiled(bench, opt).program
+    }
+
+    /// Shorthand for [`Engine::compiled`]`.classifier`.
+    pub fn classifier(&self, bench: &Benchmark, opt: Options) -> Arc<BranchClassifier> {
+        self.compiled(bench, opt).classifier
+    }
+
+    /// Shorthand for [`Engine::compiled`]`.table`.
+    pub fn table(&self, bench: &Benchmark, opt: Options) -> Arc<HeuristicTable> {
+        self.compiled(bench, opt).table
+    }
+
+    /// The edge profile and run result of dataset `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`SuiteError::NoSuchDataset`] on an out-of-range index.
+    ///
+    /// # Panics
+    ///
+    /// If the simulation itself fails (a suite bug).
+    pub fn try_run(
+        &self,
+        bench: &Benchmark,
+        opt: Options,
+        index: usize,
+    ) -> Result<RunBundle, SuiteError> {
+        let datasets = self.datasets(bench);
+        let dataset = datasets.get(index).ok_or(SuiteError::NoSuchDataset {
+            benchmark: bench.name,
+            index,
+        })?;
+        Ok(self.runs.get_or_init((bench.name, opt, index), || {
+            self.compute_run(bench, opt, index, dataset)
+        }))
+    }
+
+    /// [`Engine::try_run`], panicking on a bad dataset index.
+    pub fn run(&self, bench: &Benchmark, opt: Options, index: usize) -> RunBundle {
+        self.try_run(bench, opt, index)
+            .unwrap_or_else(|e| panic!("engine run {}[{index}]: {e}", bench.name))
+    }
+
+    /// The replayable branch trace of dataset `index`. Recording shares
+    /// a single interpreter pass with the edge profile, and fills the
+    /// run memo as a by-product — request the trace *before* (or
+    /// instead of) [`Engine::run`] and the run bundle costs nothing
+    /// extra.
+    ///
+    /// # Errors
+    ///
+    /// [`SuiteError::NoSuchDataset`] on an out-of-range index.
+    pub fn try_trace(
+        &self,
+        bench: &Benchmark,
+        opt: Options,
+        index: usize,
+    ) -> Result<Arc<BranchTrace>, SuiteError> {
+        let datasets = self.datasets(bench);
+        let dataset = datasets.get(index).ok_or(SuiteError::NoSuchDataset {
+            benchmark: bench.name,
+            index,
+        })?;
+        Ok(self.traces.get_or_init((bench.name, opt, index), || {
+            self.compute_trace(bench, opt, index, dataset)
+        }))
+    }
+
+    /// [`Engine::try_trace`], panicking on a bad dataset index.
+    pub fn trace(&self, bench: &Benchmark, opt: Options, index: usize) -> Arc<BranchTrace> {
+        self.try_trace(bench, opt, index)
+            .unwrap_or_else(|e| panic!("engine trace {}[{index}]: {e}", bench.name))
+    }
+
+    /// Warms the memos for a whole roster in parallel: compile
+    /// artifacts plus dataset 0's run bundle for every benchmark, and a
+    /// branch trace too for those named in `traced` (still one
+    /// interpreter pass each — the trace request comes first and the
+    /// run bundle falls out of it).
+    pub fn prefetch(&self, benches: &[&Benchmark], opt: Options, traced: &[&str]) {
+        bpfree_par::par_map(benches, |bench| {
+            let _ = self.compiled(bench, opt);
+            if traced.contains(&bench.name) {
+                let _ = self.trace(bench, opt, 0);
+            }
+            let _ = self.run(bench, opt, 0);
+        });
+    }
+
+    fn note(&self, outcome: &str, what: std::fmt::Arguments<'_>) {
+        if self.config.use_cache && self.config.verbose {
+            eprintln!("[bpfree-engine] {outcome} {what}");
+        }
+    }
+
+    fn build_compiled(&self, bench: &Benchmark, opt: Options) -> Compiled {
+        let fp = opt.fingerprint();
+        if self.config.use_cache {
+            let key = bpfree_cache::compile_key(bench.name, bench.source, fp);
+            if let Some(hit) = bpfree_cache::lookup_compile(&self.config.cache_dir, &key) {
+                self.note("hit ", format_args!("compile {} [{fp}]", bench.name));
+                let classifier = BranchClassifier::analyze(&hit.program);
+                return Compiled {
+                    program: Arc::new(hit.program),
+                    classifier: Arc::new(classifier),
+                    table: Arc::new(hit.table),
+                };
+            }
+            self.note("miss", format_args!("compile {} [{fp}]", bench.name));
+        }
+        let program = bpfree_lang::compile_with(bench.source, opt)
+            .unwrap_or_else(|e| panic!("benchmark `{}` fails to compile: {e}", bench.name));
+        let classifier = BranchClassifier::analyze(&program);
+        let table = HeuristicTable::build(&program, &classifier);
+        if self.config.use_cache {
+            let key = bpfree_cache::compile_key(bench.name, bench.source, fp);
+            let _ = bpfree_cache::store_compile(
+                &self.config.cache_dir,
+                &key,
+                &bpfree_cache::CompileArtifacts {
+                    program: program.clone(),
+                    table: table.clone(),
+                },
+            );
+        }
+        Compiled {
+            program: Arc::new(program),
+            classifier: Arc::new(classifier),
+            table: Arc::new(table),
+        }
+    }
+
+    fn compute_run(
+        &self,
+        bench: &Benchmark,
+        opt: Options,
+        index: usize,
+        dataset: &Dataset,
+    ) -> RunBundle {
+        let fp = opt.fingerprint();
+        if self.config.use_cache {
+            let key = bpfree_cache::run_key(bench.name, bench.source, fp, dataset);
+            if let Some(hit) = bpfree_cache::lookup_run(&self.config.cache_dir, &key) {
+                self.note("hit ", format_args!("run {}/{}", bench.name, dataset.name));
+                return RunBundle {
+                    profile: Arc::new(hit.profile),
+                    result: hit.run,
+                };
+            }
+            // A trace entry subsumes a run entry: replay it instead of
+            // simulating.
+            let tkey = bpfree_cache::trace_key(bench.name, bench.source, fp, dataset);
+            if let Some(hit) = bpfree_cache::lookup_trace(&self.config.cache_dir, &tkey) {
+                self.note(
+                    "hit ",
+                    format_args!("run {}/{} (trace replay)", bench.name, dataset.name),
+                );
+                let mut profiler = EdgeProfiler::new();
+                hit.trace.replay(&mut profiler);
+                return RunBundle {
+                    profile: Arc::new(profiler.into_profile()),
+                    result: hit.run,
+                };
+            }
+            self.note("miss", format_args!("run {}/{}", bench.name, dataset.name));
+        }
+        let program = self.program(bench, opt);
+        let mut profiler = EdgeProfiler::new();
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let result = bench
+            .run_with(&program, dataset, &mut profiler)
+            .unwrap_or_else(|e| panic!("benchmark `{}`[{index}] fails to run: {e}", bench.name));
+        let profile = profiler.into_profile();
+        if self.config.use_cache {
+            let key = bpfree_cache::run_key(bench.name, bench.source, fp, dataset);
+            let _ = bpfree_cache::store_run(
+                &self.config.cache_dir,
+                &key,
+                &bpfree_cache::RunArtifacts {
+                    profile: profile.clone(),
+                    run: result,
+                },
+            );
+        }
+        RunBundle {
+            profile: Arc::new(profile),
+            result,
+        }
+    }
+
+    fn compute_trace(
+        &self,
+        bench: &Benchmark,
+        opt: Options,
+        index: usize,
+        dataset: &Dataset,
+    ) -> Arc<BranchTrace> {
+        let fp = opt.fingerprint();
+        if self.config.use_cache {
+            let key = bpfree_cache::trace_key(bench.name, bench.source, fp, dataset);
+            if let Some(hit) = bpfree_cache::lookup_trace(&self.config.cache_dir, &key) {
+                self.note(
+                    "hit ",
+                    format_args!("trace {}/{}", bench.name, dataset.name),
+                );
+                let trace = Arc::new(hit.trace);
+                // Rebuild the run bundle by replay — the warm path
+                // needs zero interpreter passes.
+                let mut profiler = EdgeProfiler::new();
+                trace.replay(&mut profiler);
+                self.runs.offer(
+                    (bench.name, opt, index),
+                    RunBundle {
+                        profile: Arc::new(profiler.into_profile()),
+                        result: hit.run,
+                    },
+                );
+                return trace;
+            }
+            self.note(
+                "miss",
+                format_args!("trace {}/{}", bench.name, dataset.name),
+            );
+        }
+        // One pass, two observers: profile and trace from the same
+        // execution.
+        let program = self.program(bench, opt);
+        let mut profiler = EdgeProfiler::new();
+        let mut recorder = TraceRecorder::new();
+        let mut fan = Multiplex::new();
+        fan.push(&mut profiler);
+        fan.push(&mut recorder);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let result = bench
+            .run_with(&program, dataset, &mut fan)
+            .unwrap_or_else(|e| panic!("benchmark `{}`[{index}] fails to run: {e}", bench.name));
+        let trace = Arc::new(recorder.into_trace());
+        let profile = profiler.into_profile();
+        if self.config.use_cache {
+            let tkey = bpfree_cache::trace_key(bench.name, bench.source, fp, dataset);
+            let _ = bpfree_cache::store_trace(
+                &self.config.cache_dir,
+                &tkey,
+                &bpfree_cache::TraceArtifacts {
+                    trace: (*trace).clone(),
+                    run: result,
+                },
+            );
+            let rkey = bpfree_cache::run_key(bench.name, bench.source, fp, dataset);
+            let _ = bpfree_cache::store_run(
+                &self.config.cache_dir,
+                &rkey,
+                &bpfree_cache::RunArtifacts {
+                    profile: profile.clone(),
+                    run: result,
+                },
+            );
+        }
+        self.runs.offer(
+            (bench.name, opt, index),
+            RunBundle {
+                profile: Arc::new(profile),
+                result,
+            },
+        );
+        trace
+    }
+}
+
+static GLOBAL: OnceLock<Engine> = OnceLock::new();
+
+/// Installs the process-wide engine, first writer wins: if one is
+/// already installed, `config` is ignored and the existing engine is
+/// returned (mirroring how the experiment binaries apply CLI flags).
+pub fn install(config: EngineConfig) -> &'static Engine {
+    GLOBAL.get_or_init(|| Engine::new(config))
+}
+
+/// The process-wide engine, installing one with [`EngineConfig::default`]
+/// on first use.
+pub fn global() -> &'static Engine {
+    GLOBAL.get_or_init(|| Engine::new(EngineConfig::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::no_cache())
+    }
+
+    #[test]
+    fn memoizes_compiles_and_runs() {
+        let e = engine();
+        let b = bpfree_suite::by_name("grep").unwrap();
+        let opt = Options::default();
+        let c1 = e.compiled(&b, opt);
+        let c2 = e.compiled(&b, opt);
+        assert!(Arc::ptr_eq(&c1.program, &c2.program), "same memo slot");
+        let r1 = e.run(&b, opt, 0);
+        let r2 = e.run(&b, opt, 0);
+        assert!(Arc::ptr_eq(&r1.profile, &r2.profile));
+        assert_eq!(e.simulations(), 1);
+    }
+
+    #[test]
+    fn opt_levels_are_distinct_artifacts() {
+        let e = engine();
+        let b = bpfree_suite::by_name("grep").unwrap();
+        let o = e.compiled(&b, Options::default());
+        let o0 = e.compiled(&b, Options::o0());
+        assert!(!Arc::ptr_eq(&o.program, &o0.program));
+        // -O0 skips inlining, so more functions survive.
+        assert!(o0.program.funcs().len() >= o.program.funcs().len());
+    }
+
+    #[test]
+    fn trace_fills_the_run_memo_in_one_pass() {
+        let e = engine();
+        let b = bpfree_suite::by_name("eqntott").unwrap();
+        let opt = Options::default();
+        let trace = e.trace(&b, opt, 0);
+        assert_eq!(e.simulations(), 1);
+        let bundle = e.run(&b, opt, 0);
+        assert_eq!(e.simulations(), 1, "run bundle fell out of the trace pass");
+        assert_eq!(trace.total_instructions(), bundle.result.instructions);
+        // Replaying the trace into a fresh profiler reproduces the
+        // profile bit-for-bit.
+        let mut profiler = EdgeProfiler::new();
+        trace.replay(&mut profiler);
+        assert_eq!(profiler.into_profile(), *bundle.profile);
+    }
+
+    #[test]
+    fn bad_dataset_index_is_an_error_not_a_panic() {
+        let e = engine();
+        let b = bpfree_suite::by_name("grep").unwrap();
+        match e.try_run(&b, Options::default(), 999) {
+            Err(SuiteError::NoSuchDataset { benchmark, index }) => {
+                assert_eq!(benchmark, "grep");
+                assert_eq!(index, 999);
+            }
+            other => panic!("expected NoSuchDataset, got {other:?}"),
+        }
+        assert!(e.try_trace(&b, Options::default(), 999).is_err());
+        assert_eq!(e.simulations(), 0);
+    }
+}

@@ -99,7 +99,7 @@ use bpfree_ir::Program;
 /// Compiler options. The default is full optimisation — what the paper's
 /// `-O`-compiled benchmarks looked like. Disable passes to inspect raw
 /// lowering output (an `-O0` view).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Options {
     /// Inline small leaf functions and drop fully-inlined dead functions.
     pub inline: bool,
@@ -130,6 +130,18 @@ impl Options {
         Options {
             inline: false,
             simplify: true,
+        }
+    }
+
+    /// A short stable label naming the enabled passes, for artifact
+    /// cache keys and diagnostics: two programs compiled under options
+    /// with different fingerprints never share cached artifacts.
+    pub fn fingerprint(&self) -> &'static str {
+        match (self.inline, self.simplify) {
+            (true, true) => "O:inline+simplify",
+            (false, true) => "O:simplify",
+            (true, false) => "O:inline",
+            (false, false) => "O0",
         }
     }
 }

@@ -34,9 +34,11 @@ mod error;
 mod interp;
 mod observer;
 mod profile;
+mod trace;
 
 pub use blocks::BranchBlockCounter;
 pub use error::SimError;
 pub use interp::{RunResult, SimConfig, Simulator};
-pub use observer::{CountingObserver, ExecObserver, NullObserver, Pair};
+pub use observer::{CountingObserver, ExecObserver, Multiplex, NullObserver, Pair};
 pub use profile::{EdgeCounts, EdgeProfile, EdgeProfiler};
+pub use trace::{BranchTrace, TraceEvent, TraceRecorder};

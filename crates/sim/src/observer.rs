@@ -97,6 +97,76 @@ impl<A: ExecObserver, B: ExecObserver> ExecObserver for Pair<A, B> {
     }
 }
 
+/// Fans one event stream out to any number of observers in one
+/// interpreter pass.
+///
+/// This is the engine's default way to derive several artifacts —
+/// edge profile, run statistics, IPBC sequence stream — from a *single*
+/// simulation instead of re-executing the program once per consumer.
+/// Observers receive events in registration order.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_sim::{CountingObserver, EdgeProfiler, Multiplex, Simulator};
+/// let p = bpfree_lang::compile("fn main() -> int { return 1; }").unwrap();
+/// let mut counter = CountingObserver::default();
+/// let mut profiler = EdgeProfiler::new();
+/// let mut fan = Multiplex::new();
+/// fan.push(&mut counter);
+/// fan.push(&mut profiler);
+/// Simulator::new(&p).run(&mut fan).unwrap();
+/// assert!(counter.instructions > 0);
+/// ```
+#[derive(Default)]
+pub struct Multiplex<'a> {
+    observers: Vec<&'a mut dyn ExecObserver>,
+}
+
+impl<'a> Multiplex<'a> {
+    /// An empty fan-out (events are dropped until observers are added).
+    pub fn new() -> Multiplex<'a> {
+        Multiplex {
+            observers: Vec::new(),
+        }
+    }
+
+    /// Adds an observer to the fan-out.
+    pub fn push(&mut self, observer: &'a mut dyn ExecObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Number of registered observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Is the fan-out empty?
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl<'a> From<Vec<&'a mut dyn ExecObserver>> for Multiplex<'a> {
+    fn from(observers: Vec<&'a mut dyn ExecObserver>) -> Multiplex<'a> {
+        Multiplex { observers }
+    }
+}
+
+impl ExecObserver for Multiplex<'_> {
+    fn on_instrs(&mut self, count: u64) {
+        for obs in &mut self.observers {
+            obs.on_instrs(count);
+        }
+    }
+
+    fn on_branch(&mut self, branch: BranchRef, taken: bool) {
+        for obs in &mut self.observers {
+            obs.on_branch(branch, taken);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +194,38 @@ mod tests {
         p.on_instrs(4);
         assert_eq!(p.0.instructions, 4);
         assert_eq!(p.1.instructions, 4);
+    }
+
+    #[test]
+    fn multiplex_fans_out_to_all_in_order() {
+        let mut a = CountingObserver::default();
+        let mut b = CountingObserver::default();
+        let mut c = CountingObserver::default();
+        let mut fan = Multiplex::new();
+        fan.push(&mut a);
+        fan.push(&mut b);
+        fan.push(&mut c);
+        assert_eq!(fan.len(), 3);
+        fan.on_instrs(7);
+        fan.on_branch(
+            BranchRef {
+                func: FuncId(0),
+                block: BlockId(1),
+            },
+            true,
+        );
+        drop(fan);
+        for obs in [&a, &b, &c] {
+            assert_eq!(obs.instructions, 7);
+            assert_eq!(obs.branches, 1);
+            assert_eq!(obs.taken, 1);
+        }
+    }
+
+    #[test]
+    fn empty_multiplex_drops_events() {
+        let mut fan = Multiplex::new();
+        assert!(fan.is_empty());
+        fan.on_instrs(5); // must not panic
     }
 }

@@ -1,0 +1,260 @@
+//! Replayable branch traces.
+//!
+//! The observer API streams execution events so that long runs need no
+//! storage, but some artifacts (the IPBC sequence distributions) depend
+//! on predictions that are not known until *after* a run — the perfect
+//! predictor trains on the run's own edge profile. [`TraceRecorder`]
+//! captures the branch-event stream of one execution compactly enough to
+//! keep (and cache), and [`BranchTrace::replay`] feeds it back to any
+//! [`ExecObserver`] without re-running the interpreter.
+//!
+//! # Fidelity
+//!
+//! Replay coalesces the straight-line instruction counts between two
+//! branch events into a single [`ExecObserver::on_instrs`] call. Any
+//! observer that accumulates counts (every observer in this workspace)
+//! sees bit-identical totals at every branch event; only the block-level
+//! granularity of `on_instrs` calls differs from the live run.
+//!
+//! # Representation
+//!
+//! Executions revisit the same few branch sites millions of times, so
+//! the trace is dictionary-compressed: the distinct `(instrs, branch,
+//! taken)` events are interned once and the execution is a sequence of
+//! dictionary indices. The suite's largest traced benchmark (~1.7M
+//! branch events) fits in a few megabytes.
+
+use std::collections::HashMap;
+
+use bpfree_ir::BranchRef;
+
+use crate::observer::ExecObserver;
+
+/// One branch execution: the straight-line instructions since the
+/// previous branch event (this branch's block included), the branch
+/// site, and the direction it went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Instructions executed since the previous branch event, including
+    /// the block this branch terminates.
+    pub instrs: u64,
+    /// The branch site.
+    pub branch: BranchRef,
+    /// Did it go taken?
+    pub taken: bool,
+}
+
+/// A dictionary-compressed branch-event trace of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BranchTrace {
+    dict: Vec<TraceEvent>,
+    seq: Vec<u32>,
+    trailing_instrs: u64,
+}
+
+impl BranchTrace {
+    /// Rebuilds a trace from its serialized parts, or `None` if any
+    /// sequence index is out of range (corrupt input).
+    pub fn from_parts(dict: Vec<TraceEvent>, seq: Vec<u32>, trailing_instrs: u64) -> Option<Self> {
+        let n = dict.len() as u32;
+        if seq.iter().any(|&i| i >= n) {
+            return None;
+        }
+        Some(BranchTrace {
+            dict,
+            seq,
+            trailing_instrs,
+        })
+    }
+
+    /// The interned distinct events.
+    pub fn dict(&self) -> &[TraceEvent] {
+        &self.dict
+    }
+
+    /// The execution as dictionary indices, in order.
+    pub fn seq(&self) -> &[u32] {
+        &self.seq
+    }
+
+    /// Straight-line instructions after the last branch event.
+    pub fn trailing_instrs(&self) -> u64 {
+        self.trailing_instrs
+    }
+
+    /// Number of branch events.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Did the execution run no conditional branch?
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Total dynamic instructions in the trace.
+    pub fn total_instructions(&self) -> u64 {
+        self.seq
+            .iter()
+            .map(|&i| self.dict[i as usize].instrs)
+            .sum::<u64>()
+            + self.trailing_instrs
+    }
+
+    /// The events in execution order.
+    pub fn events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.seq.iter().map(|&i| self.dict[i as usize])
+    }
+
+    /// Streams the recorded execution into `observer`, as if the program
+    /// ran again (with straight-line runs coalesced — see the module
+    /// docs). Any number of observers can replay the same trace, so one
+    /// interpreter pass serves every post-hoc analysis.
+    pub fn replay<O: ExecObserver + ?Sized>(&self, observer: &mut O) {
+        for event in self.events() {
+            if event.instrs > 0 {
+                observer.on_instrs(event.instrs);
+            }
+            observer.on_branch(event.branch, event.taken);
+        }
+        if self.trailing_instrs > 0 {
+            observer.on_instrs(self.trailing_instrs);
+        }
+    }
+}
+
+/// Records the branch-event stream of one execution into a
+/// [`BranchTrace`].
+///
+/// # Example
+///
+/// ```
+/// use bpfree_sim::{CountingObserver, Simulator, TraceRecorder};
+/// let p = bpfree_lang::compile(
+///     "fn main() -> int {
+///         int i; int s;
+///         for (i = 0; i < 10; i = i + 1) { s = s + i; }
+///         return s;
+///     }",
+/// ).unwrap();
+/// let mut rec = TraceRecorder::new();
+/// let live = Simulator::new(&p).run(&mut rec).unwrap();
+/// let trace = rec.into_trace();
+/// // Replay drives observers exactly like the live run did.
+/// let mut counter = CountingObserver::default();
+/// trace.replay(&mut counter);
+/// assert_eq!(counter.instructions, live.instructions);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    dict: Vec<TraceEvent>,
+    index: HashMap<TraceEvent, u32>,
+    seq: Vec<u32>,
+    pending_instrs: u64,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder::default()
+    }
+
+    /// Finalises the recording.
+    pub fn into_trace(self) -> BranchTrace {
+        BranchTrace {
+            dict: self.dict,
+            seq: self.seq,
+            trailing_instrs: self.pending_instrs,
+        }
+    }
+}
+
+impl ExecObserver for TraceRecorder {
+    fn on_instrs(&mut self, count: u64) {
+        self.pending_instrs += count;
+    }
+
+    fn on_branch(&mut self, branch: BranchRef, taken: bool) {
+        let event = TraceEvent {
+            instrs: self.pending_instrs,
+            branch,
+            taken,
+        };
+        self.pending_instrs = 0;
+        let next = self.dict.len() as u32;
+        let idx = *self.index.entry(event).or_insert_with(|| {
+            self.dict.push(event);
+            next
+        });
+        self.seq.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::CountingObserver;
+    use crate::profile::EdgeProfiler;
+    use bpfree_ir::{BlockId, FuncId};
+
+    fn b(n: u32) -> BranchRef {
+        BranchRef {
+            func: FuncId(0),
+            block: BlockId(n),
+        }
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let mut rec = TraceRecorder::new();
+        rec.on_instrs(3);
+        rec.on_instrs(2);
+        rec.on_branch(b(1), true);
+        rec.on_instrs(4);
+        rec.on_branch(b(1), true); // same event interns once
+        rec.on_instrs(4);
+        rec.on_branch(b(2), false);
+        rec.on_instrs(1);
+        let trace = rec.into_trace();
+
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.trailing_instrs(), 1);
+        assert_eq!(trace.total_instructions(), 14);
+        // (5, b1, T), (4, b1, T), (4, b2, F): three distinct events.
+        assert_eq!(trace.dict().len(), 3);
+
+        let mut counter = CountingObserver::default();
+        let mut profiler = EdgeProfiler::new();
+        trace.replay(&mut counter);
+        trace.replay(&mut profiler);
+        assert_eq!(counter.instructions, 14);
+        assert_eq!(counter.branches, 3);
+        assert_eq!(counter.taken, 2);
+        let profile = profiler.into_profile();
+        assert_eq!(profile.counts(b(1)).taken, 2);
+        assert_eq!(profile.counts(b(2)).fallthru, 1);
+    }
+
+    #[test]
+    fn interning_dedupes_repeated_loop_events() {
+        let mut rec = TraceRecorder::new();
+        for _ in 0..1000 {
+            rec.on_instrs(5);
+            rec.on_branch(b(3), true);
+        }
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 1000);
+        assert_eq!(trace.dict().len(), 1, "one distinct event");
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_indices() {
+        let e = TraceEvent {
+            instrs: 1,
+            branch: b(0),
+            taken: true,
+        };
+        assert!(BranchTrace::from_parts(vec![e], vec![0, 0], 0).is_some());
+        assert!(BranchTrace::from_parts(vec![e], vec![1], 0).is_none());
+    }
+}

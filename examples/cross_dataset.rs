@@ -8,11 +8,13 @@
 //!
 //! Run with: `cargo run --release --example cross_dataset`
 
-use bpfree::core::{
-    evaluate, perfect_predictions, BranchClassifier, CombinedPredictor, HeuristicKind,
-};
+use bpfree::core::{evaluate, perfect_predictions, CombinedPredictor, HeuristicKind};
+use bpfree::lang::Options;
 
 fn main() {
+    // The engine memoizes (and, unless BPFREE_NO_CACHE is set, persists)
+    // every artifact queried below; repeated runs skip the simulations.
+    let engine = bpfree::engine::global();
     println!(
         "{:<11} {:>14} {:>14} {:>12}",
         "benchmark", "profile(A->B)%", "program-based%", "perfect(B)%"
@@ -20,23 +22,23 @@ fn main() {
     println!("{:-<55}", "");
     for name in ["xlisp", "compress", "espresso", "doduc", "tomcatv"] {
         let bench = bpfree::suite::by_name(name).expect("known benchmark");
-        let program = bench.compile().expect("suite programs compile");
-        let classifier = BranchClassifier::analyze(&program);
+        let compiled = engine.compiled(&bench, Options::default());
+        let (program, classifier) = (&compiled.program, &compiled.classifier);
 
         // Train on dataset 0.
-        let (train_profile, _) = bench.profile(&program, 0).expect("dataset 0 runs");
-        let profile_based = perfect_predictions(&program, &train_profile);
+        let train_profile = engine.run(&bench, Options::default(), 0).profile;
+        let profile_based = perfect_predictions(program, &train_profile);
 
         // Test on dataset 1.
-        let (test_profile, _) = bench.profile(&program, 1).expect("dataset 1 runs");
-        let cp = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+        let test_profile = engine.run(&bench, Options::default(), 1).profile;
+        let cp = CombinedPredictor::new(program, classifier, HeuristicKind::paper_order());
 
-        let r_profile = evaluate(&profile_based, &test_profile, &classifier);
-        let r_program = evaluate(&cp.predictions(), &test_profile, &classifier);
+        let r_profile = evaluate(&profile_based, &test_profile, classifier);
+        let r_program = evaluate(&cp.predictions(), &test_profile, classifier);
         let r_perfect = evaluate(
-            &perfect_predictions(&program, &test_profile),
+            &perfect_predictions(program, &test_profile),
             &test_profile,
-            &classifier,
+            classifier,
         );
 
         println!(

@@ -11,15 +11,17 @@
 
 use std::collections::HashSet;
 
-use bpfree::core::{BranchClassifier, CombinedPredictor, Direction, HeuristicKind};
+use bpfree::core::{CombinedPredictor, Direction, HeuristicKind};
 use bpfree::ir::{BlockId, BranchRef, FuncId, Terminator};
-use bpfree::sim::{BranchBlockCounter, EdgeProfiler, Simulator};
+use bpfree::lang::Options;
+use bpfree::sim::BranchBlockCounter;
 
 fn main() {
+    let engine = bpfree::engine::global();
     let bench = bpfree::suite::by_name("gcc").expect("gcc analogue exists");
-    let program = bench.compile().expect("suite programs compile");
-    let classifier = BranchClassifier::analyze(&program);
-    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
+    let compiled = engine.compiled(&bench, Options::default());
+    let (program, classifier) = (&compiled.program, &compiled.classifier);
+    let predictor = CombinedPredictor::new(program, classifier, HeuristicKind::paper_order());
     let predictions = predictor.predictions();
 
     // Grow one trace per function: start at the entry, follow jumps and
@@ -56,14 +58,16 @@ fn main() {
         trace_lens.push((func.name().to_string(), len));
     }
 
-    // Measure how much dynamic execution lands on the trace.
+    // Measure how much dynamic execution lands on the trace. The
+    // engine's recorded branch trace replays into any observer, so this
+    // analysis shares the single interpreter pass (or a cached trace)
+    // with everything else computed for gcc/dataset 0.
     let mut counter = BranchBlockCounter::new();
-    let mut profiler = EdgeProfiler::new();
-    let mut both = bpfree::sim::Pair(&mut counter, &mut profiler);
-    let datasets = bench.datasets();
-    let mut sim = Simulator::new(&program);
-    sim.set_globals(&datasets[0].values).unwrap();
-    let result = sim.run(&mut both).unwrap();
+    engine
+        .trace(&bench, Options::default(), 0)
+        .replay(&mut counter);
+    let result = engine.run(&bench, Options::default(), 0).result;
+    let datasets = engine.datasets(&bench);
 
     let mut on_trace = 0u64;
     let mut total = 0u64;

@@ -57,6 +57,7 @@
 
 pub use bpfree_cfg as cfg;
 pub use bpfree_core as core;
+pub use bpfree_engine as engine;
 pub use bpfree_ir as ir;
 pub use bpfree_lang as lang;
 pub use bpfree_sim as sim;

@@ -270,22 +270,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let bench = bpfree::suite::by_name(name)
         .ok_or_else(|| format!("no benchmark `{name}` (try `bpfree list`)"))?;
     let dataset = value_of(args, "--dataset")?.unwrap_or(0) as usize;
-    let program = bench.compile().map_err(|e| e.to_string())?;
-    let (profile, result) = bench
-        .profile(&program, dataset)
+    // The artifact engine memoizes and (subject to BPFREE_NO_CACHE /
+    // BPFREE_CACHE_DIR) persists everything this command computes.
+    let engine = bpfree::engine::global();
+    let compiled = engine.compiled(&bench, Options::default());
+    let bundle = engine
+        .try_run(&bench, Options::default(), dataset)
         .map_err(|e| e.to_string())?;
+    let (program, classifier) = (&compiled.program, &compiled.classifier);
+    let (profile, result) = (&bundle.profile, bundle.result);
 
-    let classifier = BranchClassifier::analyze(&program);
-    let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
-    let report = evaluate(&predictor.predictions(), &profile, &classifier);
-    let perfect = evaluate(
-        &perfect_predictions(&program, &profile),
-        &profile,
-        &classifier,
-    );
+    let predictor = CombinedPredictor::new(program, classifier, HeuristicKind::paper_order());
+    let report = evaluate(&predictor.predictions(), profile, classifier);
+    let perfect = evaluate(&perfect_predictions(program, profile), profile, classifier);
 
     println!("benchmark: {} — {}", bench.name, bench.description);
-    println!("dataset: {} of {}", dataset, bench.datasets().len());
+    println!("dataset: {} of {}", dataset, engine.datasets(&bench).len());
     println!("instructions: {}", result.instructions);
     println!("dynamic branches: {}", profile.total_branches());
     println!("non-loop share: {:.0}%", 100.0 * report.nonloop_fraction());
