@@ -1,46 +1,7 @@
-//! Ablation: "backward taken, forward not taken" (BTFNT) vs. the paper's
-//! natural-loop predictor.
-//!
-//! The paper motivates natural-loop analysis by noting that many loop
-//! branches are *not* backwards branches (40% of dynamic loop branches in
-//! xlisp, 45% in doduc). BTFNT is what the hardware-assisted schemes of
-//! the era assumed; this binary shows how much the loop analysis buys on
-//! loop branches, benchmark by benchmark.
-
-use bpfree_bench::{load_suite, mean_std, pct};
-use bpfree_core::{btfnt_predictions, evaluate, loop_rand_predictions, DEFAULT_SEED};
+//! Thin shim: `btfnt` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run btfnt`.
 
 fn main() {
-    bpfree_bench::init("btfnt");
-    println!(
-        "{:<11} {:>10} {:>10} {:>9}",
-        "Program", "BTFNT", "LoopPred", "Perfect"
-    );
-    println!("{:-<45}", "");
-    let mut bt = Vec::new();
-    let mut lp = Vec::new();
-    for d in load_suite() {
-        let r_bt = evaluate(&btfnt_predictions(&d.program), &d.profile, &d.classifier);
-        let r_lp = evaluate(
-            &loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED),
-            &d.profile,
-            &d.classifier,
-        );
-        println!(
-            "{:<11} {:>10} {:>10} {:>9}",
-            d.bench.name,
-            pct(r_bt.loop_branches.miss_rate()),
-            pct(r_lp.loop_branches.miss_rate()),
-            pct(r_lp.loop_branches.perfect_rate()),
-        );
-        bt.push(r_bt.loop_branches.miss_rate());
-        lp.push(r_lp.loop_branches.miss_rate());
-    }
-    let (bm, _) = mean_std(&bt);
-    let (lm, _) = mean_std(&lp);
-    println!("{:-<45}", "");
-    println!("{:<11} {:>10} {:>10}", "MEAN", pct(bm), pct(lm));
-    println!();
-    println!("Natural-loop prediction handles the loop branches that are not");
-    println!("backwards branches (loop exits and forward continues); BTFNT cannot.");
+    bpfree_bench::registry::legacy_main("btfnt");
 }

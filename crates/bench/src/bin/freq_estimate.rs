@@ -1,95 +1,7 @@
-//! Extension experiment: program-based *profile estimation* (the
-//! direction of Wall's cited study and the later Wu–Larus work).
-//!
-//! Converts the Ball–Larus predictions into branch probabilities,
-//! propagates them to block frequencies, and measures the Spearman rank
-//! correlation between estimated and actual branch-block execution
-//! counts — "does the static estimator order hot blocks the way the real
-//! profile does?" Wall reported his estimators did poorly; heuristic
-//! probabilities do considerably better.
-
-use bpfree_bench::load_suite;
-use bpfree_core::freq::{estimate_branch_block_frequencies, spearman, Confidence};
-use bpfree_core::{CombinedPredictor, HeuristicKind};
+//! Thin shim: `freq_estimate` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run freq_estimate`.
 
 fn main() {
-    bpfree_bench::init("freq_estimate");
-    let suite = load_suite();
-    // Calibrate confidences once, over the whole suite (leave-in
-    // calibration: the point is realistic magnitudes, not generalisation;
-    // Wu & Larus likewise reused corpus-measured hit rates).
-    let predictors: Vec<CombinedPredictor> = suite
-        .iter()
-        .map(|d| CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order()))
-        .collect();
-    let calibrated = Confidence::calibrate(
-        suite
-            .iter()
-            .zip(&predictors)
-            .map(|(d, cp)| (cp, &*d.profile, &*d.classifier)),
-    );
-    println!(
-        "calibrated confidences: loop {:.2}, heuristic {:.2}",
-        calibrated.loop_branch, calibrated.heuristic
-    );
-    println!();
-    println!(
-        "{:<11} {:>8} {:>10} {:>10} {:>10}",
-        "Program", "sites", "rho(pred)", "rho(cal)", "rho(50/50)"
-    );
-    println!("{:-<53}", "");
-    let mut rhos = Vec::new();
-    for (d, cp) in suite.iter().zip(&predictors) {
-        let est =
-            estimate_branch_block_frequencies(&d.program, &d.classifier, cp, Confidence::default());
-        let cal = estimate_branch_block_frequencies(&d.program, &d.classifier, cp, calibrated);
-        // Strawman: all branches 50/50 (structure-only estimation).
-        let flat = estimate_branch_block_frequencies(
-            &d.program,
-            &d.classifier,
-            cp,
-            Confidence {
-                loop_branch: 0.5,
-                heuristic: 0.5,
-                default: 0.5,
-            },
-        );
-        let mut xs = Vec::new();
-        let mut cs = Vec::new();
-        let mut ys = Vec::new();
-        let mut zs = Vec::new();
-        for (b, counts) in d.profile.iter() {
-            xs.push(est[&b]);
-            cs.push(cal[&b]);
-            zs.push(flat[&b]);
-            ys.push(counts.total() as f64);
-        }
-        let rho = spearman(&xs, &ys);
-        let rho_cal = spearman(&cs, &ys);
-        let rho_flat = spearman(&zs, &ys);
-        println!(
-            "{:<11} {:>8} {:>10.2} {:>10.2} {:>10.2}",
-            d.bench.name,
-            xs.len(),
-            rho,
-            rho_cal,
-            rho_flat
-        );
-        rhos.push((rho, rho_cal, rho_flat));
-    }
-    let n = rhos.len() as f64;
-    let mean: f64 = rhos.iter().map(|r| r.0).sum::<f64>() / n;
-    let mean_cal: f64 = rhos.iter().map(|r| r.1).sum::<f64>() / n;
-    let mean_flat: f64 = rhos.iter().map(|r| r.2).sum::<f64>() / n;
-    println!("{:-<53}", "");
-    println!(
-        "{:<11} {:>8} {:>10.2} {:>10.2} {:>10.2}",
-        "MEAN", "", mean, mean_cal, mean_flat
-    );
-    println!();
-    println!("rho(pred) uses the paper-derived confidences (loop 0.88 / heuristic");
-    println!("0.74); rho(cal) recalibrates them on the suite; rho(50/50) is the");
-    println!("structure-only strawman. Wall (PLDI 1991) reported estimated profiles");
-    println!("comparing poorly to real ones; heuristic probabilities close much of");
-    println!("that gap.");
+    bpfree_bench::registry::legacy_main("freq_estimate");
 }

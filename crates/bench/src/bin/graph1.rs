@@ -1,54 +1,7 @@
-//! Regenerates **Graph 1**: the average non-loop miss rate of every one
-//! of the 7! = 5040 heuristic orderings, sorted ascending — showing how
-//! much (and how little) the priority order matters. The paper excludes
-//! matrix300; so do we.
-
-use bpfree_bench::{load_suite, pct};
-use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
-use bpfree_core::DEFAULT_SEED;
+//! Thin shim: `graph1` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run graph1`.
 
 fn main() {
-    bpfree_bench::init("graph1");
-    let benches: Vec<BenchOrderData> = load_suite()
-        .into_iter()
-        .filter(|d| d.bench.name != "matrix300")
-        .map(|d| {
-            BenchOrderData::build(
-                d.bench.name,
-                &d.table,
-                &d.profile,
-                &d.classifier,
-                DEFAULT_SEED,
-            )
-        })
-        .collect();
-    eprintln!(
-        "evaluating 5040 orders over {} benchmarks...",
-        benches.len()
-    );
-    let study = OrderingStudy::new(benches);
-    let rates = study.sorted_average_rates();
-
-    println!("# Graph 1: order rank vs average non-loop miss rate (%)");
-    println!("# rank miss%");
-    for (i, r) in rates.iter().enumerate() {
-        if i % 50 == 0 || i == rates.len() - 1 {
-            println!("{:>5} {:>6}", i, pct(*r));
-        }
-    }
-    let (best_order, best_rate) = study.best_order();
-    println!();
-    println!(
-        "best order: {:?} at {}%",
-        best_order.iter().map(|k| k.label()).collect::<Vec<_>>(),
-        pct(best_rate)
-    );
-    println!("worst rate: {}%", pct(*rates.last().expect("5040 orders")));
-    println!(
-        "spread: {:.1} points",
-        100.0 * (rates.last().unwrap() - rates[0])
-    );
-    println!();
-    println!("Paper (Graph 1): rates from ~25.5% to ~29%, a broad flat region in the");
-    println!("middle — ordering matters, but many orders are near-optimal.");
+    bpfree_bench::registry::legacy_main("graph1");
 }

@@ -1,36 +1,7 @@
-//! Regenerates **Graph 12**: the analytic model `f(m, s) = 1 - (1-m)^s`
-//! for miss rates m = 0.025 .. 0.30 in steps of 0.025 — the cumulative
-//! fraction of executed instructions in sequences of length ≤ s under
-//! unit-length blocks and independent branches.
-
-use bpfree_core::model::{dividing_length, graph12_curves};
+//! Thin shim: `graph12` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run graph12`.
 
 fn main() {
-    bpfree_bench::init("graph12");
-    let curves = graph12_curves(200, 10);
-    print!("{:>6}", "len");
-    for c in &curves {
-        print!(" {:>6.3}", c.miss_rate);
-    }
-    println!();
-    let n_points = curves[0].points.len();
-    for i in 0..n_points {
-        print!("{:>6}", curves[0].points[i].0);
-        for c in &curves {
-            print!(" {:>6.1}", 100.0 * c.points[i].1);
-        }
-        println!();
-    }
-    println!();
-    println!("model dividing lengths (50% of instructions):");
-    for c in &curves {
-        println!(
-            "  m = {:>5.3}  ->  {}",
-            c.miss_rate,
-            dividing_length(c.miss_rate)
-        );
-    }
-    println!();
-    println!("Paper's reading: the payoff in sequence length comes from pushing the");
-    println!("miss rate below ~15%, not from 30% -> 15%.");
+    bpfree_bench::registry::legacy_main("graph12");
 }

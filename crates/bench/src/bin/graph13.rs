@@ -1,60 +1,7 @@
-//! Regenerates **Graph 13**: miss rates across datasets.
-//!
-//! The heuristic predictor makes the SAME predictions regardless of
-//! dataset; the perfect predictor re-derives its predictions per dataset.
-//! For every benchmark and every dataset, print both miss rates (all
-//! branches) — the paper's check that program-based prediction is stable
-//! across inputs.
-
-use bpfree_bench::{load_suite, pct};
-use bpfree_core::{evaluate, perfect_predictions, CombinedPredictor, HeuristicKind};
+//! Thin shim: `graph13` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run graph13`.
 
 fn main() {
-    bpfree_bench::init("graph13");
-    println!(
-        "{:<11} {:<6} {:>10} {:>9}",
-        "Program", "data", "Heuristic", "Perfect"
-    );
-    println!("{:-<40}", "");
-    let mut max_spread: f64 = 0.0;
-    let mut spread_bench = String::new();
-    for d in load_suite() {
-        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
-        let heuristic = cp.predictions();
-        let mut rates = Vec::new();
-        for (i, ds) in d.datasets().iter().enumerate() {
-            let (profile, _) = if i == 0 {
-                (d.profile.clone(), d.run)
-            } else {
-                d.profile_dataset(i)
-            };
-            let perfect = perfect_predictions(&d.program, &profile);
-            let rh = evaluate(&heuristic, &profile, &d.classifier);
-            let rp = evaluate(&perfect, &profile, &d.classifier);
-            println!(
-                "{:<11} {:<6} {:>10} {:>9}",
-                if i == 0 { d.bench.name } else { "" },
-                ds.name,
-                pct(rh.all.miss_rate()),
-                pct(rp.all.miss_rate())
-            );
-            rates.push(rh.all.miss_rate());
-        }
-        let spread = rates.iter().cloned().fold(0.0f64, f64::max)
-            - rates.iter().cloned().fold(1.0f64, f64::min);
-        if spread > max_spread {
-            max_spread = spread;
-            spread_bench = d.bench.name.to_string();
-        }
-    }
-    println!();
-    println!(
-        "largest heuristic spread across datasets: {:.1} points ({})",
-        100.0 * max_spread,
-        spread_bench
-    );
-    println!();
-    println!("Paper (Graph 13): for most benchmarks the heuristic's miss rate varies");
-    println!("little across datasets, and where it moves, the perfect predictor's");
-    println!("rate usually moves with it.");
+    bpfree_bench::registry::legacy_main("graph13");
 }

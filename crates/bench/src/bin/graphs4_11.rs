@@ -1,85 +1,7 @@
-//! Regenerates **Graphs 4–11**: trace-based sequence-length analysis.
-//!
-//! For the trace benchmarks (the paper used gcc, lcc, qpt, xlisp, doduc,
-//! fpppp, spice2g6) and three predictors — Perfect, Heuristic, and
-//! Loop+Rand — this prints each predictor's overall miss rate, its
-//! profile-based IPBC average, its dividing length (the sequence length
-//! covering 50% of executed instructions), and the cumulative
-//! distribution of sequence lengths weighted by instructions. For the
-//! spice2g6 analogue it also prints the break-weighted distribution
-//! (Graph 5), whose skew explains why the IPBC average misleads.
-
-use bpfree_bench::{load_named_traced, pct, report_simulations};
-use bpfree_core::ipbc::IpbcAnalyzer;
-use bpfree_core::{
-    loop_rand_predictions, perfect_predictions, CombinedPredictor, HeuristicKind, DEFAULT_SEED,
-};
-
-const TRACED: [&str; 7] = ["spice2g6", "gcc", "lcc", "qpt", "xlisp", "doduc", "fpppp"];
+//! Thin shim: `graphs4_11` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run graphs4_11`.
 
 fn main() {
-    bpfree_bench::init("graphs4_11");
-    for d in load_named_traced(&TRACED) {
-        let perfect = perfect_predictions(&d.program, &d.profile);
-        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
-        let heuristic = cp.predictions();
-        let loop_rand = loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED);
-
-        let mut analyzer = IpbcAnalyzer::new(&d.program);
-        analyzer.add_predictor("Loop+Rand", &loop_rand);
-        analyzer.add_predictor("Heuristic", &heuristic);
-        analyzer.add_predictor("Perfect", &perfect);
-        // The perfect predictor above trained on this run's own edge
-        // profile, so the sequence analysis cannot share the live pass.
-        // Replaying the recorded branch trace is bit-identical for the
-        // analyzer and costs no interpreter pass.
-        d.trace().replay(&mut analyzer);
-        let dists = analyzer.finish();
-
-        println!("== {} ==", d.bench.name);
-        println!(
-            "{:<10} {:>6} {:>8} {:>9}",
-            "predictor", "miss%", "ipbc", "dividing"
-        );
-        for dist in &dists {
-            println!(
-                "{:<10} {:>6} {:>8.0} {:>9}",
-                dist.name,
-                pct(dist.miss_rate()),
-                dist.ipbc_average(),
-                dist.dividing_length()
-            );
-        }
-        // Instruction-weighted CDF at a few lengths (the graph's y axis).
-        print!("{:<10}", "len");
-        let xs = [10u64, 30, 50, 100, 200, 400, 800, 1600, 3200];
-        for x in xs {
-            print!(" {:>6}", x);
-        }
-        println!();
-        for dist in &dists {
-            print!("{:<10}", dist.name);
-            for x in xs {
-                print!(" {:>6}", pct(dist.cumulative_instructions_below(x)));
-            }
-            println!();
-        }
-        if d.bench.name == "spice2g6" {
-            println!("-- Graph 5 (breaks-weighted CDF for spice2g6) --");
-            for dist in &dists {
-                print!("{:<10}", dist.name);
-                for x in xs {
-                    print!(" {:>6}", pct(dist.cumulative_breaks_below(x)));
-                }
-                println!();
-            }
-        }
-        println!();
-    }
-    println!("Paper: Perfect < Heuristic < Loop+Rand in miss rate; the heuristic's");
-    println!("sequence distribution sits between Loop+Rand and Perfect (often closer");
-    println!("to Loop+Rand: long sequences demand very low miss rates); IPBC averages");
-    println!("underestimate available sequence lengths because short sequences");
-    println!("dominate the break count.");
-    report_simulations();
+    bpfree_bench::registry::legacy_main("graphs4_11");
 }

@@ -1,59 +1,7 @@
-//! Ablation: which heuristic carries the combined predictor?
-//!
-//! For each heuristic, remove it from the paper's priority order (its
-//! branches fall through to later heuristics or the Default) and measure
-//! the suite-mean non-loop miss rate delta. Also reports each heuristic
-//! alone (plus Default) for the other direction of the question.
-
-use bpfree_bench::{load_suite, mean_std, pct};
-use bpfree_core::{evaluate, CombinedPredictor, HeuristicKind, DEFAULT_SEED};
-
-fn mean_nonloop_rate(suite: &[bpfree_bench::BenchData], order: &[HeuristicKind]) -> f64 {
-    let rates: Vec<f64> = suite
-        .iter()
-        .map(|d| {
-            let cp = CombinedPredictor::with_seed(
-                &d.program,
-                &d.classifier,
-                order.iter().copied(),
-                DEFAULT_SEED,
-            );
-            evaluate(&cp.predictions(), &d.profile, &d.classifier)
-                .nonloop
-                .miss_rate()
-        })
-        .collect();
-    mean_std(&rates).0
-}
+//! Thin shim: `leave_one_out` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run leave_one_out`.
 
 fn main() {
-    bpfree_bench::init("leave_one_out");
-    let suite = load_suite();
-    let full = HeuristicKind::paper_order();
-    let baseline = mean_nonloop_rate(&suite, &full);
-    println!(
-        "paper order, all seven heuristics: {}% mean non-loop miss",
-        pct(baseline)
-    );
-    println!();
-    println!(
-        "{:<9} {:>12} {:>8} {:>12}",
-        "heuristic", "without", "delta", "alone"
-    );
-    println!("{:-<44}", "");
-    for k in HeuristicKind::ALL {
-        let without: Vec<HeuristicKind> = full.iter().copied().filter(|x| *x != k).collect();
-        let r_without = mean_nonloop_rate(&suite, &without);
-        let r_alone = mean_nonloop_rate(&suite, &[k]);
-        println!(
-            "{:<9} {:>11}% {:>+7.1} {:>11}%",
-            k.label(),
-            pct(r_without),
-            100.0 * (r_without - baseline),
-            pct(r_alone),
-        );
-    }
-    println!();
-    println!("`without` = paper order minus that heuristic (positive delta: removing");
-    println!("it hurts); `alone` = that heuristic plus random Default only.");
+    bpfree_bench::registry::legacy_main("leave_one_out");
 }

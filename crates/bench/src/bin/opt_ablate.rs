@@ -1,71 +1,7 @@
-//! Ablation: how much do the compiler's `-O` passes matter to the
-//! heuristics?
-//!
-//! The paper analysed `-O`-compiled binaries, and DESIGN.md claims the
-//! optimisation idioms (leaf inlining, block straightening, copy
-//! propagation) are load-bearing for the heuristics — e.g. the pointer
-//! heuristic needs the load and the null test in one block. This binary
-//! compiles every benchmark at three levels and reports the combined
-//! predictor's miss rates.
-
-use bpfree_bench::{config, mean_std, pct};
-use bpfree_core::{evaluate, CombinedPredictor, HeuristicKind};
-use bpfree_engine::Engine;
-use bpfree_lang::Options;
-
-fn run_at(engine: &Engine, bench: &bpfree_suite::Benchmark, options: Options) -> (f64, f64) {
-    // Each optimisation level is a distinct engine artifact — the cache
-    // keys include the options fingerprint, so -O0 entries can never
-    // collide with the -O artifacts the other binaries share.
-    let compiled = engine.compiled(bench, options);
-    let run = engine.run(bench, options, 0);
-    let cp = CombinedPredictor::new(
-        &compiled.program,
-        &compiled.classifier,
-        HeuristicKind::paper_order(),
-    );
-    let r = evaluate(&cp.predictions(), &run.profile, &compiled.classifier);
-    (r.all.miss_rate(), r.nonloop.miss_rate())
-}
+//! Thin shim: `opt_ablate` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run opt_ablate`.
 
 fn main() {
-    bpfree_bench::init("opt_ablate");
-    let engine = config::engine();
-    println!(
-        "{:<11} {:>9} {:>11} {:>7}   (all-branch miss%)",
-        "Program", "-O (dflt)", "no-inline", "-O0"
-    );
-    println!("{:-<48}", "");
-    let mut opt = Vec::new();
-    let mut noinline = Vec::new();
-    let mut o0 = Vec::new();
-    for b in bpfree_suite::all() {
-        let (a, _) = run_at(engine, &b, Options::default());
-        let (ni, _) = run_at(engine, &b, Options::no_inline());
-        let (raw, _) = run_at(engine, &b, Options::o0());
-        println!(
-            "{:<11} {:>9} {:>11} {:>7}",
-            b.name,
-            pct(a),
-            pct(ni),
-            pct(raw)
-        );
-        opt.push(a);
-        noinline.push(ni);
-        o0.push(raw);
-    }
-    let (om, _) = mean_std(&opt);
-    let (nm, _) = mean_std(&noinline);
-    let (zm, _) = mean_std(&o0);
-    println!("{:-<48}", "");
-    println!(
-        "{:<11} {:>9} {:>11} {:>7}",
-        "MEAN",
-        pct(om),
-        pct(nm),
-        pct(zm)
-    );
-    println!();
-    println!("The heuristics were designed for optimised code: -O0's split blocks");
-    println!("and helper calls hide the load-feeds-branch and store/call patterns.");
+    bpfree_bench::registry::legacy_main("opt_ablate");
 }

@@ -1,100 +1,7 @@
-//! Ablation for the Table 4 machinery: exact enumeration with Pareto
-//! pruning vs. Monte-Carlo sampling over all 5040 orders, plus the
-//! paper's cheap pairwise-order construction.
-//!
-//! Checks that (a) pruning does not change the exact result, (b) sampling
-//! converges to the same winners, and (c) how the pairwise order ranks.
-
-use std::time::Instant;
-
-use bpfree_bench::{load_suite, pct};
-use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
-use bpfree_core::{HeuristicTable, DEFAULT_SEED};
+//! Thin shim: `ordering_ablate` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run ordering_ablate`.
 
 fn main() {
-    bpfree_bench::init("ordering_ablate");
-    let loaded = load_suite();
-    let mut benches = Vec::new();
-    let mut pairwise_input = Vec::new();
-    for d in &loaded {
-        if d.bench.name == "matrix300" {
-            continue;
-        }
-        benches.push(BenchOrderData::build(
-            d.bench.name,
-            &d.table,
-            &d.profile,
-            &d.classifier,
-            DEFAULT_SEED,
-        ));
-        pairwise_input.push((
-            HeuristicTable::build(&d.program, &d.classifier),
-            (*d.profile).clone(),
-            &*d.classifier,
-        ));
-    }
-    let n = benches.len();
-    let k = n / 2;
-    let study = OrderingStudy::new(benches);
-
-    let t0 = Instant::now();
-    let exact = study.subset_experiment(k);
-    let exact_time = t0.elapsed();
-
-    let t1 = Instant::now();
-    let sampled = study.subset_experiment_sampled(k, 20_000, 7);
-    let sampled_time = t1.elapsed();
-
-    println!(
-        "exact (pareto-pruned) : {:?} for all C({n},{k}) subsets",
-        exact_time
-    );
-    println!("sampled (full 5040)   : {:?} for 20k samples", sampled_time);
-    println!();
-    println!("top winners, exact vs sampled trial share:");
-    for w in exact.iter().take(5) {
-        let s = sampled
-            .iter()
-            .find(|x| x.order == w.order)
-            .map(|x| x.trial_fraction)
-            .unwrap_or(0.0);
-        println!(
-            "  {:>6.2}% vs {:>6.2}%  {}",
-            100.0 * w.trial_fraction,
-            100.0 * s,
-            w.order.join(" ")
-        );
-    }
-
-    // Agreement check: the exact top winner should lead the sample too.
-    let agree = exact
-        .first()
-        .map(|e| sampled.first().map(|s| s.order == e.order).unwrap_or(false))
-        .unwrap_or(false);
-    println!();
-    println!(
-        "top-winner agreement: {}",
-        if agree { "yes" } else { "no (sampling noise)" }
-    );
-
-    // The paper's pairwise construction.
-    let pairwise = OrderingStudy::pairwise_order(&pairwise_input);
-    let pw_rate: f64 = study
-        .benches()
-        .iter()
-        .map(|b| b.miss_rate(&pairwise))
-        .sum::<f64>()
-        / study.benches().len() as f64;
-    let sorted = study.sorted_average_rates();
-    let rank = sorted.iter().filter(|&&r| r < pw_rate).count();
-    println!();
-    println!(
-        "pairwise order {:?}: {}% miss, rank {}/5040",
-        pairwise.iter().map(|k| k.label()).collect::<Vec<_>>(),
-        pct(pw_rate),
-        rank
-    );
-    println!();
-    println!("Paper: pairwise-derived orders were 'generally inferior' to the subset");
-    println!("winners 'but were in the top quarter of performers'.");
+    bpfree_bench::registry::legacy_main("ordering_ablate");
 }

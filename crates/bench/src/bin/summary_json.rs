@@ -1,86 +1,7 @@
-//! Emits the reproduction's key metrics as JSON on stdout — the
-//! machine-readable companion to EXPERIMENTS.md (captured into
-//! `results/summary.json`).
-
-use bpfree_bench::json::Json;
-use bpfree_bench::load_suite;
-use bpfree_core::{
-    evaluate, loop_rand_predictions, perfect_predictions, random_predictions, taken_predictions,
-    ClassStats, CombinedPredictor, HeuristicKind, Report, DEFAULT_SEED,
-};
-
-fn class_stats(s: &ClassStats) -> Json {
-    Json::obj()
-        .field("dynamic", s.dynamic)
-        .field("misses", s.misses)
-        .field("perfect_misses", s.perfect_misses)
-        .build()
-}
-
-fn report(r: &Report) -> Json {
-    Json::obj()
-        .field("loop_branches", class_stats(&r.loop_branches))
-        .field("nonloop", class_stats(&r.nonloop))
-        .field("all", class_stats(&r.all))
-        .build()
-}
+//! Thin shim: `summary_json` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run summary_json`.
 
 fn main() {
-    bpfree_bench::init("summary_json");
-    let mut benchmarks = Vec::new();
-    let mut sum_heuristic = 0.0;
-    let mut sum_perfect = 0.0;
-    let mut sum_random_nonloop = 0.0;
-    let suite = load_suite();
-    let n = suite.len() as f64;
-    for d in suite {
-        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
-        let heuristic = evaluate(&cp.predictions(), &d.profile, &d.classifier);
-        let perfect = evaluate(
-            &perfect_predictions(&d.program, &d.profile),
-            &d.profile,
-            &d.classifier,
-        );
-        let taken = evaluate(&taken_predictions(&d.program), &d.profile, &d.classifier);
-        let random = evaluate(
-            &random_predictions(&d.program, DEFAULT_SEED),
-            &d.profile,
-            &d.classifier,
-        );
-        let loop_rand = evaluate(
-            &loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED),
-            &d.profile,
-            &d.classifier,
-        );
-        sum_heuristic += heuristic.all.miss_rate();
-        sum_perfect += perfect.all.miss_rate();
-        sum_random_nonloop += random.nonloop.miss_rate();
-        benchmarks.push(
-            Json::obj()
-                .field("name", d.bench.name)
-                .field("lang", d.bench.lang.to_string())
-                .field("spec", d.bench.spec)
-                .field("static_instructions", d.program.static_size())
-                .field("dynamic_instructions", d.run.instructions)
-                .field("dynamic_branches", d.profile.total_branches())
-                .field("nonloop_fraction", heuristic.nonloop_fraction())
-                .field("heuristic", report(&heuristic))
-                .field("perfect", report(&perfect))
-                .field("taken", report(&taken))
-                .field("random", report(&random))
-                .field("loop_rand", report(&loop_rand))
-                .build(),
-        );
-    }
-    let summary = Json::obj()
-        .field(
-            "paper",
-            "Ball & Larus, Branch Prediction for Free, PLDI 1993",
-        )
-        .field("benchmarks", benchmarks)
-        .field("mean_heuristic_all_miss", sum_heuristic / n)
-        .field("mean_perfect_all_miss", sum_perfect / n)
-        .field("mean_random_nonloop_miss", sum_random_nonloop / n)
-        .build();
-    println!("{}", summary.pretty());
+    bpfree_bench::registry::legacy_main("summary_json");
 }

@@ -1,53 +1,7 @@
-//! Regenerates **Table 1**: the benchmark roster with language group and
-//! code size (static IR instructions stand in for object-code bytes),
-//! sorted within groups by size like the paper.
-
-use bpfree_bench::load_suite;
-use bpfree_suite::Lang;
+//! Thin shim: `table1` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run table1`.
 
 fn main() {
-    bpfree_bench::init("table1");
-    let mut rows: Vec<(String, String, Lang, bool, u64, usize)> = load_suite()
-        .into_iter()
-        .map(|d| {
-            (
-                d.bench.name.to_string(),
-                d.bench.description.to_string(),
-                d.bench.lang,
-                d.bench.spec,
-                d.program.static_size(),
-                d.program.funcs().len(),
-            )
-        })
-        .collect();
-    rows.sort_by(|a, b| {
-        (a.2 == Lang::Fortran)
-            .cmp(&(b.2 == Lang::Fortran))
-            .then(b.4.cmp(&a.4))
-    });
-
-    println!(
-        "{:<11} {:<42} {:>4} {:>5} {:>7} {:>6}",
-        "Program", "Description", "Lng", "SPEC", "Instrs", "Funcs"
-    );
-    println!("{:-<80}", "");
-    let mut last_lang = None;
-    for (name, desc, lang, spec, size, funcs) in rows {
-        if last_lang.is_some() && last_lang != Some(lang) {
-            println!("{:-<80}", "");
-        }
-        last_lang = Some(lang);
-        println!(
-            "{:<11} {:<42} {:>4} {:>5} {:>7} {:>6}",
-            name,
-            desc,
-            lang.to_string(),
-            if spec { "*" } else { "" },
-            size,
-            funcs
-        );
-    }
-    println!();
-    println!("Paper (Table 1): 23 benchmarks, SPEC89 marked *, C group then Fortran group,");
-    println!("sorted by object code size. Sizes here are static IR instruction counts.");
+    bpfree_bench::registry::legacy_main("table1");
 }

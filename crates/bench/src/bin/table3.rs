@@ -1,89 +1,7 @@
-//! Regenerates **Table 3**: each heuristic applied in isolation to the
-//! non-loop branches.
-//!
-//! Per benchmark and heuristic: coverage (% of dynamic non-loop branches
-//! the heuristic applies to, the paper's bold number) and the miss/perfect
-//! pair on the covered subset. Entries under 1% coverage print blank and
-//! are excluded from the means, exactly like the paper.
-
-use bpfree_bench::{load_suite, mean_std, pct};
-use bpfree_core::{evaluate_coverage, HeuristicKind, Predictions};
+//! Thin shim: `table3` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run table3`.
 
 fn main() {
-    bpfree_bench::init("table3");
-    let suite = load_suite();
-    print!("{:<11} {:>4}", "Program", "NL");
-    for k in HeuristicKind::ALL {
-        print!(" {:>14}", k.label());
-    }
-    println!();
-    println!("{:-<125}", "");
-
-    let mut per_heuristic: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); 7];
-
-    for d in &suite {
-        let total: u64 = d.profile.iter().map(|(_, c)| c.total()).sum();
-        let nl: u64 = d
-            .profile
-            .iter()
-            .filter(|(b, _)| d.classifier.class(*b) == bpfree_core::BranchClass::NonLoop)
-            .map(|(_, c)| c.total())
-            .sum();
-        print!(
-            "{:<11} {:>4}",
-            d.bench.name,
-            if total == 0 {
-                "0".into()
-            } else {
-                pct(nl as f64 / total as f64)
-            }
-        );
-        for k in HeuristicKind::ALL {
-            // Isolate the heuristic: prediction set = its predictions only.
-            let preds: Predictions = d
-                .table
-                .branches()
-                .filter_map(|b| d.table.prediction(b, k).map(|dir| (b, dir)))
-                .collect();
-            let cov = evaluate_coverage(&preds, &d.profile, &d.classifier);
-            if cov.coverage() < 0.01 {
-                print!(" {:>14}", "");
-                continue;
-            }
-            print!(
-                " {:>4} {:>9}",
-                pct(cov.coverage()),
-                format!("{}/{}", pct(cov.miss_rate()), pct(cov.perfect_rate()))
-            );
-            per_heuristic[k.index()].push((cov.coverage(), cov.miss_rate(), cov.perfect_rate()));
-        }
-        println!();
-    }
-
-    println!("{:-<125}", "");
-    print!("{:<16}", "MEAN");
-    for k in HeuristicKind::ALL {
-        let rows = &per_heuristic[k.index()];
-        let (miss_m, _) = mean_std(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
-        let (perf_m, _) = mean_std(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
-        print!(" {:>14}", format!("{}/{}", pct(miss_m), pct(perf_m)));
-    }
-    println!();
-    print!("{:<16}", "Std.Dev");
-    for k in HeuristicKind::ALL {
-        let rows = &per_heuristic[k.index()];
-        let (_, miss_s) = mean_std(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
-        print!(" {:>14}", pct(miss_s));
-    }
-    println!();
-    print!("{:<16}", "Mean cover");
-    for k in HeuristicKind::ALL {
-        let rows = &per_heuristic[k.index()];
-        let (cov_m, _) = mean_std(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
-        print!(" {:>14}", pct(cov_m));
-    }
-    println!();
-    println!();
-    println!("Paper (Table 3) means: Opcode 16/4, Loop 25/4, Call 22/6, Return 28/4,");
-    println!("Guard 38/8, Store 45/8, Point 41/10.");
+    bpfree_bench::registry::legacy_main("table3");
 }

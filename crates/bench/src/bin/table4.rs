@@ -1,74 +1,7 @@
-//! Regenerates **Table 4** and **Graphs 2–3**: the C(22,11) subset
-//! experiment.
-//!
-//! For every 11-benchmark subset of the 22 benchmarks (matrix300
-//! excluded), find the heuristic order minimising the subset's average
-//! non-loop miss rate; report the most common winners, the share of
-//! trials each accounts for (Table 4 / Graph 2), and each winner's
-//! overall mean miss rate (Graph 3).
-
-use bpfree_bench::{load_suite, pct};
-use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
-use bpfree_core::DEFAULT_SEED;
+//! Thin shim: `table4` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run table4`.
 
 fn main() {
-    bpfree_bench::init("table4");
-    let benches: Vec<BenchOrderData> = load_suite()
-        .into_iter()
-        .filter(|d| d.bench.name != "matrix300")
-        .map(|d| {
-            BenchOrderData::build(
-                d.bench.name,
-                &d.table,
-                &d.profile,
-                &d.classifier,
-                DEFAULT_SEED,
-            )
-        })
-        .collect();
-    let n = benches.len();
-    let k = n / 2;
-    eprintln!("building 5040 x {n} rate matrix...");
-    let study = OrderingStudy::new(benches);
-    eprintln!(
-        "pareto front: {} of 5040 orders; enumerating C({n},{k}) subsets...",
-        study.pareto_order_indices().len()
-    );
-    let winners = study.subset_experiment(k);
-    let total_trials: u64 = winners.iter().map(|w| w.trials).sum();
-
-    println!("# Table 4: the most common winning orders over {total_trials} trials");
-    println!("{:>7} {:>6} {:<60}", "%Trials", "Miss%", "Order");
-    for w in winners.iter().take(10) {
-        println!(
-            "{:>7} {:>6} {:<60}",
-            format!("{:.2}", 100.0 * w.trial_fraction),
-            pct(w.mean_miss_rate),
-            w.order.join(" ")
-        );
-    }
-
-    println!();
-    println!("# Graph 2: cumulative trial share of the most common orders");
-    let mut cum = 0.0;
-    for (i, w) in winners.iter().enumerate().take(101) {
-        cum += w.trial_fraction;
-        if i % 5 == 0 || i == winners.len() - 1 {
-            println!("{:>4} {:>7.1}", i + 1, 100.0 * cum);
-        }
-    }
-
-    println!();
-    println!("# Graph 3: overall mean miss rate of the most common orders");
-    for (i, w) in winners.iter().enumerate().take(101) {
-        if i % 5 == 0 {
-            println!("{:>4} {:>6}", i + 1, pct(w.mean_miss_rate));
-        }
-    }
-    println!();
-    println!("distinct winning orders: {}", winners.len());
-    println!();
-    println!("Paper: 622 of 5040 orders appeared; the top 40 covered ~90% of trials;");
-    println!("most common orders averaged under 27% misses; the third most frequent");
-    println!("order was also the global optimum.");
+    bpfree_bench::registry::legacy_main("table4");
 }

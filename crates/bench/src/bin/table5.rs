@@ -1,63 +1,7 @@
-//! Regenerates **Table 5**: the heuristics applied in the paper's
-//! priority order (Pointer, Call, Opcode, Return, Store, Loop, Guard),
-//! with per-heuristic attribution — for each benchmark, what share of
-//! dynamic non-loop branches each heuristic ended up predicting (bold in
-//! the paper) and its miss/perfect rates on that share. `Default` covers
-//! branches no heuristic reached.
-
-use bpfree_bench::{load_suite, mean_std, pct};
-use bpfree_core::{evaluate_with_attribution, CombinedPredictor, HeuristicKind};
+//! Thin shim: `table5` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run table5`.
 
 fn main() {
-    bpfree_bench::init("table5");
-    let order = HeuristicKind::paper_order();
-    let mut columns: Vec<String> = order.iter().map(|k| k.label().to_string()).collect();
-    columns.push("Default".to_string());
-
-    print!("{:<11}", "Program");
-    for c in &columns {
-        print!(" {:>14}", c);
-    }
-    println!();
-    println!("{:-<131}", "");
-
-    let mut sums: Vec<Vec<(f64, f64)>> = vec![Vec::new(); columns.len()];
-
-    for d in load_suite() {
-        let cp = CombinedPredictor::new(&d.program, &d.classifier, order);
-        let att = evaluate_with_attribution(&cp, &d.profile, &d.classifier);
-        print!("{:<11}", d.bench.name);
-        for (ci, c) in columns.iter().enumerate() {
-            match att.by_source.get(c) {
-                Some(s) if s.coverage() >= 0.01 => {
-                    print!(
-                        " {:>4} {:>9}",
-                        pct(s.coverage()),
-                        format!("{}/{}", pct(s.miss_rate()), pct(s.perfect_rate()))
-                    );
-                    sums[ci].push((s.miss_rate(), s.perfect_rate()));
-                }
-                _ => print!(" {:>14}", ""),
-            }
-        }
-        println!();
-    }
-
-    println!("{:-<131}", "");
-    print!("{:<11}", "MEAN");
-    for col in &sums {
-        let (mm, _) = mean_std(&col.iter().map(|x| x.0).collect::<Vec<_>>());
-        let (pm, _) = mean_std(&col.iter().map(|x| x.1).collect::<Vec<_>>());
-        print!(" {:>14}", format!("{}/{}", pct(mm), pct(pm)));
-    }
-    println!();
-    print!("{:<11}", "Std.Dev");
-    for col in &sums {
-        let (_, ms) = mean_std(&col.iter().map(|x| x.0).collect::<Vec<_>>());
-        print!(" {:>14}", pct(ms));
-    }
-    println!();
-    println!();
-    println!("Paper (Table 5) means: Point 41/10, Call 21/5, Opcode 20/5, Return 28/6,");
-    println!("Store 36/7, Loop 35/5, Guard 33/12, Default 45/11.");
+    bpfree_bench::registry::legacy_main("table5");
 }

@@ -1,60 +1,7 @@
-//! Regenerates **Table 6**: the final results.
-//!
-//! Per benchmark: coverage and miss rates of the heuristics (excluding
-//! Default) on non-loop branches, `+Default` adding random predictions
-//! for uncovered branches, `All` adding loop branches under the loop
-//! predictor, and `Loop+Rand` (loop prediction + random non-loop) for
-//! comparison.
-
-use bpfree_bench::{load_suite, pct};
-use bpfree_core::{
-    evaluate, evaluate_with_attribution, loop_rand_predictions, CombinedPredictor, HeuristicKind,
-    DEFAULT_SEED,
-};
+//! Thin shim: `table6` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run table6`.
 
 fn main() {
-    bpfree_bench::init("table6");
-    println!(
-        "{:<11} {:>16} {:>9} {:>9} {:>10}",
-        "Program", "Heuristics", "+Default", "All", "Loop+Rand"
-    );
-    println!("{:-<60}", "");
-
-    for d in load_suite() {
-        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
-        let att = evaluate_with_attribution(&cp, &d.profile, &d.classifier);
-
-        // Heuristics-only stats (the non-Default sources), aggregated
-        // by the attribution report itself.
-        let h = &att.heuristics;
-
-        let lr = loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED);
-        let r_lr = evaluate(&lr, &d.profile, &d.classifier);
-
-        println!(
-            "{:<11} {:>4} {:>11} {:>9} {:>9} {:>10}",
-            d.bench.name,
-            pct(h.coverage()),
-            format!("{}/{}", pct(h.miss_rate()), pct(h.perfect_rate())),
-            format!(
-                "{}/{}",
-                pct(att.report.nonloop.miss_rate()),
-                pct(att.report.nonloop.perfect_rate())
-            ),
-            format!(
-                "{}/{}",
-                pct(att.report.all.miss_rate()),
-                pct(att.report.all.perfect_rate())
-            ),
-            format!(
-                "{}/{}",
-                pct(r_lr.all.miss_rate()),
-                pct(r_lr.all.perfect_rate())
-            ),
-        );
-    }
-    println!();
-    println!("Paper (Table 6): heuristics cover most non-loop branches; the combined");
-    println!("predictor averages ~26% misses on non-loop branches and ~20% on all");
-    println!("branches, vs ~10% for the perfect static predictor.");
+    bpfree_bench::registry::legacy_main("table6");
 }

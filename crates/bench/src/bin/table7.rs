@@ -1,92 +1,7 @@
-//! Regenerates **Table 7**: means and standard deviations of the final
-//! results (Table 6), for all benchmarks and for "most" — excluding the
-//! four programs whose non-loop behaviour a handful of branches dominate
-//! (the paper excluded eqntott, grep, tomcatv, matrix300). Target and
-//! random non-loop prediction appear for comparison.
-
-use bpfree_bench::{load_suite, mean_std, pct};
-use bpfree_core::{
-    evaluate, loop_rand_predictions, random_predictions, taken_predictions, CombinedPredictor,
-    HeuristicKind, DEFAULT_SEED,
-};
-
-const EXCLUDED: [&str; 4] = ["eqntott", "grep", "tomcatv", "matrix300"];
+//! Thin shim: `table7` now lives in the experiment registry
+//! (`bpfree_bench::experiments`); this binary survives for muscle memory
+//! and produces byte-identical stdout via `bpfree exp run table7`.
 
 fn main() {
-    bpfree_bench::init("table7");
-    struct Row {
-        name: String,
-        heuristic_nl: f64,
-        heuristic_all: f64,
-        loop_rand_all: f64,
-        tgt_nl: f64,
-        rnd_nl: f64,
-        perfect_nl: f64,
-        perfect_all: f64,
-    }
-
-    let mut rows = Vec::new();
-    for d in load_suite() {
-        let cp = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order());
-        let r = evaluate(&cp.predictions(), &d.profile, &d.classifier);
-        let lr = evaluate(
-            &loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED),
-            &d.profile,
-            &d.classifier,
-        );
-        let tgt = evaluate(&taken_predictions(&d.program), &d.profile, &d.classifier);
-        let rnd = evaluate(
-            &random_predictions(&d.program, DEFAULT_SEED),
-            &d.profile,
-            &d.classifier,
-        );
-        rows.push(Row {
-            name: d.bench.name.to_string(),
-            heuristic_nl: r.nonloop.miss_rate(),
-            heuristic_all: r.all.miss_rate(),
-            loop_rand_all: lr.all.miss_rate(),
-            tgt_nl: tgt.nonloop.miss_rate(),
-            rnd_nl: rnd.nonloop.miss_rate(),
-            perfect_nl: r.nonloop.perfect_rate(),
-            perfect_all: r.all.perfect_rate(),
-        });
-    }
-
-    for (label, filter) in [
-        ("(all)", false),
-        ("(most: excl. eqntott/grep/tomcatv/matrix300)", true),
-    ] {
-        let sel: Vec<&Row> = rows
-            .iter()
-            .filter(|r| !filter || !EXCLUDED.contains(&r.name.as_str()))
-            .collect();
-        let stat = |f: fn(&Row) -> f64| mean_std(&sel.iter().map(|r| f(r)).collect::<Vec<_>>());
-        let (h_nl, h_nl_s) = stat(|r| r.heuristic_nl);
-        let (h_all, h_all_s) = stat(|r| r.heuristic_all);
-        let (lr_all, lr_all_s) = stat(|r| r.loop_rand_all);
-        let (t_nl, t_nl_s) = stat(|r| r.tgt_nl);
-        let (r_nl, r_nl_s) = stat(|r| r.rnd_nl);
-        let (p_nl, _) = stat(|r| r.perfect_nl);
-        let (p_all, _) = stat(|r| r.perfect_all);
-
-        println!("Table 7 {label}: {} benchmarks", sel.len());
-        println!(
-            "  Heuristic non-loop   : {}±{}  (perfect {})",
-            pct(h_nl),
-            pct(h_nl_s),
-            pct(p_nl)
-        );
-        println!(
-            "  Heuristic all        : {}±{}  (perfect {})",
-            pct(h_all),
-            pct(h_all_s),
-            pct(p_all)
-        );
-        println!("  Loop+Rand all        : {}±{}", pct(lr_all), pct(lr_all_s));
-        println!("  Tgt non-loop         : {}±{}", pct(t_nl), pct(t_nl_s));
-        println!("  Rnd non-loop         : {}±{}", pct(r_nl), pct(r_nl_s));
-        println!();
-    }
-    println!("Paper (Table 7, all): heuristic non-loop 26%, all 20%; Tgt 51%, Rnd 49%;");
-    println!("perfect non-loop 10%, all 8%.");
+    bpfree_bench::registry::legacy_main("table7");
 }

@@ -1,6 +1,8 @@
-//! Shared CLI configuration for the experiment binaries.
+//! Shared CLI configuration for the experiment pipeline.
 //!
-//! Every binary accepts the same flags, parsed by [`init`]:
+//! Every experiment entry point — the legacy binaries *and* the root
+//! `bpfree` CLI's `bench`/`predict`/`exp` subcommands — accepts the
+//! same flags:
 //!
 //! - `--jobs N` (or `BPFREE_JOBS=N`): worker threads for the parallel
 //!   loops. Results are bit-identical at any value; `--jobs 1` forces
@@ -9,7 +11,14 @@
 //!   suite-artifact cache.
 //! - `--cache-dir DIR` (or `BPFREE_CACHE_DIR=DIR`): cache location
 //!   (default `target/bpfree-cache`).
-//! - `--help`: usage.
+//! - `--help`: usage (legacy binaries only; the root CLI has its own).
+//!
+//! The legacy binaries parse their whole argument list with [`init`];
+//! the root CLI pulls the standard flags out of a mixed argument list
+//! with [`extract`] and applies them with [`apply`]. Both paths are
+//! re-entrant: the first [`apply`] wins and later calls (any experiment
+//! run in the same process, nested helpers, tests) observe the already
+//! installed configuration instead of racing to replace it.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -39,15 +48,16 @@ impl Default for Config {
 
 static CONFIG: OnceLock<Config> = OnceLock::new();
 
-/// The active configuration ([`init`]'s result, or the environment
-/// defaults if no binary called `init`).
+/// The active configuration ([`apply`]'s result, or the environment
+/// defaults if nothing called [`apply`]).
 pub fn config() -> &'static Config {
     CONFIG.get_or_init(Config::default)
 }
 
 /// Parses the standard experiment flags from `std::env::args`, applies
 /// the job count via [`bpfree_par::set_jobs`], and stores the result
-/// process-globally. Call once at the top of each binary's `main`.
+/// process-globally. Call once at the top of each legacy binary's
+/// `main`.
 ///
 /// Exits the process on `--help` or an unrecognized argument.
 pub fn init(bin: &str) -> &'static Config {
@@ -60,25 +70,25 @@ pub fn init(bin: &str) -> &'static Config {
 }
 
 /// Stores `cfg` globally, applies its job count, and installs the
-/// process-wide artifact engine with matching cache settings. Split
-/// from [`init`] for tests; first caller wins, matching `OnceLock`
-/// semantics.
+/// process-wide artifact engine with matching cache settings.
+///
+/// Re-entrant, first caller wins (matching `OnceLock` semantics): a
+/// second `apply` — e.g. an experiment run in-process after the CLI
+/// already configured itself — leaves the installed configuration and
+/// engine untouched and returns them.
 pub fn apply(cfg: Config) -> &'static Config {
-    if let Some(n) = cfg.jobs {
-        bpfree_par::set_jobs(n);
+    if CONFIG.set(cfg).is_ok() {
+        // First application: this config owns the process-wide knobs.
+        if let Some(n) = config().jobs {
+            bpfree_par::set_jobs(n);
+        }
     }
-    let _ = CONFIG.set(cfg);
-    let cfg = config();
-    bpfree_engine::install(bpfree_engine::EngineConfig {
-        use_cache: cfg.use_cache,
-        cache_dir: cfg.cache_dir.clone(),
-        verbose: true,
-    });
-    cfg
+    engine();
+    config()
 }
 
 /// The process-wide artifact engine, configured from [`config`] (or the
-/// environment defaults if no binary called [`init`]).
+/// environment defaults if nothing called [`apply`]).
 pub fn engine() -> &'static bpfree_engine::Engine {
     let cfg = config();
     bpfree_engine::install(bpfree_engine::EngineConfig {
@@ -102,15 +112,18 @@ fn usage(bin: &str) -> String {
     )
 }
 
-fn parse(bin: &str, args: impl Iterator<Item = String>) -> Result<Config, String> {
+/// Pulls the standard experiment flags out of a mixed argument list,
+/// returning the parsed [`Config`] and the remaining arguments in their
+/// original order. This is how the root `bpfree` CLI shares the flags
+/// with the legacy binaries: `--jobs/--no-cache/--cache-dir` may appear
+/// anywhere on its command line, before or after the subcommand, and
+/// whatever is left over belongs to the subcommand.
+pub fn extract(args: impl IntoIterator<Item = String>) -> Result<(Config, Vec<String>), String> {
     let mut cfg = Config::default();
-    let mut args = args;
+    let mut rest = Vec::new();
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--help" | "-h" => {
-                println!("{}", usage(bin));
-                std::process::exit(0);
-            }
             "--no-cache" => cfg.use_cache = false,
             "--jobs" | "-j" => {
                 let v = args
@@ -130,10 +143,22 @@ fn parse(bin: &str, args: impl Iterator<Item = String>) -> Result<Config, String
             s if s.starts_with("--cache-dir=") => {
                 cfg.cache_dir = PathBuf::from(&s["--cache-dir=".len()..]);
             }
-            other => return Err(format!("unrecognized argument `{other}`")),
+            _ => rest.push(arg),
         }
     }
-    Ok(cfg)
+    Ok((cfg, rest))
+}
+
+fn parse(bin: &str, args: impl Iterator<Item = String>) -> Result<Config, String> {
+    let (cfg, rest) = extract(args)?;
+    match rest.first().map(String::as_str) {
+        None => Ok(cfg),
+        Some("--help" | "-h") => {
+            println!("{}", usage(bin));
+            std::process::exit(0);
+        }
+        Some(other) => Err(format!("unrecognized argument `{other}`")),
+    }
 }
 
 fn parse_jobs(v: &str) -> Result<usize, String> {
@@ -169,5 +194,43 @@ mod tests {
         assert!(p(&["--jobs", "zap"]).is_err());
         assert!(p(&["--jobs"]).is_err());
         assert!(p(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn extract_leaves_subcommand_args_in_order() {
+        let (cfg, rest) = extract(
+            [
+                "exp",
+                "--jobs",
+                "2",
+                "run",
+                "table1",
+                "--no-cache",
+                "--out-dir",
+                "/tmp/o",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(cfg.jobs, Some(2));
+        assert!(!cfg.use_cache);
+        assert_eq!(rest, ["exp", "run", "table1", "--out-dir", "/tmp/o"]);
+    }
+
+    #[test]
+    fn apply_is_reentrant_first_wins() {
+        let first = apply(Config {
+            jobs: None,
+            use_cache: false,
+            cache_dir: PathBuf::from("/tmp/first"),
+        });
+        let second = apply(Config {
+            jobs: None,
+            use_cache: true,
+            cache_dir: PathBuf::from("/tmp/second"),
+        });
+        assert_eq!(first.cache_dir, second.cache_dir);
+        assert_eq!(second.cache_dir, PathBuf::from("/tmp/first"));
     }
 }

@@ -1,0 +1,91 @@
+//! Ablation: which heuristic carries the combined predictor?
+//!
+//! For each heuristic, remove it from the paper's priority order (its
+//! branches fall through to later heuristics or the Default) and measure
+//! the suite-mean non-loop miss rate delta. Also reports each heuristic
+//! alone (plus Default) for the other direction of the question.
+
+use std::io;
+
+use bpfree_core::{evaluate, CombinedPredictor, HeuristicKind, DEFAULT_SEED};
+use bpfree_engine::Engine;
+
+use crate::registry::Experiment;
+use crate::sink::Sink;
+use crate::{load_suite_on, mean_std, pct, BenchData};
+
+fn mean_nonloop_rate(suite: &[BenchData], order: &[HeuristicKind]) -> f64 {
+    let rates: Vec<f64> = suite
+        .iter()
+        .map(|d| {
+            let cp = CombinedPredictor::with_seed(
+                &d.program,
+                &d.classifier,
+                order.iter().copied(),
+                DEFAULT_SEED,
+            );
+            evaluate(&cp.predictions(), &d.profile, &d.classifier)
+                .nonloop
+                .miss_rate()
+        })
+        .collect();
+    mean_std(&rates).0
+}
+
+pub struct LeaveOneOut;
+
+impl Experiment for LeaveOneOut {
+    fn name(&self) -> &'static str {
+        "leave_one_out"
+    }
+
+    fn description(&self) -> &'static str {
+        "leave-one-out / alone ablation of the seven heuristics"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.2 (heuristic contributions)"
+    }
+
+    fn run(&self, engine: &Engine, sink: &mut dyn Sink) -> io::Result<()> {
+        let w = sink.out();
+        let suite = load_suite_on(engine);
+        let full = HeuristicKind::paper_order();
+        let baseline = mean_nonloop_rate(&suite, &full);
+        writeln!(
+            w,
+            "paper order, all seven heuristics: {}% mean non-loop miss",
+            pct(baseline)
+        )?;
+        writeln!(w)?;
+        writeln!(
+            w,
+            "{:<9} {:>12} {:>8} {:>12}",
+            "heuristic", "without", "delta", "alone"
+        )?;
+        writeln!(w, "{:-<44}", "")?;
+        for k in HeuristicKind::ALL {
+            let without: Vec<HeuristicKind> = full.iter().copied().filter(|x| *x != k).collect();
+            let r_without = mean_nonloop_rate(&suite, &without);
+            let r_alone = mean_nonloop_rate(&suite, &[k]);
+            writeln!(
+                w,
+                "{:<9} {:>11}% {:>+7.1} {:>11}%",
+                k.label(),
+                pct(r_without),
+                100.0 * (r_without - baseline),
+                pct(r_alone),
+            )?;
+        }
+        writeln!(w)?;
+        writeln!(
+            w,
+            "`without` = paper order minus that heuristic (positive delta: removing"
+        )?;
+        writeln!(
+            w,
+            "it hurts); `alone` = that heuristic plus random Default only."
+        )?;
+        Ok(())
+    }
+}

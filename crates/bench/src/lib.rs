@@ -1,20 +1,31 @@
-//! Shared harness for the experiment-regeneration binaries.
+//! Shared harness for the paper-reproduction experiments.
 //!
-//! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper. Since PR 2 the heavy lifting lives in [`bpfree_engine`]: the
-//! binaries query typed artifacts (compiled programs, heuristic tables,
-//! edge profiles, branch traces) that the engine computes at most once
-//! per process and persists through the on-disk cache. This crate is a
-//! thin shim — [`BenchData`] bundles the per-benchmark artifacts the
-//! binaries iterate over, plus small formatting helpers so they print
-//! rows shaped like the paper's.
+//! Since PR 3 every experiment lives in the [`registry`]: a named
+//! [`registry::Experiment`] value that queries artifacts from a shared
+//! [`bpfree_engine::Engine`] and writes its report through a
+//! [`sink::Sink`]. `bpfree exp all` runs the whole reproduction in one
+//! process, so each `(benchmark, Options, dataset)` triple is
+//! compiled/simulated/traced at most once for all tables and graphs
+//! combined; the binaries in `src/bin/` are one-line shims over
+//! [`registry::legacy_main`] with byte-identical stdout.
+//!
+//! The heavy lifting stays in [`bpfree_engine`] (PR 2): experiments
+//! query typed artifacts (compiled programs, heuristic tables, edge
+//! profiles, branch traces) that the engine computes at most once per
+//! process and persists through the on-disk cache. This crate bundles
+//! the per-benchmark artifacts the experiments iterate over
+//! ([`BenchData`]) plus small formatting helpers so they print rows
+//! shaped like the paper's.
 //!
 //! Loading is parallel (one benchmark per worker, see [`bpfree_par`]);
 //! a warm run skips compilation and simulation entirely. Both are
 //! controlled by the standard flags parsed by [`config::init`].
 
 pub mod config;
+pub mod experiments;
 pub mod json;
+pub mod registry;
+pub mod sink;
 
 use std::sync::Arc;
 
@@ -41,7 +52,16 @@ pub struct BenchData {
 }
 
 impl BenchData {
-    fn from_engine(engine: &Engine, bench: Benchmark) -> BenchData {
+    /// Loads one benchmark through `engine`: compile, analyze, build
+    /// the heuristic table, and profile the reference dataset — each at
+    /// most once per process, and not at all when the on-disk cache
+    /// (see [`config`]) holds a current entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark fails to compile or run — suite bugs are
+    /// fatal for experiments.
+    pub fn load(engine: &Engine, bench: Benchmark) -> BenchData {
         let opt = Options::default();
         let compiled = engine.compiled(&bench, opt);
         let run = engine.run(&bench, opt, 0);
@@ -55,25 +75,12 @@ impl BenchData {
         }
     }
 
-    /// Loads one benchmark through the process-wide engine: compile,
-    /// analyze, build the heuristic table, and profile the reference
-    /// dataset — each at most once per process, and not at all when the
-    /// on-disk cache (see [`config`]) holds a current entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the benchmark fails to compile or run — suite bugs are
-    /// fatal for experiments.
-    pub fn load(bench: Benchmark) -> BenchData {
-        BenchData::from_engine(config::engine(), bench)
-    }
-
     /// The replayable branch trace of the reference dataset. Recording
     /// shares the single interpreter pass that produced [`Self::profile`]
     /// (or replays from the cache), so trace consumers cost no extra
     /// simulation.
-    pub fn trace(&self) -> Arc<BranchTrace> {
-        config::engine().trace(&self.bench, Options::default(), 0)
+    pub fn trace(&self, engine: &Engine) -> Arc<BranchTrace> {
+        engine.trace(&self.bench, Options::default(), 0)
     }
 
     /// Profiles an alternate dataset of this benchmark (memoized and
@@ -82,30 +89,34 @@ impl BenchData {
     /// # Panics
     ///
     /// Panics on an invalid index or a runtime failure.
-    pub fn profile_dataset(&self, index: usize) -> (Arc<EdgeProfile>, RunResult) {
-        let bundle = config::engine()
+    pub fn profile_dataset(&self, engine: &Engine, index: usize) -> (Arc<EdgeProfile>, RunResult) {
+        let bundle = engine
             .try_run(&self.bench, Options::default(), index)
             .unwrap_or_else(|e| panic!("{} dataset {index}: {e}", self.bench.name));
         (bundle.profile, bundle.result)
     }
 
     /// The benchmark's datasets.
-    pub fn datasets(&self) -> Arc<Vec<Dataset>> {
-        config::engine().datasets(&self.bench)
+    pub fn datasets(&self, engine: &Engine) -> Arc<Vec<Dataset>> {
+        engine.datasets(&self.bench)
     }
 }
 
 /// Loads the whole suite (23 benchmarks) on the reference datasets,
 /// one benchmark per parallel task, in the registry's order.
-pub fn load_suite() -> Vec<BenchData> {
-    let engine = config::engine();
+pub fn load_suite_on(engine: &Engine) -> Vec<BenchData> {
     let benches = bpfree_suite::all();
     let refs: Vec<&Benchmark> = benches.iter().collect();
     engine.prefetch(&refs, Options::default(), &[]);
     benches
         .into_iter()
-        .map(|b| BenchData::from_engine(engine, b))
+        .map(|b| BenchData::load(engine, b))
         .collect()
+}
+
+/// [`load_suite_on`] against the process-wide engine (see [`config`]).
+pub fn load_suite() -> Vec<BenchData> {
+    load_suite_on(config::engine())
 }
 
 /// Loads a named subset of the suite, preserving the given order.
@@ -113,19 +124,18 @@ pub fn load_suite() -> Vec<BenchData> {
 /// # Panics
 ///
 /// Panics on an unknown benchmark name.
-pub fn load_named(names: &[&str]) -> Vec<BenchData> {
-    load_named_inner(names, &[])
+pub fn load_named_on(engine: &Engine, names: &[&str]) -> Vec<BenchData> {
+    load_named_inner(engine, names, &[])
 }
 
-/// [`load_named`], additionally recording a replayable branch trace for
-/// every benchmark — still one interpreter pass each, with the profile
-/// and trace observers fanned out of the same execution.
-pub fn load_named_traced(names: &[&str]) -> Vec<BenchData> {
-    load_named_inner(names, names)
+/// [`load_named_on`], additionally recording a replayable branch trace
+/// for every benchmark — still one interpreter pass each, with the
+/// profile and trace observers fanned out of the same execution.
+pub fn load_named_traced_on(engine: &Engine, names: &[&str]) -> Vec<BenchData> {
+    load_named_inner(engine, names, names)
 }
 
-fn load_named_inner(names: &[&str], traced: &[&str]) -> Vec<BenchData> {
-    let engine = config::engine();
+fn load_named_inner(engine: &Engine, names: &[&str], traced: &[&str]) -> Vec<BenchData> {
     let benches: Vec<Benchmark> = names
         .iter()
         .map(|n| bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
@@ -134,17 +144,17 @@ fn load_named_inner(names: &[&str], traced: &[&str]) -> Vec<BenchData> {
     engine.prefetch(&refs, Options::default(), traced);
     benches
         .into_iter()
-        .map(|b| BenchData::from_engine(engine, b))
+        .map(|b| BenchData::load(engine, b))
         .collect()
 }
 
 /// Reports the engine's interpreter-pass count on stderr — the proof
 /// line for the single-pass property (cold runs pay one pass per
 /// (benchmark, dataset); warm runs pay zero).
-pub fn report_simulations() {
+pub fn report_simulations(engine: &Engine) {
     eprintln!(
         "[bpfree-engine] interpreter passes this process: {}",
-        config::engine().simulations()
+        engine.simulations()
     );
 }
 

@@ -1,0 +1,178 @@
+//! The experiment registry: every paper table and figure as a named,
+//! runnable value.
+//!
+//! Until PR 3 each experiment was a standalone binary that cold-started
+//! the artifact engine, so the engine's memoization never amortized
+//! across experiments. The registry turns each binary's `main` into an
+//! [`Experiment`] implementation that writes through a
+//! [`Sink`](crate::sink::Sink); [`run_experiments`] then executes any
+//! subset in ONE process against a shared [`Engine`], so every
+//! `(benchmark, Options, dataset)` triple is compiled/simulated/traced
+//! at most once for all tables and graphs combined. The 19 binaries
+//! remain as shims over [`legacy_main`], byte-identical on stdout.
+
+use std::collections::BTreeSet;
+use std::io;
+
+use bpfree_engine::Engine;
+use bpfree_lang::Options;
+
+use crate::experiments;
+use crate::sink::{Sink, StdoutSink};
+
+/// One registered experiment — a table or figure of the paper (or one
+/// of our extension studies), reproducible on demand.
+///
+/// Implementations hold no state; everything they need comes from the
+/// [`Engine`] they are handed, and everything they produce goes through
+/// the [`Sink`]. The bytes written to [`Sink::out`] are the experiment's
+/// contract: they must match the legacy standalone binary's stdout
+/// exactly. Progress and diagnostics go to stderr, never the sink.
+pub trait Experiment: Sync {
+    /// The registry name (also the legacy binary's name).
+    fn name(&self) -> &'static str;
+
+    /// One-line summary for `bpfree exp list`.
+    fn description(&self) -> &'static str;
+
+    /// The paper table/figure this reproduces.
+    fn paper_ref(&self) -> &'static str;
+
+    /// Benchmarks whose replayable branch trace this experiment
+    /// records. The runner pre-traces these before any experiment runs,
+    /// so an earlier plain profile of the same benchmark never forces a
+    /// second interpreter pass for the trace.
+    fn traced(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Regenerates the experiment, writing its report to `sink`.
+    fn run(&self, engine: &Engine, sink: &mut dyn Sink) -> io::Result<()>;
+}
+
+/// Every registered experiment, in the paper's presentation order
+/// (tables, then graphs, then the extension studies).
+pub fn all() -> &'static [&'static dyn Experiment] {
+    experiments::REGISTRY
+}
+
+/// Looks up an experiment by its registry name.
+pub fn by_name(name: &str) -> Option<&'static dyn Experiment> {
+    all().iter().copied().find(|e| e.name() == name)
+}
+
+/// The registered name closest to `name` (case-insensitive Levenshtein
+/// distance ≤ 3) — what `bpfree exp run` suggests on a typo.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    all()
+        .iter()
+        .map(|e| (edit_distance(name, e.name()), e.name()))
+        .min_by_key(|(d, _)| *d)
+        .filter(|(d, _)| *d <= 3)
+        .map(|(_, n)| n)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.to_ascii_lowercase().chars().collect();
+    let b: Vec<char> = b.to_ascii_lowercase().chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Runs `exps` in order against one shared engine, bracketing each with
+/// [`Sink::begin`]/[`Sink::end`]. With `progress`, a one-line banner per
+/// experiment goes to stderr (stdout stays pure experiment output).
+///
+/// Before anything runs, the union of the experiments'
+/// [`Experiment::traced`] benchmarks is traced on the reference dataset,
+/// in parallel. Tracing shares its single interpreter pass with the edge
+/// profile, so this guarantees the at-most-once-per-(benchmark, dataset)
+/// property across the whole batch: without it, a plain run by an early
+/// experiment would force a later trace request to simulate again.
+pub fn run_experiments(
+    exps: &[&'static dyn Experiment],
+    engine: &Engine,
+    sink: &mut dyn Sink,
+    progress: bool,
+) -> io::Result<()> {
+    let traced: BTreeSet<&'static str> = exps.iter().flat_map(|e| e.traced()).copied().collect();
+    if !traced.is_empty() {
+        let benches: Vec<bpfree_suite::Benchmark> = traced
+            .iter()
+            .map(|n| bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect();
+        bpfree_par::par_map(&benches, |b| {
+            let _ = engine.trace(b, Options::default(), 0);
+        });
+    }
+    for exp in exps {
+        if progress {
+            eprintln!("[bpfree] running {} ({})", exp.name(), exp.paper_ref());
+        }
+        sink.begin(*exp)?;
+        exp.run(engine, sink)?;
+        sink.end(*exp)?;
+    }
+    Ok(())
+}
+
+/// The whole body of a legacy experiment binary: parse the standard
+/// flags, run the named experiment through the registry onto stdout,
+/// exit. Keeps the 19 `src/bin/*.rs` files down to one line each while
+/// guaranteeing their stdout is byte-identical to
+/// `bpfree exp run <name>`.
+pub fn legacy_main(name: &'static str) -> ! {
+    crate::config::init(name);
+    let exp = by_name(name).unwrap_or_else(|| panic!("experiment `{name}` is not registered"));
+    let mut sink = StdoutSink::new();
+    let code = match run_experiments(&[exp], crate::config::engine(), &mut sink, false) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            1
+        }
+    };
+    std::process::exit(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 19, "one experiment per legacy binary");
+        let unique: BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len(), "names are unique");
+        for n in ["table1", "table7", "graph1", "graphs4_11", "summary_json"] {
+            assert!(by_name(n).is_some(), "{n} registered");
+        }
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn suggestions_catch_typos() {
+        assert_eq!(suggest("tabel1"), Some("table1"));
+        assert_eq!(suggest("graph_13"), Some("graph13"));
+        assert_eq!(suggest("sumary-json"), Some("summary_json"));
+        assert_eq!(suggest("zzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn metadata_is_filled_in() {
+        for e in all() {
+            assert!(!e.description().is_empty(), "{}", e.name());
+            assert!(!e.paper_ref().is_empty(), "{}", e.name());
+        }
+    }
+}

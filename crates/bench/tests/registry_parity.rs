@@ -1,0 +1,132 @@
+//! The registry's core contract: every experiment writes the same bytes
+//! through a [`Sink`](bpfree_bench::sink::Sink) that its legacy
+//! standalone binary writes to stdout.
+//!
+//! One in-process batch (the `bpfree exp all` code path, captured into a
+//! `VecSink`) is diffed against all 19 legacy binaries. The batch runs
+//! first so it fills the shared on-disk cache and the binaries reuse it.
+//! `ordering_ablate` prints wall-clock durations, so its comparison
+//! normalizes duration tokens; everything else must match byte for byte.
+
+use std::collections::HashMap;
+use std::process::Command;
+
+use bpfree_bench::config::{self, Config};
+use bpfree_bench::registry;
+use bpfree_bench::sink::{Sink, VecSink};
+
+/// Collects each experiment's bytes separately, using the begin/end
+/// bracketing the runner already does.
+#[derive(Default)]
+struct PerExperiment {
+    current: VecSink,
+    done: Vec<(&'static str, Vec<u8>)>,
+}
+
+impl Sink for PerExperiment {
+    fn begin(&mut self, _exp: &dyn registry::Experiment) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn out(&mut self) -> &mut dyn std::io::Write {
+        self.current.out()
+    }
+
+    fn end(&mut self, exp: &dyn registry::Experiment) -> std::io::Result<()> {
+        self.done.push((exp.name(), self.current.take()));
+        Ok(())
+    }
+}
+
+/// Replaces `Duration`-debug tokens (`12.3ms`, `456ns`, `1.2s`) with
+/// `TIME` so outputs that print wall-clock can still be diffed.
+fn normalize_times(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let start = i;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+            i += 1;
+        }
+        if i > start && b[start].is_ascii_digit() {
+            let unit_len = ["ns", "µs", "ms", "s"]
+                .iter()
+                .find(|u| b[i..].starts_with(&u.chars().collect::<Vec<_>>()[..]))
+                .map(|u| u.chars().count());
+            // Only swallow a unit when the token ends there (avoid eating
+            // identifiers like `100x` or column words).
+            if let Some(ul) = unit_len {
+                let after = b.get(i + ul);
+                if after.is_none() || !after.unwrap().is_alphanumeric() {
+                    out.push_str("TIME");
+                    i += ul;
+                    continue;
+                }
+            }
+            for &c in &b[start..i] {
+                out.push(c);
+            }
+            continue;
+        }
+        out.push(b[i]);
+        i += 1;
+    }
+    out
+}
+
+fn legacy_bin(name: &str) -> std::path::PathBuf {
+    // CARGO_BIN_EXE_* is only set for this package's own binaries, which
+    // all 19 legacy shims are.
+    let table1 = std::path::PathBuf::from(env!("CARGO_BIN_EXE_table1"));
+    table1.with_file_name(format!("{name}{}", std::env::consts::EXE_SUFFIX))
+}
+
+#[test]
+fn every_experiment_matches_its_legacy_binary() {
+    let cache = std::env::temp_dir().join(format!("bpfree-parity-{}", std::process::id()));
+    // First apply wins process-wide; tests in this binary all want the
+    // same throwaway cache.
+    config::apply(Config {
+        jobs: None,
+        use_cache: true,
+        cache_dir: cache.clone(),
+    });
+    let engine = config::engine();
+
+    // The `exp all` code path, captured per experiment. Running the
+    // batch first also fills the on-disk cache for the binaries below.
+    let mut sink = PerExperiment::default();
+    registry::run_experiments(registry::all(), engine, &mut sink, false).unwrap();
+    let captured: HashMap<&str, Vec<u8>> = sink.done.into_iter().collect();
+    assert_eq!(captured.len(), registry::all().len());
+
+    for exp in registry::all() {
+        let name = exp.name();
+        let bin = legacy_bin(name);
+        let out = Command::new(&bin)
+            .env("BPFREE_CACHE_DIR", &cache)
+            .env_remove("BPFREE_NO_CACHE")
+            .output()
+            .unwrap_or_else(|e| panic!("running {}: {e}", bin.display()));
+        assert!(
+            out.status.success(),
+            "{name} exited with {:?}: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let ours = &captured[name];
+        if out.stdout == *ours {
+            continue;
+        }
+        // Timing-printing experiments still must match after masking.
+        let a = normalize_times(&String::from_utf8_lossy(ours));
+        let b = normalize_times(&String::from_utf8_lossy(&out.stdout));
+        assert_eq!(
+            a, b,
+            "{name}: registry output differs from the legacy binary"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -19,7 +19,11 @@
 //! * [`suite`] — 23 benchmark programs mirroring the paper's Table 1;
 //! * [`core`] — the paper's contribution: branch classification, the seven
 //!   non-loop heuristics, heuristic combination, evaluation, ordering
-//!   experiments, and IPBC trace analysis.
+//!   experiments, and IPBC trace analysis;
+//! * [`bench`] — the experiment registry: every paper table and figure as
+//!   a named [`bench::registry::Experiment`], runnable individually or as
+//!   one single-process batch (`bpfree exp all`) over the shared
+//!   memoizing [`engine`].
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use bpfree_bench as bench;
 pub use bpfree_cfg as cfg;
 pub use bpfree_core as core;
 pub use bpfree_engine as engine;

@@ -7,10 +7,23 @@
 //! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
 //! bpfree bench NAME [--dataset N]   run a suite benchmark and report
 //! bpfree list                       list the benchmark suite
+//! bpfree exp list                   list the registered experiments
+//! bpfree exp run NAME...            regenerate paper tables/figures
+//! bpfree exp all                    the whole reproduction, one process
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (bad input file, simulator
+//! error), 2 usage error (unknown command/experiment/benchmark, bad
+//! flag). Only usage errors print the usage text.
 
+use std::io;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use bpfree::bench::config;
+use bpfree::bench::registry::{self, Experiment};
+use bpfree::bench::sink::{CaptureSink, StdoutSink};
 use bpfree::core::{
     evaluate, perfect_predictions, Attribution, BranchClass, BranchClassifier, CombinedPredictor,
     Direction, HeuristicKind,
@@ -18,27 +31,65 @@ use bpfree::core::{
 use bpfree::lang::{compile_with, Options};
 use bpfree::sim::{EdgeProfiler, NullObserver, SimConfig, Simulator};
 
+/// A failed command: usage errors (exit 2) get the usage text appended,
+/// runtime errors (exit 1) just the message.
+enum Failure {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage_err(msg: impl Into<String>) -> Failure {
+    Failure::Usage(msg.into())
+}
+
+fn runtime_err(msg: impl Into<String>) -> Failure {
+    Failure::Runtime(msg.into())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("compile") => cmd_compile(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("predict") => cmd_predict(&args[1..]),
-        Some("cfg") => cmd_cfg(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("list") => cmd_list(),
-        Some("--help") | Some("-h") | None => {
-            print_usage();
-            Ok(())
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = (|| {
+        // The standard experiment flags (--jobs/--no-cache/--cache-dir)
+        // may appear anywhere; whatever remains belongs to the command.
+        let (cfg, rest) = config::extract(raw).map_err(Failure::Usage)?;
+        match rest.first().map(String::as_str) {
+            Some("compile") => cmd_compile(&rest[1..]),
+            Some("run") => cmd_run(&rest[1..]),
+            Some("predict") => {
+                config::apply(cfg);
+                cmd_predict(&rest[1..])
+            }
+            Some("cfg") => cmd_cfg(&rest[1..]),
+            Some("bench") => {
+                config::apply(cfg);
+                cmd_bench(&rest[1..])
+            }
+            Some("exp") => {
+                config::apply(cfg);
+                cmd_exp(&rest[1..])
+            }
+            Some("list") => cmd_list(),
+            Some("--version" | "-V") => {
+                println!("bpfree {}", env!("CARGO_PKG_VERSION"));
+                Ok(())
+            }
+            Some("--help" | "-h") | None => {
+                print_usage();
+                Ok(())
+            }
+            Some(other) => Err(usage_err(format!("unknown command `{other}`"))),
         }
-        Some(other) => Err(format!("unknown command `{other}`")),
-    };
+    })();
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(Failure::Usage(msg)) => {
             eprintln!("bpfree: {msg}");
             print_usage();
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Err(Failure::Runtime(msg)) => {
+            eprintln!("bpfree: {msg}");
+            ExitCode::from(1)
         }
     }
 }
@@ -51,31 +102,41 @@ fn print_usage() {
     eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
     eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
     eprintln!("  bpfree list                       list the benchmark suite");
+    eprintln!("  bpfree exp list                   list the registered experiments");
+    eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
+    eprintln!("  bpfree exp all [--skip NAME]      the whole reproduction, one process");
+    eprintln!("  bpfree --version                  print the version");
+    eprintln!();
+    eprintln!("common flags (bench/predict/exp): --jobs N, --no-cache, --cache-dir DIR");
+    eprintln!("exp run/all also accept: --out-dir DIR (capture files + manifest.json)");
 }
 
-fn load_program(path: &str, options: Options) -> Result<bpfree::ir::Program, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    compile_with(&source, options).map_err(|e| format!("{path}:{}", e.render(&source)))
+fn load_program(path: &str, options: Options) -> Result<bpfree::ir::Program, Failure> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| runtime_err(format!("cannot read `{path}`: {e}")))?;
+    compile_with(&source, options).map_err(|e| runtime_err(format!("{path}:{}", e.render(&source))))
 }
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn value_of(args: &[String], name: &str) -> Result<Option<u64>, String> {
+fn value_of(args: &[String], name: &str) -> Result<Option<u64>, Failure> {
     match args.iter().position(|a| a == name) {
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
-            .ok_or_else(|| format!("{name} needs a value"))?
+            .ok_or_else(|| usage_err(format!("{name} needs a value")))?
             .parse()
             .map(Some)
-            .map_err(|e| format!("bad value for {name}: {e}")),
+            .map_err(|e| usage_err(format!("bad value for {name}: {e}"))),
     }
 }
 
-fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("compile needs a file")?;
+fn cmd_compile(args: &[String]) -> Result<(), Failure> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage_err("compile needs a file"))?;
     let options = if flag(args, "--o0") {
         Options::o0()
     } else {
@@ -86,8 +147,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("run needs a file")?;
+fn cmd_run(args: &[String]) -> Result<(), Failure> {
+    let path = args.first().ok_or_else(|| usage_err("run needs a file"))?;
     let program = load_program(path, Options::default())?;
     let fuel = value_of(args, "--fuel")?.unwrap_or(SimConfig::default().fuel);
     let config = SimConfig {
@@ -96,14 +157,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let result = Simulator::with_config(&program, config)
         .run(&mut NullObserver)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| runtime_err(e.to_string()))?;
     println!("exit: {}", result.exit);
     println!("instructions: {}", result.instructions);
     Ok(())
 }
 
-fn cmd_predict(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("predict needs a file")?;
+fn cmd_predict(args: &[String]) -> Result<(), Failure> {
+    let path = args
+        .first()
+        .ok_or_else(|| usage_err("predict needs a file"))?;
     let program = load_program(path, Options::default())?;
     let classifier = BranchClassifier::analyze(&program);
     let predictor = CombinedPredictor::new(&program, &classifier, HeuristicKind::paper_order());
@@ -112,7 +175,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     let mut profiler = EdgeProfiler::new();
     Simulator::new(&program)
         .run(&mut profiler)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| runtime_err(e.to_string()))?;
     let profile = profiler.into_profile();
 
     println!(
@@ -172,8 +235,8 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
 
 /// Emits each requested function's CFG as Graphviz dot, with loop heads
 /// shaded, backedges dashed, and predicted edges bold.
-fn cmd_cfg(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("cfg needs a file")?;
+fn cmd_cfg(args: &[String]) -> Result<(), Failure> {
+    let path = args.first().ok_or_else(|| usage_err("cfg needs a file"))?;
     let program = load_program(path, Options::default())?;
     let only = args
         .iter()
@@ -265,18 +328,21 @@ fn cmd_cfg(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let name = args.first().ok_or("bench needs a benchmark name")?;
+fn cmd_bench(args: &[String]) -> Result<(), Failure> {
+    let name = args
+        .first()
+        .ok_or_else(|| usage_err("bench needs a benchmark name"))?;
     let bench = bpfree::suite::by_name(name)
-        .ok_or_else(|| format!("no benchmark `{name}` (try `bpfree list`)"))?;
+        .ok_or_else(|| usage_err(format!("no benchmark `{name}` (try `bpfree list`)")))?;
     let dataset = value_of(args, "--dataset")?.unwrap_or(0) as usize;
-    // The artifact engine memoizes and (subject to BPFREE_NO_CACHE /
-    // BPFREE_CACHE_DIR) persists everything this command computes.
-    let engine = bpfree::engine::global();
+    // The artifact engine memoizes and (subject to --no-cache /
+    // --cache-dir and their environment twins) persists everything this
+    // command computes.
+    let engine = config::engine();
     let compiled = engine.compiled(&bench, Options::default());
     let bundle = engine
         .try_run(&bench, Options::default(), dataset)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| runtime_err(e.to_string()))?;
     let (program, classifier) = (&compiled.program, &compiled.classifier);
     let (profile, result) = (&bundle.profile, bundle.result);
 
@@ -299,7 +365,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), Failure> {
     println!("{:<11} {:<4} {:<5} description", "name", "lang", "spec");
     for b in bpfree::suite::all() {
         println!(
@@ -310,5 +376,146 @@ fn cmd_list() -> Result<(), String> {
             b.description
         );
     }
+    Ok(())
+}
+
+/// `bpfree exp list|run|all` — the registered experiments.
+fn cmd_exp(args: &[String]) -> Result<(), Failure> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<16} {:<26} description", "name", "paper");
+            for e in registry::all() {
+                println!("{:<16} {:<26} {}", e.name(), e.paper_ref(), e.description());
+            }
+            Ok(())
+        }
+        Some("run") => {
+            let opts = ExpOpts::parse(&args[1..], false)?;
+            if opts.names.is_empty() {
+                return Err(usage_err(
+                    "exp run needs at least one experiment name (see `bpfree exp list`)",
+                ));
+            }
+            let exps: Vec<&'static dyn Experiment> = opts
+                .names
+                .iter()
+                .map(|n| resolve_experiment(n))
+                .collect::<Result<_, _>>()?;
+            run_exps(&exps, opts.out_dir, "run")
+        }
+        Some("all") => {
+            let opts = ExpOpts::parse(&args[1..], true)?;
+            for n in &opts.skip {
+                resolve_experiment(n)?;
+            }
+            let exps: Vec<&'static dyn Experiment> = registry::all()
+                .iter()
+                .copied()
+                .filter(|e| !opts.skip.iter().any(|s| s == e.name()))
+                .collect();
+            run_exps(&exps, opts.out_dir, "all")
+        }
+        _ => Err(usage_err(
+            "exp needs a subcommand: `list`, `run NAME...`, or `all`",
+        )),
+    }
+}
+
+/// Arguments to `exp run` / `exp all`.
+struct ExpOpts {
+    names: Vec<String>,
+    skip: Vec<String>,
+    out_dir: Option<PathBuf>,
+}
+
+impl ExpOpts {
+    fn parse(args: &[String], allow_skip: bool) -> Result<ExpOpts, Failure> {
+        let mut opts = ExpOpts {
+            names: Vec::new(),
+            skip: Vec::new(),
+            out_dir: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out-dir" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| usage_err("--out-dir needs a value"))?;
+                    opts.out_dir = Some(PathBuf::from(v));
+                }
+                s if s.starts_with("--out-dir=") => {
+                    opts.out_dir = Some(PathBuf::from(&s["--out-dir=".len()..]));
+                }
+                "--skip" if allow_skip => {
+                    let v = it.next().ok_or_else(|| usage_err("--skip needs a value"))?;
+                    opts.skip.push(v.clone());
+                }
+                s if s.starts_with("--skip=") && allow_skip => {
+                    opts.skip.push(s["--skip=".len()..].to_string());
+                }
+                s if s.starts_with('-') => {
+                    return Err(usage_err(format!("unrecognized flag `{s}`")));
+                }
+                _ => opts.names.push(arg.clone()),
+            }
+        }
+        if allow_skip {
+            if let Some(stray) = opts.names.first() {
+                return Err(usage_err(format!(
+                    "exp all takes no experiment names (got `{stray}`); use `exp run` or `--skip`"
+                )));
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn resolve_experiment(name: &str) -> Result<&'static dyn Experiment, Failure> {
+    registry::by_name(name).ok_or_else(|| {
+        let mut msg = format!("unknown experiment `{name}`");
+        if let Some(s) = registry::suggest(name) {
+            msg.push_str(&format!(" (did you mean `{s}`?)"));
+        }
+        msg.push_str("; see `bpfree exp list`");
+        usage_err(msg)
+    })
+}
+
+/// Runs `exps` against the shared engine — to stdout, or captured under
+/// `--out-dir` with a manifest. One process, one engine: every
+/// (benchmark, dataset) is compiled and simulated at most once for the
+/// whole batch, which is the point of `exp all`.
+fn run_exps(
+    exps: &[&'static dyn Experiment],
+    out_dir: Option<PathBuf>,
+    mode: &str,
+) -> Result<(), Failure> {
+    let rt = |e: io::Error| runtime_err(e.to_string());
+    let engine = config::engine();
+    let start = Instant::now();
+    match out_dir {
+        Some(dir) => {
+            let mut sink = CaptureSink::new(&dir).map_err(rt)?;
+            registry::run_experiments(exps, engine, &mut sink, true).map_err(rt)?;
+            let manifest = sink.finish().map_err(rt)?;
+            eprintln!(
+                "[bpfree] captured {} experiments under {} ({})",
+                exps.len(),
+                dir.display(),
+                manifest.display()
+            );
+        }
+        None => {
+            let mut sink = StdoutSink::new();
+            registry::run_experiments(exps, engine, &mut sink, true).map_err(rt)?;
+        }
+    }
+    eprintln!(
+        "[bpfree] exp {mode}: {} experiments in {:.1}s, {} interpreter passes",
+        exps.len(),
+        start.elapsed().as_secs_f64(),
+        engine.simulations()
+    );
     Ok(())
 }

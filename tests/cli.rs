@@ -111,9 +111,109 @@ fn compile_error_is_reported_with_location() {
 #[test]
 fn unknown_command_fails_with_usage() {
     let out = bpfree().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn compile_error_is_runtime_not_usage() {
+    let path = write_temp("exit1", "fn main() -> int { return undefined_var; }");
+    let out = bpfree().arg("compile").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "runtime failures exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("usage:"),
+        "runtime failures must not dump usage: {stderr}"
+    );
+}
+
+#[test]
+fn version_flag_prints_version() {
+    let out = bpfree().arg("--version").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.trim(),
+        format!("bpfree {}", env!("CARGO_PKG_VERSION"))
+    );
+}
+
+#[test]
+fn exp_list_names_every_experiment() {
+    let out = bpfree().arg("exp").arg("list").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["table1", "table7", "graph1", "graphs4_11", "summary_json"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    assert_eq!(stdout.lines().count(), 20); // header + 19 experiments
+}
+
+#[test]
+fn exp_run_streams_to_stdout() {
+    // graph12 is the pure-math experiment: instant, no suite work.
+    let out = bpfree()
+        .arg("exp")
+        .arg("run")
+        .arg("graph12")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("model dividing lengths"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("running graph12"), "{stderr}");
+    assert!(stderr.contains("interpreter passes"), "{stderr}");
+}
+
+#[test]
+fn unknown_experiment_exits_2_with_suggestion() {
+    let out = bpfree()
+        .arg("exp")
+        .arg("run")
+        .arg("tabel1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean `table1`"), "{stderr}");
+    assert!(stderr.contains("bpfree exp list"), "{stderr}");
+}
+
+#[test]
+fn exp_all_captures_files_and_manifest() {
+    let dir = std::env::temp_dir().join(format!("bpfree-expall-{}", std::process::id()));
+    // Skip the expensive studies; the remaining 16 experiments still
+    // exercise the whole suite through the shared engine.
+    let out = bpfree()
+        .args(["exp", "all", "--skip", "ordering_ablate"])
+        .args(["--skip", "table4", "--skip", "graphs4_11"])
+        .arg("--out-dir")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Captured experiments land as <name>.txt; skipped ones don't.
+    assert!(dir.join("table6.txt").exists());
+    assert!(dir.join("summary_json.txt").exists());
+    assert!(!dir.join("ordering_ablate.txt").exists());
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"table6\""), "{manifest}");
+    assert!(!manifest.contains("\"ordering_ablate\""), "{manifest}");
+    // Nothing leaks onto stdout; the summary line goes to stderr.
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("16 experiments"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
