@@ -1,0 +1,79 @@
+//! Criterion benches for the two interpreter tiers (ISSUE 4): dynamic
+//! instructions per second on the hottest suite benchmark, tree-walker
+//! vs pre-decoded bytecode, plus the one-time decode cost. The
+//! acceptance bar for the bytecode tier is ≥2× the tree-walker's
+//! throughput on `addalg`; `bpfree bench --json` tracks the same ratio
+//! per commit in `BENCH_interp.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bpfree_sim::{BytecodeProgram, InterpTier, NullObserver, SimConfig, Simulator};
+
+/// The hottest suite benchmark by dynamic instruction count on its
+/// reference dataset.
+const HOTTEST: &str = "addalg";
+
+/// Tree-walker vs bytecode throughput on the same program + dataset,
+/// reported in dynamic instructions per second.
+fn bench_interp_throughput(c: &mut Criterion) {
+    let b = bpfree_suite::by_name(HOTTEST).unwrap();
+    let p = b.compile().unwrap();
+    let decoded = BytecodeProgram::compile(&p);
+    let datasets = b.datasets();
+    let dataset = &datasets[0];
+
+    // Measure the instruction count once for throughput accounting.
+    let mut sim = Simulator::with_decoded(&p, &decoded);
+    sim.set_globals(&dataset.values).unwrap();
+    let instructions = sim.run(&mut NullObserver).unwrap().instructions;
+
+    let mut g = c.benchmark_group("interp_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("tree", |bench| {
+        bench.iter_batched(
+            || {
+                Simulator::with_config(
+                    &p,
+                    SimConfig {
+                        tier: InterpTier::Tree,
+                        ..SimConfig::default()
+                    },
+                )
+            },
+            |mut sim| {
+                sim.set_globals(&dataset.values).unwrap();
+                black_box(sim.run(&mut NullObserver).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("bytecode", |bench| {
+        bench.iter_batched(
+            || Simulator::with_decoded(&p, &decoded),
+            |mut sim| {
+                sim.set_globals(&dataset.values).unwrap();
+                black_box(sim.run(&mut NullObserver).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// The compile-once cost the bytecode tier pays per `(benchmark,
+/// Options)` — the engine memoizes it, so this is paid once per process
+/// while the throughput win above repeats per dataset and experiment.
+fn bench_decode_cost(c: &mut Criterion) {
+    let b = bpfree_suite::by_name(HOTTEST).unwrap();
+    let p = b.compile().unwrap();
+    let mut g = c.benchmark_group("interp_decode");
+    g.bench_function(HOTTEST, |bench| {
+        bench.iter(|| black_box(BytecodeProgram::compile(black_box(&p))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp_throughput, bench_decode_cost);
+criterion_main!(benches);

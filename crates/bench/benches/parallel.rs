@@ -101,6 +101,7 @@ fn bench_load_suite(c: &mut Criterion) {
         jobs: None,
         use_cache: false,
         cache_dir: bpfree_cache::default_dir(),
+        interp: bpfree_sim::InterpTier::Bytecode,
     });
     let mut g = c.benchmark_group("par_load_suite");
     g.sample_size(10);

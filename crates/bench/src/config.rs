@@ -11,6 +11,10 @@
 //!   suite-artifact cache.
 //! - `--cache-dir DIR` (or `BPFREE_CACHE_DIR=DIR`): cache location
 //!   (default `target/bpfree-cache`).
+//! - `--interp TIER` (or `BPFREE_INTERP=TIER`): interpreter tier,
+//!   `bytecode` (default) or `tree`. Both tiers are observationally
+//!   identical — the flag exists for differential testing and perf
+//!   comparison.
 //! - `--help`: usage (legacy binaries only; the root CLI has its own).
 //!
 //! The legacy binaries parse their whole argument list with [`init`];
@@ -23,6 +27,8 @@
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
+use bpfree_sim::InterpTier;
+
 /// Resolved configuration, also stored process-globally so
 /// [`crate::load_suite`] and [`crate::BenchData::load`] can honor it
 /// without threading it through every call site.
@@ -34,6 +40,8 @@ pub struct Config {
     pub use_cache: bool,
     /// Cache directory.
     pub cache_dir: PathBuf,
+    /// Interpreter tier for every simulation in the process.
+    pub interp: InterpTier,
 }
 
 impl Default for Config {
@@ -42,8 +50,19 @@ impl Default for Config {
             jobs: None,
             use_cache: !bpfree_cache::disabled_by_env(),
             cache_dir: bpfree_cache::default_dir(),
+            interp: interp_from_env(),
         }
     }
+}
+
+/// `BPFREE_INTERP`'s tier, or the default on unset/invalid values
+/// (environment typos should not silently change semantics — but both
+/// tiers are identical anyway, so falling back to the default is safe).
+fn interp_from_env() -> InterpTier {
+    std::env::var("BPFREE_INTERP")
+        .ok()
+        .and_then(|v| InterpTier::parse(&v).ok())
+        .unwrap_or_default()
 }
 
 static CONFIG: OnceLock<Config> = OnceLock::new();
@@ -95,20 +114,24 @@ pub fn engine() -> &'static bpfree_engine::Engine {
         use_cache: cfg.use_cache,
         cache_dir: cfg.cache_dir.clone(),
         verbose: true,
+        tier: cfg.interp,
     })
 }
 
 fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--jobs N] [--no-cache] [--cache-dir DIR]\n\
+        "usage: {bin} [--jobs N] [--no-cache] [--cache-dir DIR] [--interp TIER]\n\
          \n\
          --jobs N         worker threads (default: all cores; output is\n\
          \x20                identical at any value)\n\
          --no-cache       recompute suite artifacts instead of using the\n\
          \x20                on-disk cache\n\
          --cache-dir DIR  cache location (default: target/bpfree-cache)\n\
+         --interp TIER    interpreter tier: bytecode (default) or tree\n\
+         \x20                (identical output; tree is the slow reference)\n\
          \n\
-         environment: BPFREE_JOBS, BPFREE_NO_CACHE, BPFREE_CACHE_DIR"
+         environment: BPFREE_JOBS, BPFREE_NO_CACHE, BPFREE_CACHE_DIR,\n\
+         BPFREE_INTERP"
     )
 }
 
@@ -142,6 +165,15 @@ pub fn extract(args: impl IntoIterator<Item = String>) -> Result<(Config, Vec<St
             }
             s if s.starts_with("--cache-dir=") => {
                 cfg.cache_dir = PathBuf::from(&s["--cache-dir=".len()..]);
+            }
+            "--interp" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--interp requires a value".to_string())?;
+                cfg.interp = InterpTier::parse(&v)?;
+            }
+            s if s.starts_with("--interp=") => {
+                cfg.interp = InterpTier::parse(&s["--interp=".len()..])?;
             }
             _ => rest.push(arg),
         }
@@ -194,6 +226,19 @@ mod tests {
         assert!(p(&["--jobs", "zap"]).is_err());
         assert!(p(&["--jobs"]).is_err());
         assert!(p(&["--frobnicate"]).is_err());
+        assert!(p(&["--interp"]).is_err());
+        assert!(p(&["--interp", "jit"]).is_err());
+    }
+
+    #[test]
+    fn parses_interp_tier() {
+        assert_eq!(p(&[]).unwrap().interp, InterpTier::Bytecode);
+        assert_eq!(p(&["--interp", "tree"]).unwrap().interp, InterpTier::Tree);
+        assert_eq!(
+            p(&["--interp=bytecode"]).unwrap().interp,
+            InterpTier::Bytecode
+        );
+        assert_eq!(p(&["--interp=bc"]).unwrap().interp, InterpTier::Bytecode);
     }
 
     #[test]
@@ -224,11 +269,13 @@ mod tests {
             jobs: None,
             use_cache: false,
             cache_dir: PathBuf::from("/tmp/first"),
+            interp: InterpTier::Bytecode,
         });
         let second = apply(Config {
             jobs: None,
             use_cache: true,
             cache_dir: PathBuf::from("/tmp/second"),
+            interp: InterpTier::Bytecode,
         });
         assert_eq!(first.cache_dir, second.cache_dir);
         assert_eq!(second.cache_dir, PathBuf::from("/tmp/first"));

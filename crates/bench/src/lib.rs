@@ -24,6 +24,7 @@
 pub mod config;
 pub mod experiments;
 pub mod json;
+pub mod perf;
 pub mod registry;
 pub mod sink;
 

@@ -1,0 +1,183 @@
+//! The perf-tracking harness behind `bpfree bench --json`.
+//!
+//! Measures the two interpreter tiers head-to-head on every suite
+//! benchmark (dynamic instructions per second on the reference dataset)
+//! plus the wall-clock of a cold `exp all` against a fresh in-memory
+//! engine, and emits the lot as `BENCH_interp.json`. The file is
+//! committed per PR so interpreter throughput is tracked over time
+//! instead of anecdotally; CI appends the same numbers to its job
+//! summary.
+//!
+//! Timings use whatever build profile the binary was compiled under —
+//! run `cargo run --release -- bench --json` for numbers worth
+//! comparing.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use bpfree_engine::{Engine, EngineConfig};
+use bpfree_sim::{BytecodeProgram, InterpTier, NullObserver, SimConfig};
+
+use crate::json::Json;
+use crate::registry;
+use crate::sink::DiscardSink;
+
+/// One tier's timing on one benchmark.
+struct TierSample {
+    seconds: f64,
+    instructions: u64,
+}
+
+/// Timed passes per tier per benchmark. The tiers alternate and each
+/// reports its *minimum*, so slow outliers from scheduler noise (this
+/// often runs on loaded CI boxes) hit both tiers alike instead of
+/// corrupting whichever tier ran during the spike.
+const ROUNDS: usize = 3;
+
+/// Runs `program` on its reference dataset under `tier` and times the
+/// pass. The decode cost is excluded for the bytecode tier — it is paid
+/// once per `(benchmark, Options)` in real workloads (the engine memo)
+/// while the measured pass runs per dataset.
+fn time_tier(
+    bench: &bpfree_suite::Benchmark,
+    program: &bpfree_ir::Program,
+    decoded: &BytecodeProgram,
+    dataset: &bpfree_suite::Dataset,
+    tier: InterpTier,
+) -> TierSample {
+    let start = Instant::now();
+    let result = match tier {
+        InterpTier::Bytecode => bench.run_decoded(program, decoded, dataset, &mut NullObserver),
+        InterpTier::Tree => bench.run_with_config(
+            program,
+            dataset,
+            SimConfig {
+                tier: InterpTier::Tree,
+                ..SimConfig::default()
+            },
+            &mut NullObserver,
+        ),
+    }
+    .unwrap_or_else(|e| panic!("benchmark `{}` fails to run: {e}", bench.name));
+    TierSample {
+        seconds: start.elapsed().as_secs_f64(),
+        instructions: result.instructions,
+    }
+}
+
+fn rate(s: &TierSample) -> f64 {
+    if s.seconds > 0.0 {
+        s.instructions as f64 / s.seconds
+    } else {
+        0.0
+    }
+}
+
+/// Builds the full report. Runs every suite benchmark's reference
+/// dataset [`ROUNDS`] times per tier (interleaved, min taken), then a
+/// cold `exp all` (fresh engine, no disk cache, output discarded) under
+/// the bytecode tier.
+///
+/// # Panics
+///
+/// Panics if a suite benchmark fails to compile or run, or an
+/// experiment fails — suite bugs are fatal here as everywhere.
+pub fn report() -> Json {
+    let mut rows = Vec::new();
+    let mut hottest: Option<(&'static str, u64, f64)> = None;
+    for bench in bpfree_suite::all() {
+        let program = bench
+            .compile()
+            .unwrap_or_else(|e| panic!("benchmark `{}` fails to compile: {e}", bench.name));
+        let decoded = BytecodeProgram::compile(&program);
+        let datasets = bench.datasets();
+        let dataset = &datasets[0];
+        let mut tree = time_tier(&bench, &program, &decoded, dataset, InterpTier::Tree);
+        let mut bytecode = time_tier(&bench, &program, &decoded, dataset, InterpTier::Bytecode);
+        for _ in 1..ROUNDS {
+            let t = time_tier(&bench, &program, &decoded, dataset, InterpTier::Tree);
+            tree.seconds = tree.seconds.min(t.seconds);
+            let b = time_tier(&bench, &program, &decoded, dataset, InterpTier::Bytecode);
+            bytecode.seconds = bytecode.seconds.min(b.seconds);
+        }
+        assert_eq!(
+            tree.instructions, bytecode.instructions,
+            "tiers disagree on dynamic instruction count for `{}`",
+            bench.name
+        );
+        let speedup = if bytecode.seconds > 0.0 {
+            tree.seconds / bytecode.seconds
+        } else {
+            0.0
+        };
+        if hottest.is_none_or(|(_, instrs, _)| bytecode.instructions > instrs) {
+            hottest = Some((bench.name, bytecode.instructions, speedup));
+        }
+        rows.push(
+            Json::obj()
+                .field("name", Json::Str(bench.name.to_string()))
+                .field("dataset", Json::Str(dataset.name.clone()))
+                .field("instructions", Json::UInt(bytecode.instructions))
+                .field("tree_instrs_per_sec", Json::Float(rate(&tree)))
+                .field("bytecode_instrs_per_sec", Json::Float(rate(&bytecode)))
+                .field("speedup", Json::Float(speedup))
+                .build(),
+        );
+    }
+
+    // Cold `exp all`: fresh engine, in-memory only, output discarded —
+    // the end-to-end number the tier exists to improve.
+    let engine = Engine::new(EngineConfig::no_cache());
+    let exps = registry::all();
+    let start = Instant::now();
+    registry::run_experiments(exps, &engine, &mut DiscardSink::new(), false)
+        .expect("discard sink cannot fail");
+    let exp_all_seconds = start.elapsed().as_secs_f64();
+
+    let (hot_name, hot_instrs, hot_speedup) = hottest.expect("suite is non-empty");
+    Json::obj()
+        .field("schema", Json::Str("bpfree-bench-interp/1".to_string()))
+        .field(
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        )
+        .field("benchmarks", Json::Arr(rows))
+        .field(
+            "hottest",
+            Json::obj()
+                .field("name", Json::Str(hot_name.to_string()))
+                .field("instructions", Json::UInt(hot_instrs))
+                .field("speedup", Json::Float(hot_speedup))
+                .build(),
+        )
+        .field(
+            "exp_all_cold",
+            Json::obj()
+                .field("seconds", Json::Float(exp_all_seconds))
+                .field("experiments", Json::UInt(exps.len() as u64))
+                .field("interpreter_passes", Json::UInt(engine.simulations()))
+                .build(),
+        )
+        .build()
+}
+
+/// Writes [`report`] to `path` (trailing newline included) and echoes a
+/// one-line summary to stderr.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_report(path: &Path) -> io::Result<()> {
+    let doc = report();
+    std::fs::write(path, doc.pretty() + "\n")?;
+    eprintln!("[bpfree] wrote {}", path.display());
+    Ok(())
+}

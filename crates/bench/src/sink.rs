@@ -62,6 +62,39 @@ impl Sink for StdoutSink {
     }
 }
 
+/// Swallows every byte — for callers that want an experiment's *side
+/// effects* (engine artifact computation, wall-clock) without its
+/// report, e.g. the perf harness timing a cold `exp all`.
+pub struct DiscardSink {
+    sink: io::Sink,
+}
+
+impl DiscardSink {
+    pub fn new() -> DiscardSink {
+        DiscardSink { sink: io::sink() }
+    }
+}
+
+impl Default for DiscardSink {
+    fn default() -> DiscardSink {
+        DiscardSink::new()
+    }
+}
+
+impl Sink for DiscardSink {
+    fn begin(&mut self, _exp: &dyn Experiment) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn out(&mut self) -> &mut dyn Write {
+        &mut self.sink
+    }
+
+    fn end(&mut self, _exp: &dyn Experiment) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 /// Captures each experiment into `<dir>/<name>.txt` (bytes identical to
 /// the experiment's stdout) and records a `manifest.json` with paper
 /// references and per-experiment wall-clock — the harness-facing sink

@@ -91,6 +91,7 @@ fn every_experiment_matches_its_legacy_binary() {
         jobs: None,
         use_cache: true,
         cache_dir: cache.clone(),
+        interp: bpfree_sim::InterpTier::Bytecode,
     });
     let engine = config::engine();
 

@@ -60,7 +60,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use bpfree_core::{BranchClassifier, HeuristicTable};
 use bpfree_ir::Program;
 use bpfree_lang::Options;
-use bpfree_sim::{BranchTrace, EdgeProfile, EdgeProfiler, Multiplex, RunResult, TraceRecorder};
+use bpfree_sim::{
+    BranchTrace, BytecodeProgram, EdgeProfile, EdgeProfiler, InterpTier, Multiplex, RunResult,
+    SimConfig, TraceRecorder,
+};
 use bpfree_suite::{Benchmark, Dataset, SuiteError};
 
 /// Engine configuration. [`Default`] honours the `BPFREE_NO_CACHE` and
@@ -74,6 +77,12 @@ pub struct EngineConfig {
     /// Print cache hit/miss lines to stderr (never stdout — experiment
     /// output stays byte-identical either way).
     pub verbose: bool,
+    /// Which interpreter tier simulations run under. Artifacts are
+    /// tier-agnostic (both tiers are observationally identical, so
+    /// cached entries are shared), but the cold-path cost is not:
+    /// [`InterpTier::Bytecode`] is the fast default and
+    /// [`InterpTier::Tree`] the differential-testing reference.
+    pub tier: InterpTier,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +91,7 @@ impl Default for EngineConfig {
             use_cache: !bpfree_cache::disabled_by_env(),
             cache_dir: bpfree_cache::default_dir(),
             verbose: true,
+            tier: InterpTier::default(),
         }
     }
 }
@@ -94,6 +104,7 @@ impl EngineConfig {
             use_cache: false,
             cache_dir: bpfree_cache::default_dir(),
             verbose: false,
+            tier: InterpTier::default(),
         }
     }
 }
@@ -157,6 +168,7 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
 pub struct Engine {
     config: EngineConfig,
     compiled: Memo<CompileKey, Compiled>,
+    decoded: Memo<CompileKey, Arc<BytecodeProgram>>,
     runs: Memo<RunKey, RunBundle>,
     traces: Memo<RunKey, Arc<BranchTrace>>,
     datasets: Memo<&'static str, Arc<Vec<Dataset>>>,
@@ -169,6 +181,7 @@ impl Engine {
         Engine {
             config,
             compiled: Memo::new(),
+            decoded: Memo::new(),
             runs: Memo::new(),
             traces: Memo::new(),
             datasets: Memo::new(),
@@ -218,6 +231,16 @@ impl Engine {
     /// Shorthand for [`Engine::compiled`]`.table`.
     pub fn table(&self, bench: &Benchmark, opt: Options) -> Arc<HeuristicTable> {
         self.compiled(bench, opt).table
+    }
+
+    /// The flat-bytecode lowering of `bench` under `opt`, decoded once
+    /// per process. Decoding is pure (no execution state), so one
+    /// [`BytecodeProgram`] serves every dataset's run and trace of the
+    /// `(benchmark, Options)` pair.
+    pub fn decoded(&self, bench: &Benchmark, opt: Options) -> Arc<BytecodeProgram> {
+        self.decoded.get_or_init((bench.name, opt), || {
+            Arc::new(BytecodeProgram::compile(&self.program(bench, opt)))
+        })
     }
 
     /// The edge profile and run result of dataset `index`.
@@ -295,6 +318,34 @@ impl Engine {
             }
             let _ = self.run(bench, opt, 0);
         });
+    }
+
+    /// One interpreter pass under the configured [`InterpTier`] —
+    /// every simulation the engine performs funnels through here.
+    fn simulate<O: bpfree_sim::ExecObserver>(
+        &self,
+        bench: &Benchmark,
+        opt: Options,
+        program: &Program,
+        dataset: &Dataset,
+        observer: &mut O,
+    ) -> Result<RunResult, SuiteError> {
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        match self.config.tier {
+            InterpTier::Bytecode => {
+                let decoded = self.decoded(bench, opt);
+                bench.run_decoded(program, &decoded, dataset, observer)
+            }
+            InterpTier::Tree => bench.run_with_config(
+                program,
+                dataset,
+                SimConfig {
+                    tier: InterpTier::Tree,
+                    ..SimConfig::default()
+                },
+                observer,
+            ),
+        }
     }
 
     fn note(&self, outcome: &str, what: std::fmt::Arguments<'_>) {
@@ -376,9 +427,8 @@ impl Engine {
         }
         let program = self.program(bench, opt);
         let mut profiler = EdgeProfiler::new();
-        self.simulations.fetch_add(1, Ordering::Relaxed);
-        let result = bench
-            .run_with(&program, dataset, &mut profiler)
+        let result = self
+            .simulate(bench, opt, &program, dataset, &mut profiler)
             .unwrap_or_else(|e| panic!("benchmark `{}`[{index}] fails to run: {e}", bench.name));
         let profile = profiler.into_profile();
         if self.config.use_cache {
@@ -440,9 +490,8 @@ impl Engine {
         let mut fan = Multiplex::new();
         fan.push(&mut profiler);
         fan.push(&mut recorder);
-        self.simulations.fetch_add(1, Ordering::Relaxed);
-        let result = bench
-            .run_with(&program, dataset, &mut fan)
+        let result = self
+            .simulate(bench, opt, &program, dataset, &mut fan)
             .unwrap_or_else(|e| panic!("benchmark `{}`[{index}] fails to run: {e}", bench.name));
         let trace = Arc::new(recorder.into_trace());
         let profile = profiler.into_profile();
@@ -540,6 +589,36 @@ mod tests {
         let mut profiler = EdgeProfiler::new();
         trace.replay(&mut profiler);
         assert_eq!(profiler.into_profile(), *bundle.profile);
+    }
+
+    #[test]
+    fn decoded_bytecode_is_memoized_per_options() {
+        let e = engine();
+        let b = bpfree_suite::by_name("grep").unwrap();
+        let d1 = e.decoded(&b, Options::default());
+        let d2 = e.decoded(&b, Options::default());
+        assert!(Arc::ptr_eq(&d1, &d2), "same memo slot");
+        assert!(d1.ops_len() > 0);
+        let d0 = e.decoded(&b, Options::o0());
+        assert!(!Arc::ptr_eq(&d1, &d0), "per-Options artifacts");
+    }
+
+    #[test]
+    fn tiers_produce_identical_run_bundles() {
+        let bytecode = engine();
+        let tree = Engine::new(EngineConfig {
+            tier: InterpTier::Tree,
+            ..EngineConfig::no_cache()
+        });
+        let b = bpfree_suite::by_name("eqntott").unwrap();
+        let opt = Options::default();
+        let rb = bytecode.run(&b, opt, 0);
+        let rt = tree.run(&b, opt, 0);
+        assert_eq!(rb.result, rt.result);
+        assert_eq!(*rb.profile, *rt.profile);
+        let tb = bytecode.trace(&b, opt, 1);
+        let tt = tree.trace(&b, opt, 1);
+        assert_eq!(*tb, *tt);
     }
 
     #[test]

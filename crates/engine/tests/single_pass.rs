@@ -27,6 +27,7 @@ fn cached_engine(dir: &std::path::Path) -> Engine {
         use_cache: true,
         cache_dir: dir.to_path_buf(),
         verbose: false,
+        ..EngineConfig::no_cache()
     })
 }
 

@@ -7,20 +7,47 @@ use bpfree_ir::FuncId;
 pub enum SimError {
     /// The configured instruction budget was exhausted — the program loops
     /// too long (or forever).
-    OutOfFuel { executed: u64 },
+    OutOfFuel {
+        /// Instructions executed before the budget ran out.
+        executed: u64,
+    },
     /// A load or store touched an address outside memory, or the null
     /// word at address 0.
-    BadAddress { addr: i64, func: FuncId },
+    BadAddress {
+        /// The offending address.
+        addr: i64,
+        /// The function whose load/store trapped.
+        func: FuncId,
+    },
     /// Heap allocation collided with the stack (out of memory).
-    OutOfMemory { requested: i64 },
+    OutOfMemory {
+        /// The allocation size (in words) that did not fit.
+        requested: i64,
+    },
     /// Call depth exceeded the configured limit (runaway recursion).
-    StackOverflow { depth: usize },
+    StackOverflow {
+        /// The call depth that crossed the limit.
+        depth: usize,
+    },
     /// The stack pointer ran below the heap (frame overflow).
-    FrameOverflow { func: FuncId },
+    FrameOverflow {
+        /// The function whose frame did not fit.
+        func: FuncId,
+    },
     /// A named global was not found when poking initial values.
-    UnknownGlobal { name: String },
+    UnknownGlobal {
+        /// The unknown name.
+        name: String,
+    },
     /// Poked more initial values than a global has room for.
-    GlobalTooSmall { name: String, len: i64, got: usize },
+    GlobalTooSmall {
+        /// The global's name.
+        name: String,
+        /// Its declared extent in words.
+        len: i64,
+        /// How many values were provided.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SimError {

@@ -2,10 +2,55 @@ use bpfree_ir::{
     BinOp, BranchRef, Cond, FBinOp, FCmp, FuncId, GlobalValues, Instr, Program, Reg, Terminator,
 };
 
+use crate::decode::BytecodeProgram;
 use crate::error::SimError;
 use crate::observer::ExecObserver;
 
-/// Simulator resource limits.
+/// Which interpreter implementation a [`Simulator`] runs.
+///
+/// Both tiers are observationally identical — same results, same
+/// [`SimError`]s, same [`ExecObserver`] event stream byte for byte —
+/// which the differential and property test suites enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpTier {
+    /// Pre-decoded flat bytecode ([`BytecodeProgram`]) executed over an
+    /// explicit frame stack. The default: several times faster than the
+    /// tree walker on the suite's hot benchmarks.
+    #[default]
+    Bytecode,
+    /// The original tree-walking interpreter over the IR `Instr` enums,
+    /// kept as the differential-testing reference.
+    Tree,
+}
+
+impl InterpTier {
+    /// Parses a CLI/environment spelling of a tier name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the accepted spellings
+    /// (`bytecode` and `tree`).
+    pub fn parse(s: &str) -> Result<InterpTier, String> {
+        match s {
+            "bytecode" | "bc" => Ok(InterpTier::Bytecode),
+            "tree" => Ok(InterpTier::Tree),
+            other => Err(format!(
+                "unknown interpreter tier `{other}` (expected `bytecode` or `tree`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for InterpTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InterpTier::Bytecode => "bytecode",
+            InterpTier::Tree => "tree",
+        })
+    }
+}
+
+/// Simulator resource limits and tier selection.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     /// Memory size in 64-bit words (globals + heap + stack share it).
@@ -14,6 +59,8 @@ pub struct SimConfig {
     pub fuel: u64,
     /// Maximum call depth before [`SimError::StackOverflow`].
     pub max_call_depth: usize,
+    /// Interpreter implementation (default [`InterpTier::Bytecode`]).
+    pub tier: InterpTier,
 }
 
 impl Default for SimConfig {
@@ -22,6 +69,7 @@ impl Default for SimConfig {
             mem_words: 1 << 22,
             fuel: 2_000_000_000,
             max_call_depth: 100_000,
+            tier: InterpTier::default(),
         }
     }
 }
@@ -54,14 +102,15 @@ pub struct RunResult {
 #[derive(Debug)]
 pub struct Simulator<'p> {
     program: &'p Program,
-    config: SimConfig,
-    mem: Vec<i64>,
-    heap_next: i64,
-    fuel_left: u64,
+    pub(crate) config: SimConfig,
+    pub(crate) mem: Vec<i64>,
+    pub(crate) heap_next: i64,
+    pub(crate) fuel_left: u64,
     depth: usize,
+    decoded: Option<&'p BytecodeProgram>,
 }
 
-const GP_BASE: i64 = 1;
+pub(crate) const GP_BASE: i64 = 1;
 
 impl<'p> Simulator<'p> {
     /// Creates a simulator with default limits.
@@ -80,7 +129,30 @@ impl<'p> Simulator<'p> {
             heap_next,
             fuel_left: config.fuel,
             depth: 0,
+            decoded: None,
         }
+    }
+
+    /// Creates a simulator that reuses an already-compiled
+    /// [`BytecodeProgram`] (default limits). `decoded` must be the
+    /// lowering of this same `program`; callers that run many datasets
+    /// against one program use this to pay the decode cost once.
+    pub fn with_decoded(program: &'p Program, decoded: &'p BytecodeProgram) -> Simulator<'p> {
+        Simulator::with_decoded_config(program, decoded, SimConfig::default())
+    }
+
+    /// Creates a simulator with explicit limits that reuses an
+    /// already-compiled [`BytecodeProgram`] of the same `program`. The
+    /// pre-decoded form is only consulted when `config.tier` is
+    /// [`InterpTier::Bytecode`].
+    pub fn with_decoded_config(
+        program: &'p Program,
+        decoded: &'p BytecodeProgram,
+        config: SimConfig,
+    ) -> Simulator<'p> {
+        let mut sim = Simulator::with_config(program, config);
+        sim.decoded = Some(decoded);
+        sim
     }
 
     /// Pokes initial values into named globals — the "dataset" of a run.
@@ -141,16 +213,30 @@ impl<'p> Simulator<'p> {
         Ok(self.mem[base..base + sym.len as usize].to_vec())
     }
 
-    /// Runs the program from its entry function.
+    /// Runs the program from its entry function under the configured
+    /// [`InterpTier`]. Under the default bytecode tier a pre-decoded
+    /// program attached via [`Simulator::with_decoded`] is reused;
+    /// otherwise the program is lowered on the fly.
     ///
     /// # Errors
     ///
     /// Propagates any [`SimError`] raised during execution (fuel
     /// exhaustion, bad addresses, stack overflow, heap exhaustion).
     pub fn run<O: ExecObserver>(&mut self, observer: &mut O) -> Result<RunResult, SimError> {
-        let entry = self.program.entry();
-        let sp_top = self.config.mem_words as i64;
-        let (val, _fval) = self.call(entry, &[], &[], sp_top, observer)?;
+        let (val, _fval) = match self.config.tier {
+            InterpTier::Bytecode => match self.decoded {
+                Some(bc) => crate::exec::run(self, bc, observer)?,
+                None => {
+                    let bc = BytecodeProgram::compile(self.program);
+                    crate::exec::run(self, &bc, observer)?
+                }
+            },
+            InterpTier::Tree => {
+                let entry = self.program.entry();
+                let sp_top = self.config.mem_words as i64;
+                self.call(entry, &[], &[], sp_top, observer)?
+            }
+        };
         Ok(RunResult {
             exit: val,
             instructions: self.config.fuel - self.fuel_left,
@@ -315,7 +401,10 @@ impl<'p> Simulator<'p> {
                 let usable = requested.max(0);
                 let bump = requested.max(1);
                 let addr = self.heap_next;
-                if addr + usable >= sp.min(self.stack_floor()) {
+                // The current frame's `sp` is the lowest stack word in
+                // use (frames are carved downward at call time), so the
+                // heap may grow up to, but not into, `sp`.
+                if addr + usable >= sp {
                     return Err(SimError::OutOfMemory { requested });
                 }
                 self.heap_next += bump;
@@ -340,12 +429,6 @@ impl<'p> Simulator<'p> {
             }
         }
         Ok(())
-    }
-
-    fn stack_floor(&self) -> i64 {
-        // The lowest SP seen is bounded below by heap_next checks at call
-        // time; allocation only needs to stay below the current frame.
-        self.config.mem_words as i64
     }
 
     fn load(&self, addr: i64, func: FuncId) -> Result<i64, SimError> {
@@ -378,7 +461,8 @@ fn write_reg(regs: &mut [i64], r: Reg, v: i64) {
     }
 }
 
-fn eval_bin(op: BinOp, a: i64, b: i64) -> i64 {
+#[inline(always)]
+pub(crate) fn eval_bin(op: BinOp, a: i64, b: i64) -> i64 {
     match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -451,5 +535,44 @@ mod tests {
         assert_eq!(read_reg(&regs, Reg::ZERO), 0);
         write_reg(&mut regs, Reg::ZERO, 42);
         assert_eq!(read_reg(&regs, Reg::ZERO), 0);
+    }
+
+    /// Regression test for the `Alloc` bound: the heap must be able to
+    /// grow right up to the current frame's `sp` and no further, under
+    /// both tiers. (The old check took `sp.min(stack_floor())` where
+    /// `stack_floor()` always returned `mem_words` — a no-op.)
+    #[test]
+    fn alloc_collides_with_stack_not_mem_top() {
+        use crate::observer::NullObserver;
+
+        // `alloc n` bumps the heap by n words; mem_words is tiny so a
+        // handful of allocations crosses sp.
+        let p = bpfree_lang::compile(
+            "fn main() -> int {
+                int i; int p;
+                for (i = 0; i < 100; i = i + 1) { p = alloc(64); }
+                return p;
+            }",
+        )
+        .unwrap();
+        for tier in [InterpTier::Bytecode, InterpTier::Tree] {
+            let config = SimConfig {
+                mem_words: 512,
+                tier,
+                ..SimConfig::default()
+            };
+            let err = Simulator::with_config(&p, config)
+                .run(&mut NullObserver)
+                .unwrap_err();
+            assert_eq!(err, SimError::OutOfMemory { requested: 64 }, "tier {tier}");
+
+            // A run whose allocations stay below sp succeeds.
+            let p_ok = bpfree_lang::compile("fn main() -> int { int p; p = alloc(64); return p; }")
+                .unwrap();
+            let r = Simulator::with_config(&p_ok, config)
+                .run(&mut NullObserver)
+                .unwrap();
+            assert!(r.exit >= GP_BASE, "tier {tier}");
+        }
     }
 }

@@ -10,6 +10,13 @@
 //! [`ExecObserver`] API replaces materialised trace files so that
 //! hundred-million-instruction runs need no storage.
 //!
+//! Two interpreter tiers execute the same IR (see [`InterpTier`]): the
+//! default pre-decoded flat-bytecode tier ([`BytecodeProgram`] compiled
+//! once, executed over an explicit frame stack), and the original
+//! tree-walking reference. Their observable behaviour — results,
+//! errors, and the full observer event stream — is identical by
+//! construction and enforced by differential tests.
+//!
 //! # Example
 //!
 //! ```
@@ -29,16 +36,21 @@
 //! assert!(profile.total_branches() > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod blocks;
+mod decode;
 mod error;
+mod exec;
 mod interp;
 mod observer;
 mod profile;
 mod trace;
 
 pub use blocks::BranchBlockCounter;
+pub use decode::BytecodeProgram;
 pub use error::SimError;
-pub use interp::{RunResult, SimConfig, Simulator};
+pub use interp::{InterpTier, RunResult, SimConfig, Simulator};
 pub use observer::{CountingObserver, ExecObserver, Multiplex, NullObserver, Pair};
 pub use profile::{EdgeCounts, EdgeProfile, EdgeProfiler};
 pub use trace::{BranchTrace, TraceEvent, TraceRecorder};

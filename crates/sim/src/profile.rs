@@ -7,7 +7,9 @@ use crate::observer::ExecObserver;
 /// Dynamic taken/fall-through counts for one branch site.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EdgeCounts {
+    /// Executions that took the branch.
     pub taken: u64,
+    /// Executions that fell through.
     pub fallthru: u64,
 }
 

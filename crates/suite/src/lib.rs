@@ -35,7 +35,9 @@ pub use registry::{all, by_name, Benchmark, Lang};
 
 use bpfree_ir::{GlobalValues, Program};
 use bpfree_lang::CompileError;
-use bpfree_sim::{EdgeProfile, EdgeProfiler, RunResult, SimError, Simulator};
+use bpfree_sim::{
+    BytecodeProgram, EdgeProfile, EdgeProfiler, RunResult, SimConfig, SimError, Simulator,
+};
 
 /// One input set for a benchmark (the paper ran several per program).
 #[derive(Debug, Clone)]
@@ -131,7 +133,43 @@ impl Benchmark {
         dataset: &Dataset,
         observer: &mut O,
     ) -> Result<RunResult, SuiteError> {
-        let mut sim = Simulator::new(program);
+        self.run_with_config(program, dataset, SimConfig::default(), observer)
+    }
+
+    /// [`Benchmark::run_with`] with explicit simulator limits / tier —
+    /// the differential tests run every benchmark under both
+    /// [`bpfree_sim::InterpTier`]s through this.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a runtime error (fuel, memory, bad address).
+    pub fn run_with_config<O: bpfree_sim::ExecObserver>(
+        &self,
+        program: &Program,
+        dataset: &Dataset,
+        config: SimConfig,
+        observer: &mut O,
+    ) -> Result<RunResult, SuiteError> {
+        let mut sim = Simulator::with_config(program, config);
+        sim.set_globals(&dataset.values)?;
+        Ok(sim.run(observer)?)
+    }
+
+    /// [`Benchmark::run_with`] reusing a pre-compiled [`BytecodeProgram`]
+    /// of the same `program`, so callers running many datasets (the
+    /// artifact engine) pay the decode cost once.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a runtime error (fuel, memory, bad address).
+    pub fn run_decoded<O: bpfree_sim::ExecObserver>(
+        &self,
+        program: &Program,
+        decoded: &BytecodeProgram,
+        dataset: &Dataset,
+        observer: &mut O,
+    ) -> Result<RunResult, SuiteError> {
+        let mut sim = Simulator::with_decoded(program, decoded);
         sim.set_globals(&dataset.values)?;
         Ok(sim.run(observer)?)
     }

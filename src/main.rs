@@ -6,6 +6,7 @@
 //! bpfree predict FILE               per-branch predictions + accuracy
 //! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
 //! bpfree bench NAME [--dataset N]   run a suite benchmark and report
+//! bpfree bench --json [--out PATH]  interpreter perf report (BENCH_interp.json)
 //! bpfree list                       list the benchmark suite
 //! bpfree exp list                   list the registered experiments
 //! bpfree exp run NAME...            regenerate paper tables/figures
@@ -54,7 +55,10 @@ fn main() -> ExitCode {
         let (cfg, rest) = config::extract(raw).map_err(Failure::Usage)?;
         match rest.first().map(String::as_str) {
             Some("compile") => cmd_compile(&rest[1..]),
-            Some("run") => cmd_run(&rest[1..]),
+            Some("run") => {
+                config::apply(cfg);
+                cmd_run(&rest[1..])
+            }
             Some("predict") => {
                 config::apply(cfg);
                 cmd_predict(&rest[1..])
@@ -101,13 +105,15 @@ fn print_usage() {
     eprintln!("  bpfree predict FILE               per-branch predictions + accuracy");
     eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
     eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
+    eprintln!("  bpfree bench --json [--out PATH]  interpreter perf report (BENCH_interp.json)");
     eprintln!("  bpfree list                       list the benchmark suite");
     eprintln!("  bpfree exp list                   list the registered experiments");
     eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
     eprintln!("  bpfree exp all [--skip NAME]      the whole reproduction, one process");
     eprintln!("  bpfree --version                  print the version");
     eprintln!();
-    eprintln!("common flags (bench/predict/exp): --jobs N, --no-cache, --cache-dir DIR");
+    eprintln!("common flags (run/bench/predict/exp): --jobs N, --no-cache, --cache-dir DIR,");
+    eprintln!("                                      --interp bytecode|tree");
     eprintln!("exp run/all also accept: --out-dir DIR (capture files + manifest.json)");
 }
 
@@ -153,6 +159,7 @@ fn cmd_run(args: &[String]) -> Result<(), Failure> {
     let fuel = value_of(args, "--fuel")?.unwrap_or(SimConfig::default().fuel);
     let config = SimConfig {
         fuel,
+        tier: config::config().interp,
         ..SimConfig::default()
     };
     let result = Simulator::with_config(&program, config)
@@ -173,7 +180,11 @@ fn cmd_predict(args: &[String]) -> Result<(), Failure> {
     let predictions = predictor.predictions();
 
     let mut profiler = EdgeProfiler::new();
-    Simulator::new(&program)
+    let sim_config = SimConfig {
+        tier: config::config().interp,
+        ..SimConfig::default()
+    };
+    Simulator::with_config(&program, sim_config)
         .run(&mut profiler)
         .map_err(|e| runtime_err(e.to_string()))?;
     let profile = profiler.into_profile();
@@ -329,6 +340,26 @@ fn cmd_cfg(args: &[String]) -> Result<(), Failure> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), Failure> {
+    // `bench --json` is the perf-tracking harness: tier-vs-tier
+    // throughput per suite benchmark plus a cold `exp all` wall-clock,
+    // written as a JSON report (committed as BENCH_interp.json).
+    if flag(args, "--json") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .map(|i| {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| usage_err("--out needs a value"))
+            })
+            .transpose()?
+            .unwrap_or_else(|| "BENCH_interp.json".to_string());
+        if cfg!(debug_assertions) {
+            eprintln!("[bpfree] warning: debug build — bench numbers are not comparable");
+        }
+        return bpfree::bench::perf::write_report(std::path::Path::new(&out))
+            .map_err(|e| runtime_err(e.to_string()));
+    }
     let name = args
         .first()
         .ok_or_else(|| usage_err("bench needs a benchmark name"))?;
