@@ -1,0 +1,92 @@
+//! Criterion benches for the trace evaluation engine (ISSUE 6): scoring
+//! the `graphs4_11` predictor trio over one recorded branch trace via
+//! serial replay, segmented replay at jobs 1/4/8, and the O(dict) tally
+//! tier. Throughput is reported in trace events per second; `bpfree
+//! bench --json` tracks the same ratios per commit in
+//! `BENCH_replay.json` (acceptance: segmented jobs=8 ≥4× serial, tally
+//! ≥20×, on the largest trace).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bpfree_bench::{load_named_traced_on, BenchData};
+use bpfree_core::ipbc::IpbcAnalyzer;
+use bpfree_core::{
+    evaluate_trace, loop_rand_predictions, perfect_predictions, CombinedPredictor, HeuristicKind,
+    Predictions, DEFAULT_SEED,
+};
+use bpfree_engine::{Engine, EngineConfig};
+use bpfree_sim::BranchTrace;
+
+/// The benchmark to trace — the largest event count of the `graphs4_11`
+/// set at a bench-friendly runtime (`bpfree bench --json` picks the
+/// largest trace dynamically; this stays fixed for stable comparisons).
+const TRACED: &str = "xlisp";
+
+struct Fixture {
+    data: BenchData,
+    trace: Arc<BranchTrace>,
+    preds: [Predictions; 3],
+}
+
+fn fixture() -> Fixture {
+    let engine = Engine::new(EngineConfig::no_cache());
+    let mut loaded = load_named_traced_on(&engine, &[TRACED]);
+    let data = loaded.remove(0);
+    let trace = data.trace(&engine);
+    let preds = [
+        loop_rand_predictions(&data.program, &data.classifier, DEFAULT_SEED),
+        CombinedPredictor::new(
+            &data.program,
+            &data.classifier,
+            HeuristicKind::paper_order(),
+        )
+        .predictions(),
+        perfect_predictions(&data.program, &data.profile),
+    ];
+    Fixture { data, trace, preds }
+}
+
+fn analyzer<'f>(f: &'f Fixture) -> IpbcAnalyzer<'f> {
+    let mut a = IpbcAnalyzer::new(&f.data.program);
+    for (name, p) in ["Loop+Rand", "Heuristic", "Perfect"].iter().zip(&f.preds) {
+        a.add_predictor(*name, p);
+    }
+    a
+}
+
+fn bench_replay_throughput(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("replay_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(f.trace.len() as u64));
+
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut a = analyzer(&f);
+            f.trace.replay(&mut a);
+            black_box(a.finish())
+        })
+    });
+    for jobs in [1usize, 4, 8] {
+        g.bench_function(format!("segmented_jobs{jobs}"), |b| {
+            b.iter(|| {
+                let mut a = analyzer(&f);
+                f.trace.replay_segmented_jobs(jobs, &mut a);
+                black_box(a.finish())
+            })
+        });
+    }
+    g.bench_function("tally", |b| {
+        b.iter(|| {
+            for p in &f.preds {
+                black_box(evaluate_trace(p, &f.trace));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay_throughput);
+criterion_main!(benches);

@@ -16,12 +16,19 @@ use std::io;
 use std::path::Path;
 use std::time::Instant;
 
+use bpfree_core::ipbc::{IpbcAnalyzer, SequenceDist};
+use bpfree_core::{
+    evaluate_trace, loop_rand_predictions, perfect_predictions, CombinedPredictor, HeuristicKind,
+    Predictions, DEFAULT_SEED,
+};
 use bpfree_engine::{Engine, EngineConfig};
-use bpfree_sim::{BytecodeProgram, InterpTier, NullObserver, SimConfig};
+use bpfree_sim::{BranchTrace, BytecodeProgram, InterpTier, NullObserver, SimConfig};
 
+use crate::experiments::graphs4_11::TRACED;
 use crate::json::Json;
 use crate::registry;
 use crate::sink::DiscardSink;
+use crate::{load_named_traced_on, BenchData};
 
 /// One tier's timing on one benchmark.
 struct TierSample {
@@ -177,6 +184,220 @@ pub fn report() -> Json {
 /// Propagates filesystem errors from the write.
 pub fn write_report(path: &Path) -> io::Result<()> {
     let doc = report();
+    std::fs::write(path, doc.pretty() + "\n")?;
+    eprintln!("[bpfree] wrote {}", path.display());
+    Ok(())
+}
+
+/// The three predictors every replay measurement scores simultaneously
+/// — the `graphs4_11` trio, so the timed work is the real experiment's
+/// work.
+fn replay_predictors(d: &BenchData) -> [Predictions; 3] {
+    let loop_rand = loop_rand_predictions(&d.program, &d.classifier, DEFAULT_SEED);
+    let heuristic = CombinedPredictor::new(&d.program, &d.classifier, HeuristicKind::paper_order())
+        .predictions();
+    let perfect = perfect_predictions(&d.program, &d.profile);
+    [loop_rand, heuristic, perfect]
+}
+
+fn build_analyzer<'p>(d: &'p BenchData, preds: &'p [Predictions; 3]) -> IpbcAnalyzer<'p> {
+    let mut analyzer = IpbcAnalyzer::new(&d.program);
+    for (name, p) in ["Loop+Rand", "Heuristic", "Perfect"].iter().zip(preds) {
+        analyzer.add_predictor(*name, p);
+    }
+    analyzer
+}
+
+/// One serial IPBC replay, returning the elapsed seconds and the
+/// finished distributions. The clock covers the replay itself — the
+/// analyzer build (predictor densification) is identical for both tiers
+/// and excluded, so the ratio measures the tiers, not shared setup.
+fn time_serial_replay(
+    d: &BenchData,
+    trace: &BranchTrace,
+    preds: &[Predictions; 3],
+) -> (f64, Vec<SequenceDist>) {
+    let mut analyzer = build_analyzer(d, preds);
+    let start = Instant::now();
+    trace.replay(&mut analyzer);
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, analyzer.finish())
+}
+
+/// One segmented IPBC replay at an explicit job count. The clock covers
+/// `replay_segmented_jobs` whole — fused-table prep, segment scans, and
+/// the merge are all part of the tier being measured.
+fn time_segmented_replay(
+    d: &BenchData,
+    trace: &BranchTrace,
+    preds: &[Predictions; 3],
+    jobs: usize,
+) -> (f64, Vec<SequenceDist>) {
+    let mut analyzer = build_analyzer(d, preds);
+    let start = Instant::now();
+    trace.replay_segmented_jobs(jobs, &mut analyzer);
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, analyzer.finish())
+}
+
+/// Seconds per tally-tier evaluation of all three predictors. The
+/// O(dict) pass is microseconds-fast, so it loops until the clock has
+/// something to measure and divides.
+fn time_tally_eval(trace: &BranchTrace, preds: &[Predictions; 3]) -> f64 {
+    let mut iters = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            for p in preds {
+                std::hint::black_box(evaluate_trace(p, trace));
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= 0.01 || iters >= 1 << 20 {
+            return elapsed / f64::from(iters);
+        }
+        iters *= 2;
+    }
+}
+
+/// The job counts the segmented tier is sampled at.
+const REPLAY_JOBS: [usize; 3] = [1, 4, 8];
+
+/// Builds the replay-throughput report behind `BENCH_replay.json`.
+///
+/// Traces the seven `graphs4_11` benchmarks (fresh engine, no disk
+/// cache), picks the largest trace by event count, and times three ways
+/// of scoring the same three predictors over it: serial
+/// [`BranchTrace::replay`] through an [`IpbcAnalyzer`], segmented
+/// replay at jobs 1/4/8, and the O(dict) tally tier
+/// ([`evaluate_trace`]). Each mode reports events per second
+/// (min-of-[`ROUNDS`], interleaved, like the interpreter report). Every
+/// segmented run is asserted bit-identical to the serial distributions
+/// — the harness doubles as an end-to-end parity check on real data.
+///
+/// # Panics
+///
+/// Panics if a traced benchmark fails to compile or run, or if a
+/// segmented replay disagrees with serial replay.
+pub fn replay_report() -> Json {
+    let engine = Engine::new(EngineConfig::no_cache());
+    let data = load_named_traced_on(&engine, &TRACED);
+    let (d, trace) = data
+        .iter()
+        .map(|d| {
+            let t = d.trace(&engine);
+            (d, t)
+        })
+        .max_by_key(|(_, t)| t.len())
+        .expect("TRACED is non-empty");
+    let preds = replay_predictors(d);
+    let events = trace.len() as u64;
+
+    let (mut serial_secs, serial_dists) = time_serial_replay(d, &trace, &preds);
+    let mut seg_secs = [0f64; REPLAY_JOBS.len()];
+    for (slot, &jobs) in seg_secs.iter_mut().zip(&REPLAY_JOBS) {
+        let (secs, dists) = time_segmented_replay(d, &trace, &preds, jobs);
+        assert_eq!(
+            dists, serial_dists,
+            "segmented replay (jobs={jobs}) diverged from serial on {}",
+            d.bench.name
+        );
+        *slot = secs;
+    }
+    let mut tally_secs = time_tally_eval(&trace, &preds);
+    for _ in 1..ROUNDS {
+        serial_secs = serial_secs.min(time_serial_replay(d, &trace, &preds).0);
+        for (slot, &jobs) in seg_secs.iter_mut().zip(&REPLAY_JOBS) {
+            *slot = slot.min(time_segmented_replay(d, &trace, &preds, jobs).0);
+        }
+        tally_secs = tally_secs.min(time_tally_eval(&trace, &preds));
+    }
+
+    // The tally tier derives the order-independent numbers the serial
+    // replay also produces; cross-check them here too.
+    for (p, dist) in preds.iter().zip(&serial_dists) {
+        let eval = evaluate_trace(p, &trace);
+        assert_eq!(eval.mispredicted, dist.mispredicted, "{}", dist.name);
+        assert_eq!(eval.total_instructions, dist.total_instructions);
+    }
+
+    let eps = |secs: f64| {
+        if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        }
+    };
+    let speedup = |secs: f64| {
+        if secs > 0.0 {
+            serial_secs / secs
+        } else {
+            0.0
+        }
+    };
+
+    let segmented = seg_secs
+        .iter()
+        .zip(&REPLAY_JOBS)
+        .map(|(&secs, &jobs)| {
+            Json::obj()
+                .field("jobs", Json::UInt(jobs as u64))
+                .field("seconds", Json::Float(secs))
+                .field("events_per_sec", Json::Float(eps(secs)))
+                .field("speedup_vs_serial", Json::Float(speedup(secs)))
+                .build()
+        })
+        .collect();
+
+    Json::obj()
+        .field("schema", Json::Str("bpfree-bench-replay/1".to_string()))
+        .field(
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        )
+        .field(
+            "trace",
+            Json::obj()
+                .field("benchmark", Json::Str(d.bench.name.to_string()))
+                .field("events", Json::UInt(events))
+                .field("dict_entries", Json::UInt(trace.dict().len() as u64))
+                .field("instructions", Json::UInt(trace.total_instructions()))
+                .field("predictors", Json::UInt(preds.len() as u64))
+                .build(),
+        )
+        .field(
+            "serial",
+            Json::obj()
+                .field("seconds", Json::Float(serial_secs))
+                .field("events_per_sec", Json::Float(eps(serial_secs)))
+                .build(),
+        )
+        .field("segmented", Json::Arr(segmented))
+        .field(
+            "tally",
+            Json::obj()
+                .field("seconds_per_eval", Json::Float(tally_secs))
+                .field("events_per_sec", Json::Float(eps(tally_secs)))
+                .field("speedup_vs_serial", Json::Float(speedup(tally_secs)))
+                .build(),
+        )
+        .build()
+}
+
+/// Writes [`replay_report`] to `path` (trailing newline included).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_replay_report(path: &Path) -> io::Result<()> {
+    let doc = replay_report();
     std::fs::write(path, doc.pretty() + "\n")?;
     eprintln!("[bpfree] wrote {}", path.display());
     Ok(())

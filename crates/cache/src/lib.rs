@@ -33,15 +33,29 @@
 //!
 //! # Format and robustness
 //!
-//! Entries are single text files, `<key>.txt`, under the cache directory
+//! Entries are single files, `<key>.txt`, under the cache directory
 //! (default `target/bpfree-cache`, override with `BPFREE_CACHE_DIR`).
-//! The program itself is stored as IR text and re-parsed on load —
-//! round-trip fidelity is covered by the suite's
-//! `roundtrips_every_suite_benchmark` test. Any read, parse, or
-//! validation failure makes a lookup return `None` and the caller
-//! recomputes; a corrupt cache can cost time but never correctness.
-//! Writes go to a temp file first and are renamed into place, so a
-//! crashed run cannot leave a half-written entry under a valid key.
+//! Compile and run entries are plain text. The program itself is stored
+//! as IR text and re-parsed on load — round-trip fidelity is covered by
+//! the suite's `roundtrips_every_suite_benchmark` test.
+//!
+//! Trace entries (v3) are a text header followed by a binary payload:
+//! the event dictionary and the index sequence are LEB128
+//! varint-encoded with zigzag deltas (dictionary entries delta-code
+//! their branch site against the previous entry; the sequence is
+//! run-length encoded as `(delta(index), run length)` pairs). Tight
+//! loops revisit one event millions of times in a row, so the dominant
+//! cost of a warm load — parsing the sequence — collapses to a few
+//! bytes per run, and the cache directory shrinks by an order of
+//! magnitude versus decimal text. Pre-v3 entries hash to different keys
+//! (the format version is part of every key), so they are simply
+//! unreachable and recompute cleanly.
+//!
+//! Any read, parse, or validation failure makes a lookup return `None`
+//! and the caller recomputes; a corrupt cache can cost time but never
+//! correctness. Writes go to a temp file first and are renamed into
+//! place, so a crashed run cannot leave a half-written entry under a
+//! valid key.
 //!
 //! Set `BPFREE_NO_CACHE=1` (or pass `--no-cache` to the experiment
 //! binaries) to bypass the cache entirely.
@@ -55,7 +69,7 @@ use bpfree_sim::{BranchTrace, EdgeCounts, EdgeProfile, RunResult, TraceEvent};
 use bpfree_suite::Dataset;
 
 /// Bump on any change to the file layout below.
-const FORMAT_VERSION: u32 = 2;
+const FORMAT_VERSION: u32 = 3;
 
 /// The cached compile-time artifacts for one (benchmark, options) pair.
 #[derive(Debug, Clone)]
@@ -339,33 +353,112 @@ fn decode_run(key: &str, text: &str) -> Option<RunArtifacts> {
     })
 }
 
-/// Sequence tokens per line in a trace entry (keeps lines short enough
-/// for text tools without inflating the file).
-const TRACE_TOKENS_PER_LINE: usize = 256;
+// ---- varint + zigzag primitives (trace entry payload) ----
 
-fn encode_trace(key: &str, a: &TraceArtifacts) -> String {
-    let mut out = String::new();
-    header(&mut out, key, "trace");
-    encode_run_result(&mut out, a.run);
-
-    let dict = a.trace.dict();
-    let _ = writeln!(out, "dict {}", dict.len());
-    for e in dict {
-        let _ = writeln!(
-            out,
-            "{} {} {} {}",
-            e.instrs,
-            e.branch.func.0,
-            e.branch.block.0,
-            if e.taken { 'T' } else { 'F' }
-        );
+/// Appends `v` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation; at most 10 bytes).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
     }
+}
 
-    // The index sequence, run-length encoded (`idx` or `idx*count`):
-    // tight loops revisit the same event millions of times in a row.
-    let seq = a.trace.seq();
-    let _ = writeln!(out, "seq {}", seq.len());
-    let mut tokens_on_line = 0usize;
+/// Reads one LEB128 varint at `*pos`, advancing it. `None` on
+/// truncation or overflow past 64 bits.
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Maps signed deltas to small unsigned values (0, -1, 1, -2, …
+/// → 0, 1, 2, 3, …) so varints stay short for near-zero deltas.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// The dictionary payload: per entry, varint(instrs), then zigzag
+/// deltas of the branch site against the previous entry (consecutive
+/// entries cluster in the same function), with the taken bit packed
+/// into the low bit of the block delta.
+fn encode_dict(dict: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let (mut prev_func, mut prev_block) = (0i64, 0i64);
+    for e in dict {
+        let func = i64::from(e.branch.func.0);
+        let block = i64::from(e.branch.block.0);
+        put_varint(&mut out, e.instrs);
+        put_varint(&mut out, zigzag(func - prev_func));
+        put_varint(
+            &mut out,
+            (zigzag(block - prev_block) << 1) | u64::from(e.taken),
+        );
+        prev_func = func;
+        prev_block = block;
+    }
+    out
+}
+
+fn decode_dict(bytes: &[u8], n_entries: usize) -> Option<Vec<TraceEvent>> {
+    let mut dict = Vec::with_capacity(n_entries);
+    let mut pos = 0usize;
+    let (mut prev_func, mut prev_block) = (0i64, 0i64);
+    for _ in 0..n_entries {
+        let instrs = get_varint(bytes, &mut pos)?;
+        let func = prev_func.checked_add(unzigzag(get_varint(bytes, &mut pos)?))?;
+        let packed = get_varint(bytes, &mut pos)?;
+        let block = prev_block.checked_add(unzigzag(packed >> 1))?;
+        let taken = packed & 1 == 1;
+        let func32 = u32::try_from(func).ok()?;
+        let block32 = u32::try_from(block).ok()?;
+        dict.push(TraceEvent {
+            instrs,
+            branch: BranchRef {
+                func: FuncId(func32),
+                block: BlockId(block32),
+            },
+            taken,
+        });
+        prev_func = func;
+        prev_block = block;
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(dict)
+}
+
+/// The sequence payload, run-length encoded: per run of equal indices,
+/// varint(zigzag(index − previous run's index)) then varint(run
+/// length). Tight loops revisit one event millions of times in a row,
+/// so each such burst costs a handful of bytes.
+fn encode_seq(seq: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut prev = 0i64;
     let mut i = 0usize;
     while i < seq.len() {
         let idx = seq[i];
@@ -373,86 +466,110 @@ fn encode_trace(key: &str, a: &TraceArtifacts) -> String {
         while i + runlen < seq.len() && seq[i + runlen] == idx {
             runlen += 1;
         }
-        if tokens_on_line == TRACE_TOKENS_PER_LINE {
-            out.push('\n');
-            tokens_on_line = 0;
-        } else if tokens_on_line > 0 {
-            out.push(' ');
-        }
-        if runlen > 1 {
-            let _ = write!(out, "{idx}*{runlen}");
-        } else {
-            let _ = write!(out, "{idx}");
-        }
-        tokens_on_line += 1;
+        put_varint(&mut out, zigzag(i64::from(idx) - prev));
+        put_varint(&mut out, runlen as u64);
+        prev = i64::from(idx);
         i += runlen;
     }
-    if tokens_on_line > 0 {
-        out.push('\n');
-    }
-    let _ = writeln!(out, "tail {}", a.trace.trailing_instrs());
     out
 }
 
-fn decode_trace(key: &str, text: &str) -> Option<TraceArtifacts> {
-    let mut lines = text.lines();
-    check_header(&mut lines, key, "trace")?;
-    let run = decode_run_result(&mut lines)?;
+fn decode_seq(bytes: &[u8], n_events: usize, n_dict: usize) -> Option<Vec<u32>> {
+    let mut seq = Vec::with_capacity(n_events);
+    let mut pos = 0usize;
+    let mut prev = 0i64;
+    while seq.len() < n_events {
+        let idx = prev.checked_add(unzigzag(get_varint(bytes, &mut pos)?))?;
+        let runlen = get_varint(bytes, &mut pos)?;
+        let idx32 = u32::try_from(idx).ok()?;
+        if (idx32 as usize) >= n_dict || runlen == 0 {
+            return None;
+        }
+        let new_len = seq.len().checked_add(usize::try_from(runlen).ok()?)?;
+        if new_len > n_events {
+            return None;
+        }
+        seq.resize(new_len, idx32);
+        prev = idx;
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage
+    }
+    Some(seq)
+}
 
-    let n_dict: usize = lines.next()?.strip_prefix("dict ")?.parse().ok()?;
-    let mut dict = Vec::with_capacity(n_dict);
-    for _ in 0..n_dict {
-        let line = lines.next()?;
-        let mut it = line.split_ascii_whitespace();
-        let instrs: u64 = it.next()?.parse().ok()?;
-        let func: u32 = it.next()?.parse().ok()?;
-        let block: u32 = it.next()?.parse().ok()?;
-        let taken = match it.next()? {
-            "T" => true,
-            "F" => false,
-            _ => return None,
-        };
+fn encode_trace(key: &str, a: &TraceArtifacts) -> Vec<u8> {
+    let mut head = String::new();
+    header(&mut head, key, "trace");
+    encode_run_result(&mut head, a.run);
+    let _ = writeln!(head, "tail {}", a.trace.trailing_instrs());
+
+    let dict_bytes = encode_dict(a.trace.dict());
+    let seq_bytes = encode_seq(a.trace.seq());
+    let _ = writeln!(head, "dict {} {}", a.trace.dict().len(), dict_bytes.len());
+    let _ = writeln!(head, "seq {} {}", a.trace.len(), seq_bytes.len());
+
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&dict_bytes);
+    out.extend_from_slice(&seq_bytes);
+    out
+}
+
+/// Splits one `\n`-terminated header line off the front of `bytes`.
+/// `None` if no newline remains or the line is not UTF-8.
+fn next_line<'a>(bytes: &mut &'a [u8]) -> Option<&'a str> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&bytes[..nl]).ok()?;
+    *bytes = &bytes[nl + 1..];
+    Some(line)
+}
+
+fn decode_trace(key: &str, mut bytes: &[u8]) -> Option<TraceArtifacts> {
+    // The text header, parsed line by line off the byte stream.
+    if next_line(&mut bytes)? != format!("bpfree-cache v{FORMAT_VERSION}") {
+        return None;
+    }
+    if next_line(&mut bytes)?.strip_prefix("key ")? != key {
+        return None;
+    }
+    if next_line(&mut bytes)?.strip_prefix("kind ")? != "trace" {
+        return None;
+    }
+    let exit: i64 = next_line(&mut bytes)?.strip_prefix("exit ")?.parse().ok()?;
+    let instructions: u64 = next_line(&mut bytes)?
+        .strip_prefix("instructions ")?
+        .parse()
+        .ok()?;
+    let tail: u64 = next_line(&mut bytes)?.strip_prefix("tail ")?.parse().ok()?;
+    let (n_dict, dict_len) = {
+        let mut it = next_line(&mut bytes)?.strip_prefix("dict ")?.split(' ');
+        let n: usize = it.next()?.parse().ok()?;
+        let len: usize = it.next()?.parse().ok()?;
         if it.next().is_some() {
             return None;
         }
-        dict.push(TraceEvent {
-            instrs,
-            branch: BranchRef {
-                func: FuncId(func),
-                block: BlockId(block),
-            },
-            taken,
-        });
-    }
-
-    let n_seq: usize = lines.next()?.strip_prefix("seq ")?.parse().ok()?;
-    let mut seq = Vec::with_capacity(n_seq);
-    while seq.len() < n_seq {
-        for token in lines.next()?.split_ascii_whitespace() {
-            match token.split_once('*') {
-                Some((idx, count)) => {
-                    let idx: u32 = idx.parse().ok()?;
-                    let count: usize = count.parse().ok()?;
-                    if count < 2 {
-                        return None;
-                    }
-                    seq.resize(seq.len() + count, idx);
-                }
-                None => seq.push(token.parse().ok()?),
-            }
+        (n, len)
+    };
+    let (n_seq, seq_len) = {
+        let mut it = next_line(&mut bytes)?.strip_prefix("seq ")?.split(' ');
+        let n: usize = it.next()?.parse().ok()?;
+        let len: usize = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
         }
-    }
-    if seq.len() != n_seq {
-        return None;
-    }
+        (n, len)
+    };
 
-    let tail: u64 = lines.next()?.strip_prefix("tail ")?.parse().ok()?;
-    if lines.next().is_some() {
+    // The binary payload: exactly dict_len + seq_len bytes, no more.
+    if bytes.len() != dict_len.checked_add(seq_len)? {
         return None;
     }
+    let dict = decode_dict(&bytes[..dict_len], n_dict)?;
+    let seq = decode_seq(&bytes[dict_len..], n_seq, dict.len())?;
+
     Some(TraceArtifacts {
         trace: BranchTrace::from_parts(dict, seq, tail)?,
-        run,
+        run: RunResult { exit, instructions },
     })
 }
 
@@ -460,13 +577,17 @@ fn read_entry(dir: &Path, key: &str) -> Option<String> {
     std::fs::read_to_string(entry_path(dir, key)).ok()
 }
 
+fn read_entry_bytes(dir: &Path, key: &str) -> Option<Vec<u8>> {
+    std::fs::read(entry_path(dir, key)).ok()
+}
+
 /// Writes an entry atomically (temp file + rename). Errors are returned,
 /// not panicked, so a read-only cache directory degrades to "no
 /// caching".
-fn write_entry(dir: &Path, key: &str, text: String) -> std::io::Result<()> {
+fn write_entry(dir: &Path, key: &str, data: impl AsRef<[u8]>) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(".{key}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, text)?;
+    std::fs::write(&tmp, data)?;
     std::fs::rename(&tmp, entry_path(dir, key))
 }
 
@@ -493,7 +614,7 @@ pub fn store_run(dir: &Path, key: &str, a: &RunArtifacts) -> std::io::Result<()>
 
 /// Loads the trace entry for `key` (miss on absence or corruption).
 pub fn lookup_trace(dir: &Path, key: &str) -> Option<TraceArtifacts> {
-    decode_trace(key, &read_entry(dir, key)?)
+    decode_trace(key, &read_entry_bytes(dir, key)?)
 }
 
 /// Stores a trace entry atomically.
@@ -565,15 +686,78 @@ mod tests {
         let (_, _, a) = sample();
         assert!(!a.trace.is_empty());
         let key = "0123456789abcdef";
-        let text = encode_trace(key, &a);
-        // The 5-iteration loop must have produced at least one RLE run.
+        let bytes = encode_trace(key, &a);
+        // The 5-iteration loop revisits one dictionary entry in a run,
+        // so RLE + varints must beat even one byte per event.
         assert!(
-            text.contains('*'),
-            "loop latch events RLE-compress:\n{text}"
+            bytes.len() < 120 + a.trace.len(),
+            "varint RLE stays sub-byte-per-event ({} bytes for {} events)",
+            bytes.len(),
+            a.trace.len()
         );
-        let b = decode_trace(key, &text).expect("decodes");
+        let b = decode_trace(key, &bytes).expect("decodes");
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.run, b.run);
+    }
+
+    #[test]
+    fn varint_and_zigzag_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Truncated and overlong varints are rejected.
+        assert_eq!(get_varint(&[0x80], &mut 0), None);
+        assert_eq!(get_varint(&[0xff; 11], &mut 0), None);
+    }
+
+    #[test]
+    fn trace_payload_validation() {
+        let (_, _, a) = sample();
+        let key = "0123456789abcdef";
+        let bytes = encode_trace(key, &a);
+
+        // Truncated payload.
+        assert!(decode_trace(key, &bytes[..bytes.len() - 1]).is_none());
+        // Extra payload bytes.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_trace(key, &long).is_none());
+        // A flipped payload byte either fails to decode or decodes to a
+        // *valid* different trace — never panics.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x55;
+        let _ = decode_trace(key, &flipped);
+        // Out-of-range sequence index: a one-entry dict with an index-1 run.
+        let mut head = String::new();
+        header(&mut head, key, "trace");
+        encode_run_result(
+            &mut head,
+            RunResult {
+                exit: 0,
+                instructions: 0,
+            },
+        );
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // instrs
+        put_varint(&mut payload, zigzag(0)); // func delta
+        put_varint(&mut payload, zigzag(0) << 1); // block delta, fallthru
+        let dict_len = payload.len();
+        put_varint(&mut payload, zigzag(1)); // idx 1 — out of range
+        put_varint(&mut payload, 1);
+        let _ = writeln!(head, "tail 0");
+        let _ = writeln!(head, "dict 1 {dict_len}");
+        let _ = writeln!(head, "seq 1 {}", payload.len() - dict_len);
+        let mut entry = head.into_bytes();
+        entry.extend_from_slice(&payload);
+        assert!(decode_trace(key, &entry).is_none(), "index out of range");
     }
 
     #[test]
@@ -599,11 +783,16 @@ mod tests {
         let garbled = run_text.replace("instructions", "instructoins");
         assert!(decode_run("aaaa", &garbled).is_none(), "garbled field");
 
-        let trace_text = encode_trace("aaaa", &t);
-        let garbled = trace_text.replace("tail", "tali");
+        let trace_bytes = encode_trace("aaaa", &t);
+        let tail_at = trace_bytes
+            .windows(5)
+            .position(|w| w == b"tail ")
+            .expect("header has a tail line");
+        let mut garbled = trace_bytes.clone();
+        garbled[tail_at..tail_at + 4].copy_from_slice(b"tali");
         assert!(decode_trace("aaaa", &garbled).is_none(), "garbled tail");
         assert!(
-            decode_trace("aaaa", &trace_text[..trace_text.len() - 8]).is_none(),
+            decode_trace("aaaa", &trace_bytes[..trace_bytes.len() - 8]).is_none(),
             "truncated trace"
         );
     }

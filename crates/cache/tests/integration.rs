@@ -146,12 +146,17 @@ fn corruption_is_a_miss_not_a_panic() {
     bpfree_cache::store_trace(&dir.0, &tk, &t).expect("store");
 
     // Truncation, bit flips in the middle, and outright garbage must
-    // all fall back to recompute (lookup -> None), never panic.
-    for (key, garble) in [(&ck, "table"), (&rk, "profile"), (&tk, "dict")] {
+    // all fall back to recompute (lookup -> None), never panic. Trace
+    // entries are partly binary (v3), so everything works on bytes.
+    for (key, garble) in [
+        (&ck, &b"table"[..]),
+        (&rk, &b"profile"[..]),
+        (&tk, &b"dict"[..]),
+    ] {
         let path = dir.0.join(format!("{key}.txt"));
-        let text = std::fs::read_to_string(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
 
-        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
         assert!(
             bpfree_cache::lookup_compile(&dir.0, key).is_none()
                 && bpfree_cache::lookup_run(&dir.0, key).is_none()
@@ -159,7 +164,13 @@ fn corruption_is_a_miss_not_a_panic() {
             "truncated {key}"
         );
 
-        std::fs::write(&path, text.replace(garble, "garbled!")).unwrap();
+        let at = bytes
+            .windows(garble.len())
+            .position(|w| w == garble)
+            .expect("section header present");
+        let mut garbled = bytes.clone();
+        garbled[at..at + garble.len()].fill(b'!');
+        std::fs::write(&path, garbled).unwrap();
         assert!(
             bpfree_cache::lookup_compile(&dir.0, key).is_none()
                 && bpfree_cache::lookup_run(&dir.0, key).is_none()

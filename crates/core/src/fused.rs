@@ -1,0 +1,150 @@
+//! O(dict) fused predictor evaluation — the tally tier.
+//!
+//! Every paper predictor is *static*: per-site and history-free, so
+//! whether one trace event is mispredicted depends only on its
+//! dictionary entry, never on its position in the sequence. All
+//! order-independent aggregates — misprediction totals, edge profiles,
+//! IPBC *averages* — therefore factor through the per-dictionary-entry
+//! occurrence counts of [`BranchTrace::tally`], and evaluating a
+//! predictor costs one O(dict) pass (hundreds of ops) instead of an
+//! O(events) replay (millions), with bit-identical integer totals.
+//!
+//! Only the IPBC sequence-length *distributions* are order-dependent;
+//! those go through segmented replay (`ipbc`, DESIGN.md §8) instead.
+
+use bpfree_sim::BranchTrace;
+
+use crate::predictors::Predictions;
+
+/// Order-independent evaluation totals for one predictor over one
+/// trace, computed in O(dict). The integer fields are bit-identical to
+/// what a serial [`BranchTrace::replay`] through
+/// [`IpbcAnalyzer`](crate::ipbc::IpbcAnalyzer) accumulates, and the
+/// derived rates use the same formulas as
+/// [`SequenceDist`](crate::ipbc::SequenceDist), so reports built from
+/// either tier print identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TallyEval {
+    /// Mispredicted conditional branch executions.
+    pub mispredicted: u64,
+    /// Total conditional branch executions.
+    pub total_branches: u64,
+    /// Breaks in control (equals `mispredicted`: conditional branches
+    /// are the only break source in our IR).
+    pub breaks: u64,
+    /// Total dynamic instructions.
+    pub total_instructions: u64,
+}
+
+impl TallyEval {
+    /// Overall branch miss rate (same formula as
+    /// [`SequenceDist::miss_rate`](crate::ipbc::SequenceDist::miss_rate)).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_branches == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / self.total_branches as f64
+        }
+    }
+
+    /// The profile-based IPBC average (same formula as
+    /// [`SequenceDist::ipbc_average`](crate::ipbc::SequenceDist::ipbc_average)).
+    pub fn ipbc_average(&self) -> f64 {
+        if self.breaks == 0 {
+            self.total_instructions as f64
+        } else {
+            self.total_instructions as f64 / self.breaks as f64
+        }
+    }
+}
+
+/// Scores one static predictor against a trace in O(dict): every
+/// dictionary entry is judged once and weighted by its occurrence
+/// count. A branch with no prediction counts as mispredicted, matching
+/// `IpbcAnalyzer`.
+pub fn evaluate_trace(predictions: &Predictions, trace: &BranchTrace) -> TallyEval {
+    let tally = trace.tally();
+    let mut mispredicted = 0u64;
+    let mut total_branches = 0u64;
+    for (event, &count) in trace.dict().iter().zip(tally.counts()) {
+        total_branches += count;
+        let correct = match predictions.get(event.branch) {
+            Some(dir) => dir.matches(event.taken),
+            None => false,
+        };
+        if !correct {
+            mispredicted += count;
+        }
+    }
+    TallyEval {
+        mispredicted,
+        total_branches,
+        breaks: mispredicted,
+        total_instructions: tally.instructions(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipbc::IpbcAnalyzer;
+    use crate::predictors::Direction;
+    use bpfree_sim::{ExecObserver, TraceRecorder};
+
+    #[test]
+    fn tally_eval_matches_serial_replay() {
+        let program = bpfree_lang::compile(
+            "fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 100; i = i + 1) {
+                    if (i % 7 == 0) { s = s + 2; } else { s = s - 1; }
+                }
+                return s;
+            }",
+        )
+        .unwrap();
+
+        // Record a trace of the real execution.
+        let mut rec = TraceRecorder::new();
+        bpfree_sim::Simulator::new(&program).run(&mut rec).unwrap();
+        let trace = rec.into_trace();
+
+        // An arbitrary (partial) prediction set: everything taken,
+        // except one branch left unpredicted.
+        let mut predictions = Predictions::new();
+        let mut sites: Vec<_> = trace.dict().iter().map(|e| e.branch).collect();
+        sites.sort();
+        sites.dedup();
+        for (i, &site) in sites.iter().enumerate() {
+            if i % 3 != 2 {
+                predictions.set(site, Direction::Taken);
+            }
+        }
+
+        let fused = evaluate_trace(&predictions, &trace);
+
+        let mut analyzer = IpbcAnalyzer::new(&program);
+        analyzer.add_predictor("p", &predictions);
+        trace.replay(&mut analyzer);
+        let dist = analyzer.finish().remove(0);
+
+        assert_eq!(fused.mispredicted, dist.mispredicted);
+        assert_eq!(fused.total_branches, dist.total_branches);
+        assert_eq!(fused.breaks, dist.breaks);
+        assert_eq!(fused.total_instructions, dist.total_instructions);
+        assert_eq!(fused.miss_rate(), dist.miss_rate());
+        assert_eq!(fused.ipbc_average(), dist.ipbc_average());
+    }
+
+    #[test]
+    fn empty_trace_evaluates_to_zeroes() {
+        let mut rec = TraceRecorder::new();
+        rec.on_instrs(5);
+        let trace = rec.into_trace();
+        let eval = evaluate_trace(&Predictions::new(), &trace);
+        assert_eq!(eval.total_branches, 0);
+        assert_eq!(eval.miss_rate(), 0.0);
+        assert_eq!(eval.total_instructions, 5);
+        assert_eq!(eval.ipbc_average(), 5.0);
+    }
+}

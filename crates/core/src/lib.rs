@@ -53,6 +53,7 @@
 mod classify;
 mod eval;
 pub mod freq;
+mod fused;
 pub mod heuristics;
 pub mod ipbc;
 pub mod model;
@@ -64,6 +65,7 @@ pub use eval::{
     evaluate, evaluate_coverage, evaluate_with_attribution, AttributedReport, ClassStats,
     CoverageStats, Report,
 };
+pub use fused::{evaluate_trace, TallyEval};
 pub use heuristics::ext::ExtKind;
 pub use heuristics::{HeuristicKind, HeuristicTable};
 pub use predictors::{

@@ -416,10 +416,8 @@ impl Engine {
                     "hit ",
                     format_args!("run {}/{} (trace replay)", bench.name, dataset.name),
                 );
-                let mut profiler = EdgeProfiler::new();
-                hit.trace.replay(&mut profiler);
                 return RunBundle {
-                    profile: Arc::new(profiler.into_profile()),
+                    profile: Arc::new(hit.trace.edge_profile()),
                     result: hit.run,
                 };
             }
@@ -464,14 +462,13 @@ impl Engine {
                     format_args!("trace {}/{}", bench.name, dataset.name),
                 );
                 let trace = Arc::new(hit.trace);
-                // Rebuild the run bundle by replay — the warm path
-                // needs zero interpreter passes.
-                let mut profiler = EdgeProfiler::new();
-                trace.replay(&mut profiler);
+                // Rebuild the run bundle from the O(dict) tally — the
+                // warm path needs zero interpreter passes and zero
+                // O(events) replays.
                 self.runs.offer(
                     (bench.name, opt, index),
                     RunBundle {
-                        profile: Arc::new(profiler.into_profile()),
+                        profile: Arc::new(trace.edge_profile()),
                         result: hit.run,
                     },
                 );
@@ -585,10 +582,11 @@ mod tests {
         assert_eq!(e.simulations(), 1, "run bundle fell out of the trace pass");
         assert_eq!(trace.total_instructions(), bundle.result.instructions);
         // Replaying the trace into a fresh profiler reproduces the
-        // profile bit-for-bit.
+        // profile bit-for-bit, and the O(dict) tally tier agrees.
         let mut profiler = EdgeProfiler::new();
         trace.replay(&mut profiler);
         assert_eq!(profiler.into_profile(), *bundle.profile);
+        assert_eq!(trace.edge_profile(), *bundle.profile);
     }
 
     #[test]

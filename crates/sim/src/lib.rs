@@ -45,6 +45,7 @@ mod exec;
 mod interp;
 mod observer;
 mod profile;
+mod replay;
 mod trace;
 
 pub use blocks::BranchBlockCounter;
@@ -53,4 +54,5 @@ pub use error::SimError;
 pub use interp::{InterpTier, RunResult, SimConfig, Simulator};
 pub use observer::{CountingObserver, ExecObserver, Multiplex, NullObserver, Pair};
 pub use profile::{EdgeCounts, EdgeProfile, EdgeProfiler};
-pub use trace::{BranchTrace, TraceEvent, TraceRecorder};
+pub use replay::{SegmentedObserver, TraceSegment};
+pub use trace::{BranchTrace, TraceEvent, TraceRecorder, TraceTally};

@@ -39,7 +39,7 @@ impl ExecObserver for NullObserver {}
 /// Simulator::new(&p).run(&mut c).unwrap();
 /// assert!(c.instructions > 0);
 /// ```
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CountingObserver {
     /// Total dynamic instructions (terminators included).
     pub instructions: u64,

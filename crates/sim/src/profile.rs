@@ -98,6 +98,18 @@ impl EdgeProfile {
         }
     }
 
+    /// Records `n` executions of `branch` in one step — the bulk
+    /// counterpart of [`EdgeProfile::record`] used by the O(dict)
+    /// tally tier, where each dictionary entry stands for many events.
+    pub fn record_many(&mut self, branch: BranchRef, taken: bool, n: u64) {
+        let e = self.counts.entry(branch).or_default();
+        if taken {
+            e.taken += n;
+        } else {
+            e.fallthru += n;
+        }
+    }
+
     /// Merges another profile into this one (summing counts) — e.g. to
     /// aggregate multiple datasets.
     pub fn merge(&mut self, other: &EdgeProfile) {
@@ -137,6 +149,12 @@ impl EdgeProfiler {
     /// Borrows the profile accumulated so far.
     pub fn profile(&self) -> &EdgeProfile {
         &self.profile
+    }
+
+    /// Merges everything `other` observed into this profiler — how
+    /// segmented replay folds per-segment profilers back together.
+    pub fn absorb(&mut self, other: EdgeProfiler) {
+        self.profile.merge(&other.profile);
     }
 }
 

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 use bpfree_ir::BranchRef;
 
 use crate::observer::ExecObserver;
+use crate::profile::EdgeProfile;
 
 /// One branch execution: the straight-line instructions since the
 /// previous branch event (this branch's block included), the branch
@@ -44,15 +45,97 @@ pub struct TraceEvent {
     pub taken: bool,
 }
 
-/// A dictionary-compressed branch-event trace of one execution.
+/// Per-dictionary-entry occurrence counts of one trace, computed in a
+/// single O(seq) integer pass at trace construction.
+///
+/// This is the input of the **O(dict) fused evaluation tier**: the
+/// paper's predictors are per-site and history-free, so any per-event
+/// quantity that ignores event *order* — misprediction totals, edge
+/// profiles, IPBC averages, dynamic instruction counts — depends only on
+/// how often each distinct `(instrs, branch, taken)` event occurred.
+/// Folding over the dictionary with these counts replaces an O(events)
+/// replay (millions of observer calls) with O(dict) ≈ hundreds of
+/// integer operations.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceTally {
+    counts: Vec<u64>,
+    instructions: u64,
+}
+
+impl TraceTally {
+    fn build(dict: &[TraceEvent], seq: &[u32], trailing_instrs: u64) -> TraceTally {
+        let mut counts = vec![0u64; dict.len()];
+        for &i in seq {
+            counts[i as usize] += 1;
+        }
+        let instructions = dict
+            .iter()
+            .zip(&counts)
+            .map(|(e, &c)| e.instrs * c)
+            .sum::<u64>()
+            + trailing_instrs;
+        TraceTally {
+            counts,
+            instructions,
+        }
+    }
+
+    /// Occurrences of each dictionary entry, indexed like the dict.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Occurrences of dictionary entry `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Total dynamic instructions (trailing straight-line run included).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+}
+
+/// A dictionary-compressed branch-event trace of one execution.
+#[derive(Debug, Clone, Default)]
 pub struct BranchTrace {
     dict: Vec<TraceEvent>,
     seq: Vec<u32>,
     trailing_instrs: u64,
+    tally: TraceTally,
+    /// Lazily-built byte-wide copy of `seq` for small dictionaries
+    /// (see [`BranchTrace::seq_u8`]). Derived data — excluded from
+    /// equality, built at most once per trace.
+    seq8: std::sync::OnceLock<Vec<u8>>,
 }
 
+/// Equality is over the logical trace (dictionary, sequence, trailing
+/// run); the tally is a deterministic function of those and the `seq8`
+/// cache is derived data, so neither participates.
+impl PartialEq for BranchTrace {
+    fn eq(&self, other: &BranchTrace) -> bool {
+        self.dict == other.dict
+            && self.seq == other.seq
+            && self.trailing_instrs == other.trailing_instrs
+    }
+}
+
+impl Eq for BranchTrace {}
+
 impl BranchTrace {
+    /// Assembles a trace whose sequence indices are known to be in
+    /// range, computing the tally as part of construction.
+    fn assemble(dict: Vec<TraceEvent>, seq: Vec<u32>, trailing_instrs: u64) -> BranchTrace {
+        let tally = TraceTally::build(&dict, &seq, trailing_instrs);
+        BranchTrace {
+            dict,
+            seq,
+            trailing_instrs,
+            tally,
+            seq8: std::sync::OnceLock::new(),
+        }
+    }
+
     /// Rebuilds a trace from its serialized parts, or `None` if any
     /// sequence index is out of range (corrupt input).
     pub fn from_parts(dict: Vec<TraceEvent>, seq: Vec<u32>, trailing_instrs: u64) -> Option<Self> {
@@ -60,11 +143,7 @@ impl BranchTrace {
         if seq.iter().any(|&i| i >= n) {
             return None;
         }
-        Some(BranchTrace {
-            dict,
-            seq,
-            trailing_instrs,
-        })
+        Some(BranchTrace::assemble(dict, seq, trailing_instrs))
     }
 
     /// The interned distinct events.
@@ -75,6 +154,23 @@ impl BranchTrace {
     /// The execution as dictionary indices, in order.
     pub fn seq(&self) -> &[u32] {
         &self.seq
+    }
+
+    /// The sequence as byte-wide indices, or `None` when the dictionary
+    /// has more than 256 entries. Real traces intern a few dozen
+    /// distinct events, so replay kernels that stream the sequence can
+    /// read a quarter of the memory — and index a 256-entry lookup
+    /// table without bounds checks. Built on first use, then cached for
+    /// the life of the trace (replays are the hot path; construction is
+    /// not).
+    pub fn seq_u8(&self) -> Option<&[u8]> {
+        if self.dict.len() > 256 {
+            return None;
+        }
+        Some(
+            self.seq8
+                .get_or_init(|| self.seq.iter().map(|&i| i as u8).collect()),
+        )
     }
 
     /// Straight-line instructions after the last branch event.
@@ -92,13 +188,30 @@ impl BranchTrace {
         self.seq.is_empty()
     }
 
-    /// Total dynamic instructions in the trace.
+    /// Per-dict-entry occurrence counts — the O(dict) fused evaluation
+    /// tier's input (see [`TraceTally`]). Precomputed at construction,
+    /// so this is free.
+    pub fn tally(&self) -> &TraceTally {
+        &self.tally
+    }
+
+    /// Total dynamic instructions in the trace. O(1): derived from the
+    /// precomputed tally instead of re-summing the event sequence.
     pub fn total_instructions(&self) -> u64 {
-        self.seq
-            .iter()
-            .map(|&i| self.dict[i as usize].instrs)
-            .sum::<u64>()
-            + self.trailing_instrs
+        self.tally.instructions
+    }
+
+    /// The edge profile of the recorded execution, computed from the
+    /// tally in O(dict) — bit-identical to replaying the trace into an
+    /// [`crate::EdgeProfiler`], at a millionth of the event dispatch.
+    pub fn edge_profile(&self) -> EdgeProfile {
+        let mut profile = EdgeProfile::new();
+        for (event, &count) in self.dict.iter().zip(self.tally.counts()) {
+            if count > 0 {
+                profile.record_many(event.branch, event.taken, count);
+            }
+        }
+        profile
     }
 
     /// The events in execution order.
@@ -110,15 +223,31 @@ impl BranchTrace {
     /// ran again (with straight-line runs coalesced — see the module
     /// docs). Any number of observers can replay the same trace, so one
     /// interpreter pass serves every post-hoc analysis.
+    ///
+    /// This is the serial reference; see [`BranchTrace::replay_segmented`]
+    /// for the parallel tier and [`BranchTrace::tally`] for the O(dict)
+    /// tier, both provably equivalent for their supported observers.
     pub fn replay<O: ExecObserver + ?Sized>(&self, observer: &mut O) {
-        for event in self.events() {
+        self.replay_events(0..self.seq.len(), observer);
+        if self.trailing_instrs > 0 {
+            observer.on_instrs(self.trailing_instrs);
+        }
+    }
+
+    /// Streams the events of one contiguous index range (no trailing
+    /// instructions) — the building block segmented replay hands each
+    /// worker.
+    pub fn replay_events<O: ExecObserver + ?Sized>(
+        &self,
+        range: std::ops::Range<usize>,
+        observer: &mut O,
+    ) {
+        for &idx in &self.seq[range] {
+            let event = self.dict[idx as usize];
             if event.instrs > 0 {
                 observer.on_instrs(event.instrs);
             }
             observer.on_branch(event.branch, event.taken);
-        }
-        if self.trailing_instrs > 0 {
-            observer.on_instrs(self.trailing_instrs);
         }
     }
 }
@@ -161,11 +290,7 @@ impl TraceRecorder {
 
     /// Finalises the recording.
     pub fn into_trace(self) -> BranchTrace {
-        BranchTrace {
-            dict: self.dict,
-            seq: self.seq,
-            trailing_instrs: self.pending_instrs,
-        }
+        BranchTrace::assemble(self.dict, self.seq, self.pending_instrs)
     }
 }
 
@@ -245,6 +370,37 @@ mod tests {
         let trace = rec.into_trace();
         assert_eq!(trace.len(), 1000);
         assert_eq!(trace.dict().len(), 1, "one distinct event");
+    }
+
+    #[test]
+    fn tally_counts_every_dict_entry() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..100 {
+            rec.on_instrs(5);
+            rec.on_branch(b(3), i % 10 != 9);
+        }
+        rec.on_instrs(7);
+        let trace = rec.into_trace();
+        assert_eq!(trace.dict().len(), 2);
+        let tally = trace.tally();
+        assert_eq!(tally.counts().iter().sum::<u64>(), 100);
+        assert_eq!(tally.instructions(), 507);
+        assert_eq!(trace.total_instructions(), 507);
+    }
+
+    #[test]
+    fn edge_profile_matches_replay() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..50 {
+            rec.on_instrs(2);
+            rec.on_branch(b(1), i % 3 == 0);
+            rec.on_instrs(1);
+            rec.on_branch(b(2), i % 7 == 0);
+        }
+        let trace = rec.into_trace();
+        let mut profiler = EdgeProfiler::new();
+        trace.replay(&mut profiler);
+        assert_eq!(trace.edge_profile(), profiler.into_profile());
     }
 
     #[test]

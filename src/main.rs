@@ -6,7 +6,8 @@
 //! bpfree predict FILE               per-branch predictions + accuracy
 //! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
 //! bpfree bench NAME [--dataset N]   run a suite benchmark and report
-//! bpfree bench --json [--out PATH]  interpreter perf report (BENCH_interp.json)
+//! bpfree bench --json [--out PATH] [--replay-out PATH]
+//!                                   perf reports (BENCH_interp.json, BENCH_replay.json)
 //! bpfree list                       list the benchmark suite
 //! bpfree exp list                   list the registered experiments
 //! bpfree exp run NAME...            regenerate paper tables/figures
@@ -105,7 +106,9 @@ fn print_usage() {
     eprintln!("  bpfree predict FILE               per-branch predictions + accuracy");
     eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
     eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
-    eprintln!("  bpfree bench --json [--out PATH]  interpreter perf report (BENCH_interp.json)");
+    eprintln!("  bpfree bench --json [--out PATH] [--replay-out PATH]");
+    eprintln!("                                    perf reports (BENCH_interp.json +");
+    eprintln!("                                    BENCH_replay.json)");
     eprintln!("  bpfree list                       list the benchmark suite");
     eprintln!("  bpfree exp list                   list the registered experiments");
     eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
@@ -344,20 +347,25 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
     // throughput per suite benchmark plus a cold `exp all` wall-clock,
     // written as a JSON report (committed as BENCH_interp.json).
     if flag(args, "--json") {
-        let out = args
-            .iter()
-            .position(|a| a == "--out")
-            .map(|i| {
-                args.get(i + 1)
-                    .cloned()
-                    .ok_or_else(|| usage_err("--out needs a value"))
-            })
-            .transpose()?
-            .unwrap_or_else(|| "BENCH_interp.json".to_string());
+        let path_flag = |name: &str, default: &str| -> Result<String, Failure> {
+            args.iter()
+                .position(|a| a == name)
+                .map(|i| {
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or_else(|| usage_err(format!("{name} needs a value")))
+                })
+                .transpose()
+                .map(|v| v.unwrap_or_else(|| default.to_string()))
+        };
+        let out = path_flag("--out", "BENCH_interp.json")?;
+        let replay_out = path_flag("--replay-out", "BENCH_replay.json")?;
         if cfg!(debug_assertions) {
             eprintln!("[bpfree] warning: debug build — bench numbers are not comparable");
         }
-        return bpfree::bench::perf::write_report(std::path::Path::new(&out))
+        bpfree::bench::perf::write_report(std::path::Path::new(&out))
+            .map_err(|e| runtime_err(e.to_string()))?;
+        return bpfree::bench::perf::write_replay_report(std::path::Path::new(&replay_out))
             .map_err(|e| runtime_err(e.to_string()));
     }
     let name = args
