@@ -34,9 +34,7 @@ fn study_input() -> Vec<BenchOrderData> {
 }
 
 fn job_counts() -> Vec<usize> {
-    let max = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let max = bpfree_par::available_parallelism();
     if max > 1 {
         vec![1, max]
     } else {
@@ -102,6 +100,7 @@ fn bench_load_suite(c: &mut Criterion) {
         use_cache: false,
         cache_dir: bpfree_cache::default_dir(),
         interp: bpfree_sim::InterpTier::Bytecode,
+        timings: None,
     });
     let mut g = c.benchmark_group("par_load_suite");
     g.sample_size(10);

@@ -15,6 +15,9 @@
 //!   `bytecode` (default) or `tree`. Both tiers are observationally
 //!   identical — the flag exists for differential testing and perf
 //!   comparison.
+//! - `--timings[=PATH]` (or `BPFREE_TIMINGS=1|PATH`): record
+//!   per-task scheduler timings (query kind, key, wall-clock, worker)
+//!   and emit them as JSON to stderr (bare flag) or `PATH`.
 //! - `--help`: usage (legacy binaries only; the root CLI has its own).
 //!
 //! The legacy binaries parse their whole argument list with [`init`];
@@ -29,6 +32,15 @@ use std::sync::OnceLock;
 
 use bpfree_sim::InterpTier;
 
+/// Where the per-task timing log goes when `--timings` is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimingsOut {
+    /// Pretty-printed JSON to stderr after the batch summary.
+    Stderr,
+    /// Written to this file.
+    File(PathBuf),
+}
+
 /// Resolved configuration, also stored process-globally so
 /// [`crate::load_suite`] and [`crate::BenchData::load`] can honor it
 /// without threading it through every call site.
@@ -42,6 +54,8 @@ pub struct Config {
     pub cache_dir: PathBuf,
     /// Interpreter tier for every simulation in the process.
     pub interp: InterpTier,
+    /// Per-task timing log destination (`None` = off).
+    pub timings: Option<TimingsOut>,
 }
 
 impl Default for Config {
@@ -51,7 +65,18 @@ impl Default for Config {
             use_cache: !bpfree_cache::disabled_by_env(),
             cache_dir: bpfree_cache::default_dir(),
             interp: interp_from_env(),
+            timings: timings_from_env(),
         }
+    }
+}
+
+/// `BPFREE_TIMINGS`'s destination: unset/empty/`0` is off, `1`, `true`,
+/// or `stderr` means stderr, anything else is a file path.
+fn timings_from_env() -> Option<TimingsOut> {
+    match std::env::var("BPFREE_TIMINGS").ok()?.as_str() {
+        "" | "0" => None,
+        "1" | "true" | "stderr" => Some(TimingsOut::Stderr),
+        path => Some(TimingsOut::File(PathBuf::from(path))),
     }
 }
 
@@ -101,6 +126,9 @@ pub fn apply(cfg: Config) -> &'static Config {
         if let Some(n) = config().jobs {
             bpfree_par::set_jobs(n);
         }
+        if config().timings.is_some() {
+            bpfree_par::timings::enable();
+        }
     }
     engine();
     config()
@@ -121,6 +149,7 @@ pub fn engine() -> &'static bpfree_engine::Engine {
 fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--jobs N] [--no-cache] [--cache-dir DIR] [--interp TIER]\n\
+         \x20           [--timings[=PATH]]\n\
          \n\
          --jobs N         worker threads (default: all cores; output is\n\
          \x20                identical at any value)\n\
@@ -129,9 +158,11 @@ fn usage(bin: &str) -> String {
          --cache-dir DIR  cache location (default: target/bpfree-cache)\n\
          --interp TIER    interpreter tier: bytecode (default) or tree\n\
          \x20                (identical output; tree is the slow reference)\n\
+         --timings[=PATH] per-task scheduler timings as JSON, to stderr\n\
+         \x20                or PATH\n\
          \n\
          environment: BPFREE_JOBS, BPFREE_NO_CACHE, BPFREE_CACHE_DIR,\n\
-         BPFREE_INTERP"
+         BPFREE_INTERP, BPFREE_TIMINGS"
     )
 }
 
@@ -174,6 +205,14 @@ pub fn extract(args: impl IntoIterator<Item = String>) -> Result<(Config, Vec<St
             }
             s if s.starts_with("--interp=") => {
                 cfg.interp = InterpTier::parse(&s["--interp=".len()..])?;
+            }
+            "--timings" => cfg.timings = Some(TimingsOut::Stderr),
+            s if s.starts_with("--timings=") => {
+                let v = &s["--timings=".len()..];
+                if v.is_empty() {
+                    return Err("--timings= requires a path".to_string());
+                }
+                cfg.timings = Some(TimingsOut::File(PathBuf::from(v)));
             }
             _ => rest.push(arg),
         }
@@ -264,18 +303,30 @@ mod tests {
     }
 
     #[test]
+    fn parses_timings_flag() {
+        assert_eq!(p(&["--timings"]).unwrap().timings, Some(TimingsOut::Stderr));
+        assert_eq!(
+            p(&["--timings=/tmp/t.json"]).unwrap().timings,
+            Some(TimingsOut::File(PathBuf::from("/tmp/t.json")))
+        );
+        assert!(p(&["--timings="]).is_err());
+    }
+
+    #[test]
     fn apply_is_reentrant_first_wins() {
         let first = apply(Config {
             jobs: None,
             use_cache: false,
             cache_dir: PathBuf::from("/tmp/first"),
             interp: InterpTier::Bytecode,
+            timings: None,
         });
         let second = apply(Config {
             jobs: None,
             use_cache: true,
             cache_dir: PathBuf::from("/tmp/second"),
             interp: InterpTier::Bytecode,
+            timings: None,
         });
         assert_eq!(first.cache_dir, second.cache_dir);
         assert_eq!(second.cache_dir, PathBuf::from("/tmp/first"));

@@ -28,6 +28,10 @@ pub mod perf;
 pub mod registry;
 pub mod sink;
 
+/// The per-task timing log behind `--timings` (re-exported so the CLI
+/// can drain it without depending on `bpfree-par` directly).
+pub use bpfree_par::timings;
+
 use std::sync::Arc;
 
 use bpfree_core::{BranchClassifier, HeuristicTable};

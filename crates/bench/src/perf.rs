@@ -402,3 +402,101 @@ pub fn write_replay_report(path: &Path) -> io::Result<()> {
     eprintln!("[bpfree] wrote {}", path.display());
     Ok(())
 }
+
+/// One cold `exp all` (fresh engine, no disk cache, output discarded)
+/// through `runner`, returning seconds and interpreter passes.
+fn time_cold_batch(
+    runner: impl Fn(
+        &[&'static dyn registry::Experiment],
+        &Engine,
+        &mut dyn crate::sink::Sink,
+    ) -> io::Result<()>,
+) -> (f64, u64) {
+    let engine = Engine::new(EngineConfig::no_cache());
+    let exps = registry::all();
+    let start = Instant::now();
+    runner(exps, &engine, &mut DiscardSink::new()).expect("discard sink cannot fail");
+    (start.elapsed().as_secs_f64(), engine.simulations())
+}
+
+/// Builds the scheduler report behind `BENCH_sched.json`: a cold
+/// `exp all` under the serial batch runner (the pre-planner baseline:
+/// pre-trace, then one experiment at a time) versus the planned runner
+/// (the whole batch as one task graph on the shared pool), at the
+/// process's effective job count. Both runs discard output and use a
+/// fresh in-memory engine, so the comparison is pure scheduling; the
+/// interpreter-pass counts are asserted equal — the planner must not
+/// change *what* is computed, only *when*.
+///
+/// # Panics
+///
+/// Panics if an experiment fails, or if the two runners disagree on the
+/// number of interpreter passes.
+pub fn sched_report() -> Json {
+    let jobs = bpfree_par::jobs();
+    let (mut serial_secs, serial_passes) =
+        time_cold_batch(|e, g, s| registry::run_experiments_serial(e, g, s, false));
+    let (mut planned_secs, planned_passes) =
+        time_cold_batch(|e, g, s| registry::run_experiments_planned(e, g, s, false));
+    assert_eq!(
+        serial_passes, planned_passes,
+        "planned batch changed the interpreter-pass count"
+    );
+    for _ in 1..ROUNDS {
+        serial_secs = serial_secs
+            .min(time_cold_batch(|e, g, s| registry::run_experiments_serial(e, g, s, false)).0);
+        planned_secs = planned_secs
+            .min(time_cold_batch(|e, g, s| registry::run_experiments_planned(e, g, s, false)).0);
+    }
+    let speedup = if planned_secs > 0.0 {
+        serial_secs / planned_secs
+    } else {
+        0.0
+    };
+    Json::obj()
+        .field("schema", Json::Str("bpfree-bench-sched/1".to_string()))
+        .field(
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        )
+        .field("jobs", Json::UInt(jobs as u64))
+        .field(
+            "workers",
+            Json::UInt(bpfree_par::clamp_workers(jobs) as u64),
+        )
+        .field("experiments", Json::UInt(registry::all().len() as u64))
+        .field("interpreter_passes", Json::UInt(planned_passes))
+        .field(
+            "serial_exp_all_cold",
+            Json::obj()
+                .field("seconds", Json::Float(serial_secs))
+                .build(),
+        )
+        .field(
+            "planned_exp_all_cold",
+            Json::obj()
+                .field("seconds", Json::Float(planned_secs))
+                .build(),
+        )
+        .field("speedup_vs_serial", Json::Float(speedup))
+        .build()
+}
+
+/// Writes [`sched_report`] to `path` (trailing newline included).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_sched_report(path: &Path) -> io::Result<()> {
+    let doc = sched_report();
+    std::fs::write(path, doc.pretty() + "\n")?;
+    eprintln!("[bpfree] wrote {}", path.display());
+    Ok(())
+}

@@ -13,12 +13,15 @@
 
 use std::collections::BTreeSet;
 use std::io;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use bpfree_engine::Engine;
 use bpfree_lang::Options;
+use bpfree_par::timings::timed;
 
 use crate::experiments;
-use crate::sink::{Sink, StdoutSink};
+use crate::sink::{Sink, StdoutSink, VecSink};
 
 /// One registered experiment — a table or figure of the paper (or one
 /// of our extension studies), reproducible on demand.
@@ -88,38 +91,133 @@ fn edit_distance(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
-/// Runs `exps` in order against one shared engine, bracketing each with
+/// Runs `exps` against one shared engine, bracketing each with
 /// [`Sink::begin`]/[`Sink::end`]. With `progress`, a one-line banner per
 /// experiment goes to stderr (stdout stays pure experiment output).
 ///
-/// Before anything runs, the union of the experiments'
-/// [`Experiment::traced`] benchmarks is traced on the reference dataset,
-/// in parallel. Tracing shares its single interpreter pass with the edge
-/// profile, so this guarantees the at-most-once-per-(benchmark, dataset)
-/// property across the whole batch: without it, a plain run by an early
-/// experiment would force a later trace request to simulate again.
+/// With an effective job count above one ([`bpfree_par::jobs`]` > 1`)
+/// the batch executes as a task graph on the shared pool — see
+/// [`run_experiments_planned`]; otherwise it takes the serial path. The
+/// sink sees the same bytes in the same (registry) order either way.
 pub fn run_experiments(
     exps: &[&'static dyn Experiment],
     engine: &Engine,
     sink: &mut dyn Sink,
     progress: bool,
 ) -> io::Result<()> {
+    if bpfree_par::jobs() <= 1 {
+        run_experiments_serial(exps, engine, sink, progress)
+    } else {
+        run_experiments_planned(exps, engine, sink, progress)
+    }
+}
+
+/// The union of the experiments' [`Experiment::traced`] benchmarks,
+/// resolved against the suite.
+fn traced_benches(exps: &[&'static dyn Experiment]) -> Vec<bpfree_suite::Benchmark> {
     let traced: BTreeSet<&'static str> = exps.iter().flat_map(|e| e.traced()).copied().collect();
-    if !traced.is_empty() {
-        let benches: Vec<bpfree_suite::Benchmark> = traced
-            .iter()
-            .map(|n| bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
-            .collect();
-        bpfree_par::par_map(&benches, |b| {
-            let _ = engine.trace(b, Options::default(), 0);
-        });
+    traced
+        .iter()
+        .map(|n| bpfree_suite::by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+        .collect()
+}
+
+/// The serial batch runner: pre-trace the [`Experiment::traced`] union,
+/// then run each experiment in order, writing straight through to the
+/// sink. Tracing shares its single interpreter pass with the edge
+/// profile, so pre-tracing guarantees the
+/// at-most-once-per-(benchmark, dataset) property across the whole
+/// batch: without it, a plain run by an early experiment would force a
+/// later trace request to simulate again.
+///
+/// Public because the perf harness uses it as the scheduling baseline
+/// the planned runner is measured against.
+pub fn run_experiments_serial(
+    exps: &[&'static dyn Experiment],
+    engine: &Engine,
+    sink: &mut dyn Sink,
+    progress: bool,
+) -> io::Result<()> {
+    let benches = traced_benches(exps);
+    for b in &benches {
+        let _ = engine.trace(b, Options::default(), 0);
     }
     for exp in exps {
         if progress {
             eprintln!("[bpfree] running {} ({})", exp.name(), exp.paper_ref());
         }
         sink.begin(*exp)?;
-        exp.run(engine, sink)?;
+        timed(
+            "experiment",
+            || exp.name().to_string(),
+            || exp.run(engine, sink),
+        )?;
+        sink.end(*exp)?;
+    }
+    Ok(())
+}
+
+/// The planned batch runner: the whole batch becomes one
+/// [`bpfree_par::Plan`] on the shared pool. Each traced benchmark
+/// contributes its warm-up chain (datasets → compile → decode → trace,
+/// via [`Engine::plan_warmup`]); each experiment becomes a node
+/// depending on **every** trace node, buffering its report into a
+/// [`VecSink`]. The blanket dependency is the serial pre-trace
+/// invariant made explicit: an experiment that merely *runs* a traced
+/// benchmark would otherwise race the trace node and pay a duplicate
+/// interpreter pass (tracing fills the run memo as a by-product, but
+/// only if it gets there first). Warm-up chains still overlap each
+/// other, and so do the experiments once the traces are in.
+///
+/// Determinism: the plan orders *scheduling only*. Every experiment's
+/// bytes are buffered, then emitted through `sink` in registry order
+/// after the graph drains, so stdout is byte-identical to the serial
+/// runner at any `--jobs`. The measured per-experiment wall-clock is
+/// forwarded with [`Sink::note_millis`] (the begin/end bracket happens
+/// long after the work).
+pub fn run_experiments_planned(
+    exps: &[&'static dyn Experiment],
+    engine: &Engine,
+    sink: &mut dyn Sink,
+    progress: bool,
+) -> io::Result<()> {
+    let benches = traced_benches(exps);
+    type Slot = Mutex<Option<(io::Result<Vec<u8>>, u64)>>;
+    let slots: Vec<Slot> = exps.iter().map(|_| Mutex::new(None)).collect();
+    let mut plan = bpfree_par::Plan::new();
+    let trace_nodes: Vec<bpfree_par::NodeId> = benches
+        .iter()
+        .map(|b| engine.plan_warmup(&mut plan, b, Options::default(), true))
+        .collect();
+    for (exp, slot) in exps.iter().zip(&slots) {
+        let exp = *exp;
+        plan.add(&trace_nodes, move || {
+            if progress {
+                eprintln!("[bpfree] running {} ({})", exp.name(), exp.paper_ref());
+            }
+            let start = Instant::now();
+            let result = timed(
+                "experiment",
+                || exp.name().to_string(),
+                || {
+                    let mut buf = VecSink::new();
+                    exp.run(engine, &mut buf).map(|()| buf.take())
+                },
+            );
+            let millis = start.elapsed().as_millis() as u64;
+            *slot.lock().expect("experiment slot poisoned") = Some((result, millis));
+        });
+    }
+    plan.run();
+    for (exp, slot) in exps.iter().zip(&slots) {
+        let (result, millis) = slot
+            .lock()
+            .expect("experiment slot poisoned")
+            .take()
+            .expect("every experiment node ran");
+        sink.begin(*exp)?;
+        sink.out().write_all(&result?)?;
+        sink.note_millis(millis);
         sink.end(*exp)?;
     }
     Ok(())

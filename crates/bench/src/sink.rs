@@ -29,6 +29,12 @@ pub trait Sink {
 
     /// Finishes the current experiment (flush, close, bookkeeping).
     fn end(&mut self, exp: &dyn Experiment) -> io::Result<()>;
+
+    /// Overrides the wall-clock the sink would otherwise measure for
+    /// the current experiment. The planned batch runner calls this:
+    /// experiments execute on pool workers long before their begin/end
+    /// bracket, so bracketing would time the buffer copy, not the work.
+    fn note_millis(&mut self, _millis: u64) {}
 }
 
 /// Streams every experiment straight to the process's stdout — what the
@@ -103,6 +109,7 @@ pub struct CaptureSink {
     dir: PathBuf,
     file: Option<io::BufWriter<fs::File>>,
     started: Option<Instant>,
+    noted: Option<u64>,
     entries: Vec<Entry>,
 }
 
@@ -122,6 +129,7 @@ impl CaptureSink {
             dir,
             file: None,
             started: None,
+            noted: None,
             entries: Vec::new(),
         })
     }
@@ -166,15 +174,16 @@ impl Sink for CaptureSink {
         self.file.as_mut().expect("Sink::out outside begin/end")
     }
 
+    fn note_millis(&mut self, millis: u64) {
+        self.noted = Some(millis);
+    }
+
     fn end(&mut self, exp: &dyn Experiment) -> io::Result<()> {
         if let Some(mut w) = self.file.take() {
             w.flush()?;
         }
-        let millis = self
-            .started
-            .take()
-            .map(|t| t.elapsed().as_millis() as u64)
-            .unwrap_or(0);
+        let bracket = self.started.take().map(|t| t.elapsed().as_millis() as u64);
+        let millis = self.noted.take().or(bracket).unwrap_or(0);
         self.entries.push(Entry {
             name: exp.name(),
             paper_ref: exp.paper_ref(),

@@ -1,0 +1,72 @@
+//! The planned batch runner against the serial one: same bytes, same
+//! interpreter-pass count, at a job count that forces the task-graph
+//! path. Runs in its own process so `set_jobs` cannot leak into other
+//! test binaries.
+
+use bpfree_bench::registry::{self, Experiment};
+use bpfree_bench::sink::VecSink;
+use bpfree_engine::{Engine, EngineConfig};
+
+/// A cheap-but-representative subset: the traced IPBC experiment (the
+/// one with real dependency edges) plus static tables and a profile
+/// consumer, so the graph has trace-dependent and trace-free nodes.
+const SUBSET: [&str; 4] = ["table1", "table2", "graphs4_11", "table7"];
+
+fn subset() -> Vec<&'static dyn Experiment> {
+    SUBSET
+        .iter()
+        .map(|n| registry::by_name(n).unwrap_or_else(|| panic!("unknown experiment {n}")))
+        .collect()
+}
+
+#[test]
+fn planned_batch_matches_serial_bytes_and_passes() {
+    bpfree_par::set_jobs(4);
+    let exps = subset();
+
+    let serial_engine = Engine::new(EngineConfig::no_cache());
+    let mut serial_sink = VecSink::new();
+    registry::run_experiments_serial(&exps, &serial_engine, &mut serial_sink, false)
+        .expect("serial batch succeeds");
+    let serial_bytes = serial_sink.take();
+
+    let planned_engine = Engine::new(EngineConfig::no_cache());
+    let mut planned_sink = VecSink::new();
+    registry::run_experiments_planned(&exps, &planned_engine, &mut planned_sink, false)
+        .expect("planned batch succeeds");
+    let planned_bytes = planned_sink.take();
+
+    assert_eq!(
+        String::from_utf8_lossy(&planned_bytes),
+        String::from_utf8_lossy(&serial_bytes),
+        "planned batch output diverged from serial"
+    );
+    assert_eq!(
+        planned_engine.simulations(),
+        serial_engine.simulations(),
+        "planned batch changed the interpreter-pass count"
+    );
+}
+
+#[test]
+fn dispatcher_picks_serial_path_at_one_job() {
+    // `run_experiments` at jobs <= 1 must behave exactly like the
+    // serial runner; this pins the dispatch rule itself (the jobs
+    // override is per-process, so this binary sets 4 above — use the
+    // explicit entry points to compare both paths regardless).
+    bpfree_par::set_jobs(4);
+    let exps = subset();
+    let engine = Engine::new(EngineConfig::no_cache());
+    let mut sink = VecSink::new();
+    registry::run_experiments(&exps, &engine, &mut sink, false).expect("batch succeeds");
+    let via_dispatch = sink.take();
+
+    let engine2 = Engine::new(EngineConfig::no_cache());
+    let mut sink2 = VecSink::new();
+    registry::run_experiments_planned(&exps, &engine2, &mut sink2, false).expect("batch succeeds");
+    assert_eq!(
+        String::from_utf8_lossy(&via_dispatch),
+        String::from_utf8_lossy(&sink2.take()),
+        "dispatcher at jobs=4 must take the planned path"
+    );
+}

@@ -92,6 +92,7 @@ fn every_experiment_matches_its_legacy_binary() {
         use_cache: true,
         cache_dir: cache.clone(),
         interp: bpfree_sim::InterpTier::Bytecode,
+        timings: None,
     });
     let engine = config::engine();
 

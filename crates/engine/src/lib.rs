@@ -60,6 +60,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use bpfree_core::{BranchClassifier, HeuristicTable};
 use bpfree_ir::Program;
 use bpfree_lang::Options;
+use bpfree_par::timings::timed;
 use bpfree_sim::{
     BranchTrace, BytecodeProgram, EdgeProfile, EdgeProfiler, InterpTier, Multiplex, RunResult,
     SimConfig, TraceRecorder,
@@ -203,8 +204,13 @@ impl Engine {
 
     /// The benchmark's datasets, generated once per process.
     pub fn datasets(&self, bench: &Benchmark) -> Arc<Vec<Dataset>> {
-        self.datasets
-            .get_or_init(bench.name, || Arc::new(bench.datasets()))
+        self.datasets.get_or_init(bench.name, || {
+            timed(
+                "datasets",
+                || bench.name.to_string(),
+                || Arc::new(bench.datasets()),
+            )
+        })
     }
 
     /// The compiled program, branch classifier, and heuristic table for
@@ -214,8 +220,13 @@ impl Engine {
     ///
     /// If the benchmark source fails to compile (a suite bug).
     pub fn compiled(&self, bench: &Benchmark, opt: Options) -> Compiled {
-        self.compiled
-            .get_or_init((bench.name, opt), || self.build_compiled(bench, opt))
+        self.compiled.get_or_init((bench.name, opt), || {
+            timed(
+                "compile",
+                || format!("{} [{}]", bench.name, opt.fingerprint()),
+                || self.build_compiled(bench, opt),
+            )
+        })
     }
 
     /// Shorthand for [`Engine::compiled`]`.program`.
@@ -239,7 +250,11 @@ impl Engine {
     /// `(benchmark, Options)` pair.
     pub fn decoded(&self, bench: &Benchmark, opt: Options) -> Arc<BytecodeProgram> {
         self.decoded.get_or_init((bench.name, opt), || {
-            Arc::new(BytecodeProgram::compile(&self.program(bench, opt)))
+            timed(
+                "decode",
+                || format!("{} [{}]", bench.name, opt.fingerprint()),
+                || Arc::new(BytecodeProgram::compile(&self.program(bench, opt))),
+            )
         })
     }
 
@@ -264,7 +279,11 @@ impl Engine {
             index,
         })?;
         Ok(self.runs.get_or_init((bench.name, opt, index), || {
-            self.compute_run(bench, opt, index, dataset)
+            timed(
+                "run",
+                || format!("{}/{}", bench.name, dataset.name),
+                || self.compute_run(bench, opt, index, dataset),
+            )
         }))
     }
 
@@ -295,7 +314,11 @@ impl Engine {
             index,
         })?;
         Ok(self.traces.get_or_init((bench.name, opt, index), || {
-            self.compute_trace(bench, opt, index, dataset)
+            timed(
+                "trace",
+                || format!("{}/{}", bench.name, dataset.name),
+                || self.compute_trace(bench, opt, index, dataset),
+            )
         }))
     }
 
@@ -305,19 +328,58 @@ impl Engine {
             .unwrap_or_else(|e| panic!("engine trace {}[{index}]: {e}", bench.name))
     }
 
-    /// Warms the memos for a whole roster in parallel: compile
-    /// artifacts plus dataset 0's run bundle for every benchmark, and a
-    /// branch trace too for those named in `traced` (still one
-    /// interpreter pass each — the trace request comes first and the
-    /// run bundle falls out of it).
+    /// Warms the memos for a whole roster: compile artifacts plus
+    /// dataset 0's run bundle for every benchmark, and a branch trace
+    /// too for those named in `traced` (still one interpreter pass each
+    /// — the trace request comes first and the run bundle falls out of
+    /// it).
+    ///
+    /// The work runs as a dependency-aware [`bpfree_par::Plan`] on the
+    /// shared pool: per benchmark, a dataset-generation node and a
+    /// compile node (plus a bytecode-decode node behind the compile)
+    /// feed a simulate node. Independent benchmarks' compiles and
+    /// simulations overlap freely instead of running level-by-level,
+    /// and a long simulation no longer blocks another benchmark's
+    /// compile from starting.
     pub fn prefetch(&self, benches: &[&Benchmark], opt: Options, traced: &[&str]) {
-        bpfree_par::par_map(benches, |bench| {
+        let mut plan = bpfree_par::Plan::new();
+        for &bench in benches {
+            self.plan_warmup(&mut plan, bench, opt, traced.contains(&bench.name));
+        }
+        plan.run();
+    }
+
+    /// Adds this benchmark's warm-up chain (datasets → compiled →
+    /// decoded → simulate dataset 0) to `plan`, returning the final
+    /// simulate node so batch callers can hang dependents off it. The
+    /// nodes only touch memos, so a plan node that races a direct query
+    /// for the same artifact still computes it exactly once.
+    pub fn plan_warmup<'e>(
+        &'e self,
+        plan: &mut bpfree_par::Plan<'e>,
+        bench: &'e Benchmark,
+        opt: Options,
+        traced: bool,
+    ) -> bpfree_par::NodeId {
+        let datasets = plan.add(&[], move || {
+            let _ = self.datasets(bench);
+        });
+        let compiled = plan.add(&[], move || {
             let _ = self.compiled(bench, opt);
-            if traced.contains(&bench.name) {
+        });
+        let ready = if self.config.tier == InterpTier::Bytecode {
+            plan.add(&[compiled], move || {
+                let _ = self.decoded(bench, opt);
+            })
+        } else {
+            compiled
+        };
+        plan.add(&[datasets, ready], move || {
+            if traced {
                 let _ = self.trace(bench, opt, 0);
             }
             let _ = self.run(bench, opt, 0);
-        });
+        })
     }
 
     /// One interpreter pass under the configured [`InterpTier`] —

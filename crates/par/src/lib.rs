@@ -2,12 +2,13 @@
 //!
 //! The paper's sweeps are embarrassingly parallel: 5040 orderings × N
 //! benchmarks, C(22,11) = 705,432 subset trials, 23 independent
-//! compile+simulate pipelines. This crate provides the few primitives
-//! those loops need — an **ordered** parallel map and a splittable
-//! parallel fold — built on `std::thread::scope` (the build environment
-//! has no crates.io access, so `rayon` is not an option; the fan-out
-//! patterns here are simple enough that scoped threads with an atomic
-//! work counter match it for these workloads).
+//! compile+simulate pipelines. This crate provides the primitives those
+//! loops need — an **ordered** parallel map, a splittable parallel
+//! fold, and an explicit task-graph [`Plan`] — all executing on one
+//! process-wide work-stealing [`Pool`] (the build environment has no
+//! crates.io access, so `rayon` is not an option). Workers are spawned
+//! once and parked between bursts; nested parallel calls compose on the
+//! same fixed worker set instead of multiplying threads.
 //!
 //! # Determinism
 //!
@@ -21,9 +22,20 @@
 //!
 //! [`jobs`] resolves, in priority order: the process-wide override set
 //! by [`set_jobs`] (the binaries' `--jobs N` flag) → the `BPFREE_JOBS`
-//! environment variable → [`std::thread::available_parallelism`].
+//! environment variable → [`available_parallelism`]. The requested
+//! count drives the *arithmetic* (how work splits); [`clamp_workers`]
+//! caps the *thread* side at what the machine can actually run, so
+//! `--jobs 64` on a 4-core box computes the 64-way split on 4 workers.
+
+mod plan;
+mod pool;
+pub mod timings;
+
+pub use plan::{NodeId, Plan};
+pub use pool::{current_worker, Pool, Scope};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// `0` means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -48,15 +60,32 @@ pub fn jobs() -> usize {
             return n;
         }
     }
+    available_parallelism()
+}
+
+/// [`std::thread::available_parallelism`] with the `Err` case collapsed
+/// to 1 — the machine-side bound every thread-count decision shares.
+pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
+/// The one rule for turning a *requested* job count into a *thread*
+/// count: at least one, at most the machine's available parallelism.
+/// Splitting arithmetic (segment ranges, fold chunks) must keep
+/// following the requested count — that is what keeps results a pure
+/// function of `--jobs` — while anything that occupies an OS thread
+/// (pool sizing, concurrent task width) goes through here. Centralized
+/// so the cap cannot drift between the pool and the replay tier again.
+pub fn clamp_workers(n_jobs: usize) -> usize {
+    n_jobs.max(1).min(available_parallelism())
+}
+
 /// Maps `f` over `items` on [`jobs`] workers, preserving input order in
 /// the output. Falls back to a plain serial map for one worker or tiny
-/// inputs (avoids thread-spawn overhead on the many small suites the
-/// tests build).
+/// inputs (avoids task overhead on the many small suites the tests
+/// build).
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -66,7 +95,10 @@ where
     par_map_jobs(jobs(), items, f)
 }
 
-/// [`par_map`] with an explicit worker count.
+/// [`par_map`] with an explicit worker count. Tasks run on the global
+/// [`Pool`] (the calling thread helps), with the concurrent task width
+/// clamped by [`clamp_workers`]; outputs land in input order whatever
+/// the schedule.
 pub fn par_map_jobs<T, R, F>(n_jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -77,38 +109,38 @@ where
     if n_jobs <= 1 || n <= 1 {
         return items.iter().map(f).collect();
     }
-    let workers = n_jobs.min(n);
+    let tasks = clamp_workers(n_jobs).min(n).max(2);
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let f = &f;
+    // Each task claims indices from a shared atomic cursor and batches
+    // its (index, value) pairs locally; the scatter below restores input
+    // order, so the result is independent of which task claimed what.
+    Pool::global().scope(|s| {
+        for _ in 0..tasks {
+            let next = &next;
+            let collected = &collected;
+            s.spawn(move |_| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                if !local.is_empty() {
+                    collected
+                        .lock()
+                        .expect("par_map collection poisoned")
+                        .extend(local);
+                }
+            });
+        }
+    });
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    // Hand each worker slices of the output it exclusively owns via a
-    // striped claim on indices: worker w claims index i atomically and
-    // writes out[i]. SAFETY-free version: collect (index, value) pairs
-    // per worker and scatter afterwards.
-    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
-    });
-    for (i, v) in per_worker.drain(..).flatten() {
+    for (i, v) in collected.into_inner().expect("par_map collection poisoned") {
         out[i] = Some(v);
     }
     out.into_iter()
@@ -137,9 +169,11 @@ pub fn split_ranges(total: u64, parts: usize) -> Vec<std::ops::Range<u64>> {
 
 /// Parallel fold over `[0, total)`: each worker runs `fold` on one
 /// contiguous range producing an accumulator seeded by `init`, and the
-/// accumulators are merged **in range order** with `merge`. With any
-/// commutative-and-associative merge (or any associative merge, given
-/// the in-order reduction) the result equals the serial fold.
+/// accumulators are merged **in range order** with `merge`. The range
+/// split follows [`jobs`] — the requested count, not the thread count —
+/// so the exact arithmetic is a pure function of `--jobs`; the range
+/// tasks execute on the global [`Pool`]. With any associative merge
+/// (given the in-order reduction) the result equals the serial fold.
 pub fn par_fold_chunks<A, FInit, FFold, FMerge>(
     total: u64,
     init: FInit,
@@ -159,17 +193,23 @@ where
         _ => {
             let fold = &fold;
             let init = &init;
-            let accs: Vec<A> = std::thread::scope(|s| {
-                let handles: Vec<_> = ranges
-                    .into_iter()
-                    .map(|r| s.spawn(move || fold(r, init())))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("par_fold worker panicked"))
-                    .collect()
+            let slots: Vec<Mutex<Option<A>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+            Pool::global().scope(|s| {
+                for (slot, range) in slots.iter().zip(ranges) {
+                    s.spawn(move |_| {
+                        let acc = fold(range, init());
+                        *slot.lock().expect("par_fold slot poisoned") = Some(acc);
+                    });
+                }
             });
-            accs.into_iter().reduce(merge)
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("par_fold slot poisoned")
+                        .expect("every range folded exactly once")
+                })
+                .reduce(merge)
         }
     }
 }
@@ -238,5 +278,12 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn clamp_workers_bounds_both_sides() {
+        assert_eq!(clamp_workers(0), 1);
+        assert!(clamp_workers(1_000_000) <= available_parallelism());
+        assert!(clamp_workers(1) >= 1);
     }
 }

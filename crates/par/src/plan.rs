@@ -1,0 +1,247 @@
+//! An explicit task-graph planner over the [`Pool`].
+//!
+//! [`Pool::scope`] expresses fork–join trees; batch runs want a DAG:
+//! "trace `doduc` after compiling it, run `table5` after every trace it
+//! reads is recorded". A [`Plan`] collects nodes (closures) with
+//! explicit dependency edges and executes the whole graph on the pool —
+//! a node is queued the moment its last dependency finishes, so
+//! independent chains overlap instead of running level-by-level.
+//!
+//! # Determinism
+//!
+//! The planner orders *scheduling*, never values: nodes communicate
+//! through whatever synchronized state they share (engine memos,
+//! per-node output slots), and callers emit results in their own fixed
+//! order afterwards. At `--jobs 1` (or on [`Plan::run`] with a
+//! single-worker machine and nothing to overlap) the graph degenerates
+//! to insertion order, which is always a valid topological order
+//! because edges can only point at already-added nodes.
+//!
+//! # Panics
+//!
+//! A panicking node poisons its dependents: they are never queued, the
+//! rest of the running graph drains, and the panic resumes on the
+//! [`Plan::run`] caller (the [`Pool::scope`] contract).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::{Pool, Scope};
+
+/// A node handle returned by [`Plan::add`]; pass to later `add` calls
+/// as a dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+struct Node<'env> {
+    /// Taken (once) when the node is executed.
+    work: Mutex<Option<Box<dyn FnOnce() + Send + 'env>>>,
+    /// Unfinished dependency count **plus one** (the bias is released
+    /// by [`Plan::run_on`]'s start-up scan); whoever decrements it to
+    /// zero queues the node, so it queues exactly once even when a
+    /// dependency finishes while the scan is still walking the list.
+    pending: AtomicUsize,
+    /// Nodes waiting on this one.
+    dependents: Vec<usize>,
+}
+
+/// A batch of dependency-ordered tasks. Build with [`Plan::add`], run
+/// with [`Plan::run`]/[`Plan::run_on`].
+#[derive(Default)]
+pub struct Plan<'env> {
+    nodes: Vec<Node<'env>>,
+}
+
+impl<'env> Plan<'env> {
+    /// An empty plan.
+    pub fn new() -> Plan<'env> {
+        Plan { nodes: Vec::new() }
+    }
+
+    /// The number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node that runs after every node in `deps`. Duplicate
+    /// dependencies are counted once. Cycles are unrepresentable:
+    /// dependencies must already have been added.
+    pub fn add<F>(&mut self, deps: &[NodeId], f: F) -> NodeId
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let id = self.nodes.len();
+        let mut uniq: Vec<usize> = deps.iter().map(|d| d.0).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &d in &uniq {
+            assert!(d < id, "Plan dependencies must be added before dependents");
+            self.nodes[d].dependents.push(id);
+        }
+        self.nodes.push(Node {
+            work: Mutex::new(Some(Box::new(f))),
+            pending: AtomicUsize::new(uniq.len() + 1),
+            dependents: Vec::new(),
+        });
+        NodeId(id)
+    }
+
+    /// Executes the graph on the global [`Pool`]. With an effective job
+    /// count of one ([`crate::jobs`]` <= 1`) the nodes run serially on
+    /// the calling thread in insertion order instead — no queueing, no
+    /// worker wakeups, identical effects.
+    pub fn run(self) {
+        if crate::jobs() <= 1 {
+            self.run_serial();
+        } else {
+            self.run_on(Pool::global());
+        }
+    }
+
+    /// Executes every node on the calling thread, in insertion order.
+    pub fn run_serial(self) {
+        for node in &self.nodes {
+            let work = node
+                .work
+                .lock()
+                .expect("plan node poisoned")
+                .take()
+                .expect("plan node executed twice");
+            work();
+        }
+    }
+
+    /// Executes the graph on `pool`, queueing each node as soon as its
+    /// last dependency completes.
+    pub fn run_on(self, pool: &Pool) {
+        fn queue<'s, 'env: 's>(s: &Scope<'s>, nodes: &'s [Node<'env>], index: usize) {
+            s.spawn(move |s| {
+                let work = nodes[index]
+                    .work
+                    .lock()
+                    .expect("plan node poisoned")
+                    .take()
+                    .expect("plan node executed twice");
+                work();
+                for &dep in &nodes[index].dependents {
+                    if nodes[dep].pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        queue(s, nodes, dep);
+                    }
+                }
+            });
+        }
+        let nodes = &self.nodes;
+        pool.scope(|s| {
+            // Release each node's +1 bias; a node whose dependencies
+            // all finished (or that never had any) queues here, and a
+            // node still waiting queues from its last dependency's
+            // release below — exactly one path wins.
+            for (index, node) in nodes.iter().enumerate() {
+                if node.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    queue(s, nodes, index);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn respects_dependency_edges() {
+        let log: StdMutex<Vec<&'static str>> = StdMutex::new(Vec::new());
+        let pool = Pool::new(4);
+        let mut plan = Plan::new();
+        let push = |what: &'static str| {
+            let log = &log;
+            move || log.lock().unwrap().push(what)
+        };
+        let a = plan.add(&[], push("a"));
+        let b = plan.add(&[a], push("b"));
+        let c = plan.add(&[a], push("c"));
+        let _d = plan.add(&[b, c], push("d"));
+        plan.run_on(&pool);
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), 4);
+        let pos = |w| log.iter().position(|x| *x == w).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("a") < pos("c"));
+        assert!(pos("b") < pos("d"));
+        assert!(pos("c") < pos("d"));
+    }
+
+    #[test]
+    fn serial_run_uses_insertion_order() {
+        let log: StdMutex<Vec<usize>> = StdMutex::new(Vec::new());
+        let mut plan = Plan::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..5 {
+            let log = &log;
+            let deps: Vec<NodeId> = prev.into_iter().collect();
+            prev = Some(plan.add(&deps, move || log.lock().unwrap().push(i)));
+        }
+        plan.run_serial();
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wide_diamond_converges() {
+        let pool = Pool::new(2);
+        let count = AtomicUsize::new(0);
+        let mut plan = Plan::new();
+        let root = plan.add(&[], || {});
+        let mids: Vec<NodeId> = (0..32)
+            .map(|_| {
+                let count = &count;
+                plan.add(&[root], move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let count_ref = &count;
+        plan.add(&mids, move || {
+            assert_eq!(count_ref.load(Ordering::Relaxed), 32, "all mids ran first");
+            count_ref.fetch_add(100, Ordering::Relaxed);
+        });
+        plan.run_on(&pool);
+        assert_eq!(count.load(Ordering::Relaxed), 132);
+    }
+
+    #[test]
+    #[should_panic(expected = "added before dependents")]
+    fn forward_edges_are_rejected() {
+        let mut plan = Plan::new();
+        let _ = plan.add(&[NodeId(3)], || {});
+    }
+
+    #[test]
+    fn panicking_node_skips_dependents_and_propagates() {
+        let pool = Pool::new(2);
+        let ran_dependent = AtomicUsize::new(0);
+        let ran_sibling = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut plan = Plan::new();
+            let bad = plan.add(&[], || panic!("node boom"));
+            let dep = &ran_dependent;
+            plan.add(&[bad], move || {
+                dep.fetch_add(1, Ordering::Relaxed);
+            });
+            let sib = &ran_sibling;
+            plan.add(&[], move || {
+                sib.fetch_add(1, Ordering::Relaxed);
+            });
+            plan.run_on(&pool);
+        }));
+        assert!(result.is_err(), "node panic reaches the run caller");
+        assert_eq!(ran_dependent.load(Ordering::Relaxed), 0);
+        assert_eq!(ran_sibling.load(Ordering::Relaxed), 1);
+    }
+}

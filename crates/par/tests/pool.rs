@@ -1,0 +1,182 @@
+//! Executor-level guarantees of the shared pool: panic propagation out
+//! of `scope()` without deadlock, element-identical pooled map/fold at
+//! random job counts and nesting depths, and a nested-scope stress test
+//! shaped like the real workload (a prefetch-style plan inside a
+//! replay-style fold inside an experiment-style map).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bpfree_par::{par_fold_chunks, par_map_jobs, split_ranges, Plan, Pool};
+use proptest::prelude::*;
+
+#[test]
+fn panic_in_task_propagates_without_deadlocking_scope() {
+    let pool = Pool::new(2);
+    for round in 0..16 {
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let ran = &ran;
+                for i in 0..8 {
+                    s.spawn(move |_| {
+                        if i == round % 8 {
+                            panic!("boom {i}");
+                        }
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(
+            result.is_err(),
+            "round {round}: panic must reach the caller"
+        );
+        // The scope drained before unwinding: all seven non-panicking
+        // siblings ran to completion.
+        assert_eq!(ran.load(Ordering::Relaxed), 7, "round {round}");
+    }
+    // The pool survives repeated panics and still runs work.
+    let ok = AtomicUsize::new(0);
+    pool.scope(|s| {
+        let ok = &ok;
+        s.spawn(move |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn panic_inside_nested_scope_unwinds_through_both_scopes() {
+    let pool = Pool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|outer| {
+            let pool = &pool;
+            outer.spawn(move |_| {
+                pool.scope(|inner| {
+                    inner.spawn(|_| panic!("inner boom"));
+                });
+            });
+        });
+    }));
+    assert!(result.is_err(), "inner panic re-raised through outer scope");
+}
+
+/// The serial reference for the pooled fold in the proptest below.
+fn serial_weighted_sum(total: u64, chunk_jobs: usize) -> u128 {
+    split_ranges(total, chunk_jobs)
+        .into_iter()
+        .map(|r| r.map(|i| u128::from(i) * 3 + 1).sum::<u128>())
+        .reduce(|a, b| a ^ b.rotate_left(7))
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pooled `par_map` is element-identical to the serial map at any
+    /// requested job count, including counts far beyond the machine.
+    #[test]
+    fn par_map_equals_serial(len in 0usize..200, jobs in 1usize..40) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 17 + 3).collect();
+        let got = par_map_jobs(jobs, &items, |x| x * 17 + 3);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Pooled `par_fold_chunks` arithmetic is a pure function of the
+    /// requested split: a non-commutative merge (XOR of rotated chunk
+    /// sums) still matches the serial in-order reduction.
+    #[test]
+    fn par_fold_equals_serial_in_order_reduction(total in 1u64..5_000, jobs in 1usize..24) {
+        bpfree_par::set_jobs(jobs);
+        let got = par_fold_chunks(
+            total,
+            || 0u128,
+            |range, acc| acc + range.map(|i| u128::from(i) * 3 + 1).sum::<u128>(),
+            |a, b| a ^ b.rotate_left(7),
+        );
+        bpfree_par::set_jobs(0);
+        prop_assert_eq!(got, Some(serial_weighted_sum(total, jobs)));
+    }
+
+    /// Nested pooled maps (a map inside every element of a map) stay
+    /// element-identical to the doubly-serial loop at random widths and
+    /// job counts — the oversubscription case the shared pool exists
+    /// to absorb.
+    #[test]
+    fn nested_par_map_equals_serial(
+        outer in 1usize..12,
+        inner in 1usize..12,
+        outer_jobs in 1usize..9,
+        inner_jobs in 1usize..9,
+    ) {
+        let rows: Vec<u64> = (0..outer as u64).collect();
+        let expect: Vec<Vec<u64>> = rows
+            .iter()
+            .map(|r| (0..inner as u64).map(|c| r * 1000 + c * c).collect())
+            .collect();
+        let got = par_map_jobs(outer_jobs, &rows, |r| {
+            let cols: Vec<u64> = (0..inner as u64).collect();
+            par_map_jobs(inner_jobs, &cols, |c| r * 1000 + c * c)
+        });
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// Three layers of nesting shaped like the real batch: an
+/// experiment-style `par_map` whose elements run a replay-style
+/// `par_fold_chunks`, whose chunks each execute a prefetch-style
+/// [`Plan`] — all on the one global pool. The assertion is exact
+/// arithmetic equality with the serial computation.
+#[test]
+fn three_layer_nesting_stress() {
+    let experiments: Vec<u64> = (0..6).collect();
+    let expected: Vec<u64> = experiments
+        .iter()
+        .map(|e| {
+            (0..400u64)
+                .map(|i| {
+                    let c = AtomicUsize::new(0);
+                    c.fetch_add((e * 400 + i) as usize % 97, Ordering::Relaxed);
+                    c.load(Ordering::Relaxed) as u64
+                })
+                .sum::<u64>()
+        })
+        .collect();
+    let got = par_map_jobs(4, &experiments, |e| {
+        par_fold_chunks(
+            400,
+            || 0u64,
+            |range, mut acc| {
+                for i in range {
+                    // Innermost layer: a tiny dependency plan per item,
+                    // writing through an atomic the dependent reads.
+                    let cell = AtomicUsize::new(0);
+                    let mut plan = Plan::new();
+                    let produce = plan.add(&[], {
+                        let cell = &cell;
+                        move || {
+                            cell.store((e * 400 + i) as usize % 97, Ordering::SeqCst);
+                        }
+                    });
+                    plan.add(&[produce], {
+                        let cell = &cell;
+                        move || {
+                            // Dependency edge: the produced value is
+                            // visible here.
+                            assert!(cell.load(Ordering::SeqCst) < 97);
+                        }
+                    });
+                    plan.run();
+                    acc += cell.load(Ordering::SeqCst) as u64;
+                }
+                acc
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0)
+    });
+    assert_eq!(got, expected);
+}

@@ -6,8 +6,9 @@
 //! bpfree predict FILE               per-branch predictions + accuracy
 //! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
 //! bpfree bench NAME [--dataset N]   run a suite benchmark and report
-//! bpfree bench --json [--out PATH] [--replay-out PATH]
-//!                                   perf reports (BENCH_interp.json, BENCH_replay.json)
+//! bpfree bench --json [--out PATH] [--replay-out PATH] [--sched-out PATH]
+//!                                   perf reports (BENCH_interp.json, BENCH_replay.json,
+//!                                   BENCH_sched.json)
 //! bpfree list                       list the benchmark suite
 //! bpfree exp list                   list the registered experiments
 //! bpfree exp run NAME...            regenerate paper tables/figures
@@ -106,9 +107,9 @@ fn print_usage() {
     eprintln!("  bpfree predict FILE               per-branch predictions + accuracy");
     eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
     eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
-    eprintln!("  bpfree bench --json [--out PATH] [--replay-out PATH]");
+    eprintln!("  bpfree bench --json [--out PATH] [--replay-out PATH] [--sched-out PATH]");
     eprintln!("                                    perf reports (BENCH_interp.json +");
-    eprintln!("                                    BENCH_replay.json)");
+    eprintln!("                                    BENCH_replay.json + BENCH_sched.json)");
     eprintln!("  bpfree list                       list the benchmark suite");
     eprintln!("  bpfree exp list                   list the registered experiments");
     eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
@@ -116,7 +117,7 @@ fn print_usage() {
     eprintln!("  bpfree --version                  print the version");
     eprintln!();
     eprintln!("common flags (run/bench/predict/exp): --jobs N, --no-cache, --cache-dir DIR,");
-    eprintln!("                                      --interp bytecode|tree");
+    eprintln!("                                      --interp bytecode|tree, --timings[=PATH]");
     eprintln!("exp run/all also accept: --out-dir DIR (capture files + manifest.json)");
 }
 
@@ -360,12 +361,15 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         };
         let out = path_flag("--out", "BENCH_interp.json")?;
         let replay_out = path_flag("--replay-out", "BENCH_replay.json")?;
+        let sched_out = path_flag("--sched-out", "BENCH_sched.json")?;
         if cfg!(debug_assertions) {
             eprintln!("[bpfree] warning: debug build — bench numbers are not comparable");
         }
         bpfree::bench::perf::write_report(std::path::Path::new(&out))
             .map_err(|e| runtime_err(e.to_string()))?;
-        return bpfree::bench::perf::write_replay_report(std::path::Path::new(&replay_out))
+        bpfree::bench::perf::write_replay_report(std::path::Path::new(&replay_out))
+            .map_err(|e| runtime_err(e.to_string()))?;
+        return bpfree::bench::perf::write_sched_report(std::path::Path::new(&sched_out))
             .map_err(|e| runtime_err(e.to_string()));
     }
     let name = args
@@ -556,5 +560,42 @@ fn run_exps(
         start.elapsed().as_secs_f64(),
         engine.simulations()
     );
+    if let Some(out) = &config::config().timings {
+        emit_timings(out).map_err(rt)?;
+    }
     Ok(())
+}
+
+/// Drains the per-task timing log (`--timings` / `BPFREE_TIMINGS`) and
+/// writes it as JSON to stderr or the configured file.
+fn emit_timings(out: &config::TimingsOut) -> io::Result<()> {
+    use bpfree::bench::json::Json;
+    let tasks: Vec<Json> = bpfree::bench::timings::drain()
+        .iter()
+        .map(|t| {
+            Json::obj()
+                .field("kind", t.kind)
+                .field("key", t.key.as_str())
+                .field("micros", t.micros)
+                .field(
+                    "worker",
+                    match t.worker {
+                        Some(w) => Json::UInt(w as u64),
+                        None => Json::Null,
+                    },
+                )
+                .build()
+        })
+        .collect();
+    let doc = Json::obj()
+        .field("schema", "bpfree-timings/1")
+        .field("tasks", tasks)
+        .build();
+    match out {
+        config::TimingsOut::Stderr => {
+            eprintln!("{}", doc.pretty());
+            Ok(())
+        }
+        config::TimingsOut::File(path) => std::fs::write(path, format!("{}\n", doc.pretty())),
+    }
 }
