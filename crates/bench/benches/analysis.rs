@@ -237,8 +237,38 @@ fn bench_freq_propagation(c: &mut Criterion) {
     g.finish();
 }
 
+/// The dense-database headline number: classify + predict every suite
+/// program, dense arena-ID storage vs the seed's hash-keyed shape
+/// ([`bpfree_bench::baseline`]). Same analyses, same heuristic calls —
+/// the ratio isolates the representation.
+fn bench_analysis_throughput(c: &mut Criterion) {
+    let programs: Vec<bpfree_ir::Program> = bpfree_suite::all()
+        .iter()
+        .map(|b| b.compile().expect("suite compiles"))
+        .collect();
+    let mut g = c.benchmark_group("analysis_throughput");
+    g.sample_size(20);
+    g.bench_function("dense_suite", |bench| {
+        bench.iter(|| {
+            for p in &programs {
+                let cl = BranchClassifier::analyze(black_box(p));
+                black_box(HeuristicTable::build(p, &cl));
+            }
+        })
+    });
+    g.bench_function("hash_keyed_suite", |bench| {
+        bench.iter(|| {
+            for p in &programs {
+                black_box(bpfree_bench::baseline::analyze_hash_keyed(black_box(p)));
+            }
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
+    bench_analysis_throughput,
     bench_classification,
     bench_heuristic_table,
     bench_combined_predictor,

@@ -1,0 +1,140 @@
+//! The pre-dense, hash-keyed analysis pipeline, kept as a measurable
+//! seed baseline.
+//!
+//! Before the dense program database, the classifier stored one
+//! `HashMap<BranchRef, _>` per program and the heuristic table one
+//! `HashMap<BranchRef, [Option<Direction>; 7]>`. This module re-creates
+//! that exact shape through the public analysis API — same CFG /
+//! dominator / loop analyses, same per-branch heuristic evaluation,
+//! hash-keyed storage instead of `Vec`s indexed by `BranchId` — so the
+//! perf harness ([`crate::perf::analysis_report`]) and the
+//! `analysis_throughput` Criterion group can time dense-vs-seed on the
+//! real suite and assert the answers agree branch-for-branch.
+
+use std::collections::HashMap;
+
+use bpfree_cfg::FunctionAnalysis;
+use bpfree_core::heuristics::BranchContext;
+use bpfree_core::{BranchClass, Direction, HeuristicKind};
+use bpfree_ir::{BlockId, BranchRef, FuncId, Program, Terminator};
+
+/// Per-branch classification and prediction matrix in the seed's
+/// hash-keyed shape.
+pub struct HashAnalysis {
+    /// Section 3 taxonomy per conditional branch.
+    pub class: HashMap<BranchRef, BranchClass>,
+    /// The loop-branch prediction (`None` for non-loop branches).
+    pub loop_pred: HashMap<BranchRef, Option<Direction>>,
+    /// The seven-heuristic prediction row per *non-loop* branch.
+    pub table: HashMap<BranchRef, [Option<Direction>; 7]>,
+}
+
+/// Classifies every branch and evaluates all seven heuristics on every
+/// non-loop branch, hash-keyed. The classification logic mirrors the
+/// paper's Section 3 taxonomy exactly as the dense classifier
+/// implements it; the heuristic cells come from the same
+/// [`HeuristicKind::predict`] calls the dense table makes.
+pub fn analyze_hash_keyed(program: &Program) -> HashAnalysis {
+    let mut class = HashMap::new();
+    let mut loop_pred = HashMap::new();
+    let mut table = HashMap::new();
+    for (fid, func) in program.funcs().iter().enumerate() {
+        let a = FunctionAnalysis::new(func);
+        for (bid, block) in func.blocks().iter().enumerate() {
+            let Terminator::Branch {
+                taken, fallthru, ..
+            } = block.term
+            else {
+                continue;
+            };
+            let blk = BlockId(bid as u32);
+            let b = BranchRef {
+                func: FuncId(fid as u32),
+                block: blk,
+            };
+            let taken_back = a.loops.is_backedge(blk, taken);
+            let fall_back = a.loops.is_backedge(blk, fallthru);
+            let taken_exit = a.loops.is_exit_edge(blk, taken);
+            let fall_exit = a.loops.is_exit_edge(blk, fallthru);
+            if !taken_back && !fall_back && !taken_exit && !fall_exit {
+                class.insert(b, BranchClass::NonLoop);
+                loop_pred.insert(b, None);
+                let ctx = BranchContext::new(program, &a, b);
+                let mut row = [None; 7];
+                for kind in HeuristicKind::ALL {
+                    row[kind.index()] = kind.predict(&ctx);
+                }
+                table.insert(b, row);
+                continue;
+            }
+            let deeper_taken = a.loops.depth(taken) >= a.loops.depth(fallthru);
+            let pred = if taken_back && fall_back {
+                if deeper_taken {
+                    Direction::Taken
+                } else {
+                    Direction::FallThru
+                }
+            } else if taken_back {
+                Direction::Taken
+            } else if fall_back || (taken_exit && !fall_exit) {
+                Direction::FallThru
+            } else if fall_exit && !taken_exit {
+                Direction::Taken
+            } else {
+                // Both edges are exit edges: stay in the deeper loop.
+                if deeper_taken {
+                    Direction::Taken
+                } else {
+                    Direction::FallThru
+                }
+            };
+            class.insert(b, BranchClass::Loop);
+            loop_pred.insert(b, Some(pred));
+        }
+    }
+    HashAnalysis {
+        class,
+        loop_pred,
+        table,
+    }
+}
+
+/// Panics unless `analysis` agrees with the dense classifier and table
+/// on every branch — the live parity check the perf harness runs before
+/// timing anything.
+pub fn assert_matches_dense(
+    analysis: &HashAnalysis,
+    classifier: &bpfree_core::BranchClassifier,
+    table: &bpfree_core::HeuristicTable,
+) {
+    assert_eq!(classifier.rows().count(), analysis.class.len());
+    for (b, class, pred) in classifier.rows() {
+        assert_eq!(analysis.class[&b], class, "class of {b}");
+        assert_eq!(analysis.loop_pred[&b], pred, "loop prediction of {b}");
+    }
+    assert_eq!(table.rows().count(), analysis.table.len());
+    for (b, row) in table.rows() {
+        assert_eq!(&analysis.table[&b], row, "heuristic row of {b}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfree_core::{BranchClassifier, HeuristicTable};
+
+    #[test]
+    fn hash_keyed_baseline_matches_dense_on_a_real_benchmark() {
+        let bench = bpfree_suite::by_name("grep").expect("suite has grep");
+        let program = bench.compile().expect("grep compiles");
+        let classifier = BranchClassifier::analyze(&program);
+        let table = HeuristicTable::build(&program, &classifier);
+        let hashed = analyze_hash_keyed(&program);
+        assert_matches_dense(&hashed, &classifier, &table);
+        assert!(
+            hashed.class.values().any(|&c| c == BranchClass::Loop),
+            "grep has loop branches"
+        );
+        assert!(!hashed.table.is_empty(), "grep has non-loop branches");
+    }
+}

@@ -76,8 +76,11 @@ impl Experiment for Extensions {
                         .into_iter()
                         .filter(|b| d.classifier.class(*b) == BranchClass::NonLoop)
                         .filter_map(|b| {
-                            let ctx =
-                                BranchContext::new(&d.program, d.classifier.analysis(b.func), b);
+                            let ctx = BranchContext::new(
+                                &d.program,
+                                d.classifier.analysis(&d.program, b.func),
+                                b,
+                            );
                             deep.predict(&ctx, depth).map(|dir| (b, dir))
                         })
                         .collect();

@@ -87,10 +87,14 @@ impl Experiment for FreqEstimate {
             let mut cs = Vec::new();
             let mut ys = Vec::new();
             let mut zs = Vec::new();
-            for (b, counts) in d.profile.iter() {
-                xs.push(est[&b]);
-                cs.push(cal[&b]);
-                zs.push(flat[&b]);
+            for (b, freq) in est.iter() {
+                let counts = d.profile.counts(b);
+                if counts.total() == 0 {
+                    continue;
+                }
+                xs.push(freq);
+                cs.push(cal.get(b));
+                zs.push(flat.get(b));
                 ys.push(counts.total() as f64);
             }
             let rho = spearman(&xs, &ys);

@@ -21,6 +21,7 @@
 //! a warm run skips compilation and simulation entirely. Both are
 //! controlled by the standard flags parsed by [`config::init`].
 
+pub mod baseline;
 pub mod config;
 pub mod experiments;
 pub mod json;

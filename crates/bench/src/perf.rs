@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use bpfree_core::ipbc::{IpbcAnalyzer, SequenceDist};
 use bpfree_core::{
-    evaluate_trace, loop_rand_predictions, perfect_predictions, CombinedPredictor, HeuristicKind,
-    Predictions, DEFAULT_SEED,
+    evaluate_trace, loop_rand_predictions, perfect_predictions, BranchClassifier,
+    CombinedPredictor, HeuristicKind, HeuristicTable, Predictions, DEFAULT_SEED,
 };
 use bpfree_engine::{Engine, EngineConfig};
 use bpfree_sim::{BranchTrace, BytecodeProgram, InterpTier, NullObserver, SimConfig};
@@ -496,6 +496,127 @@ pub fn sched_report() -> Json {
 /// Propagates filesystem errors from the write.
 pub fn write_sched_report(path: &Path) -> io::Result<()> {
     let doc = sched_report();
+    std::fs::write(path, doc.pretty() + "\n")?;
+    eprintln!("[bpfree] wrote {}", path.display());
+    Ok(())
+}
+
+/// One dense analysis pass — classification plus the full heuristic
+/// matrix — timed whole.
+fn time_dense_analysis(program: &bpfree_ir::Program) -> f64 {
+    let start = Instant::now();
+    let classifier = BranchClassifier::analyze(program);
+    let table = HeuristicTable::build(program, &classifier);
+    std::hint::black_box((&classifier, &table));
+    start.elapsed().as_secs_f64()
+}
+
+/// One seed-shaped (hash-keyed) analysis pass over the same program.
+fn time_seed_analysis(program: &bpfree_ir::Program) -> f64 {
+    let start = Instant::now();
+    let analysis = crate::baseline::analyze_hash_keyed(program);
+    std::hint::black_box(&analysis);
+    start.elapsed().as_secs_f64()
+}
+
+/// Builds the analysis-throughput report behind `BENCH_analysis.json`:
+/// classify + predict every suite program, dense (`Vec` indexed by
+/// `BranchId`) versus the seed's hash-keyed storage
+/// ([`crate::baseline`]). Both run the identical CFG / dominator / loop
+/// analyses and heuristic evaluations, so the ratio isolates the
+/// representation. Per benchmark: branches per second under each shape,
+/// min-of-[`ROUNDS`] interleaved like the interpreter report, with the
+/// two answers asserted equal branch-for-branch before any clock
+/// starts.
+///
+/// # Panics
+///
+/// Panics if a suite benchmark fails to compile or the hash-keyed
+/// baseline disagrees with the dense pipeline on any branch.
+pub fn analysis_report() -> Json {
+    let mut rows = Vec::new();
+    let mut dense_total = 0f64;
+    let mut seed_total = 0f64;
+    let mut branches_total = 0u64;
+    for bench in bpfree_suite::all() {
+        let program = bench
+            .compile()
+            .unwrap_or_else(|e| panic!("benchmark `{}` fails to compile: {e}", bench.name));
+        // Parity before timing: the baseline must agree everywhere.
+        let classifier = BranchClassifier::analyze(&program);
+        let table = HeuristicTable::build(&program, &classifier);
+        let hashed = crate::baseline::analyze_hash_keyed(&program);
+        crate::baseline::assert_matches_dense(&hashed, &classifier, &table);
+        let branches = classifier.rows().count() as u64;
+        let nonloop = table.rows().count() as u64;
+        drop((classifier, table, hashed));
+
+        let mut dense = time_dense_analysis(&program);
+        let mut seed = time_seed_analysis(&program);
+        for _ in 1..ROUNDS {
+            dense = dense.min(time_dense_analysis(&program));
+            seed = seed.min(time_seed_analysis(&program));
+        }
+        let bps = |secs: f64| {
+            if secs > 0.0 {
+                branches as f64 / secs
+            } else {
+                0.0
+            }
+        };
+        let speedup = if dense > 0.0 { seed / dense } else { 0.0 };
+        dense_total += dense;
+        seed_total += seed;
+        branches_total += branches;
+        rows.push(
+            Json::obj()
+                .field("name", Json::Str(bench.name.to_string()))
+                .field("branches", Json::UInt(branches))
+                .field("nonloop_branches", Json::UInt(nonloop))
+                .field("dense_branches_per_sec", Json::Float(bps(dense)))
+                .field("seed_branches_per_sec", Json::Float(bps(seed)))
+                .field("speedup", Json::Float(speedup))
+                .build(),
+        );
+    }
+    let total_speedup = if dense_total > 0.0 {
+        seed_total / dense_total
+    } else {
+        0.0
+    };
+    Json::obj()
+        .field("schema", Json::Str("bpfree-bench-analysis/1".to_string()))
+        .field(
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        )
+        .field("benchmarks", Json::Arr(rows))
+        .field(
+            "total",
+            Json::obj()
+                .field("branches", Json::UInt(branches_total))
+                .field("dense_seconds", Json::Float(dense_total))
+                .field("seed_seconds", Json::Float(seed_total))
+                .field("speedup", Json::Float(total_speedup))
+                .build(),
+        )
+        .build()
+}
+
+/// Writes [`analysis_report`] to `path` (trailing newline included).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_analysis_report(path: &Path) -> io::Result<()> {
+    let doc = analysis_report();
     std::fs::write(path, doc.pretty() + "\n")?;
     eprintln!("[bpfree] wrote {}", path.display());
     Ok(())

@@ -9,16 +9,24 @@
 //!
 //! # Entry kinds
 //!
-//! The cache stores three independent entry kinds, matching the artifact
+//! The cache stores four independent entry kinds, matching the artifact
 //! granularity of the demand-driven engine (`bpfree-engine`):
 //!
-//! * **compile** — the compiled [`Program`] and its [`HeuristicTable`],
-//!   keyed per (benchmark, source, compile options);
+//! * **compile** — the compiled [`Program`], keyed per (benchmark,
+//!   source, compile options);
+//! * **prediction** — the derived prediction artifacts of that program:
+//!   one [`PredictionRow`] per conditional branch in program order,
+//!   carrying its class, loop prediction, and all seven heuristic
+//!   cells. A warm load rebuilds the [`BranchClassifier`] and
+//!   [`HeuristicTable`] from these rows without running a single CFG
+//!   analysis or heuristic;
 //! * **run** — the [`EdgeProfile`] and [`RunResult`] of one dataset,
 //!   keyed per (benchmark, source, options, dataset);
 //! * **trace** — the replayable [`BranchTrace`] of one dataset (plus its
 //!   [`RunResult`], so a run entry can be reconstructed from a trace
 //!   entry by replay alone), same key shape as a run entry.
+//!
+//! [`BranchClassifier`]: bpfree_core::BranchClassifier
 //!
 //! # Keying
 //!
@@ -35,9 +43,10 @@
 //!
 //! Entries are single files, `<key>.txt`, under the cache directory
 //! (default `target/bpfree-cache`, override with `BPFREE_CACHE_DIR`).
-//! Compile and run entries are plain text. The program itself is stored
-//! as IR text and re-parsed on load — round-trip fidelity is covered by
-//! the suite's `roundtrips_every_suite_benchmark` test.
+//! Compile, prediction, and run entries are plain text. The program
+//! itself is stored as IR text and re-parsed on load — round-trip
+//! fidelity is covered by the suite's `roundtrips_every_suite_benchmark`
+//! test.
 //!
 //! Trace entries (v3) are a text header followed by a binary payload:
 //! the event dictionary and the index sequence are LEB128
@@ -63,19 +72,95 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use bpfree_core::{Direction, HeuristicTable};
+use bpfree_core::{BranchClass, Direction};
 use bpfree_ir::{BlockId, BranchRef, FuncId, Program};
 use bpfree_sim::{BranchTrace, EdgeCounts, EdgeProfile, RunResult, TraceEvent};
 use bpfree_suite::Dataset;
 
 /// Bump on any change to the file layout below.
-const FORMAT_VERSION: u32 = 3;
+const FORMAT_VERSION: u32 = 4;
 
 /// The cached compile-time artifacts for one (benchmark, options) pair.
 #[derive(Debug, Clone)]
 pub struct CompileArtifacts {
     pub program: Program,
-    pub table: HeuristicTable,
+}
+
+/// One branch's cached prediction artifacts: everything the analysis
+/// stack derives per branch site, in one dense row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictionRow {
+    /// The branch site.
+    pub branch: BranchRef,
+    /// Loop or non-loop, per the classifier.
+    pub class: BranchClass,
+    /// The loop-branch prediction (`Some` iff `class` is `Loop`).
+    pub loop_pred: Option<Direction>,
+    /// All seven heuristic cells, in `HeuristicKind::ALL` index order.
+    pub heuristics: [Option<Direction>; 7],
+}
+
+/// The cached prediction artifacts for one (benchmark, options) pair:
+/// one row per conditional branch, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictionArtifacts {
+    pub rows: Vec<PredictionRow>,
+}
+
+impl PredictionArtifacts {
+    /// Extracts the dense rows from a freshly computed classifier +
+    /// heuristic table pair. Loop branches have no heuristic row (the
+    /// heuristics only cover non-loop branches), so their cells are
+    /// empty.
+    pub fn from_computed(
+        classifier: &bpfree_core::BranchClassifier,
+        table: &bpfree_core::HeuristicTable,
+    ) -> PredictionArtifacts {
+        let mut trows = table.rows();
+        let rows = classifier
+            .rows()
+            .map(|(branch, class, loop_pred)| {
+                let heuristics = if class == BranchClass::NonLoop {
+                    let (b2, h) = trows.next().expect("one table row per non-loop branch");
+                    debug_assert_eq!(branch, b2);
+                    *h
+                } else {
+                    [None; 7]
+                };
+                PredictionRow {
+                    branch,
+                    class,
+                    loop_pred,
+                    heuristics,
+                }
+            })
+            .collect();
+        PredictionArtifacts { rows }
+    }
+
+    /// Rebuilds the classifier and heuristic table these rows were
+    /// extracted from, validating them against `program`'s actual branch
+    /// sites — `None` if the rows belong to a different (or stale)
+    /// program, in which case the caller re-analyzes. The rebuilt pair
+    /// performs zero CFG analyses and zero heuristic evaluations.
+    pub fn instantiate(
+        &self,
+        program: &Program,
+    ) -> Option<(bpfree_core::BranchClassifier, bpfree_core::HeuristicTable)> {
+        let class_rows: Vec<_> = self
+            .rows
+            .iter()
+            .map(|r| (r.branch, r.class, r.loop_pred))
+            .collect();
+        let classifier = bpfree_core::BranchClassifier::from_cached(program, &class_rows)?;
+        let table = bpfree_core::HeuristicTable::from_rows(
+            self.rows
+                .iter()
+                .filter(|r| r.class == BranchClass::NonLoop)
+                .map(|r| (r.branch, r.heuristics)),
+        );
+        Some((classifier, table))
+    }
 }
 
 /// The cached artifacts of one simulated (benchmark, options, dataset)
@@ -184,6 +269,16 @@ pub fn compile_key(bench_name: &str, source: &str, opt: &str) -> String {
     format!("{:016x}", base_hash("compile", bench_name, source, opt).0)
 }
 
+/// The content key for a prediction entry. Same inputs as
+/// [`compile_key`] (the rows are a pure function of the compiled
+/// program), different kind tag, so the two can never collide.
+pub fn prediction_key(bench_name: &str, source: &str, opt: &str) -> String {
+    format!(
+        "{:016x}",
+        base_hash("prediction", bench_name, source, opt).0
+    )
+}
+
 /// The content key for one dataset's run entry.
 pub fn run_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> String {
     let mut h = base_hash("run", bench_name, source, opt);
@@ -237,21 +332,6 @@ fn encode_compile(key: &str, a: &CompileArtifacts) -> String {
     let mut out = String::new();
     header(&mut out, key, "compile");
 
-    let mut rows: Vec<(BranchRef, &[Option<Direction>; 7])> = a.table.rows().collect();
-    rows.sort_by_key(|(b, _)| *b);
-    let _ = writeln!(out, "table {}", rows.len());
-    for (b, row) in rows {
-        let _ = write!(out, "{} {} ", b.func.0, b.block.0);
-        for d in row {
-            out.push(match d {
-                Some(Direction::Taken) => 'T',
-                Some(Direction::FallThru) => 'F',
-                None => '-',
-            });
-        }
-        out.push('\n');
-    }
-
     let ir = a.program.to_string();
     let _ = writeln!(out, "program {}", ir.lines().count());
     out.push_str(&ir);
@@ -265,35 +345,6 @@ fn decode_compile(key: &str, text: &str) -> Option<CompileArtifacts> {
     let mut lines = text.lines();
     check_header(&mut lines, key, "compile")?;
 
-    let n_rows: usize = lines.next()?.strip_prefix("table ")?.parse().ok()?;
-    let mut rows = Vec::with_capacity(n_rows);
-    for _ in 0..n_rows {
-        let line = lines.next()?;
-        let mut it = line.split_ascii_whitespace();
-        let func: u32 = it.next()?.parse().ok()?;
-        let block: u32 = it.next()?.parse().ok()?;
-        let cells = it.next()?;
-        if it.next().is_some() || cells.chars().count() != 7 {
-            return None;
-        }
-        let mut row = [None; 7];
-        for (i, c) in cells.chars().enumerate() {
-            row[i] = match c {
-                'T' => Some(Direction::Taken),
-                'F' => Some(Direction::FallThru),
-                '-' => None,
-                _ => return None,
-            };
-        }
-        rows.push((
-            BranchRef {
-                func: FuncId(func),
-                block: BlockId(block),
-            },
-            row,
-        ));
-    }
-
     let n_ir: usize = lines.next()?.strip_prefix("program ")?.parse().ok()?;
     let ir: Vec<&str> = lines.collect();
     if ir.len() != n_ir {
@@ -301,10 +352,97 @@ fn decode_compile(key: &str, text: &str) -> Option<CompileArtifacts> {
     }
     let program = bpfree_ir::parse_program(&ir.join("\n")).ok()?;
 
-    Some(CompileArtifacts {
-        program,
-        table: HeuristicTable::from_rows(rows),
-    })
+    Some(CompileArtifacts { program })
+}
+
+fn direction_char(d: Option<Direction>) -> char {
+    match d {
+        Some(Direction::Taken) => 'T',
+        Some(Direction::FallThru) => 'F',
+        None => '-',
+    }
+}
+
+fn direction_of(c: char) -> Option<Option<Direction>> {
+    match c {
+        'T' => Some(Some(Direction::Taken)),
+        'F' => Some(Some(Direction::FallThru)),
+        '-' => Some(None),
+        _ => None,
+    }
+}
+
+/// One 9-character cell block per row: class (`L`/`N`), loop prediction
+/// (`T`/`F`/`-`), then the seven heuristic cells.
+fn encode_prediction(key: &str, a: &PredictionArtifacts) -> String {
+    let mut out = String::new();
+    header(&mut out, key, "prediction");
+    let _ = writeln!(out, "rows {}", a.rows.len());
+    for r in &a.rows {
+        let _ = write!(out, "{} {} ", r.branch.func.0, r.branch.block.0);
+        out.push(match r.class {
+            BranchClass::Loop => 'L',
+            BranchClass::NonLoop => 'N',
+        });
+        out.push(direction_char(r.loop_pred));
+        for &d in &r.heuristics {
+            out.push(direction_char(d));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn decode_prediction(key: &str, text: &str) -> Option<PredictionArtifacts> {
+    let mut lines = text.lines();
+    check_header(&mut lines, key, "prediction")?;
+
+    let n_rows: usize = lines.next()?.strip_prefix("rows ")?.parse().ok()?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let line = lines.next()?;
+        let mut it = line.split_ascii_whitespace();
+        let func: u32 = it.next()?.parse().ok()?;
+        let block: u32 = it.next()?.parse().ok()?;
+        let cells = it.next()?;
+        if it.next().is_some() || cells.chars().count() != 9 {
+            return None;
+        }
+        let mut chars = cells.chars();
+        let class = match chars.next()? {
+            'L' => BranchClass::Loop,
+            'N' => BranchClass::NonLoop,
+            _ => return None,
+        };
+        let loop_pred = direction_of(chars.next()?)?;
+        // The Loop ⇔ Some(loop_pred) invariant is structural, not a
+        // matter of staleness — reject rows that violate it outright.
+        if (class == BranchClass::Loop) != loop_pred.is_some() {
+            return None;
+        }
+        let mut heuristics = [None; 7];
+        for (i, c) in chars.enumerate() {
+            heuristics[i] = direction_of(c)?;
+        }
+        // Heuristics only cover non-loop branches; a loop row with
+        // heuristic cells is corrupt.
+        if class == BranchClass::Loop && heuristics.iter().any(Option::is_some) {
+            return None;
+        }
+        rows.push(PredictionRow {
+            branch: BranchRef {
+                func: FuncId(func),
+                block: BlockId(block),
+            },
+            class,
+            loop_pred,
+            heuristics,
+        });
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(PredictionArtifacts { rows })
 }
 
 fn encode_run(key: &str, a: &RunArtifacts) -> String {
@@ -602,6 +740,20 @@ pub fn store_compile(dir: &Path, key: &str, a: &CompileArtifacts) -> std::io::Re
     write_entry(dir, key, encode_compile(key, a))
 }
 
+/// Loads the prediction entry for `key`, or `None` if absent,
+/// unreadable, or corrupt. The rows are *syntactically* validated here
+/// (shape, the Loop ⇔ loop-prediction invariant); matching them against
+/// the actual program's branch sites is the caller's job
+/// (`BranchClassifier::from_cached` refuses mismatched rows).
+pub fn lookup_prediction(dir: &Path, key: &str) -> Option<PredictionArtifacts> {
+    decode_prediction(key, &read_entry(dir, key)?)
+}
+
+/// Stores a prediction entry atomically.
+pub fn store_prediction(dir: &Path, key: &str, a: &PredictionArtifacts) -> std::io::Result<()> {
+    write_entry(dir, key, encode_prediction(key, a))
+}
+
 /// Loads the run entry for `key` (miss on absence or corruption).
 pub fn lookup_run(dir: &Path, key: &str) -> Option<RunArtifacts> {
     decode_run(key, &read_entry(dir, key)?)
@@ -638,8 +790,6 @@ mod tests {
             }",
         )
         .unwrap();
-        let classifier = bpfree_core::BranchClassifier::analyze(&program);
-        let table = HeuristicTable::build(&program, &classifier);
         let mut profiler = bpfree_sim::EdgeProfiler::new();
         let mut recorder = TraceRecorder::new();
         let mut fan = bpfree_sim::Multiplex::new();
@@ -649,16 +799,16 @@ mod tests {
         let profile = profiler.into_profile();
         let trace = recorder.into_trace();
         (
-            CompileArtifacts { program, table },
+            CompileArtifacts { program },
             RunArtifacts { profile, run },
             TraceArtifacts { trace, run },
         )
     }
 
-    fn table_rows_sorted(t: &HeuristicTable) -> Vec<(BranchRef, [Option<Direction>; 7])> {
-        let mut rows: Vec<_> = t.rows().map(|(b, r)| (b, *r)).collect();
-        rows.sort_by_key(|(b, _)| *b);
-        rows
+    fn sample_predictions(program: &Program) -> PredictionArtifacts {
+        let classifier = bpfree_core::BranchClassifier::analyze(program);
+        let table = bpfree_core::HeuristicTable::build(program, &classifier);
+        PredictionArtifacts::from_computed(&classifier, &table)
     }
 
     #[test]
@@ -668,7 +818,53 @@ mod tests {
         let text = encode_compile(key, &a);
         let b = decode_compile(key, &text).expect("decodes");
         assert_eq!(a.program, b.program);
-        assert_eq!(table_rows_sorted(&a.table), table_rows_sorted(&b.table));
+    }
+
+    #[test]
+    fn prediction_roundtrip() {
+        let (c, _, _) = sample();
+        let a = sample_predictions(&c.program);
+        assert!(!a.rows.is_empty());
+        assert!(a.rows.iter().any(|r| r.class == BranchClass::Loop));
+        let key = "0123456789abcdef";
+        let text = encode_prediction(key, &a);
+        let b = decode_prediction(key, &text).expect("decodes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prediction_rejects_structural_violations() {
+        let (c, _, _) = sample();
+        let a = sample_predictions(&c.program);
+        let key = "0123456789abcdef";
+        let text = encode_prediction(key, &a);
+        // A loop row whose loop-prediction cell is blanked out violates
+        // the Loop ⇔ Some invariant and must not decode.
+        let loop_line = text
+            .lines()
+            .find(|l| {
+                l.split_ascii_whitespace()
+                    .nth(2)
+                    .is_some_and(|c| c.starts_with('L'))
+            })
+            .expect("sample has a loop branch");
+        let mut cells: Vec<char> = loop_line.chars().collect();
+        let cell_at = loop_line.rfind(' ').unwrap() + 1;
+        cells[cell_at + 1] = '-';
+        let garbled: String = text.replace(loop_line, &cells.iter().collect::<String>());
+        assert!(
+            decode_prediction(key, &garbled).is_none(),
+            "L row without pred"
+        );
+        // Truncated row list.
+        let short = text.replace(&format!("rows {}", a.rows.len()), "rows 999");
+        assert!(
+            decode_prediction(key, &short).is_none(),
+            "row count mismatch"
+        );
+        // Extra trailing line.
+        let long = format!("{text}0 0 NT-------\n");
+        assert!(decode_prediction(key, &long).is_none(), "trailing rows");
     }
 
     #[test]
@@ -813,6 +1009,10 @@ mod tests {
         assert_ne!(k0, compile_key("b", "src2", "O:inline+simplify"), "source");
         assert_ne!(k0, compile_key("b2", "src", "O:inline+simplify"), "name");
 
+        let p0 = prediction_key("b", "src", "O:inline+simplify");
+        assert_ne!(p0, k0, "prediction and compile kinds never collide");
+        assert_ne!(p0, prediction_key("b", "src2", "O:inline+simplify"));
+
         let r0 = run_key("b", "src", "O:inline+simplify", &ds(1));
         assert_eq!(r0, run_key("b", "src", "O:inline+simplify", &ds(1)));
         assert_ne!(
@@ -833,6 +1033,10 @@ mod tests {
         let o0 = bpfree_lang::Options::o0().fingerprint();
         assert_ne!(o, o0);
         assert_ne!(compile_key("b", "src", o), compile_key("b", "src", o0));
+        assert_ne!(
+            prediction_key("b", "src", o),
+            prediction_key("b", "src", o0)
+        );
         assert_ne!(
             run_key("b", "src", o, &ds(1)),
             run_key("b", "src", o0, &ds(1))

@@ -1,0 +1,149 @@
+//! A compact block-index bitset — the flat replacement for the
+//! `HashSet<BlockId>` loop bodies and head sets of the pre-dense
+//! analysis layer.
+
+use bpfree_ir::BlockId;
+
+/// A fixed-capacity set of [`BlockId`]s stored as one bit per block.
+///
+/// Capacity is the function's block count, so membership queries are a
+/// word index + mask and iteration is an ascending bit scan — no
+/// hashing and no iteration-order hazard.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_cfg::BlockSet;
+/// use bpfree_ir::BlockId;
+///
+/// let mut s = BlockSet::new(130);
+/// s.insert(BlockId(3));
+/// s.insert(BlockId(129));
+/// assert!(s.contains(BlockId(3)));
+/// assert!(!s.contains(BlockId(4)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![BlockId(3), BlockId(129)]);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BlockSet {
+    /// An empty set with room for blocks `0..capacity`.
+    pub fn new(capacity: usize) -> BlockSet {
+        BlockSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The block-index capacity this set was sized for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `b`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is outside the set's capacity.
+    pub fn insert(&mut self, b: BlockId) -> bool {
+        assert!(b.index() < self.capacity, "block {b:?} out of range");
+        let (w, bit) = (b.index() / 64, 1u64 << (b.index() % 64));
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        fresh
+    }
+
+    /// Is `b` a member? Out-of-capacity blocks are never members.
+    pub fn contains(&self, b: BlockId) -> bool {
+        let w = b.index() / 64;
+        w < self.words.len() && self.words[w] & (1 << (b.index() % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no block is a member.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over members in ascending block order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(BlockId(wi as u32 * 64 + bit))
+            })
+        })
+    }
+}
+
+impl FromIterator<BlockId> for BlockSet {
+    /// Collects blocks into a set sized to the largest member.
+    fn from_iter<I: IntoIterator<Item = BlockId>>(iter: I) -> BlockSet {
+        let blocks: Vec<BlockId> = iter.into_iter().collect();
+        let cap = blocks.iter().map(|b| b.index() + 1).max().unwrap_or(0);
+        let mut s = BlockSet::new(cap);
+        for b in blocks {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iterate() {
+        let mut s = BlockSet::new(200);
+        assert!(s.is_empty());
+        for i in [0u32, 63, 64, 65, 199] {
+            assert!(s.insert(BlockId(i)));
+            assert!(!s.insert(BlockId(i)), "second insert reports existing");
+        }
+        assert_eq!(s.count(), 5);
+        assert!(!s.is_empty());
+        let got: Vec<u32> = s.iter().map(|b| b.0).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 199]);
+        assert!(!s.contains(BlockId(1)));
+        assert!(!s.contains(BlockId(10_000)), "past capacity is absent");
+    }
+
+    #[test]
+    fn equality_ignores_nothing() {
+        let mut a = BlockSet::new(10);
+        let mut b = BlockSet::new(10);
+        a.insert(BlockId(3));
+        assert_ne!(a, b);
+        b.insert(BlockId(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_fit() {
+        let s: BlockSet = [BlockId(5), BlockId(2)].into_iter().collect();
+        assert_eq!(s.capacity(), 6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![BlockId(2), BlockId(5)]);
+        let empty: BlockSet = std::iter::empty().collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_past_capacity_panics() {
+        BlockSet::new(3).insert(BlockId(3));
+    }
+}

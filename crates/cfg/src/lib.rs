@@ -42,11 +42,15 @@
 //! assert!(analysis.loops.is_exit_edge(head, exit));
 //! ```
 
+#![deny(missing_docs)]
+
+mod bitset;
 mod dfs;
 mod dom;
 mod graph;
 mod loops;
 
+pub use bitset::BlockSet;
 pub use dfs::DfsOrder;
 pub use dom::{Dominators, PostDominators};
 pub use graph::{Cfg, EdgeKind};
@@ -59,10 +63,15 @@ use bpfree_ir::Function;
 /// Construction runs DFS, dominators, postdominators, and loop analysis.
 #[derive(Debug)]
 pub struct FunctionAnalysis {
+    /// The control-flow graph.
     pub cfg: Cfg,
+    /// Depth-first orderings over the CFG.
     pub dfs: DfsOrder,
+    /// The domination relation.
     pub doms: Dominators,
+    /// The postdomination relation.
     pub pdoms: PostDominators,
+    /// Natural-loop analysis results.
     pub loops: Loops,
 }
 

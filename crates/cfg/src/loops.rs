@@ -1,7 +1,15 @@
-use std::collections::{HashMap, HashSet};
+//! Natural-loop analysis on flat arrays.
+//!
+//! Every result is stored densely — loop membership as [`BlockSet`]
+//! bitsets, the loop forest as parallel head/parent/depth vectors, and
+//! edge classifications (backedge / exit / irreducible) as per-edge
+//! flags in CFG successor-slot order — so queries are array lookups and
+//! every iterator yields a deterministic, ascending order. No `HashMap`
+//! or `HashSet` appears in any analysis result.
 
 use bpfree_ir::BlockId;
 
+use crate::bitset::BlockSet;
 use crate::dom::Dominators;
 use crate::graph::Cfg;
 
@@ -10,18 +18,25 @@ use crate::graph::Cfg;
 /// Following the paper's definition: for a loop head `y`,
 /// `nat_loop(y) = {y} ∪ { w | ∃ backedge x -> y and a y-free path w ↝ x }`.
 /// Multiple backedges into the same head contribute to one natural loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NaturalLoop {
+    /// The loop head (target of the backedges that define the loop).
     pub head: BlockId,
-    pub body: HashSet<BlockId>,
+    /// The loop body, head included.
+    pub body: BlockSet,
 }
 
 impl NaturalLoop {
     /// Does this loop contain `b`? (The head is a member.)
     pub fn contains(&self, b: BlockId) -> bool {
-        self.body.contains(&b)
+        self.body.contains(b)
     }
 }
+
+/// Per-edge classification flags, parallel to [`Cfg::successors`] slots.
+const EDGE_BACK: u8 = 1 << 0;
+const EDGE_EXIT: u8 = 1 << 1;
+const EDGE_IRREDUCIBLE: u8 = 1 << 2;
 
 /// Natural-loop analysis over a [`Cfg`].
 ///
@@ -56,47 +71,84 @@ impl NaturalLoop {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Loops {
-    backedges: HashSet<(BlockId, BlockId)>,
-    heads: HashSet<BlockId>,
-    loops: HashMap<BlockId, NaturalLoop>,
-    exit_edges: HashSet<(BlockId, BlockId)>,
-    /// Retreating edges that are not backedges (irreducible control flow).
-    irreducible_edges: HashSet<(BlockId, BlockId)>,
+    /// CSR edge layout: block `b`'s outgoing edges occupy
+    /// `edge_start[b.index()] .. edge_start[b.index() + 1]` in
+    /// [`Cfg::successors`] slot order.
+    edge_start: Vec<u32>,
+    /// Edge destinations, parallel to the flag array.
+    edge_dst: Vec<BlockId>,
+    /// Per-edge `EDGE_*` flag bits.
+    edge_flags: Vec<u8>,
+    /// Membership bitset of loop heads.
+    head_set: BlockSet,
+    /// The natural loops in ascending head order; index = loop index.
+    loops: Vec<NaturalLoop>,
+    /// Loop forest: for each loop, the index of the innermost distinct
+    /// enclosing loop, or `u32::MAX` for a root.
+    parent: Vec<u32>,
+    /// Per-block loop nesting depth (number of natural loops containing
+    /// the block).
     depth: Vec<u32>,
+    /// Count of retreating-but-not-backedge edges (irreducible flow).
+    n_irreducible: usize,
 }
 
 impl Loops {
     /// Computes natural loops from the CFG and its dominator tree.
     pub fn compute(cfg: &Cfg, doms: &Dominators) -> Loops {
-        let mut backedges = HashSet::new();
-        let mut irreducible_edges = HashSet::new();
+        let n = cfg.n_blocks();
         let dfs = crate::dfs::DfsOrder::compute(cfg);
-        for (src, dst, _) in cfg.edges() {
-            if !dfs.is_reachable(src) {
-                continue;
+
+        // Flatten the successor lists into CSR form and classify the
+        // backedges / irreducible retreating edges in slot order.
+        let mut edge_start = Vec::with_capacity(n + 1);
+        let mut edge_dst = Vec::new();
+        let mut edge_flags = Vec::new();
+        let mut n_irreducible = 0;
+        edge_start.push(0);
+        for b in cfg.block_ids() {
+            for &dst in cfg.successors(b) {
+                let mut flags = 0u8;
+                if dfs.is_reachable(b) {
+                    if doms.dominates(dst, b) {
+                        flags |= EDGE_BACK;
+                    } else if dfs.is_retreating(b, dst) {
+                        flags |= EDGE_IRREDUCIBLE;
+                        n_irreducible += 1;
+                    }
+                }
+                edge_dst.push(dst);
+                edge_flags.push(flags);
             }
-            if doms.dominates(dst, src) {
-                backedges.insert((src, dst));
-            } else if dfs.is_retreating(src, dst) {
-                irreducible_edges.insert((src, dst));
-            }
+            edge_start.push(edge_dst.len() as u32);
         }
 
-        let mut heads: HashSet<BlockId> = HashSet::new();
-        for &(_, dst) in &backedges {
-            heads.insert(dst);
+        let mut head_set = BlockSet::new(n);
+        for (i, &dst) in edge_dst.iter().enumerate() {
+            if edge_flags[i] & EDGE_BACK != 0 {
+                head_set.insert(dst);
+            }
         }
 
         // nat_loop(y): backward reachability from each backedge source,
-        // stopping at y.
-        let mut loops: HashMap<BlockId, NaturalLoop> = HashMap::new();
-        for &head in &heads {
-            let mut body: HashSet<BlockId> = HashSet::new();
+        // stopping at y. Heads are visited in ascending block order.
+        let mut loops: Vec<NaturalLoop> = Vec::with_capacity(head_set.count());
+        for head in head_set.iter() {
+            let mut body = BlockSet::new(n);
             body.insert(head);
             let mut work: Vec<BlockId> = Vec::new();
-            for &(src, dst) in &backedges {
-                if dst == head && body.insert(src) {
-                    work.push(src);
+            for src in cfg.block_ids() {
+                let (lo, hi) = (
+                    edge_start[src.index()] as usize,
+                    edge_start[src.index() + 1] as usize,
+                );
+                for slot in lo..hi {
+                    if edge_flags[slot] & EDGE_BACK != 0
+                        && edge_dst[slot] == head
+                        && body.insert(src)
+                    {
+                        work.push(src);
+                    }
                 }
             }
             while let Some(b) = work.pop() {
@@ -106,65 +158,109 @@ impl Loops {
                     }
                 }
             }
-            loops.insert(head, NaturalLoop { head, body });
+            loops.push(NaturalLoop { head, body });
         }
 
-        let mut exit_edges = HashSet::new();
-        for (src, dst, _) in cfg.edges() {
-            for nl in loops.values() {
-                if nl.contains(src) && !nl.contains(dst) {
-                    exit_edges.insert((src, dst));
-                    break;
+        // Exit edges: src inside some loop whose body excludes dst.
+        for b in cfg.block_ids() {
+            let (lo, hi) = (
+                edge_start[b.index()] as usize,
+                edge_start[b.index() + 1] as usize,
+            );
+            for slot in lo..hi {
+                let dst = edge_dst[slot];
+                if loops.iter().any(|nl| nl.contains(b) && !nl.contains(dst)) {
+                    edge_flags[slot] |= EDGE_EXIT;
                 }
             }
         }
 
-        let mut depth = vec![0u32; cfg.n_blocks()];
-        for nl in loops.values() {
-            for b in &nl.body {
+        let mut depth = vec![0u32; n];
+        for nl in &loops {
+            for b in nl.body.iter() {
                 depth[b.index()] += 1;
             }
         }
 
+        // Loop forest: the innermost distinct loop enclosing each head.
+        // Natural-loop bodies of distinct heads nest or are disjoint, so
+        // the enclosing loop with the smallest body is the parent.
+        let parent = loops
+            .iter()
+            .map(|nl| {
+                loops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, outer)| outer.head != nl.head && outer.contains(nl.head))
+                    .min_by_key(|(_, outer)| outer.body.count())
+                    .map(|(i, _)| i as u32)
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
+
         Loops {
-            backedges,
-            heads,
+            edge_start,
+            edge_dst,
+            edge_flags,
+            head_set,
             loops,
-            exit_edges,
-            irreducible_edges,
+            parent,
             depth,
+            n_irreducible,
         }
+    }
+
+    /// The flag bits of edge `src -> dst`, or 0 when no such edge exists.
+    /// A block has at most two successors, so this is a two-slot scan.
+    fn edge_flags_of(&self, src: BlockId, dst: BlockId) -> u8 {
+        if src.index() + 1 >= self.edge_start.len() {
+            return 0;
+        }
+        let (lo, hi) = (
+            self.edge_start[src.index()] as usize,
+            self.edge_start[src.index() + 1] as usize,
+        );
+        let mut flags = 0;
+        for slot in lo..hi {
+            if self.edge_dst[slot] == dst {
+                flags |= self.edge_flags[slot];
+            }
+        }
+        flags
     }
 
     /// Is `src -> dst` a loop backedge (dst dominates src)?
     pub fn is_backedge(&self, src: BlockId, dst: BlockId) -> bool {
-        self.backedges.contains(&(src, dst))
+        self.edge_flags_of(src, dst) & EDGE_BACK != 0
     }
 
     /// Is `b` a loop head (target of at least one backedge)?
     pub fn is_head(&self, b: BlockId) -> bool {
-        self.heads.contains(&b)
+        self.head_set.contains(b)
     }
 
     /// Is `src -> dst` an exit edge of some natural loop (`src` inside,
     /// `dst` outside)?
     pub fn is_exit_edge(&self, src: BlockId, dst: BlockId) -> bool {
-        self.exit_edges.contains(&(src, dst))
+        self.edge_flags_of(src, dst) & EDGE_EXIT != 0
     }
 
     /// The natural loop with the given head.
     pub fn natural_loop(&self, head: BlockId) -> Option<&NaturalLoop> {
-        self.loops.get(&head)
+        self.loops
+            .binary_search_by_key(&head, |nl| nl.head)
+            .ok()
+            .map(|i| &self.loops[i])
     }
 
-    /// All loop heads.
+    /// All loop heads, in ascending block order.
     pub fn heads(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.heads.iter().copied()
+        self.loops.iter().map(|nl| nl.head)
     }
 
-    /// All natural loops.
+    /// All natural loops, in ascending head order.
     pub fn iter(&self) -> impl Iterator<Item = &NaturalLoop> {
-        self.loops.values()
+        self.loops.iter()
     }
 
     /// Number of distinct natural loops (one per head).
@@ -177,14 +273,29 @@ impl Loops {
         self.depth[b.index()]
     }
 
-    /// Is the CFG reducible (every retreating DFS edge is a backedge)?
-    pub fn is_reducible(&self) -> bool {
-        self.irreducible_edges.is_empty()
+    /// The head of the innermost loop strictly enclosing the loop headed
+    /// at `head` — the loop-forest parent — or `None` for a root loop
+    /// (or a block that heads no loop).
+    pub fn parent(&self, head: BlockId) -> Option<BlockId> {
+        let i = self.loops.binary_search_by_key(&head, |nl| nl.head).ok()?;
+        let p = self.parent[i];
+        (p != u32::MAX).then(|| self.loops[p as usize].head)
     }
 
-    /// Retreating edges that are not natural-loop backedges.
+    /// Is the CFG reducible (every retreating DFS edge is a backedge)?
+    pub fn is_reducible(&self) -> bool {
+        self.n_irreducible == 0
+    }
+
+    /// Retreating edges that are not natural-loop backedges, in
+    /// `(block, successor-slot)` order.
     pub fn irreducible_edges(&self) -> impl Iterator<Item = (BlockId, BlockId)> + '_ {
-        self.irreducible_edges.iter().copied()
+        (0..self.edge_start.len() - 1).flat_map(move |b| {
+            let (lo, hi) = (self.edge_start[b] as usize, self.edge_start[b + 1] as usize);
+            (lo..hi)
+                .filter(move |&slot| self.edge_flags[slot] & EDGE_IRREDUCIBLE != 0)
+                .map(move |slot| (BlockId(b as u32), self.edge_dst[slot]))
+        })
     }
 }
 
@@ -207,6 +318,10 @@ mod tests {
         let doms = Dominators::compute(&cfg, &dfs);
         let loops = Loops::compute(&cfg, &doms);
         (cfg, loops)
+    }
+
+    fn body_blocks(nl: &NaturalLoop) -> Vec<BlockId> {
+        nl.body.iter().collect()
     }
 
     /// Reproduces the paper's Figure 1: A -> B; B -> {C, F?}; actually:
@@ -263,7 +378,7 @@ mod tests {
         assert!(loops.is_backedge(e, b));
         assert_eq!(loops.n_loops(), 1);
         let nl = loops.natural_loop(b).unwrap();
-        assert_eq!(nl.body, [b, c, d, e].into_iter().collect());
+        assert_eq!(body_blocks(nl), vec![b, c, d, e]);
         assert!(loops.is_exit_edge(c, f));
         assert!(loops.is_exit_edge(e, f));
         assert!(!loops.is_exit_edge(a, f));
@@ -312,6 +427,15 @@ mod tests {
         assert_eq!(loops.depth(oh), 1);
         assert_eq!(loops.depth(done), 0);
         assert_eq!(loops.depth(entry), 0);
+        // The loop forest: the inner loop's parent is the outer loop.
+        assert_eq!(loops.parent(ih), Some(oh));
+        assert_eq!(loops.parent(oh), None);
+        assert_eq!(loops.parent(done), None, "non-head has no parent");
+        // Deterministic ascending orders.
+        let heads: Vec<_> = loops.heads().collect();
+        assert_eq!(heads, vec![oh, ih]);
+        let iter_heads: Vec<_> = loops.iter().map(|nl| nl.head).collect();
+        assert_eq!(iter_heads, heads);
     }
 
     #[test]
@@ -334,8 +458,9 @@ mod tests {
         let (_cfg, loops) = analyze(bld.finish().unwrap());
         assert!(loops.is_backedge(l, l));
         let nl = loops.natural_loop(l).unwrap();
-        assert_eq!(nl.body, [l].into_iter().collect());
+        assert_eq!(body_blocks(nl), vec![l]);
         assert!(loops.is_exit_edge(l, done));
+        assert_eq!(loops.parent(l), None);
     }
 
     #[test]
@@ -392,6 +517,8 @@ mod tests {
         // but a retreating edge does: the graph is irreducible.
         assert_eq!(loops.n_loops(), 0);
         assert!(!loops.is_reducible());
+        assert_eq!(loops.irreducible_edges().count(), 1);
+        assert_eq!(loops.irreducible_edges().next(), Some((b, a)));
     }
 
     #[test]

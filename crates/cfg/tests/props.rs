@@ -154,7 +154,7 @@ proptest! {
             // The head is in its own loop.
             prop_assert!(nl.contains(nl.head));
             // The head dominates every loop member.
-            for &m in &nl.body {
+            for m in nl.body.iter() {
                 prop_assert!(doms.dominates(nl.head, m), "head {} member {}", nl.head, m);
             }
         }

@@ -1,7 +1,7 @@
-use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use bpfree_cfg::FunctionAnalysis;
-use bpfree_ir::{BlockId, BranchRef, FuncId, Program, Terminator};
+use bpfree_ir::{BlockId, BranchId, BranchRef, BranchTable, FuncId, Program, Terminator};
 
 use crate::predictors::Direction;
 
@@ -13,17 +13,26 @@ use crate::predictors::Direction;
 ///   exit edge or a backedge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchClass {
+    /// A branch with a backedge or loop-exit outgoing edge.
     Loop,
+    /// Any other conditional branch.
     NonLoop,
 }
 
-/// Whole-program control-flow analysis plus branch classification.
+/// Whole-program branch classification on dense [`BranchId`] storage.
 ///
-/// Runs [`FunctionAnalysis`] on every function, classifies every branch
-/// site, and computes the loop predictor's choice for each loop branch:
-/// *"if either of the outgoing edges is a backedge, it is predicted.
-/// Otherwise, the non-exit edge is predicted"* — loops iterate many times
-/// and exit once.
+/// Classifies every branch site and computes the loop predictor's
+/// choice for each loop branch: *"if either of the outgoing edges is a
+/// backedge, it is predicted. Otherwise, the non-exit edge is
+/// predicted"* — loops iterate many times and exit once. Results live
+/// in `Vec`s indexed by [`BranchId`] (the program-order branch
+/// enumeration), so queries are index lookups and iteration is
+/// deterministic.
+///
+/// Per-function control-flow analyses are computed lazily: a classifier
+/// rebuilt from cached classification rows (see
+/// [`BranchClassifier::from_cached`]) performs no CFG analysis at all
+/// until [`BranchClassifier::analysis`] is asked for one.
 ///
 /// # Example
 ///
@@ -45,43 +54,99 @@ pub enum BranchClass {
 /// ```
 #[derive(Debug)]
 pub struct BranchClassifier {
-    analyses: Vec<FunctionAnalysis>,
-    info: HashMap<BranchRef, BranchSite>,
+    /// Lazily-filled per-function analyses, index = [`FuncId`].
+    analyses: Vec<OnceLock<FunctionAnalysis>>,
+    /// The program's `BranchRef ⇄ BranchId` side table.
+    branches: BranchTable,
+    /// Branch class, indexed by [`BranchId`].
+    class: Vec<BranchClass>,
+    /// Loop predictor choice (`None` for non-loop), indexed by
+    /// [`BranchId`].
+    loop_pred: Vec<Option<Direction>>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct BranchSite {
-    class: BranchClass,
-    loop_prediction: Option<Direction>,
+fn analysis_of<'a>(
+    slots: &'a [OnceLock<FunctionAnalysis>],
+    program: &Program,
+    func: FuncId,
+) -> &'a FunctionAnalysis {
+    slots[func.index()].get_or_init(|| FunctionAnalysis::new(program.func(func)))
 }
 
 impl BranchClassifier {
-    /// Analyzes every function of `program` and classifies every branch.
+    /// Analyzes `program` and classifies every branch, in program order.
     pub fn analyze(program: &Program) -> BranchClassifier {
-        let analyses: Vec<FunctionAnalysis> =
-            program.funcs().iter().map(FunctionAnalysis::new).collect();
-        let mut info = HashMap::new();
-        for fid in program.func_ids() {
-            let func = program.func(fid);
-            let a = &analyses[fid.index()];
-            for bid in func.block_ids() {
-                let Terminator::Branch {
-                    taken, fallthru, ..
-                } = func.block(bid).term
-                else {
-                    continue;
-                };
-                let site = classify_branch(a, bid, taken, fallthru);
-                info.insert(
-                    BranchRef {
-                        func: fid,
-                        block: bid,
-                    },
-                    site,
-                );
-            }
+        let branches = BranchTable::build(program);
+        let analyses: Vec<OnceLock<FunctionAnalysis>> = (0..program.funcs().len())
+            .map(|_| OnceLock::new())
+            .collect();
+        let mut class = Vec::with_capacity(branches.len());
+        let mut loop_pred = Vec::with_capacity(branches.len());
+        for &b in branches.refs() {
+            let Terminator::Branch {
+                taken, fallthru, ..
+            } = program.func(b.func).block(b.block).term
+            else {
+                unreachable!("branch table holds only branch sites")
+            };
+            let a = analysis_of(&analyses, program, b.func);
+            let (c, p) = classify_branch(a, b.block, taken, fallthru);
+            class.push(c);
+            loop_pred.push(p);
         }
-        BranchClassifier { analyses, info }
+        BranchClassifier {
+            analyses,
+            branches,
+            class,
+            loop_pred,
+        }
+    }
+
+    /// Rebuilds a classifier from cached classification rows without
+    /// re-running any control-flow analysis. Returns `None` if the rows
+    /// don't exactly match `program`'s branch enumeration (a stale or
+    /// corrupt cache entry).
+    pub fn from_cached(
+        program: &Program,
+        rows: &[(BranchRef, BranchClass, Option<Direction>)],
+    ) -> Option<BranchClassifier> {
+        let branches = BranchTable::build(program);
+        if rows.len() != branches.len() {
+            return None;
+        }
+        let mut class = Vec::with_capacity(rows.len());
+        let mut loop_pred = Vec::with_capacity(rows.len());
+        for (&expect, &(got, c, p)) in branches.refs().iter().zip(rows) {
+            if got != expect {
+                return None;
+            }
+            // Loop predictions exist exactly for loop branches.
+            if (c == BranchClass::Loop) != p.is_some() {
+                return None;
+            }
+            class.push(c);
+            loop_pred.push(p);
+        }
+        Some(BranchClassifier {
+            analyses: (0..program.funcs().len())
+                .map(|_| OnceLock::new())
+                .collect(),
+            branches,
+            class,
+            loop_pred,
+        })
+    }
+
+    /// The dense id of `branch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` does not name a conditional branch of the
+    /// analyzed program.
+    fn id(&self, branch: BranchRef) -> BranchId {
+        self.branches
+            .id_of(branch)
+            .unwrap_or_else(|| panic!("{branch} is not a branch site of this program"))
     }
 
     /// The class of a branch site.
@@ -91,7 +156,16 @@ impl BranchClassifier {
     /// Panics if `branch` does not name a conditional branch of the
     /// analyzed program.
     pub fn class(&self, branch: BranchRef) -> BranchClass {
-        self.info[&branch].class
+        self.class_by_id(self.id(branch))
+    }
+
+    /// The class of a branch site, by dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn class_by_id(&self, id: BranchId) -> BranchClass {
+        self.class[id.index()]
     }
 
     /// The loop predictor's choice, for loop branches (`None` for
@@ -102,21 +176,51 @@ impl BranchClassifier {
     /// Panics if `branch` does not name a conditional branch of the
     /// analyzed program.
     pub fn loop_prediction(&self, branch: BranchRef) -> Option<Direction> {
-        self.info[&branch].loop_prediction
+        self.loop_pred[self.id(branch).index()]
     }
 
-    /// The control-flow analysis for one function.
+    /// [`BranchClassifier::loop_prediction`] by dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn loop_prediction_by_id(&self, id: BranchId) -> Option<Direction> {
+        self.loop_pred[id.index()]
+    }
+
+    /// The program's `BranchRef ⇄ BranchId` side table.
+    pub fn branch_table(&self) -> &BranchTable {
+        &self.branches
+    }
+
+    /// The control-flow analysis for one function, computed on first
+    /// use (`program` must be the program this classifier was built
+    /// for).
     ///
     /// # Panics
     ///
     /// Panics if `func` is out of range.
-    pub fn analysis(&self, func: FuncId) -> &FunctionAnalysis {
-        &self.analyses[func.index()]
+    pub fn analysis(&self, program: &Program, func: FuncId) -> &FunctionAnalysis {
+        analysis_of(&self.analyses, program, func)
     }
 
-    /// Iterator over all classified branch sites.
+    /// Iterator over all classified branch sites, in program order.
     pub fn branches(&self) -> impl Iterator<Item = (BranchRef, BranchClass)> + '_ {
-        self.info.iter().map(|(&b, s)| (b, s.class))
+        self.branches
+            .refs()
+            .iter()
+            .zip(&self.class)
+            .map(|(&b, &c)| (b, c))
+    }
+
+    /// Iterator over the full classification rows in program order —
+    /// what the cache persists.
+    pub fn rows(&self) -> impl Iterator<Item = (BranchRef, BranchClass, Option<Direction>)> + '_ {
+        self.branches
+            .refs()
+            .iter()
+            .zip(self.class.iter().zip(&self.loop_pred))
+            .map(|(&b, (&c, &p))| (b, c, p))
     }
 
     /// Is the taken edge of `branch` a backedge? (Diagnostics and the
@@ -126,28 +230,27 @@ impl BranchClassifier {
         else {
             return false;
         };
-        self.analyses[branch.func.index()]
+        self.analysis(program, branch.func)
             .loops
             .is_backedge(branch.block, taken)
     }
 }
 
-fn classify_branch(
+/// Classifies one branch from its function's loop analysis, returning
+/// the class and the loop predictor's choice (`None` for non-loop).
+pub(crate) fn classify_branch(
     a: &FunctionAnalysis,
     block: BlockId,
     taken: BlockId,
     fallthru: BlockId,
-) -> BranchSite {
+) -> (BranchClass, Option<Direction>) {
     let taken_back = a.loops.is_backedge(block, taken);
     let fall_back = a.loops.is_backedge(block, fallthru);
     let taken_exit = a.loops.is_exit_edge(block, taken);
     let fall_exit = a.loops.is_exit_edge(block, fallthru);
 
     if !taken_back && !fall_back && !taken_exit && !fall_exit {
-        return BranchSite {
-            class: BranchClass::NonLoop,
-            loop_prediction: None,
-        };
+        return (BranchClass::NonLoop, None);
     }
 
     // Loop branch. Predict a backedge if one exists; otherwise the
@@ -177,10 +280,7 @@ fn classify_branch(
             Direction::FallThru
         }
     };
-    BranchSite {
-        class: BranchClass::Loop,
-        loop_prediction: Some(prediction),
-    }
+    (BranchClass::Loop, Some(prediction))
 }
 
 #[cfg(test)]
@@ -311,5 +411,49 @@ mod tests {
         for br in loop_branches {
             assert_eq!(c.loop_prediction(br), Some(Direction::Taken));
         }
+    }
+
+    #[test]
+    fn branches_iterate_in_program_order() {
+        let (p, c) = classify(
+            "fn helper(int x) -> int {
+                if (x > 0) { return 1; }
+                return 0;
+            }
+            fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 4; i = i + 1) { s = s + helper(i); }
+                return s;
+            }",
+        );
+        let order: Vec<BranchRef> = c.branches().map(|(b, _)| b).collect();
+        assert_eq!(order, p.branches(), "dense iteration is program order");
+    }
+
+    #[test]
+    fn cached_rows_round_trip_without_reanalysis() {
+        let (p, c) = classify(
+            "fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { s = s + 1; } }
+                return s;
+            }",
+        );
+        let rows: Vec<_> = c.rows().collect();
+        let rebuilt = BranchClassifier::from_cached(&p, &rows).expect("rows match");
+        for b in p.branches() {
+            assert_eq!(rebuilt.class(b), c.class(b));
+            assert_eq!(rebuilt.loop_prediction(b), c.loop_prediction(b));
+        }
+        // Mismatched rows are rejected, not mis-assigned.
+        let mut bad = rows.clone();
+        bad.swap_remove(0);
+        assert!(BranchClassifier::from_cached(&p, &bad).is_none());
+        let mut flipped = rows.clone();
+        flipped[0].1 = match flipped[0].1 {
+            BranchClass::Loop => BranchClass::NonLoop,
+            BranchClass::NonLoop => BranchClass::Loop,
+        };
+        assert!(BranchClassifier::from_cached(&p, &flipped).is_none());
     }
 }

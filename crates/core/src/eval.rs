@@ -1,8 +1,8 @@
-use std::collections::HashMap;
-
+use bpfree_ir::Interner;
 use bpfree_sim::EdgeProfile;
 
 use crate::classify::{BranchClass, BranchClassifier};
+use crate::heuristics::HeuristicKind;
 use crate::predictors::{Attribution, CombinedPredictor, Direction, Predictions};
 
 /// Dynamic miss statistics for one class of branches, in the paper's
@@ -85,6 +85,9 @@ impl Report {
 /// partial prediction sets such as a single heuristic in isolation — use
 /// [`evaluate_coverage`] for those).
 ///
+/// Iteration is over the classifier's dense program-order branch
+/// enumeration, so accumulation order is deterministic.
+///
 /// # Example
 ///
 /// ```
@@ -110,7 +113,11 @@ pub fn evaluate(
     classifier: &BranchClassifier,
 ) -> Report {
     let mut report = Report::default();
-    for (branch, counts) in profile.iter() {
+    for (branch, class) in classifier.branches() {
+        let counts = profile.counts(branch);
+        if counts.total() == 0 {
+            continue;
+        }
         let misses = match predictions.get(branch) {
             Some(Direction::Taken) => counts.fallthru,
             Some(Direction::FallThru) => counts.taken,
@@ -121,7 +128,7 @@ pub fn evaluate(
             misses,
             perfect_misses: counts.minority(),
         };
-        match classifier.class(branch) {
+        match class {
             BranchClass::Loop => report.loop_branches.add(stats),
             BranchClass::NonLoop => report.nonloop.add(stats),
         }
@@ -183,10 +190,11 @@ pub fn evaluate_coverage(
     classifier: &BranchClassifier,
 ) -> CoverageStats {
     let mut stats = CoverageStats::default();
-    for (branch, counts) in profile.iter() {
-        if classifier.class(branch) != BranchClass::NonLoop {
+    for (branch, class) in classifier.branches() {
+        if class != BranchClass::NonLoop {
             continue;
         }
+        let counts = profile.counts(branch);
         stats.total_nonloop += counts.total();
         let Some(dir) = predictions.get(branch) else {
             continue;
@@ -201,13 +209,74 @@ pub fn evaluate_coverage(
     stats
 }
 
+/// Per-attribution-source coverage statistics, keyed by interned source
+/// label — the dense replacement for the old `HashMap<String, _>`
+/// breakdown. Slots exist for all seven heuristic labels plus
+/// `"Default"`, and iteration follows [`HeuristicKind::index`] order with
+/// `Default` last.
+#[derive(Debug, Clone)]
+pub struct SourceBreakdown {
+    /// Interned source labels in slot order.
+    names: Interner,
+    /// Stats per slot, parallel to `names`.
+    stats: Vec<CoverageStats>,
+}
+
+/// Slot of the `Default` source (after the seven heuristics).
+const DEFAULT_SLOT: usize = 7;
+
+impl SourceBreakdown {
+    fn new() -> SourceBreakdown {
+        let mut names = Interner::default();
+        let mut by_index = HeuristicKind::ALL;
+        by_index.sort_by_key(|k| k.index());
+        for kind in by_index {
+            names.intern(kind.label());
+        }
+        let default = names.intern("Default");
+        debug_assert_eq!(default.0 as usize, DEFAULT_SLOT);
+        SourceBreakdown {
+            names,
+            stats: vec![CoverageStats::default(); DEFAULT_SLOT + 1],
+        }
+    }
+
+    fn slot(attr: Attribution) -> usize {
+        match attr {
+            Attribution::Heuristic(kind) => kind.index(),
+            Attribution::Default => DEFAULT_SLOT,
+            Attribution::LoopBranch => unreachable!("non-loop branch attributed to loop"),
+        }
+    }
+
+    /// The stats for a source label (`None` for unknown labels).
+    pub fn get(&self, label: &str) -> Option<&CoverageStats> {
+        self.names
+            .lookup(label)
+            .map(|id| &self.stats[id.0 as usize])
+    }
+
+    /// Iterator over `(label, stats)` pairs in slot order (heuristics by
+    /// dense index, then `Default`).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CoverageStats)> + '_ {
+        self.names.iter().zip(&self.stats).map(|((_, n), s)| (n, s))
+    }
+}
+
+impl Default for SourceBreakdown {
+    fn default() -> SourceBreakdown {
+        SourceBreakdown::new()
+    }
+}
+
 /// A [`Report`] plus per-attribution breakdown (which heuristic predicted
 /// what, with what accuracy) — the raw material of the paper's Table 5.
 #[derive(Debug, Clone, Default)]
 pub struct AttributedReport {
+    /// The overall evaluation.
     pub report: Report,
     /// Coverage stats per attribution source over non-loop branches.
-    pub by_source: HashMap<String, CoverageStats>,
+    pub by_source: SourceBreakdown,
     /// The heuristics-only aggregate (every source except `Default`):
     /// the paper's Table 6 "Heuristics" columns — how much of the
     /// non-loop branch stream the heuristics themselves cover, and how
@@ -224,20 +293,15 @@ pub fn evaluate_with_attribution(
 ) -> AttributedReport {
     let predictions = predictor.predictions();
     let report = evaluate(&predictions, profile, classifier);
-    let mut by_source: HashMap<String, CoverageStats> = HashMap::new();
+    let mut by_source = SourceBreakdown::new();
     let mut total_nonloop = 0u64;
-    for (branch, counts) in profile.iter() {
-        if classifier.class(branch) != BranchClass::NonLoop {
+    for (branch, class) in classifier.branches() {
+        if class != BranchClass::NonLoop {
             continue;
         }
+        let counts = profile.counts(branch);
         total_nonloop += counts.total();
-        let attr = predictor.attribution(branch);
-        let name = match attr {
-            Attribution::Heuristic(kind) => kind.label().to_string(),
-            Attribution::Default => "Default".to_string(),
-            Attribution::LoopBranch => unreachable!("non-loop branch attributed to loop"),
-        };
-        let entry = by_source.entry(name).or_default();
+        let entry = &mut by_source.stats[SourceBreakdown::slot(predictor.attribution(branch))];
         entry.covered += counts.total();
         entry.misses += match predictions.get(branch) {
             Some(Direction::Taken) => counts.fallthru,
@@ -250,9 +314,9 @@ pub fn evaluate_with_attribution(
         total_nonloop,
         ..CoverageStats::default()
     };
-    for (name, stats) in by_source.iter_mut() {
+    for (slot, stats) in by_source.stats.iter_mut().enumerate() {
         stats.total_nonloop = total_nonloop;
-        if name != "Default" {
+        if slot != DEFAULT_SLOT {
             heuristics.covered += stats.covered;
             heuristics.misses += stats.misses;
             heuristics.perfect_misses += stats.perfect_misses;
@@ -364,7 +428,7 @@ mod tests {
         let mut misses = 0u64;
         let mut perfect = 0u64;
         let mut total_nl = 0u64;
-        for (name, s) in &att.by_source {
+        for (name, s) in att.by_source.iter() {
             total_nl = total_nl.max(s.total_nonloop);
             if name != "Default" {
                 covered += s.covered;
@@ -380,6 +444,27 @@ mod tests {
         let default_covered = att.by_source.get("Default").map_or(0, |s| s.covered);
         assert_eq!(covered + default_covered, att.heuristics.total_nonloop);
         assert!(att.heuristics.covered > 0, "LOOPY has a mod-test branch");
+    }
+
+    #[test]
+    fn by_source_iterates_in_dense_slot_order() {
+        let (p, profile, c) = setup(LOOPY);
+        let cp = crate::predictors::CombinedPredictor::new(
+            &p,
+            &c,
+            crate::heuristics::HeuristicKind::paper_order(),
+        );
+        let att = evaluate_with_attribution(&cp, &profile, &c);
+        let labels: Vec<&str> = att.by_source.iter().map(|(l, _)| l).collect();
+        let mut expect: Vec<(usize, &str)> = HeuristicKind::ALL
+            .into_iter()
+            .map(|k| (k.index(), k.label()))
+            .collect();
+        expect.sort();
+        let mut expect: Vec<&str> = expect.into_iter().map(|(_, l)| l).collect();
+        expect.push("Default");
+        assert_eq!(labels, expect);
+        assert!(att.by_source.get("NoSuchSource").is_none());
     }
 
     #[test]

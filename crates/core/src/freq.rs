@@ -17,17 +17,16 @@
 //! `freq(b) = Σ freq(p)·prob(p→b)` by damped iteration — convergent
 //! because every cycle's probability product is below one.
 
-use std::collections::HashMap;
-
 use bpfree_ir::{BlockId, BranchRef, FuncId, Program, Terminator};
 
 use crate::classify::BranchClassifier;
 use crate::predictors::{Attribution, CombinedPredictor, Direction};
 
-/// Taken-edge probabilities per branch site.
+/// Taken-edge probabilities per branch site, stored as a sorted
+/// association list (built in program order, queried by binary search).
 #[derive(Debug, Clone, Default)]
 pub struct BranchProbabilities {
-    map: HashMap<BranchRef, f64>,
+    entries: Vec<(BranchRef, f64)>,
 }
 
 /// Confidence assigned to each prediction source when converting
@@ -76,9 +75,13 @@ impl Confidence {
         let mut loop_total = 0u64;
         let mut heur_hits = 0u64;
         let mut heur_total = 0u64;
-        for (predictor, profile, _classifier) in runs {
+        for (predictor, profile, classifier) in runs {
             let predictions = predictor.predictions();
-            for (branch, counts) in profile.iter() {
+            for (branch, _) in classifier.branches() {
+                let counts = profile.counts(branch);
+                if counts.total() == 0 {
+                    continue;
+                }
                 let Some(dir) = predictions.get(branch) else {
                     continue;
                 };
@@ -123,7 +126,7 @@ impl BranchProbabilities {
         confidence: Confidence,
     ) -> BranchProbabilities {
         let predictions = predictor.predictions();
-        let mut map = HashMap::new();
+        let mut entries = Vec::new();
         for b in program.branches() {
             let conf = match predictor.attribution(b) {
                 Attribution::LoopBranch => confidence.loop_branch,
@@ -135,24 +138,34 @@ impl BranchProbabilities {
                 Some(Direction::FallThru) => 1.0 - conf,
                 None => 0.5,
             };
-            map.insert(b, p_taken);
+            entries.push((b, p_taken));
         }
-        BranchProbabilities { map }
+        BranchProbabilities { entries }
     }
 
     /// The probability that `branch` takes its taken edge (0.5 if
     /// unknown).
     pub fn taken(&self, branch: BranchRef) -> f64 {
-        self.map.get(&branch).copied().unwrap_or(0.5)
+        self.entries
+            .binary_search_by_key(&branch, |&(b, _)| b)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.5)
     }
 
     /// Overrides one branch's probability (for what-if analyses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_taken` is outside `[0, 1]`.
     pub fn set(&mut self, branch: BranchRef, p_taken: f64) {
         assert!(
             (0.0..=1.0).contains(&p_taken),
             "probability {p_taken} out of range"
         );
-        self.map.insert(branch, p_taken);
+        match self.entries.binary_search_by_key(&branch, |&(b, _)| b) {
+            Ok(i) => self.entries[i].1 = p_taken,
+            Err(i) => self.entries.insert(i, (branch, p_taken)),
+        }
     }
 }
 
@@ -236,7 +249,7 @@ pub fn estimate_block_frequencies_structural(
     classifier: &BranchClassifier,
 ) -> BlockFrequencies {
     let f = program.func(func);
-    let analysis = classifier.analysis(func);
+    let analysis = classifier.analysis(program, func);
     let n = f.blocks().len();
 
     // Out-edges with probabilities.
@@ -256,10 +269,11 @@ pub fn estimate_block_frequencies_structural(
     }
 
     // Cyclic probability per loop head, innermost loops first (heads
-    // sorted by decreasing nesting depth). `cap` bounds runaway loops.
+    // sorted by decreasing nesting depth; `heads()` iterates in
+    // ascending block order, so ties resolve deterministically).
     let mut heads: Vec<_> = analysis.loops.heads().collect();
     heads.sort_by_key(|h| std::cmp::Reverse(analysis.loops.depth(*h)));
-    let mut cyclic: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    let mut cyclic: Vec<Option<f64>> = vec![None; n];
 
     for head in heads {
         // Propagate a unit of flow from the head through the loop body
@@ -279,7 +293,7 @@ pub fn estimate_block_frequencies_structural(
             .reverse_postorder()
             .iter()
             .map(|b| b.index())
-            .filter(|b| body.contains(&bpfree_ir::BlockId(*b as u32)))
+            .filter(|b| body.contains(bpfree_ir::BlockId(*b as u32)))
             .collect();
         let mut back_in = 0.0f64;
         for &b in &order {
@@ -289,7 +303,7 @@ pub fn estimate_block_frequencies_structural(
                     continue;
                 }
                 // An inner loop head multiplies flow by its trip factor.
-                if let Some(&cp) = cyclic.get(&b) {
+                if let Some(cp) = cyclic[b] {
                     amount /= (1.0 - cp).max(0.02);
                     flow[b] = amount;
                 }
@@ -298,12 +312,12 @@ pub fn estimate_block_frequencies_structural(
                 let contribution = amount * p;
                 if dst == head.index() {
                     back_in += contribution;
-                } else if body.contains(&bpfree_ir::BlockId(dst as u32)) {
+                } else if body.contains(bpfree_ir::BlockId(dst as u32)) {
                     flow[dst] += contribution;
                 }
             }
         }
-        cyclic.insert(head.index(), back_in.min(0.98));
+        cyclic[head.index()] = Some(back_in.min(0.98));
     }
 
     // Final acyclic pass over the whole function: RPO, amplifying at
@@ -313,7 +327,7 @@ pub fn estimate_block_frequencies_structural(
     for b in analysis.dfs.reverse_postorder() {
         let bi = b.index();
         let mut amount = freqs[bi];
-        if let Some(&cp) = cyclic.get(&bi) {
+        if let Some(cp) = cyclic[bi] {
             amount /= (1.0 - cp).max(0.02);
             freqs[bi] = amount;
         }
@@ -394,6 +408,44 @@ fn ranks(v: &[f64]) -> Vec<f64> {
     out
 }
 
+/// Estimated frequencies for every branch block of a program, flattened
+/// into a sorted `(branch, frequency)` list for comparison against a
+/// profile.
+#[derive(Debug, Clone, Default)]
+pub struct BranchFrequencies {
+    entries: Vec<(BranchRef, f64)>,
+}
+
+impl BranchFrequencies {
+    /// The estimated frequency of `branch`'s block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` is not a branch site of the estimated program.
+    pub fn get(&self, branch: BranchRef) -> f64 {
+        let i = self
+            .entries
+            .binary_search_by_key(&branch, |&(b, _)| b)
+            .unwrap_or_else(|_| panic!("{branch} is not a branch site of this program"));
+        self.entries[i].1
+    }
+
+    /// Iterator over `(branch, frequency)` pairs in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (BranchRef, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of branch sites estimated.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the program had no branch sites.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Convenience: estimated frequencies for every branch block of a
 /// program, flattened for comparison against a profile.
 pub fn estimate_branch_block_frequencies(
@@ -401,25 +453,25 @@ pub fn estimate_branch_block_frequencies(
     classifier: &BranchClassifier,
     predictor: &CombinedPredictor,
     confidence: Confidence,
-) -> HashMap<BranchRef, f64> {
+) -> BranchFrequencies {
     let _ = classifier;
     let probs = BranchProbabilities::from_predictor(program, predictor, confidence);
-    let mut out = HashMap::new();
+    let mut entries = Vec::new();
     for fid in program.func_ids() {
         let freqs = estimate_block_frequencies(program, fid, &probs);
         for bid in program.func(fid).block_ids() {
             if program.func(fid).block(bid).term.is_branch() {
-                out.insert(
+                entries.push((
                     BranchRef {
                         func: fid,
                         block: bid,
                     },
                     freqs.get(bid),
-                );
+                ));
             }
         }
     }
-    out
+    BranchFrequencies { entries }
 }
 
 #[cfg(test)]
@@ -510,8 +562,11 @@ mod tests {
 
         let est = estimate_branch_block_frequencies(&p, &c, &cp, Confidence::default());
         let mut pairs: Vec<(f64, f64)> = Vec::new();
-        for (b, counts) in profile.iter() {
-            pairs.push((est[&b], counts.total() as f64));
+        for (b, freq) in est.iter() {
+            let counts = profile.counts(b);
+            if counts.total() > 0 {
+                pairs.push((freq, counts.total() as f64));
+            }
         }
         let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
         let rho = spearman(&a, &b);

@@ -243,7 +243,7 @@ mod tests {
         branches
             .into_iter()
             .map(|b| {
-                let ctx = BranchContext::new(&p, c.analysis(b.func), b);
+                let ctx = BranchContext::new(&p, c.analysis(&p, b.func), b);
                 kind.predict(&ctx, depth)
             })
             .collect()

@@ -21,8 +21,6 @@ mod pointer;
 mod ret;
 mod store;
 
-use std::collections::HashMap;
-
 use bpfree_cfg::FunctionAnalysis;
 use bpfree_ir::{BlockId, BranchRef, Cond, Function, Program, Terminator};
 
@@ -123,12 +121,19 @@ impl std::fmt::Display for HeuristicKind {
 /// Everything a heuristic may inspect about one branch site.
 #[derive(Debug, Clone, Copy)]
 pub struct BranchContext<'a> {
+    /// The whole program (for inter-procedural lookups).
     pub program: &'a Program,
+    /// The function containing the branch.
     pub func: &'a Function,
+    /// The function's control-flow analyses.
     pub analysis: &'a FunctionAnalysis,
+    /// The block ending in the branch.
     pub block: BlockId,
+    /// The branch condition.
     pub cond: &'a Cond,
+    /// The taken successor.
     pub taken: BlockId,
+    /// The fall-through successor.
     pub fallthru: BlockId,
 }
 
@@ -191,7 +196,9 @@ impl<'a> BranchContext<'a> {
 }
 
 /// The per-branch applicability table: every heuristic's prediction (or
-/// non-applicability) for every **non-loop** branch of a program.
+/// non-applicability) for every **non-loop** branch of a program, stored
+/// as a dense prediction matrix — one `[Option<Direction>; 7]` row per
+/// branch, rows sorted in program order.
 ///
 /// Building the table once lets the ordering experiments evaluate all
 /// 5040 priority orders without re-running the heuristics.
@@ -216,69 +223,80 @@ impl<'a> BranchContext<'a> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct HeuristicTable {
-    per_branch: HashMap<BranchRef, [Option<Direction>; 7]>,
+    /// Non-loop branch sites, sorted (program order).
+    branches: Vec<BranchRef>,
+    /// Prediction matrix row per branch, parallel to `branches`; columns
+    /// indexed by [`HeuristicKind::index`].
+    matrix: Vec<[Option<Direction>; 7]>,
 }
 
 impl HeuristicTable {
-    /// Runs all seven heuristics on every non-loop branch.
+    /// Runs all seven heuristics on every non-loop branch, in program
+    /// order.
     pub fn build(program: &Program, classifier: &BranchClassifier) -> HeuristicTable {
-        let mut per_branch = HashMap::new();
+        let mut branches = Vec::new();
+        let mut matrix = Vec::new();
         for b in program.branches() {
             if classifier.class(b) != BranchClass::NonLoop {
                 continue;
             }
-            let ctx = BranchContext::new(program, classifier.analysis(b.func), b);
+            let ctx = BranchContext::new(program, classifier.analysis(program, b.func), b);
             let mut row = [None; 7];
             for kind in HeuristicKind::ALL {
                 row[kind.index()] = kind.predict(&ctx);
             }
-            per_branch.insert(b, row);
+            branches.push(b);
+            matrix.push(row);
         }
-        HeuristicTable { per_branch }
+        HeuristicTable { branches, matrix }
     }
 
     /// Reassembles a table from previously extracted rows (the inverse
     /// of [`HeuristicTable::rows`]) — used by the on-disk artifact cache
-    /// to restore a table without re-running the heuristics.
+    /// to restore a table without re-running the heuristics. Rows are
+    /// re-sorted into program order if needed.
     pub fn from_rows(
         rows: impl IntoIterator<Item = (BranchRef, [Option<Direction>; 7])>,
     ) -> HeuristicTable {
-        HeuristicTable {
-            per_branch: rows.into_iter().collect(),
-        }
+        let mut rows: Vec<(BranchRef, [Option<Direction>; 7])> = rows.into_iter().collect();
+        rows.sort_by_key(|&(b, _)| b);
+        let (branches, matrix) = rows.into_iter().unzip();
+        HeuristicTable { branches, matrix }
     }
 
-    /// Iterator over every `(branch, row)` pair, unordered.
+    /// Iterator over every `(branch, row)` pair, in program order.
     pub fn rows(&self) -> impl Iterator<Item = (BranchRef, &[Option<Direction>; 7])> + '_ {
-        self.per_branch.iter().map(|(&b, row)| (b, row))
+        self.branches.iter().copied().zip(&self.matrix)
     }
 
     /// The prediction of `kind` for `branch` (`None` if the heuristic
     /// does not apply, or if `branch` is not a non-loop branch).
     pub fn prediction(&self, branch: BranchRef, kind: HeuristicKind) -> Option<Direction> {
-        self.per_branch
-            .get(&branch)
-            .and_then(|row| row[kind.index()])
+        self.row(branch).and_then(|row| row[kind.index()])
     }
 
     /// The full row for a branch, indexed by [`HeuristicKind::index`].
     pub fn row(&self, branch: BranchRef) -> Option<&[Option<Direction>; 7]> {
-        self.per_branch.get(&branch)
+        self.branches
+            .binary_search(&branch)
+            .ok()
+            .map(|i| &self.matrix[i])
     }
 
-    /// Iterator over the non-loop branches in the table.
+    /// Iterator over the non-loop branches in the table, in program
+    /// order.
     pub fn branches(&self) -> impl Iterator<Item = BranchRef> + '_ {
-        self.per_branch.keys().copied()
+        self.branches.iter().copied()
     }
 
     /// Number of non-loop branch sites.
     pub fn len(&self) -> usize {
-        self.per_branch.len()
+        self.branches.len()
     }
 
     /// True when the program has no non-loop branches.
     pub fn is_empty(&self) -> bool {
-        self.per_branch.is_empty()
+        self.branches.is_empty()
     }
 }
 

@@ -47,6 +47,7 @@ pub struct SequenceDist {
     pub total_instructions: u64,
     /// Mispredicted / total conditional branches.
     pub mispredicted: u64,
+    /// Total conditional branches executed.
     pub total_branches: u64,
 }
 

@@ -50,6 +50,8 @@
 //! assert!(report.all.miss_rate() < 0.5);
 //! ```
 
+#![deny(missing_docs)]
+
 mod classify;
 mod eval;
 pub mod freq;
@@ -63,7 +65,7 @@ mod predictors;
 pub use classify::{BranchClass, BranchClassifier};
 pub use eval::{
     evaluate, evaluate_coverage, evaluate_with_attribution, AttributedReport, ClassStats,
-    CoverageStats, Report,
+    CoverageStats, Report, SourceBreakdown,
 };
 pub use fused::{evaluate_trace, TallyEval};
 pub use heuristics::ext::ExtKind;

@@ -33,6 +33,7 @@ pub fn cumulative_fraction(m: f64, s: u64) -> f64 {
 /// One curve of Graph 12.
 #[derive(Debug, Clone)]
 pub struct ModelCurve {
+    /// The curve's per-branch miss rate.
     pub miss_rate: f64,
     /// `(sequence length, cumulative fraction)` samples.
     pub points: Vec<(u64, f64)>,

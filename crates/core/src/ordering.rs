@@ -204,6 +204,7 @@ impl Iterator for KSubsets {
 /// directions are merged.
 #[derive(Debug, Clone)]
 pub struct BenchOrderData {
+    /// The benchmark's name.
     pub name: String,
     groups: Vec<Group>,
     total_dynamic: u64,
@@ -227,7 +228,8 @@ struct Group {
 }
 
 impl BenchOrderData {
-    /// Condenses one benchmark run.
+    /// Condenses one benchmark run, scanning the table's dense
+    /// program-order rows.
     pub fn build(
         name: impl Into<String>,
         table: &HeuristicTable,
@@ -238,13 +240,12 @@ impl BenchOrderData {
         use std::collections::HashMap;
         let mut groups: HashMap<GroupKey, (u64, u64)> = HashMap::new();
         let mut total = 0u64;
-        for (branch, counts) in profile.iter() {
-            if classifier.class(branch) != BranchClass::NonLoop {
+        for (branch, row) in table.rows() {
+            debug_assert_eq!(classifier.class(branch), BranchClass::NonLoop);
+            let counts = profile.counts(branch);
+            if counts.total() == 0 {
                 continue;
             }
-            let Some(row) = table.row(branch) else {
-                continue;
-            };
             let mut applies = 0u8;
             let mut predicts_taken = 0u8;
             for (i, pred) in row.iter().enumerate() {
@@ -322,9 +323,13 @@ pub struct OrderingStudy {
 /// trials it won, and its overall average miss rate.
 #[derive(Debug, Clone)]
 pub struct CommonOrder {
+    /// The winning order's heuristic labels, highest priority first.
     pub order: Vec<String>,
+    /// Number of subset trials this order won.
     pub trials: u64,
+    /// `trials` over the total trial count.
     pub trial_fraction: f64,
+    /// The order's average miss rate over **all** benchmarks.
     pub mean_miss_rate: f64,
 }
 
@@ -487,7 +492,9 @@ impl OrderingStudy {
         let n = self.benches.len();
         assert!(k >= 1 && k <= n, "bad subset size {k} of {n}");
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        let mut wins: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        // Dense tally indexed by order, so equal-trial winners list in
+        // ascending order index (the stable sort below preserves it).
+        let mut wins = vec![0u64; self.orders.len()];
         let mut indices: Vec<usize> = (0..n).collect();
         for _ in 0..n_samples {
             indices.shuffle(&mut rng);
@@ -501,10 +508,12 @@ impl OrderingStudy {
                     best = o;
                 }
             }
-            *wins.entry(best).or_default() += 1;
+            wins[best] += 1;
         }
         let mut out: Vec<CommonOrder> = wins
             .into_iter()
+            .enumerate()
+            .filter(|&(_, w)| w > 0)
             .map(|(o, w)| CommonOrder {
                 order: self.orders[o].iter().map(|k| k.label().into()).collect(),
                 trials: w,
@@ -529,13 +538,10 @@ impl OrderingStudy {
                 let mut misses_a = 0u64;
                 let mut misses_b = 0u64;
                 for (table, profile, classifier) in benches {
-                    for (branch, counts) in profile.iter() {
-                        if classifier.class(branch) != BranchClass::NonLoop {
-                            continue;
-                        }
-                        let (Some(da), Some(db)) =
-                            (table.prediction(branch, a), table.prediction(branch, b))
-                        else {
+                    let _ = classifier;
+                    for (branch, row) in table.rows() {
+                        let counts = profile.counts(branch);
+                        let (Some(da), Some(db)) = (row[a.index()], row[b.index()]) else {
                             continue;
                         };
                         misses_a += if da == Direction::Taken {

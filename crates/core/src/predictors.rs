@@ -1,4 +1,3 @@
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use bpfree_ir::{BranchRef, Program, Terminator};
@@ -16,7 +15,9 @@ pub const DEFAULT_SEED: u64 = 0x9E3779B97F4A7C15;
 /// A static prediction: which outgoing edge of a branch executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
+    /// The branch's taken edge executes.
     Taken,
+    /// The branch's fall-through edge executes.
     FallThru,
 }
 
@@ -35,7 +36,12 @@ impl Direction {
     }
 }
 
-/// A static prediction for every branch site of a program.
+/// A static prediction for every branch site of a program, stored as a
+/// sorted association list keyed by [`BranchRef`].
+///
+/// The builders below all emit branches in program order, which makes
+/// construction a pure append; [`Predictions::get`] is a binary search
+/// and [`Predictions::iter`] is deterministic (program order).
 ///
 /// # Example
 ///
@@ -49,7 +55,7 @@ impl Direction {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Predictions {
-    map: HashMap<BranchRef, Direction>,
+    entries: Vec<(BranchRef, Direction)>,
 }
 
 impl Predictions {
@@ -58,37 +64,55 @@ impl Predictions {
         Predictions::default()
     }
 
-    /// Sets the prediction for one branch.
+    /// Sets the prediction for one branch. Appending in program order is
+    /// O(1); out-of-order or repeated sites fall back to a sorted
+    /// insert/overwrite.
     pub fn set(&mut self, branch: BranchRef, dir: Direction) {
-        self.map.insert(branch, dir);
+        match self.entries.last() {
+            Some(&(last, _)) if last < branch => self.entries.push((branch, dir)),
+            None => self.entries.push((branch, dir)),
+            _ => match self.entries.binary_search_by_key(&branch, |&(b, _)| b) {
+                Ok(i) => self.entries[i].1 = dir,
+                Err(i) => self.entries.insert(i, (branch, dir)),
+            },
+        }
     }
 
     /// The prediction for `branch`, if any.
     pub fn get(&self, branch: BranchRef) -> Option<Direction> {
-        self.map.get(&branch).copied()
+        self.entries
+            .binary_search_by_key(&branch, |&(b, _)| b)
+            .ok()
+            .map(|i| self.entries[i].1)
     }
 
     /// Number of predicted branch sites.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
     /// True when no branch is predicted.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 
-    /// Iterator over `(branch, direction)` pairs.
+    /// Iterator over `(branch, direction)` pairs in program order.
     pub fn iter(&self) -> impl Iterator<Item = (BranchRef, Direction)> + '_ {
-        self.map.iter().map(|(&b, &d)| (b, d))
+        self.entries.iter().copied()
     }
 }
 
 impl FromIterator<(BranchRef, Direction)> for Predictions {
+    /// Collects predictions; on duplicate sites the last one wins (the
+    /// same overwrite semantics as repeated [`Predictions::set`] calls).
     fn from_iter<I: IntoIterator<Item = (BranchRef, Direction)>>(iter: I) -> Predictions {
-        Predictions {
-            map: iter.into_iter().collect(),
-        }
+        let mut entries: Vec<(BranchRef, Direction)> = iter.into_iter().collect();
+        entries.sort_by_key(|&(b, _)| b);
+        // Stable sort keeps duplicates in arrival order: keep the last.
+        entries.reverse();
+        entries.dedup_by_key(|&mut (b, _)| b);
+        entries.reverse();
+        Predictions { entries }
     }
 }
 
@@ -216,6 +240,9 @@ pub enum Attribution {
 /// branches; for non-loop branches, the first applicable heuristic in a
 /// priority order; random Default otherwise.
 ///
+/// Both the prediction set and the attribution table are dense sorted
+/// vectors built in program order.
+///
 /// # Example
 ///
 /// ```
@@ -234,7 +261,8 @@ pub enum Attribution {
 #[derive(Debug)]
 pub struct CombinedPredictor {
     predictions: Predictions,
-    attribution: HashMap<BranchRef, Attribution>,
+    /// Sorted parallel to `predictions` (both built in program order).
+    attribution: Vec<(BranchRef, Attribution)>,
 }
 
 impl CombinedPredictor {
@@ -270,7 +298,7 @@ impl CombinedPredictor {
         seed: u64,
     ) -> CombinedPredictor {
         let mut predictions = Predictions::new();
-        let mut attribution = HashMap::new();
+        let mut attribution = Vec::new();
         for b in program.branches() {
             match classifier.class(b) {
                 BranchClass::Loop => {
@@ -278,7 +306,7 @@ impl CombinedPredictor {
                         .loop_prediction(b)
                         .expect("loop branches always have a loop prediction");
                     predictions.set(b, dir);
-                    attribution.insert(b, Attribution::LoopBranch);
+                    attribution.push((b, Attribution::LoopBranch));
                 }
                 BranchClass::NonLoop => {
                     let mut chosen = None;
@@ -291,7 +319,7 @@ impl CombinedPredictor {
                     let (dir, attr) =
                         chosen.unwrap_or_else(|| (random_direction(b, seed), Attribution::Default));
                     predictions.set(b, dir);
-                    attribution.insert(b, attr);
+                    attribution.push((b, attr));
                 }
             }
         }
@@ -312,7 +340,11 @@ impl CombinedPredictor {
     ///
     /// Panics if `branch` is not a branch site of the analyzed program.
     pub fn attribution(&self, branch: BranchRef) -> Attribution {
-        self.attribution[&branch]
+        let i = self
+            .attribution
+            .binary_search_by_key(&branch, |&(b, _)| b)
+            .unwrap_or_else(|_| panic!("{branch} is not a branch site of this program"));
+        self.attribution[i].1
     }
 }
 
@@ -362,6 +394,29 @@ mod tests {
         assert!(Direction::Taken.matches(true));
         assert!(!Direction::Taken.matches(false));
         assert!(Direction::FallThru.matches(false));
+    }
+
+    #[test]
+    fn predictions_overwrite_and_sort() {
+        let mut p = Predictions::new();
+        // Out-of-order sets still produce sorted iteration and correct
+        // lookups; repeated sets overwrite.
+        p.set(br(1, 5), Direction::Taken);
+        p.set(br(0, 2), Direction::FallThru);
+        p.set(br(1, 5), Direction::FallThru);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(br(1, 5)), Some(Direction::FallThru));
+        let order: Vec<BranchRef> = p.iter().map(|(b, _)| b).collect();
+        assert_eq!(order, vec![br(0, 2), br(1, 5)]);
+        // FromIterator has the same last-wins semantics.
+        let q: Predictions = [
+            (br(1, 5), Direction::Taken),
+            (br(0, 2), Direction::FallThru),
+            (br(1, 5), Direction::FallThru),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p, q);
     }
 
     #[test]

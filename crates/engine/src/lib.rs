@@ -6,8 +6,16 @@
 //! computed them eagerly per *benchmark*; this crate turns them into a
 //! typed artifact graph that experiments query on demand:
 //!
-//! * [`Engine::compiled`] — program + classifier + heuristic table for
-//!   a `(benchmark, Options)` pair;
+//! * [`Engine::program`] — the compiled [`Program`] of a
+//!   `(benchmark, Options)` pair;
+//! * [`Engine::predictions`] — the derived prediction artifacts of that
+//!   program: branch classifier + heuristic table, a first-class
+//!   artifact cached independently of the program so warm runs restore
+//!   both from dense rows without a single CFG analysis or heuristic
+//!   evaluation ([`Engine::analyses`] counts real analysis passes the
+//!   way [`Engine::simulations`] counts interpreter passes);
+//! * [`Engine::compiled`] — the two assembled into one [`Compiled`]
+//!   bundle;
 //! * [`Engine::run`] — edge profile + [`RunResult`] for a
 //!   `(benchmark, Options, dataset)` triple;
 //! * [`Engine::trace`] — a replayable [`BranchTrace`] of the same
@@ -44,10 +52,12 @@
 //! let compiled = engine.compiled(&bench, Options::default());
 //! let bundle = engine.run(&bench, Options::default(), 0);
 //! assert!(bundle.profile.total_branches() > 0);
-//! // A second query is a memo hit: still exactly one simulation.
+//! // A second query is a memo hit: still exactly one simulation and
+//! // one analysis pass.
 //! let again = engine.run(&bench, Options::default(), 0);
 //! assert_eq!(again.result, bundle.result);
 //! assert_eq!(engine.simulations(), 1);
+//! assert_eq!(engine.analyses(), 1);
 //! assert!(compiled.table.rows().count() > 0);
 //! ```
 
@@ -111,10 +121,20 @@ impl EngineConfig {
 }
 
 /// The compile-time artifacts of one `(benchmark, Options)` pair.
-/// Cheap to clone (all `Arc`s).
+/// Cheap to clone (all `Arc`s). Assembled from two independently
+/// memoized (and independently cached) artifacts: the program, and the
+/// [`Predicted`] pair derived from it.
 #[derive(Debug, Clone)]
 pub struct Compiled {
     pub program: Arc<Program>,
+    pub classifier: Arc<BranchClassifier>,
+    pub table: Arc<HeuristicTable>,
+}
+
+/// The prediction artifacts of one `(benchmark, Options)` pair: the
+/// branch classifier and the heuristic table. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Predicted {
     pub classifier: Arc<BranchClassifier>,
     pub table: Arc<HeuristicTable>,
 }
@@ -168,12 +188,14 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
 /// [`install`]/[`global`].
 pub struct Engine {
     config: EngineConfig,
-    compiled: Memo<CompileKey, Compiled>,
+    programs: Memo<CompileKey, Arc<Program>>,
+    predictions: Memo<CompileKey, Predicted>,
     decoded: Memo<CompileKey, Arc<BytecodeProgram>>,
     runs: Memo<RunKey, RunBundle>,
     traces: Memo<RunKey, Arc<BranchTrace>>,
     datasets: Memo<&'static str, Arc<Vec<Dataset>>>,
     simulations: AtomicU64,
+    analyses: AtomicU64,
 }
 
 impl Engine {
@@ -181,12 +203,14 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             config,
-            compiled: Memo::new(),
+            programs: Memo::new(),
+            predictions: Memo::new(),
             decoded: Memo::new(),
             runs: Memo::new(),
             traces: Memo::new(),
             datasets: Memo::new(),
             simulations: AtomicU64::new(0),
+            analyses: AtomicU64::new(0),
         }
     }
 
@@ -202,6 +226,14 @@ impl Engine {
         self.simulations.load(Ordering::Relaxed)
     }
 
+    /// How many classifier + heuristic-table computations this engine
+    /// has actually executed. Memo and cache hits don't count: a warm
+    /// run that restores every prediction artifact from disk reports
+    /// zero, which is exactly what the CI parity job asserts.
+    pub fn analyses(&self) -> u64 {
+        self.analyses.load(Ordering::Relaxed)
+    }
+
     /// The benchmark's datasets, generated once per process.
     pub fn datasets(&self, bench: &Benchmark) -> Arc<Vec<Dataset>> {
         self.datasets.get_or_init(bench.name, || {
@@ -214,34 +246,61 @@ impl Engine {
     }
 
     /// The compiled program, branch classifier, and heuristic table for
-    /// `bench` under `opt`.
+    /// `bench` under `opt` — [`Engine::program`] and
+    /// [`Engine::predictions`] assembled into one bundle.
     ///
     /// # Panics
     ///
     /// If the benchmark source fails to compile (a suite bug).
     pub fn compiled(&self, bench: &Benchmark, opt: Options) -> Compiled {
-        self.compiled.get_or_init((bench.name, opt), || {
+        let program = self.program(bench, opt);
+        let Predicted { classifier, table } = self.predictions(bench, opt);
+        Compiled {
+            program,
+            classifier,
+            table,
+        }
+    }
+
+    /// The compiled program for `bench` under `opt`.
+    ///
+    /// # Panics
+    ///
+    /// If the benchmark source fails to compile (a suite bug).
+    pub fn program(&self, bench: &Benchmark, opt: Options) -> Arc<Program> {
+        self.programs.get_or_init((bench.name, opt), || {
             timed(
                 "compile",
                 || format!("{} [{}]", bench.name, opt.fingerprint()),
-                || self.build_compiled(bench, opt),
+                || self.build_program(bench, opt),
             )
         })
     }
 
-    /// Shorthand for [`Engine::compiled`]`.program`.
-    pub fn program(&self, bench: &Benchmark, opt: Options) -> Arc<Program> {
-        self.compiled(bench, opt).program
+    /// The prediction artifacts of `bench` under `opt`: branch
+    /// classifier + heuristic table, derived from [`Engine::program`]
+    /// and memoized (and disk-cached) as their own first-class
+    /// artifact. A cache hit restores both from dense per-branch rows
+    /// and performs zero CFG analyses ([`Engine::analyses`] stays
+    /// flat).
+    pub fn predictions(&self, bench: &Benchmark, opt: Options) -> Predicted {
+        self.predictions.get_or_init((bench.name, opt), || {
+            timed(
+                "analyze",
+                || format!("{} [{}]", bench.name, opt.fingerprint()),
+                || self.build_predictions(bench, opt),
+            )
+        })
     }
 
-    /// Shorthand for [`Engine::compiled`]`.classifier`.
+    /// Shorthand for [`Engine::predictions`]`.classifier`.
     pub fn classifier(&self, bench: &Benchmark, opt: Options) -> Arc<BranchClassifier> {
-        self.compiled(bench, opt).classifier
+        self.predictions(bench, opt).classifier
     }
 
-    /// Shorthand for [`Engine::compiled`]`.table`.
+    /// Shorthand for [`Engine::predictions`]`.table`.
     pub fn table(&self, bench: &Benchmark, opt: Options) -> Arc<HeuristicTable> {
-        self.compiled(bench, opt).table
+        self.predictions(bench, opt).table
     }
 
     /// The flat-bytecode lowering of `bench` under `opt`, decoded once
@@ -349,11 +408,15 @@ impl Engine {
         plan.run();
     }
 
-    /// Adds this benchmark's warm-up chain (datasets → compiled →
-    /// decoded → simulate dataset 0) to `plan`, returning the final
-    /// simulate node so batch callers can hang dependents off it. The
-    /// nodes only touch memos, so a plan node that races a direct query
-    /// for the same artifact still computes it exactly once.
+    /// Adds this benchmark's warm-up chain (datasets ∥ compile →
+    /// (analyze ∥ decode) → simulate dataset 0) to `plan`, returning
+    /// the final simulate node so batch callers can hang dependents off
+    /// it. Prediction analysis and bytecode decoding both depend only
+    /// on the compiled program, so they overlap; the simulate node
+    /// waits for both, guaranteeing every `Compiled` artifact is warm
+    /// when the plan drains. The nodes only touch memos, so a plan node
+    /// that races a direct query for the same artifact still computes
+    /// it exactly once.
     pub fn plan_warmup<'e>(
         &'e self,
         plan: &mut bpfree_par::Plan<'e>,
@@ -365,7 +428,10 @@ impl Engine {
             let _ = self.datasets(bench);
         });
         let compiled = plan.add(&[], move || {
-            let _ = self.compiled(bench, opt);
+            let _ = self.program(bench, opt);
+        });
+        let analyzed = plan.add(&[compiled], move || {
+            let _ = self.predictions(bench, opt);
         });
         let ready = if self.config.tier == InterpTier::Bytecode {
             plan.add(&[compiled], move || {
@@ -374,7 +440,7 @@ impl Engine {
         } else {
             compiled
         };
-        plan.add(&[datasets, ready], move || {
+        plan.add(&[datasets, ready, analyzed], move || {
             if traced {
                 let _ = self.trace(bench, opt, 0);
             }
@@ -416,25 +482,18 @@ impl Engine {
         }
     }
 
-    fn build_compiled(&self, bench: &Benchmark, opt: Options) -> Compiled {
+    fn build_program(&self, bench: &Benchmark, opt: Options) -> Arc<Program> {
         let fp = opt.fingerprint();
         if self.config.use_cache {
             let key = bpfree_cache::compile_key(bench.name, bench.source, fp);
             if let Some(hit) = bpfree_cache::lookup_compile(&self.config.cache_dir, &key) {
                 self.note("hit ", format_args!("compile {} [{fp}]", bench.name));
-                let classifier = BranchClassifier::analyze(&hit.program);
-                return Compiled {
-                    program: Arc::new(hit.program),
-                    classifier: Arc::new(classifier),
-                    table: Arc::new(hit.table),
-                };
+                return Arc::new(hit.program);
             }
             self.note("miss", format_args!("compile {} [{fp}]", bench.name));
         }
         let program = bpfree_lang::compile_with(bench.source, opt)
             .unwrap_or_else(|e| panic!("benchmark `{}` fails to compile: {e}", bench.name));
-        let classifier = BranchClassifier::analyze(&program);
-        let table = HeuristicTable::build(&program, &classifier);
         if self.config.use_cache {
             let key = bpfree_cache::compile_key(bench.name, bench.source, fp);
             let _ = bpfree_cache::store_compile(
@@ -442,12 +501,43 @@ impl Engine {
                 &key,
                 &bpfree_cache::CompileArtifacts {
                     program: program.clone(),
-                    table: table.clone(),
                 },
             );
         }
-        Compiled {
-            program: Arc::new(program),
+        Arc::new(program)
+    }
+
+    fn build_predictions(&self, bench: &Benchmark, opt: Options) -> Predicted {
+        let fp = opt.fingerprint();
+        let program = self.program(bench, opt);
+        if self.config.use_cache {
+            let key = bpfree_cache::prediction_key(bench.name, bench.source, fp);
+            if let Some(hit) = bpfree_cache::lookup_prediction(&self.config.cache_dir, &key) {
+                // Rows are validated against the actual program; a
+                // mismatch (stale or foreign rows under a colliding
+                // key) falls through to a clean recompute.
+                if let Some((classifier, table)) = hit.instantiate(&program) {
+                    self.note("hit ", format_args!("analyze {} [{fp}]", bench.name));
+                    return Predicted {
+                        classifier: Arc::new(classifier),
+                        table: Arc::new(table),
+                    };
+                }
+            }
+            self.note("miss", format_args!("analyze {} [{fp}]", bench.name));
+        }
+        self.analyses.fetch_add(1, Ordering::Relaxed);
+        let classifier = BranchClassifier::analyze(&program);
+        let table = HeuristicTable::build(&program, &classifier);
+        if self.config.use_cache {
+            let key = bpfree_cache::prediction_key(bench.name, bench.source, fp);
+            let _ = bpfree_cache::store_prediction(
+                &self.config.cache_dir,
+                &key,
+                &bpfree_cache::PredictionArtifacts::from_computed(&classifier, &table),
+            );
+        }
+        Predicted {
             classifier: Arc::new(classifier),
             table: Arc::new(table),
         }
@@ -616,10 +706,73 @@ mod tests {
         let c1 = e.compiled(&b, opt);
         let c2 = e.compiled(&b, opt);
         assert!(Arc::ptr_eq(&c1.program, &c2.program), "same memo slot");
+        assert!(Arc::ptr_eq(&c1.classifier, &c2.classifier));
+        assert!(Arc::ptr_eq(&c1.table, &c2.table));
+        assert_eq!(e.analyses(), 1, "one analysis pass per (bench, opt)");
         let r1 = e.run(&b, opt, 0);
         let r2 = e.run(&b, opt, 0);
         assert!(Arc::ptr_eq(&r1.profile, &r2.profile));
         assert_eq!(e.simulations(), 1);
+    }
+
+    #[test]
+    fn program_alone_does_not_trigger_analysis() {
+        let e = engine();
+        let b = bpfree_suite::by_name("grep").unwrap();
+        let opt = Options::default();
+        let _ = e.program(&b, opt);
+        assert_eq!(e.analyses(), 0, "analysis is demand-driven");
+        let p = e.predictions(&b, opt);
+        assert_eq!(e.analyses(), 1);
+        assert!(p.table.rows().count() > 0);
+    }
+
+    /// The tentpole warm-path property: a second engine over the same
+    /// cache directory restores every prediction artifact from disk —
+    /// zero analysis passes, zero interpreter passes — and the restored
+    /// artifacts are identical to the cold ones.
+    #[test]
+    fn warm_cache_restores_predictions_without_reanalysis() {
+        let dir =
+            std::env::temp_dir().join(format!("bpfree-engine-warm-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EngineConfig {
+            use_cache: true,
+            cache_dir: dir.clone(),
+            verbose: false,
+            tier: InterpTier::default(),
+        };
+        let b = bpfree_suite::by_name("eqntott").unwrap();
+        let opt = Options::default();
+
+        let cold = Engine::new(config.clone());
+        let c1 = cold.compiled(&b, opt);
+        let r1 = cold.run(&b, opt, 0);
+        assert_eq!(cold.analyses(), 1);
+        assert_eq!(cold.simulations(), 1);
+
+        let warm = Engine::new(config.clone());
+        let c2 = warm.compiled(&b, opt);
+        let r2 = warm.run(&b, opt, 0);
+        assert_eq!(warm.analyses(), 0, "warm run recomputes no predictions");
+        assert_eq!(warm.simulations(), 0, "warm run re-simulates nothing");
+        assert_eq!(*c1.program, *c2.program);
+        assert!(c1.classifier.rows().eq(c2.classifier.rows()));
+        assert!(c1.table.rows().eq(c2.table.rows()));
+        assert_eq!(r1.result, r2.result);
+        assert_eq!(*r1.profile, *r2.profile);
+
+        // Deleting just the prediction entry forces exactly one
+        // re-analysis — the program entry still hits.
+        let pkey = bpfree_cache::prediction_key(b.name, b.source, opt.fingerprint());
+        std::fs::remove_file(dir.join(format!("{pkey}.txt"))).expect("prediction entry exists");
+        let half = Engine::new(config);
+        let c3 = half.compiled(&b, opt);
+        assert_eq!(half.analyses(), 1, "missing entry falls back to compute");
+        assert!(c1.classifier.rows().eq(c3.classifier.rows()));
+        assert!(c1.table.rows().eq(c3.table.rows()));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

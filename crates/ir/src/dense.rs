@@ -1,0 +1,363 @@
+//! Dense per-program ID spaces: the program database every analysis
+//! layer above the IR indexes by.
+//!
+//! The analysis and prediction stack (classifier, heuristic tables,
+//! evaluation, frequency propagation) used to key per-branch state by
+//! [`BranchRef`] in hash maps. This module provides the flat
+//! alternative: a [`BranchId`] is a dense index into the program-order
+//! enumeration of conditional branches (exactly the order
+//! [`Program::branches`] yields — function-major, block-minor), and a
+//! [`BranchTable`] is the bidirectional `BranchRef ⇄ BranchId` side
+//! table. Anything keyed by branch becomes a `Vec` indexed by
+//! [`BranchId`]; anything iterating branches does so in one canonical,
+//! deterministic order.
+//!
+//! [`Interner`] plays the same role for names: a string interned once
+//! gets a stable dense [`NameId`], so aggregations that used to key by
+//! `String` can key by index and iterate in insertion order.
+//!
+//! # Example
+//!
+//! ```
+//! use bpfree_ir::{BranchTable, Program, FunctionBuilder, Terminator, Instr, Cond};
+//!
+//! let mut b = FunctionBuilder::new("main");
+//! let e = b.entry();
+//! let t = b.new_block();
+//! let f = b.new_block();
+//! let r = b.new_reg();
+//! b.push(e, Instr::Li { rd: r, imm: 1 });
+//! b.set_term(e, Terminator::Branch { cond: Cond::Gtz(r), taken: t, fallthru: f });
+//! b.set_term(t, Terminator::Ret { val: None, fval: None });
+//! b.set_term(f, Terminator::Ret { val: None, fval: None });
+//! let p = Program::new(vec![b.finish().unwrap()], 0).unwrap();
+//!
+//! let table = BranchTable::build(&p);
+//! assert_eq!(table.len(), 1);
+//! let branch = table.branch_ref(bpfree_ir::BranchId(0));
+//! assert_eq!(table.id_of(branch), Some(bpfree_ir::BranchId(0)));
+//! ```
+
+use std::collections::HashMap;
+
+use crate::function::{BranchRef, FuncId, Program};
+
+/// Dense identifier of a conditional branch within one program: the
+/// branch's index in program order (function-major, block-minor — the
+/// order [`Program::branches`] enumerates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BranchId(pub u32);
+
+impl BranchId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BranchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "br{}", self.0)
+    }
+}
+
+/// The `BranchRef ⇄ BranchId` side table of one program.
+///
+/// Holds every conditional branch in program order. `id → ref` is an
+/// array index; `ref → id` is a binary search within the function's
+/// contiguous id range (branch refs are sorted, so each function owns a
+/// contiguous run of ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchTable {
+    /// Branch sites in program order; index = [`BranchId`].
+    refs: Vec<BranchRef>,
+    /// For each function, the first [`BranchId`] index belonging to it;
+    /// one extra entry holds the total, so function `f` owns
+    /// `func_start[f] .. func_start[f + 1]`.
+    func_start: Vec<u32>,
+}
+
+impl BranchTable {
+    /// Enumerates `program`'s conditional branches into a table.
+    pub fn build(program: &Program) -> BranchTable {
+        let refs = program.branches();
+        Self::from_refs(refs, program.funcs().len())
+    }
+
+    /// Builds a table from an already-enumerated, program-ordered branch
+    /// list (what [`Program::branches`] returns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is not sorted in program order or names a
+    /// function `>= n_funcs`.
+    pub fn from_refs(refs: Vec<BranchRef>, n_funcs: usize) -> BranchTable {
+        assert!(
+            refs.windows(2).all(|w| w[0] < w[1]),
+            "refs not program-ordered"
+        );
+        let mut func_start = vec![0u32; n_funcs + 1];
+        for (i, r) in refs.iter().enumerate() {
+            assert!(
+                r.func.index() < n_funcs,
+                "branch {r} names an unknown function"
+            );
+            func_start[r.func.index() + 1] = i as u32 + 1;
+        }
+        // Functions without branches inherit the previous boundary.
+        for f in 1..func_start.len() {
+            if func_start[f] < func_start[f - 1] {
+                func_start[f] = func_start[f - 1];
+            }
+        }
+        BranchTable { refs, func_start }
+    }
+
+    /// Number of branches.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// `true` if the program has no conditional branches.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// The branch site of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn branch_ref(&self, id: BranchId) -> BranchRef {
+        self.refs[id.index()]
+    }
+
+    /// The dense id of `branch`, if it names a conditional branch of
+    /// this program.
+    pub fn id_of(&self, branch: BranchRef) -> Option<BranchId> {
+        let f = branch.func.index();
+        if f + 1 >= self.func_start.len() {
+            return None;
+        }
+        let lo = self.func_start[f] as usize;
+        let hi = self.func_start[f + 1] as usize;
+        self.refs[lo..hi]
+            .binary_search_by_key(&branch.block, |r| r.block)
+            .ok()
+            .map(|i| BranchId((lo + i) as u32))
+    }
+
+    /// The contiguous id range owned by `func`.
+    pub fn func_range(&self, func: FuncId) -> std::ops::Range<usize> {
+        let f = func.index();
+        self.func_start[f] as usize..self.func_start[f + 1] as usize
+    }
+
+    /// All branch sites in program order (index = id).
+    pub fn refs(&self) -> &[BranchRef] {
+        &self.refs
+    }
+
+    /// Iterator over ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = BranchId> {
+        (0..self.refs.len() as u32).map(BranchId)
+    }
+
+    /// Iterator over `(id, ref)` pairs in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (BranchId, BranchRef)> + '_ {
+        self.refs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (BranchId(i as u32), r))
+    }
+}
+
+/// Dense identifier of an interned name. See [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner: each distinct string gets a dense [`NameId`] in
+/// first-insertion order, so name-keyed aggregations can use `Vec`
+/// storage and iterate deterministically.
+///
+/// # Example
+///
+/// ```
+/// use bpfree_ir::Interner;
+/// let mut names = Interner::new();
+/// let a = names.intern("alpha");
+/// let b = names.intern("beta");
+/// assert_eq!(names.intern("alpha"), a);
+/// assert_ne!(a, b);
+/// assert_eq!(names.resolve(b), "beta");
+/// assert_eq!(names.lookup("beta"), Some(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl PartialEq for Interner {
+    /// Two interners are equal when they assigned the same ids to the
+    /// same names (the reverse index is derived data).
+    fn eq(&self, other: &Interner) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for Interner {}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&i) = self.index.get(name) {
+            return NameId(i);
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        NameId(i)
+    }
+
+    /// The id of `name`, if already interned.
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.index.get(name).map(|&i| NameId(i))
+    }
+
+    /// The string of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterator over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NameId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BlockId, Cond, Instr, Terminator};
+    use crate::Program;
+
+    fn ret() -> Terminator {
+        Terminator::Ret {
+            val: None,
+            fval: None,
+        }
+    }
+
+    fn branchy(name: &str, n_branches: usize) -> crate::Function {
+        let mut b = FunctionBuilder::new(name);
+        let r = b.new_reg();
+        let mut cur = b.entry();
+        b.push(cur, Instr::Li { rd: r, imm: 1 });
+        for _ in 0..n_branches {
+            let t = b.new_block();
+            let f = b.new_block();
+            b.set_term(
+                cur,
+                Terminator::Branch {
+                    cond: Cond::Gtz(r),
+                    taken: t,
+                    fallthru: f,
+                },
+            );
+            b.set_term(t, ret());
+            cur = f;
+        }
+        b.set_term(cur, ret());
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn table_round_trips_every_branch() {
+        let p = Program::new(
+            vec![branchy("main", 3), branchy("leaf", 0), branchy("other", 2)],
+            0,
+        )
+        .unwrap();
+        let t = BranchTable::build(&p);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.refs(), p.branches().as_slice());
+        for (id, r) in t.iter() {
+            assert_eq!(t.branch_ref(id), r);
+            assert_eq!(t.id_of(r), Some(id));
+        }
+        // Ids are program-ordered.
+        let ids: Vec<_> = t.ids().collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unknown_refs_have_no_id() {
+        let p = Program::new(vec![branchy("main", 2)], 0).unwrap();
+        let t = BranchTable::build(&p);
+        assert_eq!(
+            t.id_of(BranchRef {
+                func: FuncId(0),
+                block: BlockId(999),
+            }),
+            None
+        );
+        assert_eq!(
+            t.id_of(BranchRef {
+                func: FuncId(7),
+                block: BlockId(0),
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn func_ranges_partition_the_id_space() {
+        let p = Program::new(vec![branchy("a", 2), branchy("b", 0), branchy("c", 1)], 0).unwrap();
+        let t = BranchTable::build(&p);
+        assert_eq!(t.func_range(FuncId(0)), 0..2);
+        assert_eq!(t.func_range(FuncId(1)), 2..2);
+        assert_eq!(t.func_range(FuncId(2)), 2..3);
+    }
+
+    #[test]
+    fn interner_is_stable_and_insertion_ordered() {
+        let mut i = Interner::new();
+        let ids: Vec<_> = ["x", "y", "x", "z"].iter().map(|n| i.intern(n)).collect();
+        assert_eq!(ids, vec![NameId(0), NameId(1), NameId(0), NameId(2)]);
+        assert_eq!(i.len(), 3);
+        let order: Vec<&str> = i.iter().map(|(_, n)| n).collect();
+        assert_eq!(order, vec!["x", "y", "z"]);
+        assert_eq!(i.lookup("w"), None);
+    }
+}

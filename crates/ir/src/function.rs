@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 
+use crate::dense::{Interner, NameId};
 use crate::instr::{BlockId, Instr, Terminator};
 use crate::reg::{FReg, Reg};
 use crate::validate::ValidateError;
@@ -250,6 +251,11 @@ pub struct Program {
     entry: FuncId,
     globals_words: i64,
     symbols: HashMap<String, GlobalSym>,
+    /// Function names interned in function order (first occurrence
+    /// wins for duplicates), so name lookups are index-based.
+    fn_names: Interner,
+    /// Per-function interned name id, parallel to `funcs`.
+    fn_name_ids: Vec<NameId>,
 }
 
 impl Program {
@@ -266,11 +272,15 @@ impl Program {
             .position(|f| f.name() == "main")
             .map(|i| FuncId(i as u32))
             .unwrap_or(FuncId(0));
+        let mut fn_names = Interner::new();
+        let fn_name_ids = funcs.iter().map(|f| fn_names.intern(f.name())).collect();
         let p = Program {
             funcs,
             entry,
             globals_words,
             symbols: HashMap::new(),
+            fn_names,
+            fn_name_ids,
         };
         p.validate()?;
         Ok(p)
@@ -290,13 +300,26 @@ impl Program {
         &self.funcs[id.index()]
     }
 
-    /// Looks up a function by name.
+    /// Looks up a function by name via the interned-name index. With
+    /// duplicate names the first function wins, matching a linear scan.
     pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
-        self.funcs
-            .iter()
-            .enumerate()
-            .find(|(_, f)| f.name() == name)
-            .map(|(i, f)| (FuncId(i as u32), f))
+        let id = self.fn_names.lookup(name)?;
+        let i = self.fn_name_ids.iter().position(|&n| n == id)?;
+        Some((FuncId(i as u32), &self.funcs[i]))
+    }
+
+    /// The interned name id of `func` (shared by same-named functions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn func_name_id(&self, func: FuncId) -> NameId {
+        self.fn_name_ids[func.index()]
+    }
+
+    /// The program's function-name interner.
+    pub fn fn_names(&self) -> &Interner {
+        &self.fn_names
     }
 
     /// The entry function id.

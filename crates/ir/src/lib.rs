@@ -33,6 +33,7 @@
 //! ```
 
 mod builder;
+mod dense;
 mod display;
 mod function;
 mod instr;
@@ -41,6 +42,7 @@ mod reg;
 mod validate;
 
 pub use builder::{BuildError, FunctionBuilder};
+pub use dense::{BranchId, BranchTable, Interner, NameId};
 pub use function::{
     Block, BranchRef, FuncId, Function, GlobalSym, GlobalValues, Program, ProgramBuilder,
 };

@@ -7,8 +7,9 @@
 //! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
 //! bpfree bench NAME [--dataset N]   run a suite benchmark and report
 //! bpfree bench --json [--out PATH] [--replay-out PATH] [--sched-out PATH]
+//!                     [--analysis-out PATH]
 //!                                   perf reports (BENCH_interp.json, BENCH_replay.json,
-//!                                   BENCH_sched.json)
+//!                                   BENCH_sched.json, BENCH_analysis.json)
 //! bpfree list                       list the benchmark suite
 //! bpfree exp list                   list the registered experiments
 //! bpfree exp run NAME...            regenerate paper tables/figures
@@ -108,8 +109,10 @@ fn print_usage() {
     eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
     eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
     eprintln!("  bpfree bench --json [--out PATH] [--replay-out PATH] [--sched-out PATH]");
+    eprintln!("                      [--analysis-out PATH]");
     eprintln!("                                    perf reports (BENCH_interp.json +");
-    eprintln!("                                    BENCH_replay.json + BENCH_sched.json)");
+    eprintln!("                                    BENCH_replay.json + BENCH_sched.json +");
+    eprintln!("                                    BENCH_analysis.json)");
     eprintln!("  bpfree list                       list the benchmark suite");
     eprintln!("  bpfree exp list                   list the registered experiments");
     eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
@@ -271,7 +274,7 @@ fn cmd_cfg(args: &[String]) -> Result<(), Failure> {
                 continue;
             }
         }
-        let analysis = classifier.analysis(fid);
+        let analysis = classifier.analysis(&program, fid);
         println!("  subgraph cluster_{} {{", fid.index());
         println!("    label=\"{}\";", func.name());
         for bid in func.block_ids() {
@@ -362,12 +365,15 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         let out = path_flag("--out", "BENCH_interp.json")?;
         let replay_out = path_flag("--replay-out", "BENCH_replay.json")?;
         let sched_out = path_flag("--sched-out", "BENCH_sched.json")?;
+        let analysis_out = path_flag("--analysis-out", "BENCH_analysis.json")?;
         if cfg!(debug_assertions) {
             eprintln!("[bpfree] warning: debug build — bench numbers are not comparable");
         }
         bpfree::bench::perf::write_report(std::path::Path::new(&out))
             .map_err(|e| runtime_err(e.to_string()))?;
         bpfree::bench::perf::write_replay_report(std::path::Path::new(&replay_out))
+            .map_err(|e| runtime_err(e.to_string()))?;
+        bpfree::bench::perf::write_analysis_report(std::path::Path::new(&analysis_out))
             .map_err(|e| runtime_err(e.to_string()))?;
         return bpfree::bench::perf::write_sched_report(std::path::Path::new(&sched_out))
             .map_err(|e| runtime_err(e.to_string()));
