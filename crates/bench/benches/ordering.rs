@@ -1,0 +1,114 @@
+//! Criterion benches for the ordering-study kernels: the 5040-order
+//! rate-matrix build (per-order first-hit tables vs the 7-way scan),
+//! the Pareto prune (mean-sorted early exit vs the full scan), and the
+//! subset sweep (prefix-reuse vector adds vs the per-candidate scalar
+//! gather). The seed-path sides live in `bpfree_bench::baseline`; the
+//! perf harness (`bench --json --ordering-out`) times the same pairs on
+//! the full roster with parity asserts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bpfree_bench::baseline;
+use bpfree_core::ordering::{subset_sweep_wins, BenchOrderData, OrderingStudy};
+
+/// Condensed ordering rows for a small real roster — enough groups to
+/// exercise the first-hit tables without simulating the whole suite in
+/// bench setup.
+fn condensed(names: &[&str]) -> Vec<BenchOrderData> {
+    let engine = bpfree_engine::Engine::new(bpfree_engine::EngineConfig::no_cache());
+    let opt = bpfree_lang::Options::default();
+    names
+        .iter()
+        .map(|n| {
+            let b = bpfree_suite::by_name(n).expect("benchmark exists");
+            (*engine.order_data(&b, opt)).clone()
+        })
+        .collect()
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic candidate-major rate matrix shaped like the real
+/// C(22,11) input: `c` Pareto candidates × `n` benchmarks in [0, 1].
+fn synth_rows(c: usize, n: usize) -> Vec<Vec<f64>> {
+    let mut state = 7u64;
+    (0..c)
+        .map(|_| {
+            (0..n)
+                .map(|_| (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// Graph 1 machinery: building the 5040 × n miss-rate matrix.
+fn bench_matrix(crit: &mut Criterion) {
+    let benches = condensed(&["grep", "eqntott", "espresso", "gcc"]);
+    let mut g = crit.benchmark_group("ordering_throughput");
+    g.bench_function("matrix_first_hit", |b| {
+        b.iter(|| black_box(OrderingStudy::new(benches.clone())))
+    });
+    g.bench_function("matrix_seed_scan", |b| {
+        b.iter(|| black_box(baseline::naive_rate_matrix(&benches)))
+    });
+    g.finish();
+}
+
+/// Table 4 machinery, stage one: pruning the 5040 rows to the Pareto
+/// front.
+fn bench_prune(crit: &mut Criterion) {
+    let benches = condensed(&["grep", "eqntott", "espresso", "gcc"]);
+    let study = OrderingStudy::new(benches.clone());
+    let rates = study.rates().to_vec();
+    let mut g = crit.benchmark_group("ordering_throughput");
+    g.bench_function("prune_mean_sorted", |b| {
+        b.iter_batched(
+            || OrderingStudy::from_parts(benches.clone(), rates.clone()),
+            |s| black_box(s.pareto_front().len()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("prune_seed_full", |b| {
+        b.iter(|| black_box(baseline::naive_pareto(&rates)))
+    });
+    g.finish();
+}
+
+/// Table 4 machinery, stage two: the subset sweep over a fixed slice of
+/// C(22,11) ranks against a realistic Pareto-front-sized candidate set.
+fn bench_sweep(crit: &mut Criterion) {
+    const N: usize = 22;
+    const K: usize = 11;
+    const C: usize = 256;
+    const SUBSETS: u64 = 20_000;
+    let rows = synth_rows(C, N);
+    let cols: Vec<Vec<f64>> = (0..N)
+        .map(|b| rows.iter().map(|r| r[b]).collect())
+        .collect();
+    let mut g = crit.benchmark_group("ordering_throughput");
+    g.bench_function("sweep_prefix_reuse", |b| {
+        b.iter(|| {
+            let mut wins = vec![0u64; C];
+            subset_sweep_wins(&cols, N, K, 0, SUBSETS, &mut wins);
+            black_box(wins)
+        })
+    });
+    g.bench_function("sweep_seed_gather", |b| {
+        b.iter(|| {
+            let mut wins = vec![0u64; C];
+            baseline::naive_subset_sweep(&rows, N, K, 0, SUBSETS, &mut wins);
+            black_box(wins)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix, bench_prune, bench_sweep);
+criterion_main!(benches);

@@ -10,11 +10,21 @@
 //! perf harness ([`crate::perf::analysis_report`]) and the
 //! `analysis_throughput` Criterion group can time dense-vs-seed on the
 //! real suite and assert the answers agree branch-for-branch.
+//!
+//! It also retains the pre-kernel ordering-study loops
+//! ([`naive_rate_matrix`], [`naive_pareto`], [`naive_subset_sweep`]):
+//! the 7-way first-hit scan per group, the full O(5040²·b) domination
+//! scan, and the per-candidate scalar gather per subset. The perf
+//! harness ([`crate::perf::ordering_report`]) and the
+//! `ordering_throughput` Criterion group time these against the
+//! prefix-reuse kernels and assert bit-identical matrices, fronts, and
+//! tallies first.
 
 use std::collections::HashMap;
 
 use bpfree_cfg::FunctionAnalysis;
 use bpfree_core::heuristics::BranchContext;
+use bpfree_core::ordering::{all_orders, BenchOrderData};
 use bpfree_core::{BranchClass, Direction, HeuristicKind};
 use bpfree_ir::{BlockId, BranchRef, FuncId, Program, Terminator};
 
@@ -118,10 +128,122 @@ pub fn assert_matches_dense(
     }
 }
 
+/// The seed-path 5040 × n rate matrix: one parallel task per order,
+/// each row resolving every group with the 7-way first-hit scan
+/// ([`BenchOrderData::miss_rate`]) instead of a precomputed
+/// [`bpfree_core::ordering::FirstHit`] table. The summed misses are the
+/// same exact `u64`s, so the matrix is bit-identical to the fast
+/// build — which is what the perf harness asserts before timing.
+pub fn naive_rate_matrix(benches: &[BenchOrderData]) -> Vec<Vec<f64>> {
+    let orders = all_orders();
+    bpfree_par::par_map(&orders, |o| {
+        benches.iter().map(|b| b.miss_rate(o)).collect()
+    })
+}
+
+/// The seed-path Pareto prune: every candidate scanned against **all**
+/// other rows (no mean-sorted early exit), same domination predicate,
+/// kept set assembled in index order.
+pub fn naive_pareto(rates: &[Vec<f64>]) -> Vec<usize> {
+    let indices: Vec<usize> = (0..rates.len()).collect();
+    let kept = bpfree_par::par_map(&indices, |&i| {
+        for (j, row) in rates.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominates =
+                row.iter().zip(&rates[i]).all(|(rj, ri)| rj <= ri) && (row != &rates[i] || j < i);
+            if dominates {
+                return false;
+            }
+        }
+        true
+    });
+    indices.into_iter().filter(|&i| kept[i]).collect()
+}
+
+/// The seed-path subset sweep over one contiguous rank range: per
+/// subset, a scalar gather per candidate (`sum = 0.0; sum += rates[b];
+/// …`) over candidate-major rows (`rows[ci][b]`), first strict minimum
+/// wins. No prefix reuse, no transposition — exactly the loop
+/// [`bpfree_core::ordering::subset_sweep_wins`] replaced, retained so
+/// the perf harness can time old-vs-new on the real C(22,11) sweep and
+/// assert the tallies agree.
+pub fn naive_subset_sweep(
+    rows: &[Vec<f64>],
+    n: usize,
+    k: usize,
+    start: u64,
+    len: u64,
+    wins: &mut [u64],
+) {
+    bpfree_core::ordering::KSubsets::range(n, k, start, len).for_each_subset(|subset| {
+        let mut best = 0usize;
+        let mut best_rate = f64::INFINITY;
+        for (ci, cand) in rows.iter().enumerate() {
+            let mut sum = 0.0;
+            for &b in subset {
+                sum += cand[b];
+            }
+            if sum < best_rate {
+                best_rate = sum;
+                best = ci;
+            }
+        }
+        wins[best] += 1;
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bpfree_core::ordering::{subset_sweep_wins, KSubsets, OrderingStudy};
     use bpfree_core::{BranchClassifier, HeuristicTable};
+
+    /// The three naive ordering kernels agree bit-for-bit with the fast
+    /// paths on real (small-roster) study data — the same parity the
+    /// perf harness asserts on the full roster before timing.
+    #[test]
+    fn naive_ordering_kernels_match_the_fast_paths() {
+        let engine = bpfree_engine::Engine::new(bpfree_engine::EngineConfig::no_cache());
+        let opt = bpfree_lang::Options::default();
+        let data: Vec<BenchOrderData> = ["grep", "eqntott"]
+            .iter()
+            .map(|n| {
+                let b = bpfree_suite::by_name(n).unwrap();
+                (*engine.order_data(&b, opt)).clone()
+            })
+            .collect();
+        let study = OrderingStudy::new(data.clone());
+
+        let naive = naive_rate_matrix(&data);
+        assert_eq!(naive.len(), study.rates().len());
+        for (a, b) in naive.iter().zip(study.rates()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bit-exact matrix");
+            }
+        }
+
+        assert_eq!(naive_pareto(study.rates()), study.pareto_front());
+
+        let candidates = study.pareto_front();
+        let n = data.len();
+        let k = 1;
+        let rows: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|&o| study.rates()[o].clone())
+            .collect();
+        let cols: Vec<Vec<f64>> = (0..n)
+            .map(|b| candidates.iter().map(|&o| study.rates()[o][b]).collect())
+            .collect();
+        let trials = KSubsets::count(n, k);
+        let mut naive_wins = vec![0u64; candidates.len()];
+        naive_subset_sweep(&rows, n, k, 0, trials, &mut naive_wins);
+        let mut fast_wins = vec![0u64; candidates.len()];
+        subset_sweep_wins(&cols, n, k, 0, trials, &mut fast_wins);
+        assert_eq!(naive_wins, fast_wins);
+        assert_eq!(naive_wins.iter().sum::<u64>(), trials);
+    }
 
     #[test]
     fn hash_keyed_baseline_matches_dense_on_a_real_benchmark() {

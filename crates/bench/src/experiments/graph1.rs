@@ -5,13 +5,13 @@
 
 use std::io;
 
-use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
-use bpfree_core::DEFAULT_SEED;
 use bpfree_engine::Engine;
+use bpfree_lang::Options;
+use bpfree_suite::Benchmark;
 
 use crate::registry::Experiment;
 use crate::sink::Sink;
-use crate::{load_suite_on, pct};
+use crate::{ordering_roster, pct};
 
 pub struct Graph1;
 
@@ -30,24 +30,10 @@ impl Experiment for Graph1 {
 
     fn run(&self, engine: &Engine, sink: &mut dyn Sink) -> io::Result<()> {
         let w = sink.out();
-        let benches: Vec<BenchOrderData> = load_suite_on(engine)
-            .into_iter()
-            .filter(|d| d.bench.name != "matrix300")
-            .map(|d| {
-                BenchOrderData::build(
-                    d.bench.name,
-                    &d.table,
-                    &d.profile,
-                    &d.classifier,
-                    DEFAULT_SEED,
-                )
-            })
-            .collect();
-        eprintln!(
-            "evaluating 5040 orders over {} benchmarks...",
-            benches.len()
-        );
-        let study = OrderingStudy::new(benches);
+        let roster = ordering_roster();
+        let refs: Vec<&Benchmark> = roster.iter().collect();
+        eprintln!("evaluating 5040 orders over {} benchmarks...", refs.len());
+        let study = engine.ordering_study(&refs, Options::default());
         let rates = study.sorted_average_rates();
 
         writeln!(w, "# Graph 1: order rank vs average non-loop miss rate (%)")?;

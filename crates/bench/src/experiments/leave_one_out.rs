@@ -6,29 +6,27 @@
 //! alone (plus Default) for the other direction of the question.
 
 use std::io;
+use std::sync::Arc;
 
-use bpfree_core::{evaluate, CombinedPredictor, HeuristicKind, DEFAULT_SEED};
+use bpfree_core::ordering::BenchOrderData;
+use bpfree_core::HeuristicKind;
 use bpfree_engine::Engine;
+use bpfree_lang::Options;
+use bpfree_suite::Benchmark;
 
 use crate::registry::Experiment;
 use crate::sink::Sink;
-use crate::{load_suite_on, mean_std, pct, BenchData};
+use crate::{mean_std, pct};
 
-fn mean_nonloop_rate(suite: &[BenchData], order: &[HeuristicKind]) -> f64 {
-    let rates: Vec<f64> = suite
-        .iter()
-        .map(|d| {
-            let cp = CombinedPredictor::with_seed(
-                &d.program,
-                &d.classifier,
-                order.iter().copied(),
-                DEFAULT_SEED,
-            );
-            evaluate(&cp.predictions(), &d.profile, &d.classifier)
-                .nonloop
-                .miss_rate()
-        })
-        .collect();
+/// Suite-mean non-loop miss rate of a (possibly partial) priority
+/// order, scored against the engine's condensed [`BenchOrderData`]
+/// groups. The grouped `u64` miss sums are exactly the per-branch sums
+/// a [`bpfree_core::CombinedPredictor`] evaluation adds up — same
+/// numerator, same denominator, same division — so every rate (and the
+/// printed table) is bit-identical to the old rebuild-the-predictor
+/// path while touching a few dozen groups instead of every branch.
+fn mean_nonloop_rate(suite: &[Arc<BenchOrderData>], order: &[HeuristicKind]) -> f64 {
+    let rates: Vec<f64> = suite.iter().map(|d| d.miss_rate(order)).collect();
     mean_std(&rates).0
 }
 
@@ -49,7 +47,12 @@ impl Experiment for LeaveOneOut {
 
     fn run(&self, engine: &Engine, sink: &mut dyn Sink) -> io::Result<()> {
         let w = sink.out();
-        let suite = load_suite_on(engine);
+        let opt = Options::default();
+        let benches = bpfree_suite::all();
+        let refs: Vec<&Benchmark> = benches.iter().collect();
+        engine.prefetch(&refs, opt, &[]);
+        let suite: Vec<Arc<BenchOrderData>> =
+            refs.iter().map(|b| engine.order_data(b, opt)).collect();
         let full = HeuristicKind::paper_order();
         let baseline = mean_nonloop_rate(&suite, &full);
         writeln!(

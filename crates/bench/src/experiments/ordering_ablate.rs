@@ -8,9 +8,12 @@
 use std::io;
 use std::time::Instant;
 
-use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
-use bpfree_core::{HeuristicTable, DEFAULT_SEED};
+use bpfree_core::ordering::OrderingStudy;
+use bpfree_core::HeuristicTable;
 use bpfree_engine::Engine;
+use bpfree_lang::Options;
+use bpfree_sim::EdgeProfile;
+use bpfree_suite::Benchmark;
 
 use crate::registry::Experiment;
 use crate::sink::Sink;
@@ -34,28 +37,21 @@ impl Experiment for OrderingAblate {
     fn run(&self, engine: &Engine, sink: &mut dyn Sink) -> io::Result<()> {
         let w = sink.out();
         let loaded = load_suite_on(engine);
-        let mut benches = Vec::new();
-        let mut pairwise_input = Vec::new();
-        for d in &loaded {
-            if d.bench.name == "matrix300" {
-                continue;
-            }
-            benches.push(BenchOrderData::build(
-                d.bench.name,
-                &d.table,
-                &d.profile,
-                &d.classifier,
-                DEFAULT_SEED,
-            ));
-            pairwise_input.push((
-                HeuristicTable::build(&d.program, &d.classifier),
-                (*d.profile).clone(),
-                &*d.classifier,
-            ));
-        }
-        let n = benches.len();
+        // Borrow the engine's shared tables and profiles for the
+        // pairwise construction instead of rebuilding/cloning them.
+        let pairwise_input: Vec<(&HeuristicTable, &EdgeProfile)> = loaded
+            .iter()
+            .filter(|d| d.bench.name != "matrix300")
+            .map(|d| (&*d.table, &*d.profile))
+            .collect();
+        let refs: Vec<&Benchmark> = loaded
+            .iter()
+            .filter(|d| d.bench.name != "matrix300")
+            .map(|d| &d.bench)
+            .collect();
+        let n = refs.len();
         let k = n / 2;
-        let study = OrderingStudy::new(benches);
+        let study = engine.ordering_study(&refs, Options::default());
 
         let t0 = Instant::now();
         let exact = study.subset_experiment(k);

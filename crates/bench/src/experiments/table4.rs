@@ -9,13 +9,13 @@
 
 use std::io;
 
-use bpfree_core::ordering::{BenchOrderData, OrderingStudy};
-use bpfree_core::DEFAULT_SEED;
 use bpfree_engine::Engine;
+use bpfree_lang::Options;
+use bpfree_suite::Benchmark;
 
 use crate::registry::Experiment;
 use crate::sink::Sink;
-use crate::{load_suite_on, pct};
+use crate::{ordering_roster, pct};
 
 pub struct Table4;
 
@@ -34,26 +34,15 @@ impl Experiment for Table4 {
 
     fn run(&self, engine: &Engine, sink: &mut dyn Sink) -> io::Result<()> {
         let w = sink.out();
-        let benches: Vec<BenchOrderData> = load_suite_on(engine)
-            .into_iter()
-            .filter(|d| d.bench.name != "matrix300")
-            .map(|d| {
-                BenchOrderData::build(
-                    d.bench.name,
-                    &d.table,
-                    &d.profile,
-                    &d.classifier,
-                    DEFAULT_SEED,
-                )
-            })
-            .collect();
-        let n = benches.len();
+        let roster = ordering_roster();
+        let refs: Vec<&Benchmark> = roster.iter().collect();
+        let n = refs.len();
         let k = n / 2;
         eprintln!("building 5040 x {n} rate matrix...");
-        let study = OrderingStudy::new(benches);
+        let study = engine.ordering_study(&refs, Options::default());
         eprintln!(
             "pareto front: {} of 5040 orders; enumerating C({n},{k}) subsets...",
-            study.pareto_order_indices().len()
+            study.pareto_front().len()
         );
         let winners = study.subset_experiment(k);
         let total_trials: u64 = winners.iter().map(|w| w.trials).sum();

@@ -125,6 +125,18 @@ pub fn load_suite() -> Vec<BenchData> {
     load_suite_on(config::engine())
 }
 
+/// The ordering-study roster: the whole suite minus matrix300 (the
+/// paper excludes it from Graph 1 and the subset studies), in registry
+/// order. Every experiment that consumes
+/// [`bpfree_engine::Engine::ordering_study`] passes this same roster,
+/// so they all share one memoized (and one cached) rate matrix.
+pub fn ordering_roster() -> Vec<Benchmark> {
+    bpfree_suite::all()
+        .into_iter()
+        .filter(|b| b.name != "matrix300")
+        .collect()
+}
+
 /// Loads a named subset of the suite, preserving the given order.
 ///
 /// # Panics

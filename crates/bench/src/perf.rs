@@ -17,6 +17,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use bpfree_core::ipbc::{IpbcAnalyzer, SequenceDist};
+use bpfree_core::ordering::{subset_sweep_wins, BenchOrderData, KSubsets, OrderingStudy};
 use bpfree_core::{
     evaluate_trace, loop_rand_predictions, perfect_predictions, BranchClassifier,
     CombinedPredictor, HeuristicKind, HeuristicTable, Predictions, DEFAULT_SEED,
@@ -617,6 +618,238 @@ pub fn analysis_report() -> Json {
 /// Propagates filesystem errors from the write.
 pub fn write_analysis_report(path: &Path) -> io::Result<()> {
     let doc = analysis_report();
+    std::fs::write(path, doc.pretty() + "\n")?;
+    eprintln!("[bpfree] wrote {}", path.display());
+    Ok(())
+}
+
+/// One fast 5040 × n matrix build (per-order [`FirstHit`] tables, one
+/// parallel task per order), timed whole.
+fn time_fast_matrix(benches: &[BenchOrderData]) -> (f64, Vec<Vec<f64>>) {
+    let start = Instant::now();
+    let study = OrderingStudy::new(benches.to_vec());
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, study.rates().to_vec())
+}
+
+/// One seed-path matrix build (7-way first-hit scan per group per
+/// order), timed whole.
+fn time_seed_matrix(benches: &[BenchOrderData]) -> (f64, Vec<Vec<f64>>) {
+    let start = Instant::now();
+    let rates = crate::baseline::naive_rate_matrix(benches);
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, rates)
+}
+
+/// One mean-sorted Pareto prune over an already-built study. The study
+/// is assembled outside the clock so only the prune is measured.
+fn time_fast_prune(benches: &[BenchOrderData], rates: &[Vec<f64>]) -> (f64, Vec<usize>) {
+    let study = OrderingStudy::from_parts(benches.to_vec(), rates.to_vec());
+    let start = Instant::now();
+    let front = study.pareto_front().to_vec();
+    (start.elapsed().as_secs_f64(), front)
+}
+
+/// One seed-path full-scan prune over the same matrix.
+fn time_seed_prune(rates: &[Vec<f64>]) -> (f64, Vec<usize>) {
+    let start = Instant::now();
+    let front = crate::baseline::naive_pareto(rates);
+    (start.elapsed().as_secs_f64(), front)
+}
+
+/// One full C(n, k) sweep through the prefix-reuse kernel, run exactly
+/// as [`OrderingStudy::subset_experiment`] runs it (contiguous rank
+/// ranges per worker, per-worker tallies merged).
+fn time_fast_sweep(cols: &[Vec<f64>], n: usize, k: usize, c: usize) -> (f64, Vec<u64>) {
+    let trials = KSubsets::count(n, k);
+    let start = Instant::now();
+    let wins = bpfree_par::par_fold_chunks(
+        trials,
+        || vec![0u64; c],
+        |range, mut wins| {
+            subset_sweep_wins(cols, n, k, range.start, range.end - range.start, &mut wins);
+            wins
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![0u64; c]);
+    (start.elapsed().as_secs_f64(), wins)
+}
+
+/// One full C(n, k) sweep through the seed-path scalar gather, under
+/// the identical range-split harness so the ratio isolates the kernel.
+fn time_seed_sweep(rows: &[Vec<f64>], n: usize, k: usize, c: usize) -> (f64, Vec<u64>) {
+    let trials = KSubsets::count(n, k);
+    let start = Instant::now();
+    let wins = bpfree_par::par_fold_chunks(
+        trials,
+        || vec![0u64; c],
+        |range, mut wins| {
+            crate::baseline::naive_subset_sweep(
+                rows,
+                n,
+                k,
+                range.start,
+                range.end - range.start,
+                &mut wins,
+            );
+            wins
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![0u64; c]);
+    (start.elapsed().as_secs_f64(), wins)
+}
+
+/// Builds the ordering-throughput report behind `BENCH_ordering.json`:
+/// the three ordering-study hot paths — the 5040 × 22 rate-matrix
+/// build, the Pareto prune, and the full C(22,11) subset sweep — each
+/// timed new-kernel vs seed-path on the real roster (matrix300
+/// excluded, exactly the `graph1`/`table4` input). Rounds interleave
+/// and each side reports its minimum, like every other perf report
+/// here; before any clock starts, the two sides of each pair are
+/// asserted bit-identical (matrix cells, front indices, win tallies) —
+/// the live parity check the acceptance criteria require.
+///
+/// # Panics
+///
+/// Panics if a roster benchmark fails to compile or run, or if any
+/// seed-path kernel disagrees with its fast replacement.
+pub fn ordering_report() -> Json {
+    let engine = Engine::new(EngineConfig::no_cache());
+    let opt = bpfree_lang::Options::default();
+    let roster = crate::ordering_roster();
+    let refs: Vec<&bpfree_suite::Benchmark> = roster.iter().collect();
+    engine.prefetch(&refs, opt, &[]);
+    let benches: Vec<BenchOrderData> = refs
+        .iter()
+        .map(|b| (*engine.order_data(b, opt)).clone())
+        .collect();
+    let n = benches.len();
+    let k = n / 2;
+
+    // Parity before timing: matrix, front, and tallies must agree
+    // bit-for-bit between the kernels being compared.
+    let (mut fast_matrix_secs, fast_rates) = time_fast_matrix(&benches);
+    let (mut seed_matrix_secs, seed_rates) = time_seed_matrix(&benches);
+    assert_eq!(fast_rates.len(), seed_rates.len());
+    for (a, b) in fast_rates.iter().zip(&seed_rates) {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "seed-path matrix diverged from the first-hit build"
+            );
+        }
+    }
+    let (mut fast_prune_secs, fast_front) = time_fast_prune(&benches, &fast_rates);
+    let (mut seed_prune_secs, seed_front) = time_seed_prune(&fast_rates);
+    assert_eq!(
+        fast_front, seed_front,
+        "mean-sorted prune diverged from the full scan"
+    );
+
+    let candidates = &fast_front;
+    let c = candidates.len();
+    // Candidate-major rows for the seed gather, benchmark-major
+    // transposed columns for the prefix kernel — both views of the same
+    // pruned matrix.
+    let rows: Vec<Vec<f64>> = candidates.iter().map(|&o| fast_rates[o].clone()).collect();
+    let cols: Vec<Vec<f64>> = (0..n)
+        .map(|b| candidates.iter().map(|&o| fast_rates[o][b]).collect())
+        .collect();
+    let trials = KSubsets::count(n, k);
+    let (mut fast_sweep_secs, fast_wins) = time_fast_sweep(&cols, n, k, c);
+    let (mut seed_sweep_secs, seed_wins) = time_seed_sweep(&rows, n, k, c);
+    assert_eq!(
+        fast_wins, seed_wins,
+        "prefix-reuse sweep diverged from the scalar gather"
+    );
+    assert_eq!(fast_wins.iter().sum::<u64>(), trials);
+
+    for _ in 1..ROUNDS {
+        fast_matrix_secs = fast_matrix_secs.min(time_fast_matrix(&benches).0);
+        seed_matrix_secs = seed_matrix_secs.min(time_seed_matrix(&benches).0);
+        fast_prune_secs = fast_prune_secs.min(time_fast_prune(&benches, &fast_rates).0);
+        seed_prune_secs = seed_prune_secs.min(time_seed_prune(&fast_rates).0);
+        fast_sweep_secs = fast_sweep_secs.min(time_fast_sweep(&cols, n, k, c).0);
+        seed_sweep_secs = seed_sweep_secs.min(time_seed_sweep(&rows, n, k, c).0);
+    }
+
+    let ratio = |seed: f64, fast: f64| if fast > 0.0 { seed / fast } else { 0.0 };
+    let per_sec = |count: f64, secs: f64| if secs > 0.0 { count / secs } else { 0.0 };
+    let section = |seed_secs: f64, fast_secs: f64, count: f64, unit: &str| {
+        Json::obj()
+            .field("seed_seconds", Json::Float(seed_secs))
+            .field("fast_seconds", Json::Float(fast_secs))
+            .field(
+                &format!("seed_{unit}_per_sec"),
+                Json::Float(per_sec(count, seed_secs)),
+            )
+            .field(
+                &format!("fast_{unit}_per_sec"),
+                Json::Float(per_sec(count, fast_secs)),
+            )
+            .field("speedup", Json::Float(ratio(seed_secs, fast_secs)))
+            .build()
+    };
+
+    Json::obj()
+        .field("schema", Json::Str("bpfree-bench-ordering/1".to_string()))
+        .field(
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        )
+        .field("jobs", Json::UInt(bpfree_par::jobs() as u64))
+        .field(
+            "roster",
+            Json::obj()
+                .field("benchmarks", Json::UInt(n as u64))
+                .field("orders", Json::UInt(fast_rates.len() as u64))
+                .field("subset_size", Json::UInt(k as u64))
+                .field("pareto_candidates", Json::UInt(c as u64))
+                .field("subsets", Json::UInt(trials))
+                .build(),
+        )
+        .field(
+            "matrix",
+            section(seed_matrix_secs, fast_matrix_secs, 5040.0, "orders"),
+        )
+        .field(
+            "prune",
+            section(seed_prune_secs, fast_prune_secs, 5040.0, "orders"),
+        )
+        .field(
+            "subsets",
+            section(seed_sweep_secs, fast_sweep_secs, trials as f64, "subsets"),
+        )
+        .build()
+}
+
+/// Writes [`ordering_report`] to `path` (trailing newline included).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_ordering_report(path: &Path) -> io::Result<()> {
+    let doc = ordering_report();
     std::fs::write(path, doc.pretty() + "\n")?;
     eprintln!("[bpfree] wrote {}", path.display());
     Ok(())

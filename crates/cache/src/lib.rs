@@ -9,7 +9,7 @@
 //!
 //! # Entry kinds
 //!
-//! The cache stores four independent entry kinds, matching the artifact
+//! The cache stores five independent entry kinds, matching the artifact
 //! granularity of the demand-driven engine (`bpfree-engine`):
 //!
 //! * **compile** — the compiled [`Program`], keyed per (benchmark,
@@ -24,7 +24,16 @@
 //!   keyed per (benchmark, source, options, dataset);
 //! * **trace** — the replayable [`BranchTrace`] of one dataset (plus its
 //!   [`RunResult`], so a run entry can be reconstructed from a trace
-//!   entry by replay alone), same key shape as a run entry.
+//!   entry by replay alone), same key shape as a run entry;
+//! * **ordering** (v5) — one *roster*-level entry: the condensed
+//!   [`BenchOrderData`] groups and the full 5040 × n miss-rate matrix
+//!   of an [`OrderingStudy`], keyed over every member benchmark's
+//!   (name, source, reference dataset) plus the options fingerprint and
+//!   the Default-predictor seed. Rate cells persist as the exact bit
+//!   patterns (`f64::to_bits` hex), and a warm load revalidates the
+//!   stored groups against freshly condensed live data before trusting
+//!   the matrix — so a warm `exp all` recomputes zero rate matrices and
+//!   still can't serve stale rates.
 //!
 //! [`BranchClassifier`]: bpfree_core::BranchClassifier
 //!
@@ -72,13 +81,14 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use bpfree_core::ordering::{BenchOrderData, Group, GroupKey, OrderingStudy};
 use bpfree_core::{BranchClass, Direction};
 use bpfree_ir::{BlockId, BranchRef, FuncId, Program};
 use bpfree_sim::{BranchTrace, EdgeCounts, EdgeProfile, RunResult, TraceEvent};
 use bpfree_suite::Dataset;
 
 /// Bump on any change to the file layout below.
-const FORMAT_VERSION: u32 = 4;
+const FORMAT_VERSION: u32 = 5;
 
 /// The cached compile-time artifacts for one (benchmark, options) pair.
 #[derive(Debug, Clone)]
@@ -177,6 +187,49 @@ pub struct RunArtifacts {
 pub struct TraceArtifacts {
     pub trace: BranchTrace,
     pub run: RunResult,
+}
+
+/// The cached ordering-study artifacts of one benchmark roster: the
+/// condensed per-benchmark order data and the 5040 × n miss-rate
+/// matrix derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderingArtifacts {
+    /// Condensed non-loop branch groups, one per roster member, in
+    /// roster order.
+    pub benches: Vec<BenchOrderData>,
+    /// `rates[o][b]` — stored and restored bit-exactly.
+    pub rates: Vec<Vec<f64>>,
+}
+
+impl OrderingArtifacts {
+    /// Extracts the persistable parts of a freshly computed study.
+    pub fn from_study(study: &OrderingStudy) -> OrderingArtifacts {
+        OrderingArtifacts {
+            benches: study.benches().to_vec(),
+            rates: study.rates().to_vec(),
+        }
+    }
+
+    /// Rebuilds the study, validating the stored condensed groups
+    /// against `live` — the same benchmarks condensed from the process's
+    /// *current* predictions and profiles. Any divergence (stale groups,
+    /// roster mismatch, wrong matrix shape, non-finite cells) returns
+    /// `None` and the caller recomputes; on success the returned study
+    /// reuses the persisted matrix and performs zero rate evaluations.
+    pub fn instantiate(self, live: &[BenchOrderData]) -> Option<OrderingStudy> {
+        if self.benches != live {
+            return None;
+        }
+        if self.rates.len() != 5040
+            || self
+                .rates
+                .iter()
+                .any(|row| row.len() != live.len() || row.iter().any(|r| !r.is_finite()))
+        {
+            return None;
+        }
+        Some(OrderingStudy::from_parts(self.benches, self.rates))
+    }
 }
 
 /// The cache directory: `BPFREE_CACHE_DIR`, else
@@ -290,6 +343,26 @@ pub fn run_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> 
 pub fn trace_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> String {
     let mut h = base_hash("trace", bench_name, source, opt);
     write_dataset(&mut h, dataset);
+    format!("{:016x}", h.0)
+}
+
+/// The content key for a roster-level ordering entry: hashes every
+/// member's (name, source, reference dataset) in roster order, plus the
+/// options fingerprint and the Default-predictor seed. Any change to
+/// any member — source edit, dataset regeneration, different roster or
+/// order — lands on a different key.
+pub fn ordering_key(members: &[(&str, &str, &Dataset)], opt: &str, seed: u64) -> String {
+    let mut h = base_hash("ordering", "", "", opt);
+    h.write_u64(seed);
+    h.sep();
+    h.write_u64(members.len() as u64);
+    for (name, source, dataset) in members {
+        h.write(name.as_bytes());
+        h.sep();
+        h.write(source.as_bytes());
+        h.sep();
+        write_dataset(&mut h, dataset);
+    }
     format!("{:016x}", h.0)
 }
 
@@ -443,6 +516,136 @@ fn decode_prediction(key: &str, text: &str) -> Option<PredictionArtifacts> {
         return None;
     }
     Some(PredictionArtifacts { rows })
+}
+
+/// Per bench: one `bench <total_dynamic> <n_groups> <name>` line, then
+/// one `<applies> <predicts_taken> <T|F> <taken> <fallthru>` line per
+/// condensed group. The matrix follows as one line per order of
+/// space-separated 16-hex-digit `f64::to_bits` cells — bit-exact, so a
+/// warm study's every downstream number matches the cold one's.
+fn encode_ordering(key: &str, a: &OrderingArtifacts) -> String {
+    let mut out = String::new();
+    header(&mut out, key, "ordering");
+    let _ = writeln!(out, "benches {}", a.benches.len());
+    for b in &a.benches {
+        let _ = writeln!(
+            out,
+            "bench {} {} {}",
+            b.total_dynamic(),
+            b.groups().len(),
+            b.name
+        );
+        for g in b.groups() {
+            let _ = writeln!(
+                out,
+                "{} {} {} {} {}",
+                g.key.applies,
+                g.key.predicts_taken,
+                if g.key.default_taken { 'T' } else { 'F' },
+                g.taken,
+                g.fallthru
+            );
+        }
+    }
+    let _ = writeln!(out, "rates {} {}", a.rates.len(), a.benches.len());
+    for row in &a.rates {
+        let mut first = true;
+        for r in row {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            let _ = write!(out, "{:016x}", r.to_bits());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn decode_ordering(key: &str, text: &str) -> Option<OrderingArtifacts> {
+    let mut lines = text.lines();
+    check_header(&mut lines, key, "ordering")?;
+
+    let n_benches: usize = lines.next()?.strip_prefix("benches ")?.parse().ok()?;
+    let mut benches = Vec::with_capacity(n_benches);
+    for _ in 0..n_benches {
+        let mut it = lines.next()?.strip_prefix("bench ")?.splitn(3, ' ');
+        let total_dynamic: u64 = it.next()?.parse().ok()?;
+        let n_groups: usize = it.next()?.parse().ok()?;
+        let name = it.next()?;
+        if name.is_empty() {
+            return None;
+        }
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let mut it = lines.next()?.split_ascii_whitespace();
+            let applies: u8 = it.next()?.parse().ok()?;
+            let predicts_taken: u8 = it.next()?.parse().ok()?;
+            let default_taken = match it.next()? {
+                "T" => true,
+                "F" => false,
+                _ => return None,
+            };
+            let taken: u64 = it.next()?.parse().ok()?;
+            let fallthru: u64 = it.next()?.parse().ok()?;
+            if it.next().is_some() {
+                return None;
+            }
+            // Seven heuristics: masks live in the low 7 bits, and a
+            // prediction bit without its applies bit is structurally
+            // impossible — reject outright.
+            if applies > 0x7f || predicts_taken & !applies != 0 {
+                return None;
+            }
+            groups.push(Group {
+                key: GroupKey {
+                    applies,
+                    predicts_taken,
+                    default_taken,
+                },
+                taken,
+                fallthru,
+            });
+        }
+        benches.push(BenchOrderData::from_parts(
+            name.to_string(),
+            groups,
+            total_dynamic,
+        ));
+    }
+
+    let (n_rows, n_cols) = {
+        let mut it = lines.next()?.strip_prefix("rates ")?.split(' ');
+        let rows: usize = it.next()?.parse().ok()?;
+        let cols: usize = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        (rows, cols)
+    };
+    if n_cols != benches.len() {
+        return None;
+    }
+    let mut rates = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let line = lines.next()?;
+        let mut row = Vec::with_capacity(n_cols);
+        for cell in line.split(' ') {
+            if cell.len() != 16 {
+                return None;
+            }
+            let bits = u64::from_str_radix(cell, 16).ok()?;
+            row.push(f64::from_bits(bits));
+        }
+        if row.len() != n_cols {
+            return None;
+        }
+        rates.push(row);
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(OrderingArtifacts { benches, rates })
 }
 
 fn encode_run(key: &str, a: &RunArtifacts) -> String {
@@ -774,6 +977,19 @@ pub fn store_trace(dir: &Path, key: &str, a: &TraceArtifacts) -> std::io::Result
     write_entry(dir, key, encode_trace(key, a))
 }
 
+/// Loads the ordering entry for `key` (miss on absence or corruption).
+/// The groups and matrix are syntactically validated here; semantic
+/// validation against live condensed data is
+/// [`OrderingArtifacts::instantiate`]'s job.
+pub fn lookup_ordering(dir: &Path, key: &str) -> Option<OrderingArtifacts> {
+    decode_ordering(key, &read_entry(dir, key)?)
+}
+
+/// Stores an ordering entry atomically.
+pub fn store_ordering(dir: &Path, key: &str, a: &OrderingArtifacts) -> std::io::Result<()> {
+    write_entry(dir, key, encode_ordering(key, a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1022,6 +1238,101 @@ mod tests {
         );
         assert_ne!(r0, k0, "entry kinds never collide");
         assert_ne!(r0, trace_key("b", "src", "O:inline+simplify", &ds(1)));
+    }
+
+    fn sample_ordering() -> OrderingArtifacts {
+        let (c, r, _) = sample();
+        let classifier = bpfree_core::BranchClassifier::analyze(&c.program);
+        let table = bpfree_core::HeuristicTable::build(&c.program, &classifier);
+        let data = BenchOrderData::build(
+            "sample",
+            &table,
+            &r.profile,
+            &classifier,
+            bpfree_core::DEFAULT_SEED,
+        );
+        let study = OrderingStudy::new(vec![data]);
+        OrderingArtifacts::from_study(&study)
+    }
+
+    #[test]
+    fn ordering_roundtrip_is_bit_exact() {
+        let a = sample_ordering();
+        assert_eq!(a.rates.len(), 5040);
+        assert!(!a.benches[0].groups().is_empty());
+        let key = "0123456789abcdef";
+        let text = encode_ordering(key, &a);
+        let b = decode_ordering(key, &text).expect("decodes");
+        assert_eq!(a.benches, b.benches);
+        assert_eq!(a.rates.len(), b.rates.len());
+        for (ra, rb) in a.rates.iter().zip(&b.rates) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bit-exact rates");
+            }
+        }
+        // Instantiation against matching live data succeeds and the
+        // rebuilt study carries the persisted matrix.
+        let study = b.clone().instantiate(&a.benches).expect("valid live data");
+        assert_eq!(study.rates().len(), 5040);
+        // Against *diverged* live data it refuses.
+        let mut stale = a.benches.clone();
+        stale[0] = BenchOrderData::from_parts(
+            stale[0].name.clone(),
+            stale[0].groups().to_vec(),
+            stale[0].total_dynamic() + 1,
+        );
+        assert!(b.instantiate(&stale).is_none(), "stale groups rejected");
+    }
+
+    #[test]
+    fn ordering_decode_rejects_corruption() {
+        let a = sample_ordering();
+        let key = "0123456789abcdef";
+        let text = encode_ordering(key, &a);
+        assert!(decode_ordering("feedfeedfeedfeed", &text).is_none(), "key");
+        // Garbled group line: prediction bit without its applies bit.
+        let first_group = text
+            .lines()
+            .nth(5)
+            .expect("first group line after header + benches + bench");
+        let garbled = text.replacen(first_group, "0 127 T 1 1", 1);
+        assert!(decode_ordering(key, &garbled).is_none(), "pred ⊄ applies");
+        // Truncated matrix.
+        let cut = text.rfind("\n").unwrap();
+        let cut = text[..cut].rfind('\n').unwrap();
+        assert!(
+            decode_ordering(key, &text[..cut + 1]).is_none(),
+            "missing rate row"
+        );
+        // A non-finite rate cell decodes (it is well-formed hex) but
+        // never instantiates.
+        let mut rows = a.clone();
+        rows.rates[0][0] = f64::NAN;
+        let poisoned = encode_ordering(key, &rows);
+        let decoded = decode_ordering(key, &poisoned).expect("syntactically fine");
+        assert!(
+            decoded.instantiate(&a.benches).is_none(),
+            "non-finite rate rejected at instantiate"
+        );
+    }
+
+    #[test]
+    fn ordering_keys_track_roster_opt_and_seed() {
+        let d1 = ds(1);
+        let d2 = ds(2);
+        let k0 = ordering_key(&[("a", "src", &d1)], "O", 7);
+        assert_eq!(k0, ordering_key(&[("a", "src", &d1)], "O", 7));
+        assert_ne!(k0, ordering_key(&[("a", "src2", &d1)], "O", 7), "source");
+        assert_ne!(k0, ordering_key(&[("b", "src", &d1)], "O", 7), "name");
+        assert_ne!(k0, ordering_key(&[("a", "src", &d2)], "O", 7), "dataset");
+        assert_ne!(k0, ordering_key(&[("a", "src", &d1)], "O0", 7), "options");
+        assert_ne!(k0, ordering_key(&[("a", "src", &d1)], "O", 8), "seed");
+        assert_ne!(
+            k0,
+            ordering_key(&[("a", "src", &d1), ("b", "src", &d1)], "O", 7),
+            "roster size"
+        );
+        assert_ne!(k0, compile_key("a", "src", "O"), "kinds never collide");
     }
 
     /// Regression test for the PR 1 cache-key blind spot: artifacts

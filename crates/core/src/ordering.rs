@@ -150,13 +150,24 @@ impl KSubsets {
     /// Advances to the next subset; `false` when the range is exhausted.
     /// The first call yields the range's start subset unchanged.
     fn advance(&mut self) -> bool {
+        self.advance_from().is_some()
+    }
+
+    /// Advances to the next subset, reporting the **first changed slot**:
+    /// slots `0..slot` are unchanged from the previous subset, slots
+    /// `slot..k` are new. The first call yields the range's start subset
+    /// with slot 0 (everything is "new"). `None` when exhausted.
+    ///
+    /// This is what makes prefix-reuse summation possible: a consumer
+    /// keeping per-slot partial results only recomputes from `slot`.
+    fn advance_from(&mut self) -> Option<usize> {
         if self.remaining == 0 {
-            return false;
+            return None;
         }
         self.remaining -= 1;
         if self.fresh {
             self.fresh = false;
-            return true;
+            return Some(0);
         }
         // Lexicographic successor: bump the rightmost bumpable slot and
         // reset everything after it.
@@ -167,7 +178,7 @@ impl KSubsets {
                 for j in i + 1..k {
                     self.subset[j] = self.subset[j - 1] + 1;
                 }
-                return true;
+                return Some(i);
             }
         }
         unreachable!("range length was validated against C(n, k)")
@@ -179,6 +190,86 @@ impl KSubsets {
         while self.advance() {
             f(&self.subset);
         }
+    }
+
+    /// Like [`KSubsets::for_each_subset`], but also passes the first
+    /// slot that changed since the previous subset (0 on the first
+    /// yield). Because enumeration is lexicographic, slots before it are
+    /// a shared prefix with the previous subset.
+    pub fn for_each_subset_from(mut self, mut f: impl FnMut(&[usize], usize)) {
+        while let Some(slot) = self.advance_from() {
+            f(&self.subset, slot);
+        }
+    }
+}
+
+/// The prefix-reuse subset sweep: for each of the `len` k-subsets of
+/// `{0..n-1}` starting at lexicographic rank `start`, find the candidate
+/// with the minimal rate sum over the subset (first strict minimum wins
+/// ties) and bump its `wins` tally.
+///
+/// `cols` is benchmark-major: `cols[b][ci]` is candidate `ci`'s rate on
+/// benchmark `b`, so extending every candidate's partial sum by one
+/// benchmark is a single contiguous vector add. A per-slot stack of
+/// partial-sum vectors is kept across subsets; the lexicographic
+/// successor only changes slots from the first bumped one, so only
+/// those rows are recomputed — amortized ~1 vector add per subset
+/// instead of `k`.
+///
+/// Each `partial[slot]` entry is built as the exact left-to-right fold
+/// `(((0.0 + r₀) + r₁) + …)` the naive per-candidate gather loop
+/// computes, so every sum — and therefore every winner — is
+/// bit-identical to the naive sweep.
+pub fn subset_sweep_wins(
+    cols: &[Vec<f64>],
+    n: usize,
+    k: usize,
+    start: u64,
+    len: u64,
+    wins: &mut [u64],
+) {
+    let c = wins.len();
+    debug_assert!(cols.len() == n && cols.iter().all(|col| col.len() == c));
+    // partial[slot * c + ci]: candidate ci's rate sum over the current
+    // subset's first slot+1 benchmarks.
+    let mut partial = vec![0.0f64; k * c];
+    KSubsets::range(n, k, start, len).for_each_subset_from(|subset, from| {
+        for slot in from..k {
+            let col = &cols[subset[slot]][..c];
+            if slot == 0 {
+                for (dst, &r) in partial[..c].iter_mut().zip(col) {
+                    *dst = 0.0 + r;
+                }
+            } else {
+                let (prev, cur) = partial.split_at_mut(slot * c);
+                let prev = &prev[(slot - 1) * c..];
+                for (ci, dst) in cur[..c].iter_mut().enumerate() {
+                    *dst = prev[ci] + col[ci];
+                }
+            }
+        }
+        let sums = &partial[(k - 1) * c..];
+        let mut best = 0usize;
+        let mut best_rate = f64::INFINITY;
+        for (ci, &s) in sums.iter().enumerate() {
+            if s < best_rate {
+                best_rate = s;
+                best = ci;
+            }
+        }
+        wins[best] += 1;
+    });
+}
+
+/// `size_hint` for a remaining count that may exceed `usize`: an exact
+/// `(r, Some(r))` when it fits, an explicit `(usize::MAX, None)` (lower
+/// bound saturated, upper bound unknown) when it does not — on 32-bit
+/// targets a `u64` count can genuinely overflow `usize`, and claiming an
+/// exact truncated upper bound there would be a lie.
+fn saturating_size_hint(remaining: u128) -> (usize, Option<usize>) {
+    match usize::try_from(remaining) {
+        Ok(r) => (r, Some(r)),
+        Err(_) => (usize::MAX, None),
     }
 }
 
@@ -194,15 +285,18 @@ impl Iterator for KSubsets {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let r = usize::try_from(self.remaining).ok();
-        (r.unwrap_or(usize::MAX), r)
+        saturating_size_hint(u128::from(self.remaining))
     }
 }
 
 /// One benchmark's non-loop branches, condensed for fast order
 /// evaluation. Branches with identical heuristic rows and default
 /// directions are merged.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the condensed content (name, groups, totals) —
+/// what the on-disk ordering cache entry revalidates against a freshly
+/// condensed live copy before trusting its persisted rate matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchOrderData {
     /// The benchmark's name.
     pub name: String,
@@ -210,21 +304,60 @@ pub struct BenchOrderData {
     total_dynamic: u64,
 }
 
+/// The behavioural signature of one condensed branch group: which
+/// heuristics apply, what they predict, and the Default fallback. Two
+/// branches with the same key are indistinguishable to *every* order,
+/// so their dynamic counts merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct GroupKey {
+pub struct GroupKey {
     /// Bit `i` set: heuristic with index `i` applies.
-    applies: u8,
+    pub applies: u8,
     /// Bit `i` set: that heuristic predicts Taken.
-    predicts_taken: u8,
+    pub predicts_taken: u8,
     /// The random Default prediction for this branch.
-    default_taken: bool,
+    pub default_taken: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Group {
-    key: GroupKey,
-    taken: u64,
-    fallthru: u64,
+/// One condensed branch group: its [`GroupKey`] plus the summed dynamic
+/// edge counts of every branch sharing that key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Group {
+    /// The group's behavioural signature.
+    pub key: GroupKey,
+    /// Dynamic taken-edge executions across the group's branches.
+    pub taken: u64,
+    /// Dynamic fall-through executions across the group's branches.
+    pub fallthru: u64,
+}
+
+/// A per-order first-hit table: for every 7-bit applies mask, the
+/// single-bit mask of the **first** heuristic in the order that
+/// applies (0 when none does and the Default decides). Turns the 7-way
+/// scan inside the order-evaluation inner loop into one table load.
+pub struct FirstHit([u8; 128]);
+
+impl FirstHit {
+    /// Builds the table for `order` by running the first-hit scan once
+    /// per possible applies mask.
+    pub fn new(order: &[HeuristicKind]) -> FirstHit {
+        let mut table = [0u8; 128];
+        for (mask, slot) in table.iter_mut().enumerate() {
+            for kind in order {
+                let bit = 1u8 << kind.index();
+                if mask as u8 & bit != 0 {
+                    *slot = bit;
+                    break;
+                }
+            }
+        }
+        FirstHit(table)
+    }
+
+    /// The first-hit bit for `applies` (0 when no heuristic applies).
+    #[inline]
+    pub fn hit(&self, applies: u8) -> u8 {
+        self.0[usize::from(applies & 0x7f)]
+    }
 }
 
 impl BenchOrderData {
@@ -282,14 +415,33 @@ impl BenchOrderData {
         }
     }
 
+    /// Reassembles condensed data from its parts (the warm path of the
+    /// on-disk ordering cache). The caller is responsible for the
+    /// grouping invariants; [`BenchOrderData::build`] output compared
+    /// via `==` is how the cache validates them.
+    pub fn from_parts(name: String, groups: Vec<Group>, total_dynamic: u64) -> BenchOrderData {
+        BenchOrderData {
+            name,
+            groups,
+            total_dynamic,
+        }
+    }
+
+    /// The condensed groups, sorted by key.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
     /// Dynamic non-loop branch executions in this benchmark.
     pub fn total_dynamic(&self) -> u64 {
         self.total_dynamic
     }
 
-    /// The non-loop miss rate of the combined heuristic under `order`
-    /// (Default included).
-    pub fn miss_rate(&self, order: &Order) -> f64 {
+    /// The non-loop miss rate of the combined heuristic restricted to
+    /// `order` (Default included) — accepts partial orders, so ablations
+    /// can score six-element or single-heuristic priority lists against
+    /// the same condensed data.
+    pub fn miss_rate(&self, order: &[HeuristicKind]) -> f64 {
         if self.total_dynamic == 0 {
             return 0.0;
         }
@@ -308,6 +460,26 @@ impl BenchOrderData {
         }
         misses as f64 / self.total_dynamic as f64
     }
+
+    /// [`BenchOrderData::miss_rate`] with the order's first-hit scan
+    /// replaced by one [`FirstHit`] table load per group. The miss sum
+    /// is the same exact `u64`, so the returned rate is bit-identical.
+    pub fn miss_rate_first_hit(&self, first_hit: &FirstHit) -> f64 {
+        if self.total_dynamic == 0 {
+            return 0.0;
+        }
+        let mut misses = 0u64;
+        for g in &self.groups {
+            let bit = first_hit.hit(g.key.applies);
+            let taken_pred = if bit == 0 {
+                g.key.default_taken
+            } else {
+                g.key.predicts_taken & bit != 0
+            };
+            misses += if taken_pred { g.fallthru } else { g.taken };
+        }
+        misses as f64 / self.total_dynamic as f64
+    }
 }
 
 /// The full ordering study over a set of benchmarks.
@@ -317,6 +489,10 @@ pub struct OrderingStudy {
     orders: Vec<Order>,
     /// `rates[o][b]` = miss rate of order `o` on benchmark `b`.
     rates: Vec<Vec<f64>>,
+    /// Lazily computed Pareto front (order indices, ascending), shared
+    /// by every consumer so Table 4's stderr report and the subset
+    /// experiment prune exactly once.
+    pareto: std::sync::OnceLock<Vec<usize>>,
 }
 
 /// One row of the Table 4 output: a winning order, how many subset
@@ -336,16 +512,66 @@ pub struct CommonOrder {
 impl OrderingStudy {
     /// Precomputes the 5040 × n-benchmarks miss-rate matrix, one order
     /// per parallel task ([`bpfree_par::jobs`] workers; the result is
-    /// identical at any worker count since rows land in order).
+    /// identical at any worker count since rows land in order). Each
+    /// task builds the order's [`FirstHit`] table once and resolves
+    /// every group with a single load instead of the 7-way scan — the
+    /// summed misses are the same exact `u64`s, so the matrix is
+    /// bit-identical to mapping [`BenchOrderData::miss_rate`].
     pub fn new(benches: Vec<BenchOrderData>) -> OrderingStudy {
         let orders = all_orders();
         let rates = bpfree_par::par_map(&orders, |o| {
-            benches.iter().map(|b| b.miss_rate(o)).collect()
+            let first_hit = FirstHit::new(o);
+            benches
+                .iter()
+                .map(|b| b.miss_rate_first_hit(&first_hit))
+                .collect()
         });
+        OrderingStudy::from_parts(benches, rates)
+    }
+
+    /// [`OrderingStudy::new`] without the parallel fan-out: the same
+    /// matrix, row by row on the calling thread (bit-identical, since
+    /// the parallel build is element-wise identical to serial).
+    ///
+    /// For callers constructing the study while holding a memoization
+    /// slot — the pool's scope wait helps with *any* queued task, so a
+    /// nested parallel wait there could steal a task that re-enters
+    /// the same slot on the same thread and deadlock. The engine's
+    /// roster-level ordering memo builds through this path.
+    pub fn new_serial(benches: Vec<BenchOrderData>) -> OrderingStudy {
+        let orders = all_orders();
+        let rates = orders
+            .iter()
+            .map(|o| {
+                let first_hit = FirstHit::new(o);
+                benches
+                    .iter()
+                    .map(|b| b.miss_rate_first_hit(&first_hit))
+                    .collect()
+            })
+            .collect();
+        OrderingStudy::from_parts(benches, rates)
+    }
+
+    /// Assembles a study from an already-computed rate matrix (the warm
+    /// path of the on-disk ordering cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rates` is 5040 rows of `benches.len()` columns —
+    /// the cache layer validates dimensions *before* calling this.
+    pub fn from_parts(benches: Vec<BenchOrderData>, rates: Vec<Vec<f64>>) -> OrderingStudy {
+        let orders = all_orders();
+        assert_eq!(rates.len(), orders.len(), "one rate row per order");
+        assert!(
+            rates.iter().all(|r| r.len() == benches.len()),
+            "one rate column per benchmark"
+        );
         OrderingStudy {
             benches,
             orders,
             rates,
+            pareto: std::sync::OnceLock::new(),
         }
     }
 
@@ -357,6 +583,12 @@ impl OrderingStudy {
     /// All orders, parallel to the rate matrix.
     pub fn orders(&self) -> &[Order] {
         &self.orders
+    }
+
+    /// The full miss-rate matrix: `rates()[o][b]` = miss rate of order
+    /// `o` on benchmark `b`.
+    pub fn rates(&self) -> &[Vec<f64>] {
+        &self.rates
     }
 
     /// Average miss rate (equal benchmark weight) of order index `o`.
@@ -385,29 +617,66 @@ impl OrderingStudy {
 
     /// Pareto-prunes order indices: keeps only orders not dominated by
     /// another order on every benchmark (ties broken toward the earlier
-    /// index, which also deduplicates identical rows). Each candidate's
-    /// domination scan is an independent parallel task; the kept set is
-    /// assembled in index order, so the result matches the serial scan.
+    /// index, which also deduplicates identical rows). The scan runs
+    /// serially on the calling thread: it resolves under the study's
+    /// `OnceLock`, and a parallel wait inside that lock could steal a
+    /// pool task that re-enters [`OrderingStudy::pareto_front`] on the
+    /// same thread and deadlock — the mean-pruned scan is cheap enough
+    /// that parallelism buys nothing here anyway.
+    ///
+    /// The scan is mean-pruned: a dominator of `i` has a rate `<=
+    /// i`'s on every benchmark, and f64 addition (round-to-nearest) is
+    /// monotone in each argument, so summing both rows in the identical
+    /// left-to-right column order gives `mean(j) <= mean(i)` for every
+    /// dominator `j`. Candidates are therefore checked only against the
+    /// mean-sorted prefix up to their own mean instead of all 5039
+    /// others — the kept set is provably the full scan's.
     pub fn pareto_order_indices(&self) -> Vec<usize> {
+        self.pareto_front().to_vec()
+    }
+
+    /// [`OrderingStudy::pareto_order_indices`], computed once per study
+    /// and cached.
+    pub fn pareto_front(&self) -> &[usize] {
+        self.pareto.get_or_init(|| self.compute_pareto())
+    }
+
+    fn compute_pareto(&self) -> Vec<usize> {
         let n = self.orders.len();
-        let indices: Vec<usize> = (0..n).collect();
-        let kept = bpfree_par::par_map(&indices, |&i| {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let dominates = self.rates[j]
-                    .iter()
-                    .zip(&self.rates[i])
-                    .all(|(rj, ri)| rj <= ri)
-                    && (self.rates[j] != self.rates[i] || j < i);
-                if dominates {
-                    return false;
-                }
-            }
-            true
+        let means: Vec<f64> = (0..n).map(|o| self.average_rate(o)).collect();
+        let mut by_mean: Vec<usize> = (0..n).collect();
+        by_mean.sort_by(|&a, &b| {
+            means[a]
+                .partial_cmp(&means[b])
+                .expect("miss rates are finite")
+                .then(a.cmp(&b))
         });
-        indices.into_iter().filter(|&i| kept[i]).collect()
+        (0..n)
+            .filter(|&i| {
+                // No dominator lives past i's own mean, so only the
+                // prefix of `by_mean` up to that point needs checking.
+                // Scan it backward: a dominated order's dominators are
+                // usually near-identical orders whose means sit just
+                // below its own, so the descending scan hits one within
+                // a few steps, while the ascending scan wades through
+                // the globally-best rows first.
+                let prefix = by_mean.partition_point(|&j| means[j] <= means[i]);
+                for &j in by_mean[..prefix].iter().rev() {
+                    if i == j {
+                        continue;
+                    }
+                    let dominates = self.rates[j]
+                        .iter()
+                        .zip(&self.rates[i])
+                        .all(|(rj, ri)| rj <= ri)
+                        && (self.rates[j] != self.rates[i] || j < i);
+                    if dominates {
+                        return false;
+                    }
+                }
+                true
+            })
+            .collect()
     }
 
     /// The C(n, k) subset experiment: for every k-subset of benchmarks,
@@ -421,13 +690,26 @@ impl OrderingStudy {
     /// the end — every subset's winner is scheduling-independent, so the
     /// result is bit-identical to the serial enumeration at any thread
     /// count.
+    ///
+    /// The inner loop is the prefix-reuse kernel
+    /// ([`subset_sweep_wins`]): consecutive lexicographic subsets share
+    /// a prefix, so per-slot partial-sum vectors over benchmark-major
+    /// transposed candidate columns are recomputed only from the first
+    /// bumped slot — amortized ~1 contiguous vector add per subset
+    /// instead of `k` gathered adds per candidate. Every partial sum is
+    /// exactly the left-to-right prefix of the naive per-candidate
+    /// summation, so sums, argmins, and tallies are all bit-identical.
     pub fn subset_experiment(&self, k: usize) -> Vec<CommonOrder> {
-        let candidates = self.pareto_order_indices();
+        let candidates = self.pareto_front();
         let n = self.benches.len();
         assert!(k >= 1, "subset size must be at least 1");
         assert!(k <= n, "subset size {k} exceeds {n} benchmarks");
-        // Candidate-major rate slices for cache-friendly scanning.
-        let cand_rates: Vec<&[f64]> = candidates.iter().map(|&o| &self.rates[o][..]).collect();
+        // Benchmark-major transposed candidate rates: cols[b][ci], so
+        // adding benchmark b to every candidate's partial sum is one
+        // contiguous vector add.
+        let cols: Vec<Vec<f64>> = (0..n)
+            .map(|b| candidates.iter().map(|&o| self.rates[o][b]).collect())
+            .collect();
         let trials = KSubsets::count(n, k);
 
         let wins = bpfree_par::par_fold_chunks(
@@ -435,21 +717,7 @@ impl OrderingStudy {
             || vec![0u64; candidates.len()],
             |range, mut wins| {
                 let len = range.end - range.start;
-                KSubsets::range(n, k, range.start, len).for_each_subset(|subset| {
-                    let mut best = 0usize;
-                    let mut best_rate = f64::INFINITY;
-                    for (ci, rates) in cand_rates.iter().enumerate() {
-                        let mut sum = 0.0;
-                        for &b in subset {
-                            sum += rates[b];
-                        }
-                        if sum < best_rate {
-                            best_rate = sum;
-                            best = ci;
-                        }
-                    }
-                    wins[best] += 1;
-                });
+                subset_sweep_wins(&cols, n, k, range.start, len, &mut wins);
                 wins
             },
             |mut a, b| {
@@ -527,8 +795,9 @@ impl OrderingStudy {
 
     /// The paper's cheaper pairwise construction: order heuristics by
     /// comparing each pair on the branches where both apply, then sort by
-    /// net wins.
-    pub fn pairwise_order(benches: &[(HeuristicTable, EdgeProfile, &BranchClassifier)]) -> Order {
+    /// net wins. Takes borrowed artifacts — callers pass the engine's
+    /// shared tables and profiles instead of rebuilding or cloning them.
+    pub fn pairwise_order(benches: &[(&HeuristicTable, &EdgeProfile)]) -> Order {
         let mut score = [0i64; 7];
         for a in HeuristicKind::ALL {
             for b in HeuristicKind::ALL {
@@ -537,8 +806,7 @@ impl OrderingStudy {
                 }
                 let mut misses_a = 0u64;
                 let mut misses_b = 0u64;
-                for (table, profile, classifier) in benches {
-                    let _ = classifier;
+                for (table, profile) in benches {
                     for (branch, row) in table.rows() {
                         let counts = profile.counts(branch);
                         let (Some(da), Some(db)) = (row[a.index()], row[b.index()]) else {
@@ -826,9 +1094,98 @@ mod tests {
         let profile = prof.into_profile();
         let c = BranchClassifier::analyze(&p);
         let t = HeuristicTable::build(&p, &c);
-        let order = OrderingStudy::pairwise_order(&[(t, profile, &c)]);
+        let order = OrderingStudy::pairwise_order(&[(&t, &profile)]);
         let mut v = order.to_vec();
         v.sort();
         assert_eq!(v, HeuristicKind::ALL.to_vec());
+        let _ = c;
+    }
+
+    #[test]
+    fn size_hint_saturates_explicitly_past_usize() {
+        assert_eq!(saturating_size_hint(0), (0, Some(0)));
+        assert_eq!(saturating_size_hint(705_432), (705_432, Some(705_432)));
+        assert_eq!(
+            saturating_size_hint(usize::MAX as u128),
+            (usize::MAX, Some(usize::MAX))
+        );
+        // One past usize::MAX: the lower bound saturates and the upper
+        // bound is honestly unknown, not a truncated lie.
+        assert_eq!(
+            saturating_size_hint(usize::MAX as u128 + 1),
+            (usize::MAX, None)
+        );
+        assert_eq!(saturating_size_hint(u128::MAX), (usize::MAX, None));
+        // The iterator wires through the same helper.
+        let it = KSubsets::all(5, 2);
+        assert_eq!(it.size_hint(), (10, Some(10)));
+    }
+
+    #[test]
+    fn for_each_subset_from_reports_the_shared_prefix() {
+        let (n, k) = (6, 3);
+        let mut prev: Option<Vec<usize>> = None;
+        KSubsets::all(n, k).for_each_subset_from(|subset, from| {
+            match &prev {
+                None => assert_eq!(from, 0, "first yield recomputes everything"),
+                Some(p) => {
+                    assert_eq!(p[..from], subset[..from], "unchanged prefix");
+                    assert_ne!(p[from], subset[from], "slot `from` really changed");
+                }
+            }
+            prev = Some(subset.to_vec());
+        });
+        assert!(prev.is_some());
+    }
+
+    #[test]
+    fn first_hit_tables_match_the_seven_way_scan() {
+        let (d, _, _) = bench_data("t", SRC);
+        for o in all_orders().iter().step_by(97) {
+            let fh = FirstHit::new(o);
+            assert_eq!(
+                d.miss_rate(o).to_bits(),
+                d.miss_rate_first_hit(&fh).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn miss_rate_accepts_partial_orders() {
+        let (d, _, _) = bench_data("t", SRC);
+        let full = HeuristicKind::paper_order();
+        let without: Vec<HeuristicKind> = full
+            .iter()
+            .copied()
+            .filter(|k| *k != HeuristicKind::ALL[0])
+            .collect();
+        let r_full = d.miss_rate(&full);
+        let r_part = d.miss_rate(&without);
+        let r_none = d.miss_rate(&[]);
+        for r in [r_full, r_part, r_none] {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_study() {
+        let (d1, _, _) = bench_data("a", SRC);
+        let (d2, _, _) = bench_data(
+            "b",
+            "fn main() -> int {
+                int i; int s;
+                for (i = 0; i < 25; i = i + 1) { if (i > 20) { s = s + 1; } }
+                return s;
+            }",
+        );
+        let study = OrderingStudy::new(vec![d1.clone(), d2.clone()]);
+        let rebuilt = OrderingStudy::from_parts(vec![d1, d2], study.rates().to_vec());
+        assert_eq!(study.rates(), rebuilt.rates());
+        assert_eq!(study.pareto_front(), rebuilt.pareto_front());
+        let (wa, wb) = (study.subset_experiment(1), rebuilt.subset_experiment(1));
+        assert_eq!(wa.len(), wb.len());
+        for (a, b) in wa.iter().zip(&wb) {
+            assert_eq!((&a.order, a.trials), (&b.order, b.trials));
+        }
     }
 }

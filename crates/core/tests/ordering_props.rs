@@ -1,0 +1,170 @@
+//! Property tests pinning the ordering-study fast kernels to the naive
+//! seed-path loops they replaced.
+//!
+//! Two claims must hold *bit-exactly* (not just approximately) for the
+//! experiment stdout to stay byte-identical:
+//!
+//! * the prefix-reuse subset sweep ([`subset_sweep_wins`]) produces the
+//!   same per-subset f64 sums — same bits, same argmin, same tallies —
+//!   as the naive per-candidate gather loop, on any rate matrix and at
+//!   any contiguous range split;
+//! * per-order [`FirstHit`] tables resolve every applies mask to the
+//!   same heuristic the 7-way first-hit scan finds, across all 5040
+//!   orders.
+
+use bpfree_core::ordering::{all_orders, subset_sweep_wins, FirstHit, KSubsets};
+use bpfree_core::HeuristicKind;
+use proptest::prelude::*;
+
+/// The seed-path sweep: per subset, a scalar gather per candidate
+/// (`sum = 0.0; sum += rates[b]; …`), first strict minimum wins. The
+/// rate matrix here is candidate-major (`rates[ci][b]`), exactly as the
+/// pre-kernel code scanned it.
+fn naive_sweep(
+    rates: &[Vec<f64>],
+    n: usize,
+    k: usize,
+    start: u64,
+    len: u64,
+    wins: &mut [u64],
+    sums: &mut Vec<Vec<f64>>,
+) {
+    KSubsets::range(n, k, start, len).for_each_subset(|subset| {
+        let mut best = 0usize;
+        let mut best_rate = f64::INFINITY;
+        let mut row = Vec::with_capacity(rates.len());
+        for (ci, cand) in rates.iter().enumerate() {
+            let mut sum = 0.0;
+            for &b in subset {
+                sum += cand[b];
+            }
+            row.push(sum);
+            if sum < best_rate {
+                best_rate = sum;
+                best = ci;
+            }
+        }
+        sums.push(row);
+        wins[best] += 1;
+    });
+}
+
+/// The fast sweep, additionally recording every subset's final sum
+/// vector so the test can compare raw bits, not just winners.
+fn fast_sweep_with_sums(
+    cols: &[Vec<f64>],
+    n: usize,
+    k: usize,
+    start: u64,
+    len: u64,
+    wins: &mut [u64],
+) -> Vec<Vec<f64>> {
+    // `subset_sweep_wins` only exposes tallies; re-derive the sums with
+    // the same per-slot prefix stack to check them bit-for-bit.
+    let c = wins.len();
+    let mut partial = vec![0.0f64; k * c];
+    let mut sums = Vec::new();
+    KSubsets::range(n, k, start, len).for_each_subset_from(|subset, from| {
+        for slot in from..k {
+            let col = &cols[subset[slot]][..c];
+            if slot == 0 {
+                for (dst, &r) in partial[..c].iter_mut().zip(col) {
+                    *dst = 0.0 + r;
+                }
+            } else {
+                let (prev, cur) = partial.split_at_mut(slot * c);
+                let prev = &prev[(slot - 1) * c..];
+                for (ci, dst) in cur[..c].iter_mut().enumerate() {
+                    *dst = prev[ci] + col[ci];
+                }
+            }
+        }
+        sums.push(partial[(k - 1) * c..].to_vec());
+    });
+    subset_sweep_wins(cols, n, k, start, len, wins);
+    sums
+}
+
+/// A random rate matrix: `c` candidates × `n` benchmarks of rates in
+/// [0, 1], plus a subset size `1..=n` and a worker-split count.
+fn matrix_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize, usize)> {
+    (1usize..=10, 1usize..=16).prop_flat_map(|(n, c)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n), c),
+            1..=n,
+            1usize..=5,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole bit-identity: winner tallies AND per-subset f64 sums of
+    /// the prefix-reuse kernel equal the naive gather loop's, for any
+    /// random rate matrix, any k ≤ n, and any contiguous range split.
+    #[test]
+    fn prefix_kernel_is_bit_identical_to_naive_sweep(
+        (rates, k, parts) in matrix_strategy()
+    ) {
+        let c = rates.len();
+        let n = rates[0].len();
+        // Benchmark-major transposition for the kernel.
+        let cols: Vec<Vec<f64>> = (0..n)
+            .map(|b| rates.iter().map(|cand| cand[b]).collect())
+            .collect();
+        let total = KSubsets::count(n, k);
+
+        let mut naive_wins = vec![0u64; c];
+        let mut naive_sums = Vec::new();
+        naive_sweep(&rates, n, k, 0, total, &mut naive_wins, &mut naive_sums);
+
+        // Whole-range fast sweep: sums bit-identical, tallies equal.
+        let mut fast_wins = vec![0u64; c];
+        let fast_sums = fast_sweep_with_sums(&cols, n, k, 0, total, &mut fast_wins);
+        prop_assert_eq!(&fast_wins, &naive_wins);
+        prop_assert_eq!(fast_sums.len(), naive_sums.len());
+        for (f, s) in fast_sums.iter().zip(&naive_sums) {
+            for (a, b) in f.iter().zip(s) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Split into contiguous worker ranges (what par_fold_chunks
+        // does): merged tallies must not depend on the split.
+        let mut split_wins = vec![0u64; c];
+        for r in bpfree_par::split_ranges(total, parts) {
+            subset_sweep_wins(&cols, n, k, r.start, r.end - r.start, &mut split_wins);
+        }
+        prop_assert_eq!(&split_wins, &naive_wins);
+    }
+}
+
+/// Exhaustive (not sampled) first-hit check: every one of the 5040
+/// orders, every 7-bit applies mask, table load == 7-way scan.
+#[test]
+fn first_hit_tables_match_the_scan_for_all_orders_and_masks() {
+    for order in all_orders() {
+        let fh = FirstHit::new(&order);
+        for mask in 0u8..128 {
+            let scanned = order
+                .iter()
+                .map(|kind| 1u8 << kind.index())
+                .find(|bit| mask & bit != 0)
+                .unwrap_or(0);
+            assert_eq!(fh.hit(mask), scanned, "order {order:?} mask {mask:#09b}");
+        }
+    }
+}
+
+/// The first-hit table only depends on the 7 low mask bits; the scan
+/// and table agree that a full `HeuristicKind::ALL` order hits the
+/// lowest set bit of any mask.
+#[test]
+fn first_hit_of_index_order_is_lowest_set_bit() {
+    let fh = FirstHit::new(&HeuristicKind::ALL);
+    for mask in 1u8..128 {
+        assert_eq!(fh.hit(mask), mask & mask.wrapping_neg());
+    }
+    assert_eq!(fh.hit(0), 0);
+}

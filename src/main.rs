@@ -7,9 +7,10 @@
 //! bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot
 //! bpfree bench NAME [--dataset N]   run a suite benchmark and report
 //! bpfree bench --json [--out PATH] [--replay-out PATH] [--sched-out PATH]
-//!                     [--analysis-out PATH]
+//!                     [--analysis-out PATH] [--ordering-out PATH]
 //!                                   perf reports (BENCH_interp.json, BENCH_replay.json,
-//!                                   BENCH_sched.json, BENCH_analysis.json)
+//!                                   BENCH_sched.json, BENCH_analysis.json,
+//!                                   BENCH_ordering.json)
 //! bpfree list                       list the benchmark suite
 //! bpfree exp list                   list the registered experiments
 //! bpfree exp run NAME...            regenerate paper tables/figures
@@ -109,10 +110,10 @@ fn print_usage() {
     eprintln!("  bpfree cfg FILE [--func NAME]     emit an annotated CFG as Graphviz dot");
     eprintln!("  bpfree bench NAME [--dataset N]   run a suite benchmark and report");
     eprintln!("  bpfree bench --json [--out PATH] [--replay-out PATH] [--sched-out PATH]");
-    eprintln!("                      [--analysis-out PATH]");
+    eprintln!("                      [--analysis-out PATH] [--ordering-out PATH]");
     eprintln!("                                    perf reports (BENCH_interp.json +");
     eprintln!("                                    BENCH_replay.json + BENCH_sched.json +");
-    eprintln!("                                    BENCH_analysis.json)");
+    eprintln!("                                    BENCH_analysis.json + BENCH_ordering.json)");
     eprintln!("  bpfree list                       list the benchmark suite");
     eprintln!("  bpfree exp list                   list the registered experiments");
     eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
@@ -366,6 +367,7 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         let replay_out = path_flag("--replay-out", "BENCH_replay.json")?;
         let sched_out = path_flag("--sched-out", "BENCH_sched.json")?;
         let analysis_out = path_flag("--analysis-out", "BENCH_analysis.json")?;
+        let ordering_out = path_flag("--ordering-out", "BENCH_ordering.json")?;
         if cfg!(debug_assertions) {
             eprintln!("[bpfree] warning: debug build — bench numbers are not comparable");
         }
@@ -374,6 +376,8 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         bpfree::bench::perf::write_replay_report(std::path::Path::new(&replay_out))
             .map_err(|e| runtime_err(e.to_string()))?;
         bpfree::bench::perf::write_analysis_report(std::path::Path::new(&analysis_out))
+            .map_err(|e| runtime_err(e.to_string()))?;
+        bpfree::bench::perf::write_ordering_report(std::path::Path::new(&ordering_out))
             .map_err(|e| runtime_err(e.to_string()))?;
         return bpfree::bench::perf::write_sched_report(std::path::Path::new(&sched_out))
             .map_err(|e| runtime_err(e.to_string()));
