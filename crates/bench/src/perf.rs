@@ -854,3 +854,276 @@ pub fn write_ordering_report(path: &Path) -> io::Result<()> {
     eprintln!("[bpfree] wrote {}", path.display());
     Ok(())
 }
+
+/// Masks wall-clock durations (`21.46ms`, `948ns`, `1.9s`, …) in
+/// captured experiment output so warm and mounted runs can be
+/// byte-diffed against the cold golden run — the in-process twin of the
+/// CI parity jobs' `sed` normalization. A masked duration is a digit
+/// run (optionally with a fraction) directly followed by a unit
+/// (`ns`/`µs`/`ms`/`s`) and a token boundary; everything else passes
+/// through untouched.
+fn mask_durations(text: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len());
+    let mut i = 0;
+    while i < text.len() {
+        if !text[i].is_ascii_digit() {
+            out.push(text[i]);
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < text.len() && text[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i < text.len() && text[i] == b'.' && text.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+            while i < text.len() && text[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+        let rest = &text[i..];
+        let unit_len = if rest.starts_with(b"ns") || rest.starts_with(b"ms") {
+            Some(2)
+        } else if rest.starts_with("µs".as_bytes()) {
+            Some("µs".len())
+        } else if rest.starts_with(b"s") {
+            Some(1)
+        } else {
+            None
+        };
+        match unit_len {
+            Some(u)
+                if matches!(
+                    text.get(i + u),
+                    None | Some(b' ') | Some(b',') | Some(b'\n')
+                ) =>
+            {
+                out.extend_from_slice(b"TIME");
+                out.extend_from_slice(&text[i..i + u]);
+                i += u;
+            }
+            _ => out.extend_from_slice(&text[start..i]),
+        }
+    }
+    out
+}
+
+/// One warm `exp all` through a pre-configured engine: runs the whole
+/// batch into a [`VecSink`] and returns (seconds, captured bytes,
+/// trace-sequence decode allocations during the run).
+fn time_warm_batch(engine: &Engine) -> (f64, Vec<u8>, u64) {
+    let exps = registry::all();
+    let mut sink = crate::sink::VecSink::new();
+    let allocs_before = bpfree_sim::trace_seq_allocs();
+    let start = Instant::now();
+    registry::run_experiments(exps, engine, &mut sink, false).expect("vec sink cannot fail");
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        seconds,
+        sink.take(),
+        bpfree_sim::trace_seq_allocs() - allocs_before,
+    )
+}
+
+/// Builds the warm-start report behind `BENCH_warmstart.json`: the same
+/// full `exp all` batch served three ways — cold (fresh engine, filling
+/// a per-entry v5-style cache directory), warm from that per-entry
+/// cache, and warm from a single mounted suite image — with every
+/// output byte-diffed against the cold golden run.
+///
+/// The image side is held to the tentpole's contract before any number
+/// is reported: two exports are byte-identical, every entry mounts
+/// (zero skips), all six engine miss counters stay at exactly zero
+/// through the whole batch, and the mounted runs perform zero
+/// trace-sequence decode allocations. Warm timings are
+/// min-of-[`ROUNDS`] over fresh engines; the mounted clock includes the
+/// image read itself.
+///
+/// # Panics
+///
+/// Panics if an experiment fails, any warm output differs from the cold
+/// golden bytes, the image is nondeterministic or partially mountable,
+/// or the mounted batch recomputes anything.
+pub fn warmstart_report() -> Json {
+    let dir = std::env::temp_dir().join(format!("bpfree-warmstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache_dir = dir.join("cache");
+    let image = dir.join("suite.img");
+    let cfg = || EngineConfig {
+        use_cache: true,
+        cache_dir: cache_dir.clone(),
+        verbose: false,
+        tier: InterpTier::default(),
+    };
+
+    // Cold golden pass: fills the per-entry cache and the memos, and
+    // fixes the reference output every warm run must reproduce.
+    let cold_engine = Engine::new(cfg());
+    let (cold_seconds, golden_raw, _) = time_warm_batch(&cold_engine);
+    let golden = mask_durations(&golden_raw);
+
+    // Snapshot the worked engine into the image — twice, to prove the
+    // layout is deterministic.
+    let (image_entries, image_bytes) = cold_engine
+        .export_image(&image)
+        .expect("image export cannot fail");
+    let image2 = dir.join("suite2.img");
+    cold_engine
+        .export_image(&image2)
+        .expect("image export cannot fail");
+    assert_eq!(
+        std::fs::read(&image).unwrap(),
+        std::fs::read(&image2).unwrap(),
+        "double image build must be byte-identical"
+    );
+    let v5_stat = bpfree_cache::maint::scan(&cache_dir).expect("cache dir scans");
+    let v5_entries = v5_stat.entries.len();
+    let v5_bytes = v5_stat.total_bytes();
+
+    // Warm from the per-entry cache: one file read + text decode per
+    // artifact.
+    let mut v5_seconds = f64::INFINITY;
+    let mut v5_allocs = 0u64;
+    for _ in 0..ROUNDS {
+        let engine = Engine::new(cfg());
+        let (secs, out, allocs) = time_warm_batch(&engine);
+        assert_eq!(
+            mask_durations(&out),
+            golden,
+            "per-entry warm output must match cold golden"
+        );
+        v5_seconds = v5_seconds.min(secs);
+        v5_allocs = allocs;
+    }
+
+    // Warm from the mounted image: one buffered read, borrowed traces,
+    // zero recomputation of any kind. The clock includes the mount.
+    let mut mounted_seconds = f64::INFINITY;
+    let mut mount_report = None;
+    for _ in 0..ROUNDS {
+        let engine = Engine::new(EngineConfig::no_cache());
+        let allocs_before = bpfree_sim::trace_seq_allocs();
+        let start = Instant::now();
+        let report = engine.mount_image(&image).expect("image mounts");
+        let exps = registry::all();
+        let mut sink = crate::sink::VecSink::new();
+        registry::run_experiments(exps, &engine, &mut sink, false).expect("vec sink cannot fail");
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(report.skipped, 0, "every image entry revalidates");
+        assert_eq!(
+            mask_durations(&sink.take()),
+            golden,
+            "mounted output must match cold golden"
+        );
+        assert_eq!(engine.compiles(), 0, "mounted batch compiles nothing");
+        assert_eq!(engine.decodes(), 0, "mounted batch decodes no bytecode");
+        assert_eq!(engine.analyses(), 0, "mounted batch analyzes nothing");
+        assert_eq!(engine.simulations(), 0, "mounted batch simulates nothing");
+        assert_eq!(engine.trace_records(), 0, "mounted batch records no traces");
+        assert_eq!(engine.orderings(), 0, "mounted batch builds no matrices");
+        assert_eq!(
+            bpfree_sim::trace_seq_allocs() - allocs_before,
+            0,
+            "mounted traces are borrowed — zero sequence decode allocations"
+        );
+        mounted_seconds = mounted_seconds.min(secs);
+        mount_report = Some(report);
+    }
+    let mount_report = mount_report.expect("ROUNDS >= 1");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = |secs: f64| {
+        if secs > 0.0 {
+            v5_seconds / secs
+        } else {
+            0.0
+        }
+    };
+    Json::obj()
+        .field("schema", Json::Str("bpfree-bench-warmstart/1".to_string()))
+        .field(
+            "profile",
+            Json::Str(
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                }
+                .to_string(),
+            ),
+        )
+        .field("experiments", Json::UInt(registry::all().len() as u64))
+        .field(
+            "cold",
+            Json::obj()
+                .field("seconds", Json::Float(cold_seconds))
+                .build(),
+        )
+        .field(
+            "per_entry_cache",
+            Json::obj()
+                .field("seconds", Json::Float(v5_seconds))
+                .field("entries", Json::UInt(v5_entries as u64))
+                .field("bytes_read", Json::UInt(v5_bytes))
+                .field("trace_seq_decode_allocs", Json::UInt(v5_allocs))
+                .build(),
+        )
+        .field(
+            "mounted_image",
+            Json::obj()
+                .field("seconds", Json::Float(mounted_seconds))
+                .field("entries", Json::UInt(image_entries as u64))
+                .field("bytes_read", Json::UInt(image_bytes))
+                .field("trace_seq_decode_allocs", Json::UInt(0))
+                .field("mounted", Json::UInt(mount_report.mounted as u64))
+                .field("skipped", Json::UInt(mount_report.skipped as u64))
+                .field("miss_counters_zero", Json::Bool(true))
+                .field(
+                    "speedup_vs_per_entry",
+                    Json::Float(speedup(mounted_seconds)),
+                )
+                .build(),
+        )
+        .build()
+}
+
+/// Writes [`warmstart_report`] to `path` (trailing newline included).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write.
+pub fn write_warmstart_report(path: &Path) -> io::Result<()> {
+    let doc = warmstart_report();
+    std::fs::write(path, doc.pretty() + "\n")?;
+    eprintln!("[bpfree] wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mask_durations;
+
+    fn mask(s: &str) -> String {
+        String::from_utf8(mask_durations(s.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn masks_durations_like_the_ci_normalizer() {
+        assert_eq!(
+            mask("exact : 21.468094ms for all C(22,11) subsets\n"),
+            "exact : TIMEms for all C(22,11) subsets\n"
+        );
+        assert_eq!(mask("took 948ns, then 1.9s\n"), "took TIMEns, then TIMEs\n");
+        assert_eq!(mask("done in 3µs"), "done in TIMEµs");
+        // Not durations: bare numbers, percentages, counts, words.
+        assert_eq!(
+            mask("31.70% vs 4.54% over 5040 orders"),
+            "31.70% vs 4.54% over 5040 orders"
+        );
+        assert_eq!(
+            mask("20k samples, 7 heuristics"),
+            "20k samples, 7 heuristics"
+        );
+        assert_eq!(mask("v1.2savage"), "v1.2savage");
+    }
+}

@@ -1,0 +1,1208 @@
+//! The suite image: a single packed binary file holding every artifact
+//! the engine can memoize, laid out for zero-copy warm starts.
+//!
+//! The per-entry cache (`lib.rs`) pays one `open` + `read` + parse per
+//! artifact — hundreds of system calls and a fresh decode allocation
+//! per trace on every warm run. The image collapses all of that into
+//! **one** buffered read: the whole file lands in a single
+//! `Arc<Vec<u8>>`, and typed accessors hand out views *borrowed from
+//! that buffer*. In particular a trace's index sequence is served as a
+//! [`ByteView`] window straight into the image bytes
+//! ([`BranchTrace::from_borrowed_parts`]), so a mounted warm start
+//! performs zero per-trace sequence decode allocations — the property
+//! `BENCH_warmstart.json` asserts via
+//! [`bpfree_sim::trace_seq_allocs`].
+//!
+//! # File layout (cache format v6)
+//!
+//! All multi-byte fields are little-endian. The file is:
+//!
+//! ```text
+//! [ 64-byte header | section payloads… | string table | directory ]
+//! ```
+//!
+//! **Header** (64 bytes):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `b"BPFIMG06"` |
+//! | 8      | 4    | endian marker `0x0A0B0C0D` (reads scrambled on a big-endian writer) |
+//! | 12     | 4    | format version (= [`FORMAT_VERSION`]) |
+//! | 16     | 8    | entry count |
+//! | 24     | 8    | directory offset (absolute, 8-aligned, dir is last) |
+//! | 32     | 8    | string-table offset (absolute) |
+//! | 40     | 8    | total file length |
+//! | 48     | 8    | FNV-1a 64 checksum of header bytes 0..48 |
+//! | 56     | 8    | FNV-1a 64 checksum of the string table + directory (bytes `strings_off..EOF`) |
+//!
+//! **Section payloads** each start 8-aligned (zero padding between
+//! them). **Directory entries** are fixed 64-byte records:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | kind tag ([`SectionKind`]) |
+//! | 4      | 4+4  | benchmark name: offset + length into the string table |
+//! | 12     | 4+4  | options fingerprint: offset + length into the string table |
+//! | 20     | 4    | dataset index (`u32::MAX` = not dataset-scoped) |
+//! | 24     | 8    | content key (the raw 64-bit hash behind the per-entry cache key) |
+//! | 32     | 8    | payload offset (absolute) |
+//! | 40     | 8    | payload length |
+//! | 48     | 8    | FNV-1a 64 checksum of the payload bytes |
+//! | 56     | 8    | reserved, zero |
+//!
+//! # Determinism
+//!
+//! [`ImageBuilder::finish`] sorts entries by (kind, name, fingerprint,
+//! dataset, key) and dedups strings in first-use order over the sorted
+//! entries, so two builds from the same artifacts are **byte-identical**
+//! regardless of insertion order — CI diffs double builds to prove it.
+//!
+//! # Integrity
+//!
+//! [`SuiteImage::open`] validates the magic, endian marker, version,
+//! header checksum, total length, every directory field's bounds, the
+//! string table slices' UTF-8, and **every section checksum** before
+//! returning. Any failure — truncation, bit flip, wrong version —
+//! yields `Err`, the engine declines to mount, and everything recomputes
+//! (or falls back to the per-entry cache): a corrupt image can cost
+//! time, never correctness. Payload *content* is additionally validated
+//! structurally by each typed accessor, which returns `None` (not a
+//! panic) on any malformed payload that happens to checksum correctly.
+//!
+//! [`BranchTrace::from_borrowed_parts`]: bpfree_sim::BranchTrace::from_borrowed_parts
+
+use std::path::Path;
+use std::sync::Arc;
+
+use bpfree_core::ordering::{BenchOrderData, Group, GroupKey};
+use bpfree_ir::{BlockId, BranchRef, FuncId};
+use bpfree_sim::{BranchTrace, ByteView, EdgeCounts, RunResult, TraceEvent};
+
+use crate::{
+    CompileArtifacts, Fnv, OrderingArtifacts, PredictionArtifacts, PredictionRow, RunArtifacts,
+    TraceArtifacts, FORMAT_VERSION,
+};
+use bpfree_core::{BranchClass, Direction};
+
+/// The image magic: format family + the two-digit format version.
+pub const MAGIC: [u8; 8] = *b"BPFIMG06";
+
+/// Little-endian byte-order marker; reads scrambled if the file was
+/// written with the opposite endianness.
+const ENDIAN_MARK: u32 = 0x0A0B_0C0D;
+
+const HEADER_LEN: usize = 64;
+const DIR_ENTRY_LEN: usize = 64;
+
+/// What a directory entry stores — one tag per artifact kind the
+/// engine memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SectionKind {
+    /// A compiled [`bpfree_ir::Program`], stored as IR text.
+    Compile,
+    /// The pre-decoded flat bytecode of that program
+    /// (`BytecodeProgram::to_bytes`).
+    Decoded,
+    /// Per-branch prediction rows ([`PredictionArtifacts`]).
+    Prediction,
+    /// One dataset's edge profile + run result ([`RunArtifacts`]).
+    Run,
+    /// One dataset's replayable trace ([`TraceArtifacts`]), sequence
+    /// served zero-copy.
+    Trace,
+    /// A roster-level ordering study ([`OrderingArtifacts`]).
+    Ordering,
+}
+
+impl SectionKind {
+    /// All kinds, in tag order.
+    pub const ALL: [SectionKind; 6] = [
+        SectionKind::Compile,
+        SectionKind::Decoded,
+        SectionKind::Prediction,
+        SectionKind::Run,
+        SectionKind::Trace,
+        SectionKind::Ordering,
+    ];
+
+    fn tag(self) -> u32 {
+        match self {
+            SectionKind::Compile => 0,
+            SectionKind::Decoded => 1,
+            SectionKind::Prediction => 2,
+            SectionKind::Run => 3,
+            SectionKind::Trace => 4,
+            SectionKind::Ordering => 5,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<SectionKind> {
+        SectionKind::ALL.get(tag as usize).copied()
+    }
+
+    /// The lowercase kind name, as printed by `bpfree image ls`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Compile => "compile",
+            SectionKind::Decoded => "decoded",
+            SectionKind::Prediction => "prediction",
+            SectionKind::Run => "run",
+            SectionKind::Trace => "trace",
+            SectionKind::Ordering => "ordering",
+        }
+    }
+}
+
+/// One decoded directory entry of an open image.
+#[derive(Debug, Clone)]
+pub struct ImageEntry {
+    /// The artifact kind.
+    pub kind: SectionKind,
+    /// The benchmark name (empty for roster-level ordering entries).
+    pub name: String,
+    /// The compile-options fingerprint the artifact was built under.
+    pub opt: String,
+    /// The dataset index within the benchmark's dataset list, for
+    /// dataset-scoped kinds (run, trace).
+    pub dataset: Option<u32>,
+    /// The raw 64-bit content hash (`*_key_hash`) the artifact was
+    /// keyed by at build time. Mount revalidates this against a hash
+    /// recomputed from *live* inputs before trusting the payload.
+    pub key: u64,
+    payload_off: usize,
+    payload_len: usize,
+}
+
+impl ImageEntry {
+    /// Payload size in bytes (excluding the 64-byte directory record).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_len
+    }
+}
+
+// ---- little-endian cursor over a payload slice ----
+
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Cur<'a> {
+        Cur { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.b.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.0
+}
+
+fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+// ---- payload codecs ----
+
+fn direction_byte(d: Option<Direction>) -> u8 {
+    match d {
+        None => 0,
+        Some(Direction::Taken) => 1,
+        Some(Direction::FallThru) => 2,
+    }
+}
+
+fn direction_from(b: u8) -> Option<Option<Direction>> {
+    match b {
+        0 => Some(None),
+        1 => Some(Some(Direction::Taken)),
+        2 => Some(Some(Direction::FallThru)),
+        _ => None,
+    }
+}
+
+fn encode_prediction_payload(a: &PredictionArtifacts) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + a.rows.len() * 17);
+    put_u32(&mut out, a.rows.len() as u32);
+    for r in &a.rows {
+        put_u32(&mut out, r.branch.func.0);
+        put_u32(&mut out, r.branch.block.0);
+        out.push(match r.class {
+            BranchClass::NonLoop => 0,
+            BranchClass::Loop => 1,
+        });
+        out.push(direction_byte(r.loop_pred));
+        for &h in &r.heuristics {
+            out.push(direction_byte(h));
+        }
+    }
+    out
+}
+
+fn decode_prediction_payload(bytes: &[u8]) -> Option<PredictionArtifacts> {
+    let mut c = Cur::new(bytes);
+    let n = c.u32()? as usize;
+    if n > c.remaining() / 17 {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let func = c.u32()?;
+        let block = c.u32()?;
+        let class = match c.u8()? {
+            0 => BranchClass::NonLoop,
+            1 => BranchClass::Loop,
+            _ => return None,
+        };
+        let loop_pred = direction_from(c.u8()?)?;
+        // Same structural invariants as the per-entry text decoder.
+        if (class == BranchClass::Loop) != loop_pred.is_some() {
+            return None;
+        }
+        let mut heuristics = [None; 7];
+        for h in &mut heuristics {
+            *h = direction_from(c.u8()?)?;
+        }
+        if class == BranchClass::Loop && heuristics.iter().any(Option::is_some) {
+            return None;
+        }
+        rows.push(PredictionRow {
+            branch: BranchRef {
+                func: FuncId(func),
+                block: BlockId(block),
+            },
+            class,
+            loop_pred,
+            heuristics,
+        });
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(PredictionArtifacts { rows })
+}
+
+fn encode_run_payload(a: &RunArtifacts) -> Vec<u8> {
+    let mut counts: Vec<(BranchRef, EdgeCounts)> = a.profile.iter().collect();
+    counts.sort_by_key(|(b, _)| *b);
+    let mut out = Vec::with_capacity(20 + counts.len() * 24);
+    put_i64(&mut out, a.run.exit);
+    put_u64(&mut out, a.run.instructions);
+    put_u32(&mut out, counts.len() as u32);
+    for (b, c) in counts {
+        put_u32(&mut out, b.func.0);
+        put_u32(&mut out, b.block.0);
+        put_u64(&mut out, c.taken);
+        put_u64(&mut out, c.fallthru);
+    }
+    out
+}
+
+fn decode_run_payload(bytes: &[u8]) -> Option<RunArtifacts> {
+    let mut c = Cur::new(bytes);
+    let exit = c.i64()?;
+    let instructions = c.u64()?;
+    let n = c.u32()? as usize;
+    if n > c.remaining() / 24 {
+        return None;
+    }
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let func = c.u32()?;
+        let block = c.u32()?;
+        let taken = c.u64()?;
+        let fallthru = c.u64()?;
+        counts.push((
+            BranchRef {
+                func: FuncId(func),
+                block: BlockId(block),
+            },
+            EdgeCounts { taken, fallthru },
+        ));
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(RunArtifacts {
+        profile: counts.into_iter().collect(),
+        run: RunResult { exit, instructions },
+    })
+}
+
+/// Trace payload: 40-byte fixed header, then `n_dict` 24-byte
+/// dictionary records, then the raw index sequence — one byte per event
+/// when the dictionary fits in 256 entries (the borrowed zero-copy
+/// representation), else four. With an 8-aligned payload the sequence
+/// itself starts 8-aligned too (40 + 24·k ≡ 0 mod 8).
+fn encode_trace_payload(a: &TraceArtifacts) -> Vec<u8> {
+    let dict = a.trace.dict();
+    let narrow = dict.len() <= 256;
+    let width = if narrow { 1 } else { 4 };
+    let mut out = Vec::with_capacity(40 + dict.len() * 24 + a.trace.len() * width);
+    put_i64(&mut out, a.run.exit);
+    put_u64(&mut out, a.run.instructions);
+    put_u64(&mut out, a.trace.trailing_instrs());
+    put_u32(&mut out, dict.len() as u32);
+    out.push(width as u8);
+    out.extend_from_slice(&[0; 3]);
+    put_u64(&mut out, a.trace.len() as u64);
+    for e in dict {
+        put_u64(&mut out, e.instrs);
+        put_u32(&mut out, e.branch.func.0);
+        put_u32(&mut out, e.branch.block.0);
+        out.push(u8::from(e.taken));
+        out.extend_from_slice(&[0; 7]);
+    }
+    if narrow {
+        out.extend(a.trace.indices().map(|i| i as u8));
+    } else {
+        for i in a.trace.indices() {
+            put_u32(&mut out, i);
+        }
+    }
+    out
+}
+
+/// Decodes a trace payload at `[off, off + len)` inside `buf`. Narrow
+/// sequences are *not copied*: the returned trace borrows its index
+/// sequence from `buf` via [`ByteView`], validated (bounds + tally) in
+/// one pass by [`BranchTrace::from_borrowed_parts`].
+fn decode_trace_payload(buf: &Arc<Vec<u8>>, off: usize, len: usize) -> Option<TraceArtifacts> {
+    let bytes = buf.get(off..off.checked_add(len)?)?;
+    let mut c = Cur::new(bytes);
+    let exit = c.i64()?;
+    let instructions = c.u64()?;
+    let tail = c.u64()?;
+    let n_dict = c.u32()? as usize;
+    let width = c.u8()? as usize;
+    if c.take(3)? != [0; 3] {
+        return None;
+    }
+    let n_events = usize::try_from(c.u64()?).ok()?;
+    if !matches!(width, 1 | 4) || (width == 1) != (n_dict <= 256) {
+        return None;
+    }
+    if n_dict > c.remaining() / 24 {
+        return None;
+    }
+    let mut dict = Vec::with_capacity(n_dict);
+    for _ in 0..n_dict {
+        let instrs = c.u64()?;
+        let func = c.u32()?;
+        let block = c.u32()?;
+        let taken = match c.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        if c.take(7)? != [0; 7] {
+            return None;
+        }
+        dict.push(TraceEvent {
+            instrs,
+            branch: BranchRef {
+                func: FuncId(func),
+                block: BlockId(block),
+            },
+            taken,
+        });
+    }
+    if c.remaining() != n_events.checked_mul(width)? {
+        return None;
+    }
+    let trace = if width == 1 {
+        let view = ByteView::new(Arc::clone(buf), off + c.pos, n_events)?;
+        BranchTrace::from_borrowed_parts(dict, view, tail)?
+    } else {
+        // Wide sequences (dictionary past 256 entries) fall back to
+        // owned storage — the one image path that still decodes.
+        bpfree_sim::note_trace_seq_alloc();
+        let mut seq = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            seq.push(c.u32()?);
+        }
+        BranchTrace::from_parts(dict, seq, tail)?
+    };
+    Some(TraceArtifacts {
+        trace,
+        run: RunResult { exit, instructions },
+    })
+}
+
+fn encode_ordering_payload(a: &OrderingArtifacts) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, a.benches.len() as u32);
+    for b in &a.benches {
+        put_u32(&mut out, b.name.len() as u32);
+        out.extend_from_slice(b.name.as_bytes());
+        put_u64(&mut out, b.total_dynamic());
+        put_u32(&mut out, b.groups().len() as u32);
+        for g in b.groups() {
+            out.push(g.key.applies);
+            out.push(g.key.predicts_taken);
+            out.push(u8::from(g.key.default_taken));
+            put_u64(&mut out, g.taken);
+            put_u64(&mut out, g.fallthru);
+        }
+    }
+    put_u32(&mut out, a.rates.len() as u32);
+    put_u32(&mut out, a.benches.len() as u32);
+    for row in &a.rates {
+        for r in row {
+            put_u64(&mut out, r.to_bits());
+        }
+    }
+    out
+}
+
+fn decode_ordering_payload(bytes: &[u8]) -> Option<OrderingArtifacts> {
+    let mut c = Cur::new(bytes);
+    let n_benches = c.u32()? as usize;
+    if n_benches > c.remaining() {
+        return None;
+    }
+    let mut benches = Vec::with_capacity(n_benches);
+    for _ in 0..n_benches {
+        let name_len = c.u32()? as usize;
+        let name = std::str::from_utf8(c.take(name_len)?).ok()?;
+        if name.is_empty() {
+            return None;
+        }
+        let total_dynamic = c.u64()?;
+        let n_groups = c.u32()? as usize;
+        if n_groups > c.remaining() / 19 {
+            return None;
+        }
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let applies = c.u8()?;
+            let predicts_taken = c.u8()?;
+            let default_taken = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let taken = c.u64()?;
+            let fallthru = c.u64()?;
+            // Same structural invariants as the text decoder.
+            if applies > 0x7f || predicts_taken & !applies != 0 {
+                return None;
+            }
+            groups.push(Group {
+                key: GroupKey {
+                    applies,
+                    predicts_taken,
+                    default_taken,
+                },
+                taken,
+                fallthru,
+            });
+        }
+        benches.push(BenchOrderData::from_parts(
+            name.to_string(),
+            groups,
+            total_dynamic,
+        ));
+    }
+    let n_rows = c.u32()? as usize;
+    let n_cols = c.u32()? as usize;
+    if n_cols != benches.len() || n_rows.checked_mul(n_cols)?.checked_mul(8)? != c.remaining() {
+        return None;
+    }
+    let mut rates = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let mut row = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            row.push(f64::from_bits(c.u64()?));
+        }
+        rates.push(row);
+    }
+    if !c.done() {
+        return None;
+    }
+    Some(OrderingArtifacts { benches, rates })
+}
+
+// ---- builder ----
+
+struct PendingEntry {
+    kind: SectionKind,
+    name: String,
+    opt: String,
+    dataset: u32,
+    key: u64,
+    payload: Vec<u8>,
+}
+
+/// Accumulates artifacts and packs them into one deterministic image
+/// file. Insertion order never matters: [`ImageBuilder::finish`] sorts
+/// the directory, so two builds over the same artifacts are
+/// byte-identical.
+#[derive(Default)]
+pub struct ImageBuilder {
+    entries: Vec<PendingEntry>,
+}
+
+impl ImageBuilder {
+    /// An empty builder.
+    pub fn new() -> ImageBuilder {
+        ImageBuilder::default()
+    }
+
+    /// How many artifacts have been added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the builder still empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn push(
+        &mut self,
+        kind: SectionKind,
+        name: &str,
+        opt: &str,
+        dataset: Option<u32>,
+        key: u64,
+        payload: Vec<u8>,
+    ) {
+        self.entries.push(PendingEntry {
+            kind,
+            name: name.to_string(),
+            opt: opt.to_string(),
+            dataset: dataset.unwrap_or(u32::MAX),
+            key,
+            payload,
+        });
+    }
+
+    /// Adds a compiled program (stored as IR text), keyed by
+    /// [`crate::compile_key_hash`].
+    pub fn add_compile(&mut self, name: &str, opt: &str, key: u64, a: &CompileArtifacts) {
+        let ir = a.program.to_string();
+        self.push(SectionKind::Compile, name, opt, None, key, ir.into_bytes());
+    }
+
+    /// Adds pre-decoded bytecode (`BytecodeProgram::to_bytes`), keyed
+    /// by [`crate::decoded_key_hash`].
+    pub fn add_decoded(&mut self, name: &str, opt: &str, key: u64, bytecode: Vec<u8>) {
+        self.push(SectionKind::Decoded, name, opt, None, key, bytecode);
+    }
+
+    /// Adds a prediction-rows artifact, keyed by
+    /// [`crate::prediction_key_hash`].
+    pub fn add_prediction(&mut self, name: &str, opt: &str, key: u64, a: &PredictionArtifacts) {
+        let payload = encode_prediction_payload(a);
+        self.push(SectionKind::Prediction, name, opt, None, key, payload);
+    }
+
+    /// Adds one dataset's run artifact, keyed by
+    /// [`crate::run_key_hash`]; `dataset` is the index within the
+    /// benchmark's dataset list.
+    pub fn add_run(&mut self, name: &str, opt: &str, dataset: u32, key: u64, a: &RunArtifacts) {
+        let payload = encode_run_payload(a);
+        self.push(SectionKind::Run, name, opt, Some(dataset), key, payload);
+    }
+
+    /// Adds one dataset's trace artifact, keyed by
+    /// [`crate::trace_key_hash`].
+    pub fn add_trace(&mut self, name: &str, opt: &str, dataset: u32, key: u64, a: &TraceArtifacts) {
+        let payload = encode_trace_payload(a);
+        self.push(SectionKind::Trace, name, opt, Some(dataset), key, payload);
+    }
+
+    /// Adds a roster-level ordering study, keyed by
+    /// [`crate::ordering_key_hash`]. Ordering entries carry no
+    /// benchmark name of their own.
+    pub fn add_ordering(&mut self, opt: &str, key: u64, a: &OrderingArtifacts) {
+        let payload = encode_ordering_payload(a);
+        self.push(SectionKind::Ordering, "", opt, None, key, payload);
+    }
+
+    /// Packs everything into the final image bytes — deterministically.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.entries.sort_by(|a, b| {
+            (a.kind, &a.name, &a.opt, a.dataset, a.key)
+                .cmp(&(b.kind, &b.name, &b.opt, b.dataset, b.key))
+        });
+
+        // String table, deduped in first-use order over sorted entries.
+        fn intern(
+            table: &mut std::collections::HashMap<String, (u32, u32)>,
+            strings: &mut Vec<u8>,
+            s: &str,
+        ) -> (u32, u32) {
+            if let Some(&at) = table.get(s) {
+                return at;
+            }
+            let at = (strings.len() as u32, s.len() as u32);
+            strings.extend_from_slice(s.as_bytes());
+            table.insert(s.to_string(), at);
+            at
+        }
+        let mut strings = Vec::<u8>::new();
+        let mut interned = std::collections::HashMap::new();
+        let mut string_refs = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            let name_at = intern(&mut interned, &mut strings, &e.name);
+            let opt_at = intern(&mut interned, &mut strings, &e.opt);
+            string_refs.push((name_at, opt_at));
+        }
+
+        // Layout: payload offsets, then strings, then the directory.
+        let mut off = HEADER_LEN;
+        let mut payload_offs = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            off = align8(off);
+            payload_offs.push(off);
+            off += e.payload.len();
+        }
+        let strings_off = align8(off);
+        let dir_off = align8(strings_off + strings.len());
+        let total_len = dir_off + self.entries.len() * DIR_ENTRY_LEN;
+
+        let mut out = Vec::with_capacity(total_len);
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, ENDIAN_MARK);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, self.entries.len() as u64);
+        put_u64(&mut out, dir_off as u64);
+        put_u64(&mut out, strings_off as u64);
+        put_u64(&mut out, total_len as u64);
+        let head_sum = fnv(&out);
+        put_u64(&mut out, head_sum);
+        // Placeholder for the tail checksum, patched once the string
+        // table and directory exist.
+        out.resize(HEADER_LEN, 0);
+
+        for (e, &at) in self.entries.iter().zip(&payload_offs) {
+            out.resize(at, 0);
+            out.extend_from_slice(&e.payload);
+        }
+        out.resize(strings_off, 0);
+        out.extend_from_slice(&strings);
+        out.resize(dir_off, 0);
+        for ((e, &payload_off), &((name_off, name_len), (opt_off, opt_len))) in
+            self.entries.iter().zip(&payload_offs).zip(&string_refs)
+        {
+            put_u32(&mut out, e.kind.tag());
+            put_u32(&mut out, name_off);
+            put_u32(&mut out, name_len);
+            put_u32(&mut out, opt_off);
+            put_u32(&mut out, opt_len);
+            put_u32(&mut out, e.dataset);
+            put_u64(&mut out, e.key);
+            put_u64(&mut out, payload_off as u64);
+            put_u64(&mut out, e.payload.len() as u64);
+            put_u64(&mut out, fnv(&e.payload));
+            put_u64(&mut out, 0);
+        }
+        debug_assert_eq!(out.len(), total_len);
+        let tail_sum = fnv(&out[strings_off..]);
+        out[56..64].copy_from_slice(&tail_sum.to_le_bytes());
+        out
+    }
+
+    /// [`ImageBuilder::finish`] plus an atomic write (temp file +
+    /// rename) to `path`.
+    pub fn write(self, path: &Path) -> std::io::Result<()> {
+        let bytes = self.finish();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+// ---- reader ----
+
+/// An open, fully integrity-checked suite image. All typed accessors
+/// borrow from the one shared buffer; traces are served zero-copy.
+pub struct SuiteImage {
+    buf: Arc<Vec<u8>>,
+    entries: Vec<ImageEntry>,
+}
+
+impl SuiteImage {
+    /// Reads and validates an image file: one buffered read, then the
+    /// full header/directory/checksum validation described in the
+    /// module docs. Every failure mode is a clean `Err`.
+    pub fn open(path: &Path) -> Result<SuiteImage, String> {
+        let buf = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        SuiteImage::from_bytes(buf)
+    }
+
+    /// [`SuiteImage::open`] over an in-memory buffer.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<SuiteImage, String> {
+        let b = &buf;
+        let err = |m: &str| Err(format!("suite image: {m}"));
+        if b.len() < HEADER_LEN {
+            return err("shorter than the 64-byte header");
+        }
+        if b[..8] != MAGIC {
+            return err("bad magic");
+        }
+        let mut c = Cur::new(&b[8..HEADER_LEN]);
+        let endian = c.u32().unwrap();
+        let version = c.u32().unwrap();
+        let n_entries = c.u64().unwrap();
+        let dir_off = c.u64().unwrap();
+        let strings_off = c.u64().unwrap();
+        let total_len = c.u64().unwrap();
+        let head_sum = c.u64().unwrap();
+        let tail_sum = c.u64().unwrap();
+        if endian != ENDIAN_MARK {
+            return err("endianness mismatch");
+        }
+        if version != FORMAT_VERSION {
+            return err("format version mismatch");
+        }
+        if head_sum != fnv(&b[..48]) {
+            return err("header checksum mismatch");
+        }
+        if total_len != b.len() as u64 {
+            return err("total length mismatch (truncated or padded file)");
+        }
+        let dir_off = usize::try_from(dir_off).map_err(|_| "suite image: huge dir offset")?;
+        let strings_off =
+            usize::try_from(strings_off).map_err(|_| "suite image: huge strings offset")?;
+        let n = usize::try_from(n_entries).map_err(|_| "suite image: huge entry count")?;
+        if strings_off < HEADER_LEN || dir_off < strings_off || dir_off % 8 != 0 {
+            return err("section offsets out of order");
+        }
+        if n.checked_mul(DIR_ENTRY_LEN)
+            .and_then(|d| dir_off.checked_add(d))
+            != Some(b.len())
+        {
+            return err("directory does not span the file tail");
+        }
+        if tail_sum != fnv(&b[strings_off..]) {
+            return err("string table / directory checksum mismatch");
+        }
+        let strings = &b[strings_off..dir_off];
+
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let rec = &b[dir_off + i * DIR_ENTRY_LEN..dir_off + (i + 1) * DIR_ENTRY_LEN];
+            let mut c = Cur::new(rec);
+            let kind = SectionKind::from_tag(c.u32().unwrap())
+                .ok_or_else(|| format!("suite image: entry {i}: unknown kind"))?;
+            let name_off = c.u32().unwrap() as usize;
+            let name_len = c.u32().unwrap() as usize;
+            let opt_off = c.u32().unwrap() as usize;
+            let opt_len = c.u32().unwrap() as usize;
+            let dataset = c.u32().unwrap();
+            let key = c.u64().unwrap();
+            let payload_off = usize::try_from(c.u64().unwrap())
+                .map_err(|_| format!("suite image: entry {i}: huge payload offset"))?;
+            let payload_len = usize::try_from(c.u64().unwrap())
+                .map_err(|_| format!("suite image: entry {i}: huge payload length"))?;
+            let payload_sum = c.u64().unwrap();
+            if c.u64().unwrap() != 0 {
+                return Err(format!("suite image: entry {i}: nonzero reserved bytes"));
+            }
+            let string_at = |off: usize, len: usize| -> Result<String, String> {
+                let s = off
+                    .checked_add(len)
+                    .and_then(|end| strings.get(off..end))
+                    .ok_or_else(|| format!("suite image: entry {i}: string out of bounds"))?;
+                std::str::from_utf8(s)
+                    .map(str::to_string)
+                    .map_err(|_| format!("suite image: entry {i}: non-UTF-8 string"))
+            };
+            let name = string_at(name_off, name_len)?;
+            let opt = string_at(opt_off, opt_len)?;
+            let payload = payload_off
+                .checked_add(payload_len)
+                .filter(|&end| payload_off >= HEADER_LEN && end <= strings_off)
+                .map(|end| &b[payload_off..end])
+                .ok_or_else(|| format!("suite image: entry {i}: payload out of bounds"))?;
+            if fnv(payload) != payload_sum {
+                return Err(format!(
+                    "suite image: entry {i} ({} {name}): payload checksum mismatch",
+                    kind.name()
+                ));
+            }
+            entries.push(ImageEntry {
+                kind,
+                name,
+                opt,
+                dataset: (dataset != u32::MAX).then_some(dataset),
+                key,
+                payload_off,
+                payload_len,
+            });
+        }
+        Ok(SuiteImage {
+            buf: Arc::new(buf),
+            entries,
+        })
+    }
+
+    /// The decoded directory, in on-disk (sorted) order.
+    pub fn entries(&self) -> &[ImageEntry] {
+        &self.entries
+    }
+
+    /// Total image size in bytes — the warm start's entire read volume.
+    pub fn total_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finds the entry for (kind, name, opt, dataset), if present.
+    pub fn find(
+        &self,
+        kind: SectionKind,
+        name: &str,
+        opt: &str,
+        dataset: Option<u32>,
+    ) -> Option<&ImageEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind && e.name == name && e.opt == opt && e.dataset == dataset)
+    }
+
+    fn payload(&self, e: &ImageEntry) -> &[u8] {
+        &self.buf[e.payload_off..e.payload_off + e.payload_len]
+    }
+
+    /// Decodes a compile entry (re-parses the stored IR text). `None`
+    /// on kind mismatch or malformed payload.
+    pub fn compile(&self, e: &ImageEntry) -> Option<CompileArtifacts> {
+        if e.kind != SectionKind::Compile {
+            return None;
+        }
+        let ir = std::str::from_utf8(self.payload(e)).ok()?;
+        let program = bpfree_ir::parse_program(ir).ok()?;
+        Some(CompileArtifacts { program })
+    }
+
+    /// The raw bytecode bytes of a decoded entry — deserialized (and
+    /// validated against the live program) by the caller via
+    /// `BytecodeProgram::from_bytes`.
+    pub fn decoded_bytes(&self, e: &ImageEntry) -> Option<&[u8]> {
+        (e.kind == SectionKind::Decoded).then(|| self.payload(e))
+    }
+
+    /// Decodes a prediction entry.
+    pub fn prediction(&self, e: &ImageEntry) -> Option<PredictionArtifacts> {
+        if e.kind != SectionKind::Prediction {
+            return None;
+        }
+        decode_prediction_payload(self.payload(e))
+    }
+
+    /// Decodes a run entry.
+    pub fn run(&self, e: &ImageEntry) -> Option<RunArtifacts> {
+        if e.kind != SectionKind::Run {
+            return None;
+        }
+        decode_run_payload(self.payload(e))
+    }
+
+    /// Decodes a trace entry. The index sequence is **borrowed** from
+    /// the image buffer (zero-copy) whenever the dictionary fits in 256
+    /// entries — which is every suite trace; see
+    /// [`bpfree_sim::trace_seq_allocs`].
+    pub fn trace(&self, e: &ImageEntry) -> Option<TraceArtifacts> {
+        if e.kind != SectionKind::Trace {
+            return None;
+        }
+        decode_trace_payload(&self.buf, e.payload_off, e.payload_len)
+    }
+
+    /// Decodes an ordering entry.
+    pub fn ordering(&self, e: &ImageEntry) -> Option<OrderingArtifacts> {
+        if e.kind != SectionKind::Ordering {
+            return None;
+        }
+        decode_ordering_payload(self.payload(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpfree_sim::TraceRecorder;
+
+    fn sample() -> (CompileArtifacts, RunArtifacts, TraceArtifacts) {
+        let program = bpfree_lang::compile(
+            "fn main() -> int {
+                int x; int i;
+                x = -3;
+                if (x < 0) { x = 0; }
+                for (i = 0; i < 5; i = i + 1) { x = x + i; }
+                return x;
+            }",
+        )
+        .unwrap();
+        let mut profiler = bpfree_sim::EdgeProfiler::new();
+        let mut recorder = TraceRecorder::new();
+        let mut fan = bpfree_sim::Multiplex::new();
+        fan.push(&mut profiler);
+        fan.push(&mut recorder);
+        let run = bpfree_sim::Simulator::new(&program).run(&mut fan).unwrap();
+        let profile = profiler.into_profile();
+        let trace = recorder.into_trace();
+        (
+            CompileArtifacts { program },
+            RunArtifacts { profile, run },
+            TraceArtifacts { trace, run },
+        )
+    }
+
+    fn sample_image() -> Vec<u8> {
+        let (c, r, t) = sample();
+        let classifier = bpfree_core::BranchClassifier::analyze(&c.program);
+        let table = bpfree_core::HeuristicTable::build(&c.program, &classifier);
+        let p = PredictionArtifacts::from_computed(&classifier, &table);
+        let data = BenchOrderData::build(
+            "sample",
+            &table,
+            &r.profile,
+            &classifier,
+            bpfree_core::DEFAULT_SEED,
+        );
+        let study = bpfree_core::ordering::OrderingStudy::new(vec![data]);
+        let o = OrderingArtifacts::from_study(&study);
+        let bc = bpfree_sim::BytecodeProgram::compile(&c.program);
+
+        let mut b = ImageBuilder::new();
+        b.add_trace("sample", "O", 0, 5, &t);
+        b.add_run("sample", "O", 0, 4, &r);
+        b.add_ordering("O", 6, &o);
+        b.add_prediction("sample", "O", 3, &p);
+        b.add_decoded("sample", "O", 2, bc.to_bytes());
+        b.add_compile("sample", "O", 1, &c);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        let (c, r, t) = sample();
+        let bytes = sample_image();
+        let img = SuiteImage::from_bytes(bytes).expect("opens");
+        assert_eq!(img.entries().len(), 6);
+        // Directory is sorted by kind regardless of insertion order.
+        let kinds: Vec<_> = img.entries().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, SectionKind::ALL.to_vec());
+
+        let e = img.find(SectionKind::Compile, "sample", "O", None).unwrap();
+        assert_eq!(e.key, 1);
+        assert_eq!(img.compile(e).unwrap().program, c.program);
+
+        let e = img.find(SectionKind::Decoded, "sample", "O", None).unwrap();
+        let bc = bpfree_sim::BytecodeProgram::from_bytes(img.decoded_bytes(e).unwrap(), &c.program)
+            .expect("bytecode validates against the live program");
+        let mut obs = bpfree_sim::CountingObserver::default();
+        let run = bpfree_sim::Simulator::with_decoded(&c.program, &bc)
+            .run(&mut obs)
+            .unwrap();
+        assert_eq!(run, r.run);
+
+        let e = img
+            .find(SectionKind::Prediction, "sample", "O", None)
+            .unwrap();
+        let p = img.prediction(e).unwrap();
+        assert!(p.instantiate(&c.program).is_some());
+
+        let e = img.find(SectionKind::Run, "sample", "O", Some(0)).unwrap();
+        let got = img.run(e).unwrap();
+        assert_eq!(got.profile, r.profile);
+        assert_eq!(got.run, r.run);
+
+        let e = img
+            .find(SectionKind::Trace, "sample", "O", Some(0))
+            .unwrap();
+        let got = img.trace(e).unwrap();
+        assert_eq!(got.trace, t.trace);
+        assert_eq!(got.run, t.run);
+
+        let e = img.find(SectionKind::Ordering, "", "O", None).unwrap();
+        let got = img.ordering(e).unwrap();
+        assert_eq!(got.rates.len(), 5040);
+    }
+
+    #[test]
+    fn traces_are_served_zero_copy() {
+        let (_, _, t) = sample();
+        let bytes = sample_image();
+        let img = SuiteImage::from_bytes(bytes).expect("opens");
+        let e = img
+            .find(SectionKind::Trace, "sample", "O", Some(0))
+            .unwrap();
+        let before = bpfree_sim::trace_seq_allocs();
+        let got = img.trace(e).unwrap();
+        assert_eq!(
+            bpfree_sim::trace_seq_allocs(),
+            before,
+            "mounted trace decode must not allocate a sequence"
+        );
+        // Borrowed storage: no widened u32 sequence exists…
+        assert!(got.trace.seq_u32().is_none(), "seq is borrowed, not owned");
+        // …and the u8 view points into the image buffer itself.
+        let seq8 = got.trace.seq_u8().unwrap();
+        let buf_range = img.buf.as_ptr() as usize..img.buf.as_ptr() as usize + img.buf.len();
+        assert!(buf_range.contains(&(seq8.as_ptr() as usize)));
+        assert_eq!(got.trace, t.trace);
+    }
+
+    #[test]
+    fn builds_are_deterministic_under_insertion_order() {
+        let (c, r, _) = sample();
+        let mut b1 = ImageBuilder::new();
+        b1.add_compile("a", "O", 1, &c);
+        b1.add_run("a", "O", 0, 2, &r);
+        b1.add_run("a", "O", 1, 3, &r);
+        let mut b2 = ImageBuilder::new();
+        b2.add_run("a", "O", 1, 3, &r);
+        b2.add_compile("a", "O", 1, &c);
+        b2.add_run("a", "O", 0, 2, &r);
+        assert_eq!(b1.finish(), b2.finish(), "byte-identical double build");
+    }
+
+    #[test]
+    fn open_rejects_structural_corruption() {
+        let bytes = sample_image();
+        assert!(SuiteImage::from_bytes(Vec::new()).is_err(), "empty");
+        assert!(
+            SuiteImage::from_bytes(bytes[..63].to_vec()).is_err(),
+            "sub-header"
+        );
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(SuiteImage::from_bytes(bad).is_err(), "magic");
+        let mut bad = bytes.clone();
+        bad[12] = 5;
+        assert!(SuiteImage::from_bytes(bad).is_err(), "version");
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SuiteImage::from_bytes(long).is_err(), "trailing bytes");
+        assert!(
+            SuiteImage::from_bytes(bytes[..bytes.len() - 1].to_vec()).is_err(),
+            "truncation"
+        );
+    }
+
+    #[test]
+    fn every_truncation_fails_cleanly() {
+        let bytes = sample_image();
+        for len in 0..bytes.len() {
+            assert!(
+                SuiteImage::from_bytes(bytes[..len].to_vec()).is_err(),
+                "truncation to {len} must not open"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_never_lie() {
+        let (c, _, _) = sample();
+        let bytes = sample_image();
+        // A deterministic LCG walk over byte offsets; each flip either
+        // fails to open, or opens with the flip confined to padding —
+        // in which case every payload still decodes identically.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = (x >> 16) as usize % bytes.len();
+            let bit = 1u8 << ((x >> 8) % 8);
+            let mut flipped = bytes.clone();
+            flipped[at] ^= bit;
+            if let Ok(img) = SuiteImage::from_bytes(flipped) {
+                // Flip landed in inter-section padding: contents must
+                // be untouched.
+                for e in img.entries() {
+                    match e.kind {
+                        SectionKind::Compile => {
+                            assert_eq!(img.compile(e).unwrap().program, c.program)
+                        }
+                        SectionKind::Decoded => assert!(img.decoded_bytes(e).is_some()),
+                        SectionKind::Prediction => assert!(img.prediction(e).is_some()),
+                        SectionKind::Run => assert!(img.run(e).is_some()),
+                        SectionKind::Trace => assert!(img.trace(e).is_some()),
+                        SectionKind::Ordering => assert!(img.ordering(e).is_some()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_reject_kind_mismatch() {
+        let img = SuiteImage::from_bytes(sample_image()).expect("opens");
+        let run = img.find(SectionKind::Run, "sample", "O", Some(0)).unwrap();
+        assert!(img.trace(run).is_none());
+        assert!(img.compile(run).is_none());
+        assert!(img.ordering(run).is_none());
+        let trace = img
+            .find(SectionKind::Trace, "sample", "O", Some(0))
+            .unwrap();
+        assert!(img.run(trace).is_none());
+    }
+
+    #[test]
+    fn write_and_open_roundtrip() {
+        let (c, _, _) = sample();
+        let dir = std::env::temp_dir().join(format!("bpfree-img-test-{}", std::process::id()));
+        let path = dir.join("suite.img");
+        let mut b = ImageBuilder::new();
+        b.add_compile("sample", "O", 1, &c);
+        b.write(&path).expect("writes");
+        let img = SuiteImage::open(&path).expect("opens");
+        assert_eq!(img.entries().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -88,7 +88,10 @@ use bpfree_sim::{BranchTrace, EdgeCounts, EdgeProfile, RunResult, TraceEvent};
 use bpfree_suite::Dataset;
 
 /// Bump on any change to the file layout below.
-const FORMAT_VERSION: u32 = 5;
+pub(crate) const FORMAT_VERSION: u32 = 6;
+
+pub mod image;
+pub mod maint;
 
 /// The cached compile-time artifacts for one (benchmark, options) pair.
 #[derive(Debug, Clone)]
@@ -251,14 +254,14 @@ pub fn disabled_by_env() -> bool {
 
 /// 64-bit FNV-1a.
 #[derive(Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -314,44 +317,69 @@ fn write_dataset(h: &mut Fnv, ds: &Dataset) {
     h.sep();
 }
 
+/// The raw 64-bit content hash behind [`compile_key`]. The suite image
+/// directory stores these hashes verbatim (see [`image`]); the
+/// per-entry cache formats them as 16-hex-digit file names.
+pub fn compile_key_hash(bench_name: &str, source: &str, opt: &str) -> u64 {
+    base_hash("compile", bench_name, source, opt).0
+}
+
 /// The content key for a compile entry: hex digest over format version,
 /// crate version, benchmark name, source text, and the compile-options
 /// fingerprint (`bpfree_lang::Options::fingerprint`). Artifacts built at
 /// different optimisation levels can never collide.
 pub fn compile_key(bench_name: &str, source: &str, opt: &str) -> String {
-    format!("{:016x}", base_hash("compile", bench_name, source, opt).0)
+    format!("{:016x}", compile_key_hash(bench_name, source, opt))
+}
+
+/// The raw 64-bit content hash behind [`prediction_key`].
+pub fn prediction_key_hash(bench_name: &str, source: &str, opt: &str) -> u64 {
+    base_hash("prediction", bench_name, source, opt).0
 }
 
 /// The content key for a prediction entry. Same inputs as
 /// [`compile_key`] (the rows are a pure function of the compiled
 /// program), different kind tag, so the two can never collide.
 pub fn prediction_key(bench_name: &str, source: &str, opt: &str) -> String {
-    format!(
-        "{:016x}",
-        base_hash("prediction", bench_name, source, opt).0
-    )
+    format!("{:016x}", prediction_key_hash(bench_name, source, opt))
+}
+
+/// The raw 64-bit content hash for a decoded-bytecode image section.
+/// Keyed exactly like a compile entry (the bytecode is a pure function
+/// of the compiled program) under its own kind tag. The per-entry cache
+/// has no decoded kind — bytecode persists only inside suite images,
+/// where the deserialized program is additionally validated against the
+/// live [`Program`] by `BytecodeProgram::from_bytes`.
+pub fn decoded_key_hash(bench_name: &str, source: &str, opt: &str) -> u64 {
+    base_hash("decoded", bench_name, source, opt).0
+}
+
+/// The raw 64-bit content hash behind [`run_key`].
+pub fn run_key_hash(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> u64 {
+    let mut h = base_hash("run", bench_name, source, opt);
+    write_dataset(&mut h, dataset);
+    h.0
 }
 
 /// The content key for one dataset's run entry.
 pub fn run_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> String {
-    let mut h = base_hash("run", bench_name, source, opt);
+    format!("{:016x}", run_key_hash(bench_name, source, opt, dataset))
+}
+
+/// The raw 64-bit content hash behind [`trace_key`].
+pub fn trace_key_hash(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> u64 {
+    let mut h = base_hash("trace", bench_name, source, opt);
     write_dataset(&mut h, dataset);
-    format!("{:016x}", h.0)
+    h.0
 }
 
 /// The content key for one dataset's trace entry.
 pub fn trace_key(bench_name: &str, source: &str, opt: &str, dataset: &Dataset) -> String {
-    let mut h = base_hash("trace", bench_name, source, opt);
-    write_dataset(&mut h, dataset);
-    format!("{:016x}", h.0)
+    format!("{:016x}", trace_key_hash(bench_name, source, opt, dataset))
 }
 
-/// The content key for a roster-level ordering entry: hashes every
-/// member's (name, source, reference dataset) in roster order, plus the
-/// options fingerprint and the Default-predictor seed. Any change to
-/// any member — source edit, dataset regeneration, different roster or
-/// order — lands on a different key.
-pub fn ordering_key(members: &[(&str, &str, &Dataset)], opt: &str, seed: u64) -> String {
+/// The raw 64-bit content hash behind [`ordering_key`].
+pub fn ordering_key_hash(members: &[(&str, &str, &Dataset)], opt: &str, seed: u64) -> u64 {
     let mut h = base_hash("ordering", "", "", opt);
     h.write_u64(seed);
     h.sep();
@@ -363,7 +391,16 @@ pub fn ordering_key(members: &[(&str, &str, &Dataset)], opt: &str, seed: u64) ->
         h.sep();
         write_dataset(&mut h, dataset);
     }
-    format!("{:016x}", h.0)
+    h.0
+}
+
+/// The content key for a roster-level ordering entry: hashes every
+/// member's (name, source, reference dataset) in roster order, plus the
+/// options fingerprint and the Default-predictor seed. Any change to
+/// any member — source edit, dataset regeneration, different roster or
+/// order — lands on a different key.
+pub fn ordering_key(members: &[(&str, &str, &Dataset)], opt: &str, seed: u64) -> String {
+    format!("{:016x}", ordering_key_hash(members, opt, seed))
 }
 
 fn entry_path(dir: &Path, key: &str) -> PathBuf {
@@ -796,26 +833,39 @@ fn decode_dict(bytes: &[u8], n_entries: usize) -> Option<Vec<TraceEvent>> {
 /// The sequence payload, run-length encoded: per run of equal indices,
 /// varint(zigzag(index − previous run's index)) then varint(run
 /// length). Tight loops revisit one event millions of times in a row,
-/// so each such burst costs a handful of bytes.
-fn encode_seq(seq: &[u32]) -> Vec<u8> {
+/// so each such burst costs a handful of bytes. Streams the indices so
+/// both wide and byte-backed sequence storage encode without an
+/// intermediate widened copy.
+fn encode_seq(indices: impl Iterator<Item = u32>) -> Vec<u8> {
     let mut out = Vec::new();
     let mut prev = 0i64;
-    let mut i = 0usize;
-    while i < seq.len() {
-        let idx = seq[i];
-        let mut runlen = 1usize;
-        while i + runlen < seq.len() && seq[i + runlen] == idx {
-            runlen += 1;
+    let mut run: Option<(u32, u64)> = None;
+    for idx in indices {
+        match &mut run {
+            Some((i, n)) if *i == idx => *n += 1,
+            _ => {
+                if let Some((i, n)) = run.take() {
+                    put_varint(&mut out, zigzag(i64::from(i) - prev));
+                    put_varint(&mut out, n);
+                    prev = i64::from(i);
+                }
+                run = Some((idx, 1));
+            }
         }
-        put_varint(&mut out, zigzag(i64::from(idx) - prev));
-        put_varint(&mut out, runlen as u64);
-        prev = i64::from(idx);
-        i += runlen;
+    }
+    if let Some((i, n)) = run {
+        put_varint(&mut out, zigzag(i64::from(i) - prev));
+        put_varint(&mut out, n);
     }
     out
 }
 
 fn decode_seq(bytes: &[u8], n_events: usize, n_dict: usize) -> Option<Vec<u32>> {
+    // Materialising the index sequence is the per-entry cache's one
+    // unavoidable per-trace decode allocation; the suite image serves
+    // the same bytes zero-copy (see `image`). Count it so benchmarks
+    // can prove the mounted path never pays it.
+    bpfree_sim::note_trace_seq_alloc();
     let mut seq = Vec::with_capacity(n_events);
     let mut pos = 0usize;
     let mut prev = 0i64;
@@ -846,7 +896,7 @@ fn encode_trace(key: &str, a: &TraceArtifacts) -> Vec<u8> {
     let _ = writeln!(head, "tail {}", a.trace.trailing_instrs());
 
     let dict_bytes = encode_dict(a.trace.dict());
-    let seq_bytes = encode_seq(a.trace.seq());
+    let seq_bytes = encode_seq(a.trace.indices());
     let _ = writeln!(head, "dict {} {}", a.trace.dict().len(), dict_bytes.len());
     let _ = writeln!(head, "seq {} {}", a.trace.len(), seq_bytes.len());
 

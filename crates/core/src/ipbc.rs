@@ -25,7 +25,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use bpfree_ir::{BranchRef, Program, Terminator};
-use bpfree_sim::{BranchTrace, ExecObserver, SegmentedObserver, TraceSegment};
+use bpfree_sim::{BranchTrace, ExecObserver, SegmentedObserver, SeqSlice, TraceSegment};
 
 use crate::predictors::{Direction, Predictions};
 
@@ -425,8 +425,13 @@ impl TraceSegment for IpbcSegment {
             }
         } else {
             // Word-wide fallback for dictionaries past 256 entries.
+            // Borrowed (image-mounted) traces always have ≤ 256 dict
+            // entries, so only owned wide sequences reach here.
             let entries = &tables.entries[..];
-            for &idx in &trace.seq()[range.clone()] {
+            let seq = trace
+                .seq_u32()
+                .expect("dictionaries past 256 entries use wide sequence storage");
+            for &idx in &seq[range.clone()] {
                 let e = entries[idx as usize];
                 pos += e.0;
                 let mut m = e.1;
@@ -469,32 +474,59 @@ impl TraceSegment for IpbcSegment {
             }
         }
 
-        // Generic path for predictors past the first 64.
-        for (c, masks) in tables.extra.iter().enumerate() {
-            let seq = &trace.seq()[range.clone()];
-            let lo = 64 * (c + 1);
-            let hi = (lo + 64).min(self.states.len());
-            let states = &mut self.states[lo..hi];
-            let base: u64 = states.iter().map(|s| s.len).max().unwrap_or(0);
-            let mut pos = base;
-            let mut start: Vec<u64> = states.iter().map(|s| base - s.len).collect();
-            for &idx in seq {
-                let i = idx as usize;
-                pos += tables.entries[i].0;
+        // Generic path for predictors past the first 64, width-agnostic
+        // over the sequence storage (image-mounted traces stream their
+        // borrowed byte-wide indices here too).
+        fn scan_extra(
+            indices: impl Iterator<Item = usize>,
+            entries: &[(u64, u64)],
+            masks: &[u64],
+            states: &mut [SegmentState],
+            start: &mut [u64],
+            pos: &mut u64,
+        ) {
+            for i in indices {
+                *pos += entries[i].0;
                 let mut m = masks[i];
                 while m != 0 {
                     let p = m.trailing_zeros() as usize;
                     m &= m - 1;
                     let st = &mut states[p];
-                    let len = pos - start[p];
+                    let len = *pos - start[p];
                     st.breaks += 1;
                     if st.breaks == 1 {
                         st.first_break = Some(len);
                     } else {
                         st.record_sequence(len);
                     }
-                    start[p] = pos;
+                    start[p] = *pos;
                 }
+            }
+        }
+        for (c, masks) in tables.extra.iter().enumerate() {
+            let lo = 64 * (c + 1);
+            let hi = (lo + 64).min(self.states.len());
+            let states = &mut self.states[lo..hi];
+            let base: u64 = states.iter().map(|s| s.len).max().unwrap_or(0);
+            let mut pos = base;
+            let mut start: Vec<u64> = states.iter().map(|s| base - s.len).collect();
+            match trace.seq_slice() {
+                SeqSlice::Wide(s) => scan_extra(
+                    s[range.clone()].iter().map(|&i| i as usize),
+                    &tables.entries,
+                    masks,
+                    states,
+                    &mut start,
+                    &mut pos,
+                ),
+                SeqSlice::Bytes(s) => scan_extra(
+                    s[range.clone()].iter().map(|&i| i as usize),
+                    &tables.entries,
+                    masks,
+                    states,
+                    &mut start,
+                    &mut pos,
+                ),
             }
             for (st, &s) in states.iter_mut().zip(&start) {
                 st.len = pos - s;

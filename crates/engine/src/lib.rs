@@ -190,6 +190,29 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
     fn offer(&self, key: K, value: V) {
         let _ = self.slot(key).set(value);
     }
+
+    /// The value already in the slot, without computing anything.
+    fn peek(&self, key: &K) -> Option<V> {
+        self.slots
+            .lock()
+            .expect("memo lock poisoned")
+            .get(key)
+            .and_then(|slot| slot.get().cloned())
+    }
+
+    /// A snapshot of every filled slot — what [`Engine::export_image`]
+    /// packs.
+    fn entries(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        self.slots
+            .lock()
+            .expect("memo lock poisoned")
+            .iter()
+            .filter_map(|(k, slot)| slot.get().map(|v| (k.clone(), v.clone())))
+            .collect()
+    }
 }
 
 /// The artifact graph. See the crate docs; usually accessed through
@@ -207,6 +230,9 @@ pub struct Engine {
     simulations: AtomicU64,
     analyses: AtomicU64,
     orderings: AtomicU64,
+    compiles: AtomicU64,
+    decodes: AtomicU64,
+    trace_records: AtomicU64,
 }
 
 impl Engine {
@@ -225,6 +251,9 @@ impl Engine {
             simulations: AtomicU64::new(0),
             analyses: AtomicU64::new(0),
             orderings: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            decodes: AtomicU64::new(0),
+            trace_records: AtomicU64::new(0),
         }
     }
 
@@ -254,6 +283,26 @@ impl Engine {
     /// which is exactly what the CI parity job asserts.
     pub fn orderings(&self) -> u64 {
         self.orderings.load(Ordering::Relaxed)
+    }
+
+    /// How many source-to-IR compilations this engine has actually
+    /// executed. Memo, cache, and image hits don't count.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// How many bytecode-decode passes this engine has actually
+    /// executed. Memo and image hits don't count: a mounted warm start
+    /// deserializes the stored bytecode instead of re-lowering.
+    pub fn decodes(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// How many branch traces this engine has actually *recorded* (via
+    /// an instrumented interpreter pass). Memo, cache, and image hits
+    /// don't count.
+    pub fn trace_records(&self) -> u64 {
+        self.trace_records.load(Ordering::Relaxed)
     }
 
     /// The benchmark's datasets, generated once per process.
@@ -334,7 +383,10 @@ impl Engine {
             timed(
                 "decode",
                 || format!("{} [{}]", bench.name, opt.fingerprint()),
-                || Arc::new(BytecodeProgram::compile(&self.program(bench, opt))),
+                || {
+                    self.decodes.fetch_add(1, Ordering::Relaxed);
+                    Arc::new(BytecodeProgram::compile(&self.program(bench, opt)))
+                },
             )
         })
     }
@@ -566,6 +618,7 @@ impl Engine {
             }
             self.note("miss", format_args!("compile {} [{fp}]", bench.name));
         }
+        self.compiles.fetch_add(1, Ordering::Relaxed);
         let program = bpfree_lang::compile_with(bench.source, opt)
             .unwrap_or_else(|e| panic!("benchmark `{}` fails to compile: {e}", bench.name));
         if self.config.use_cache {
@@ -757,6 +810,7 @@ impl Engine {
         }
         // One pass, two observers: profile and trace from the same
         // execution.
+        self.trace_records.fetch_add(1, Ordering::Relaxed);
         let program = self.program(bench, opt);
         let mut profiler = EdgeProfiler::new();
         let mut recorder = TraceRecorder::new();
@@ -797,6 +851,386 @@ impl Engine {
         );
         trace
     }
+
+    /// Mounts a suite image (see [`bpfree_cache::image`]): one buffered
+    /// read, then every entry whose content key revalidates against the
+    /// *live* suite (current sources, options, regenerated datasets) is
+    /// offered straight into the memos. After mounting a complete
+    /// image, every counter on this engine stays at zero through a full
+    /// experiment sweep — no compiles, no decodes, no analyses, no
+    /// simulations, no trace recordings, no matrix builds — and traces
+    /// borrow their index sequences from the image buffer (zero decode
+    /// allocations).
+    ///
+    /// Entries that fail revalidation are skipped, not errors: the
+    /// engine recomputes them on demand exactly as if they were absent.
+    /// A structurally corrupt image (bad magic, checksum, truncation)
+    /// is a clean `Err` and mounts nothing.
+    ///
+    /// Dataset generation during the mount is uncounted (datasets are
+    /// process-local inputs, not cached artifacts).
+    pub fn mount_image(&self, path: &std::path::Path) -> Result<MountReport, String> {
+        let img = bpfree_cache::image::SuiteImage::open(path)?;
+        let mut report = MountReport {
+            mounted: 0,
+            skipped: 0,
+            bytes: img.total_bytes() as u64,
+        };
+        // Which (bench, opt) pairs had prediction / reference-run
+        // entries mounted: ordering studies validate against live
+        // condensed data, so they only mount on top of fully mounted
+        // members (otherwise the validation itself would recompute).
+        let mut preds = std::collections::HashSet::new();
+        let mut runs0 = std::collections::HashSet::new();
+        for e in img.entries() {
+            if self.mount_entry(&img, e, &mut preds, &mut runs0) {
+                report.mounted += 1;
+            } else {
+                report.skipped += 1;
+                if self.config.verbose {
+                    eprintln!(
+                        "[bpfree-engine] skip image entry {} {} [{}]",
+                        e.kind.name(),
+                        e.name,
+                        e.opt
+                    );
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Mounts one image entry; `false` means "skip and recompute on
+    /// demand" — never an error. The directory is sorted by kind in
+    /// dependency order (compile → decoded → prediction → run → trace →
+    /// ordering), so dependents can peek at what earlier entries
+    /// mounted.
+    fn mount_entry(
+        &self,
+        img: &bpfree_cache::image::SuiteImage,
+        e: &bpfree_cache::image::ImageEntry,
+        preds: &mut std::collections::HashSet<(&'static str, Options)>,
+        runs0: &mut std::collections::HashSet<(&'static str, Options)>,
+    ) -> bool {
+        use bpfree_cache::image::SectionKind;
+        let Some(opt) = options_from_fingerprint(&e.opt) else {
+            return false;
+        };
+        let fp = opt.fingerprint();
+
+        if e.kind == SectionKind::Ordering {
+            let Some(art) = img.ordering(e) else {
+                return false;
+            };
+            let mut roster = Vec::with_capacity(art.benches.len());
+            for bd in &art.benches {
+                let Some(bench) = bpfree_suite::by_name(&bd.name) else {
+                    return false;
+                };
+                if !preds.contains(&(bench.name, opt)) || !runs0.contains(&(bench.name, opt)) {
+                    return false;
+                }
+                roster.push(bench);
+            }
+            let datasets: Vec<Arc<Vec<Dataset>>> =
+                roster.iter().map(|b| self.datasets(b)).collect();
+            let mut members = Vec::with_capacity(roster.len());
+            for (b, ds) in roster.iter().zip(&datasets) {
+                let Some(first) = ds.first() else {
+                    return false;
+                };
+                members.push((b.name, b.source, first));
+            }
+            if bpfree_cache::ordering_key_hash(&members, fp, DEFAULT_SEED) != e.key {
+                return false;
+            }
+            // Validate the stored groups against live condensed data —
+            // all memo hits thanks to the member checks above.
+            let live: Vec<BenchOrderData> = roster
+                .iter()
+                .map(|b| (*self.order_data(b, opt)).clone())
+                .collect();
+            let Some(study) = art.instantiate(&live) else {
+                return false;
+            };
+            let names: Vec<&str> = roster.iter().map(|b| b.name).collect();
+            self.ordering_studies
+                .offer((names.join(","), opt), Arc::new(study));
+            return true;
+        }
+
+        let Some(bench) = bpfree_suite::by_name(&e.name) else {
+            return false;
+        };
+        let name = bench.name;
+        match e.kind {
+            SectionKind::Compile => {
+                if bpfree_cache::compile_key_hash(name, bench.source, fp) != e.key {
+                    return false;
+                }
+                let Some(hit) = img.compile(e) else {
+                    return false;
+                };
+                self.programs.offer((name, opt), Arc::new(hit.program));
+                true
+            }
+            SectionKind::Decoded => {
+                if bpfree_cache::decoded_key_hash(name, bench.source, fp) != e.key {
+                    return false;
+                }
+                let Some(program) = self.programs.peek(&(name, opt)) else {
+                    return false;
+                };
+                let Some(bytes) = img.decoded_bytes(e) else {
+                    return false;
+                };
+                let Some(bc) = BytecodeProgram::from_bytes(bytes, &program) else {
+                    return false;
+                };
+                self.decoded.offer((name, opt), Arc::new(bc));
+                true
+            }
+            SectionKind::Prediction => {
+                if bpfree_cache::prediction_key_hash(name, bench.source, fp) != e.key {
+                    return false;
+                }
+                let Some(program) = self.programs.peek(&(name, opt)) else {
+                    return false;
+                };
+                let Some(hit) = img.prediction(e) else {
+                    return false;
+                };
+                let Some((classifier, table)) = hit.instantiate(&program) else {
+                    return false;
+                };
+                self.predictions.offer(
+                    (name, opt),
+                    Predicted {
+                        classifier: Arc::new(classifier),
+                        table: Arc::new(table),
+                    },
+                );
+                preds.insert((name, opt));
+                true
+            }
+            SectionKind::Run | SectionKind::Trace => {
+                let Some(idx) = e.dataset else {
+                    return false;
+                };
+                let datasets = self.datasets(&bench);
+                let Some(ds) = datasets.get(idx as usize) else {
+                    return false;
+                };
+                if e.kind == SectionKind::Run {
+                    if bpfree_cache::run_key_hash(name, bench.source, fp, ds) != e.key {
+                        return false;
+                    }
+                    let Some(hit) = img.run(e) else {
+                        return false;
+                    };
+                    self.runs.offer(
+                        (name, opt, idx as usize),
+                        RunBundle {
+                            profile: Arc::new(hit.profile),
+                            result: hit.run,
+                        },
+                    );
+                } else {
+                    if bpfree_cache::trace_key_hash(name, bench.source, fp, ds) != e.key {
+                        return false;
+                    }
+                    let Some(hit) = img.trace(e) else {
+                        return false;
+                    };
+                    let trace = Arc::new(hit.trace);
+                    // A trace subsumes a run: rebuild the bundle from
+                    // the O(dict) tally. No-op if the run entry itself
+                    // already mounted (kind order guarantees it came
+                    // first).
+                    self.runs.offer(
+                        (name, opt, idx as usize),
+                        RunBundle {
+                            profile: Arc::new(trace.edge_profile()),
+                            result: hit.run,
+                        },
+                    );
+                    self.traces.offer((name, opt, idx as usize), trace);
+                }
+                if idx == 0 {
+                    runs0.insert((name, opt));
+                }
+                true
+            }
+            SectionKind::Ordering => unreachable!("handled above"),
+        }
+    }
+
+    /// Snapshots every filled memo into a suite image at `path` (temp
+    /// file + atomic rename). The export is deterministic: two exports
+    /// of the same engine state are byte-identical. Returns the entry
+    /// count and the image size in bytes.
+    pub fn export_image(&self, path: &std::path::Path) -> std::io::Result<(usize, u64)> {
+        let mut b = bpfree_cache::image::ImageBuilder::new();
+        for ((name, opt), program) in self.programs.entries() {
+            let Some(bench) = bpfree_suite::by_name(name) else {
+                continue;
+            };
+            let fp = opt.fingerprint();
+            b.add_compile(
+                name,
+                fp,
+                bpfree_cache::compile_key_hash(name, bench.source, fp),
+                &bpfree_cache::CompileArtifacts {
+                    program: (*program).clone(),
+                },
+            );
+        }
+        // Decoded bytecode is demanded (not snapshotted): the memo only
+        // fills when a simulation or replay actually needs it, so a
+        // warm-cache build would otherwise export fewer `decoded`
+        // entries than a cold one and break double-build determinism.
+        // Decoding is a pure, cheap transform, so the closure rule is
+        // simply "every exported program ships its decoded form".
+        for ((name, opt), _) in self.programs.entries() {
+            let Some(bench) = bpfree_suite::by_name(name) else {
+                continue;
+            };
+            let fp = opt.fingerprint();
+            b.add_decoded(
+                name,
+                fp,
+                bpfree_cache::decoded_key_hash(name, bench.source, fp),
+                self.decoded(&bench, opt).to_bytes(),
+            );
+        }
+        for ((name, opt), p) in self.predictions.entries() {
+            let Some(bench) = bpfree_suite::by_name(name) else {
+                continue;
+            };
+            let fp = opt.fingerprint();
+            b.add_prediction(
+                name,
+                fp,
+                bpfree_cache::prediction_key_hash(name, bench.source, fp),
+                &bpfree_cache::PredictionArtifacts::from_computed(&p.classifier, &p.table),
+            );
+        }
+        for ((name, opt, idx), bundle) in self.runs.entries() {
+            let Some(bench) = bpfree_suite::by_name(name) else {
+                continue;
+            };
+            let fp = opt.fingerprint();
+            let datasets = self.datasets(&bench);
+            let Some(ds) = datasets.get(idx) else {
+                continue;
+            };
+            b.add_run(
+                name,
+                fp,
+                idx as u32,
+                bpfree_cache::run_key_hash(name, bench.source, fp, ds),
+                &bpfree_cache::RunArtifacts {
+                    profile: (*bundle.profile).clone(),
+                    run: bundle.result,
+                },
+            );
+        }
+        for ((name, opt, idx), trace) in self.traces.entries() {
+            let Some(bench) = bpfree_suite::by_name(name) else {
+                continue;
+            };
+            // The run result rides along with every trace entry; the
+            // run memo always holds it (trace computation fills it as a
+            // by-product).
+            let Some(bundle) = self.runs.peek(&(name, opt, idx)) else {
+                continue;
+            };
+            let fp = opt.fingerprint();
+            let datasets = self.datasets(&bench);
+            let Some(ds) = datasets.get(idx) else {
+                continue;
+            };
+            b.add_trace(
+                name,
+                fp,
+                idx as u32,
+                bpfree_cache::trace_key_hash(name, bench.source, fp, ds),
+                &bpfree_cache::TraceArtifacts {
+                    trace: (*trace).clone(),
+                    run: bundle.result,
+                },
+            );
+        }
+        for ((roster, opt), study) in self.ordering_studies.entries() {
+            let fp = opt.fingerprint();
+            let benches: Vec<Benchmark> = roster
+                .split(',')
+                .filter_map(bpfree_suite::by_name)
+                .collect();
+            if benches.len() != roster.split(',').count() {
+                continue;
+            }
+            let datasets: Vec<Arc<Vec<Dataset>>> =
+                benches.iter().map(|b| self.datasets(b)).collect();
+            let mut members = Vec::with_capacity(benches.len());
+            for (bench, ds) in benches.iter().zip(&datasets) {
+                let Some(first) = ds.first() else {
+                    continue;
+                };
+                members.push((bench.name, bench.source, first));
+            }
+            if members.len() != benches.len() {
+                continue;
+            }
+            b.add_ordering(
+                fp,
+                bpfree_cache::ordering_key_hash(&members, fp, DEFAULT_SEED),
+                &bpfree_cache::OrderingArtifacts::from_study(&study),
+            );
+        }
+        let n = b.len();
+        let data = b.finish();
+        let bytes = data.len() as u64;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, &data)?;
+        std::fs::rename(&tmp, path)?;
+        Ok((n, bytes))
+    }
+}
+
+/// What [`Engine::mount_image`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MountReport {
+    /// Entries offered into the memos.
+    pub mounted: usize,
+    /// Entries that failed live revalidation and will recompute on
+    /// demand.
+    pub skipped: usize,
+    /// Image size — the warm start's entire read volume.
+    pub bytes: u64,
+}
+
+/// Resolves a compile-options fingerprint (as stored in cache keys and
+/// image directories) back to the [`Options`] it names. The fingerprint
+/// space is tiny and closed, so this is a total inverse of
+/// [`Options::fingerprint`].
+pub fn options_from_fingerprint(fp: &str) -> Option<Options> {
+    [
+        Options::default(),
+        Options {
+            inline: true,
+            simplify: false,
+        },
+        Options::no_inline(),
+        Options::o0(),
+    ]
+    .into_iter()
+    .find(|o| o.fingerprint() == fp)
 }
 
 static GLOBAL: OnceLock<Engine> = OnceLock::new();
@@ -957,6 +1391,116 @@ mod tests {
         assert_eq!(half.analyses(), 0, "member predictions still hit");
         assert_eq!(half.simulations(), 0, "member runs still hit");
         assert_eq!(s3.benches(), s1.benches());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The image tentpole's end-to-end property: exporting a fully
+    /// worked engine to a suite image and mounting it into a fresh
+    /// engine serves *every* artifact — programs, decoded bytecode,
+    /// predictions, runs, traces, the ordering matrix — with every miss
+    /// counter at exactly zero, traces borrowed from the image buffer,
+    /// and two exports byte-identical (deterministic layout).
+    #[test]
+    fn mounted_image_serves_every_artifact_with_zero_misses() {
+        let dir =
+            std::env::temp_dir().join(format!("bpfree-engine-image-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opt = Options::default();
+        let roster = [
+            bpfree_suite::by_name("grep").unwrap(),
+            bpfree_suite::by_name("eqntott").unwrap(),
+        ];
+        let refs: Vec<&Benchmark> = roster.iter().collect();
+
+        let cold = Engine::new(EngineConfig::no_cache());
+        for b in &refs {
+            let _ = cold.compiled(b, opt);
+            let _ = cold.decoded(b, opt);
+            let _ = cold.trace(b, opt, 0);
+        }
+        let s1 = cold.ordering_study(&refs, opt);
+
+        let img = dir.join("suite.img");
+        let (n, bytes) = cold.export_image(&img).unwrap();
+        assert!(
+            n >= 9,
+            "2 compiles + 2 decoded + 2 predictions + runs + traces + ordering"
+        );
+        assert_eq!(bytes, std::fs::metadata(&img).unwrap().len());
+        // Determinism: a second export of the same state is
+        // byte-identical.
+        let img2 = dir.join("suite2.img");
+        cold.export_image(&img2).unwrap();
+        assert_eq!(
+            std::fs::read(&img).unwrap(),
+            std::fs::read(&img2).unwrap(),
+            "double export is byte-identical"
+        );
+
+        let warm = Engine::new(EngineConfig::no_cache());
+        let report = warm.mount_image(&img).unwrap();
+        assert_eq!(
+            report.mounted, n,
+            "every entry revalidates against the live suite"
+        );
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.bytes, bytes);
+
+        for b in &refs {
+            let c = warm.compiled(b, opt);
+            let cold_c = cold.compiled(b, opt);
+            assert_eq!(*c.program, *cold_c.program);
+            assert!(c.classifier.rows().eq(cold_c.classifier.rows()));
+            assert!(c.table.rows().eq(cold_c.table.rows()));
+            let _ = warm.decoded(b, opt);
+            let t = warm.trace(b, opt, 0);
+            assert_eq!(*t, *cold.trace(b, opt, 0));
+            assert!(
+                t.seq_u8().is_some(),
+                "mounted trace borrows its sequence from the image buffer"
+            );
+            let r = warm.run(b, opt, 0);
+            let cold_r = cold.run(b, opt, 0);
+            assert_eq!(r.result, cold_r.result);
+            assert_eq!(*r.profile, *cold_r.profile);
+        }
+        let s2 = warm.ordering_study(&refs, opt);
+        assert_eq!(s2.benches(), s1.benches());
+        for (a, b) in s1.rates().iter().zip(s2.rates()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bit-exact mounted rates");
+            }
+        }
+
+        // The whole point: a mounted engine recomputes *nothing*.
+        assert_eq!(warm.compiles(), 0, "zero compiles when mounted");
+        assert_eq!(warm.decodes(), 0, "zero bytecode decodes when mounted");
+        assert_eq!(warm.analyses(), 0, "zero analyses when mounted");
+        assert_eq!(warm.simulations(), 0, "zero simulations when mounted");
+        assert_eq!(
+            warm.trace_records(),
+            0,
+            "zero trace recordings when mounted"
+        );
+        assert_eq!(warm.orderings(), 0, "zero matrix builds when mounted");
+
+        // And the cold engine counted each kind of real work.
+        assert!(cold.compiles() > 0);
+        assert!(cold.decodes() > 0);
+        assert!(cold.trace_records() > 0);
+
+        // Corrupting the image is a clean refusal, not a broken mount.
+        let mut garbled = std::fs::read(&img).unwrap();
+        let mid = garbled.len() / 2;
+        garbled[mid] ^= 0x40;
+        let bad = dir.join("bad.img");
+        std::fs::write(&bad, &garbled).unwrap();
+        let fresh = Engine::new(EngineConfig::no_cache());
+        assert!(fresh.mount_image(&bad).is_err());
+        let c = fresh.compiled(&roster[0], opt);
+        assert_eq!(*c.program, *cold.compiled(&roster[0], opt).program);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

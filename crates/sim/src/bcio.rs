@@ -1,0 +1,889 @@
+//! Byte serialization of [`BytecodeProgram`] for the suite image.
+//!
+//! The decoded-bytecode section of the cache-v6 suite image stores the
+//! finished decode — tagged, fixed-width, little-endian records, one
+//! per [`Op`] — so a mounted engine skips [`BytecodeProgram::compile`]
+//! entirely. Deserialization is paranoid by construction: every record
+//! is length-checked, every enum tag matched exhaustively, the frame
+//! geometry is pinned to the live [`Program`], and the whole result is
+//! run through the same slot/target validation the decoder enforces
+//! ([`super::decode::check`]), because the executor elides those bounds
+//! checks in its hot loop. Any failure yields `None` and the engine
+//! falls back to decoding from the program — never a panic, never an
+//! unchecked op stream.
+
+use bpfree_ir::{BinOp, BlockId, BranchRef, FBinOp, FCmp, FuncId, Program, Reg};
+
+use crate::decode::{check, AluOp, BcCond, BcFunc, BytecodeProgram, Op};
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// A little-endian cursor whose every read is bounds-checked.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Rd<'a> {
+        Rd { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.b.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+}
+
+fn bin_op_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Sll => 8,
+        BinOp::Srl => 9,
+        BinOp::Sra => 10,
+        BinOp::Slt => 11,
+        BinOp::Sle => 12,
+        BinOp::Seq => 13,
+        BinOp::Sne => 14,
+    }
+}
+
+fn bin_op_from(tag: u8) -> Option<BinOp> {
+    Some(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Sll,
+        9 => BinOp::Srl,
+        10 => BinOp::Sra,
+        11 => BinOp::Slt,
+        12 => BinOp::Sle,
+        13 => BinOp::Seq,
+        14 => BinOp::Sne,
+        _ => return None,
+    })
+}
+
+fn fbin_op_tag(op: FBinOp) -> u8 {
+    match op {
+        FBinOp::Add => 0,
+        FBinOp::Sub => 1,
+        FBinOp::Mul => 2,
+        FBinOp::Div => 3,
+    }
+}
+
+fn fbin_op_from(tag: u8) -> Option<FBinOp> {
+    Some(match tag {
+        0 => FBinOp::Add,
+        1 => FBinOp::Sub,
+        2 => FBinOp::Mul,
+        3 => FBinOp::Div,
+        _ => return None,
+    })
+}
+
+fn fcmp_tag(cmp: FCmp) -> u8 {
+    match cmp {
+        FCmp::Eq => 0,
+        FCmp::Lt => 1,
+        FCmp::Le => 2,
+    }
+}
+
+fn fcmp_from(tag: u8) -> Option<FCmp> {
+    Some(match tag {
+        0 => FCmp::Eq,
+        1 => FCmp::Lt,
+        2 => FCmp::Le,
+        _ => return None,
+    })
+}
+
+fn put_cond(out: &mut Vec<u8>, c: &BcCond) {
+    match *c {
+        BcCond::Eqz(a) => {
+            out.push(0);
+            put_u32(out, a);
+        }
+        BcCond::Nez(a) => {
+            out.push(1);
+            put_u32(out, a);
+        }
+        BcCond::Lez(a) => {
+            out.push(2);
+            put_u32(out, a);
+        }
+        BcCond::Ltz(a) => {
+            out.push(3);
+            put_u32(out, a);
+        }
+        BcCond::Gez(a) => {
+            out.push(4);
+            put_u32(out, a);
+        }
+        BcCond::Gtz(a) => {
+            out.push(5);
+            put_u32(out, a);
+        }
+        BcCond::Eq(a, b) => {
+            out.push(6);
+            put_u32(out, a);
+            put_u32(out, b);
+        }
+        BcCond::Ne(a, b) => {
+            out.push(7);
+            put_u32(out, a);
+            put_u32(out, b);
+        }
+        BcCond::FTrue => out.push(8),
+        BcCond::FFalse => out.push(9),
+    }
+}
+
+fn read_cond(rd: &mut Rd) -> Option<BcCond> {
+    Some(match rd.u8()? {
+        0 => BcCond::Eqz(rd.u32()?),
+        1 => BcCond::Nez(rd.u32()?),
+        2 => BcCond::Lez(rd.u32()?),
+        3 => BcCond::Ltz(rd.u32()?),
+        4 => BcCond::Gez(rd.u32()?),
+        5 => BcCond::Gtz(rd.u32()?),
+        6 => BcCond::Eq(rd.u32()?, rd.u32()?),
+        7 => BcCond::Ne(rd.u32()?, rd.u32()?),
+        8 => BcCond::FTrue,
+        9 => BcCond::FFalse,
+        _ => return None,
+    })
+}
+
+fn put_alu(out: &mut Vec<u8>, a: &AluOp) {
+    match *a {
+        AluOp::RR { op, rd, rs, rt } => {
+            out.push(0);
+            out.push(bin_op_tag(op));
+            put_u32(out, rd);
+            put_u32(out, rs);
+            put_u32(out, rt);
+        }
+        AluOp::RI { op, rd, rs, imm } => {
+            out.push(1);
+            out.push(bin_op_tag(op));
+            put_u32(out, rd);
+            put_u32(out, rs);
+            put_i64(out, imm);
+        }
+    }
+}
+
+fn read_alu(rd: &mut Rd) -> Option<AluOp> {
+    Some(match rd.u8()? {
+        0 => AluOp::RR {
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            rt: rd.u32()?,
+        },
+        1 => AluOp::RI {
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            imm: rd.i64()?,
+        },
+        _ => return None,
+    })
+}
+
+fn put_site(out: &mut Vec<u8>, site: BranchRef) {
+    put_u32(out, site.func.0);
+    put_u32(out, site.block.0);
+}
+
+fn read_site(rd: &mut Rd) -> Option<BranchRef> {
+    Some(BranchRef {
+        func: FuncId(rd.u32()?),
+        block: BlockId(rd.u32()?),
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn put_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Li { rd, imm } => {
+            out.push(0);
+            put_u32(out, *rd);
+            put_i64(out, *imm);
+        }
+        Op::Move { rd, rs } => {
+            out.push(1);
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+        }
+        Op::Bin { op, rd, rs, rt } => {
+            out.push(2);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+            put_u32(out, *rt);
+        }
+        Op::BinImm { op, rd, rs, imm } => {
+            out.push(3);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+            put_i64(out, *imm);
+        }
+        Op::LiF { fd, imm } => {
+            out.push(4);
+            put_u32(out, *fd);
+            put_f64(out, *imm);
+        }
+        Op::MoveF { fd, fs } => {
+            out.push(5);
+            put_u32(out, *fd);
+            put_u32(out, *fs);
+        }
+        Op::BinF { op, fd, fs, ft } => {
+            out.push(6);
+            out.push(fbin_op_tag(*op));
+            put_u32(out, *fd);
+            put_u32(out, *fs);
+            put_u32(out, *ft);
+        }
+        Op::CvtIF { fd, rs } => {
+            out.push(7);
+            put_u32(out, *fd);
+            put_u32(out, *rs);
+        }
+        Op::CvtFI { rd, fs } => {
+            out.push(8);
+            put_u32(out, *rd);
+            put_u32(out, *fs);
+        }
+        Op::CmpF { cmp, fs, ft } => {
+            out.push(9);
+            out.push(fcmp_tag(*cmp));
+            put_u32(out, *fs);
+            put_u32(out, *ft);
+        }
+        Op::Load { rd, base, offset } => {
+            out.push(10);
+            put_u32(out, *rd);
+            put_u32(out, *base);
+            put_i64(out, *offset);
+        }
+        Op::Store { rs, base, offset } => {
+            out.push(11);
+            put_u32(out, *rs);
+            put_u32(out, *base);
+            put_i64(out, *offset);
+        }
+        Op::LoadF { fd, base, offset } => {
+            out.push(12);
+            put_u32(out, *fd);
+            put_u32(out, *base);
+            put_i64(out, *offset);
+        }
+        Op::StoreF { fs, base, offset } => {
+            out.push(13);
+            put_u32(out, *fs);
+            put_u32(out, *base);
+            put_i64(out, *offset);
+        }
+        Op::LoadRR {
+            op,
+            rd_addr,
+            rs,
+            rt,
+            rd,
+            offset,
+        } => {
+            out.push(14);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd_addr);
+            put_u32(out, *rs);
+            put_u32(out, *rt);
+            put_u32(out, *rd);
+            put_i64(out, *offset);
+        }
+        Op::Alu2 { a, b } => {
+            out.push(15);
+            put_alu(out, a);
+            put_alu(out, b);
+        }
+        Op::Alloc { rd, size } => {
+            out.push(16);
+            put_u32(out, *rd);
+            put_u32(out, *size);
+        }
+        Op::Call {
+            callee,
+            args,
+            fargs,
+            ret,
+            fret,
+        } => {
+            out.push(17);
+            put_u32(out, *callee);
+            put_u32(out, args.len() as u32);
+            for &(a, b) in args.iter() {
+                put_u32(out, a);
+                put_u32(out, b);
+            }
+            put_u32(out, fargs.len() as u32);
+            for &(a, b) in fargs.iter() {
+                put_u32(out, a);
+                put_u32(out, b);
+            }
+            put_u32(out, *ret);
+            put_u32(out, *fret);
+        }
+        Op::Jump { target, cost, fuel } => {
+            out.push(18);
+            put_u32(out, *target);
+            put_u64(out, *cost);
+            put_u64(out, *fuel);
+        }
+        Op::Br {
+            cond,
+            taken,
+            fallthru,
+            taken_fuel,
+            fallthru_fuel,
+            site,
+            cost,
+        } => {
+            out.push(19);
+            put_cond(out, cond);
+            put_u32(out, *taken);
+            put_u32(out, *fallthru);
+            put_u64(out, *taken_fuel);
+            put_u64(out, *fallthru_fuel);
+            put_site(out, *site);
+            put_u64(out, *cost);
+        }
+        Op::BinBr {
+            op,
+            rd,
+            rs,
+            rt,
+            cond,
+            taken,
+            fallthru,
+            taken_fuel,
+            fallthru_fuel,
+            site,
+            cost,
+        } => {
+            out.push(20);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+            put_u32(out, *rt);
+            put_cond(out, cond);
+            put_u32(out, *taken);
+            put_u32(out, *fallthru);
+            put_u64(out, *taken_fuel);
+            put_u64(out, *fallthru_fuel);
+            put_site(out, *site);
+            put_u64(out, *cost);
+        }
+        Op::BinImmBr {
+            op,
+            rd,
+            rs,
+            imm,
+            cond,
+            taken,
+            fallthru,
+            taken_fuel,
+            fallthru_fuel,
+            site,
+            cost,
+        } => {
+            out.push(21);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+            put_i64(out, *imm);
+            put_cond(out, cond);
+            put_u32(out, *taken);
+            put_u32(out, *fallthru);
+            put_u64(out, *taken_fuel);
+            put_u64(out, *fallthru_fuel);
+            put_site(out, *site);
+            put_u64(out, *cost);
+        }
+        Op::AluLoadBinBr {
+            pre,
+            ld_rd,
+            ld_base,
+            ld_offset,
+            op,
+            rd,
+            rs,
+            rt,
+            cond,
+            taken,
+            fallthru,
+            taken_fuel,
+            fallthru_fuel,
+            site,
+            cost,
+        } => {
+            out.push(22);
+            put_alu(out, pre);
+            put_u32(out, *ld_rd);
+            put_u32(out, *ld_base);
+            put_i64(out, *ld_offset);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+            put_u32(out, *rt);
+            put_cond(out, cond);
+            put_u32(out, *taken);
+            put_u32(out, *fallthru);
+            put_u64(out, *taken_fuel);
+            put_u64(out, *fallthru_fuel);
+            put_site(out, *site);
+            put_u64(out, *cost);
+        }
+        Op::LoadBinBr {
+            ld_rd,
+            ld_base,
+            ld_offset,
+            op,
+            rd,
+            rs,
+            rt,
+            cond,
+            taken,
+            fallthru,
+            taken_fuel,
+            fallthru_fuel,
+            site,
+            cost,
+        } => {
+            out.push(23);
+            put_u32(out, *ld_rd);
+            put_u32(out, *ld_base);
+            put_i64(out, *ld_offset);
+            out.push(bin_op_tag(*op));
+            put_u32(out, *rd);
+            put_u32(out, *rs);
+            put_u32(out, *rt);
+            put_cond(out, cond);
+            put_u32(out, *taken);
+            put_u32(out, *fallthru);
+            put_u64(out, *taken_fuel);
+            put_u64(out, *fallthru_fuel);
+            put_site(out, *site);
+            put_u64(out, *cost);
+        }
+        Op::Ret { val, fval, cost } => {
+            out.push(24);
+            put_u32(out, *val);
+            put_u32(out, *fval);
+            put_u64(out, *cost);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn read_op(rd: &mut Rd) -> Option<Op> {
+    Some(match rd.u8()? {
+        0 => Op::Li {
+            rd: rd.u32()?,
+            imm: rd.i64()?,
+        },
+        1 => Op::Move {
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+        },
+        2 => Op::Bin {
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            rt: rd.u32()?,
+        },
+        3 => Op::BinImm {
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            imm: rd.i64()?,
+        },
+        4 => Op::LiF {
+            fd: rd.u32()?,
+            imm: rd.f64()?,
+        },
+        5 => Op::MoveF {
+            fd: rd.u32()?,
+            fs: rd.u32()?,
+        },
+        6 => Op::BinF {
+            op: fbin_op_from(rd.u8()?)?,
+            fd: rd.u32()?,
+            fs: rd.u32()?,
+            ft: rd.u32()?,
+        },
+        7 => Op::CvtIF {
+            fd: rd.u32()?,
+            rs: rd.u32()?,
+        },
+        8 => Op::CvtFI {
+            rd: rd.u32()?,
+            fs: rd.u32()?,
+        },
+        9 => Op::CmpF {
+            cmp: fcmp_from(rd.u8()?)?,
+            fs: rd.u32()?,
+            ft: rd.u32()?,
+        },
+        10 => Op::Load {
+            rd: rd.u32()?,
+            base: rd.u32()?,
+            offset: rd.i64()?,
+        },
+        11 => Op::Store {
+            rs: rd.u32()?,
+            base: rd.u32()?,
+            offset: rd.i64()?,
+        },
+        12 => Op::LoadF {
+            fd: rd.u32()?,
+            base: rd.u32()?,
+            offset: rd.i64()?,
+        },
+        13 => Op::StoreF {
+            fs: rd.u32()?,
+            base: rd.u32()?,
+            offset: rd.i64()?,
+        },
+        14 => Op::LoadRR {
+            op: bin_op_from(rd.u8()?)?,
+            rd_addr: rd.u32()?,
+            rs: rd.u32()?,
+            rt: rd.u32()?,
+            rd: rd.u32()?,
+            offset: rd.i64()?,
+        },
+        15 => Op::Alu2 {
+            a: read_alu(rd)?,
+            b: read_alu(rd)?,
+        },
+        16 => Op::Alloc {
+            rd: rd.u32()?,
+            size: rd.u32()?,
+        },
+        17 => {
+            let callee = rd.u32()?;
+            let n_args = rd.u32()? as usize;
+            // Each pair is 8 bytes; reject counts the record cannot hold
+            // before reserving anything.
+            if n_args > rd.remaining() / 8 {
+                return None;
+            }
+            let mut args = Vec::with_capacity(n_args);
+            for _ in 0..n_args {
+                args.push((rd.u32()?, rd.u32()?));
+            }
+            let n_fargs = rd.u32()? as usize;
+            if n_fargs > rd.remaining() / 8 {
+                return None;
+            }
+            let mut fargs = Vec::with_capacity(n_fargs);
+            for _ in 0..n_fargs {
+                fargs.push((rd.u32()?, rd.u32()?));
+            }
+            Op::Call {
+                callee,
+                args: args.into_boxed_slice(),
+                fargs: fargs.into_boxed_slice(),
+                ret: rd.u32()?,
+                fret: rd.u32()?,
+            }
+        }
+        18 => Op::Jump {
+            target: rd.u32()?,
+            cost: rd.u64()?,
+            fuel: rd.u64()?,
+        },
+        19 => Op::Br {
+            cond: read_cond(rd)?,
+            taken: rd.u32()?,
+            fallthru: rd.u32()?,
+            taken_fuel: rd.u64()?,
+            fallthru_fuel: rd.u64()?,
+            site: read_site(rd)?,
+            cost: rd.u64()?,
+        },
+        20 => Op::BinBr {
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            rt: rd.u32()?,
+            cond: read_cond(rd)?,
+            taken: rd.u32()?,
+            fallthru: rd.u32()?,
+            taken_fuel: rd.u64()?,
+            fallthru_fuel: rd.u64()?,
+            site: read_site(rd)?,
+            cost: rd.u64()?,
+        },
+        21 => Op::BinImmBr {
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            imm: rd.i64()?,
+            cond: read_cond(rd)?,
+            taken: rd.u32()?,
+            fallthru: rd.u32()?,
+            taken_fuel: rd.u64()?,
+            fallthru_fuel: rd.u64()?,
+            site: read_site(rd)?,
+            cost: rd.u64()?,
+        },
+        22 => Op::AluLoadBinBr {
+            pre: read_alu(rd)?,
+            ld_rd: rd.u32()?,
+            ld_base: rd.u32()?,
+            ld_offset: rd.i64()?,
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            rt: rd.u32()?,
+            cond: read_cond(rd)?,
+            taken: rd.u32()?,
+            fallthru: rd.u32()?,
+            taken_fuel: rd.u64()?,
+            fallthru_fuel: rd.u64()?,
+            site: read_site(rd)?,
+            cost: rd.u64()?,
+        },
+        23 => Op::LoadBinBr {
+            ld_rd: rd.u32()?,
+            ld_base: rd.u32()?,
+            ld_offset: rd.i64()?,
+            op: bin_op_from(rd.u8()?)?,
+            rd: rd.u32()?,
+            rs: rd.u32()?,
+            rt: rd.u32()?,
+            cond: read_cond(rd)?,
+            taken: rd.u32()?,
+            fallthru: rd.u32()?,
+            taken_fuel: rd.u64()?,
+            fallthru_fuel: rd.u64()?,
+            site: read_site(rd)?,
+            cost: rd.u64()?,
+        },
+        24 => Op::Ret {
+            val: rd.u32()?,
+            fval: rd.u32()?,
+            cost: rd.u64()?,
+        },
+        _ => return None,
+    })
+}
+
+impl BytecodeProgram {
+    /// Serializes the decoded program into the suite image's
+    /// decoded-bytecode payload: little-endian, tagged fixed-width
+    /// records, deterministic byte-for-byte for a given decode.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.ops_len() * 16);
+        put_u32(&mut out, self.funcs.len() as u32);
+        put_u32(&mut out, self.entry);
+        for f in &self.funcs {
+            put_u32(&mut out, f.n_slots);
+            put_u32(&mut out, f.n_fslots);
+            put_i64(&mut out, f.frame_words);
+            put_u64(&mut out, f.entry_fuel);
+            put_u32(&mut out, f.ops.len() as u32);
+            for op in f.ops.iter() {
+                put_op(&mut out, op);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a decoded program previously written by
+    /// [`BytecodeProgram::to_bytes`], validated against the live
+    /// `program`: the function count, entry point, and every function's
+    /// frame geometry must match the program exactly, and every op
+    /// passes the decoder's own slot/target validation. Returns `None`
+    /// on any mismatch, truncation, or unknown tag — corrupt or stale
+    /// bytes fall back to a fresh decode.
+    pub fn from_bytes(bytes: &[u8], program: &Program) -> Option<BytecodeProgram> {
+        let mut rd = Rd::new(bytes);
+        let n_funcs = rd.u32()? as usize;
+        let entry = rd.u32()?;
+        if n_funcs != program.func_ids().count() || entry != program.entry().0 {
+            return None;
+        }
+        let mut funcs = Vec::with_capacity(n_funcs);
+        for fid in program.func_ids() {
+            let func = program.func(fid);
+            let n_slots = rd.u32()?;
+            let n_fslots = rd.u32()?;
+            let frame_words = rd.i64()?;
+            let entry_fuel = rd.u64()?;
+            // Frame geometry is pinned to the live program — the
+            // executor sizes arena frames from these fields and a
+            // mismatch would break its unchecked slot accesses.
+            let n_regs_eff = func.n_regs().max(Reg::FIRST_TEMP);
+            if n_slots != n_regs_eff + 1
+                || n_fslots != func.n_fregs()
+                || frame_words != func.frame_words()
+                || entry_fuel != func.block(func.entry()).len_with_term()
+            {
+                return None;
+            }
+            let n_ops = rd.u32()? as usize;
+            // Every op record is at least one byte.
+            if n_ops > rd.remaining() {
+                return None;
+            }
+            let mut ops = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                ops.push(read_op(&mut rd)?);
+            }
+            let bf = BcFunc {
+                ops: ops.into_boxed_slice(),
+                n_slots,
+                n_fslots,
+                frame_words,
+                entry_fuel,
+            };
+            check(&bf, program).ok()?;
+            funcs.push(bf);
+        }
+        if !rd.done() {
+            return None;
+        }
+        Some(BytecodeProgram { funcs, entry })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NullObserver, Simulator};
+
+    fn program(src: &str) -> Program {
+        bpfree_lang::compile(src).unwrap()
+    }
+
+    const SRC: &str = "global int table[8];
+        fn helper(int x) -> int { return x * 2; }
+        fn main() -> int {
+            int i; int s; float f;
+            f = 0.5;
+            for (i = 0; i < 8; i = i + 1) { s = s + table[i] + helper(i); }
+            if (f < 1.0) { s = s + 1; }
+            return s;
+        }";
+
+    #[test]
+    fn roundtrip_preserves_execution() {
+        let p = program(SRC);
+        let bc = BytecodeProgram::compile(&p);
+        let bytes = bc.to_bytes();
+        let back = BytecodeProgram::from_bytes(&bytes, &p).expect("roundtrip");
+        assert_eq!(back.ops_len(), bc.ops_len());
+        let a = Simulator::with_decoded(&p, &bc)
+            .run(&mut NullObserver)
+            .unwrap();
+        let b = Simulator::with_decoded(&p, &back)
+            .run(&mut NullObserver)
+            .unwrap();
+        assert_eq!(a.exit, b.exit);
+        assert_eq!(a.instructions, b.instructions);
+        // Serialization is deterministic.
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn rejects_truncation_and_bit_flips() {
+        let p = program(SRC);
+        let bytes = BytecodeProgram::compile(&p).to_bytes();
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                BytecodeProgram::from_bytes(&bytes[..cut], &p).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Flip every byte position one at a time: the result must be
+        // rejected or at minimum still pass validation (a flip inside an
+        // imm/fuel field changes data the checker cannot see — those
+        // are caught by the image checksum, not here).
+        for pos in 0..bytes.len().min(128) {
+            let mut b = bytes.clone();
+            b[pos] ^= 0xff;
+            let _ = BytecodeProgram::from_bytes(&b, &p); // must not panic
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_program() {
+        let p = program(SRC);
+        let other = program("fn main() -> int { return 1; }");
+        let bytes = BytecodeProgram::compile(&p).to_bytes();
+        assert!(BytecodeProgram::from_bytes(&bytes, &other).is_none());
+    }
+}

@@ -38,7 +38,9 @@
 
 #![deny(missing_docs)]
 
+mod bcio;
 mod blocks;
+mod bytes;
 mod decode;
 mod error;
 mod exec;
@@ -49,10 +51,14 @@ mod replay;
 mod trace;
 
 pub use blocks::BranchBlockCounter;
+pub use bytes::ByteView;
 pub use decode::BytecodeProgram;
 pub use error::SimError;
 pub use interp::{InterpTier, RunResult, SimConfig, Simulator};
 pub use observer::{CountingObserver, ExecObserver, Multiplex, NullObserver, Pair};
 pub use profile::{EdgeCounts, EdgeProfile, EdgeProfiler};
 pub use replay::{SegmentedObserver, TraceSegment};
-pub use trace::{BranchTrace, TraceEvent, TraceRecorder, TraceTally};
+pub use trace::{
+    note_trace_seq_alloc, trace_seq_allocs, BranchTrace, SeqSlice, TraceEvent, TraceRecorder,
+    TraceTally,
+};

@@ -33,7 +33,8 @@ use crate::trace::BranchTrace;
 /// instruction count, which the parent delivers after the merge — and
 /// is then consumed by [`SegmentedObserver::merge`].
 pub trait TraceSegment: Send {
-    /// Replays `trace.seq()[range]` into this segment's state.
+    /// Replays the trace's index sequence over `range` into this
+    /// segment's state.
     ///
     /// Implementations are free to bypass the generic
     /// [`ExecObserver`] dispatch and scan the dictionary-compressed

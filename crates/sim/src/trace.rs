@@ -25,11 +25,33 @@
 //! branch events) fits in a few megabytes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bpfree_ir::BranchRef;
 
+use crate::bytes::ByteView;
 use crate::observer::ExecObserver;
 use crate::profile::EdgeProfile;
+
+/// Process-wide count of owned trace-sequence materializations —
+/// every allocation that decodes or widens a sequence buffer (the v5
+/// cache's RLE decode, the lazy byte-wide copy behind
+/// [`BranchTrace::seq_u8`]). The mounted suite image serves sequences
+/// as borrowed [`ByteView`]s, so a fully mounted warm run leaves this
+/// counter untouched; the warm-start perf report uses the delta as its
+/// zero-allocation proof.
+static SEQ_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the process-wide sequence-materialization counter.
+pub fn trace_seq_allocs() -> u64 {
+    SEQ_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Records one owned sequence materialization. Public so the cache
+/// crate's v5 decoder can report its allocations to the same counter.
+pub fn note_trace_seq_alloc() {
+    SEQ_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
 
 /// One branch execution: the straight-line instructions since the
 /// previous branch event (this branch's block included), the branch
@@ -68,6 +90,10 @@ impl TraceTally {
         for &i in seq {
             counts[i as usize] += 1;
         }
+        TraceTally::from_counts(dict, counts, trailing_instrs)
+    }
+
+    fn from_counts(dict: &[TraceEvent], counts: Vec<u64>, trailing_instrs: u64) -> TraceTally {
         let instructions = dict
             .iter()
             .zip(&counts)
@@ -96,27 +122,59 @@ impl TraceTally {
     }
 }
 
+/// The index sequence at its stored width.
+///
+/// Recorded (and v5-cache-decoded) traces own wide `u32` indices;
+/// traces mounted from a suite image borrow byte-wide indices straight
+/// from the image buffer. Replay kernels that want width-specialized
+/// loops match on [`BranchTrace::seq_slice`].
+#[derive(Debug, Clone, Copy)]
+pub enum SeqSlice<'a> {
+    /// Owned wide indices (any dictionary size).
+    Wide(&'a [u32]),
+    /// Byte-wide indices (dictionary ≤ 256 entries, possibly borrowed
+    /// from a mounted image).
+    Bytes(&'a [u8]),
+}
+
+#[derive(Debug, Clone)]
+enum SeqStore {
+    /// Owned wide indices, with a lazily-built byte-wide copy for
+    /// small dictionaries (see [`BranchTrace::seq_u8`]). The copy is
+    /// derived data — excluded from equality, built at most once.
+    Wide(Vec<u32>, std::sync::OnceLock<Vec<u8>>),
+    /// Byte-wide indices borrowed from a shared buffer (the mounted
+    /// suite image). Only constructed for dictionaries ≤ 256 entries.
+    Borrowed(ByteView),
+}
+
+impl Default for SeqStore {
+    fn default() -> SeqStore {
+        SeqStore::Wide(Vec::new(), std::sync::OnceLock::new())
+    }
+}
+
 /// A dictionary-compressed branch-event trace of one execution.
 #[derive(Debug, Clone, Default)]
 pub struct BranchTrace {
     dict: Vec<TraceEvent>,
-    seq: Vec<u32>,
+    seq: SeqStore,
     trailing_instrs: u64,
     tally: TraceTally,
-    /// Lazily-built byte-wide copy of `seq` for small dictionaries
-    /// (see [`BranchTrace::seq_u8`]). Derived data — excluded from
-    /// equality, built at most once per trace.
-    seq8: std::sync::OnceLock<Vec<u8>>,
 }
 
-/// Equality is over the logical trace (dictionary, sequence, trailing
-/// run); the tally is a deterministic function of those and the `seq8`
-/// cache is derived data, so neither participates.
+/// Equality is over the logical trace (dictionary, index sequence,
+/// trailing run) regardless of sequence storage width; the tally is a
+/// deterministic function of those, so it does not participate.
 impl PartialEq for BranchTrace {
     fn eq(&self, other: &BranchTrace) -> bool {
-        self.dict == other.dict
-            && self.seq == other.seq
-            && self.trailing_instrs == other.trailing_instrs
+        if self.dict != other.dict || self.trailing_instrs != other.trailing_instrs {
+            return false;
+        }
+        match (&self.seq, &other.seq) {
+            (SeqStore::Wide(a, _), SeqStore::Wide(b, _)) => a == b,
+            _ => self.indices().eq(other.indices()),
+        }
     }
 }
 
@@ -129,10 +187,9 @@ impl BranchTrace {
         let tally = TraceTally::build(&dict, &seq, trailing_instrs);
         BranchTrace {
             dict,
-            seq,
+            seq: SeqStore::Wide(seq, std::sync::OnceLock::new()),
             trailing_instrs,
             tally,
-            seq8: std::sync::OnceLock::new(),
         }
     }
 
@@ -146,31 +203,95 @@ impl BranchTrace {
         Some(BranchTrace::assemble(dict, seq, trailing_instrs))
     }
 
+    /// Rebuilds a trace whose sequence *borrows* byte-wide indices from
+    /// a shared buffer (the mounted suite image) — no sequence
+    /// allocation, no decode. Returns `None` when the dictionary has
+    /// more than 256 entries (byte indices could not address it) or any
+    /// index is out of range (corrupt input). The single validation
+    /// pass also computes the tally, so construction does exactly one
+    /// read of the borrowed bytes and allocates only the O(dict)
+    /// counts.
+    pub fn from_borrowed_parts(
+        dict: Vec<TraceEvent>,
+        seq: ByteView,
+        trailing_instrs: u64,
+    ) -> Option<Self> {
+        if dict.len() > 256 {
+            return None;
+        }
+        let n = dict.len();
+        let mut counts = vec![0u64; n];
+        for &b in seq.as_slice() {
+            let i = b as usize;
+            if i >= n {
+                return None;
+            }
+            counts[i] += 1;
+        }
+        let tally = TraceTally::from_counts(&dict, counts, trailing_instrs);
+        Some(BranchTrace {
+            dict,
+            seq: SeqStore::Borrowed(seq),
+            trailing_instrs,
+            tally,
+        })
+    }
+
     /// The interned distinct events.
     pub fn dict(&self) -> &[TraceEvent] {
         &self.dict
     }
 
+    /// The index sequence at its stored width, for width-specialized
+    /// replay loops.
+    pub fn seq_slice(&self) -> SeqSlice<'_> {
+        match &self.seq {
+            SeqStore::Wide(s, _) => SeqSlice::Wide(s),
+            SeqStore::Borrowed(v) => SeqSlice::Bytes(v.as_slice()),
+        }
+    }
+
+    /// The execution as wide dictionary indices, or `None` when the
+    /// sequence is stored byte-wide (mounted from an image). A `None`
+    /// here implies [`BranchTrace::seq_u8`] is `Some`, so every caller
+    /// has a zero-copy path.
+    pub fn seq_u32(&self) -> Option<&[u32]> {
+        match &self.seq {
+            SeqStore::Wide(s, _) => Some(s),
+            SeqStore::Borrowed(_) => None,
+        }
+    }
+
     /// The execution as dictionary indices, in order.
-    pub fn seq(&self) -> &[u32] {
-        &self.seq
+    pub fn indices(&self) -> impl Iterator<Item = u32> + '_ {
+        match &self.seq {
+            SeqStore::Wide(s, _) => IdxIter::Wide(s.iter()),
+            SeqStore::Borrowed(v) => IdxIter::Bytes(v.as_slice().iter()),
+        }
     }
 
     /// The sequence as byte-wide indices, or `None` when the dictionary
     /// has more than 256 entries. Real traces intern a few dozen
     /// distinct events, so replay kernels that stream the sequence can
     /// read a quarter of the memory — and index a 256-entry lookup
-    /// table without bounds checks. Built on first use, then cached for
-    /// the life of the trace (replays are the hot path; construction is
-    /// not).
+    /// table without bounds checks. Traces mounted from a suite image
+    /// already store byte-wide indices and answer borrowed image bytes
+    /// directly; owned wide traces build the byte copy on first use,
+    /// then cache it for the life of the trace (replays are the hot
+    /// path; construction is not).
     pub fn seq_u8(&self) -> Option<&[u8]> {
-        if self.dict.len() > 256 {
-            return None;
+        match &self.seq {
+            SeqStore::Borrowed(v) => Some(v.as_slice()),
+            SeqStore::Wide(s, seq8) => {
+                if self.dict.len() > 256 {
+                    return None;
+                }
+                Some(seq8.get_or_init(|| {
+                    note_trace_seq_alloc();
+                    s.iter().map(|&i| i as u8).collect()
+                }))
+            }
         }
-        Some(
-            self.seq8
-                .get_or_init(|| self.seq.iter().map(|&i| i as u8).collect()),
-        )
     }
 
     /// Straight-line instructions after the last branch event.
@@ -180,12 +301,15 @@ impl BranchTrace {
 
     /// Number of branch events.
     pub fn len(&self) -> usize {
-        self.seq.len()
+        match &self.seq {
+            SeqStore::Wide(s, _) => s.len(),
+            SeqStore::Borrowed(v) => v.len(),
+        }
     }
 
     /// Did the execution run no conditional branch?
     pub fn is_empty(&self) -> bool {
-        self.seq.is_empty()
+        self.len() == 0
     }
 
     /// Per-dict-entry occurrence counts — the O(dict) fused evaluation
@@ -216,7 +340,7 @@ impl BranchTrace {
 
     /// The events in execution order.
     pub fn events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
-        self.seq.iter().map(|&i| self.dict[i as usize])
+        self.indices().map(|i| self.dict[i as usize])
     }
 
     /// Streams the recorded execution into `observer`, as if the program
@@ -228,7 +352,7 @@ impl BranchTrace {
     /// for the parallel tier and [`BranchTrace::tally`] for the O(dict)
     /// tier, both provably equivalent for their supported observers.
     pub fn replay<O: ExecObserver + ?Sized>(&self, observer: &mut O) {
-        self.replay_events(0..self.seq.len(), observer);
+        self.replay_events(0..self.len(), observer);
         if self.trailing_instrs > 0 {
             observer.on_instrs(self.trailing_instrs);
         }
@@ -242,12 +366,48 @@ impl BranchTrace {
         range: std::ops::Range<usize>,
         observer: &mut O,
     ) {
-        for &idx in &self.seq[range] {
-            let event = self.dict[idx as usize];
-            if event.instrs > 0 {
-                observer.on_instrs(event.instrs);
+        fn stream<O: ExecObserver + ?Sized>(
+            dict: &[TraceEvent],
+            indices: impl Iterator<Item = usize>,
+            observer: &mut O,
+        ) {
+            for idx in indices {
+                let event = dict[idx];
+                if event.instrs > 0 {
+                    observer.on_instrs(event.instrs);
+                }
+                observer.on_branch(event.branch, event.taken);
             }
-            observer.on_branch(event.branch, event.taken);
+        }
+        match self.seq_slice() {
+            SeqSlice::Wide(s) => stream(&self.dict, s[range].iter().map(|&i| i as usize), observer),
+            SeqSlice::Bytes(s) => {
+                stream(&self.dict, s[range].iter().map(|&i| i as usize), observer)
+            }
+        }
+    }
+}
+
+/// Width-erasing iterator behind [`BranchTrace::indices`].
+enum IdxIter<'a> {
+    Wide(std::slice::Iter<'a, u32>),
+    Bytes(std::slice::Iter<'a, u8>),
+}
+
+impl Iterator for IdxIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            IdxIter::Wide(it) => it.next().copied(),
+            IdxIter::Bytes(it) => it.next().map(|&b| u32::from(b)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            IdxIter::Wide(it) => it.size_hint(),
+            IdxIter::Bytes(it) => it.size_hint(),
         }
     }
 }
@@ -412,5 +572,61 @@ mod tests {
         };
         assert!(BranchTrace::from_parts(vec![e], vec![0, 0], 0).is_some());
         assert!(BranchTrace::from_parts(vec![e], vec![1], 0).is_none());
+    }
+
+    #[test]
+    fn borrowed_parts_match_wide_trace() {
+        let mut rec = TraceRecorder::new();
+        for i in 0..100 {
+            rec.on_instrs(5);
+            rec.on_branch(b(3), i % 10 != 9);
+            rec.on_instrs(2);
+            rec.on_branch(b(4), i % 3 == 0);
+        }
+        rec.on_instrs(7);
+        let wide = rec.into_trace();
+        let bytes: Vec<u8> = wide.seq_u8().unwrap().to_vec();
+        let borrowed = BranchTrace::from_borrowed_parts(
+            wide.dict().to_vec(),
+            ByteView::from_vec(bytes),
+            wide.trailing_instrs(),
+        )
+        .unwrap();
+
+        assert_eq!(borrowed, wide);
+        assert_eq!(borrowed.tally(), wide.tally());
+        assert_eq!(borrowed.total_instructions(), wide.total_instructions());
+        assert_eq!(borrowed.edge_profile(), wide.edge_profile());
+        assert!(borrowed.seq_u32().is_none());
+        assert_eq!(borrowed.seq_u8().unwrap(), wide.seq_u8().unwrap());
+
+        let mut a = CountingObserver::default();
+        let mut b_ = CountingObserver::default();
+        borrowed.replay(&mut a);
+        wide.replay(&mut b_);
+        assert_eq!(a.instructions, b_.instructions);
+        assert_eq!(a.taken, b_.taken);
+    }
+
+    #[test]
+    fn borrowed_parts_reject_bad_input() {
+        let e = TraceEvent {
+            instrs: 1,
+            branch: b(0),
+            taken: true,
+        };
+        // Out-of-range byte index.
+        assert!(
+            BranchTrace::from_borrowed_parts(vec![e], ByteView::from_vec(vec![0, 1]), 0).is_none()
+        );
+        // Oversized dictionary cannot be addressed byte-wide.
+        let big: Vec<TraceEvent> = (0..257)
+            .map(|i| TraceEvent {
+                instrs: i,
+                branch: b(0),
+                taken: true,
+            })
+            .collect();
+        assert!(BranchTrace::from_borrowed_parts(big, ByteView::from_vec(vec![0]), 0).is_none());
     }
 }

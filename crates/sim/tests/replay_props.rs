@@ -92,7 +92,7 @@ proptest! {
     #[test]
     fn tally_counts_match_sequence(trace in arb_trace()) {
         for (idx, &count) in trace.tally().counts().iter().enumerate() {
-            let expected = trace.seq().iter().filter(|&&i| i as usize == idx).count();
+            let expected = trace.indices().filter(|&i| i as usize == idx).count();
             prop_assert_eq!(count as usize, expected);
         }
     }

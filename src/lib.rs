@@ -60,6 +60,7 @@
 //! ```
 
 pub use bpfree_bench as bench;
+pub use bpfree_cache as cache;
 pub use bpfree_cfg as cfg;
 pub use bpfree_core as core;
 pub use bpfree_engine as engine;

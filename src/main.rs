@@ -14,7 +14,12 @@
 //! bpfree list                       list the benchmark suite
 //! bpfree exp list                   list the registered experiments
 //! bpfree exp run NAME...            regenerate paper tables/figures
-//! bpfree exp all                    the whole reproduction, one process
+//! bpfree exp all [--image PATH]     the whole reproduction, one process
+//! bpfree image build PATH           pack every suite artifact into one image
+//! bpfree image verify PATH          integrity + live-suite revalidation
+//! bpfree image ls PATH              list an image's directory
+//! bpfree cache stat                 inventory the per-entry cache directory
+//! bpfree cache gc                   purge stale-format cache entries
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (bad input file, simulator
@@ -76,6 +81,14 @@ fn main() -> ExitCode {
                 config::apply(cfg);
                 cmd_exp(&rest[1..])
             }
+            Some("image") => {
+                config::apply(cfg);
+                cmd_image(&rest[1..])
+            }
+            Some("cache") => {
+                config::apply(cfg);
+                cmd_cache(&rest[1..])
+            }
             Some("list") => cmd_list(),
             Some("--version" | "-V") => {
                 println!("bpfree {}", env!("CARGO_PKG_VERSION"));
@@ -118,11 +131,20 @@ fn print_usage() {
     eprintln!("  bpfree exp list                   list the registered experiments");
     eprintln!("  bpfree exp run NAME...            regenerate paper tables/figures");
     eprintln!("  bpfree exp all [--skip NAME]      the whole reproduction, one process");
+    eprintln!("  bpfree image build PATH           pack every suite artifact into one");
+    eprintln!("                                    zero-copy warm-start image");
+    eprintln!("  bpfree image verify PATH          check an image's integrity and");
+    eprintln!("                                    revalidate it against the live suite");
+    eprintln!("  bpfree image ls PATH              list an image's directory");
+    eprintln!("  bpfree cache stat                 inventory the per-entry cache directory");
+    eprintln!("  bpfree cache gc                   purge stale-format cache entries");
     eprintln!("  bpfree --version                  print the version");
     eprintln!();
     eprintln!("common flags (run/bench/predict/exp): --jobs N, --no-cache, --cache-dir DIR,");
     eprintln!("                                      --interp bytecode|tree, --timings[=PATH]");
     eprintln!("exp run/all also accept: --out-dir DIR (capture files + manifest.json)");
+    eprintln!("                         --image PATH (mount a warm-start suite image)");
+    eprintln!("bench --json also accepts: --all-out DIR (every BENCH_*.json in one run)");
 }
 
 fn load_program(path: &str, options: Options) -> Result<bpfree::ir::Program, Failure> {
@@ -368,19 +390,51 @@ fn cmd_bench(args: &[String]) -> Result<(), Failure> {
         let sched_out = path_flag("--sched-out", "BENCH_sched.json")?;
         let analysis_out = path_flag("--analysis-out", "BENCH_analysis.json")?;
         let ordering_out = path_flag("--ordering-out", "BENCH_ordering.json")?;
+        let warmstart_out = path_flag("--warmstart-out", "BENCH_warmstart.json")?;
         if cfg!(debug_assertions) {
             eprintln!("[bpfree] warning: debug build — bench numbers are not comparable");
         }
-        bpfree::bench::perf::write_report(std::path::Path::new(&out))
-            .map_err(|e| runtime_err(e.to_string()))?;
-        bpfree::bench::perf::write_replay_report(std::path::Path::new(&replay_out))
-            .map_err(|e| runtime_err(e.to_string()))?;
-        bpfree::bench::perf::write_analysis_report(std::path::Path::new(&analysis_out))
-            .map_err(|e| runtime_err(e.to_string()))?;
-        bpfree::bench::perf::write_ordering_report(std::path::Path::new(&ordering_out))
-            .map_err(|e| runtime_err(e.to_string()))?;
-        return bpfree::bench::perf::write_sched_report(std::path::Path::new(&sched_out))
-            .map_err(|e| runtime_err(e.to_string()));
+        let rt = |e: io::Error| runtime_err(e.to_string());
+        // `--all-out DIR` writes the whole default-named report set under
+        // DIR in one invocation; the per-report flags above remain as
+        // aliases for single-file runs.
+        let targets: Vec<PathBuf> = match args.iter().position(|a| a == "--all-out") {
+            Some(i) => {
+                let dir = PathBuf::from(
+                    args.get(i + 1)
+                        .ok_or_else(|| usage_err("--all-out needs a value"))?,
+                );
+                std::fs::create_dir_all(&dir).map_err(rt)?;
+                [
+                    "BENCH_interp.json",
+                    "BENCH_replay.json",
+                    "BENCH_sched.json",
+                    "BENCH_analysis.json",
+                    "BENCH_ordering.json",
+                    "BENCH_warmstart.json",
+                ]
+                .iter()
+                .map(|n| dir.join(n))
+                .collect()
+            }
+            None => [
+                &out,
+                &replay_out,
+                &sched_out,
+                &analysis_out,
+                &ordering_out,
+                &warmstart_out,
+            ]
+            .iter()
+            .map(PathBuf::from)
+            .collect(),
+        };
+        bpfree::bench::perf::write_report(&targets[0]).map_err(rt)?;
+        bpfree::bench::perf::write_replay_report(&targets[1]).map_err(rt)?;
+        bpfree::bench::perf::write_sched_report(&targets[2]).map_err(rt)?;
+        bpfree::bench::perf::write_analysis_report(&targets[3]).map_err(rt)?;
+        bpfree::bench::perf::write_ordering_report(&targets[4]).map_err(rt)?;
+        return bpfree::bench::perf::write_warmstart_report(&targets[5]).map_err(rt);
     }
     let name = args
         .first()
@@ -454,7 +508,7 @@ fn cmd_exp(args: &[String]) -> Result<(), Failure> {
                 .iter()
                 .map(|n| resolve_experiment(n))
                 .collect::<Result<_, _>>()?;
-            run_exps(&exps, opts.out_dir, "run")
+            run_exps(&exps, opts, "run")
         }
         Some("all") => {
             let opts = ExpOpts::parse(&args[1..], true)?;
@@ -466,7 +520,7 @@ fn cmd_exp(args: &[String]) -> Result<(), Failure> {
                 .copied()
                 .filter(|e| !opts.skip.iter().any(|s| s == e.name()))
                 .collect();
-            run_exps(&exps, opts.out_dir, "all")
+            run_exps(&exps, opts, "all")
         }
         _ => Err(usage_err(
             "exp needs a subcommand: `list`, `run NAME...`, or `all`",
@@ -479,6 +533,7 @@ struct ExpOpts {
     names: Vec<String>,
     skip: Vec<String>,
     out_dir: Option<PathBuf>,
+    image: Option<PathBuf>,
 }
 
 impl ExpOpts {
@@ -487,6 +542,7 @@ impl ExpOpts {
             names: Vec::new(),
             skip: Vec::new(),
             out_dir: None,
+            image: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -499,6 +555,15 @@ impl ExpOpts {
                 }
                 s if s.starts_with("--out-dir=") => {
                     opts.out_dir = Some(PathBuf::from(&s["--out-dir=".len()..]));
+                }
+                "--image" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| usage_err("--image needs a value"))?;
+                    opts.image = Some(PathBuf::from(v));
+                }
+                s if s.starts_with("--image=") => {
+                    opts.image = Some(PathBuf::from(&s["--image=".len()..]));
                 }
                 "--skip" if allow_skip => {
                     let v = it.next().ok_or_else(|| usage_err("--skip needs a value"))?;
@@ -535,19 +600,145 @@ fn resolve_experiment(name: &str) -> Result<&'static dyn Experiment, Failure> {
     })
 }
 
+/// `bpfree image build|verify|ls` — the single-file warm-start suite
+/// image (cache format v6, see `bpfree::cache::image`).
+fn cmd_image(args: &[String]) -> Result<(), Failure> {
+    let path_arg = |verb: &str| -> Result<PathBuf, Failure> {
+        args.get(1)
+            .map(PathBuf::from)
+            .ok_or_else(|| usage_err(format!("image {verb} needs a path")))
+    };
+    match args.first().map(String::as_str) {
+        Some("build") => {
+            let path = path_arg("build")?;
+            // Work the full experiment batch through the engine (warm
+            // from the per-entry cache where possible), then snapshot
+            // every memo into the image.
+            let engine = config::engine();
+            let exps: Vec<&'static dyn Experiment> = registry::all().to_vec();
+            let mut sink = bpfree::bench::sink::DiscardSink::new();
+            registry::run_experiments(&exps, engine, &mut sink, true)
+                .map_err(|e| runtime_err(e.to_string()))?;
+            let (entries, bytes) = engine
+                .export_image(&path)
+                .map_err(|e| runtime_err(e.to_string()))?;
+            println!("image: {}", path.display());
+            println!("entries: {entries}");
+            println!("bytes: {bytes}");
+            Ok(())
+        }
+        Some("verify") => {
+            let path = path_arg("verify")?;
+            // Structural integrity first (magic, checksums, bounds),
+            // then a real mount against the live suite: every entry
+            // either revalidates or is reported as skipped.
+            let engine = bpfree::engine::Engine::new(bpfree::engine::EngineConfig::no_cache());
+            let report = engine
+                .mount_image(&path)
+                .map_err(|e| runtime_err(format!("{}: {e}", path.display())))?;
+            println!(
+                "{}: ok — {} entries mounted, {} skipped, {} bytes",
+                path.display(),
+                report.mounted,
+                report.skipped,
+                report.bytes
+            );
+            Ok(())
+        }
+        Some("ls") => {
+            let path = path_arg("ls")?;
+            let img = bpfree::cache::image::SuiteImage::open(&path)
+                .map_err(|e| runtime_err(format!("{}: {e}", path.display())))?;
+            println!(
+                "{:<10} {:<11} {:<18} {:>7} {:>10} key",
+                "kind", "bench", "options", "dataset", "bytes"
+            );
+            for e in img.entries() {
+                println!(
+                    "{:<10} {:<11} {:<18} {:>7} {:>10} {:016x}",
+                    e.kind.name(),
+                    if e.name.is_empty() { "-" } else { &e.name },
+                    e.opt,
+                    e.dataset.map_or("-".to_string(), |d| d.to_string()),
+                    e.payload_bytes(),
+                    e.key
+                );
+            }
+            println!(
+                "{} entries, {} bytes total",
+                img.entries().len(),
+                img.total_bytes()
+            );
+            Ok(())
+        }
+        _ => Err(usage_err(
+            "image needs a subcommand: `build PATH`, `verify PATH`, or `ls PATH`",
+        )),
+    }
+}
+
+/// `bpfree cache stat|gc` — per-entry cache directory maintenance.
+/// Honors `--cache-dir` / `BPFREE_CACHE_DIR` like every other command.
+fn cmd_cache(args: &[String]) -> Result<(), Failure> {
+    let dir = &config::config().cache_dir;
+    let rt = |e: io::Error| runtime_err(format!("{}: {e}", dir.display()));
+    match args.first().map(String::as_str) {
+        Some("stat") => {
+            let stat = bpfree::cache::maint::scan(dir).map_err(rt)?;
+            println!("cache dir: {}", dir.display());
+            println!(
+                "{:<10} {:>7} {:>8} {:>12}",
+                "kind", "version", "entries", "bytes"
+            );
+            for (kind, version, n, bytes) in stat.by_kind() {
+                println!("{kind:<10} {version:>7} {n:>8} {bytes:>12}");
+            }
+            println!(
+                "total: {} entries, {} bytes ({} stale, {} foreign files)",
+                stat.entries.len(),
+                stat.total_bytes(),
+                stat.stale(),
+                stat.foreign
+            );
+            Ok(())
+        }
+        Some("gc") => {
+            let (removed, reclaimed) = bpfree::cache::maint::gc(dir).map_err(rt)?;
+            println!(
+                "{}: removed {removed} stale entries, reclaimed {reclaimed} bytes",
+                dir.display()
+            );
+            Ok(())
+        }
+        _ => Err(usage_err("cache needs a subcommand: `stat` or `gc`")),
+    }
+}
+
 /// Runs `exps` against the shared engine — to stdout, or captured under
 /// `--out-dir` with a manifest. One process, one engine: every
 /// (benchmark, dataset) is compiled and simulated at most once for the
 /// whole batch, which is the point of `exp all`.
-fn run_exps(
-    exps: &[&'static dyn Experiment],
-    out_dir: Option<PathBuf>,
-    mode: &str,
-) -> Result<(), Failure> {
+fn run_exps(exps: &[&'static dyn Experiment], opts: ExpOpts, mode: &str) -> Result<(), Failure> {
     let rt = |e: io::Error| runtime_err(e.to_string());
     let engine = config::engine();
+    // A mounted suite image pre-fills every memo the batch would
+    // otherwise compute (or read entry-by-entry from the cache dir); a
+    // structurally corrupt image is a hard error, but entries that fail
+    // live revalidation just fall back to recompute.
+    if let Some(img) = &opts.image {
+        let report = engine
+            .mount_image(img)
+            .map_err(|e| runtime_err(format!("cannot mount `{}`: {e}", img.display())))?;
+        eprintln!(
+            "[bpfree] mounted {}: {} entries ({} skipped), {} bytes",
+            img.display(),
+            report.mounted,
+            report.skipped,
+            report.bytes
+        );
+    }
     let start = Instant::now();
-    match out_dir {
+    match opts.out_dir {
         Some(dir) => {
             let mut sink = CaptureSink::new(&dir).map_err(rt)?;
             registry::run_experiments(exps, engine, &mut sink, true).map_err(rt)?;
